@@ -1,0 +1,38 @@
+//! Stage timings of the training pipeline (Table I's structure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use foreco_forecast::pipeline::{check_quality, PipelineConfig};
+use foreco_teleop::{Dataset, Skill};
+use std::hint::black_box;
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let ds = Dataset::record(Skill::Experienced, 8, 0.02, 3);
+    let cfg = PipelineConfig::default();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("load_data", |b| b.iter(|| black_box(ds.clone())));
+    group.bench_function("down_sampling", |b| b.iter(|| black_box(ds.downsample(2))));
+    group.bench_function("check_quality", |b| {
+        b.iter(|| black_box(check_quality(black_box(&ds), &cfg)))
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| black_box(foreco_forecast::pipeline::run(black_box(&ds), &cfg).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(20);
+    group.bench_function("record_one_cycle", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(Dataset::record(Skill::Inexperienced, 1, 0.02, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_stages, bench_dataset_generation);
+criterion_main!(benches);

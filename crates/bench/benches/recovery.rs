@@ -1,0 +1,82 @@
+//! Recovery-engine and closed-loop throughput: the engine tick must be
+//! negligible against the 20 ms control period.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use foreco_core::channel::{Channel, ControlledLossChannel};
+use foreco_core::{run_closed_loop, RecoveryConfig, RecoveryEngine, RecoveryMode};
+use foreco_forecast::Var;
+use foreco_robot::{niryo_one, DriverConfig};
+use foreco_teleop::{Dataset, Skill};
+use std::hint::black_box;
+
+fn bench_engine_tick(c: &mut Criterion) {
+    let train = Dataset::record(Skill::Experienced, 4, 0.02, 4);
+    let var = Var::fit_differenced(&train, 5, 1e-6).unwrap();
+    let model = niryo_one();
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("tick_delivered", |b| {
+        let mut engine = RecoveryEngine::new(
+            Box::new(var.clone()),
+            RecoveryConfig::for_model(&model),
+            model.home(),
+        );
+        let cmd = model.home();
+        b.iter(|| black_box(engine.tick(Some(cmd.clone()))))
+    });
+    group.bench_function("tick_forecast", |b| {
+        let mut engine = RecoveryEngine::new(
+            Box::new(var.clone()),
+            RecoveryConfig::for_model(&model),
+            model.home(),
+        );
+        for i in 0..10 {
+            let mut cmd = model.home();
+            cmd[0] += 0.01 * i as f64;
+            engine.tick(Some(cmd));
+        }
+        b.iter(|| black_box(engine.tick(None)))
+    });
+    group.finish();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let train = Dataset::record(Skill::Experienced, 4, 0.02, 5);
+    let var = Var::fit_differenced(&train, 5, 1e-6).unwrap();
+    let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 6);
+    let model = niryo_one();
+    let commands = test.commands[..500].to_vec();
+    let fates = ControlledLossChannel::new(10, 0.01, 7).fates(commands.len());
+    let mut group = c.benchmark_group("closed_loop");
+    group.sample_size(20);
+    group.bench_function("foreco_500_ticks", |b| {
+        b.iter(|| {
+            let engine = RecoveryEngine::new(
+                Box::new(var.clone()),
+                RecoveryConfig::for_model(&model),
+                model.clamp(&commands[0]),
+            );
+            black_box(run_closed_loop(
+                &model,
+                &commands,
+                &fates,
+                RecoveryMode::FoReCo(engine),
+                DriverConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("baseline_500_ticks", |b| {
+        b.iter(|| {
+            black_box(run_closed_loop(
+                &model,
+                &commands,
+                &fates,
+                RecoveryMode::Baseline,
+                DriverConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_tick, bench_closed_loop);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Wireless substrate performance: DCF fixed-point solve, per-command
+//! link simulation, slot-level simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use foreco_wifi::{DcfModel, Interference, LinkConfig, Params, SlotSimulator, WirelessLink};
+use std::hint::black_box;
+
+fn bench_analytical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dcf");
+    group.bench_function("solve_25_stations_interfered", |b| {
+        let model = DcfModel {
+            params: Params::default_paper(),
+            stations: 25,
+            interference: Interference::new(0.05, 100),
+            offered_interval: Some(0.020),
+        };
+        b.iter(|| black_box(model.solve()))
+    });
+    group.finish();
+}
+
+fn bench_link(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link");
+    group.bench_function("simulate_1k_commands", |b| {
+        let cfg = LinkConfig {
+            stations: 15,
+            interference: Interference::new(0.025, 50),
+            ..LinkConfig::default()
+        };
+        let mut link = WirelessLink::new(cfg, 7);
+        b.iter(|| black_box(link.simulate(1000)))
+    });
+    group.finish();
+}
+
+fn bench_slotsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slotsim");
+    group.sample_size(10);
+    group.bench_function("dcf_5_stations_1k_frames", |b| {
+        let sim = SlotSimulator {
+            params: Params::default_paper(),
+            stations: 5,
+            interference: Interference::new(0.02, 20),
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(sim.run(1000, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytical, bench_link, bench_slotsim);
+criterion_main!(benches);

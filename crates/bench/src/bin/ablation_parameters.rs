@@ -1,0 +1,105 @@
+//! Ablation: system parameters the paper fixes without sweeping —
+//! history length `R`, tolerance `τ`, AP queue depth `Q`, and the
+//! training split `α`.
+//!
+//! ```sh
+//! cargo run --release -p foreco-bench --bin ablation_parameters
+//! ```
+
+use foreco_bench::{banner, Fixture};
+use foreco_core::channel::{Channel, JammedChannel};
+use foreco_core::{run_closed_loop, RecoveryConfig, RecoveryEngine, RecoveryMode};
+use foreco_forecast::{one_step_rmse, Var};
+use foreco_robot::DriverConfig;
+use foreco_wifi::{Interference, LinkConfig};
+
+fn main() {
+    banner("Ablation — R, τ, Q, α", "DESIGN.md §8 (parameters the paper fixes)");
+    let fx = Fixture::build();
+    let commands = &fx.test.commands[..1500.min(fx.test.commands.len())];
+    let link = LinkConfig {
+        stations: 15,
+        interference: Interference::new(0.04, 60),
+        ..LinkConfig::default()
+    };
+
+    let closed_loop = |var: &Var, link: LinkConfig, tolerance: f64, seeds: u64| -> (f64, f64) {
+        let mut base_sum = 0.0;
+        let mut fore_sum = 0.0;
+        for seed in 0..seeds {
+            let mut ch = JammedChannel::new(link, tolerance, 0xAB3 + seed);
+            let fates = ch.fates(commands.len());
+            base_sum += run_closed_loop(
+                &fx.model,
+                commands,
+                &fates,
+                RecoveryMode::Baseline,
+                DriverConfig::default(),
+            )
+            .rmse_mm;
+            let engine = RecoveryEngine::new(
+                Box::new(var.clone()),
+                RecoveryConfig::for_model(&fx.model),
+                fx.model.clamp(&commands[0]),
+            );
+            fore_sum += run_closed_loop(
+                &fx.model,
+                commands,
+                &fates,
+                RecoveryMode::FoReCo(engine),
+                DriverConfig::default(),
+            )
+            .rmse_mm;
+        }
+        (base_sum / seeds as f64, fore_sum / seeds as f64)
+    };
+
+    // --- history length R -------------------------------------------------
+    println!("\nR sweep (jammed 15-robot channel):");
+    println!("{:<6} {:>14} {:>14} {:>16}", "R", "1-step [rad]", "FoReCo [mm]", "weights");
+    for r in [1usize, 2, 5, 10, 20] {
+        let var = Var::fit_differenced(&fx.train, r, 1e-6).expect("fit");
+        let one_step = one_step_rmse(&var, &fx.test);
+        let (_, fore) = closed_loop(&var, link, 0.0, 3);
+        println!("{r:<6} {one_step:>14.5} {fore:>14.2} {:>16}", var.num_params());
+    }
+
+    // --- tolerance τ -------------------------------------------------------
+    println!("\nτ sweep (extra deadline slack beyond Ω):");
+    println!("{:<10} {:>14} {:>14}", "τ [ms]", "no-fc [mm]", "FoReCo [mm]");
+    let var = &fx.var;
+    for tau_ms in [0.0f64, 5.0, 10.0, 20.0, 40.0] {
+        let (base, fore) = closed_loop(var, link, tau_ms * 1e-3, 3);
+        println!("{tau_ms:<10} {base:>14.2} {fore:>14.2}");
+    }
+
+    // --- AP queue depth Q ---------------------------------------------------
+    println!("\nQ sweep (AP queue depth; bufferbloat demonstration):");
+    println!("{:<6} {:>12} {:>14} {:>14}", "Q", "miss rate", "no-fc [mm]", "FoReCo [mm]");
+    for q in [1usize, 2, 5, 10, 20] {
+        let l = LinkConfig { queue_capacity: q, ..link };
+        let mut ch = JammedChannel::new(l, 0.0, 0xAB4);
+        let fates = ch.fates(commands.len());
+        let miss = fates.iter().filter(|f| !f.on_time()).count() as f64 / fates.len() as f64;
+        let (base, fore) = closed_loop(var, l, 0.0, 3);
+        println!("{q:<6} {miss:>12.3} {base:>14.2} {fore:>14.2}");
+    }
+
+    // --- training split α ----------------------------------------------------
+    println!("\nα sweep (fraction of the experienced dataset used for training):");
+    println!("{:<8} {:>14} {:>14}", "α", "1-step [rad]", "FoReCo [mm]");
+    for alpha in [0.2f64, 0.4, 0.6, 0.8] {
+        let (train, _) = fx.train.split(alpha);
+        match Var::fit_differenced(&train, 5, 1e-6) {
+            Ok(var) => {
+                let one_step = one_step_rmse(&var, &fx.test);
+                let (_, fore) = closed_loop(&var, link, 0.0, 3);
+                println!("{alpha:<8} {one_step:>14.5} {fore:>14.2}");
+            }
+            Err(e) => println!("{alpha:<8} (not enough data: {e})"),
+        }
+    }
+    println!("\nreading: R beyond ~5 buys little (paper found the same sweeping 1..20);");
+    println!("τ slack converts misses into hits for both modes; Q confirms bufferbloat;");
+    println!("α shows the VAR saturating quickly with data.");
+}

@@ -1,0 +1,126 @@
+//! Edge-based vs robot-side FoReCo (§VII-D future work, implemented).
+//!
+//! The edge sees every real command (it lives on the wired side) and
+//! piggybacks a horizon of forecasts on each packet; the robot covers a
+//! miss with the piggybacked prediction of the last packet it received.
+//! This binary compares the two deployments across channel regimes.
+//!
+//! ```sh
+//! cargo run --release -p foreco-bench --bin edge_vs_local
+//! ```
+
+use foreco_bench::{banner, Fixture};
+use foreco_core::channel::{Channel, ControlledLossChannel, JammedChannel};
+use foreco_core::edge::run_closed_loop_edge;
+use foreco_core::{run_closed_loop, RecoveryConfig, RecoveryEngine, RecoveryMode};
+use foreco_robot::DriverConfig;
+use foreco_wifi::{Interference, LinkConfig};
+
+fn main() {
+    banner("Edge-based vs robot-side FoReCo", "paper §VII-D (future work, implemented)");
+    let fx = Fixture::build();
+    let commands = &fx.test.commands[..1500.min(fx.test.commands.len())];
+    let horizon = 16; // piggybacked predictions per packet (320 ms)
+
+    let scenarios: Vec<(&str, Vec<Vec<foreco_core::Arrival>>)> = vec![
+        (
+            "bursts of 10",
+            (0..4)
+                .map(|s| ControlledLossChannel::new(10, 0.008, 0xED0 + s).fates(commands.len()))
+                .collect(),
+        ),
+        (
+            "bursts of 25",
+            (0..4)
+                .map(|s| ControlledLossChannel::new(25, 0.005, 0xED1 + s).fates(commands.len()))
+                .collect(),
+        ),
+        (
+            "jammed (15 robots, 4 %, 60)",
+            (0..4)
+                .map(|s| {
+                    JammedChannel::new(
+                        LinkConfig {
+                            stations: 15,
+                            interference: Interference::new(0.04, 60),
+                            ..LinkConfig::default()
+                        },
+                        0.0,
+                        0xED2 + s,
+                    )
+                    .fates(commands.len())
+                })
+                .collect(),
+        ),
+        (
+            "sustained (25 robots, 5 %, 100)",
+            (0..4)
+                .map(|s| {
+                    JammedChannel::new(
+                        LinkConfig {
+                            stations: 25,
+                            interference: Interference::new(0.05, 100),
+                            ..LinkConfig::default()
+                        },
+                        0.0,
+                        0xED3 + s,
+                    )
+                    .fates(commands.len())
+                })
+                .collect(),
+        ),
+    ];
+
+    println!(
+        "\n{:<32} {:>12} {:>12} {:>12}",
+        "scenario", "no-fc [mm]", "local [mm]", "edge [mm]"
+    );
+    for (name, fate_sets) in &scenarios {
+        let mut base = 0.0;
+        let mut local = 0.0;
+        let mut edge = 0.0;
+        for fates in fate_sets {
+            base += run_closed_loop(
+                &fx.model,
+                commands,
+                fates,
+                RecoveryMode::Baseline,
+                DriverConfig::default(),
+            )
+            .rmse_mm;
+            let engine = RecoveryEngine::new(
+                Box::new(fx.var.clone()),
+                RecoveryConfig::for_model(&fx.model),
+                fx.model.clamp(&commands[0]),
+            );
+            local += run_closed_loop(
+                &fx.model,
+                commands,
+                fates,
+                RecoveryMode::FoReCo(engine),
+                DriverConfig::default(),
+            )
+            .rmse_mm;
+            edge += run_closed_loop_edge(
+                &fx.model,
+                commands,
+                fates,
+                &fx.var,
+                horizon,
+                DriverConfig::default(),
+            )
+            .rmse_mm;
+        }
+        let n = fate_sets.len() as f64;
+        println!(
+            "{:<32} {:>12.2} {:>12.2} {:>12.2}",
+            name,
+            base / n,
+            local / n,
+            edge / n
+        );
+    }
+    println!("\nreading: edge forecasts come from real data only (no Fig.-9c recursion),");
+    println!("but age with the outage and die at the {horizon}-command piggyback horizon;");
+    println!("the paper's §VII-D anticipates exactly this trade-off.");
+}

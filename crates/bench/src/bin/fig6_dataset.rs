@@ -1,0 +1,31 @@
+//! Fig. 6 — the pick-and-place dataset: distance from origin \[mm\] over
+//! time, inexperienced operator.
+//!
+//! ```sh
+//! cargo run --release -p foreco-bench --bin fig6_dataset > fig6.tsv
+//! ```
+
+use foreco_bench::{banner, Fixture, OMEGA};
+
+fn main() {
+    banner("Fig. 6 — robot trajectory dataset", "paper §VI-A, Fig. 6");
+    let fx = Fixture::build();
+    let ds = &fx.test;
+    println!("# dataset: {} commands, {} cycles, {} Hz", ds.len(), ds.cycle_starts.len(), 1.0 / OMEGA);
+    println!("# columns: time_s  distance_from_origin_mm  cycle_start_flag");
+    let mut next_cycle = 0usize;
+    for (i, cmd) in ds.commands.iter().enumerate() {
+        let dist = fx.model.chain.distance_from_origin_mm(cmd);
+        let is_start = next_cycle < ds.cycle_starts.len() && ds.cycle_starts[next_cycle] == i;
+        if is_start {
+            next_cycle += 1;
+        }
+        println!("{:.3}\t{:.2}\t{}", (i as f64) * OMEGA, dist, u8::from(is_start));
+    }
+    // Summary row matching the figure's visual band (~200–500 mm).
+    let dists: Vec<f64> =
+        ds.commands.iter().map(|c| fx.model.chain.distance_from_origin_mm(c)).collect();
+    let min = dists.iter().cloned().fold(f64::MAX, f64::min);
+    let max = dists.iter().cloned().fold(f64::MIN, f64::max);
+    eprintln!("distance-from-origin band: {min:.1} – {max:.1} mm (paper's Fig. 6: ~200 – 500 mm)");
+}

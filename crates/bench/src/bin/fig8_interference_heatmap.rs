@@ -1,0 +1,98 @@
+//! Fig. 8 — the six heatmaps: trajectory RMSE \[mm\] with and without
+//! FoReCo for {5, 15, 25} robots over the interference grid
+//! p_if ∈ {1, 2.5, 5} % × T_if ∈ {10, 50, 100} slots, averaged over
+//! seeded repetitions (paper: 40; default here 10, `FORECO_REPS=40` for
+//! the full run).
+//!
+//! ```sh
+//! FORECO_REPS=40 cargo run --release -p foreco-bench --bin fig8_interference_heatmap
+//! ```
+
+use foreco_bench::{banner, reps, Fixture, DURATIONS, PROBS, ROBOTS};
+use foreco_core::experiment::{run_cell, CellConfig, CellResult};
+use foreco_wifi::Interference;
+use std::sync::mpsc;
+use std::thread;
+
+fn main() {
+    banner("Fig. 8 — interference grid heatmaps", "paper §VI-C, Fig. 8 (a)–(f)");
+    let fx = Fixture::build();
+    let repetitions = reps();
+    let commands = fx.test.commands.clone();
+    println!(
+        "# {} commands per run, {} repetitions per cell, τ = 0, Ω = 20 ms",
+        commands.len(),
+        repetitions
+    );
+
+    // One worker thread per robot count; cells within a worker run
+    // sequentially (each already averages `repetitions` seeded runs).
+    let (tx, rx) = mpsc::channel::<(usize, f64, u32, CellResult)>();
+    thread::scope(|scope| {
+        for &robots in &ROBOTS {
+            let tx = tx.clone();
+            let fxm = &fx;
+            let cmds = &commands;
+            scope.spawn(move || {
+                for &p in &PROBS {
+                    for &t in &DURATIONS {
+                        let cell = CellConfig {
+                            robots,
+                            interference: Interference::new(p, t),
+                            repetitions,
+                            tolerance: 0.0,
+                            seed: 0xF18_0000 + robots as u64,
+                        };
+                        let var = fxm.var.clone();
+                        let res =
+                            run_cell(&fxm.model, cmds, &|| Box::new(var.clone()), &cell);
+                        tx.send((robots, p, t, res)).expect("collector alive");
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut grid = std::collections::BTreeMap::new();
+        for (robots, p, t, res) in rx {
+            grid.insert((robots, (p * 1000.0) as u32, t), res);
+        }
+
+        for &robots in &ROBOTS {
+            println!("\n--- {robots} robots ---");
+            println!(
+                "{:<12} {:<10} {:>10} {:>12} {:>10} {:>8}",
+                "p_if [%]", "T_if", "no-fc [mm]", "FoReCo [mm]", "miss rate", "factor"
+            );
+            for &p in &PROBS {
+                for &t in &DURATIONS {
+                    let res = &grid[&(robots, (p * 1000.0) as u32, t)];
+                    // Below measurement noise both ways: no meaningful factor.
+                    let factor = if res.no_forecast_rmse_mm < 0.05 {
+                        "    —".to_string()
+                    } else {
+                        format!("{:>5.1}", res.improvement_factor())
+                    };
+                    println!(
+                        "{:<12} {:<10} {:>10.2} {:>12.2} {:>10.3} {:>8}",
+                        p * 100.0,
+                        t,
+                        res.no_forecast_rmse_mm,
+                        res.foreco_rmse_mm,
+                        res.miss_rate,
+                        factor
+                    );
+                }
+            }
+        }
+
+        // The paper's headline: worst-cell improvement at 25 robots.
+        let worst = &grid[&(25, 50, 100)];
+        println!(
+            "\nworst cell (25 robots, 5 %, 100 slots): no-fc {:.2} mm vs FoReCo {:.2} mm → x{:.1}",
+            worst.no_forecast_rmse_mm,
+            worst.foreco_rmse_mm,
+            worst.improvement_factor()
+        );
+        println!("(paper: 368.74 mm vs 19.83 mm → x18.6; see EXPERIMENTS.md for the gap analysis)");
+    });
+}

@@ -1,0 +1,66 @@
+//! Table II — VAR training and inference times. The paper measures four
+//! hardware tiers (Raspberry Pi 3, Jetson Nano, laptop, Xeon server); we
+//! have one host, so its row is measured and the paper's rows are quoted
+//! for shape comparison (training ≫ inference; inference ≪ Ω = 20 ms).
+//!
+//! ```sh
+//! cargo run --release -p foreco-bench --bin table2_train_infer
+//! ```
+
+use foreco_bench::banner;
+use foreco_forecast::{Forecaster, Var};
+use foreco_linalg::stats::Running;
+use foreco_teleop::{Dataset, Skill};
+use std::time::Instant;
+
+fn main() {
+    banner("Table II — training and inference times", "paper §VI-D-3, Table II");
+    let cycles = foreco_bench::env_knob("FORECO_CYCLES", 100);
+    eprintln!("recording {cycles} cycles…");
+    let ds = Dataset::record(Skill::Experienced, cycles, 0.02, 0x7AB2);
+    println!("# dataset: {} commands, VAR(R=5) on 6 joints", ds.len());
+
+    // Training time (mean of 3 fits).
+    let mut train_acc = Running::new();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let _ = Var::fit_differenced(&ds, 5, 1e-6).expect("fit");
+        train_acc.push(t0.elapsed().as_secs_f64());
+    }
+    let var = Var::fit_differenced(&ds, 5, 1e-6).expect("fit");
+
+    // Inference time (mean over 100k forecasts).
+    let hist = ds.commands[..var.history_len() + 1].to_vec();
+    let iters = 100_000;
+    let t0 = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..iters {
+        sink += var.forecast(&hist)[0];
+    }
+    let infer = t0.elapsed().as_secs_f64() / iters as f64;
+    assert!(sink.is_finite());
+
+    println!("\n{:<28} {:>14} {:>16}", "platform", "training [min]", "inference [ms]");
+    println!(
+        "{:<28} {:>14.4} {:>16.6}   ← measured",
+        "this host",
+        train_acc.mean() / 60.0,
+        infer * 1e3
+    );
+    for (name, tr, inf) in [
+        ("Raspberry Pi 3 (robot)", "5.99", "1.60"),
+        ("NVIDIA Jetson Nano (robot)", "1.31", "0.61"),
+        ("Laptop (UE)", "0.36", "0.22"),
+        ("Local server (Edge)", "0.23", "0.0001"),
+    ] {
+        println!("{name:<28} {tr:>14} {inf:>16}   (paper)");
+    }
+    println!(
+        "\nshape checks: inference ({:.4} ms) ≪ Ω = 20 ms → fits the control loop;",
+        infer * 1e3
+    );
+    println!(
+        "training/inference ratio ≈ {:.0} (paper spans 10⁵–10⁶ across tiers)",
+        train_acc.mean() / infer
+    );
+}

@@ -1,0 +1,200 @@
+//! The Fig.-8 experiment grid: interference probability × burst duration
+//! × robot count, with seeded repetitions.
+//!
+//! Each cell of the paper's heatmaps is the **average trajectory RMSE of
+//! 40 simulations**, with and without FoReCo, for one (p_if, T_if, robots)
+//! triple; the command stream is the inexperienced operator's trajectory.
+//! [`run_cell`] reproduces one cell; the `fig8_interference_heatmap` bench
+//! sweeps the full grid.
+
+use crate::channel::{Channel, JammedChannel};
+use crate::recovery::{RecoveryConfig, RecoveryEngine};
+use crate::system::{run_closed_loop, RecoveryMode};
+use foreco_forecast::Forecaster;
+use foreco_linalg::stats::Running;
+use foreco_robot::{ArmModel, DriverConfig};
+use foreco_wifi::{Interference, LinkConfig};
+use serde::{Deserialize, Serialize};
+
+/// One grid cell's configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CellConfig {
+    /// Robots sharing the wireless medium (paper: 5 / 15 / 25).
+    pub robots: usize,
+    /// Interference source (paper grid: p_if ∈ {1, 2.5, 5} %,
+    /// T_if ∈ {10, 50, 100} slots).
+    pub interference: Interference,
+    /// Seeded repetitions to average (paper: 40).
+    pub repetitions: usize,
+    /// Tolerance `τ` (paper: 0 for the Niryo stack).
+    pub tolerance: f64,
+    /// Base RNG seed; repetition `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+/// Averages over one cell's repetitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Mean RMSE (mm) with the repeat-last baseline.
+    pub no_forecast_rmse_mm: f64,
+    /// Mean RMSE (mm) with FoReCo.
+    pub foreco_rmse_mm: f64,
+    /// Std-dev across repetitions (baseline).
+    pub no_forecast_std: f64,
+    /// Std-dev across repetitions (FoReCo).
+    pub foreco_std: f64,
+    /// Mean fraction of commands that missed their deadline.
+    pub miss_rate: f64,
+    /// Repetitions actually run.
+    pub repetitions: usize,
+}
+
+impl CellResult {
+    /// The paper's headline ratio (×18 at 25 robots): baseline / FoReCo.
+    pub fn improvement_factor(&self) -> f64 {
+        if self.foreco_rmse_mm <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.no_forecast_rmse_mm / self.foreco_rmse_mm
+    }
+}
+
+/// Runs one grid cell: `repetitions` seeded channel realisations, each
+/// evaluated with both recovery modes over the same fates.
+///
+/// `make_forecaster` builds a fresh trained forecaster per repetition
+/// (engines are consumed by the closed loop).
+///
+/// # Panics
+/// Panics if `commands` is empty or `repetitions == 0`.
+pub fn run_cell(
+    model: &ArmModel,
+    commands: &[Vec<f64>],
+    make_forecaster: &dyn Fn() -> Box<dyn Forecaster>,
+    cfg: &CellConfig,
+) -> CellResult {
+    assert!(!commands.is_empty(), "run_cell: no commands");
+    assert!(cfg.repetitions >= 1, "run_cell: need at least one repetition");
+    let driver_cfg = DriverConfig::default();
+    let mut base_acc = Running::new();
+    let mut fore_acc = Running::new();
+    let mut miss_acc = Running::new();
+    for rep in 0..cfg.repetitions {
+        let link_cfg = LinkConfig {
+            stations: cfg.robots,
+            interference: cfg.interference,
+            ..LinkConfig::default()
+        };
+        let mut channel =
+            JammedChannel::new(link_cfg, cfg.tolerance, cfg.seed.wrapping_add(rep as u64));
+        let fates = channel.fates(commands.len());
+
+        let base = run_closed_loop(
+            model,
+            commands,
+            &fates,
+            RecoveryMode::Baseline,
+            driver_cfg,
+        );
+        let engine = RecoveryEngine::new(
+            make_forecaster(),
+            RecoveryConfig::for_model(model),
+            model.clamp(&commands[0]),
+        );
+        let fore = run_closed_loop(
+            model,
+            commands,
+            &fates,
+            RecoveryMode::FoReCo(engine),
+            driver_cfg,
+        );
+        base_acc.push(base.rmse_mm);
+        fore_acc.push(fore.rmse_mm);
+        miss_acc.push(base.misses as f64 / commands.len() as f64);
+    }
+    CellResult {
+        no_forecast_rmse_mm: base_acc.mean(),
+        foreco_rmse_mm: fore_acc.mean(),
+        no_forecast_std: base_acc.std_dev(),
+        foreco_std: fore_acc.std_dev(),
+        miss_rate: miss_acc.mean(),
+        repetitions: cfg.repetitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foreco_forecast::Var;
+    use foreco_robot::niryo_one;
+    use foreco_teleop::{Dataset, Skill};
+
+    /// Miniature Fig.-8 cell (reduced repetitions/commands for test time):
+    /// FoReCo must beat the baseline and the miss rate must be material.
+    #[test]
+    fn heavy_interference_cell_shape() {
+        let model = niryo_one();
+        let train = Dataset::record(Skill::Experienced, 6, 0.02, 1);
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 2);
+        let var = Var::fit_differenced(&train, 5, 1e-6).unwrap();
+        let cell = CellConfig {
+            robots: 25,
+            interference: Interference::new(0.05, 100),
+            repetitions: 3,
+            tolerance: 0.0,
+            seed: 1000,
+        };
+        let commands = &test.commands[..600.min(test.commands.len())];
+        let res = run_cell(&model, commands, &|| Box::new(var.clone()), &cell);
+        assert!(res.miss_rate > 0.05, "miss rate {}", res.miss_rate);
+        assert!(
+            res.foreco_rmse_mm < res.no_forecast_rmse_mm,
+            "FoReCo {} vs baseline {}",
+            res.foreco_rmse_mm,
+            res.no_forecast_rmse_mm
+        );
+        assert!(res.improvement_factor() > 1.0);
+        assert_eq!(res.repetitions, 3);
+    }
+
+    /// A clean cell: both modes near zero error and ~no misses.
+    #[test]
+    fn clean_cell_is_benign() {
+        let model = niryo_one();
+        let train = Dataset::record(Skill::Experienced, 2, 0.02, 3);
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 4);
+        let var = Var::fit_differenced(&train, 5, 1e-6).unwrap();
+        let cell = CellConfig {
+            robots: 5,
+            interference: Interference::none(),
+            repetitions: 2,
+            tolerance: 0.0,
+            seed: 42,
+        };
+        let commands = &test.commands[..400.min(test.commands.len())];
+        let res = run_cell(&model, commands, &|| Box::new(var.clone()), &cell);
+        assert!(res.miss_rate < 0.01, "miss rate {}", res.miss_rate);
+        assert!(res.no_forecast_rmse_mm < 5.0);
+        assert!(res.foreco_rmse_mm < 5.0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let model = niryo_one();
+        let train = Dataset::record(Skill::Experienced, 2, 0.02, 5);
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 6);
+        let var = Var::fit_differenced(&train, 4, 1e-6).unwrap();
+        let cell = CellConfig {
+            robots: 15,
+            interference: Interference::new(0.025, 50),
+            repetitions: 2,
+            tolerance: 0.0,
+            seed: 77,
+        };
+        let commands = &test.commands[..300];
+        let a = run_cell(&model, commands, &|| Box::new(var.clone()), &cell);
+        let b = run_cell(&model, commands, &|| Box::new(var.clone()), &cell);
+        assert_eq!(a.no_forecast_rmse_mm, b.no_forecast_rmse_mm);
+        assert_eq!(a.foreco_rmse_mm, b.foreco_rmse_mm);
+    }
+}

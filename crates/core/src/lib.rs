@@ -1,0 +1,37 @@
+//! FoReCo — forecast-based recovery for real-time remote control
+//! (the paper's §IV, wired to every substrate crate).
+//!
+//! The heart is the [`RecoveryEngine`]: it sits between the network and
+//! the robot drivers, expects one command per period `Ω`, and when the
+//! network fails to deliver within the tolerance `τ` it **forecasts** the
+//! missing command from the last `R` received-or-forecast commands and
+//! injects it — transparently to the controller on one side and the robot
+//! on the other (Fig. 3).
+//!
+//! Around it:
+//!
+//! - [`channel`]: what the network did to each command — an ideal wire,
+//!   a controlled consecutive-loss injector (Fig. 9), or the full 802.11
+//!   interference pipeline from `foreco-wifi` (Figs. 8, 10);
+//! - [`system`]: the closed loop — operator commands → channel →
+//!   recovery (FoReCo or the Niryo repeat-last baseline) → PID robot —
+//!   returning executed-vs-defined trajectories;
+//! - [`metrics`]: task-space error measures in millimetres (the unit of
+//!   every figure in the paper);
+//! - [`experiment`]: the seeded Fig.-8 grid runner (interference
+//!   probability × duration × robot count, 40 repetitions per cell).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod edge;
+pub mod experiment;
+pub mod metrics;
+mod recovery;
+pub mod system;
+
+pub use channel::{Arrival, Channel, ControlledLossChannel, IdealChannel, JammedChannel};
+pub use recovery::{RecoveryConfig, RecoveryEngine, RecoveryStats, TickOutcome};
+pub use edge::{edge_packets, run_closed_loop_edge, EdgePacket};
+pub use system::{run_closed_loop, ClosedLoopResult, RecoveryMode};

@@ -1,0 +1,144 @@
+//! Task-space error metrics in millimetres.
+//!
+//! Every figure of the paper reports errors in mm of end-effector motion:
+//! the trajectory RMSE of Figs. 8–10 and the forecast RMSE of Fig. 7.
+//! Joint vectors are mapped through the arm's forward kinematics and
+//! compared as 3-D positions.
+
+use foreco_robot::{ArmModel, Sample};
+
+/// RMSE (mm) between two executed trajectories, sample by sample.
+///
+/// Truncates to the shorter length — trailing samples without a
+/// counterpart carry no error signal.
+///
+/// # Panics
+/// Panics if either trajectory is empty.
+pub fn trajectory_rmse_mm(a: &[Sample], b: &[Sample]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "trajectory_rmse: empty trajectory");
+    let n = a.len().min(b.len());
+    let mut acc = 0.0;
+    for i in 0..n {
+        let pa = &a[i].position_mm;
+        let pb = &b[i].position_mm;
+        acc += (pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2) + (pa[2] - pb[2]).powi(2);
+    }
+    (acc / n as f64).sqrt()
+}
+
+/// The paper's plotting series: distance from origin (mm) per sample.
+pub fn distance_series(samples: &[Sample]) -> Vec<f64> {
+    samples.iter().map(|s| s.distance_mm).collect()
+}
+
+/// RMSE (mm) between predicted and actual **commands**, both mapped
+/// through forward kinematics — the Fig. 7 metric.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn command_rmse_mm(model: &ArmModel, predicted: &[Vec<f64>], actual: &[Vec<f64>]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "command_rmse: length mismatch");
+    assert!(!predicted.is_empty(), "command_rmse: empty input");
+    let mut acc = 0.0;
+    for (p, a) in predicted.iter().zip(actual) {
+        let pp = model.chain.forward_mm(p);
+        let pa = model.chain.forward_mm(a);
+        acc += (pp[0] - pa[0]).powi(2) + (pp[1] - pa[1]).powi(2) + (pp[2] - pa[2]).powi(2);
+    }
+    (acc / predicted.len() as f64).sqrt()
+}
+
+/// Maximum instantaneous deviation (mm) between two trajectories.
+pub fn max_deviation_mm(a: &[Sample], b: &[Sample]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        let pa = &a[i].position_mm;
+        let pb = &b[i].position_mm;
+        let d = ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2) + (pa[2] - pb[2]).powi(2))
+            .sqrt();
+        worst = worst.max(d);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foreco_robot::{niryo_one, DriverConfig, RobotDriver};
+
+    fn drive(misses: &[usize]) -> Vec<Sample> {
+        let model = niryo_one();
+        let home = model.home();
+        let mut d = RobotDriver::new(model, DriverConfig::default(), &home);
+        let mut target = home;
+        for i in 0..60 {
+            target[0] += 0.02;
+            if misses.contains(&i) {
+                d.tick(None);
+            } else {
+                d.tick(Some(&target));
+            }
+        }
+        d.into_trajectory()
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_rmse() {
+        let a = drive(&[]);
+        assert_eq!(trajectory_rmse_mm(&a, &a), 0.0);
+        assert_eq!(max_deviation_mm(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn misses_create_positive_error() {
+        let clean = drive(&[]);
+        let lossy = drive(&[20, 21, 22, 23, 24, 25, 26, 27, 28, 29]);
+        let rmse = trajectory_rmse_mm(&clean, &lossy);
+        assert!(rmse > 0.5, "10-tick freeze should cost ≥ 0.5 mm, got {rmse}");
+        assert!(max_deviation_mm(&clean, &lossy) >= rmse);
+    }
+
+    #[test]
+    fn longer_bursts_cost_more() {
+        let clean = drive(&[]);
+        let short: Vec<usize> = (20..25).collect();
+        let long: Vec<usize> = (20..45).collect();
+        let e_short = trajectory_rmse_mm(&clean, &drive(&short));
+        let e_long = trajectory_rmse_mm(&clean, &drive(&long));
+        assert!(e_long > e_short, "25-loss {e_long} vs 5-loss {e_short}");
+    }
+
+    #[test]
+    fn command_rmse_zero_for_identical() {
+        let model = niryo_one();
+        let cmds = vec![model.home(); 5];
+        assert_eq!(command_rmse_mm(&model, &cmds, &cmds), 0.0);
+    }
+
+    #[test]
+    fn command_rmse_scales_with_joint_error() {
+        let model = niryo_one();
+        let base = vec![model.home(); 5];
+        let mut off_small = base.clone();
+        let mut off_large = base.clone();
+        for c in &mut off_small {
+            c[0] += 0.01;
+        }
+        for c in &mut off_large {
+            c[0] += 0.1;
+        }
+        let e_small = command_rmse_mm(&model, &off_small, &base);
+        let e_large = command_rmse_mm(&model, &off_large, &base);
+        assert!(e_small > 0.0);
+        assert!(e_large > 5.0 * e_small);
+    }
+
+    #[test]
+    fn distance_series_matches_samples() {
+        let a = drive(&[]);
+        let s = distance_series(&a);
+        assert_eq!(s.len(), a.len());
+        assert_eq!(s[0], a[0].distance_mm);
+    }
+}

@@ -1,0 +1,254 @@
+//! The closed remote-control loop (Fig. 3 end to end).
+//!
+//! One run drives the simulated robot twice with the *same* operator
+//! command stream:
+//!
+//! 1. the **defined trajectory** — every command arrives on time (the
+//!    paper's dashed reference line);
+//! 2. the **executed trajectory** — commands suffer the channel's fates,
+//!    with misses covered either by the Niryo baseline (repeat the last
+//!    command) or by FoReCo (forecast and inject).
+//!
+//! The trajectory RMSE between the two is exactly the metric of Figs.
+//! 8–10.
+
+use crate::channel::Arrival;
+use crate::metrics::{max_deviation_mm, trajectory_rmse_mm};
+use crate::recovery::{RecoveryEngine, RecoveryStats};
+use foreco_robot::{ArmModel, DriverConfig, RobotDriver, Sample};
+
+/// How misses are covered.
+#[allow(clippy::large_enum_variant)] // constructed a handful of times per run
+pub enum RecoveryMode {
+    /// Niryo stack behaviour: the driver re-feeds the previous command
+    /// ("no forecasting" rows of Fig. 8).
+    Baseline,
+    /// FoReCo: forecast the missing command and inject it.
+    FoReCo(RecoveryEngine),
+}
+
+/// Outcome of one closed-loop run.
+pub struct ClosedLoopResult {
+    /// Trajectory with the lossy channel and the chosen recovery.
+    pub executed: Vec<Sample>,
+    /// Reference trajectory with a perfect channel.
+    pub defined: Vec<Sample>,
+    /// RMSE (mm) between the two.
+    pub rmse_mm: f64,
+    /// Worst instantaneous deviation (mm).
+    pub max_deviation_mm: f64,
+    /// Number of commands that missed their deadline.
+    pub misses: usize,
+    /// Recovery-engine counters (FoReCo mode only).
+    pub stats: Option<RecoveryStats>,
+}
+
+/// Runs the closed loop.
+///
+/// `commands[i]` is generated at `i·Ω`; `fates[i]` is what the channel did
+/// to it. The robot starts at `commands[0]` (both ends agree on the
+/// initial pose before teleoperation starts).
+///
+/// # Panics
+/// Panics if `commands` is empty or `fates.len() != commands.len()`.
+pub fn run_closed_loop(
+    model: &ArmModel,
+    commands: &[Vec<f64>],
+    fates: &[Arrival],
+    mut mode: RecoveryMode,
+    driver_cfg: DriverConfig,
+) -> ClosedLoopResult {
+    assert!(!commands.is_empty(), "closed loop: no commands");
+    assert_eq!(commands.len(), fates.len(), "closed loop: fates/commands mismatch");
+    let start = model.clamp(&commands[0]);
+    let omega = driver_cfg.period;
+
+    // Reference: perfect channel.
+    let mut reference = RobotDriver::new(model.clone(), driver_cfg, &start);
+    for cmd in commands {
+        reference.tick(Some(cmd));
+    }
+    let defined = reference.into_trajectory();
+
+    // Executed: lossy channel + recovery.
+    let mut driver = RobotDriver::new(model.clone(), driver_cfg, &start);
+    let mut misses = 0usize;
+    // Late commands waiting to (maybe) patch FoReCo's history: (arrival
+    // time, tick index, payload).
+    let mut pending_late: Vec<(f64, usize, Vec<f64>)> = Vec::new();
+    for (i, (cmd, fate)) in commands.iter().zip(fates).enumerate() {
+        let now = (i as f64 + 1.0) * omega; // driver consumption instant
+        match &mut mode {
+            RecoveryMode::Baseline => {
+                if fate.on_time() {
+                    driver.tick(Some(cmd));
+                } else {
+                    misses += 1;
+                    driver.tick(None);
+                }
+            }
+            RecoveryMode::FoReCo(engine) => {
+                // Deliver late commands that have arrived by now (§VII-C
+                // extension; a no-op unless the engine enables it).
+                pending_late.retain(|(arrives, idx, payload)| {
+                    if *arrives <= now {
+                        let age = i.saturating_sub(*idx);
+                        engine.late_command(payload.clone(), age);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let outcome = if fate.on_time() {
+                    engine.tick(Some(cmd.clone()))
+                } else {
+                    misses += 1;
+                    if let Arrival::Late(delay) = fate {
+                        pending_late.push((i as f64 * omega + delay, i, cmd.clone()));
+                    }
+                    engine.tick(None)
+                };
+                driver.tick(Some(&outcome.command));
+            }
+        }
+    }
+    let executed = driver.into_trajectory();
+    let rmse_mm = trajectory_rmse_mm(&executed, &defined);
+    let max_dev = max_deviation_mm(&executed, &defined);
+    let stats = match mode {
+        RecoveryMode::FoReCo(engine) => Some(engine.stats()),
+        RecoveryMode::Baseline => None,
+    };
+    ClosedLoopResult {
+        executed,
+        defined,
+        rmse_mm,
+        max_deviation_mm: max_dev,
+        misses,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, ControlledLossChannel, IdealChannel};
+    use crate::recovery::RecoveryConfig;
+    use foreco_forecast::Var;
+    use foreco_robot::niryo_one;
+    use foreco_teleop::{Dataset, Skill};
+
+    fn setup() -> (foreco_robot::ArmModel, Vec<Vec<f64>>, Var) {
+        let model = niryo_one();
+        let train = Dataset::record(Skill::Experienced, 3, 0.02, 50);
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 777);
+        let var = Var::fit_differenced(&train, 5, 1e-6).unwrap();
+        (model, test.commands, var)
+    }
+
+    fn engine(var: &Var, first: &[f64]) -> RecoveryEngine {
+        RecoveryEngine::new(
+            Box::new(var.clone()),
+            RecoveryConfig::default(),
+            first.to_vec(),
+        )
+    }
+
+    #[test]
+    fn perfect_channel_gives_zero_error() {
+        let (model, commands, _) = setup();
+        let fates = IdealChannel.fates(commands.len());
+        let res = run_closed_loop(
+            &model,
+            &commands,
+            &fates,
+            RecoveryMode::Baseline,
+            DriverConfig::default(),
+        );
+        assert_eq!(res.misses, 0);
+        assert!(res.rmse_mm < 1e-9, "rmse {}", res.rmse_mm);
+    }
+
+    #[test]
+    fn foreco_on_perfect_channel_is_transparent() {
+        // With no misses FoReCo must never interfere (eq. 3 pass-through).
+        let (model, commands, var) = setup();
+        let fates = IdealChannel.fates(commands.len());
+        let res = run_closed_loop(
+            &model,
+            &commands,
+            &fates,
+            RecoveryMode::FoReCo(engine(&var, &commands[0])),
+            DriverConfig::default(),
+        );
+        assert!(res.rmse_mm < 1e-9);
+        let stats = res.stats.unwrap();
+        assert_eq!(stats.forecasts, 0);
+        assert_eq!(stats.delivered as usize, commands.len());
+    }
+
+    /// The paper's core claim, miniature: under loss bursts FoReCo beats
+    /// the repeat-last baseline.
+    #[test]
+    fn foreco_beats_baseline_under_bursts() {
+        let (model, commands, var) = setup();
+        let fates = ControlledLossChannel::new(10, 0.01, 9).fates(commands.len());
+        let base = run_closed_loop(
+            &model,
+            &commands,
+            &fates,
+            RecoveryMode::Baseline,
+            DriverConfig::default(),
+        );
+        let fore = run_closed_loop(
+            &model,
+            &commands,
+            &fates,
+            RecoveryMode::FoReCo(engine(&var, &commands[0])),
+            DriverConfig::default(),
+        );
+        assert!(base.misses > 0);
+        assert_eq!(base.misses, fore.misses, "same channel, same misses");
+        assert!(
+            fore.rmse_mm < base.rmse_mm,
+            "FoReCo {:.2} mm should beat baseline {:.2} mm",
+            fore.rmse_mm,
+            base.rmse_mm
+        );
+    }
+
+    #[test]
+    fn stats_account_for_every_tick() {
+        let (model, commands, var) = setup();
+        let fates = ControlledLossChannel::new(5, 0.02, 11).fates(commands.len());
+        let res = run_closed_loop(
+            &model,
+            &commands,
+            &fates,
+            RecoveryMode::FoReCo(engine(&var, &commands[0])),
+            DriverConfig::default(),
+        );
+        let s = res.stats.unwrap();
+        assert_eq!(s.ticks as usize, commands.len());
+        assert_eq!(
+            (s.delivered + s.forecasts + s.warmup_repeats + s.horizon_holds) as usize,
+            commands.len()
+        );
+        assert_eq!((s.forecasts + s.warmup_repeats + s.horizon_holds) as usize, res.misses);
+    }
+
+    #[test]
+    fn executed_and_defined_same_length() {
+        let (model, commands, _) = setup();
+        let fates = IdealChannel.fates(commands.len());
+        let res = run_closed_loop(
+            &model,
+            &commands,
+            &fates,
+            RecoveryMode::Baseline,
+            DriverConfig::default(),
+        );
+        assert_eq!(res.executed.len(), commands.len());
+        assert_eq!(res.defined.len(), commands.len());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the recovery engine and channels.
+
+use foreco_core::channel::{Arrival, Channel, ControlledLossChannel, IdealChannel};
+use foreco_core::{RecoveryConfig, RecoveryEngine};
+use foreco_forecast::MovingAverage;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine emits exactly one command per tick, never alters
+    /// delivered commands, and its counters add up — for any miss pattern.
+    #[test]
+    fn engine_conservation_and_passthrough(
+        misses in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut engine = RecoveryEngine::new(
+            Box::new(MovingAverage::new(3, 2)),
+            RecoveryConfig::default(),
+            vec![0.0, 0.0],
+        );
+        let mut delivered = 0u64;
+        for (i, &miss) in misses.iter().enumerate() {
+            let out = if miss {
+                engine.tick(None)
+            } else {
+                delivered += 1;
+                let cmd = vec![i as f64 * 1e-3, -(i as f64) * 1e-3];
+                let out = engine.tick(Some(cmd.clone()));
+                prop_assert_eq!(&out.command, &cmd, "pass-through must be exact");
+                prop_assert!(!out.forecast);
+                out
+            };
+            prop_assert_eq!(out.command.len(), 2);
+            prop_assert!(out.command.iter().all(|v| v.is_finite()));
+        }
+        let s = engine.stats();
+        prop_assert_eq!(s.ticks as usize, misses.len());
+        prop_assert_eq!(s.delivered, delivered);
+        prop_assert_eq!(
+            s.delivered + s.forecasts + s.warmup_repeats + s.horizon_holds,
+            misses.len() as u64
+        );
+    }
+
+    /// With limits configured, every output honours them, whatever the
+    /// inputs.
+    #[test]
+    fn engine_limits_always_hold(
+        misses in proptest::collection::vec(any::<bool>(), 1..100),
+        scale in 0.1f64..10.0,
+    ) {
+        let mut engine = RecoveryEngine::new(
+            Box::new(MovingAverage::new(2, 1)),
+            RecoveryConfig {
+                limits: Some(vec![(-1.0, 1.0)]),
+                max_step: None,
+                ..Default::default()
+            },
+            vec![0.0],
+        );
+        for (i, &miss) in misses.iter().enumerate() {
+            let out = if miss {
+                engine.tick(None)
+            } else {
+                engine.tick(Some(vec![(i as f64 * scale).sin() * 2.0]))
+            };
+            if out.forecast {
+                prop_assert!(out.command[0] >= -1.0 - 1e-12 && out.command[0] <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    /// Channels produce exactly `n` fates; the ideal channel never misses;
+    /// controlled-loss bursts are multiples of the configured length.
+    #[test]
+    fn channel_fate_invariants(n in 1usize..2000, burst in 1usize..20, seed in 0u64..50) {
+        prop_assert!(IdealChannel.fates(n).iter().all(Arrival::on_time));
+        let mut ch = ControlledLossChannel::new(burst, 0.02, seed);
+        let fates = ch.fates(n);
+        prop_assert_eq!(fates.len(), n);
+        let mut run = 0usize;
+        let mut runs = Vec::new();
+        for f in &fates {
+            if matches!(f, Arrival::Lost) {
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+        }
+        for r in runs {
+            prop_assert_eq!(r % burst, 0, "burst of {} not a multiple of {}", r, burst);
+        }
+    }
+}

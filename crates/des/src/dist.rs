@@ -1,0 +1,338 @@
+//! Random samplers for queueing simulations.
+//!
+//! All continuous distributions are implemented with inverse-CDF
+//! transforms on `rand`'s uniform source, so the only external randomness
+//! primitive is `gen::<f64>()` — easy to audit, fully deterministic under
+//! seeding. Each sampler exposes its analytic [`Sampler::mean`], which the
+//! test-suite uses to validate sampling.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A distribution that can draw samples and report its analytic mean.
+pub trait Sampler: Send {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut StdRng) -> f64;
+    /// Analytic expectation.
+    fn mean(&self) -> f64;
+    /// Boxes the sampler for storage in specs.
+    fn boxed(self) -> Box<dyn Sampler>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Point mass at `value` — deterministic inter-arrival times model the
+/// paper's fixed command period `Ω`.
+#[derive(Debug, Clone, Copy)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a point mass at `value ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `value` is negative or not finite.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite() && value >= 0.0, "Deterministic: bad value {value}");
+        Self { value }
+    }
+}
+
+impl Sampler for Deterministic {
+    fn sample(&self, _rng: &mut StdRng) -> f64 {
+        self.value
+    }
+    fn mean(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential sampler with rate `λ > 0`.
+    ///
+    /// # Panics
+    /// Panics unless `rate` is finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "Exponential: bad rate {rate}");
+        Self { rate }
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        // Inverse CDF: −ln(U)/λ. `gen` yields [0,1); use 1−U to avoid ln(0).
+        let u: f64 = rng.gen();
+        -(1.0 - u).ln() / self.rate
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// Continuous uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform sampler on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "Uniform: bad range {lo}..{hi}");
+        Self { lo, hi }
+    }
+}
+
+impl Sampler for Uniform {
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.gen::<f64>()
+    }
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Hyperexponential: with probability `w_j`, draw `Exp(rate_j)`.
+///
+/// This is the paper's wireless service-time distribution: phase `j`
+/// corresponds to "the frame needed `j` retransmissions" with weight `a_j`
+/// and mean delay `E_j[ΔW]` (§V).
+#[derive(Debug, Clone)]
+pub struct HyperExponential {
+    weights: Vec<f64>,
+    rates: Vec<f64>,
+}
+
+impl HyperExponential {
+    /// Builds a hyperexponential from (weight, rate) pairs. Weights are
+    /// normalised to sum to 1.
+    ///
+    /// # Panics
+    /// Panics if empty, if any weight is negative, all weights are zero,
+    /// or any rate is non-positive.
+    pub fn new(phases: &[(f64, f64)]) -> Self {
+        assert!(!phases.is_empty(), "HyperExponential: no phases");
+        let total: f64 = phases.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0.0, "HyperExponential: zero total weight");
+        let mut weights = Vec::with_capacity(phases.len());
+        let mut rates = Vec::with_capacity(phases.len());
+        for &(w, r) in phases {
+            assert!(w >= 0.0, "HyperExponential: negative weight {w}");
+            assert!(r.is_finite() && r > 0.0, "HyperExponential: bad rate {r}");
+            weights.push(w / total);
+            rates.push(r);
+        }
+        Self { weights, rates }
+    }
+
+    /// Phase weights (normalised).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Phase rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+impl Sampler for HyperExponential {
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let mut u: f64 = rng.gen();
+        let mut phase = self.weights.len() - 1;
+        for (j, w) in self.weights.iter().enumerate() {
+            if u < *w {
+                phase = j;
+                break;
+            }
+            u -= w;
+        }
+        let v: f64 = rng.gen();
+        -(1.0 - v).ln() / self.rates[phase]
+    }
+    fn mean(&self) -> f64 {
+        self.weights.iter().zip(&self.rates).map(|(w, r)| w / r).sum()
+    }
+}
+
+/// Samples uniformly from a recorded data set (empirical distribution).
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    samples: Vec<f64>,
+}
+
+impl Empirical {
+    /// Wraps a non-empty sample set.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn new(samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "Empirical: no samples");
+        Self { samples }
+    }
+}
+
+impl Sampler for Empirical {
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        self.samples[rng.gen_range(0..self.samples.len())]
+    }
+    fn mean(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Adds a constant offset to an inner sampler (e.g. transport delay `D`
+/// on top of the wireless delay).
+pub struct Shifted {
+    offset: f64,
+    inner: Box<dyn Sampler>,
+}
+
+impl Shifted {
+    /// Creates `offset + inner`.
+    ///
+    /// # Panics
+    /// Panics if `offset` is negative or not finite.
+    pub fn new(offset: f64, inner: Box<dyn Sampler>) -> Self {
+        assert!(offset.is_finite() && offset >= 0.0, "Shifted: bad offset {offset}");
+        Self { offset, inner }
+    }
+}
+
+impl Sampler for Shifted {
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        self.offset + self.inner.sample(rng)
+    }
+    fn mean(&self) -> f64 {
+        self.offset + self.inner.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_mean(s: &dyn Sampler, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| s.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Deterministic::new(3.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.5);
+        }
+        assert_eq!(d.mean(), 3.5);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let e = Exponential::new(2.0);
+        let m = sample_mean(&e, 200_000, 1);
+        assert!((m - 0.5).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let e = Exponential::new(0.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_memoryless_tail() {
+        // P(X > 1) should be e^{-λ} for λ=1 → ≈ 0.3679.
+        let e = Exponential::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let tail = (0..n).filter(|_| e.sample(&mut rng) > 1.0).count() as f64 / n as f64;
+        assert!((tail - (-1.0f64).exp()).abs() < 0.01, "tail {tail}");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let u = Uniform::new(2.0, 4.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+        }
+        let m = sample_mean(&u, 100_000, 9);
+        assert!((m - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn hyperexponential_mean_matches_mixture() {
+        let h = HyperExponential::new(&[(0.7, 1.0), (0.3, 0.1)]);
+        // mean = 0.7*1 + 0.3*10 = 3.7
+        assert!((h.mean() - 3.7).abs() < 1e-12);
+        let m = sample_mean(&h, 400_000, 11);
+        assert!((m - 3.7).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn hyperexponential_normalises_weights() {
+        let h = HyperExponential::new(&[(2.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(h.weights(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn hyperexponential_single_phase_is_exponential() {
+        let h = HyperExponential::new(&[(1.0, 4.0)]);
+        assert!((h.mean() - 0.25).abs() < 1e-12);
+        let m = sample_mean(&h, 200_000, 13);
+        assert!((m - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn empirical_draws_only_given_values() {
+        let e = Empirical::new(vec![1.0, 2.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let x = e.sample(&mut rng);
+            assert!(x == 1.0 || x == 2.0 || x == 3.0);
+        }
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_adds_offset() {
+        let s = Shifted::new(10.0, Deterministic::new(1.0).boxed());
+        let mut rng = StdRng::seed_from_u64(19);
+        assert_eq!(s.sample(&mut rng), 11.0);
+        assert_eq!(s.mean(), 11.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let e = Exponential::new(1.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..32).map(|_| e.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..32).map(|_| e.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,453 @@
+//! Network-of-queues simulator (the mini-CIW core).
+//!
+//! Semantics follow CIW where the paper relies on them:
+//! - each node has `servers` identical servers, a FIFO waiting line, and an
+//!   optional `capacity` = maximum customers **in the system** (waiting +
+//!   in service);
+//! - a customer arriving at a full node is **lost** (recorded with
+//!   [`Record::lost`] = true) — this is the 802.11 access-point queue drop
+//!   of Fig. 4;
+//! - after service a customer is routed probabilistically; unassigned
+//!   probability mass exits the network.
+
+use crate::dist::Sampler;
+use crate::event::EventQueue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Node description: servers, capacity, service law and routing.
+pub struct NodeSpec {
+    /// Number of identical parallel servers (≥ 1).
+    pub servers: usize,
+    /// Max customers in the system (waiting + in service); `None` =
+    /// unbounded.
+    pub capacity: Option<usize>,
+    /// Service-time sampler.
+    pub service: Box<dyn Sampler>,
+    /// `(target_node, probability)` pairs; remaining mass exits.
+    pub routing: Vec<(usize, f64)>,
+}
+
+/// External arrival process feeding one node.
+pub struct SourceSpec {
+    /// Inter-arrival time sampler.
+    pub interarrival: Box<dyn Sampler>,
+    /// Node receiving the arrivals.
+    pub target: usize,
+    /// Absolute time of the first arrival.
+    pub first_arrival: f64,
+}
+
+/// Per-customer life-cycle record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Customer id, unique and increasing in creation order.
+    pub id: u64,
+    /// Node the record refers to.
+    pub node: usize,
+    /// Arrival instant at the node.
+    pub arrival: f64,
+    /// Instant service began (= `arrival` when a server was free);
+    /// meaningless when `lost`.
+    pub service_start: f64,
+    /// Instant service completed; meaningless when `lost`.
+    pub service_end: f64,
+    /// True when the customer was dropped because the node was full.
+    pub lost: bool,
+}
+
+impl Record {
+    /// Waiting time in the queue (0 for lost customers).
+    pub fn waiting_time(&self) -> f64 {
+        if self.lost {
+            0.0
+        } else {
+            self.service_start - self.arrival
+        }
+    }
+
+    /// Total sojourn time at the node (0 for lost customers).
+    pub fn sojourn_time(&self) -> f64 {
+        if self.lost {
+            0.0
+        } else {
+            self.service_end - self.arrival
+        }
+    }
+}
+
+enum Event {
+    /// `source_idx` fires a new external arrival.
+    SourceArrival(usize),
+    /// Customer `cust` finishes service at `node`.
+    EndService { node: usize, cust: u64, arrival: f64, service_start: f64 },
+}
+
+struct NodeState {
+    spec: NodeSpec,
+    waiting: VecDeque<(u64, f64)>, // (customer id, arrival time)
+    busy: usize,
+}
+
+/// The simulator: build with [`Network::new`], add nodes and sources, then
+/// [`Network::run_until`].
+pub struct Network {
+    nodes: Vec<NodeState>,
+    sources: Vec<SourceSpec>,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl Network {
+    /// Creates an empty network with a seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        Self { nodes: Vec::new(), sources: Vec::new(), rng: StdRng::seed_from_u64(seed), next_id: 0 }
+    }
+
+    /// Adds a node, returning its index.
+    ///
+    /// # Panics
+    /// Panics if `servers == 0`, a routing probability is out of `[0, 1]`,
+    /// or the routing mass exceeds 1.
+    pub fn add_node(&mut self, spec: NodeSpec) -> usize {
+        assert!(spec.servers >= 1, "node needs at least one server");
+        let mass: f64 = spec.routing.iter().map(|(_, p)| *p).sum();
+        assert!(
+            spec.routing.iter().all(|(_, p)| (0.0..=1.0).contains(p)) && mass <= 1.0 + 1e-12,
+            "invalid routing probabilities (mass {mass})"
+        );
+        self.nodes.push(NodeState { spec, waiting: VecDeque::new(), busy: 0 });
+        self.nodes.len() - 1
+    }
+
+    /// Adds an external arrival source.
+    ///
+    /// # Panics
+    /// Panics if `target` is not a valid node index.
+    pub fn add_source(&mut self, spec: SourceSpec) -> usize {
+        assert!(spec.target < self.nodes.len(), "source target {} out of range", spec.target);
+        self.sources.push(spec);
+        self.sources.len() - 1
+    }
+
+    /// Runs the simulation until simulated time `horizon`, returning every
+    /// customer record (completed and lost) in event order.
+    ///
+    /// Arrivals scheduled before the horizon but finishing after it are
+    /// still served to completion (their records are included), matching
+    /// CIW's "finish outstanding work" semantics.
+    pub fn run_until(&mut self, horizon: f64) -> Vec<Record> {
+        assert!(horizon > 0.0, "horizon must be positive");
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut records = Vec::new();
+        for (i, s) in self.sources.iter().enumerate() {
+            queue.schedule(s.first_arrival, Event::SourceArrival(i));
+        }
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::SourceArrival(si) => {
+                    if now > horizon {
+                        continue; // stop generating, but drain services
+                    }
+                    let target = self.sources[si].target;
+                    let cust = self.next_id;
+                    self.next_id += 1;
+                    self.arrive(target, cust, now, &mut queue, &mut records);
+                    let gap = self.sources[si].interarrival.sample(&mut self.rng);
+                    queue.schedule(now + gap, Event::SourceArrival(si));
+                }
+                Event::EndService { node, cust, arrival, service_start } => {
+                    records.push(Record {
+                        id: cust,
+                        node,
+                        arrival,
+                        service_start,
+                        service_end: now,
+                        lost: false,
+                    });
+                    // Route onwards.
+                    if let Some(next) = self.route(node) {
+                        let cust2 = cust; // same customer continues
+                        self.arrive(next, cust2, now, &mut queue, &mut records);
+                    }
+                    // Free the server, start next waiting customer.
+                    let st = &mut self.nodes[node];
+                    st.busy -= 1;
+                    if let Some((next_cust, next_arrival)) = st.waiting.pop_front() {
+                        st.busy += 1;
+                        let dur = st.spec.service.sample(&mut self.rng);
+                        queue.schedule(
+                            now + dur,
+                            Event::EndService {
+                                node,
+                                cust: next_cust,
+                                arrival: next_arrival,
+                                service_start: now,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        records
+    }
+
+    fn arrive(
+        &mut self,
+        node: usize,
+        cust: u64,
+        now: f64,
+        queue: &mut EventQueue<Event>,
+        records: &mut Vec<Record>,
+    ) {
+        let st = &mut self.nodes[node];
+        let in_system = st.busy + st.waiting.len();
+        if let Some(cap) = st.spec.capacity {
+            if in_system >= cap {
+                records.push(Record {
+                    id: cust,
+                    node,
+                    arrival: now,
+                    service_start: now,
+                    service_end: now,
+                    lost: true,
+                });
+                return;
+            }
+        }
+        if st.busy < st.spec.servers {
+            st.busy += 1;
+            let dur = st.spec.service.sample(&mut self.rng);
+            queue.schedule(
+                now + dur,
+                Event::EndService { node, cust, arrival: now, service_start: now },
+            );
+        } else {
+            st.waiting.push_back((cust, now));
+        }
+    }
+
+    fn route(&mut self, node: usize) -> Option<usize> {
+        let routing = &self.nodes[node].spec.routing;
+        if routing.is_empty() {
+            return None;
+        }
+        let mut u: f64 = self.rng.gen();
+        for &(target, p) in routing {
+            if u < p {
+                return Some(target);
+            }
+            u -= p;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Deterministic, Exponential, Sampler};
+    use crate::theory;
+
+    /// D/D/1 with service shorter than inter-arrival: nobody ever waits.
+    #[test]
+    fn dd1_no_waiting() {
+        let mut net = Network::new(0);
+        let n = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: None,
+            service: Deterministic::new(0.5).boxed(),
+            routing: vec![],
+        });
+        net.add_source(SourceSpec {
+            interarrival: Deterministic::new(1.0).boxed(),
+            target: n,
+            first_arrival: 0.0,
+        });
+        let recs = net.run_until(100.0);
+        assert!(recs.len() >= 99);
+        for r in &recs {
+            assert!(!r.lost);
+            assert_eq!(r.waiting_time(), 0.0);
+            assert!((r.sojourn_time() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    /// M/M/1: simulated mean waiting time within 10% of ρ/(μ−λ)·1/μ… —
+    /// we check the mean sojourn W = 1/(μ−λ).
+    #[test]
+    fn mm1_mean_sojourn_matches_theory() {
+        let (lambda, mu) = (0.5, 1.0);
+        let mut net = Network::new(42);
+        let n = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: None,
+            service: Exponential::new(mu).boxed(),
+            routing: vec![],
+        });
+        net.add_source(SourceSpec {
+            interarrival: Exponential::new(lambda).boxed(),
+            target: n,
+            first_arrival: 0.0,
+        });
+        let recs = net.run_until(200_000.0);
+        // Skip warm-up: drop the first 1000 records.
+        let sojourns: Vec<f64> = recs.iter().skip(1000).map(|r| r.sojourn_time()).collect();
+        let mean = sojourns.iter().sum::<f64>() / sojourns.len() as f64;
+        let expected = theory::mm1_mean_sojourn(lambda, mu);
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "simulated {mean}, theory {expected}"
+        );
+    }
+
+    /// M/M/1/K: loss probability close to the truncated-geometric formula.
+    #[test]
+    fn mm1k_loss_probability_matches_theory() {
+        let (lambda, mu, k) = (0.8, 1.0, 3usize);
+        let mut net = Network::new(7);
+        let n = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: Some(k),
+            service: Exponential::new(mu).boxed(),
+            routing: vec![],
+        });
+        net.add_source(SourceSpec {
+            interarrival: Exponential::new(lambda).boxed(),
+            target: n,
+            first_arrival: 0.0,
+        });
+        let recs = net.run_until(300_000.0);
+        let total = recs.len() as f64;
+        let lost = recs.iter().filter(|r| r.lost).count() as f64;
+        let p_loss = lost / total;
+        let expected = theory::mm1k_loss_probability(lambda, mu, k);
+        assert!(
+            (p_loss - expected).abs() < 0.01,
+            "simulated {p_loss}, theory {expected}"
+        );
+    }
+
+    /// M/D/1: mean waiting time Wq = ρ/(2μ(1−ρ)); half the M/M/1 value.
+    #[test]
+    fn md1_mean_wait_matches_theory() {
+        let (lambda, mu) = (0.6, 1.0);
+        let mut net = Network::new(11);
+        let n = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: None,
+            service: Deterministic::new(1.0 / mu).boxed(),
+            routing: vec![],
+        });
+        net.add_source(SourceSpec {
+            interarrival: Exponential::new(lambda).boxed(),
+            target: n,
+            first_arrival: 0.0,
+        });
+        let recs = net.run_until(200_000.0);
+        let waits: Vec<f64> = recs.iter().skip(1000).map(|r| r.waiting_time()).collect();
+        let mean = waits.iter().sum::<f64>() / waits.len() as f64;
+        let expected = theory::md1_mean_wait(lambda, mu);
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "simulated {mean}, theory {expected}"
+        );
+    }
+
+    /// Two nodes in tandem: all customers traverse both.
+    #[test]
+    fn tandem_routing() {
+        let mut net = Network::new(3);
+        let b = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: None,
+            service: Deterministic::new(0.1).boxed(),
+            routing: vec![],
+        });
+        let a = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: None,
+            service: Deterministic::new(0.1).boxed(),
+            routing: vec![(b, 1.0)],
+        });
+        net.add_source(SourceSpec {
+            interarrival: Deterministic::new(1.0).boxed(),
+            target: a,
+            first_arrival: 0.0,
+        });
+        let recs = net.run_until(50.0);
+        let at_a = recs.iter().filter(|r| r.node == a).count();
+        let at_b = recs.iter().filter(|r| r.node == b).count();
+        assert_eq!(at_a, at_b);
+        assert!(at_a >= 49);
+    }
+
+    /// Multi-server node: two servers halve the effective load.
+    #[test]
+    fn two_servers_drain_faster_than_one() {
+        let run = |servers: usize| -> f64 {
+            let mut net = Network::new(5);
+            let n = net.add_node(NodeSpec {
+                servers,
+                capacity: None,
+                service: Deterministic::new(1.5).boxed(),
+                routing: vec![],
+            });
+            net.add_source(SourceSpec {
+                interarrival: Deterministic::new(1.0).boxed(),
+                target: n,
+                first_arrival: 0.0,
+            });
+            let recs = net.run_until(200.0);
+            recs.iter().map(|r| r.waiting_time()).sum::<f64>() / recs.len() as f64
+        };
+        let w1 = run(1); // ρ = 1.5: unstable, waits grow
+        let w2 = run(2); // ρ = 0.75 per server: stable, zero waits (D/D/2)
+        assert!(w2 < 1e-9, "D/D/2 underloaded should never wait, got {w2}");
+        assert!(w1 > 10.0, "D/D/1 overloaded should accumulate waits, got {w1}");
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let build = || {
+            let mut net = Network::new(99);
+            let n = net.add_node(NodeSpec {
+                servers: 1,
+                capacity: Some(5),
+                service: Exponential::new(1.0).boxed(),
+                routing: vec![],
+            });
+            net.add_source(SourceSpec {
+                interarrival: Exponential::new(0.9).boxed(),
+                target: n,
+                first_arrival: 0.0,
+            });
+            net.run_until(1000.0)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn records_are_time_consistent() {
+        let mut net = Network::new(13);
+        let n = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: Some(10),
+            service: Exponential::new(2.0).boxed(),
+            routing: vec![],
+        });
+        net.add_source(SourceSpec {
+            interarrival: Exponential::new(1.5).boxed(),
+            target: n,
+            first_arrival: 0.0,
+        });
+        for r in net.run_until(5000.0) {
+            if !r.lost {
+                assert!(r.arrival <= r.service_start, "{r:?}");
+                assert!(r.service_start <= r.service_end, "{r:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Summary statistics over simulation records.
+//!
+//! CIW ships `records → pandas` summaries; this is the Rust equivalent
+//! for the record streams produced by [`crate::Network`] and consumed by
+//! the wireless-link experiments: waiting/sojourn aggregates, loss
+//! fractions, and utilisation estimated from busy time.
+
+use crate::network::Record;
+
+/// Aggregates computed from a slice of records (single node or whole
+/// network — filter before calling for per-node views).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordSummary {
+    /// Records considered.
+    pub count: usize,
+    /// Customers lost (capacity drops).
+    pub lost: usize,
+    /// Loss fraction `lost / count` (0 for an empty slice).
+    pub loss_fraction: f64,
+    /// Mean waiting time of served customers.
+    pub mean_wait: f64,
+    /// Mean sojourn (wait + service) of served customers.
+    pub mean_sojourn: f64,
+    /// Maximum sojourn observed.
+    pub max_sojourn: f64,
+    /// Total busy time (sum of service durations).
+    pub busy_time: f64,
+    /// Server utilisation: busy time / observed span (0 when span is 0).
+    pub utilisation: f64,
+}
+
+/// Summarises a record slice.
+///
+/// Utilisation is estimated against the span from the earliest arrival to
+/// the latest service end; for a warmed-up single-server node this
+/// converges to the true ρ.
+pub fn summarize(records: &[Record]) -> RecordSummary {
+    let count = records.len();
+    let lost = records.iter().filter(|r| r.lost).count();
+    let served: Vec<&Record> = records.iter().filter(|r| !r.lost).collect();
+    let mut wait_sum = 0.0;
+    let mut sojourn_sum = 0.0;
+    let mut max_sojourn = 0.0f64;
+    let mut busy = 0.0;
+    let mut first = f64::MAX;
+    let mut last = f64::MIN;
+    for r in &served {
+        wait_sum += r.waiting_time();
+        let s = r.sojourn_time();
+        sojourn_sum += s;
+        max_sojourn = max_sojourn.max(s);
+        busy += r.service_end - r.service_start;
+        first = first.min(r.arrival);
+        last = last.max(r.service_end);
+    }
+    let n_served = served.len().max(1) as f64;
+    let span = if served.is_empty() { 0.0 } else { last - first };
+    RecordSummary {
+        count,
+        lost,
+        loss_fraction: if count == 0 { 0.0 } else { lost as f64 / count as f64 },
+        mean_wait: wait_sum / n_served,
+        mean_sojourn: sojourn_sum / n_served,
+        max_sojourn,
+        busy_time: busy,
+        utilisation: if span > 0.0 { (busy / span).min(1.0) } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Deterministic, Exponential, Sampler};
+    use crate::{Network, NodeSpec, SourceSpec};
+
+    fn run_mm1(lambda: f64, mu: f64, horizon: f64, seed: u64) -> Vec<Record> {
+        let mut net = Network::new(seed);
+        let n = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: None,
+            service: Exponential::new(mu).boxed(),
+            routing: vec![],
+        });
+        net.add_source(SourceSpec {
+            interarrival: Exponential::new(lambda).boxed(),
+            target: n,
+            first_arrival: 0.0,
+        });
+        net.run_until(horizon)
+    }
+
+    #[test]
+    fn empty_slice_is_all_zero() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.loss_fraction, 0.0);
+        assert_eq!(s.utilisation, 0.0);
+    }
+
+    #[test]
+    fn utilisation_matches_rho_for_mm1() {
+        let recs = run_mm1(0.5, 1.0, 100_000.0, 3);
+        let s = summarize(&recs);
+        assert!((s.utilisation - 0.5).abs() < 0.02, "utilisation {}", s.utilisation);
+        assert_eq!(s.lost, 0);
+    }
+
+    #[test]
+    fn mean_sojourn_matches_theory() {
+        let recs = run_mm1(0.5, 1.0, 100_000.0, 5);
+        let s = summarize(&recs);
+        let expected = crate::theory::mm1_mean_sojourn(0.5, 1.0);
+        assert!(
+            (s.mean_sojourn - expected).abs() / expected < 0.1,
+            "sojourn {} vs theory {expected}",
+            s.mean_sojourn
+        );
+        assert!(s.max_sojourn >= s.mean_sojourn);
+        assert!(s.mean_wait < s.mean_sojourn);
+    }
+
+    #[test]
+    fn losses_counted() {
+        let mut net = Network::new(7);
+        let n = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: Some(1),
+            service: Deterministic::new(2.0).boxed(),
+            routing: vec![],
+        });
+        net.add_source(SourceSpec {
+            interarrival: Deterministic::new(1.0).boxed(),
+            target: n,
+            first_arrival: 0.0,
+        });
+        let recs = net.run_until(100.0);
+        let s = summarize(&recs);
+        assert!(s.lost > 0);
+        assert!(s.loss_fraction > 0.3, "loss fraction {}", s.loss_fraction);
+        // Deterministic 2 s services back to back: utilisation ≈ 1.
+        assert!(s.utilisation > 0.95);
+    }
+}

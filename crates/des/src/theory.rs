@@ -1,0 +1,124 @@
+//! Closed-form queueing results used to validate the simulator.
+//!
+//! Standard formulas (any queueing-theory text, e.g. Kleinrock Vol. 1);
+//! each function asserts its stability preconditions.
+
+/// Utilisation `ρ = λ/μ`.
+///
+/// # Panics
+/// Panics unless `λ > 0` and `μ > 0`.
+pub fn rho(lambda: f64, mu: f64) -> f64 {
+    assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+    lambda / mu
+}
+
+/// M/M/1 mean sojourn time `W = 1 / (μ − λ)`.
+///
+/// # Panics
+/// Panics unless `λ < μ` (stability).
+pub fn mm1_mean_sojourn(lambda: f64, mu: f64) -> f64 {
+    assert!(lambda < mu, "M/M/1 requires λ < μ");
+    1.0 / (mu - lambda)
+}
+
+/// M/M/1 mean waiting time in queue `Wq = ρ / (μ − λ)`.
+///
+/// # Panics
+/// Panics unless `λ < μ`.
+pub fn mm1_mean_wait(lambda: f64, mu: f64) -> f64 {
+    assert!(lambda < mu, "M/M/1 requires λ < μ");
+    rho(lambda, mu) / (mu - lambda)
+}
+
+/// M/M/1/K blocking probability, `K` = max customers in system:
+/// `P_K = (1−ρ) ρ^K / (1 − ρ^{K+1})` for `ρ ≠ 1`, `1/(K+1)` for `ρ = 1`.
+pub fn mm1k_loss_probability(lambda: f64, mu: f64, k: usize) -> f64 {
+    let r = rho(lambda, mu);
+    if (r - 1.0).abs() < 1e-12 {
+        return 1.0 / (k as f64 + 1.0);
+    }
+    (1.0 - r) * r.powi(k as i32) / (1.0 - r.powi(k as i32 + 1))
+}
+
+/// M/D/1 mean waiting time `Wq = ρ / (2 μ (1 − ρ))`
+/// (Pollaczek–Khinchine with zero service variance).
+///
+/// # Panics
+/// Panics unless `λ < μ`.
+pub fn md1_mean_wait(lambda: f64, mu: f64) -> f64 {
+    let r = rho(lambda, mu);
+    assert!(r < 1.0, "M/D/1 requires ρ < 1");
+    r / (2.0 * mu * (1.0 - r))
+}
+
+/// M/G/1 mean waiting time by Pollaczek–Khinchine:
+/// `Wq = λ E[S²] / (2 (1 − ρ))` with `E[S]` = `mean_service`,
+/// `E[S²]` = `second_moment_service`.
+///
+/// # Panics
+/// Panics unless the queue is stable (`λ · E[S] < 1`).
+pub fn mg1_mean_wait(lambda: f64, mean_service: f64, second_moment_service: f64) -> f64 {
+    let r = lambda * mean_service;
+    assert!(r < 1.0, "M/G/1 requires λ·E[S] < 1");
+    lambda * second_moment_service / (2.0 * (1.0 - r))
+}
+
+/// Second moment of a hyperexponential distribution with (weight, rate)
+/// phases: `E[S²] = Σ w_j · 2/rate_j²`.
+pub fn hyperexp_second_moment(phases: &[(f64, f64)]) -> f64 {
+    let total: f64 = phases.iter().map(|(w, _)| w).sum();
+    phases.iter().map(|(w, r)| (w / total) * 2.0 / (r * r)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_textbook_values() {
+        // λ=0.5, μ=1: W = 2, Wq = 1.
+        assert!((mm1_mean_sojourn(0.5, 1.0) - 2.0).abs() < 1e-12);
+        assert!((mm1_mean_wait(0.5, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_is_half_mm1_wait() {
+        let (l, m) = (0.6, 1.0);
+        assert!((md1_mean_wait(l, m) - mm1_mean_wait(l, m) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mg1_reduces_to_mm1() {
+        // Exponential service: E[S] = 1/μ, E[S²] = 2/μ².
+        let (l, m) = (0.7, 1.3);
+        let pk = mg1_mean_wait(l, 1.0 / m, 2.0 / (m * m));
+        assert!((pk - mm1_mean_wait(l, m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1k_limits() {
+        // K large, ρ<1 → loss → 0.
+        assert!(mm1k_loss_probability(0.5, 1.0, 50) < 1e-12);
+        // ρ = 1 → uniform over K+1 states.
+        assert!((mm1k_loss_probability(1.0, 1.0, 4) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1k_monotone_in_load() {
+        let p1 = mm1k_loss_probability(0.5, 1.0, 5);
+        let p2 = mm1k_loss_probability(0.9, 1.0, 5);
+        assert!(p2 > p1);
+    }
+
+    #[test]
+    fn hyperexp_second_moment_single_phase() {
+        // Exponential(rate 2): E[S²] = 2/4 = 0.5.
+        assert!((hyperexp_second_moment(&[(1.0, 2.0)]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "λ < μ")]
+    fn unstable_mm1_rejected() {
+        mm1_mean_sojourn(2.0, 1.0);
+    }
+}

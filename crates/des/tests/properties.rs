@@ -1,0 +1,118 @@
+//! Property-based tests for the DES engine.
+
+use foreco_des::dist::{Deterministic, Exponential, HyperExponential, Uniform};
+use foreco_des::{EventQueue, Network, NodeSpec, Sampler, SourceSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Whatever order events are scheduled in, they pop sorted by time.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    /// Equal-time events preserve insertion order regardless of how many.
+    #[test]
+    fn event_queue_fifo_at_ties(n in 1usize..300) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(1.0, i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop(), Some((1.0, i)));
+        }
+    }
+
+    /// All samplers produce non-negative, finite values.
+    #[test]
+    fn samplers_nonnegative_finite(seed in 0u64..1000, rate in 0.01f64..100.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e = Exponential::new(rate);
+        let h = HyperExponential::new(&[(0.5, rate), (0.5, rate * 2.0)]);
+        let u = Uniform::new(0.0, rate);
+        let d = Deterministic::new(rate);
+        for _ in 0..50 {
+            for s in [&e as &dyn Sampler, &h, &u, &d] {
+                let x = s.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0);
+            }
+        }
+    }
+
+    /// Hyperexponential mean equals the weighted phase means for any
+    /// weights/rates.
+    #[test]
+    fn hyperexp_mean_formula(
+        w1 in 0.1f64..10.0, w2 in 0.1f64..10.0,
+        r1 in 0.1f64..10.0, r2 in 0.1f64..10.0,
+    ) {
+        let h = HyperExponential::new(&[(w1, r1), (w2, r2)]);
+        let total = w1 + w2;
+        let expected = (w1 / total) / r1 + (w2 / total) / r2;
+        prop_assert!((h.mean() - expected).abs() < 1e-12);
+    }
+
+    /// Network records are always time-consistent and conservation holds:
+    /// every generated customer appears exactly once per visited node.
+    #[test]
+    fn network_record_invariants(
+        seed in 0u64..500,
+        lambda in 0.1f64..2.0,
+        mu in 0.5f64..4.0,
+        cap in 1usize..10,
+    ) {
+        let mut net = Network::new(seed);
+        let n = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: Some(cap),
+            service: Exponential::new(mu).boxed(),
+            routing: vec![],
+        });
+        net.add_source(SourceSpec {
+            interarrival: Exponential::new(lambda).boxed(),
+            target: n,
+            first_arrival: 0.0,
+        });
+        let recs = net.run_until(200.0);
+        let mut ids: Vec<u64> = recs.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), recs.len(), "each customer recorded once");
+        for r in &recs {
+            if !r.lost {
+                prop_assert!(r.arrival <= r.service_start);
+                prop_assert!(r.service_start <= r.service_end);
+                prop_assert!(r.waiting_time() >= 0.0);
+            }
+        }
+    }
+
+    /// With unbounded capacity nothing is ever lost.
+    #[test]
+    fn infinite_capacity_never_loses(seed in 0u64..200) {
+        let mut net = Network::new(seed);
+        let n = net.add_node(NodeSpec {
+            servers: 1,
+            capacity: None,
+            service: Exponential::new(1.0).boxed(),
+            routing: vec![],
+        });
+        net.add_source(SourceSpec {
+            interarrival: Exponential::new(2.0).boxed(), // overloaded!
+            target: n,
+            first_arrival: 0.0,
+        });
+        let recs = net.run_until(50.0);
+        prop_assert!(recs.iter().all(|r| !r.lost));
+    }
+}

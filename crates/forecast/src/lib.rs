@@ -1,0 +1,103 @@
+//! Command forecasters for FoReCo (§IV-B/§IV-C of the paper).
+//!
+//! FoReCo predicts the next joint-space command from the last `R`
+//! received-or-forecast commands. The paper studies three algorithms and
+//! picks VAR; this crate implements all of them behind one [`Forecaster`]
+//! trait, plus the two §VII-C future-work candidates:
+//!
+//! | Forecaster | Paper | Training |
+//! |---|---|---|
+//! | [`MovingAverage`] | eq. 8 (baseline) | none |
+//! | [`Var`] | eq. 5 — the winner | OLS (eq. 9) via `foreco-linalg` |
+//! | [`Seq2SeqForecaster`] | eqs. 6–7 | Adam (eqs. 10–13) via `foreco-nn` |
+//! | [`Holt`] | §VII-C "exponential smoothing" | closed-form recursion |
+//! | [`Varma`] | §VII-C "VARMA" | Hannan–Rissanen two-stage OLS |
+//! | [`KalmanCv`] | related work \[36\]'s approach | constant-velocity Kalman filter |
+//!
+//! [`forecast_horizon`] implements the recursive multi-step forecasting
+//! used in Fig. 7 (and the error-propagation effect of Fig. 9c: later
+//! forecasts consume earlier ones). [`pipeline`] reproduces the Table-I
+//! training stages (load → down-sample → quality check → train) with
+//! per-stage timings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod holt;
+mod kalman;
+mod ma;
+pub mod pipeline;
+mod seq2seq;
+mod var;
+mod varma;
+
+pub use holt::Holt;
+pub use kalman::KalmanCv;
+pub use ma::MovingAverage;
+pub use seq2seq::{Seq2SeqForecaster, Seq2SeqTrainConfig};
+pub use var::{Var, VarMode};
+pub use varma::Varma;
+
+/// A next-command predictor: `ĉ_{i+1} = f({ĉ_j}_{i−R+1..i})`.
+pub trait Forecaster {
+    /// Predicts the next command given at least [`Forecaster::history_len`]
+    /// past commands (most recent last). Implementations use the **last**
+    /// `history_len()` entries and ignore anything older.
+    ///
+    /// # Panics
+    /// Implementations panic when fewer than `history_len()` commands are
+    /// provided or dimensions mismatch the trained shape.
+    fn forecast(&self, history: &[Vec<f64>]) -> Vec<f64>;
+
+    /// Number of past commands `R` the forecaster consumes.
+    fn history_len(&self) -> usize;
+
+    /// Command dimensionality `d`.
+    fn dims(&self) -> usize;
+
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Recursive multi-step forecasting: predicts `steps` commands ahead,
+/// feeding each prediction back as history — the mechanism behind both
+/// Fig. 7's forecasting windows and Fig. 9c's error propagation.
+///
+/// Returns the `steps` predictions in order.
+///
+/// # Panics
+/// Panics if `history` is shorter than the forecaster's `history_len()`.
+pub fn forecast_horizon(
+    f: &dyn Forecaster,
+    history: &[Vec<f64>],
+    steps: usize,
+) -> Vec<Vec<f64>> {
+    let r = f.history_len();
+    assert!(history.len() >= r, "forecast_horizon: history shorter than R");
+    let mut window: Vec<Vec<f64>> = history[history.len() - r..].to_vec();
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let next = f.forecast(&window);
+        window.remove(0);
+        window.push(next.clone());
+        out.push(next);
+    }
+    out
+}
+
+/// Joint-space RMSE of one-step-ahead forecasts over a dataset
+/// (task-space evaluation lives in `foreco-core::metrics`).
+pub fn one_step_rmse(f: &dyn Forecaster, dataset: &foreco_teleop::Dataset) -> f64 {
+    let r = f.history_len();
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (hist, target) in dataset.windows(r) {
+        let pred = f.forecast(hist);
+        acc += foreco_linalg::vector::squared_distance(&pred, target);
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (acc / (n * f.dims()) as f64).sqrt()
+}

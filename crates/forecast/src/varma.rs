@@ -1,0 +1,198 @@
+//! VARMA — the paper's named future-work forecaster (§VII-C: "Vector
+//! Autoregression Moving Average … combines the benefits of both MA and
+//! VAR to prevent saw-teeth oscillations, and anticipate faster the
+//! increases/decreases of the time-series").
+//!
+//! Estimated with the Hannan–Rissanen two-stage procedure, the standard
+//! OLS route to VARMA without likelihood optimisation:
+//!
+//! 1. fit a (long) VAR and compute its one-step residuals `ε_i`;
+//! 2. regress `c_i` on both the lagged commands *and* the lagged
+//!    residuals — the residual coefficients are the MA part.
+//!
+//! At forecast time the residual history is rebuilt from the provided
+//! window with the stage-1 VAR.
+
+use crate::{Forecaster, Var};
+use foreco_linalg::{ols_ridge, Matrix, OlsError};
+use foreco_teleop::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// A trained VARMA(R, Q) model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Varma {
+    r: usize,
+    q: usize,
+    dims: usize,
+    /// Stage-1 VAR used to reconstruct residuals at forecast time.
+    stage1: Var,
+    /// Stage-2 coefficients, `(1 + d·R + d·Q) x d`.
+    beta: Matrix,
+}
+
+impl Varma {
+    /// Fits a VARMA(`r`, `q`) on `train` (AR order `r`, MA order `q`).
+    ///
+    /// # Errors
+    /// Propagates [`OlsError`] from either regression stage.
+    ///
+    /// # Panics
+    /// Panics if `r == 0`, `q == 0` or the dataset is empty.
+    pub fn fit(train: &Dataset, r: usize, q: usize, ridge: f64) -> Result<Self, OlsError> {
+        assert!(r >= 1 && q >= 1, "VARMA: orders must be ≥ 1");
+        assert!(!train.is_empty(), "VARMA: empty training dataset");
+        let d = train.dof();
+
+        // Stage 1: long VAR and its residual series. Residual ε_i is the
+        // one-step error at command i (0 for the first r commands).
+        let stage1 = Var::fit(train, r, ridge)?;
+        let mut residuals = vec![vec![0.0; d]; train.len()];
+        for (i, (hist, target)) in train.windows(r).enumerate() {
+            let pred = stage1.forecast(hist);
+            let idx = i + r;
+            for k in 0..d {
+                residuals[idx][k] = target[k] - pred[k];
+            }
+        }
+
+        // Stage 2: regress c_i on [1, lagged commands, lagged residuals].
+        let start = r.max(q);
+        let n = train.len() - start;
+        let p = 1 + d * r + d * q;
+        if n < p {
+            return Err(OlsError::Underdetermined { rows: n, cols: p });
+        }
+        let mut x = Matrix::zeros(n, p);
+        let mut y = Matrix::zeros(n, d);
+        for (row, i) in (start..train.len()).enumerate() {
+            let xr = x.row_mut(row);
+            xr[0] = 1.0;
+            for lag in 0..r {
+                let cmd = &train.commands[i - r + lag];
+                for (k, &v) in cmd.iter().enumerate() {
+                    xr[1 + lag * d + k] = v;
+                }
+            }
+            for lag in 0..q {
+                let res = &residuals[i - q + lag];
+                for (k, &v) in res.iter().enumerate() {
+                    xr[1 + d * r + lag * d + k] = v;
+                }
+            }
+            y.row_mut(row).copy_from_slice(&train.commands[i]);
+        }
+        let beta = ols_ridge(&x, &y, ridge)?;
+        Ok(Self { r, q, dims: d, stage1, beta })
+    }
+
+    /// Total trainable weights across both stages.
+    pub fn num_params(&self) -> usize {
+        self.stage1.num_params() + self.beta.rows() * self.beta.cols()
+    }
+}
+
+impl Forecaster for Varma {
+    #[allow(clippy::needless_range_loop)] // k walks out[] against beta columns
+    fn forecast(&self, history: &[Vec<f64>]) -> Vec<f64> {
+        let need = self.history_len();
+        assert!(
+            history.len() >= need,
+            "VARMA: need {} commands, got {}",
+            need,
+            history.len()
+        );
+        let d = self.dims;
+        // Rebuild residuals over the window with the stage-1 VAR.
+        let tail = &history[history.len() - need..];
+        let mut residuals: Vec<Vec<f64>> = Vec::with_capacity(self.q);
+        for i in self.r..tail.len() {
+            let pred = self.stage1.forecast(&tail[..i]);
+            residuals.push(
+                tail[i].iter().zip(&pred).map(|(t, p)| t - p).collect(),
+            );
+        }
+        while residuals.len() < self.q {
+            residuals.insert(0, vec![0.0; d]);
+        }
+        let res_tail = &residuals[residuals.len() - self.q..];
+
+        let cmd_tail = &tail[tail.len() - self.r..];
+        let mut out = vec![0.0; d];
+        for k in 0..d {
+            out[k] = self.beta[(0, k)];
+        }
+        for (lag, cmd) in cmd_tail.iter().enumerate() {
+            for (l, &v) in cmd.iter().enumerate() {
+                let row = 1 + lag * d + l;
+                for k in 0..d {
+                    out[k] += v * self.beta[(row, k)];
+                }
+            }
+        }
+        for (lag, res) in res_tail.iter().enumerate() {
+            for (l, &v) in res.iter().enumerate() {
+                let row = 1 + d * self.r + lag * d + l;
+                for k in 0..d {
+                    out[k] += v * self.beta[(row, k)];
+                }
+            }
+        }
+        out
+    }
+
+    fn history_len(&self) -> usize {
+        // Need r commands for the AR part plus enough extra to rebuild q
+        // residuals (each residual needs an r-window before it).
+        self.r + self.q
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn name(&self) -> &'static str {
+        "VARMA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foreco_teleop::Skill;
+
+    #[test]
+    fn fits_and_predicts() {
+        let train = Dataset::record(Skill::Experienced, 2, 0.02, 11);
+        let vm = Varma::fit(&train, 4, 2, 1e-6).unwrap();
+        let hist = train.commands[..vm.history_len() + 3].to_vec();
+        let pred = vm.forecast(&hist);
+        assert_eq!(pred.len(), 6);
+        assert!(pred.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn competitive_with_var() {
+        let train = Dataset::record(Skill::Experienced, 3, 0.02, 12);
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 120);
+        let var = Var::fit(&train, 4, 1e-6).unwrap();
+        let vm = Varma::fit(&train, 4, 2, 1e-6).unwrap();
+        let var_rmse = crate::one_step_rmse(&var, &test);
+        let vm_rmse = crate::one_step_rmse(&vm, &test);
+        // VARMA must be in VAR's ballpark (the paper expects it to help;
+        // at minimum it must not be broken).
+        assert!(
+            vm_rmse < var_rmse * 1.5,
+            "VARMA {vm_rmse} way off VAR {var_rmse}"
+        );
+    }
+
+    #[test]
+    fn underdetermined_errors_cleanly() {
+        let ds = Dataset {
+            period: 0.02,
+            commands: vec![vec![0.1, 0.2]; 12],
+            cycle_starts: vec![0],
+        };
+        assert!(Varma::fit(&ds, 4, 4, 0.0).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the forecasters.
+
+use foreco_forecast::{forecast_horizon, Forecaster, Holt, MovingAverage, Var};
+use foreco_teleop::Dataset;
+use proptest::prelude::*;
+
+fn history(len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-2.0f64..2.0, 3), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MA output is a convex combination: each coordinate lies within the
+    /// min/max of its window.
+    #[test]
+    fn ma_within_window_hull(hist in history(8)) {
+        let ma = MovingAverage::new(5, 3);
+        let pred = ma.forecast(&hist);
+        for k in 0..3 {
+            let window: Vec<f64> = hist[hist.len() - 5..].iter().map(|c| c[k]).collect();
+            let lo = window.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = window.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(pred[k] >= lo - 1e-12 && pred[k] <= hi + 1e-12);
+        }
+    }
+
+    /// Every forecaster returns finite values of the right dimension on
+    /// finite input, and forecast_horizon returns exactly `steps` items.
+    #[test]
+    fn finite_in_finite_out(hist in history(12), steps in 1usize..20) {
+        let forecasters: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(MovingAverage::new(5, 3)),
+            Box::new(Holt::default_teleop(6, 3)),
+        ];
+        for f in &forecasters {
+            let pred = f.forecast(&hist);
+            prop_assert_eq!(pred.len(), 3);
+            prop_assert!(pred.iter().all(|v| v.is_finite()));
+            let run = forecast_horizon(f.as_ref(), &hist, steps);
+            prop_assert_eq!(run.len(), steps);
+        }
+    }
+
+    /// Constant histories are fixed points for MA and Holt and for a
+    /// trained differenced VAR (its predicted velocity is ~0 on a
+    /// stationary window).
+    #[test]
+    fn constant_history_fixed_points(value in -1.0f64..1.0) {
+        let hist = vec![vec![value; 3]; 12];
+        let ma = MovingAverage::new(5, 3).forecast(&hist);
+        let holt = Holt::default_teleop(6, 3).forecast(&hist);
+        for k in 0..3 {
+            prop_assert!((ma[k] - value).abs() < 1e-12);
+            prop_assert!((holt[k] - value).abs() < 1e-9);
+        }
+    }
+
+    /// VAR fitting is permutation-stable in the target sense: forecasting
+    /// the training data one step ahead has bounded error everywhere.
+    #[test]
+    fn var_in_sample_error_bounded(seed in 0u64..20) {
+        let ds = Dataset::record(foreco_teleop::Skill::Experienced, 1, 0.02, seed);
+        let var = Var::fit_differenced(&ds, 4, 1e-6).unwrap();
+        for (hist, target) in ds.windows(var.history_len()).step_by(37) {
+            let pred = var.forecast(hist);
+            for (p, t) in pred.iter().zip(target) {
+                // One joystick step (0.04 rad) plus slack bounds the
+                // in-sample one-step error.
+                prop_assert!((p - t).abs() < 0.08, "{p} vs {t}");
+            }
+        }
+    }
+}

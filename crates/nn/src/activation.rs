@@ -1,0 +1,105 @@
+//! Scalar activation functions and their derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// Activation function selector.
+///
+/// The paper's seq2seq uses ReLU (`φ(x) = max(0, x)`, §IV-B footnote 2) on
+/// the recurrent units; standard LSTM gates stay sigmoidal regardless of
+/// this choice (they must squash to `(0, 1)` to act as gates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)` — the paper's choice for encoder/decoder outputs.
+    Relu,
+    /// Hyperbolic tangent — the classical LSTM candidate/output squash.
+    Tanh,
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// Pass-through.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the function to `x`.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative at pre-activation `x` whose output was `y = apply(x)`.
+    ///
+    /// Passing both lets sigmoid/tanh reuse the cheaper output form
+    /// (`y(1−y)`, `1−y²`) while ReLU uses the pre-activation sign.
+    #[inline]
+    pub fn deriv(self, x: f64, y: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the function element-wise, returning outputs.
+    pub fn apply_slice(self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.apply(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_matches_paper_footnote() {
+        // φ(x) = 0 for x ≤ 0 and x otherwise.
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(s.apply(100.0) > 0.999);
+        assert!(s.apply(-100.0) < 0.001);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let t = Activation::Tanh;
+        for x in [-2.0, -0.5, 0.3, 1.7] {
+            assert!((t.apply(x) + t.apply(-x)).abs() < 1e-12);
+        }
+    }
+
+    /// Finite-difference check of every derivative.
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity]
+        {
+            for &x in &[-1.5, -0.3, 0.4, 2.0] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.deriv(x, y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+}

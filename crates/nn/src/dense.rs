@@ -1,0 +1,214 @@
+//! Fully connected layer `y = φ(W x + b)` with backprop.
+
+use crate::Activation;
+use foreco_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense (fully connected) layer.
+///
+/// Weights are `out_dim x in_dim`; forward caches the input and
+/// pre-activation so [`Dense::backward`] can compute exact gradients.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix, `out_dim x in_dim`.
+    pub w: Matrix,
+    /// Bias vector, length `out_dim`.
+    pub b: Vec<f64>,
+    /// Activation applied to `W x + b`.
+    pub activation: Activation,
+    /// Accumulated weight gradient (same shape as `w`).
+    pub dw: Matrix,
+    /// Accumulated bias gradient.
+    pub db: Vec<f64>,
+    // forward cache
+    cache_x: Vec<f64>,
+    cache_z: Vec<f64>,
+    cache_y: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier/Glorot-uniform initialisation,
+    /// deterministic in `seed`.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dense: dims must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let w = Matrix::from_fn(out_dim, in_dim, |_, _| rng.gen_range(-limit..limit));
+        Self {
+            dw: Matrix::zeros(out_dim, in_dim),
+            db: vec![0.0; out_dim],
+            b: vec![0.0; out_dim],
+            w,
+            activation,
+            cache_x: Vec::new(),
+            cache_z: Vec::new(),
+            cache_y: Vec::new(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// Forward pass, caching intermediates for [`Dense::backward`].
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim(), "dense forward: input dim mismatch");
+        let mut z = self.w.matvec(x);
+        for (zi, bi) in z.iter_mut().zip(&self.b) {
+            *zi += bi;
+        }
+        let y = self.activation.apply_slice(&z);
+        self.cache_x = x.to_vec();
+        self.cache_z = z;
+        self.cache_y = y.clone();
+        y
+    }
+
+    /// Inference-only forward pass (no cache mutation).
+    pub fn infer(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim(), "dense infer: input dim mismatch");
+        let mut z = self.w.matvec(x);
+        for (zi, bi) in z.iter_mut().zip(&self.b) {
+            *zi += bi;
+        }
+        self.activation.apply_slice(&z)
+    }
+
+    /// Backward pass: takes `dL/dy`, accumulates `dw`/`db`, returns `dL/dx`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward` or with a mismatched gradient.
+    #[allow(clippy::needless_range_loop)] // i indexes dy, db and two matrices
+    pub fn backward(&mut self, dy: &[f64]) -> Vec<f64> {
+        assert_eq!(dy.len(), self.out_dim(), "dense backward: grad dim mismatch");
+        assert_eq!(self.cache_x.len(), self.in_dim(), "dense backward before forward");
+        let mut dx = vec![0.0; self.in_dim()];
+        for i in 0..self.out_dim() {
+            let dz = dy[i] * self.activation.deriv(self.cache_z[i], self.cache_y[i]);
+            self.db[i] += dz;
+            let dw_row = self.dw.row_mut(i);
+            for (j, xj) in self.cache_x.iter().enumerate() {
+                dw_row[j] += dz * xj;
+            }
+            let w_row = self.w.row(i);
+            for (j, wj) in w_row.iter().enumerate() {
+                dx[j] += dz * wj;
+            }
+        }
+        dx
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.dw = Matrix::zeros(self.out_dim(), self.in_dim());
+        self.db.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mse;
+
+    #[test]
+    fn forward_identity_activation_is_affine() {
+        let mut d = Dense::new(2, 2, Activation::Identity, 1);
+        d.w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        d.b = vec![0.5, -0.5];
+        assert_eq!(d.forward(&[1.0, 1.0]), vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut d = Dense::new(3, 2, Activation::Tanh, 7);
+        let x = [0.2, -0.4, 0.9];
+        assert_eq!(d.forward(&x), d.infer(&x));
+    }
+
+    /// Gradient check: analytic dW, db, dx against central finite differences.
+    #[test]
+    fn gradients_match_finite_differences() {
+        for act in [Activation::Identity, Activation::Tanh, Activation::Sigmoid] {
+            let mut layer = Dense::new(3, 2, act, 99);
+            let x = [0.3, -0.8, 0.5];
+            let target = [0.1, -0.2];
+            // Analytic.
+            layer.zero_grad();
+            let y = layer.forward(&x);
+            let (_, dy) = mse(&y, &target);
+            let dx = layer.backward(&dy);
+
+            let eps = 1e-6;
+            // dW check.
+            for i in 0..2 {
+                for j in 0..3 {
+                    let mut lp = layer.clone();
+                    lp.w[(i, j)] += eps;
+                    let (l_plus, _) = mse(&lp.infer(&x), &target);
+                    let mut lm = layer.clone();
+                    lm.w[(i, j)] -= eps;
+                    let (l_minus, _) = mse(&lm.infer(&x), &target);
+                    let numeric = (l_plus - l_minus) / (2.0 * eps);
+                    assert!(
+                        (numeric - layer.dw[(i, j)]).abs() < 1e-5,
+                        "{act:?} dW[{i},{j}]: numeric {numeric} vs analytic {}",
+                        layer.dw[(i, j)]
+                    );
+                }
+            }
+            // db check.
+            for i in 0..2 {
+                let mut lp = layer.clone();
+                lp.b[i] += eps;
+                let (l_plus, _) = mse(&lp.infer(&x), &target);
+                let mut lm = layer.clone();
+                lm.b[i] -= eps;
+                let (l_minus, _) = mse(&lm.infer(&x), &target);
+                let numeric = (l_plus - l_minus) / (2.0 * eps);
+                assert!((numeric - layer.db[i]).abs() < 1e-5, "{act:?} db[{i}]");
+            }
+            // dx check.
+            for j in 0..3 {
+                let mut xp = x;
+                xp[j] += eps;
+                let (l_plus, _) = mse(&layer.infer(&xp), &target);
+                let mut xm = x;
+                xm[j] -= eps;
+                let (l_minus, _) = mse(&layer.infer(&xm), &target);
+                let numeric = (l_plus - l_minus) / (2.0 * eps);
+                assert!((numeric - dx[j]).abs() < 1e-5, "{act:?} dx[{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut d = Dense::new(2, 2, Activation::Identity, 5);
+        let y = d.forward(&[1.0, 1.0]);
+        let (_, dy) = mse(&y, &[0.0, 0.0]);
+        d.backward(&dy);
+        assert!(d.dw.max_abs() > 0.0 || d.db.iter().any(|&g| g != 0.0));
+        d.zero_grad();
+        assert_eq!(d.dw.max_abs(), 0.0);
+        assert!(d.db.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Dense::new(4, 3, Activation::Relu, 123);
+        let b = Dense::new(4, 3, Activation::Relu, 123);
+        assert_eq!(a.w, b.w);
+    }
+}

@@ -1,0 +1,492 @@
+//! LSTM layer with full backpropagation-through-time.
+//!
+//! Standard LSTM cell (gates `i, f, o` sigmoidal; candidate `g` and cell
+//! output squash configurable so the paper's ReLU variant, §IV-B eqs. 6–7,
+//! can be expressed):
+//!
+//! ```text
+//! z   = Wx·x_t + Wh·h_{t-1} + b          (z split into i|f|g|o blocks)
+//! i_t = σ(z_i)   f_t = σ(z_f)   o_t = σ(z_o)   g_t = φ(z_g)
+//! c_t = f_t ⊙ c_{t-1} + i_t ⊙ g_t
+//! h_t = o_t ⊙ ψ(c_t)
+//! ```
+//!
+//! `φ` is [`Lstm::candidate_activation`], `ψ` is [`Lstm::cell_activation`].
+
+use crate::Activation;
+use foreco_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hidden/cell state pair of an LSTM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmState {
+    /// Hidden state `h` (length = hidden dim).
+    pub h: Vec<f64>,
+    /// Cell state `c` (length = hidden dim).
+    pub c: Vec<f64>,
+}
+
+impl LstmState {
+    /// Zero state for a given hidden dimension.
+    pub fn zeros(hidden: usize) -> Self {
+        Self { h: vec![0.0; hidden], c: vec![0.0; hidden] }
+    }
+}
+
+/// Per-timestep forward cache needed by BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    zg: Vec<f64>,
+    c: Vec<f64>,
+    psi_c: Vec<f64>,
+}
+
+/// An LSTM layer processing sequences of `input_dim`-vectors into
+/// `hidden_dim`-vectors.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input weights, `4H x I` (gate blocks stacked `i|f|g|o`).
+    pub wx: Matrix,
+    /// Recurrent weights, `4H x H`.
+    pub wh: Matrix,
+    /// Bias, length `4H`. Forget-gate block initialised to 1 (standard
+    /// remedy against early vanishing gradients).
+    pub b: Vec<f64>,
+    /// Candidate activation φ (paper: ReLU).
+    pub candidate_activation: Activation,
+    /// Cell-output activation ψ (paper: ReLU; classical: tanh).
+    pub cell_activation: Activation,
+    /// Accumulated gradient for `wx`.
+    pub dwx: Matrix,
+    /// Accumulated gradient for `wh`.
+    pub dwh: Matrix,
+    /// Accumulated gradient for `b`.
+    pub db: Vec<f64>,
+    hidden: usize,
+    input: usize,
+    caches: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-uniform weights, deterministic in `seed`.
+    pub fn new(
+        input_dim: usize,
+        hidden_dim: usize,
+        candidate_activation: Activation,
+        cell_activation: Activation,
+        seed: u64,
+    ) -> Self {
+        assert!(input_dim > 0 && hidden_dim > 0, "lstm: dims must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lim_x = (6.0 / (input_dim + hidden_dim) as f64).sqrt();
+        let lim_h = (6.0 / (2 * hidden_dim) as f64).sqrt();
+        let wx = Matrix::from_fn(4 * hidden_dim, input_dim, |_, _| rng.gen_range(-lim_x..lim_x));
+        let wh = Matrix::from_fn(4 * hidden_dim, hidden_dim, |_, _| rng.gen_range(-lim_h..lim_h));
+        let mut b = vec![0.0; 4 * hidden_dim];
+        // Forget-gate bias = 1.
+        for bf in b.iter_mut().take(2 * hidden_dim).skip(hidden_dim) {
+            *bf = 1.0;
+        }
+        Self {
+            dwx: Matrix::zeros(4 * hidden_dim, input_dim),
+            dwh: Matrix::zeros(4 * hidden_dim, hidden_dim),
+            db: vec![0.0; 4 * hidden_dim],
+            wx,
+            wh,
+            b,
+            candidate_activation,
+            cell_activation,
+            hidden: hidden_dim,
+            input: input_dim,
+            caches: Vec::new(),
+        }
+    }
+
+    /// Hidden dimension.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.wx.rows() * self.wx.cols() + self.wh.rows() * self.wh.cols() + self.b.len()
+    }
+
+    /// One inference step without touching training caches.
+    pub fn infer_step(&self, x: &[f64], state: &LstmState) -> LstmState {
+        let (_, new_state) = self.step_internal(x, state);
+        new_state
+    }
+
+    fn step_internal(&self, x: &[f64], state: &LstmState) -> (StepCache, LstmState) {
+        assert_eq!(x.len(), self.input, "lstm: input dim mismatch");
+        let h_dim = self.hidden;
+        // z = Wx x + Wh h + b
+        let mut z = self.wx.matvec(x);
+        let zh = self.wh.matvec(&state.h);
+        for (zi, (zhi, bi)) in z.iter_mut().zip(zh.iter().zip(&self.b)) {
+            *zi += zhi + bi;
+        }
+        let sig = Activation::Sigmoid;
+        let mut i = Vec::with_capacity(h_dim);
+        let mut f = Vec::with_capacity(h_dim);
+        let mut g = Vec::with_capacity(h_dim);
+        let mut o = Vec::with_capacity(h_dim);
+        let mut zg = Vec::with_capacity(h_dim);
+        for k in 0..h_dim {
+            i.push(sig.apply(z[k]));
+            f.push(sig.apply(z[h_dim + k]));
+            zg.push(z[2 * h_dim + k]);
+            g.push(self.candidate_activation.apply(z[2 * h_dim + k]));
+            o.push(sig.apply(z[3 * h_dim + k]));
+        }
+        let mut c = Vec::with_capacity(h_dim);
+        let mut psi_c = Vec::with_capacity(h_dim);
+        let mut h = Vec::with_capacity(h_dim);
+        for k in 0..h_dim {
+            let ck = f[k] * state.c[k] + i[k] * g[k];
+            let pk = self.cell_activation.apply(ck);
+            c.push(ck);
+            psi_c.push(pk);
+            h.push(o[k] * pk);
+        }
+        let cache = StepCache {
+            x: x.to_vec(),
+            h_prev: state.h.clone(),
+            c_prev: state.c.clone(),
+            i,
+            f,
+            g,
+            o,
+            zg,
+            c: c.clone(),
+            psi_c,
+        };
+        (cache, LstmState { h, c })
+    }
+
+    /// Runs the whole sequence from a zero state, caching every step for
+    /// [`Lstm::backward_sequence`]. Returns the hidden state after each
+    /// step.
+    pub fn forward_sequence(&mut self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.caches.clear();
+        let mut state = LstmState::zeros(self.hidden);
+        let mut hs = Vec::with_capacity(xs.len());
+        for x in xs {
+            let (cache, next) = self.step_internal(x, &state);
+            self.caches.push(cache);
+            state = next;
+            hs.push(state.h.clone());
+        }
+        hs
+    }
+
+    /// Inference over a sequence from a zero state; returns the final state.
+    pub fn infer_sequence(&self, xs: &[Vec<f64>]) -> LstmState {
+        let mut state = LstmState::zeros(self.hidden);
+        for x in xs {
+            state = self.infer_step(x, &state);
+        }
+        state
+    }
+
+    /// Backpropagation through time.
+    ///
+    /// `dhs[t]` is `dL/dh_t` coming from outside (zero for steps without a
+    /// loss). Accumulates weight gradients and returns `dL/dx_t` per step.
+    ///
+    /// # Panics
+    /// Panics if `dhs.len()` differs from the cached sequence length.
+    #[allow(clippy::needless_range_loop)] // r walks dz against four weight blocks
+    pub fn backward_sequence(&mut self, dhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(dhs.len(), self.caches.len(), "lstm backward: length mismatch");
+        let h_dim = self.hidden;
+        let sig = Activation::Sigmoid;
+        let mut dxs = vec![vec![0.0; self.input]; dhs.len()];
+        let mut dh_carry = vec![0.0; h_dim];
+        let mut dc_carry = vec![0.0; h_dim];
+
+        for t in (0..self.caches.len()).rev() {
+            let cache = &self.caches[t];
+            // Total gradient flowing into h_t.
+            let mut dh = dhs[t].clone();
+            for (d, carry) in dh.iter_mut().zip(&dh_carry) {
+                *d += carry;
+            }
+            let mut dz = vec![0.0; 4 * h_dim];
+            let mut dc_next = vec![0.0; h_dim];
+            for k in 0..h_dim {
+                let o = cache.o[k];
+                let psi = cache.psi_c[k];
+                // h = o ψ(c)
+                let do_ = dh[k] * psi;
+                let dc = dc_carry[k] + dh[k] * o * self.cell_activation.deriv(cache.c[k], psi);
+                // c = f c_prev + i g
+                let di = dc * cache.g[k];
+                let df = dc * cache.c_prev[k];
+                let dg = dc * cache.i[k];
+                dc_next[k] = dc * cache.f[k];
+                dz[k] = di * sig.deriv(0.0, cache.i[k]);
+                dz[h_dim + k] = df * sig.deriv(0.0, cache.f[k]);
+                dz[2 * h_dim + k] = dg * self.candidate_activation.deriv(cache.zg[k], cache.g[k]);
+                dz[3 * h_dim + k] = do_ * sig.deriv(0.0, cache.o[k]);
+            }
+            // Parameter gradients: dW += dz ⊗ input, db += dz.
+            for r in 0..4 * h_dim {
+                let dzr = dz[r];
+                if dzr == 0.0 {
+                    continue;
+                }
+                self.db[r] += dzr;
+                let dwx_row = self.dwx.row_mut(r);
+                for (j, xj) in cache.x.iter().enumerate() {
+                    dwx_row[j] += dzr * xj;
+                }
+                let dwh_row = self.dwh.row_mut(r);
+                for (j, hj) in cache.h_prev.iter().enumerate() {
+                    dwh_row[j] += dzr * hj;
+                }
+            }
+            // dx = Wxᵀ dz ; dh_prev = Whᵀ dz.
+            let dx = &mut dxs[t];
+            let mut dh_prev = vec![0.0; h_dim];
+            for r in 0..4 * h_dim {
+                let dzr = dz[r];
+                if dzr == 0.0 {
+                    continue;
+                }
+                let wx_row = self.wx.row(r);
+                for (j, w) in wx_row.iter().enumerate() {
+                    dx[j] += dzr * w;
+                }
+                let wh_row = self.wh.row(r);
+                for (j, w) in wh_row.iter().enumerate() {
+                    dh_prev[j] += dzr * w;
+                }
+            }
+            dh_carry = dh_prev;
+            dc_carry = dc_next;
+        }
+        dxs
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.dwx = Matrix::zeros(4 * self.hidden, self.input);
+        self.dwh = Matrix::zeros(4 * self.hidden, self.hidden);
+        self.db.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(seed: u64) -> Lstm {
+        Lstm::new(2, 3, Activation::Tanh, Activation::Tanh, seed)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let l = Lstm::new(6, 200, Activation::Relu, Activation::Relu, 1);
+        // 4H(I + H + 1) = 800 * 207 = 165_600, close to the paper's
+        // |w| = 163 803 total for the full model.
+        assert_eq!(l.num_params(), 4 * 200 * (6 + 200 + 1));
+    }
+
+    #[test]
+    fn forward_deterministic() {
+        let mut a = tiny(9);
+        let mut b = tiny(9);
+        let xs = vec![vec![0.1, -0.2], vec![0.3, 0.4]];
+        assert_eq!(a.forward_sequence(&xs), b.forward_sequence(&xs));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut l = tiny(11);
+        let xs = vec![vec![0.5, 0.5], vec![-0.5, 0.1], vec![0.0, 0.9]];
+        let hs = l.forward_sequence(&xs);
+        let state = l.infer_sequence(&xs);
+        assert_eq!(hs.last().unwrap(), &state.h);
+    }
+
+    #[test]
+    fn zero_input_zero_state_keeps_small_output() {
+        let l = tiny(5);
+        let s = l.infer_step(&[0.0, 0.0], &LstmState::zeros(3));
+        // With zero input and state, h = σ(b_o) ⊙ ψ(σ(b_i)·φ(0)); since
+        // φ(0) = 0 the cell stays 0 and so does h.
+        assert!(s.h.iter().all(|&h| h.abs() < 1e-12));
+        assert!(s.c.iter().all(|&c| c.abs() < 1e-12));
+    }
+
+    /// The canonical test for hand-written BPTT: loss gradients w.r.t. every
+    /// parameter tensor must match central finite differences on a
+    /// multi-step sequence (so the recurrent path is exercised).
+    #[test]
+    fn bptt_matches_finite_differences() {
+        for (cand, cell) in [
+            (Activation::Tanh, Activation::Tanh),
+            (Activation::Relu, Activation::Relu),
+        ] {
+            let mut l = Lstm::new(2, 3, cand, cell, 77);
+            let xs = vec![vec![0.3, -0.4], vec![0.8, 0.2], vec![-0.6, 0.5]];
+            let target = vec![0.2, -0.1, 0.4];
+
+            let loss_of = |l: &Lstm| -> f64 {
+                let s = l.infer_sequence(&xs);
+                crate::mse(&s.h, &target).0
+            };
+
+            l.zero_grad();
+            let hs = l.forward_sequence(&xs);
+            let (_, dy) = crate::mse(hs.last().unwrap(), &target);
+            let mut dhs = vec![vec![0.0; 3]; xs.len()];
+            *dhs.last_mut().unwrap() = dy;
+            let dxs = l.backward_sequence(&dhs);
+
+            let eps = 1e-6;
+            // wx gradient check (sample every entry — the matrix is small).
+            for r in 0..l.wx.rows() {
+                for c in 0..l.wx.cols() {
+                    let mut lp = l.clone();
+                    lp.wx[(r, c)] += eps;
+                    let mut lm = l.clone();
+                    lm.wx[(r, c)] -= eps;
+                    let numeric = (loss_of(&lp) - loss_of(&lm)) / (2.0 * eps);
+                    assert!(
+                        (numeric - l.dwx[(r, c)]).abs() < 1e-5,
+                        "{cand:?} dwx[{r},{c}]: numeric {numeric} vs {}",
+                        l.dwx[(r, c)]
+                    );
+                }
+            }
+            // wh gradient check.
+            for r in 0..l.wh.rows() {
+                for c in 0..l.wh.cols() {
+                    let mut lp = l.clone();
+                    lp.wh[(r, c)] += eps;
+                    let mut lm = l.clone();
+                    lm.wh[(r, c)] -= eps;
+                    let numeric = (loss_of(&lp) - loss_of(&lm)) / (2.0 * eps);
+                    assert!(
+                        (numeric - l.dwh[(r, c)]).abs() < 1e-5,
+                        "{cand:?} dwh[{r},{c}]: numeric {numeric} vs {}",
+                        l.dwh[(r, c)]
+                    );
+                }
+            }
+            // bias gradient check.
+            for k in 0..l.b.len() {
+                let mut lp = l.clone();
+                lp.b[k] += eps;
+                let mut lm = l.clone();
+                lm.b[k] -= eps;
+                let numeric = (loss_of(&lp) - loss_of(&lm)) / (2.0 * eps);
+                assert!(
+                    (numeric - l.db[k]).abs() < 1e-5,
+                    "{cand:?} db[{k}]: numeric {numeric} vs {}",
+                    l.db[k]
+                );
+            }
+            // input gradient check.
+            for t in 0..xs.len() {
+                for j in 0..2 {
+                    let mut xp = xs.clone();
+                    xp[t][j] += eps;
+                    let mut xm = xs.clone();
+                    xm[t][j] -= eps;
+                    let lp = {
+                        let s = l.infer_sequence(&xp);
+                        crate::mse(&s.h, &target).0
+                    };
+                    let lm = {
+                        let s = l.infer_sequence(&xm);
+                        crate::mse(&s.h, &target).0
+                    };
+                    let numeric = (lp - lm) / (2.0 * eps);
+                    assert!(
+                        (numeric - dxs[t][j]).abs() < 1e-5,
+                        "{cand:?} dx[{t}][{j}]: numeric {numeric} vs {}",
+                        dxs[t][j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// A single LSTM unit can be trained (via plain SGD here) to remember
+    /// the first element of a sequence — smoke test that gradients point in
+    /// a useful direction.
+    #[test]
+    fn learns_to_remember_first_input() {
+        let mut l = Lstm::new(1, 4, Activation::Tanh, Activation::Tanh, 3);
+        let mut readout = crate::Dense::new(4, 1, Activation::Identity, 4);
+        let seqs: Vec<(Vec<Vec<f64>>, f64)> = vec![
+            (vec![vec![1.0], vec![0.0], vec![0.0]], 1.0),
+            (vec![vec![-1.0], vec![0.0], vec![0.0]], -1.0),
+        ];
+        let lr = 0.05;
+        let mut last_loss = f64::INFINITY;
+        for epoch in 0..400 {
+            let mut total = 0.0;
+            for (xs, y) in &seqs {
+                l.zero_grad();
+                readout.zero_grad();
+                let hs = l.forward_sequence(xs);
+                let pred = readout.forward(hs.last().unwrap());
+                let (loss, dy) = crate::mse(&pred, &[*y]);
+                total += loss;
+                let dh = readout.backward(&dy);
+                let mut dhs = vec![vec![0.0; 4]; xs.len()];
+                *dhs.last_mut().unwrap() = dh;
+                l.backward_sequence(&dhs);
+                // SGD step.
+                for r in 0..l.dwx.rows() {
+                    for c in 0..l.dwx.cols() {
+                        let g = l.dwx[(r, c)];
+                        l.wx[(r, c)] -= lr * g;
+                    }
+                }
+                for r in 0..l.dwh.rows() {
+                    for c in 0..l.dwh.cols() {
+                        let g = l.dwh[(r, c)];
+                        l.wh[(r, c)] -= lr * g;
+                    }
+                }
+                for k in 0..l.b.len() {
+                    let g = l.db[k];
+                    l.b[k] -= lr * g;
+                }
+                for r in 0..readout.dw.rows() {
+                    for c in 0..readout.dw.cols() {
+                        let g = readout.dw[(r, c)];
+                        readout.w[(r, c)] -= lr * g;
+                    }
+                }
+                for k in 0..readout.db.len() {
+                    let g = readout.db[k];
+                    readout.b[k] -= lr * g;
+                }
+            }
+            if epoch == 399 {
+                last_loss = total;
+            }
+        }
+        assert!(last_loss < 0.05, "final loss {last_loss}");
+    }
+}

@@ -1,0 +1,334 @@
+//! Many-to-one seq2seq model (§IV-B of the paper).
+//!
+//! The paper feeds a sequence of past commands `{ĉ_j}` into an **encoder**
+//! LSTM (200 units), hands the encoded representation to a **decoder** LSTM
+//! (30 units), and reads the next command `ĉ_{i+1}` out of the decoder —
+//! ReLU activations throughout (eqs. 6–7). The output head is a linear
+//! layer mapping the decoder's hidden state to the `d` joint coordinates.
+//! Trained with Adam on batched MSE (eq. 10).
+
+use crate::{mse, Activation, Adam, AdamConfig, Dense, Lstm, LstmState};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the [`Seq2Seq`] model. Defaults mirror the paper:
+/// 200-unit encoder, 30-unit decoder, ReLU activations, Adam with
+/// `η = 0.001, β₁ = 0.9, β₂ = 0.999, ε = 1e-7`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Seq2SeqConfig {
+    /// Command dimensionality `d` (6 for the Niryo One).
+    pub input_dim: usize,
+    /// Encoder LSTM width (paper: 200).
+    pub encoder_hidden: usize,
+    /// Decoder LSTM width (paper: 30).
+    pub decoder_hidden: usize,
+    /// Activation for LSTM candidate/cell outputs (paper: ReLU).
+    pub activation: Activation,
+    /// Adam hyper-parameters.
+    pub adam: AdamConfig,
+    /// Mini-batch size `B_i` of eq. 10.
+    pub batch_size: usize,
+}
+
+impl Default for Seq2SeqConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: 6,
+            encoder_hidden: 200,
+            decoder_hidden: 30,
+            activation: Activation::Relu,
+            adam: AdamConfig::default(),
+            batch_size: 64,
+        }
+    }
+}
+
+/// Per-epoch training summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss of each epoch, in input units².
+    pub epoch_losses: Vec<f64>,
+    /// Total number of Adam steps taken.
+    pub steps: u64,
+}
+
+/// Encoder–decoder LSTM forecaster.
+pub struct Seq2Seq {
+    encoder: Lstm,
+    decoder: Lstm,
+    head: Dense,
+    adam: Adam,
+    cfg: Seq2SeqConfig,
+}
+
+// Adam tensor indices.
+const T_ENC_WX: usize = 0;
+const T_ENC_WH: usize = 1;
+const T_ENC_B: usize = 2;
+const T_DEC_WX: usize = 3;
+const T_DEC_WH: usize = 4;
+const T_DEC_B: usize = 5;
+const T_HEAD_W: usize = 6;
+const T_HEAD_B: usize = 7;
+
+impl Seq2Seq {
+    /// Builds the model with seeded Xavier initialisation.
+    pub fn new(cfg: &Seq2SeqConfig, seed: u64) -> Self {
+        let encoder = Lstm::new(
+            cfg.input_dim,
+            cfg.encoder_hidden,
+            cfg.activation,
+            cfg.activation,
+            seed,
+        );
+        let decoder = Lstm::new(
+            cfg.encoder_hidden,
+            cfg.decoder_hidden,
+            cfg.activation,
+            cfg.activation,
+            seed.wrapping_add(1),
+        );
+        let head = Dense::new(
+            cfg.decoder_hidden,
+            cfg.input_dim,
+            Activation::Identity,
+            seed.wrapping_add(2),
+        );
+        Self { encoder, decoder, head, adam: Adam::new(cfg.adam, 8), cfg: cfg.clone() }
+    }
+
+    /// Total number of trainable weights `|w|`.
+    ///
+    /// With the paper's shapes (d=6, encoder 200, decoder 30) this yields
+    /// 193 506 — same order as the paper's reported 163 803; the exact
+    /// count depends on unstated architectural details (e.g. whether the
+    /// decoder consumes `h` or a projection).
+    pub fn num_params(&self) -> usize {
+        self.encoder.num_params() + self.decoder.num_params() + self.head.num_params()
+    }
+
+    /// Predicts the next command from a history window (inference only).
+    ///
+    /// # Panics
+    /// Panics if `history` is empty or items mismatch `input_dim`.
+    pub fn predict(&self, history: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!history.is_empty(), "seq2seq: empty history");
+        let enc = self.encoder.infer_sequence(history);
+        let dec = self.decoder.infer_step(&enc.h, &LstmState::zeros(self.cfg.decoder_hidden));
+        self.head.infer(&dec.h)
+    }
+
+    /// Forward pass that caches intermediates (used by training).
+    pub fn forward(&mut self, history: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!history.is_empty(), "seq2seq: empty history");
+        let enc_hs = self.encoder.forward_sequence(history);
+        let enc_h = enc_hs.last().expect("nonempty").clone();
+        let dec_hs = self.decoder.forward_sequence(&[enc_h]);
+        self.head.forward(&dec_hs[0])
+    }
+
+    /// Backward pass from an output gradient; accumulates all gradients.
+    fn backward(&mut self, dy: &[f64], seq_len: usize) {
+        let dh_dec = self.head.backward(dy);
+        let d_enc_h = self.decoder.backward_sequence(&[dh_dec]);
+        let mut dhs = vec![vec![0.0; self.cfg.encoder_hidden]; seq_len];
+        *dhs.last_mut().expect("nonempty") = d_enc_h.into_iter().next().expect("one step");
+        self.encoder.backward_sequence(&dhs);
+    }
+
+    fn zero_grad(&mut self) {
+        self.encoder.zero_grad();
+        self.decoder.zero_grad();
+        self.head.zero_grad();
+    }
+
+    fn apply_adam(&mut self) {
+        self.adam.begin_step();
+        let enc_dwx = self.encoder.dwx.as_slice().to_vec();
+        self.adam.update(T_ENC_WX, self.encoder.wx.as_mut_slice(), &enc_dwx);
+        let enc_dwh = self.encoder.dwh.as_slice().to_vec();
+        self.adam.update(T_ENC_WH, self.encoder.wh.as_mut_slice(), &enc_dwh);
+        let enc_db = self.encoder.db.clone();
+        self.adam.update(T_ENC_B, &mut self.encoder.b, &enc_db);
+        let dec_dwx = self.decoder.dwx.as_slice().to_vec();
+        self.adam.update(T_DEC_WX, self.decoder.wx.as_mut_slice(), &dec_dwx);
+        let dec_dwh = self.decoder.dwh.as_slice().to_vec();
+        self.adam.update(T_DEC_WH, self.decoder.wh.as_mut_slice(), &dec_dwh);
+        let dec_db = self.decoder.db.clone();
+        self.adam.update(T_DEC_B, &mut self.decoder.b, &dec_db);
+        let head_dw = self.head.dw.as_slice().to_vec();
+        self.adam.update(T_HEAD_W, self.head.w.as_mut_slice(), &head_dw);
+        let head_db = self.head.db.clone();
+        self.adam.update(T_HEAD_B, &mut self.head.b, &head_db);
+    }
+
+    /// Trains on `(history, next-command)` pairs for `epochs` epochs of
+    /// mini-batched Adam (eq. 10: the loss is averaged over the batch).
+    ///
+    /// Samples are consumed in the given order (callers shuffle if they
+    /// want; deterministic order keeps experiments reproducible).
+    pub fn train(
+        &mut self,
+        samples: &[(Vec<Vec<f64>>, Vec<f64>)],
+        epochs: usize,
+    ) -> TrainReport {
+        assert!(!samples.is_empty(), "seq2seq train: no samples");
+        let batch = self.cfg.batch_size.max(1);
+        let mut epoch_losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut epoch_loss = 0.0;
+            for chunk in samples.chunks(batch) {
+                self.zero_grad();
+                let mut batch_loss = 0.0;
+                for (hist, target) in chunk {
+                    let pred = self.forward(hist);
+                    let (loss, mut dy) = mse(&pred, target);
+                    batch_loss += loss;
+                    // Average the gradient over the batch (eq. 10 divides
+                    // by B_i).
+                    for g in &mut dy {
+                        *g /= chunk.len() as f64;
+                    }
+                    self.backward(&dy, hist.len());
+                }
+                epoch_loss += batch_loss;
+                self.apply_adam();
+            }
+            epoch_losses.push(epoch_loss / samples.len() as f64);
+        }
+        TrainReport { epoch_losses, steps: self.adam.steps() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> Seq2SeqConfig {
+        Seq2SeqConfig {
+            input_dim: 2,
+            encoder_hidden: 8,
+            decoder_hidden: 4,
+            activation: Activation::Tanh,
+            adam: AdamConfig { learning_rate: 0.01, ..Default::default() },
+            batch_size: 4,
+        }
+    }
+
+    #[test]
+    fn predict_shape_and_determinism() {
+        let m1 = Seq2Seq::new(&tiny_cfg(), 5);
+        let m2 = Seq2Seq::new(&tiny_cfg(), 5);
+        let hist = vec![vec![0.1, 0.2], vec![0.3, -0.1], vec![0.0, 0.4]];
+        let p1 = m1.predict(&hist);
+        let p2 = m2.predict(&hist);
+        assert_eq!(p1.len(), 2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn forward_matches_predict() {
+        let mut m = Seq2Seq::new(&tiny_cfg(), 6);
+        let hist = vec![vec![0.5, -0.5], vec![0.2, 0.2]];
+        let a = m.predict(&hist);
+        let b = m.forward(&hist);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_scale_param_count() {
+        let cfg = Seq2SeqConfig::default();
+        let m = Seq2Seq::new(&cfg, 0);
+        // Same order of magnitude as the paper's |w| = 163 803.
+        assert!(m.num_params() > 100_000 && m.num_params() < 300_000, "{}", m.num_params());
+    }
+
+    /// Whole-model gradient check through encoder, decoder and head.
+    #[test]
+    fn end_to_end_gradients_match_finite_differences() {
+        let cfg = Seq2SeqConfig {
+            input_dim: 2,
+            encoder_hidden: 3,
+            decoder_hidden: 2,
+            activation: Activation::Tanh,
+            adam: AdamConfig::default(),
+            batch_size: 1,
+        };
+        let mut m = Seq2Seq::new(&cfg, 21);
+        let hist = vec![vec![0.4, -0.3], vec![0.1, 0.8]];
+        let target = vec![0.5, -0.2];
+
+        m.zero_grad();
+        let pred = m.forward(&hist);
+        let (_, dy) = mse(&pred, &target);
+        m.backward(&dy, hist.len());
+
+        let loss_of = |m: &Seq2Seq| mse(&m.predict(&hist), &target).0;
+        let eps = 1e-6;
+
+        // Spot-check a handful of entries in each tensor.
+        let checks: Vec<(String, f64, f64)> = {
+            let mut v = Vec::new();
+            for (r, c) in [(0, 0), (3, 1), (7, 0)] {
+                let mut mp = clone_model(&m, &cfg);
+                mp.encoder.wx[(r, c)] += eps;
+                let mut mm = clone_model(&m, &cfg);
+                mm.encoder.wx[(r, c)] -= eps;
+                let numeric = (loss_of(&mp) - loss_of(&mm)) / (2.0 * eps);
+                v.push((format!("enc.wx[{r},{c}]"), numeric, m.encoder.dwx[(r, c)]));
+            }
+            for (r, c) in [(0, 0), (5, 2)] {
+                let mut mp = clone_model(&m, &cfg);
+                mp.decoder.wx[(r, c)] += eps;
+                let mut mm = clone_model(&m, &cfg);
+                mm.decoder.wx[(r, c)] -= eps;
+                let numeric = (loss_of(&mp) - loss_of(&mm)) / (2.0 * eps);
+                v.push((format!("dec.wx[{r},{c}]"), numeric, m.decoder.dwx[(r, c)]));
+            }
+            for (r, c) in [(0, 0), (1, 1)] {
+                let mut mp = clone_model(&m, &cfg);
+                mp.head.w[(r, c)] += eps;
+                let mut mm = clone_model(&m, &cfg);
+                mm.head.w[(r, c)] -= eps;
+                let numeric = (loss_of(&mp) - loss_of(&mm)) / (2.0 * eps);
+                v.push((format!("head.w[{r},{c}]"), numeric, m.head.dw[(r, c)]));
+            }
+            v
+        };
+        for (name, numeric, analytic) in checks {
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "{name}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    fn clone_model(m: &Seq2Seq, cfg: &Seq2SeqConfig) -> Seq2Seq {
+        let mut c = Seq2Seq::new(cfg, 0);
+        c.encoder = m.encoder.clone();
+        c.decoder = m.decoder.clone();
+        c.head = m.head.clone();
+        c
+    }
+
+    /// Training on a linear next-step rule must reduce the loss.
+    #[test]
+    fn training_reduces_loss() {
+        let mut m = Seq2Seq::new(&tiny_cfg(), 33);
+        // Next value = previous value (constant sequences).
+        let mut samples = Vec::new();
+        for k in 0..16 {
+            let v = -0.8 + 0.1 * k as f64;
+            let hist = vec![vec![v, -v]; 3];
+            samples.push((hist, vec![v, -v]));
+        }
+        let report = m.train(&samples, 60);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(
+            last < first * 0.5,
+            "loss did not halve: first {first}, last {last}"
+        );
+    }
+}

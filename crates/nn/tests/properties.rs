@@ -1,0 +1,70 @@
+//! Property-based tests for the neural substrate.
+
+use foreco_nn::{mse, Activation, Adam, AdamConfig, Dense, Lstm, LstmState};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Activations are monotone non-decreasing everywhere we use them.
+    #[test]
+    fn activations_monotone(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
+            prop_assert!(act.apply(lo) <= act.apply(hi) + 1e-12);
+        }
+    }
+
+    /// MSE is non-negative, zero iff equal, symmetric.
+    #[test]
+    fn mse_properties(
+        a in proptest::collection::vec(-5.0f64..5.0, 1..10),
+        shift in 0.001f64..1.0,
+    ) {
+        let (zero, _) = mse(&a, &a);
+        prop_assert_eq!(zero, 0.0);
+        let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let (ab, _) = mse(&a, &b);
+        let (ba, _) = mse(&b, &a);
+        prop_assert!(ab > 0.0);
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    /// A dense layer is positively homogeneous-ish: doubling the weights
+    /// of an Identity layer doubles the output (linearity check).
+    #[test]
+    fn dense_identity_is_linear(x in proptest::collection::vec(-2.0f64..2.0, 3)) {
+        let mut d = Dense::new(3, 2, Activation::Identity, 5);
+        d.b = vec![0.0, 0.0];
+        let y1 = d.infer(&x);
+        let x2: Vec<f64> = x.iter().map(|v| v * 2.0).collect();
+        let y2 = d.infer(&x2);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((2.0 * a - b).abs() < 1e-9);
+        }
+    }
+
+    /// LSTM inference is bounded with tanh squash: |h| ≤ 1 elementwise.
+    #[test]
+    fn lstm_tanh_hidden_bounded(
+        xs in proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 2), 1..20),
+    ) {
+        let l = Lstm::new(2, 4, Activation::Tanh, Activation::Tanh, 9);
+        let mut state = LstmState::zeros(4);
+        for x in &xs {
+            state = l.infer_step(x, &state);
+            prop_assert!(state.h.iter().all(|h| h.abs() <= 1.0 + 1e-12));
+        }
+    }
+
+    /// Adam always moves against the gradient sign on the first step.
+    #[test]
+    fn adam_first_step_direction(g in -100.0f64..100.0) {
+        prop_assume!(g.abs() > 1e-6);
+        let mut adam = Adam::new(AdamConfig::default(), 1);
+        let mut w = vec![0.0];
+        adam.begin_step();
+        adam.update(0, &mut w, &[g]);
+        prop_assert!(w[0] * g < 0.0, "w moved {} with gradient {g}", w[0]);
+    }
+}

@@ -1,0 +1,289 @@
+//! The 50 Hz robot driver loop.
+//!
+//! This is the component FoReCo plugs into (Fig. 3): every `Ω` the driver
+//! expects a command; the caller passes `Some(command)` when one arrived
+//! in time (a real one or a FoReCo forecast) or `None` on a miss, in which
+//! case the driver **holds the previous command** — the Niryo stack's
+//! documented behaviour (§VI-A: "Niryo One ROS stack uses the prior
+//! command ĉ_{i+1} = c_i in case Δ(c_{i+1}) > Ω").
+
+use crate::model::ArmModel;
+use crate::pid::{Pid, PidGains};
+use serde::{Deserialize, Serialize};
+
+/// Driver-loop configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Control period `Ω` in seconds (paper: 20 ms / 50 Hz).
+    pub period: f64,
+    /// PID gains shared by all joints.
+    pub gains: PidGains,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self { period: 0.020, gains: PidGains::niryo_default() }
+    }
+}
+
+/// One recorded trajectory sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Time stamp (seconds since driver start).
+    pub t: f64,
+    /// Joint state after the tick (rad).
+    pub joints: Vec<f64>,
+    /// End-effector position (mm).
+    pub position_mm: [f64; 3],
+    /// Distance from base origin (mm) — the paper's plotting unit.
+    pub distance_mm: f64,
+    /// Whether this tick had a fresh command (false = held the last one).
+    pub fresh_command: bool,
+}
+
+/// The simulated robot: joint state + PIDs + trajectory recording.
+///
+/// # Example
+///
+/// ```
+/// use foreco_robot::{niryo_one, DriverConfig, RobotDriver};
+///
+/// let model = niryo_one();
+/// let home = model.home();
+/// let mut driver = RobotDriver::new(model, DriverConfig::default(), &home);
+/// let sample = driver.tick(Some(&home)); // one 20 ms control period
+/// assert!(sample.fresh_command);
+/// assert!(sample.distance_mm > 0.0);
+/// ```
+pub struct RobotDriver {
+    model: ArmModel,
+    cfg: DriverConfig,
+    joints: Vec<f64>,
+    pids: Vec<Pid>,
+    last_command: Vec<f64>,
+    t: f64,
+    trail: Vec<Sample>,
+}
+
+impl RobotDriver {
+    /// Creates a driver with the arm at `initial` joint positions.
+    ///
+    /// # Panics
+    /// Panics if `initial` violates limits or the joint count mismatches.
+    pub fn new(model: ArmModel, cfg: DriverConfig, initial: &[f64]) -> Self {
+        assert!(cfg.period > 0.0, "driver: period must be positive");
+        assert!(
+            model.within_limits(initial),
+            "driver: initial pose violates joint limits"
+        );
+        let pids = model
+            .limits
+            .iter()
+            .map(|l| Pid::new(cfg.gains, l.max_velocity))
+            .collect();
+        Self {
+            joints: initial.to_vec(),
+            last_command: initial.to_vec(),
+            pids,
+            model,
+            cfg,
+            t: 0.0,
+            trail: Vec::new(),
+        }
+    }
+
+    /// The arm model.
+    pub fn model(&self) -> &ArmModel {
+        &self.model
+    }
+
+    /// Current joint state.
+    pub fn joints(&self) -> &[f64] {
+        &self.joints
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Last command fed to the PIDs (held on misses).
+    pub fn last_command(&self) -> &[f64] {
+        &self.last_command
+    }
+
+    /// Advances one control period.
+    ///
+    /// `command` = `Some(target joints)` when a command (real or forecast)
+    /// arrived in time, `None` on a miss (the driver repeats the last one).
+    /// Returns the recorded sample.
+    ///
+    /// # Panics
+    /// Panics on joint-count mismatch.
+    pub fn tick(&mut self, command: Option<&[f64]>) -> &Sample {
+        let fresh = command.is_some();
+        if let Some(cmd) = command {
+            assert_eq!(cmd.len(), self.model.dof(), "tick: joint count mismatch");
+            // Commands outside the joint limits are clamped, as the real
+            // driver would refuse to exceed them.
+            self.last_command = self.model.clamp(cmd);
+        }
+        let dt = self.cfg.period;
+        for i in 0..self.joints.len() {
+            let v = self.pids[i].step(self.last_command[i], self.joints[i], dt);
+            let q = self.joints[i] + v * dt;
+            self.joints[i] = self.model.limits[i].clamp(q);
+        }
+        self.t += dt;
+        let position_mm = self.model.chain.forward_mm(&self.joints);
+        let distance_mm =
+            (position_mm[0].powi(2) + position_mm[1].powi(2) + position_mm[2].powi(2)).sqrt();
+        self.trail.push(Sample {
+            t: self.t,
+            joints: self.joints.clone(),
+            position_mm,
+            distance_mm,
+            fresh_command: fresh,
+        });
+        self.trail.last().expect("just pushed")
+    }
+
+    /// Full recorded trajectory.
+    pub fn trajectory(&self) -> &[Sample] {
+        &self.trail
+    }
+
+    /// Consumes the driver, returning the trajectory.
+    pub fn into_trajectory(self) -> Vec<Sample> {
+        self.trail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::niryo_one;
+
+    fn driver() -> RobotDriver {
+        let model = niryo_one();
+        let home = model.home();
+        RobotDriver::new(model, DriverConfig::default(), &home)
+    }
+
+    #[test]
+    fn tracks_constant_command() {
+        let mut d = driver();
+        let mut target = d.joints().to_vec();
+        target[0] += 0.3;
+        for _ in 0..150 {
+            d.tick(Some(&target));
+        }
+        assert!((d.joints()[0] - target[0]).abs() < 0.005, "joint0 = {}", d.joints()[0]);
+    }
+
+    #[test]
+    fn holds_last_command_on_miss() {
+        let mut d = driver();
+        let mut target = d.joints().to_vec();
+        target[1] += 0.2;
+        d.tick(Some(&target));
+        for _ in 0..100 {
+            d.tick(None); // network silent: driver keeps driving to target
+        }
+        assert!((d.joints()[1] - target[1]).abs() < 0.005);
+        assert_eq!(d.last_command()[1], target[1]);
+    }
+
+    #[test]
+    fn miss_flag_recorded() {
+        let mut d = driver();
+        let home = d.joints().to_vec();
+        d.tick(Some(&home));
+        d.tick(None);
+        let trail = d.trajectory();
+        assert!(trail[0].fresh_command);
+        assert!(!trail[1].fresh_command);
+    }
+
+    #[test]
+    fn joint_limits_never_violated() {
+        let mut d = driver();
+        let crazy = vec![100.0, -100.0, 100.0, -100.0, 100.0, -100.0];
+        for _ in 0..300 {
+            d.tick(Some(&crazy));
+        }
+        assert!(d.model().within_limits(d.joints()));
+    }
+
+    #[test]
+    fn velocity_limits_bound_step_size() {
+        let mut d = driver();
+        let mut target = d.joints().to_vec();
+        target[0] += 2.0; // far away
+        let before = d.joints()[0];
+        d.tick(Some(&target));
+        let after = d.joints()[0];
+        let vmax = d.model().limits[0].max_velocity;
+        assert!((after - before).abs() <= vmax * 0.020 + 1e-12);
+    }
+
+    #[test]
+    fn time_and_samples_advance_together() {
+        let mut d = driver();
+        let home = d.joints().to_vec();
+        for _ in 0..50 {
+            d.tick(Some(&home));
+        }
+        assert_eq!(d.trajectory().len(), 50);
+        assert!((d.time() - 1.0).abs() < 1e-9);
+        assert!((d.trajectory()[49].t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_command_keeps_arm_still() {
+        let mut d = driver();
+        let home = d.joints().to_vec();
+        let start_dist = d.model().chain.distance_from_origin_mm(&home);
+        for _ in 0..100 {
+            d.tick(Some(&home));
+        }
+        let end_dist = d.trajectory().last().unwrap().distance_mm;
+        assert!((start_dist - end_dist).abs() < 1.0, "arm drifted {start_dist} → {end_dist}");
+    }
+
+    /// Recovery transient: freeze the command stream mid-motion, then
+    /// resume — the arm needs a few hundred ms to catch up (Fig. 10).
+    #[test]
+    fn post_freeze_recovery_transient() {
+        let mut d = driver();
+        let home = d.joints().to_vec();
+        // Move joint 0 steadily, 0.04 rad per command.
+        let mut target = home.clone();
+        for _ in 0..20 {
+            target[0] += 0.04;
+            d.tick(Some(&target));
+        }
+        // Freeze for 25 commands while the operator keeps going.
+        for _ in 0..25 {
+            target[0] += 0.04;
+            d.tick(None);
+        }
+        // Channel recovers: the arm is now ~1 rad behind.
+        let lag = (target[0] - d.joints()[0]).abs();
+        assert!(lag > 0.5, "expected a large lag, got {lag}");
+        let mut caught_up_at = None;
+        for k in 0..200 {
+            d.tick(Some(&target));
+            if (d.joints()[0] - target[0]).abs() < 0.01 {
+                caught_up_at = Some(k);
+                break;
+            }
+        }
+        let k = caught_up_at.expect("never caught up");
+        let recovery = k as f64 * 0.020;
+        assert!(
+            (0.1..2.0).contains(&recovery),
+            "recovery took {recovery}s; expected hundreds of ms"
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Inverse kinematics by damped least squares.
+//!
+//! The paper's operators command the arm in joint space through a
+//! joystick mapping, but task definitions (pick points, place points)
+//! live in Cartesian space. This module closes that gap: given a target
+//! end-effector position, iterate
+//!
+//! ```text
+//! Δq = Jᵀ (J Jᵀ + λ² I)⁻¹ Δp        (Levenberg–Marquardt damping)
+//! ```
+//!
+//! with the 3×n position Jacobian estimated by central finite differences
+//! of the forward kinematics. Damping keeps steps bounded near
+//! singularities — the standard Wampler/Nakamura formulation.
+
+use crate::model::ArmModel;
+
+/// Configuration of the IK solver.
+#[derive(Debug, Clone, Copy)]
+pub struct IkConfig {
+    /// Damping factor λ (metres); larger = more conservative steps.
+    pub damping: f64,
+    /// Convergence threshold on the position error (metres).
+    pub tolerance: f64,
+    /// Maximum iterations before giving up.
+    pub max_iterations: usize,
+    /// Finite-difference step for the Jacobian (radians).
+    pub fd_step: f64,
+}
+
+impl Default for IkConfig {
+    fn default() -> Self {
+        Self { damping: 0.05, tolerance: 1e-4, max_iterations: 200, fd_step: 1e-6 }
+    }
+}
+
+/// Outcome of an IK solve.
+#[derive(Debug, Clone)]
+pub struct IkSolution {
+    /// Joint vector reaching (near) the target, clamped to limits.
+    pub joints: Vec<f64>,
+    /// Final position error (metres).
+    pub error: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// True when `error <= tolerance`.
+    pub converged: bool,
+}
+
+/// 3×n position Jacobian by central finite differences.
+fn jacobian(model: &ArmModel, q: &[f64], h: f64) -> Vec<[f64; 3]> {
+    let n = q.len();
+    let mut cols = Vec::with_capacity(n);
+    let mut qp = q.to_vec();
+    for j in 0..n {
+        let orig = qp[j];
+        qp[j] = orig + h;
+        let plus = model.chain.forward(&qp);
+        qp[j] = orig - h;
+        let minus = model.chain.forward(&qp);
+        qp[j] = orig;
+        cols.push([
+            (plus[0] - minus[0]) / (2.0 * h),
+            (plus[1] - minus[1]) / (2.0 * h),
+            (plus[2] - minus[2]) / (2.0 * h),
+        ]);
+    }
+    cols
+}
+
+/// Solves `3x3` linear system `A x = b` by Gaussian elimination with
+/// partial pivoting (A = J Jᵀ + λ²I is small and well conditioned thanks
+/// to the damping).
+#[allow(clippy::needless_range_loop)] // elimination indexes rows and b together
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
+    for k in 0..3 {
+        // Pivot.
+        let mut p = k;
+        for i in k + 1..3 {
+            if a[i][k].abs() > a[p][k].abs() {
+                p = i;
+            }
+        }
+        a.swap(k, p);
+        b.swap(k, p);
+        let pivot = a[k][k];
+        debug_assert!(pivot.abs() > 1e-300, "ik: singular damped system");
+        for i in k + 1..3 {
+            let f = a[i][k] / pivot;
+            for j in k..3 {
+                a[i][j] -= f * a[k][j];
+            }
+            b[i] -= f * b[k];
+        }
+    }
+    let mut x = [0.0; 3];
+    for i in (0..3).rev() {
+        let mut v = b[i];
+        for j in i + 1..3 {
+            v -= a[i][j] * x[j];
+        }
+        x[i] = v / a[i][i];
+    }
+    x
+}
+
+/// Damped-least-squares IK for the end-effector **position** (3-DOF task;
+/// orientation is free — enough for pick/place waypoint design).
+///
+/// Starts from `seed` (e.g. the current pose), returns the solution with
+/// joints clamped to the model's limits each step.
+///
+/// # Panics
+/// Panics if `seed` length mismatches the model.
+pub fn solve_position(
+    model: &ArmModel,
+    target_m: [f64; 3],
+    seed: &[f64],
+    cfg: &IkConfig,
+) -> IkSolution {
+    assert_eq!(seed.len(), model.dof(), "ik: seed joint count mismatch");
+    let mut q = model.clamp(seed);
+    let mut error = f64::MAX;
+    for iter in 0..cfg.max_iterations {
+        let p = model.chain.forward(&q);
+        let dp = [target_m[0] - p[0], target_m[1] - p[1], target_m[2] - p[2]];
+        error = (dp[0] * dp[0] + dp[1] * dp[1] + dp[2] * dp[2]).sqrt();
+        if error <= cfg.tolerance {
+            return IkSolution { joints: q, error, iterations: iter, converged: true };
+        }
+        let jac = jacobian(model, &q, cfg.fd_step);
+        // A = J Jᵀ + λ² I (3×3).
+        let mut a = [[0.0; 3]; 3];
+        for col in &jac {
+            for r in 0..3 {
+                for c in 0..3 {
+                    a[r][c] += col[r] * col[c];
+                }
+            }
+        }
+        let lambda2 = cfg.damping * cfg.damping;
+        for (r, row) in a.iter_mut().enumerate() {
+            row[r] += lambda2;
+        }
+        let y = solve3(a, dp);
+        // Δq = Jᵀ y.
+        for (j, col) in jac.iter().enumerate() {
+            let dq = col[0] * y[0] + col[1] * y[1] + col[2] * y[2];
+            q[j] = model.limits[j].clamp(q[j] + dq);
+        }
+    }
+    IkSolution { joints: q, error, iterations: cfg.max_iterations, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::niryo_one;
+
+    #[test]
+    fn reaches_a_nearby_target() {
+        let model = niryo_one();
+        let seed = model.home();
+        let start = model.chain.forward(&seed);
+        let target = [start[0] + 0.03, start[1] - 0.02, start[2] + 0.01];
+        let sol = solve_position(&model, target, &seed, &IkConfig::default());
+        assert!(sol.converged, "error {} after {} iters", sol.error, sol.iterations);
+        assert!(sol.error < 1e-3);
+        assert!(model.within_limits(&sol.joints));
+    }
+
+    #[test]
+    fn round_trips_fk_poses() {
+        // Targets generated BY the arm must be reachable by IK.
+        let model = niryo_one();
+        let seed = model.home();
+        for (i, q) in [
+            vec![0.4, -0.2, 0.1, 0.0, -0.3, 0.0],
+            vec![-0.6, 0.1, 0.3, 0.2, -0.5, 0.1],
+            vec![0.9, 0.3, 0.3, 0.0, -0.75, 0.0], // the at_pick waypoint
+        ]
+        .iter()
+        .enumerate()
+        {
+            let target = model.chain.forward(q);
+            let sol = solve_position(&model, target, &seed, &IkConfig::default());
+            assert!(
+                sol.error < 1e-3,
+                "pose {i}: error {} after {} iters",
+                sol.error,
+                sol.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_target_reports_non_convergence() {
+        let model = niryo_one();
+        let seed = model.home();
+        // Two metres out: far beyond the ~0.7 m reach.
+        let sol = solve_position(&model, [2.0, 0.0, 0.3], &seed, &IkConfig::default());
+        assert!(!sol.converged);
+        assert!(sol.error > 1.0, "error {}", sol.error);
+        assert!(model.within_limits(&sol.joints), "even failed solves stay legal");
+    }
+
+    #[test]
+    fn damping_keeps_steps_bounded_near_singularity() {
+        let model = niryo_one();
+        // Fully extended along the reach boundary = singular Jacobian.
+        let seed = vec![0.0, -0.3, -1.0, 0.0, 0.3, 0.0];
+        let start = model.chain.forward(&seed);
+        let target = [start[0] + 0.01, start[1], start[2]];
+        let sol = solve_position(&model, target, &seed, &IkConfig::default());
+        // Must not blow up; joints stay finite and legal.
+        assert!(sol.joints.iter().all(|v| v.is_finite()));
+        assert!(model.within_limits(&sol.joints));
+    }
+
+    #[test]
+    fn solve3_solves_exactly() {
+        let a = [[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]];
+        let x = solve3(a, [9.0, 13.0, 8.0]);
+        // Verify A x = b.
+        let b0 = 4.0 * x[0] + x[1];
+        let b1 = x[0] + 3.0 * x[1] + x[2];
+        let b2 = x[1] + 2.0 * x[2];
+        assert!((b0 - 9.0).abs() < 1e-10);
+        assert!((b1 - 13.0).abs() < 1e-10);
+        assert!((b2 - 8.0).abs() < 1e-10);
+    }
+}

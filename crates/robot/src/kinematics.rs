@@ -1,0 +1,203 @@
+//! Denavit–Hartenberg forward kinematics.
+//!
+//! Classic (distal) DH convention: the transform of link `i` is
+//! `Rot_z(θ_i) · Trans_z(d_i) · Trans_x(a_i) · Rot_x(α_i)` with
+//! `θ_i = q_i + θ_offset_i` for revolute joints. Four `f64`s per link and
+//! a 3×3-plus-translation transform — no general 4×4 matrix stack needed.
+
+use serde::{Deserialize, Serialize};
+
+/// One revolute DH link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DhLink {
+    /// Link length `a` (metres).
+    pub a: f64,
+    /// Link twist `α` (radians).
+    pub alpha: f64,
+    /// Link offset `d` (metres).
+    pub d: f64,
+    /// Constant joint-angle offset added to the joint variable.
+    pub theta_offset: f64,
+}
+
+/// Rigid transform: rotation matrix (row-major 3×3) plus translation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Transform {
+    r: [[f64; 3]; 3],
+    t: [f64; 3],
+}
+
+impl Transform {
+    fn identity() -> Self {
+        Self { r: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], t: [0.0; 3] }
+    }
+
+    fn dh(link: &DhLink, q: f64) -> Self {
+        let th = q + link.theta_offset;
+        let (st, ct) = th.sin_cos();
+        let (sa, ca) = link.alpha.sin_cos();
+        Self {
+            r: [
+                [ct, -st * ca, st * sa],
+                [st, ct * ca, -ct * sa],
+                [0.0, sa, ca],
+            ],
+            t: [link.a * ct, link.a * st, link.d],
+        }
+    }
+
+    fn compose(&self, other: &Transform) -> Transform {
+        let mut r = [[0.0; 3]; 3];
+        let mut t = [0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                for (k, other_row) in other.r.iter().enumerate() {
+                    r[i][j] += self.r[i][k] * other_row[j];
+                }
+            }
+            t[i] = self.t[i]
+                + self.r[i][0] * other.t[0]
+                + self.r[i][1] * other.t[1]
+                + self.r[i][2] * other.t[2];
+        }
+        Transform { r, t }
+    }
+}
+
+/// A serial chain of revolute DH links.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DhChain {
+    links: Vec<DhLink>,
+}
+
+impl DhChain {
+    /// Builds a chain from links.
+    ///
+    /// # Panics
+    /// Panics on an empty chain.
+    pub fn new(links: Vec<DhLink>) -> Self {
+        assert!(!links.is_empty(), "DH chain needs at least one link");
+        Self { links }
+    }
+
+    /// Number of joints.
+    pub fn dof(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The links.
+    pub fn links(&self) -> &[DhLink] {
+        &self.links
+    }
+
+    /// End-effector position (metres) for joint angles `q`.
+    ///
+    /// # Panics
+    /// Panics if `q.len() != dof()`.
+    pub fn forward(&self, q: &[f64]) -> [f64; 3] {
+        assert_eq!(q.len(), self.links.len(), "fk: joint count mismatch");
+        let mut acc = Transform::identity();
+        for (link, &qi) in self.links.iter().zip(q) {
+            acc = acc.compose(&Transform::dh(link, qi));
+        }
+        acc.t
+    }
+
+    /// End-effector position in **millimetres** — the unit of every figure
+    /// in the paper.
+    pub fn forward_mm(&self, q: &[f64]) -> [f64; 3] {
+        let p = self.forward(q);
+        [p[0] * 1000.0, p[1] * 1000.0, p[2] * 1000.0]
+    }
+
+    /// Distance from the base origin in millimetres (the paper's
+    /// "distance from origin \[mm\]" y-axis of Figs. 6, 9, 10).
+    pub fn distance_from_origin_mm(&self, q: &[f64]) -> f64 {
+        let p = self.forward_mm(q);
+        (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt()
+    }
+
+    /// Theoretical maximum reach: Σ (|a| + |d|) — an upper bound used by
+    /// sanity tests.
+    pub fn max_reach(&self) -> f64 {
+        self.links.iter().map(|l| l.a.abs() + l.d.abs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A planar 2-link arm (both twists zero) has the textbook FK.
+    #[test]
+    fn planar_two_link_textbook() {
+        let chain = DhChain::new(vec![
+            DhLink { a: 1.0, alpha: 0.0, d: 0.0, theta_offset: 0.0 },
+            DhLink { a: 0.5, alpha: 0.0, d: 0.0, theta_offset: 0.0 },
+        ]);
+        // Straight out along x.
+        let p = chain.forward(&[0.0, 0.0]);
+        assert!((p[0] - 1.5).abs() < 1e-12 && p[1].abs() < 1e-12);
+        // First joint at 90°: arm along y.
+        let p = chain.forward(&[std::f64::consts::FRAC_PI_2, 0.0]);
+        assert!(p[0].abs() < 1e-12 && (p[1] - 1.5).abs() < 1e-12);
+        // Elbow bent 90°: x = 1, y = 0.5.
+        let p = chain.forward(&[0.0, std::f64::consts::FRAC_PI_2]);
+        assert!((p[0] - 1.0).abs() < 1e-12 && (p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertical_offset_link() {
+        let chain = DhChain::new(vec![DhLink {
+            a: 0.0,
+            alpha: 0.0,
+            d: 0.3,
+            theta_offset: 0.0,
+        }]);
+        let p = chain.forward(&[1.234]); // rotation about z does not move the point
+        assert!(p[0].abs() < 1e-12 && p[1].abs() < 1e-12 && (p[2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reach_never_exceeds_bound() {
+        let chain = DhChain::new(vec![
+            DhLink { a: 0.2, alpha: 1.0, d: 0.1, theta_offset: 0.3 },
+            DhLink { a: 0.3, alpha: -0.5, d: 0.05, theta_offset: 0.0 },
+            DhLink { a: 0.1, alpha: 0.2, d: 0.2, theta_offset: -0.7 },
+        ]);
+        let bound = chain.max_reach() + 1e-9;
+        for k in 0..100 {
+            let q = [k as f64 * 0.37, k as f64 * -0.21, k as f64 * 0.11];
+            let p = chain.forward(&q);
+            let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+            assert!(r <= bound, "reach {r} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn fk_is_continuous() {
+        let chain = DhChain::new(vec![
+            DhLink { a: 0.2, alpha: 0.5, d: 0.1, theta_offset: 0.0 },
+            DhLink { a: 0.3, alpha: -0.5, d: 0.0, theta_offset: 0.0 },
+        ]);
+        let q = [0.4, -0.9];
+        let p0 = chain.forward(&q);
+        let p1 = chain.forward(&[q[0] + 1e-6, q[1]]);
+        let dist =
+            ((p0[0] - p1[0]).powi(2) + (p0[1] - p1[1]).powi(2) + (p0[2] - p1[2]).powi(2)).sqrt();
+        assert!(dist < 1e-5, "FK jump {dist} for 1e-6 joint change");
+    }
+
+    #[test]
+    fn millimetre_conversion() {
+        let chain = DhChain::new(vec![DhLink {
+            a: 0.5,
+            alpha: 0.0,
+            d: 0.0,
+            theta_offset: 0.0,
+        }]);
+        let mm = chain.forward_mm(&[0.0]);
+        assert!((mm[0] - 500.0).abs() < 1e-9);
+        assert!((chain.distance_from_origin_mm(&[0.0]) - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,163 @@
+//! Arm descriptions: joint limits plus kinematic chain.
+
+use crate::kinematics::{DhChain, DhLink};
+use serde::{Deserialize, Serialize};
+
+/// Position and velocity limits of one revolute joint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JointLimit {
+    /// Lower position bound (rad).
+    pub min: f64,
+    /// Upper position bound (rad).
+    pub max: f64,
+    /// Maximum angular speed (rad/s).
+    pub max_velocity: f64,
+}
+
+impl JointLimit {
+    /// Clamps a position into the joint's range.
+    pub fn clamp(&self, q: f64) -> f64 {
+        q.clamp(self.min, self.max)
+    }
+}
+
+/// A complete arm model: joint limits and DH chain, same length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmModel {
+    /// Human-readable name.
+    pub name: String,
+    /// Per-joint limits.
+    pub limits: Vec<JointLimit>,
+    /// Kinematic chain.
+    pub chain: DhChain,
+}
+
+impl ArmModel {
+    /// Builds a model, checking joint counts agree.
+    ///
+    /// # Panics
+    /// Panics if `limits.len() != chain.dof()` or a limit is inverted.
+    pub fn new(name: &str, limits: Vec<JointLimit>, chain: DhChain) -> Self {
+        assert_eq!(limits.len(), chain.dof(), "limits/chain joint count mismatch");
+        for (i, l) in limits.iter().enumerate() {
+            assert!(l.min < l.max, "joint {i}: inverted limits");
+            assert!(l.max_velocity > 0.0, "joint {i}: non-positive velocity limit");
+        }
+        Self { name: name.to_string(), limits, chain }
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> usize {
+        self.chain.dof()
+    }
+
+    /// Clamps a full joint vector into the limits (element-wise).
+    ///
+    /// # Panics
+    /// Panics on joint-count mismatch.
+    pub fn clamp(&self, q: &[f64]) -> Vec<f64> {
+        assert_eq!(q.len(), self.dof(), "clamp: joint count mismatch");
+        q.iter().zip(&self.limits).map(|(qi, l)| l.clamp(*qi)).collect()
+    }
+
+    /// True when every coordinate lies within its limit.
+    pub fn within_limits(&self, q: &[f64]) -> bool {
+        q.len() == self.dof()
+            && q.iter().zip(&self.limits).all(|(qi, l)| *qi >= l.min && *qi <= l.max)
+    }
+
+    /// A neutral "home" pose: mid-range of every joint.
+    pub fn home(&self) -> Vec<f64> {
+        self.limits.iter().map(|l| 0.5 * (l.min + l.max)).collect()
+    }
+}
+
+/// The Niryo-One-like 6-axis arm used throughout the reproduction.
+///
+/// Geometry follows the public Niryo One dimensions (total reach ≈ 0.44 m,
+/// base height 0.183 m, arm 0.21 m, forearm 0.2215 m including the elbow
+/// offset, wrist + hand ≈ 0.087 m); joint limits and speeds follow the
+/// vendor datasheet (±175° base, 90°/s-class axis speeds — the paper cites
+/// "0.4 m/s for the steeper axes and 90°/s for the servo axis").
+pub fn niryo_one() -> ArmModel {
+    use std::f64::consts::{FRAC_PI_2, PI};
+    let deg = |d: f64| d * PI / 180.0;
+    let limits = vec![
+        JointLimit { min: deg(-175.0), max: deg(175.0), max_velocity: deg(90.0) },
+        JointLimit { min: deg(-90.0), max: deg(36.7), max_velocity: deg(80.0) },
+        JointLimit { min: deg(-80.0), max: deg(90.0), max_velocity: deg(80.0) },
+        JointLimit { min: deg(-175.0), max: deg(175.0), max_velocity: deg(110.0) },
+        JointLimit { min: deg(-100.0), max: deg(110.0), max_velocity: deg(110.0) },
+        JointLimit { min: deg(-147.5), max: deg(147.5), max_velocity: deg(140.0) },
+    ];
+    let chain = DhChain::new(vec![
+        DhLink { a: 0.0, alpha: FRAC_PI_2, d: 0.183, theta_offset: 0.0 },
+        DhLink { a: 0.210, alpha: 0.0, d: 0.0, theta_offset: FRAC_PI_2 },
+        DhLink { a: 0.0415, alpha: FRAC_PI_2, d: 0.0, theta_offset: 0.0 },
+        DhLink { a: 0.0, alpha: -FRAC_PI_2, d: 0.180, theta_offset: 0.0 },
+        DhLink { a: 0.0, alpha: FRAC_PI_2, d: 0.0, theta_offset: 0.0 },
+        DhLink { a: 0.0, alpha: 0.0, d: 0.0873, theta_offset: 0.0 },
+    ]);
+    ArmModel::new("niryo-one", limits, chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn niryo_has_six_joints() {
+        let m = niryo_one();
+        assert_eq!(m.dof(), 6);
+        assert_eq!(m.limits.len(), 6);
+    }
+
+    #[test]
+    fn niryo_reach_is_physical() {
+        let m = niryo_one();
+        // Datasheet reach ≈ 0.44 m from the shoulder; with the base column
+        // our chain bound is ~0.70 m. Sanity-check the ballpark.
+        let reach = m.chain.max_reach();
+        assert!(reach > 0.5 && reach < 0.8, "reach bound {reach}");
+        // Home pose must be inside the workspace.
+        let home = m.home();
+        let r = m.chain.distance_from_origin_mm(&home);
+        assert!(r > 50.0 && r < 800.0, "home at {r} mm");
+    }
+
+    #[test]
+    fn clamp_respects_limits() {
+        let m = niryo_one();
+        let wild = vec![10.0, -10.0, 10.0, -10.0, 10.0, -10.0];
+        let clamped = m.clamp(&wild);
+        assert!(m.within_limits(&clamped));
+        assert!(!m.within_limits(&wild));
+    }
+
+    #[test]
+    fn home_is_within_limits() {
+        let m = niryo_one();
+        assert!(m.within_limits(&m.home()));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_limits_rejected() {
+        let chain = DhChain::new(vec![DhLink {
+            a: 0.1,
+            alpha: 0.0,
+            d: 0.0,
+            theta_offset: 0.0,
+        }]);
+        ArmModel::new("bad", vec![], chain);
+    }
+
+    #[test]
+    fn distinct_poses_have_distinct_positions() {
+        let m = niryo_one();
+        let a = m.chain.forward_mm(&[0.0; 6]);
+        let b = m.chain.forward_mm(&[0.5, 0.2, -0.3, 0.0, 0.1, 0.0]);
+        let d = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
+        assert!(d > 10.0, "poses too close: {d} mm");
+    }
+}

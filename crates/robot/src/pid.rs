@@ -1,0 +1,163 @@
+//! Per-joint PID position controller.
+//!
+//! Mirrors the role of MoveIt's joint-trajectory PID in the Niryo stack
+//! (§VI-A): input is the commanded joint position, output is a joint
+//! velocity clamped to the axis speed limit. Integral anti-windup uses
+//! clamping (integration pauses while the output saturates), the standard
+//! remedy and the cause of the ~400 ms re-stabilisation transient visible
+//! in Fig. 10 after a loss burst ends.
+
+use serde::{Deserialize, Serialize};
+
+/// PID gains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidGains {
+    /// Proportional gain (1/s).
+    pub kp: f64,
+    /// Integral gain (1/s²).
+    pub ki: f64,
+    /// Derivative gain (dimensionless).
+    pub kd: f64,
+}
+
+impl PidGains {
+    /// Gains tuned for the 50 Hz Niryo-like loop: brisk tracking of the
+    /// 0.04 rad per-command steps, a few hundred milliseconds to recover
+    /// from a multi-command freeze (matching Fig. 10's annotation).
+    pub fn niryo_default() -> Self {
+        Self { kp: 10.0, ki: 2.0, kd: 0.05 }
+    }
+}
+
+/// One PID controller instance (one joint).
+#[derive(Debug, Clone)]
+pub struct Pid {
+    gains: PidGains,
+    max_output: f64,
+    integral: f64,
+    prev_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a controller with output clamped to `±max_output`.
+    ///
+    /// # Panics
+    /// Panics if `max_output` is not positive.
+    pub fn new(gains: PidGains, max_output: f64) -> Self {
+        assert!(max_output > 0.0, "pid: max_output must be positive");
+        Self { gains, max_output, integral: 0.0, prev_error: None }
+    }
+
+    /// One control step: returns the clamped velocity command.
+    ///
+    /// # Panics
+    /// Panics if `dt` is not positive.
+    pub fn step(&mut self, setpoint: f64, measured: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0, "pid: dt must be positive");
+        let error = setpoint - measured;
+        let derivative = match self.prev_error {
+            Some(prev) => (error - prev) / dt,
+            None => 0.0,
+        };
+        self.prev_error = Some(error);
+
+        let unclamped = self.gains.kp * error
+            + self.gains.ki * (self.integral + error * dt)
+            + self.gains.kd * derivative;
+        let output = unclamped.clamp(-self.max_output, self.max_output);
+        // Anti-windup: only integrate while not saturated (or while the
+        // error pushes back toward the linear region).
+        if unclamped == output || (error * unclamped) < 0.0 {
+            self.integral += error * dt;
+        }
+        output
+    }
+
+    /// Resets integral and derivative memory.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate `pid` driving an integrator plant `x' = v` for `steps`
+    /// ticks of `dt` toward `target`; returns the trajectory.
+    fn simulate(pid: &mut Pid, x0: f64, target: f64, dt: f64, steps: usize) -> Vec<f64> {
+        let mut x = x0;
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let v = pid.step(target, x, dt);
+            x += v * dt;
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn converges_to_setpoint() {
+        let mut pid = Pid::new(PidGains::niryo_default(), 2.0);
+        let traj = simulate(&mut pid, 0.0, 1.0, 0.02, 500);
+        let last = *traj.last().unwrap();
+        assert!((last - 1.0).abs() < 1e-3, "settled at {last}");
+    }
+
+    #[test]
+    fn output_respects_clamp() {
+        let mut pid = Pid::new(PidGains { kp: 1000.0, ki: 0.0, kd: 0.0 }, 1.5);
+        let v = pid.step(100.0, 0.0, 0.02);
+        assert_eq!(v, 1.5);
+        let v = pid.step(-100.0, 0.0, 0.02);
+        assert_eq!(v, -1.5);
+    }
+
+    /// Small 0.04 rad steps (the Niryo command moving offset) are tracked
+    /// within a few control periods.
+    #[test]
+    fn tracks_niryo_step_quickly() {
+        let mut pid = Pid::new(PidGains::niryo_default(), 1.57);
+        let traj = simulate(&mut pid, 0.0, 0.04, 0.02, 25); // half a second
+        let settled = traj.iter().position(|x| (x - 0.04).abs() < 0.004).unwrap();
+        assert!(settled <= 15, "took {settled} ticks to reach 90 % of a 0.04 rad step");
+    }
+
+    /// A big error (post-burst recovery) takes hundreds of milliseconds —
+    /// the Fig. 10 "PID control error" transient.
+    #[test]
+    fn large_step_recovery_takes_hundreds_of_ms() {
+        let mut pid = Pid::new(PidGains::niryo_default(), 1.57);
+        let dt = 0.02;
+        let traj = simulate(&mut pid, 0.0, 0.8, dt, 200);
+        let settled = traj.iter().position(|x| (x - 0.8).abs() < 0.008).unwrap();
+        let t = settled as f64 * dt;
+        assert!(
+            (0.1..1.5).contains(&t),
+            "recovery took {t}s; expected a few hundred ms"
+        );
+    }
+
+    #[test]
+    fn anti_windup_limits_overshoot() {
+        // With naive integration a long saturation would cause massive
+        // overshoot; clamped integration must keep it small.
+        let mut pid = Pid::new(PidGains { kp: 4.0, ki: 4.0, kd: 0.0 }, 0.5);
+        let traj = simulate(&mut pid, 0.0, 2.0, 0.02, 2000);
+        let peak = traj.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(peak < 2.4, "overshoot to {peak} (20 %+ means windup)");
+        assert!((traj.last().unwrap() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::new(PidGains::niryo_default(), 2.0);
+        for _ in 0..50 {
+            pid.step(1.0, 0.0, 0.02);
+        }
+        pid.reset();
+        let mut fresh = Pid::new(PidGains::niryo_default(), 2.0);
+        assert_eq!(pid.step(1.0, 0.0, 0.02), fresh.step(1.0, 0.0, 0.02));
+    }
+}

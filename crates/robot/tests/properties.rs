@@ -1,0 +1,105 @@
+//! Property-based tests for the robot substrate.
+
+use foreco_robot::{niryo_one, DriverConfig, Pid, PidGains, RobotDriver};
+use proptest::prelude::*;
+
+fn random_joints() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-4.0f64..4.0, 6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FK never exceeds the kinematic reach bound, at any joint vector.
+    #[test]
+    fn fk_respects_reach_bound(q in random_joints()) {
+        let m = niryo_one();
+        let q = m.clamp(&q);
+        let p = m.chain.forward(&q);
+        let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        prop_assert!(r <= m.chain.max_reach() + 1e-9, "reach {r}");
+    }
+
+    /// Clamping is idempotent and always lands inside the limits.
+    #[test]
+    fn clamp_idempotent(q in random_joints()) {
+        let m = niryo_one();
+        let once = m.clamp(&q);
+        prop_assert!(m.within_limits(&once));
+        prop_assert_eq!(m.clamp(&once), once);
+    }
+
+    /// Base-yaw rotation must not change the distance from origin
+    /// (joint 1 spins about the z axis through the origin).
+    #[test]
+    fn base_yaw_invariance(q in random_joints(), yaw in -3.0f64..3.0) {
+        let m = niryo_one();
+        let mut a = m.clamp(&q);
+        let d1 = m.chain.distance_from_origin_mm(&a);
+        a[0] = m.limits[0].clamp(yaw);
+        let d2 = m.chain.distance_from_origin_mm(&a);
+        prop_assert!((d1 - d2).abs() < 1e-6, "{d1} vs {d2}");
+    }
+
+    /// PID output is always inside the clamp, whatever the history.
+    #[test]
+    fn pid_output_clamped(
+        setpoints in proptest::collection::vec(-10.0f64..10.0, 1..50),
+        vmax in 0.1f64..5.0,
+    ) {
+        let mut pid = Pid::new(PidGains::niryo_default(), vmax);
+        let mut x = 0.0;
+        for sp in setpoints {
+            let v = pid.step(sp, x, 0.02);
+            prop_assert!(v.abs() <= vmax + 1e-12);
+            x += v * 0.02;
+        }
+    }
+
+    /// The driver keeps joints inside limits and velocities inside axis
+    /// bounds under arbitrary command streams (including misses).
+    #[test]
+    fn driver_invariants_under_random_commands(
+        cmds in proptest::collection::vec(
+            proptest::option::of(random_joints()), 1..80),
+    ) {
+        let m = niryo_one();
+        let home = m.home();
+        let mut d = RobotDriver::new(m, DriverConfig::default(), &home);
+        let mut prev = home;
+        for cmd in cmds {
+            d.tick(cmd.as_deref());
+            let now = d.joints().to_vec();
+            prop_assert!(d.model().within_limits(&now));
+            for (i, (a, b)) in now.iter().zip(&prev).enumerate() {
+                let vmax = d.model().limits[i].max_velocity;
+                prop_assert!(
+                    (a - b).abs() <= vmax * 0.020 + 1e-9,
+                    "joint {i} jumped {}",
+                    (a - b).abs()
+                );
+            }
+            prev = now;
+        }
+    }
+
+    /// Trajectory samples have monotone timestamps and finite positions.
+    #[test]
+    fn trajectory_samples_well_formed(n in 1usize..60) {
+        let m = niryo_one();
+        let home = m.home();
+        let mut d = RobotDriver::new(m, DriverConfig::default(), &home);
+        for _ in 0..n {
+            d.tick(Some(&home));
+        }
+        let trail = d.trajectory();
+        prop_assert_eq!(trail.len(), n);
+        let mut prev = 0.0;
+        for s in trail {
+            prop_assert!(s.t > prev);
+            prop_assert!(s.position_mm.iter().all(|v| v.is_finite()));
+            prop_assert!(s.distance_mm >= 0.0);
+            prev = s.t;
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Command datasets: recording, splitting, windowing.
+//!
+//! FoReCo keeps "a history of H commands, and … uses αH of them for
+//! training, and βH for testing; with α + β = 1" (§IV-A). A [`Dataset`]
+//! is that history: a flat stream of joint commands at a fixed period,
+//! with cycle boundaries retained so analyses can reason per repetition.
+
+use crate::operator::{Operator, Skill};
+use crate::task::{pick_and_place_cycle, rest_pose};
+use serde::{Deserialize, Serialize};
+
+/// A recorded command stream.
+///
+/// # Example
+///
+/// ```
+/// use foreco_teleop::{Dataset, Skill};
+///
+/// let ds = Dataset::record(Skill::Experienced, 1, 0.02, 7);
+/// assert_eq!(ds.dof(), 6);
+/// let (train, test) = ds.split(0.8);
+/// assert_eq!(train.len() + test.len(), ds.len());
+/// // Forecaster training windows: (R history commands, next command).
+/// let (hist, _next) = ds.windows(5).next().unwrap();
+/// assert_eq!(hist.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Command period `Ω` in seconds.
+    pub period: f64,
+    /// The commands, oldest first.
+    pub commands: Vec<Vec<f64>>,
+    /// Start index of each recorded cycle.
+    pub cycle_starts: Vec<usize>,
+}
+
+impl Dataset {
+    /// Records `cycles` pick-and-place repetitions by an operator of the
+    /// given skill. Each cycle uses a distinct sub-seed, so repetitions
+    /// vary like a human's do.
+    ///
+    /// # Panics
+    /// Panics if `cycles == 0`.
+    pub fn record(skill: Skill, cycles: usize, period: f64, seed: u64) -> Self {
+        assert!(cycles > 0, "dataset: need at least one cycle");
+        let script = pick_and_place_cycle();
+        let mut commands = Vec::new();
+        let mut cycle_starts = Vec::with_capacity(cycles);
+        let mut current = rest_pose();
+        for c in 0..cycles {
+            cycle_starts.push(commands.len());
+            let mut op = Operator::new(skill, period, seed.wrapping_add(c as u64));
+            let cycle = op.drive_cycle(&current, &script);
+            current = cycle.last().cloned().unwrap_or_else(rest_pose);
+            commands.extend(cycle);
+        }
+        Self { period, commands, cycle_starts }
+    }
+
+    /// Number of commands `H`.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Command dimensionality `d` (0 for an empty dataset).
+    pub fn dof(&self) -> usize {
+        self.commands.first().map_or(0, Vec::len)
+    }
+
+    /// Splits into `(train, test)` at fraction `alpha` of the length —
+    /// the paper's `αH` / `βH` split.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha < 1`.
+    pub fn split(&self, alpha: f64) -> (Dataset, Dataset) {
+        assert!(alpha > 0.0 && alpha < 1.0, "split: alpha must be in (0,1)");
+        let cut = ((self.len() as f64) * alpha).round() as usize;
+        let train = Dataset {
+            period: self.period,
+            commands: self.commands[..cut].to_vec(),
+            cycle_starts: self.cycle_starts.iter().cloned().filter(|&s| s < cut).collect(),
+        };
+        let test = Dataset {
+            period: self.period,
+            commands: self.commands[cut..].to_vec(),
+            cycle_starts: self
+                .cycle_starts
+                .iter()
+                .filter(|&&s| s >= cut)
+                .map(|&s| s - cut)
+                .collect(),
+        };
+        (train, test)
+    }
+
+    /// Keeps every `factor`-th command (the pipeline's down-sampling
+    /// stage, Table I).
+    ///
+    /// # Panics
+    /// Panics if `factor == 0`.
+    pub fn downsample(&self, factor: usize) -> Dataset {
+        assert!(factor >= 1, "downsample: factor must be ≥ 1");
+        Dataset {
+            period: self.period * factor as f64,
+            commands: self.commands.iter().step_by(factor).cloned().collect(),
+            cycle_starts: self.cycle_starts.iter().map(|s| s / factor).collect(),
+        }
+    }
+
+    /// Iterator over `(history of R commands, next command)` windows —
+    /// the forecaster training samples.
+    ///
+    /// # Panics
+    /// Panics if `r == 0`.
+    pub fn windows(&self, r: usize) -> WindowIter<'_> {
+        assert!(r >= 1, "windows: history length must be ≥ 1");
+        WindowIter { data: &self.commands, r, pos: r }
+    }
+}
+
+/// Iterator produced by [`Dataset::windows`].
+pub struct WindowIter<'a> {
+    data: &'a [Vec<f64>],
+    r: usize,
+    pos: usize,
+}
+
+impl<'a> Iterator for WindowIter<'a> {
+    /// `(history, next)`: `history` is the `R` commands before `next`.
+    type Item = (&'a [Vec<f64>], &'a Vec<f64>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let hist = &self.data[self.pos - self.r..self.pos];
+        let target = &self.data[self.pos];
+        self.pos += 1;
+        Some((hist, target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::record(Skill::Experienced, 2, 0.02, 42)
+    }
+
+    #[test]
+    fn record_scale_matches_cycle_time() {
+        let d = small();
+        // Two ≈14 s cycles at 50 Hz.
+        assert!(d.len() > 1000, "{} commands", d.len());
+        assert_eq!(d.cycle_starts.len(), 2);
+        assert_eq!(d.dof(), 6);
+    }
+
+    #[test]
+    fn cycles_vary_but_resemble_each_other() {
+        let d = small();
+        let c0 = &d.commands[d.cycle_starts[0]..d.cycle_starts[1]];
+        let c1 = &d.commands[d.cycle_starts[1]..];
+        assert_ne!(c0, &c1[..c0.len().min(c1.len())], "cycles identical — no human variation");
+        // Same general magnitude: both visit the same workspace.
+        let max0 = c0.iter().flat_map(|c| c.iter()).cloned().fold(f64::MIN, f64::max);
+        let max1 = c1.iter().flat_map(|c| c.iter()).cloned().fold(f64::MIN, f64::max);
+        assert!((max0 - max1).abs() < 0.2);
+    }
+
+    #[test]
+    fn split_preserves_everything() {
+        let d = small();
+        let (train, test) = d.split(0.8);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(train.commands[0], d.commands[0]);
+        assert_eq!(test.commands.last(), d.commands.last());
+        let cut = train.len();
+        assert_eq!(test.commands[0], d.commands[cut]);
+    }
+
+    #[test]
+    fn downsample_halves() {
+        let d = small();
+        let h = d.downsample(2);
+        assert_eq!(h.len(), d.len().div_ceil(2));
+        assert!((h.period - 0.04).abs() < 1e-12);
+        assert_eq!(h.commands[1], d.commands[2]);
+    }
+
+    #[test]
+    fn windows_shapes_and_alignment() {
+        let d = Dataset {
+            period: 0.02,
+            commands: (0..10).map(|i| vec![i as f64]).collect(),
+            cycle_starts: vec![0],
+        };
+        let wins: Vec<_> = d.windows(3).collect();
+        assert_eq!(wins.len(), 7);
+        let (hist, next) = &wins[0];
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[0][0], 0.0);
+        assert_eq!(hist[2][0], 2.0);
+        assert_eq!(next[0], 3.0);
+        let (hist, next) = wins.last().unwrap();
+        assert_eq!(hist[2][0], 8.0);
+        assert_eq!(next[0], 9.0);
+    }
+
+    #[test]
+    fn windows_empty_when_too_short() {
+        let d = Dataset {
+            period: 0.02,
+            commands: vec![vec![0.0]; 3],
+            cycle_starts: vec![0],
+        };
+        assert_eq!(d.windows(5).count(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = Dataset {
+            period: 0.02,
+            commands: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            cycle_starts: vec![0],
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(small(), small());
+    }
+}

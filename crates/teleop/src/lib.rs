@@ -1,0 +1,36 @@
+//! Teleoperation workload generator for the FoReCo reproduction.
+//!
+//! The paper's datasets are private: two human operators (one experienced,
+//! one inexperienced) drove a Niryo One through ~100 pick-and-place
+//! repetitions with a joystick at 50 Hz, producing H = 187 109 joint-state
+//! commands each (§VI-A, Fig. 6). This crate synthesises the equivalent
+//! workload (substitution documented in DESIGN.md §3):
+//!
+//! - [`pick_and_place_cycle`]: the joint-space waypoint script of one
+//!   pick-and-place repetition (approach, descend, grasp, transfer,
+//!   release, return);
+//! - [`trajectory`]: minimum-jerk interpolation — the standard model of
+//!   point-to-point human arm motion — sampled every `Ω`;
+//! - [`Operator`]: a skill model layering hand tremor, speed variation,
+//!   overshoot-and-correct and pauses on top of the script. `Experienced`
+//!   operators produce clean cycles (training data), `Inexperienced` ones
+//!   noisy cycles (test data) — *"tightly related but not exactly the
+//!   same as the training data"*, exactly the paper's split;
+//! - joystick **moving-offset quantisation**: consecutive commands never
+//!   move a joint more than 0.04 rad, the Niryo configuration the paper
+//!   states;
+//! - [`Dataset`]: the recorded command streams with train/test splitting,
+//!   history-window extraction for forecaster training, and serde
+//!   round-tripping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod operator;
+mod task;
+pub mod trajectory;
+
+pub use dataset::{Dataset, WindowIter};
+pub use operator::{defined_trajectory, Operator, OperatorParams, Skill};
+pub use task::{pick_and_place_cycle, Waypoint};

@@ -1,0 +1,276 @@
+//! Human-operator skill models.
+//!
+//! The paper trains on an **experienced** operator and tests on an
+//! **inexperienced** one so the model generalises to "tightly related but
+//! not exactly the same" data (§VI-A). An operator here is the waypoint
+//! script of [`crate::pick_and_place_cycle`] executed through a human
+//! noise model:
+//!
+//! - **speed variation**: each segment's duration is scaled by a random
+//!   factor (inexperienced operators are slower and less consistent);
+//! - **tremor**: low-pass-filtered joint noise on top of the min-jerk
+//!   path (joystick hand tremor);
+//! - **overshoot-and-correct**: with some probability a reach overshoots
+//!   its waypoint and corrects back — the classic novice signature;
+//! - **pauses**: occasional hold-everything hesitations;
+//! - **moving-offset quantisation**: the resulting stream is rate-limited
+//!   to 0.04 rad per command per joint like the real joystick interface.
+
+use crate::task::Waypoint;
+use crate::trajectory::{min_jerk_segment, rate_limit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Operator skill level (selects an [`OperatorParams`] preset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Skill {
+    /// Smooth, consistent, fast — the training-data operator.
+    Experienced,
+    /// Jittery, slower, overshoots — the test-data operator.
+    Inexperienced,
+}
+
+/// Noise-model parameters of a human operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatorParams {
+    /// Std-dev of the per-segment duration scale (1.0 = nominal speed).
+    pub speed_jitter: f64,
+    /// Tremor amplitude (rad, std-dev of the filtered noise).
+    pub tremor: f64,
+    /// Low-pass coefficient of the tremor filter in `(0, 1)`; smaller =
+    /// smoother tremor.
+    pub tremor_smoothing: f64,
+    /// Probability a segment overshoots its waypoint.
+    pub overshoot_prob: f64,
+    /// Overshoot magnitude as a fraction of the segment length.
+    pub overshoot_frac: f64,
+    /// Per-waypoint probability of an extra hesitation pause.
+    pub pause_prob: f64,
+    /// Maximum hesitation length (seconds).
+    pub pause_max: f64,
+    /// Joystick moving offset (rad per command per joint).
+    pub moving_offset: f64,
+}
+
+impl OperatorParams {
+    /// Preset for a [`Skill`].
+    pub fn preset(skill: Skill) -> Self {
+        match skill {
+            Skill::Experienced => Self {
+                speed_jitter: 0.05,
+                tremor: 0.002,
+                tremor_smoothing: 0.2,
+                overshoot_prob: 0.05,
+                overshoot_frac: 0.04,
+                pause_prob: 0.05,
+                pause_max: 0.3,
+                moving_offset: 0.04,
+            },
+            Skill::Inexperienced => Self {
+                speed_jitter: 0.20,
+                tremor: 0.008,
+                tremor_smoothing: 0.3,
+                overshoot_prob: 0.35,
+                overshoot_frac: 0.12,
+                pause_prob: 0.25,
+                pause_max: 1.2,
+                moving_offset: 0.04,
+            },
+        }
+    }
+}
+
+/// A seeded operator executing task cycles.
+pub struct Operator {
+    params: OperatorParams,
+    rng: StdRng,
+    period: f64,
+}
+
+impl Operator {
+    /// Creates an operator with a skill preset.
+    pub fn new(skill: Skill, period: f64, seed: u64) -> Self {
+        Self::with_params(OperatorParams::preset(skill), period, seed)
+    }
+
+    /// Creates an operator with explicit noise parameters.
+    ///
+    /// # Panics
+    /// Panics on a non-positive period or moving offset.
+    pub fn with_params(params: OperatorParams, period: f64, seed: u64) -> Self {
+        assert!(period > 0.0, "operator: period must be positive");
+        assert!(params.moving_offset > 0.0, "operator: moving offset must be positive");
+        Self { params, rng: StdRng::seed_from_u64(seed), period }
+    }
+
+    /// Command period.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Executes one cycle of `script` starting from `start`, returning the
+    /// quantised command stream (one command per `period`).
+    pub fn drive_cycle(&mut self, start: &[f64], script: &[Waypoint]) -> Vec<Vec<f64>> {
+        let p = self.params;
+        let mut targets: Vec<Vec<f64>> = Vec::new();
+        let mut from = start.to_vec();
+        for wp in script {
+            // Speed variation (clamped: a segment cannot run backwards).
+            let scale = (1.0 + p.speed_jitter * self.standard_normal()).max(0.3);
+            let duration = wp.move_duration * scale;
+            // Overshoot-and-correct.
+            if self.rng.gen::<f64>() < p.overshoot_prob {
+                let over: Vec<f64> = from
+                    .iter()
+                    .zip(&wp.joints)
+                    .map(|(a, b)| b + p.overshoot_frac * (b - a))
+                    .collect();
+                targets.extend(min_jerk_segment(&from, &over, duration * 0.8, self.period));
+                targets.extend(min_jerk_segment(
+                    &over,
+                    &wp.joints,
+                    (duration * 0.35).max(self.period),
+                    self.period,
+                ));
+            } else {
+                targets.extend(min_jerk_segment(&from, &wp.joints, duration, self.period));
+            }
+            // Dwell plus a possible hesitation.
+            let mut dwell = wp.dwell;
+            if self.rng.gen::<f64>() < p.pause_prob {
+                dwell += self.rng.gen::<f64>() * p.pause_max;
+            }
+            let dwell_ticks = (dwell / self.period).round() as usize;
+            for _ in 0..dwell_ticks {
+                targets.push(wp.joints.clone());
+            }
+            from = wp.joints.clone();
+        }
+        // Tremor: AR(1)-filtered Gaussian noise per joint.
+        let dof = start.len();
+        let mut tremor_state = vec![0.0; dof];
+        for cmd in &mut targets {
+            for (c, ts) in cmd.iter_mut().zip(&mut tremor_state) {
+                let innovation = p.tremor * self.standard_normal();
+                *ts = (1.0 - p.tremor_smoothing) * *ts + p.tremor_smoothing * innovation;
+                *c += *ts;
+            }
+        }
+        // Joystick quantisation.
+        rate_limit(start, &targets, p.moving_offset)
+    }
+
+    /// Box–Muller standard normal draw.
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// The noiseless reference execution of a script — the paper's "defined
+/// trajectory" line in Figs. 9 and 10.
+pub fn defined_trajectory(
+    start: &[f64],
+    script: &[Waypoint],
+    period: f64,
+    moving_offset: f64,
+) -> Vec<Vec<f64>> {
+    let mut targets: Vec<Vec<f64>> = Vec::new();
+    let mut from = start.to_vec();
+    for wp in script {
+        targets.extend(min_jerk_segment(&from, &wp.joints, wp.move_duration, period));
+        let dwell_ticks = (wp.dwell / period).round() as usize;
+        for _ in 0..dwell_ticks {
+            targets.push(wp.joints.clone());
+        }
+        from = wp.joints.clone();
+    }
+    rate_limit(start, &targets, moving_offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{pick_and_place_cycle, rest_pose};
+
+    fn cycle(skill: Skill, seed: u64) -> Vec<Vec<f64>> {
+        let mut op = Operator::new(skill, 0.02, seed);
+        op.drive_cycle(&rest_pose(), &pick_and_place_cycle())
+    }
+
+    #[test]
+    fn produces_plausible_stream() {
+        let cmds = cycle(Skill::Experienced, 1);
+        // ≈ 14.4 s at 50 Hz → several hundred commands.
+        assert!(cmds.len() > 400, "only {} commands", cmds.len());
+        assert!(cmds.iter().all(|c| c.len() == 6));
+    }
+
+    #[test]
+    fn respects_moving_offset() {
+        let cmds = cycle(Skill::Inexperienced, 2);
+        let mut prev = rest_pose();
+        for cmd in &cmds {
+            for (c, p) in cmd.iter().zip(&prev) {
+                assert!((c - p).abs() <= 0.04 + 1e-12, "step {} too large", (c - p).abs());
+            }
+            prev = cmd.clone();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(cycle(Skill::Experienced, 7), cycle(Skill::Experienced, 7));
+        assert_ne!(cycle(Skill::Experienced, 7), cycle(Skill::Experienced, 8));
+    }
+
+    #[test]
+    fn inexperienced_is_noisier_than_experienced() {
+        // Compare deviation from the defined trajectory over one cycle.
+        let defined = defined_trajectory(&rest_pose(), &pick_and_place_cycle(), 0.02, 0.04);
+        let dev = |cmds: &[Vec<f64>]| -> f64 {
+            let n = cmds.len().min(defined.len());
+            let mut acc = 0.0;
+            for i in 0..n {
+                for (a, b) in cmds[i].iter().zip(&defined[i]) {
+                    acc += (a - b) * (a - b);
+                }
+            }
+            (acc / n as f64).sqrt()
+        };
+        // Average across several seeds to avoid a fluke.
+        let mean_dev = |skill: Skill| -> f64 {
+            (0..5).map(|s| dev(&cycle(skill, s))).sum::<f64>() / 5.0
+        };
+        let exp = mean_dev(Skill::Experienced);
+        let inexp = mean_dev(Skill::Inexperienced);
+        assert!(
+            inexp > 2.0 * exp,
+            "inexperienced dev {inexp} not clearly above experienced {exp}"
+        );
+    }
+
+    #[test]
+    fn cycle_ends_near_rest_pose() {
+        let cmds = cycle(Skill::Experienced, 3);
+        let last = cmds.last().unwrap();
+        for (a, b) in last.iter().zip(&rest_pose()) {
+            assert!((a - b).abs() < 0.05, "ended {a} vs rest {b}");
+        }
+    }
+
+    #[test]
+    fn defined_trajectory_is_deterministic_and_clean() {
+        let a = defined_trajectory(&rest_pose(), &pick_and_place_cycle(), 0.02, 0.04);
+        let b = defined_trajectory(&rest_pose(), &pick_and_place_cycle(), 0.02, 0.04);
+        assert_eq!(a, b);
+        // It must reach every waypoint exactly (rate-limit converges
+        // during dwells).
+        let last = a.last().unwrap();
+        for (x, r) in last.iter().zip(&rest_pose()) {
+            assert!((x - r).abs() < 1e-9);
+        }
+    }
+}

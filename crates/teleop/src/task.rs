@@ -1,0 +1,108 @@
+//! The pick-and-place task script.
+//!
+//! One repetition of the paper's task: start at a rest pose, reach above
+//! the pick location, descend, grasp (dwell), lift, transfer to the place
+//! location, descend, release (dwell), and return. All poses are
+//! joint-space waypoints chosen inside the Niryo One's limits; the paper's
+//! Fig. 6 shows the resulting distance-from-origin profile oscillating
+//! between ~200 and ~500 mm, which this script reproduces.
+
+use serde::{Deserialize, Serialize};
+
+/// One waypoint of a task script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waypoint {
+    /// Target joint vector (rad).
+    pub joints: Vec<f64>,
+    /// Nominal time to move here from the previous waypoint (seconds).
+    pub move_duration: f64,
+    /// Dwell at the waypoint after arrival (seconds) — grasping,
+    /// releasing, or the operator pausing to aim.
+    pub dwell: f64,
+}
+
+/// The joint-space script of one pick-and-place repetition for a 6-DOF
+/// Niryo-One-like arm. Total nominal duration ≈ 14.4 s (≈ 720 commands at
+/// 50 Hz), so ~100 repetitions give a dataset of the paper's scale.
+pub fn pick_and_place_cycle() -> Vec<Waypoint> {
+    // Joint layout: [base yaw, shoulder, elbow, forearm roll, wrist pitch,
+    // wrist roll]. Poses stay well within the niryo_one() limits and span
+    // the ~230–530 mm distance-from-origin band of Fig. 6: the rest pose
+    // is tucked near the base, picks/places reach out.
+    let rest = rest_pose();
+    let above_pick = vec![0.9, -0.1, 0.1, 0.0, -0.3, 0.0]; // ≈ 497 mm
+    let at_pick = vec![0.9, 0.3, 0.3, 0.0, -0.75, 0.0]; // ≈ 528 mm
+    let lifted = vec![0.9, -0.25, -0.35, 0.0, 0.1, 0.0]; // ≈ 409 mm
+    let above_place = vec![-0.8, -0.1, 0.1, 0.0, -0.3, 0.4]; // ≈ 497 mm
+    let at_place = vec![-0.8, 0.3, 0.3, 0.0, -0.75, 0.4]; // ≈ 528 mm
+    let retreat = vec![-0.8, -0.35, -0.8, 0.0, 0.3, 0.0]; // ≈ 293 mm
+    vec![
+        Waypoint { joints: above_pick, move_duration: 2.2, dwell: 0.3 },
+        Waypoint { joints: at_pick, move_duration: 1.4, dwell: 0.8 }, // grasp
+        Waypoint { joints: lifted, move_duration: 1.2, dwell: 0.2 },
+        Waypoint { joints: above_place, move_duration: 2.6, dwell: 0.3 },
+        Waypoint { joints: at_place, move_duration: 1.4, dwell: 0.8 }, // release
+        Waypoint { joints: retreat, move_duration: 1.0, dwell: 0.2 },
+        Waypoint { joints: rest, move_duration: 1.6, dwell: 0.4 },
+    ]
+}
+
+/// The rest pose the cycle starts from (and returns to): tucked near the
+/// base (≈ 230 mm from origin).
+pub fn rest_pose() -> Vec<f64> {
+    vec![0.0, -0.35, -1.05, 0.0, 0.35, 0.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foreco_robot::niryo_one;
+
+    #[test]
+    fn cycle_is_closed_loop() {
+        let cycle = pick_and_place_cycle();
+        assert_eq!(cycle.last().unwrap().joints, rest_pose());
+    }
+
+    #[test]
+    fn all_waypoints_within_niryo_limits() {
+        let model = niryo_one();
+        assert!(model.within_limits(&rest_pose()));
+        for (i, wp) in pick_and_place_cycle().iter().enumerate() {
+            assert!(
+                model.within_limits(&wp.joints),
+                "waypoint {i} violates limits: {:?}",
+                wp.joints
+            );
+        }
+    }
+
+    #[test]
+    fn durations_are_positive_and_cycle_time_realistic() {
+        let cycle = pick_and_place_cycle();
+        let total: f64 = cycle.iter().map(|w| w.move_duration + w.dwell).sum();
+        for wp in &cycle {
+            assert!(wp.move_duration > 0.0 && wp.dwell >= 0.0);
+        }
+        // 10–20 s per repetition: consistent with 100 reps ≈ one hour of
+        // data at 50 Hz (the paper's H = 187 109 commands ≈ 62 min).
+        assert!((10.0..20.0).contains(&total), "cycle takes {total}s");
+    }
+
+    #[test]
+    fn workspace_excursion_matches_fig6_scale() {
+        // Fig. 6 plots distance-from-origin between roughly 200 and
+        // 500 mm; the script's waypoints must span a comparable band.
+        let model = niryo_one();
+        let mut dists: Vec<f64> = pick_and_place_cycle()
+            .iter()
+            .map(|w| model.chain.distance_from_origin_mm(&w.joints))
+            .collect();
+        dists.push(model.chain.distance_from_origin_mm(&rest_pose()));
+        let min = dists.iter().cloned().fold(f64::MAX, f64::min);
+        let max = dists.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(min > 100.0, "closest pose {min} mm");
+        assert!(max < 700.0, "farthest pose {max} mm");
+        assert!(max - min > 50.0, "cycle spans only {} mm", max - min);
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimum-jerk interpolation and rate limiting.
+//!
+//! Point-to-point human reaching motion is classically modelled by the
+//! minimum-jerk profile (Flash & Hogan 1985): position blends from start
+//! to goal along `10τ³ − 15τ⁴ + 6τ⁵`, with zero velocity and acceleration
+//! at both ends. The operator models build their "defined trajectory"
+//! from these segments, and the joystick's moving offset is enforced with
+//! [`rate_limit`].
+
+/// Minimum-jerk scalar blend at normalised time `τ ∈ [0, 1]`.
+///
+/// Values outside the range are clamped (the motion has ended/not begun).
+pub fn min_jerk(tau: f64) -> f64 {
+    let t = tau.clamp(0.0, 1.0);
+    t * t * t * (10.0 - 15.0 * t + 6.0 * t * t)
+}
+
+/// Interpolates a joint-space segment `from → to` of `duration` seconds,
+/// sampled every `period` seconds, excluding the start point and including
+/// the end point.
+///
+/// # Panics
+/// Panics on mismatched joint counts or non-positive duration/period.
+pub fn min_jerk_segment(
+    from: &[f64],
+    to: &[f64],
+    duration: f64,
+    period: f64,
+) -> Vec<Vec<f64>> {
+    assert_eq!(from.len(), to.len(), "segment: joint count mismatch");
+    assert!(duration > 0.0 && period > 0.0, "segment: bad duration/period");
+    let steps = (duration / period).round().max(1.0) as usize;
+    let mut out = Vec::with_capacity(steps);
+    for k in 1..=steps {
+        let s = min_jerk(k as f64 / steps as f64);
+        out.push(from.iter().zip(to).map(|(a, b)| a + s * (b - a)).collect());
+    }
+    out
+}
+
+/// Clamps the per-command joint motion to ±`offset` — the joystick's
+/// "command moving offset" (0.04 rad in the paper's Niryo configuration).
+///
+/// Returns the rate-limited stream starting from `initial`.
+///
+/// # Panics
+/// Panics if `offset` is not positive or joint counts mismatch.
+pub fn rate_limit(initial: &[f64], targets: &[Vec<f64>], offset: f64) -> Vec<Vec<f64>> {
+    assert!(offset > 0.0, "rate_limit: offset must be positive");
+    let mut current = initial.to_vec();
+    let mut out = Vec::with_capacity(targets.len());
+    for target in targets {
+        assert_eq!(target.len(), current.len(), "rate_limit: joint count mismatch");
+        for (c, t) in current.iter_mut().zip(target) {
+            *c += (t - *c).clamp(-offset, offset);
+        }
+        out.push(current.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_jerk_boundary_conditions() {
+        assert_eq!(min_jerk(0.0), 0.0);
+        assert!((min_jerk(1.0) - 1.0).abs() < 1e-12);
+        assert!((min_jerk(0.5) - 0.5).abs() < 1e-12, "profile is symmetric");
+    }
+
+    #[test]
+    fn min_jerk_monotone() {
+        let mut prev = 0.0;
+        for k in 1..=100 {
+            let v = min_jerk(k as f64 / 100.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn min_jerk_clamps_outside_range() {
+        assert_eq!(min_jerk(-1.0), 0.0);
+        assert_eq!(min_jerk(2.0), 1.0);
+    }
+
+    #[test]
+    fn min_jerk_zero_endpoint_velocity() {
+        // Numerical derivative near the ends must be tiny compared to the
+        // mid-motion peak (15/8 for min-jerk).
+        let h = 1e-4;
+        let v_start = (min_jerk(h) - min_jerk(0.0)) / h;
+        let v_mid = (min_jerk(0.5 + h) - min_jerk(0.5 - h)) / (2.0 * h);
+        assert!(v_start < 0.01 * v_mid, "start velocity {v_start}, mid {v_mid}");
+    }
+
+    #[test]
+    fn segment_reaches_target_exactly() {
+        let seg = min_jerk_segment(&[0.0, 1.0], &[1.0, -1.0], 1.0, 0.02);
+        assert_eq!(seg.len(), 50);
+        let last = seg.last().unwrap();
+        assert!((last[0] - 1.0).abs() < 1e-12 && (last[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_short_duration_has_one_step() {
+        let seg = min_jerk_segment(&[0.0], &[1.0], 0.001, 0.02);
+        assert_eq!(seg.len(), 1);
+        assert!((seg[0][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_limit_bounds_every_step() {
+        let targets = vec![vec![1.0, -1.0], vec![1.0, -1.0], vec![1.0, -1.0]];
+        let out = rate_limit(&[0.0, 0.0], &targets, 0.04);
+        let mut prev = vec![0.0, 0.0];
+        for cmd in &out {
+            for (c, p) in cmd.iter().zip(&prev) {
+                assert!((c - p).abs() <= 0.04 + 1e-12);
+            }
+            prev = cmd.clone();
+        }
+        // After 3 ticks each joint moved exactly 0.12 toward the target.
+        assert!((out[2][0] - 0.12).abs() < 1e-12);
+        assert!((out[2][1] + 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_limit_converges_when_target_is_static() {
+        let targets = vec![vec![0.1]; 10];
+        let out = rate_limit(&[0.0], &targets, 0.04);
+        assert!((out.last().unwrap()[0] - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! IEEE 802.11 wireless substrate for the FoReCo reproduction.
+//!
+//! The paper's simulation study (§V) derives the wireless delay `ΔW(c_i)`
+//! of every control command from an analytical model of the 802.11
+//! Distributed Coordination Function (DCF) extended with a **non-802.11
+//! interference source** (Bosch et al. 2020, the paper's \[7\]), and feeds
+//! the resulting per-retransmission delays into a **G/HEXP/1/Q** queue.
+//! That model is not public; this crate rebuilds the pipeline:
+//!
+//! - [`Params`]: 802.11 MAC/PHY timing parameters with the defaults
+//!   documented in DESIGN.md §5 (DSSS-style, 11 Mb/s data rate);
+//! - [`Interference`]: an on/off interferer that activates per idle slot
+//!   with probability `p_if` and stays active `T_if` slots — exactly the
+//!   two knobs swept in the paper's Fig. 8;
+//! - [`DcfModel`]: the Bianchi-style fixed point with retry limit and
+//!   interference, yielding the attempt-failure probability `p`, the
+//!   per-retransmission probabilities `a_j`, the expected delays
+//!   `E_j[ΔW] = Ts + j·Tc + σ̃ Σ_{k≤j}(W_k−1)/2` (paper eq. 20), and the
+//!   RTX-limit loss probability `a_{m+2} = p^{m+2}` of Lemma 1;
+//! - [`SlotSimulator`]: an independent slot-level DCF simulator (binary
+//!   exponential backoff, freezing, the same interferer) used by the test
+//!   suite to validate the analytical model;
+//! - [`WirelessLink`]: the G/HEXP/1/Q command pipe — deterministic
+//!   arrivals every `Ω`, hyperexponential service over the `a_j`/`E_j`
+//!   phases, finite access-point queue `Q`, producing the per-command
+//!   [`CommandFate`]s consumed by the closed-loop experiments.
+//!
+//! The Appendix results (unbounded delay, violated causality assumption)
+//! are exercised in this crate's tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analytical;
+mod interference;
+mod link;
+mod params;
+mod slotsim;
+
+pub use analytical::{DcfModel, DcfSolution};
+pub use interference::Interference;
+pub use link::{CommandFate, LinkConfig, WirelessLink};
+pub use params::Params;
+pub use slotsim::{SlotSimulator, SlotSimulatorReport};

@@ -1,0 +1,100 @@
+//! Property-based tests for the 802.11 substrate.
+
+use foreco_wifi::{DcfModel, Interference, LinkConfig, Params, WirelessLink};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DCF fixed point always lands in a physical regime.
+    #[test]
+    fn dcf_solution_is_physical(
+        stations in 1usize..40,
+        p_if in 0.0f64..0.2,
+        t_if in 1u32..300,
+    ) {
+        let model = DcfModel {
+            params: Params::default_paper(),
+            stations,
+            interference: if p_if > 0.0 {
+                Interference::new(p_if, t_if)
+            } else {
+                Interference::none()
+            },
+            offered_interval: Some(0.020),
+        };
+        let s = model.solve();
+        prop_assert!(s.tau > 0.0 && s.tau <= 1.0, "tau {}", s.tau);
+        prop_assert!((0.0..1.0).contains(&s.p), "p {}", s.p);
+        let total: f64 = s.attempt_probs.iter().sum::<f64>() + s.loss_probability;
+        prop_assert!((total - 1.0).abs() < 1e-9, "probability mass {total}");
+        for w in s.stage_delays.windows(2) {
+            prop_assert!(w[1] > w[0], "stage delays must increase");
+        }
+        prop_assert!(s.mean_slot >= Params::default_paper().slot * 0.999);
+        prop_assert!(s.mean_delay_delivered.is_finite());
+        prop_assert!(s.effective_contenders >= 1.0 - 1e-9);
+        prop_assert!(s.effective_contenders <= stations as f64 + 1e-9);
+    }
+
+    /// Interference coverage and hit probability are proper probabilities,
+    /// monotone in both knobs.
+    #[test]
+    fn interference_probabilities_bounded(
+        p in 0.001f64..1.0,
+        t in 1u32..500,
+        tx in 1u32..50,
+    ) {
+        let i = Interference::new(p, t);
+        let cov = i.coverage();
+        prop_assert!((0.0..1.0).contains(&cov));
+        let hit = i.mid_frame_hit_probability(tx);
+        prop_assert!((0.0..=1.0).contains(&hit));
+        let both = i.hit_probability(tx);
+        prop_assert!(both >= hit - 1e-12, "carrier-blind ≥ mid-frame");
+        // Monotonicity in duration for coverage.
+        if t < 499 {
+            prop_assert!(Interference::new(p, t + 1).coverage() >= cov - 1e-12);
+        }
+    }
+
+    /// The link produces exactly one fate per command and delays are
+    /// positive and finite.
+    #[test]
+    fn link_fate_invariants(
+        stations in 1usize..30,
+        p_if in 0.0f64..0.08,
+        seed in 0u64..100,
+    ) {
+        let cfg = LinkConfig {
+            stations,
+            interference: if p_if > 0.0 {
+                Interference::new(p_if, 50)
+            } else {
+                Interference::none()
+            },
+            ..LinkConfig::default()
+        };
+        let mut link = WirelessLink::new(cfg, seed);
+        let n = 500;
+        let fates = link.simulate(n);
+        prop_assert_eq!(fates.len(), n);
+        for f in &fates {
+            if let Some(d) = f.delay() {
+                prop_assert!(d.is_finite() && d > 0.0);
+            }
+        }
+    }
+
+    /// More stations can only increase (or keep) the failure probability.
+    #[test]
+    fn contention_monotone(extra in 1usize..20) {
+        let solve = |n: usize| DcfModel {
+            params: Params::default_paper(),
+            stations: n,
+            interference: Interference::new(0.01, 10),
+            offered_interval: None, // saturated: cleanest monotonicity
+        }.solve().p;
+        prop_assert!(solve(2 + extra) >= solve(2) - 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Compare every forecaster in the library on the same teleop data —
+//! a live version of the paper's Fig. 7 plus the §VII-C extensions.
+//!
+//! ```sh
+//! cargo run --release --example forecaster_shootout
+//! ```
+
+use foreco::forecast::{one_step_rmse, Seq2SeqTrainConfig};
+use foreco::prelude::*;
+use foreco::recovery::metrics;
+
+fn main() {
+    println!("== forecaster shootout ==\n");
+    println!("training: experienced operator; testing: inexperienced operator\n");
+    let train = Dataset::record(Skill::Experienced, 5, 0.02, 100);
+    let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 200);
+    let model = niryo_one();
+
+    let mut entries: Vec<(String, Box<dyn Forecaster>)> = vec![
+        ("MA(R=5)".into(), Box::new(MovingAverage::new(5, 6))),
+        (
+            "VAR(R=5, levels — literal eq. 5)".into(),
+            Box::new(Var::fit(&train, 5, 1e-6).expect("fit")),
+        ),
+    ];
+    entries.push((
+        "VAR(R=5, differenced — deployed)".into(),
+        Box::new(Var::fit_differenced(&train, 5, 1e-6).expect("fit")),
+    ));
+    entries.push(("Holt(α=0.8, β=0.3)".into(), Box::new(Holt::default_teleop(6, 6))));
+    entries.push((
+        "VARMA(4,2)".into(),
+        Box::new(Varma::fit(&train, 4, 2, 1e-6).expect("fit")),
+    ));
+    let s2s_cfg = Seq2SeqTrainConfig {
+        r: 5,
+        epochs: 2,
+        subsample: 16,
+        ..Default::default()
+    };
+    println!("training seq2seq ({} windows, paper-scale 200/30 LSTM)…",
+        (train.len() - 5) / 16);
+    entries.push((
+        "seq2seq(200/30 ReLU)".into(),
+        Box::new(Seq2SeqForecaster::fit(&train, &s2s_cfg)),
+    ));
+
+    println!("\n{:<36} {:>14} {:>16}", "forecaster", "1-step [rad]", "20-step [mm]");
+    for (name, f) in &entries {
+        let joint = one_step_rmse(f.as_ref(), &test);
+        // Multi-step task-space RMSE: forecast 20 commands ahead from
+        // every 40th window, compare in millimetres through the FK.
+        let r = f.history_len();
+        let mut preds = Vec::new();
+        let mut actuals = Vec::new();
+        let mut idx = r;
+        while idx + 20 < test.commands.len() {
+            let hist = &test.commands[idx - r..idx];
+            let horizon = forecast_horizon(f.as_ref(), hist, 20);
+            preds.push(horizon.last().expect("20 steps").clone());
+            actuals.push(test.commands[idx + 19].clone());
+            idx += 40;
+        }
+        let task = metrics::command_rmse_mm(&model, &preds, &actuals);
+        println!("{name:<36} {joint:>14.5} {task:>16.2}");
+    }
+    println!("\n(the paper's Fig. 7 ordering: VAR ≤ MA ≪ seq2seq)");
+}

@@ -1,0 +1,103 @@
+//! A factory floor under a WiFi jammer — the paper's §VI-D-2 experiment.
+//!
+//! Robots share a 2.4 GHz 802.11 channel with an on/off interferer; the
+//! example prints the analytical link diagnosis and the trajectory error
+//! with and without FoReCo. Fault-injection knobs (smoltcp-style):
+//!
+//! ```sh
+//! cargo run --release --example jammed_factory -- \
+//!     --robots 15 --prob 0.025 --duration 50 --seconds 30 --seed 7
+//! ```
+
+use foreco::prelude::*;
+
+struct Args {
+    robots: usize,
+    prob: f64,
+    duration: u32,
+    seconds: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { robots: 15, prob: 0.025, duration: 50, seconds: 30.0, seed: 7 };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        let value = &argv[i + 1];
+        match argv[i].as_str() {
+            "--robots" => args.robots = value.parse().expect("--robots: integer"),
+            "--prob" => args.prob = value.parse().expect("--prob: float in [0,1]"),
+            "--duration" => args.duration = value.parse().expect("--duration: slots"),
+            "--seconds" => args.seconds = value.parse().expect("--seconds: float"),
+            "--seed" => args.seed = value.parse().expect("--seed: integer"),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "== jammed factory: {} robots, p_if = {:.1} %, T_if = {} slots ==\n",
+        args.robots,
+        args.prob * 100.0,
+        args.duration
+    );
+
+    // Diagnose the wireless link analytically before simulating.
+    let interference = if args.prob > 0.0 {
+        Interference::new(args.prob, args.duration)
+    } else {
+        Interference::none()
+    };
+    let link_cfg = LinkConfig { stations: args.robots, interference, ..LinkConfig::default() };
+    let solution = DcfModel {
+        params: link_cfg.params,
+        stations: args.robots,
+        interference,
+        offered_interval: Some(link_cfg.period),
+    }
+    .solve();
+    println!("802.11 DCF analysis:");
+    println!("  attempt failure probability p  = {:.4}", solution.p);
+    println!("  RTX-limit loss probability     = {:.2e}", solution.loss_probability);
+    println!("  mean delay (delivered)         = {:.2} ms", solution.mean_delay_delivered * 1e3);
+    println!("  mean channel occupancy / frame = {:.2} ms (budget Ω = 20 ms)",
+        solution.mean_occupancy * 1e3);
+    println!("  effective contenders           = {:.1}\n", solution.effective_contenders);
+
+    // Train on the experienced operator, drive with the inexperienced one.
+    let train = Dataset::record(Skill::Experienced, 5, 0.02, args.seed.wrapping_add(1));
+    let var = Var::fit_differenced(&train, 5, 1e-6).expect("fit");
+    let test = Dataset::record(Skill::Inexperienced, 2, 0.02, args.seed.wrapping_add(2));
+    let n = ((args.seconds / 0.02) as usize).min(test.commands.len());
+    let commands = &test.commands[..n];
+    let model = niryo_one();
+
+    let mut channel = JammedChannel::new(link_cfg, 0.0, args.seed);
+    let fates = channel.fates(commands.len());
+    let misses = fates.iter().filter(|f| !f.on_time()).count();
+    println!("simulated {:.0} s of teleoperation: {} / {} commands missed their deadline\n",
+        args.seconds, misses, commands.len());
+
+    let baseline = run_closed_loop(
+        &model, commands, &fates, RecoveryMode::Baseline, DriverConfig::default());
+    let engine = RecoveryEngine::new(
+        Box::new(var), RecoveryConfig::for_model(&model), model.clamp(&commands[0]));
+    let foreco = run_closed_loop(
+        &model, commands, &fates, RecoveryMode::FoReCo(engine), DriverConfig::default());
+
+    println!("  no forecasting : RMSE {:7.2} mm (worst {:7.2} mm)",
+        baseline.rmse_mm, baseline.max_deviation_mm);
+    println!("  FoReCo         : RMSE {:7.2} mm (worst {:7.2} mm)",
+        foreco.rmse_mm, foreco.max_deviation_mm);
+    if foreco.rmse_mm > 0.0 {
+        println!("  improvement    : x{:.2}", baseline.rmse_mm / foreco.rmse_mm);
+    }
+}

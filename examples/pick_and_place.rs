@@ -1,0 +1,66 @@
+//! Full pick-and-place teleoperation session with trajectory output.
+//!
+//! Recreates the paper's §VI-D-1 controlled experiment: isolated bursts of
+//! exactly N consecutive losses, trajectories printed as
+//! `time  defined  no-forecast  FoReCo` columns (distance from origin in
+//! mm — the axes of Figs. 6, 9 and 10), ready for a plotting tool.
+//!
+//! ```sh
+//! cargo run --release --example pick_and_place -- --burst 25 > trajectory.tsv
+//! ```
+
+use foreco::prelude::*;
+use foreco::recovery::metrics;
+
+fn main() {
+    let mut burst = 10usize;
+    let mut seed = 11u64;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        match argv[i].as_str() {
+            "--burst" => burst = argv[i + 1].parse().expect("--burst: integer"),
+            "--seed" => seed = argv[i + 1].parse().expect("--seed: integer"),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    eprintln!("pick-and-place with bursts of {burst} consecutive losses (seed {seed})");
+
+    let train = Dataset::record(Skill::Experienced, 5, 0.02, seed.wrapping_add(1));
+    let var = Var::fit_differenced(&train, 5, 1e-6).expect("fit");
+    let test = Dataset::record(Skill::Inexperienced, 1, 0.02, seed.wrapping_add(2));
+    let model = niryo_one();
+
+    let fates = ControlledLossChannel::new(burst, 0.005, seed).fates(test.commands.len());
+
+    let baseline = run_closed_loop(
+        &model, &test.commands, &fates, RecoveryMode::Baseline, DriverConfig::default());
+    let engine = RecoveryEngine::new(
+        Box::new(var), RecoveryConfig::for_model(&model), model.clamp(&test.commands[0]));
+    let foreco = run_closed_loop(
+        &model, &test.commands, &fates, RecoveryMode::FoReCo(engine), DriverConfig::default());
+
+    eprintln!("misses: {}", baseline.misses);
+    eprintln!("no forecast RMSE: {:.2} mm", baseline.rmse_mm);
+    eprintln!("FoReCo RMSE:      {:.2} mm", foreco.rmse_mm);
+
+    // TSV trajectory (stdout): the three curves of Fig. 9.
+    println!("# time_s\tdefined_mm\tno_forecast_mm\tforeco_mm\tmiss");
+    let defined = metrics::distance_series(&baseline.defined);
+    let base = metrics::distance_series(&baseline.executed);
+    let fore = metrics::distance_series(&foreco.executed);
+    for i in 0..defined.len() {
+        println!(
+            "{:.3}\t{:.2}\t{:.2}\t{:.2}\t{}",
+            (i as f64 + 1.0) * 0.02,
+            defined[i],
+            base[i],
+            fore[i],
+            u8::from(!fates[i].on_time()),
+        );
+    }
+}

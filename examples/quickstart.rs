@@ -1,0 +1,63 @@
+//! Quickstart: train a forecaster, lose some commands, watch FoReCo
+//! conceal the losses.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use foreco::prelude::*;
+
+fn main() {
+    println!("== FoReCo quickstart ==\n");
+
+    // 1. Record an experienced operator doing pick-and-place repetitions
+    //    (the paper trains on the experienced dataset, §VI-A).
+    println!("recording training data (experienced operator)…");
+    let train = Dataset::record(Skill::Experienced, 5, 0.02, 42);
+    println!("  {} commands over {} cycles", train.len(), train.cycle_starts.len());
+
+    // 2. Fit the paper's winning forecaster: VAR trained with OLS.
+    let var = Var::fit_differenced(&train, 5, 1e-6).expect("training data is well-conditioned");
+    println!("  VAR(R=5) fitted: {} weights\n", var.num_params());
+
+    // 3. The test stream comes from a *different* (inexperienced)
+    //    operator — related but not identical data, like the paper.
+    let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 1234);
+    let model = niryo_one();
+
+    // 4. A channel that drops bursts of 10 consecutive commands.
+    let make_fates = || ControlledLossChannel::new(10, 0.01, 7).fates(test.commands.len());
+
+    // 5. Baseline: the Niryo stack repeats the last command on a miss.
+    let baseline = run_closed_loop(
+        &model,
+        &test.commands,
+        &make_fates(),
+        RecoveryMode::Baseline,
+        DriverConfig::default(),
+    );
+
+    // 6. FoReCo: forecast the missing commands and inject them.
+    let engine = RecoveryEngine::new(
+        Box::new(var),
+        RecoveryConfig::for_model(&model),
+        model.clamp(&test.commands[0]),
+    );
+    let foreco = run_closed_loop(
+        &model,
+        &test.commands,
+        &make_fates(),
+        RecoveryMode::FoReCo(engine),
+        DriverConfig::default(),
+    );
+
+    println!("channel: bursts of 10 consecutive losses ({} misses)\n", baseline.misses);
+    println!("  no forecasting : RMSE {:6.2} mm (worst {:6.2} mm)",
+        baseline.rmse_mm, baseline.max_deviation_mm);
+    println!("  FoReCo         : RMSE {:6.2} mm (worst {:6.2} mm)",
+        foreco.rmse_mm, foreco.max_deviation_mm);
+    println!("  improvement    : x{:.1}", baseline.rmse_mm / foreco.rmse_mm.max(1e-9));
+    let stats = foreco.stats.expect("FoReCo mode records stats");
+    println!("\nrecovery stats: {} delivered, {} forecast, {} warm-up repeats",
+        stats.delivered, stats.forecasts, stats.warmup_repeats);
+}

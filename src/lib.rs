@@ -1,0 +1,84 @@
+//! # FoReCo — forecast-based recovery for real-time robot remote control
+//!
+//! A full Rust reproduction of *"FoReCo: a forecast-based recovery
+//! mechanism for real-time remote control of robotic manipulators"*
+//! (Groshev et al., arXiv:2205.04189).
+//!
+//! Commands steer a 6-axis arm over an interference-prone IEEE 802.11
+//! link at 50 Hz. When a command misses its deadline, FoReCo forecasts it
+//! from the recent history and injects the forecast into the robot
+//! drivers, so the arm keeps tracking the operator instead of freezing.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`recovery`] | `foreco-core` | recovery engine, channels, closed loop, Fig-8 grid |
+//! | [`forecast`] | `foreco-forecast` | MA, VAR, seq2seq, Holt, VARMA + training pipeline |
+//! | [`robot`] | `foreco-robot` | Niryo-One-like arm, DH kinematics, PID driver loop |
+//! | [`teleop`] | `foreco-teleop` | pick-and-place operators and datasets |
+//! | [`wifi`] | `foreco-wifi` | 802.11 DCF analytical model + interferer + link sim |
+//! | [`des`] | `foreco-des` | discrete-event simulation engine (mini-CIW) |
+//! | [`nn`] | `foreco-nn` | LSTM/seq2seq substrate with Adam and BPTT |
+//! | [`linalg`] | `foreco-linalg` | matrices, Cholesky/QR, OLS, statistics |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use foreco::prelude::*;
+//!
+//! // 1. Record training data (experienced operator) and fit the VAR.
+//! let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+//! let var = Var::fit_differenced(&train, 5, 1e-6).unwrap();
+//!
+//! // 2. Wrap it in a recovery engine for a Niryo-One-like arm.
+//! let model = niryo_one();
+//! let engine = RecoveryEngine::new(
+//!     Box::new(var),
+//!     RecoveryConfig::for_model(&model),
+//!     model.home(),
+//! );
+//!
+//! // 3. Close the loop over a bursty channel.
+//! let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 8);
+//! let mut channel = ControlledLossChannel::new(10, 0.01, 9);
+//! let fates = channel.fates(test.commands.len());
+//! let result = run_closed_loop(
+//!     &model,
+//!     &test.commands,
+//!     &fates,
+//!     RecoveryMode::FoReCo(engine),
+//!     Default::default(),
+//! );
+//! assert!(result.rmse_mm < 50.0);
+//! ```
+
+pub use foreco_core as recovery;
+pub use foreco_des as des;
+pub use foreco_forecast as forecast;
+pub use foreco_linalg as linalg;
+pub use foreco_nn as nn;
+pub use foreco_robot as robot;
+pub use foreco_teleop as teleop;
+pub use foreco_wifi as wifi;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use foreco_core::channel::{
+        Arrival, Channel, ControlledLossChannel, IdealChannel, JammedChannel,
+    };
+    pub use foreco_core::experiment::{run_cell, CellConfig, CellResult};
+    pub use foreco_core::metrics;
+    pub use foreco_core::edge::{edge_packets, run_closed_loop_edge, EdgePacket};
+    pub use foreco_core::{
+        run_closed_loop, ClosedLoopResult, RecoveryConfig, RecoveryEngine, RecoveryMode,
+        RecoveryStats,
+    };
+    pub use foreco_forecast::{
+        forecast_horizon, Forecaster, Holt, KalmanCv, MovingAverage, Seq2SeqForecaster, Var,
+        VarMode, Varma,
+    };
+    pub use foreco_robot::{niryo_one, ArmModel, DriverConfig, RobotDriver};
+    pub use foreco_teleop::{Dataset, Operator, Skill};
+    pub use foreco_wifi::{DcfModel, Interference, LinkConfig, Params, WirelessLink};
+}

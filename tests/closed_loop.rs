@@ -1,0 +1,216 @@
+//! Integration tests spanning the whole stack: teleop data → forecaster
+//! training → channel → recovery → robot → metrics.
+
+use foreco::prelude::*;
+
+fn trained_var(seed: u64) -> Var {
+    let train = Dataset::record(Skill::Experienced, 8, 0.02, seed);
+    Var::fit_differenced(&train, 5, 1e-6).expect("training data is well-conditioned")
+}
+
+fn engine(var: &Var, model: &ArmModel, first: &[f64]) -> RecoveryEngine {
+    RecoveryEngine::new(
+        Box::new(var.clone()),
+        RecoveryConfig::for_model(model),
+        model.clamp(first),
+    )
+}
+
+/// Fig. 9's qualitative content: FoReCo conceals bursts of 5/10/25
+/// consecutive losses, and its error grows with the burst length
+/// (error propagation through the forecast recursion).
+#[test]
+fn controlled_bursts_fig9_shape() {
+    let model = niryo_one();
+    let var = trained_var(1);
+    let test = Dataset::record(Skill::Inexperienced, 2, 0.02, 500);
+    let mut foreco_rmse = Vec::new();
+    for burst in [5usize, 10, 25] {
+        // Average over channel realisations: individual bursts land on
+        // dwells or fast reaches, so single-seed comparisons are noisy.
+        let mut base_sum = 0.0;
+        let mut fore_sum = 0.0;
+        for seed in 0..4u64 {
+            let fates =
+                ControlledLossChannel::new(burst, 0.008, 99 + seed).fates(test.commands.len());
+            base_sum += run_closed_loop(
+                &model,
+                &test.commands,
+                &fates,
+                RecoveryMode::Baseline,
+                DriverConfig::default(),
+            )
+            .rmse_mm;
+            fore_sum += run_closed_loop(
+                &model,
+                &test.commands,
+                &fates,
+                RecoveryMode::FoReCo(engine(&var, &model, &test.commands[0])),
+                DriverConfig::default(),
+            )
+            .rmse_mm;
+        }
+        assert!(
+            fore_sum < base_sum,
+            "burst {burst}: FoReCo {:.2} mm vs baseline {:.2} mm (4-seed sums)",
+            fore_sum,
+            base_sum
+        );
+        foreco_rmse.push(fore_sum / 4.0);
+    }
+    assert!(
+        foreco_rmse[2] > foreco_rmse[0],
+        "FoReCo error must grow with burst length: {foreco_rmse:?}"
+    );
+}
+
+/// Fig. 10's qualitative content: under a jammed 802.11 channel FoReCo
+/// at least halves the trajectory error (paper: 18.91 → 8.72 mm, ×2.17).
+#[test]
+fn jammer_fig10_shape() {
+    let model = niryo_one();
+    let var = trained_var(2);
+    let test = Dataset::record(Skill::Inexperienced, 2, 0.02, 600);
+    let commands = &test.commands[..1500.min(test.commands.len())];
+    let link = LinkConfig {
+        stations: 15,
+        interference: Interference::new(0.04, 60),
+        ..LinkConfig::default()
+    };
+    // Average over a few seeds to keep the assertion stable.
+    let mut base_sum = 0.0;
+    let mut fore_sum = 0.0;
+    for seed in 0..5u64 {
+        let mut channel = JammedChannel::new(link, 0.0, 3000 + seed);
+        let fates = channel.fates(commands.len());
+        base_sum += run_closed_loop(
+            &model,
+            commands,
+            &fates,
+            RecoveryMode::Baseline,
+            DriverConfig::default(),
+        )
+        .rmse_mm;
+        fore_sum += run_closed_loop(
+            &model,
+            commands,
+            &fates,
+            RecoveryMode::FoReCo(engine(&var, &model, &commands[0])),
+            DriverConfig::default(),
+        )
+        .rmse_mm;
+    }
+    assert!(
+        fore_sum * 1.5 < base_sum,
+        "expected ≥ x1.5 improvement: baseline {base_sum:.2}, FoReCo {fore_sum:.2}"
+    );
+}
+
+/// The full Fig.-8 pipeline in miniature through the public API.
+#[test]
+fn interference_grid_cell_via_api() {
+    let model = niryo_one();
+    let var = trained_var(3);
+    let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 700);
+    let cell = CellConfig {
+        robots: 15,
+        interference: Interference::new(0.05, 100),
+        repetitions: 3,
+        tolerance: 0.0,
+        seed: 40_000,
+    };
+    let res = run_cell(&model, &test.commands, &|| Box::new(var.clone()), &cell);
+    assert!(res.miss_rate > 0.02);
+    assert!(res.foreco_rmse_mm < res.no_forecast_rmse_mm);
+}
+
+/// Trained artifacts survive a JSON round-trip and keep forecasting
+/// identically (deployment: train at the edge, ship to the robot).
+#[test]
+fn model_serialization_round_trip() {
+    let var = trained_var(4);
+    let json = serde_json::to_string(&var).expect("serialize");
+    let back: Var = serde_json::from_str(&json).expect("deserialize");
+    let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 800);
+    let hist = &test.commands[..10];
+    let a = var.forecast(hist);
+    let b = back.forecast(hist);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-9);
+    }
+}
+
+/// Dataset JSON round-trip (the recorded histories are the deployment
+/// artifact the paper's pipeline loads in its first stage).
+#[test]
+fn dataset_serialization_round_trip() {
+    let ds = Dataset::record(Skill::Experienced, 1, 0.02, 5);
+    let json = serde_json::to_string(&ds).expect("serialize");
+    let back: Dataset = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.len(), ds.len());
+    // serde_json's default float parse may differ by 1 ULP.
+    for (a, b) in back.commands[10].iter().zip(&ds.commands[10]) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+}
+
+/// Every forecaster exposed by the prelude can drive the recovery engine.
+#[test]
+fn every_forecaster_plugs_into_the_engine() {
+    let model = niryo_one();
+    let train = Dataset::record(Skill::Experienced, 3, 0.02, 6);
+    let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 900);
+    let commands = &test.commands[..400];
+    let forecasters: Vec<Box<dyn Forecaster>> = vec![
+        Box::new(MovingAverage::new(5, 6)),
+        Box::new(Var::fit_differenced(&train, 5, 1e-6).unwrap()),
+        Box::new(Holt::default_teleop(6, 6)),
+        Box::new(Varma::fit(&train, 4, 2, 1e-6).unwrap()),
+    ];
+    for f in forecasters {
+        let name = f.name();
+        let eng = RecoveryEngine::new(f, RecoveryConfig::for_model(&model), model.clamp(&commands[0]));
+        let fates = ControlledLossChannel::new(8, 0.01, 77).fates(commands.len());
+        let res = run_closed_loop(
+            &model,
+            commands,
+            &fates,
+            RecoveryMode::FoReCo(eng),
+            DriverConfig::default(),
+        );
+        assert!(
+            res.rmse_mm.is_finite() && res.rmse_mm < 500.0,
+            "{name}: rmse {}",
+            res.rmse_mm
+        );
+    }
+}
+
+/// Determinism end to end: identical seeds → identical RMSE.
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        let model = niryo_one();
+        let var = trained_var(7);
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 1000);
+        let mut ch = JammedChannel::new(
+            LinkConfig {
+                stations: 25,
+                interference: Interference::new(0.025, 50),
+                ..LinkConfig::default()
+            },
+            0.0,
+            123,
+        );
+        let fates = ch.fates(test.commands.len());
+        run_closed_loop(
+            &model,
+            &test.commands,
+            &fates,
+            RecoveryMode::FoReCo(engine(&var, &model, &test.commands[0])),
+            DriverConfig::default(),
+        )
+        .rmse_mm
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,65 @@
+//! Integration tests of the train-at-the-edge → deploy-to-the-robot flow
+//! (the Table-I/II pipeline) through the public API.
+
+use foreco::forecast::pipeline::{self, PipelineConfig};
+use foreco::prelude::*;
+
+#[test]
+fn pipeline_model_deploys_into_recovery() {
+    // Train through the staged pipeline, then use the produced model in a
+    // live recovery loop.
+    let train = Dataset::record(Skill::Experienced, 4, 0.02, 10);
+    let run = pipeline::run(&train, &PipelineConfig::default()).expect("pipeline");
+    assert!(run.quality.is_acceptable(train.len()));
+    assert!(run.timings.train > 0.0);
+
+    let model = niryo_one();
+    let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 20);
+    let engine = RecoveryEngine::new(
+        Box::new(run.model),
+        RecoveryConfig::for_model(&model),
+        model.clamp(&test.commands[0]),
+    );
+    let fates = ControlledLossChannel::new(10, 0.01, 3).fates(test.commands.len());
+    let res = run_closed_loop(
+        &model,
+        &test.commands,
+        &fates,
+        RecoveryMode::FoReCo(engine),
+        DriverConfig::default(),
+    );
+    assert!(res.rmse_mm < 100.0, "rmse {}", res.rmse_mm);
+}
+
+#[test]
+fn downsampled_pipeline_still_produces_usable_model() {
+    let train = Dataset::record(Skill::Experienced, 4, 0.02, 11);
+    let cfg = PipelineConfig { downsample: 2, ..Default::default() };
+    let run = pipeline::run(&train, &cfg).expect("pipeline");
+    // A 25 Hz model still forecasts finite commands.
+    let hist = vec![train.commands[0].clone(); 10];
+    let pred = run.model.forecast(&hist);
+    assert!(pred.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn quality_check_blocks_corrupt_data_from_silent_training() {
+    let mut train = Dataset::record(Skill::Experienced, 2, 0.02, 12);
+    train.commands[100][3] = f64::NAN;
+    let quality = pipeline::check_quality(&train, &PipelineConfig::default());
+    assert!(!quality.is_acceptable(train.len()));
+    // And the OLS layer independently refuses non-finite input.
+    assert!(Var::fit_differenced(&train, 5, 1e-6).is_err());
+}
+
+/// The paper's α/β split: train on the first α, evaluate on the rest.
+#[test]
+fn alpha_beta_split_workflow() {
+    let all = Dataset::record(Skill::Experienced, 4, 0.02, 13);
+    let (train, test) = all.split(0.8);
+    assert!(train.len() > test.len());
+    let var = Var::fit_differenced(&train, 5, 1e-6).expect("fit");
+    let rmse = foreco::forecast::one_step_rmse(&var, &test);
+    // Same operator, held-out portion: sub-centiradian accuracy.
+    assert!(rmse < 0.02, "one-step joint rmse {rmse}");
+}

@@ -15,23 +15,38 @@ fn bench_forecasters(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("inference");
     let ma = MovingAverage::new(20, 6);
-    group.bench_function("ma_r20", |b| b.iter(|| black_box(ma.forecast(black_box(&hist)))));
+    group.bench_function("ma_r20", |b| {
+        b.iter(|| black_box(ma.forecast(black_box(&hist))))
+    });
 
     let var = Var::fit_differenced(&train, 5, 1e-6).unwrap();
-    group.bench_function("var_r5", |b| b.iter(|| black_box(var.forecast(black_box(&hist)))));
+    group.bench_function("var_r5", |b| {
+        b.iter(|| black_box(var.forecast(black_box(&hist))))
+    });
 
     let var20 = Var::fit_differenced(&train, 20, 1e-6).unwrap();
-    group.bench_function("var_r20", |b| b.iter(|| black_box(var20.forecast(black_box(&hist)))));
+    group.bench_function("var_r20", |b| {
+        b.iter(|| black_box(var20.forecast(black_box(&hist))))
+    });
 
     let holt = Holt::default_teleop(10, 6);
-    group.bench_function("holt_r10", |b| b.iter(|| black_box(holt.forecast(black_box(&hist)))));
+    group.bench_function("holt_r10", |b| {
+        b.iter(|| black_box(holt.forecast(black_box(&hist))))
+    });
 
     let varma = Varma::fit(&train, 4, 2, 1e-6).unwrap();
-    group.bench_function("varma_4_2", |b| b.iter(|| black_box(varma.forecast(black_box(&hist)))));
+    group.bench_function("varma_4_2", |b| {
+        b.iter(|| black_box(varma.forecast(black_box(&hist))))
+    });
 
     let s2s = Seq2SeqForecaster::fit(
         &train,
-        &Seq2SeqTrainConfig { r: 5, epochs: 1, subsample: 512, ..Default::default() },
+        &Seq2SeqTrainConfig {
+            r: 5,
+            epochs: 1,
+            subsample: 512,
+            ..Default::default()
+        },
     );
     group.bench_function("seq2seq_200_30", |b| {
         b.iter(|| black_box(s2s.forecast(black_box(&hist))))

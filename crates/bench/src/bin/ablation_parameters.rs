@@ -14,7 +14,10 @@ use foreco_robot::DriverConfig;
 use foreco_wifi::{Interference, LinkConfig};
 
 fn main() {
-    banner("Ablation — R, τ, Q, α", "DESIGN.md §8 (parameters the paper fixes)");
+    banner(
+        "Ablation — R, τ, Q, α",
+        "DESIGN.md §8 (parameters the paper fixes)",
+    );
     let fx = Fixture::build();
     let commands = &fx.test.commands[..1500.min(fx.test.commands.len())];
     let link = LinkConfig {
@@ -56,17 +59,26 @@ fn main() {
 
     // --- history length R -------------------------------------------------
     println!("\nR sweep (jammed 15-robot channel):");
-    println!("{:<6} {:>14} {:>14} {:>16}", "R", "1-step [rad]", "FoReCo [mm]", "weights");
+    println!(
+        "{:<6} {:>14} {:>14} {:>16}",
+        "R", "1-step [rad]", "FoReCo [mm]", "weights"
+    );
     for r in [1usize, 2, 5, 10, 20] {
         let var = Var::fit_differenced(&fx.train, r, 1e-6).expect("fit");
         let one_step = one_step_rmse(&var, &fx.test);
         let (_, fore) = closed_loop(&var, link, 0.0, 3);
-        println!("{r:<6} {one_step:>14.5} {fore:>14.2} {:>16}", var.num_params());
+        println!(
+            "{r:<6} {one_step:>14.5} {fore:>14.2} {:>16}",
+            var.num_params()
+        );
     }
 
     // --- tolerance τ -------------------------------------------------------
     println!("\nτ sweep (extra deadline slack beyond Ω):");
-    println!("{:<10} {:>14} {:>14}", "τ [ms]", "no-fc [mm]", "FoReCo [mm]");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "τ [ms]", "no-fc [mm]", "FoReCo [mm]"
+    );
     let var = &fx.var;
     for tau_ms in [0.0f64, 5.0, 10.0, 20.0, 40.0] {
         let (base, fore) = closed_loop(var, link, tau_ms * 1e-3, 3);
@@ -75,9 +87,15 @@ fn main() {
 
     // --- AP queue depth Q ---------------------------------------------------
     println!("\nQ sweep (AP queue depth; bufferbloat demonstration):");
-    println!("{:<6} {:>12} {:>14} {:>14}", "Q", "miss rate", "no-fc [mm]", "FoReCo [mm]");
+    println!(
+        "{:<6} {:>12} {:>14} {:>14}",
+        "Q", "miss rate", "no-fc [mm]", "FoReCo [mm]"
+    );
     for q in [1usize, 2, 5, 10, 20] {
-        let l = LinkConfig { queue_capacity: q, ..link };
+        let l = LinkConfig {
+            queue_capacity: q,
+            ..link
+        };
         let mut ch = JammedChannel::new(l, 0.0, 0xAB4);
         let fates = ch.fates(commands.len());
         let miss = fates.iter().filter(|f| !f.on_time()).count() as f64 / fates.len() as f64;

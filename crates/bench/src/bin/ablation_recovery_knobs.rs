@@ -21,7 +21,10 @@ use foreco_robot::DriverConfig;
 use foreco_wifi::{Interference, LinkConfig};
 
 fn main() {
-    banner("Ablation — recovery-engine safeguards", "DESIGN.md §5/§8 (not in the paper)");
+    banner(
+        "Ablation — recovery-engine safeguards",
+        "DESIGN.md §5/§8 (not in the paper)",
+    );
     let fx = Fixture::build();
     let commands = &fx.test.commands[..1500.min(fx.test.commands.len())];
     let var_levels = Var::fit_mode(&fx.train, 5, 1e-6, VarMode::Levels).expect("fit");
@@ -46,8 +49,7 @@ fn main() {
             } else {
                 Box::new(fx.var.clone())
             };
-            let engine =
-                RecoveryEngine::new(forecaster, cfg.clone(), fx.model.clamp(&commands[0]));
+            let engine = RecoveryEngine::new(forecaster, cfg.clone(), fx.model.clamp(&commands[0]));
             sum += run_closed_loop(
                 &fx.model,
                 commands,
@@ -80,22 +82,34 @@ fn main() {
         ("levels VAR (paper's literal eq. 5)", full.clone(), true),
         (
             "no history rebase",
-            RecoveryConfig { history_rebase: false, ..full.clone() },
+            RecoveryConfig {
+                history_rebase: false,
+                ..full.clone()
+            },
             false,
         ),
         (
             "no trend damping",
-            RecoveryConfig { trend_damping: None, ..full.clone() },
+            RecoveryConfig {
+                trend_damping: None,
+                ..full.clone()
+            },
             false,
         ),
         (
             "no step clamp",
-            RecoveryConfig { max_step: None, ..full.clone() },
+            RecoveryConfig {
+                max_step: None,
+                ..full.clone()
+            },
             false,
         ),
         (
             "no horizon cap",
-            RecoveryConfig { max_consecutive_forecasts: None, ..full.clone() },
+            RecoveryConfig {
+                max_consecutive_forecasts: None,
+                ..full.clone()
+            },
             false,
         ),
         (

@@ -10,7 +10,10 @@ use foreco_bench::banner;
 use foreco_wifi::{CommandFate, DcfModel, Interference, LinkConfig, Params, WirelessLink};
 
 fn main() {
-    banner("Appendix — delay properties under interference", "paper Appendix, Lemma 1 / Cor. 1–2");
+    banner(
+        "Appendix — delay properties under interference",
+        "paper Appendix, Lemma 1 / Cor. 1–2",
+    );
     let interference = Interference::new(0.025, 50);
     let sol = DcfModel {
         params: Params::default_paper(),
@@ -21,20 +24,38 @@ fn main() {
     .solve();
 
     println!("\nLemma 1 — conditional mean delay is finite, loss mass is not:");
-    println!("  E[ΔW | delivered] = {:.3} ms", sol.mean_delay_delivered * 1e3);
-    println!("  P(lost at RTX limit) = a_(m+2) = p^(m+2) = {:.3e}", sol.loss_probability);
-    println!("  per-stage delays E_j[ΔW] (ms): {:?}",
-        sol.stage_delays.iter().map(|d| (d * 1e5).round() / 1e2).collect::<Vec<_>>());
+    println!(
+        "  E[ΔW | delivered] = {:.3} ms",
+        sol.mean_delay_delivered * 1e3
+    );
+    println!(
+        "  P(lost at RTX limit) = a_(m+2) = p^(m+2) = {:.3e}",
+        sol.loss_probability
+    );
+    println!(
+        "  per-stage delays E_j[ΔW] (ms): {:?}",
+        sol.stage_delays
+            .iter()
+            .map(|d| (d * 1e5).round() / 1e2)
+            .collect::<Vec<_>>()
+    );
 
     println!("\nCorollary 1 — P(Δ > K) > 0 for every K (delay diverges):");
     for k_ms in [20.0, 100.0, 1000.0, 10_000.0] {
         // Conservative bound: the RTX-loss mass alone exceeds any K.
-        println!("  P(Δ > {k_ms:>7} ms) ≥ {:.3e}  (RTX-loss mass)", sol.loss_probability);
+        println!(
+            "  P(Δ > {k_ms:>7} ms) ≥ {:.3e}  (RTX-loss mass)",
+            sol.loss_probability
+        );
     }
 
     println!("\nCorollary 2 — causality assumption |Δ(c_i+1) − Δ(c_i)| ≤ |g(c_i+1) − g(c_i)|:");
     let mut link = WirelessLink::new(
-        LinkConfig { stations: 15, interference, ..LinkConfig::default() },
+        LinkConfig {
+            stations: 15,
+            interference,
+            ..LinkConfig::default()
+        },
         0xA99,
     );
     let fates = link.simulate(100_000);

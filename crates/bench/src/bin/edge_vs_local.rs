@@ -17,7 +17,10 @@ use foreco_robot::DriverConfig;
 use foreco_wifi::{Interference, LinkConfig};
 
 fn main() {
-    banner("Edge-based vs robot-side FoReCo", "paper §VII-D (future work, implemented)");
+    banner(
+        "Edge-based vs robot-side FoReCo",
+        "paper §VII-D (future work, implemented)",
+    );
     let fx = Fixture::build();
     let commands = &fx.test.commands[..1500.min(fx.test.commands.len())];
     let horizon = 16; // piggybacked predictions per packet (320 ms)

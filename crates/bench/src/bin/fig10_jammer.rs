@@ -29,8 +29,10 @@ fn main() {
     let mut channel = JammedChannel::new(link, 0.0, 0xF10);
     let fates = channel.fates(commands.len());
     let misses = fates.iter().filter(|f| !f.on_time()).count();
-    println!("# 30 s run, {misses}/{n} commands missed (jammer duty ≈ {:.0} %)",
-        link.interference.coverage() * 100.0);
+    println!(
+        "# 30 s run, {misses}/{n} commands missed (jammer duty ≈ {:.0} %)",
+        link.interference.coverage() * 100.0
+    );
 
     let base = run_closed_loop(
         &fx.model,
@@ -53,8 +55,10 @@ fn main() {
     );
     println!("\n  no forecasting : RMSE {:6.2} mm", base.rmse_mm);
     println!("  FoReCo         : RMSE {:6.2} mm", fore.rmse_mm);
-    println!("  improvement    : x{:.2}   (paper: 18.91 → 8.72 mm, x2.17)",
-        base.rmse_mm / fore.rmse_mm.max(1e-9));
+    println!(
+        "  improvement    : x{:.2}   (paper: 18.91 → 8.72 mm, x2.17)",
+        base.rmse_mm / fore.rmse_mm.max(1e-9)
+    );
 
     // PID re-stabilisation transient (the paper annotates ~400 ms): for
     // every outage of ≥ 5 commands, measure how long the baseline
@@ -86,9 +90,7 @@ fn main() {
                 break;
             }
         }
-        if settle_ticks != usize::MAX
-            && worst.is_none_or(|(_, _, s)| settle_ticks > s)
-        {
+        if settle_ticks != usize::MAX && worst.is_none_or(|(_, _, s)| settle_ticks > s) {
             worst = Some((start, len, settle_ticks));
         }
     }

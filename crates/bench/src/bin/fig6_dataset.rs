@@ -11,7 +11,12 @@ fn main() {
     banner("Fig. 6 — robot trajectory dataset", "paper §VI-A, Fig. 6");
     let fx = Fixture::build();
     let ds = &fx.test;
-    println!("# dataset: {} commands, {} cycles, {} Hz", ds.len(), ds.cycle_starts.len(), 1.0 / OMEGA);
+    println!(
+        "# dataset: {} commands, {} cycles, {} Hz",
+        ds.len(),
+        ds.cycle_starts.len(),
+        1.0 / OMEGA
+    );
     println!("# columns: time_s  distance_from_origin_mm  cycle_start_flag");
     let mut next_cycle = 0usize;
     for (i, cmd) in ds.commands.iter().enumerate() {
@@ -20,11 +25,19 @@ fn main() {
         if is_start {
             next_cycle += 1;
         }
-        println!("{:.3}\t{:.2}\t{}", (i as f64) * OMEGA, dist, u8::from(is_start));
+        println!(
+            "{:.3}\t{:.2}\t{}",
+            (i as f64) * OMEGA,
+            dist,
+            u8::from(is_start)
+        );
     }
     // Summary row matching the figure's visual band (~200–500 mm).
-    let dists: Vec<f64> =
-        ds.commands.iter().map(|c| fx.model.chain.distance_from_origin_mm(c)).collect();
+    let dists: Vec<f64> = ds
+        .commands
+        .iter()
+        .map(|c| fx.model.chain.distance_from_origin_mm(c))
+        .collect();
     let min = dists.iter().cloned().fold(f64::MAX, f64::min);
     let max = dists.iter().cloned().fold(f64::MIN, f64::max);
     eprintln!("distance-from-origin band: {min:.1} – {max:.1} mm (paper's Fig. 6: ~200 – 500 mm)");

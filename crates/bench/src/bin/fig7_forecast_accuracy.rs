@@ -38,7 +38,10 @@ fn horizon_rmse(
 }
 
 fn main() {
-    banner("Fig. 7 — forecast accuracy vs forecasting window", "paper §VI-B, Fig. 7");
+    banner(
+        "Fig. 7 — forecast accuracy vs forecasting window",
+        "paper §VI-B, Fig. 7",
+    );
     let fx = Fixture::build();
     println!(
         "# train: {} cmds (experienced)   test: {} cmds (inexperienced)",
@@ -57,7 +60,10 @@ fn main() {
                 }
             }
         }
-        println!("# best R for {name}: {} (selection RMSE {:.2} mm)", best.0, best.1);
+        println!(
+            "# best R for {name}: {} (selection RMSE {:.2} mm)",
+            best.0, best.1
+        );
         best.0
     };
     let r_ma = pick_r("MA", &|r| {
@@ -78,7 +84,12 @@ fn main() {
     eprintln!("training seq2seq (200/30 ReLU, subsampled)…");
     let s2s = Seq2SeqForecaster::fit(
         &fx.train,
-        &Seq2SeqTrainConfig { r: 10, epochs: 2, subsample: 64, ..Default::default() },
+        &Seq2SeqTrainConfig {
+            r: 10,
+            epochs: 2,
+            subsample: 64,
+            ..Default::default()
+        },
     );
 
     println!("# columns: window_ms  VAR_mm  MA_mm  seq2seq_mm");

@@ -15,7 +15,10 @@ use std::sync::mpsc;
 use std::thread;
 
 fn main() {
-    banner("Fig. 8 — interference grid heatmaps", "paper §VI-C, Fig. 8 (a)–(f)");
+    banner(
+        "Fig. 8 — interference grid heatmaps",
+        "paper §VI-C, Fig. 8 (a)–(f)",
+    );
     let fx = Fixture::build();
     let repetitions = reps();
     let commands = fx.test.commands.clone();
@@ -44,8 +47,7 @@ fn main() {
                             seed: 0xF18_0000 + robots as u64,
                         };
                         let var = fxm.var.clone();
-                        let res =
-                            run_cell(&fxm.model, cmds, &|| Box::new(var.clone()), &cell);
+                        let res = run_cell(&fxm.model, cmds, &|| Box::new(var.clone()), &cell);
                         tx.send((robots, p, t, res)).expect("collector alive");
                     }
                 }

@@ -13,7 +13,10 @@ use foreco_core::{run_closed_loop, RecoveryConfig, RecoveryEngine, RecoveryMode}
 use foreco_robot::DriverConfig;
 
 fn main() {
-    banner("Fig. 9 — controlled consecutive losses", "paper §VI-D-1, Fig. 9 (a)–(c)");
+    banner(
+        "Fig. 9 — controlled consecutive losses",
+        "paper §VI-D-1, Fig. 9 (a)–(c)",
+    );
     let fx = Fixture::build();
     // 30-second runs like the paper's experiments.
     let n = ((30.0 / OMEGA) as usize).min(fx.test.commands.len());
@@ -25,8 +28,8 @@ fn main() {
     );
 
     for burst in [5usize, 10, 25] {
-        let fates = ControlledLossChannel::new(burst, 0.006, 0xF19 + burst as u64)
-            .fates(commands.len());
+        let fates =
+            ControlledLossChannel::new(burst, 0.006, 0xF19 + burst as u64).fates(commands.len());
         let base = run_closed_loop(
             &fx.model,
             commands,

@@ -1,0 +1,149 @@
+//! Throughput of the `foreco-serve` shard pool: session-ticks per second
+//! swept over shard count × session count, written to `BENCH_serve.json`
+//! so CI can track the service's perf trajectory.
+//!
+//! One session-tick = one full hosted loop step (reference driver +
+//! impaired driver + recovery engine), so ticks/sec × 1/50 Hz is the
+//! number of real-time 50 Hz loops one process could sustain.
+//!
+//! Knobs: `FORECO_SERVE_SESSIONS` (default 1024),
+//! `FORECO_SERVE_CYCLES` (replay length, default 1),
+//! `FORECO_SERVE_SHARDS` (comma list, default `1,2,4,8`),
+//! `FORECO_SERVE_OUT` (output path, default `BENCH_serve.json`).
+
+use foreco_bench::{banner, env_knob, Fixture};
+use foreco_core::RecoveryConfig;
+use foreco_serve::{
+    ChannelSpec, RecoverySpec, Service, ServiceConfig, SessionSpec, SharedForecaster, SourceSpec,
+};
+use foreco_teleop::{Dataset, Skill};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    shards: usize,
+    sessions: u64,
+    total_ticks: u64,
+    total_misses: u64,
+    wall_s: f64,
+    ticks_per_sec: f64,
+    speedup_vs_1_shard: f64,
+    rmse_p50_mm: f64,
+    rmse_p99_mm: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    bench: String,
+    sessions: u64,
+    ticks_per_session: usize,
+    forecaster: String,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    // env_knob rejects zero, which would otherwise panic summary()
+    // on an empty registry.
+    let sessions = env_knob("FORECO_SERVE_SESSIONS", 1024) as u64;
+    let cycles = env_knob("FORECO_SERVE_CYCLES", 1);
+    let mut shard_counts: Vec<usize> = std::env::var("FORECO_SERVE_SHARDS")
+        .unwrap_or_else(|_| "1,2,4,8".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .collect();
+    if shard_counts.is_empty() {
+        eprintln!("FORECO_SERVE_SHARDS parsed to nothing; using 1,2,4,8");
+        shard_counts = vec![1, 2, 4, 8];
+    }
+    let out_path =
+        std::env::var("FORECO_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+
+    banner(
+        &format!("serve_throughput — {sessions} sessions over shards {shard_counts:?}"),
+        "service-scale extension of §V (one recovery loop → thousands)",
+    );
+
+    let fx = Fixture::build();
+    let forecaster = SharedForecaster::new(fx.var.clone());
+    let replay = Arc::new(Dataset::record(Skill::Inexperienced, cycles, 0.02, 8).commands);
+    println!(
+        "workload: {} commands/session, {} sessions, forecaster {}\n",
+        replay.len(),
+        sessions,
+        forecaster.name()
+    );
+    println!(
+        "{:>7} {:>12} {:>10} {:>14} {:>9} {:>10} {:>10}",
+        "shards", "ticks", "wall [s]", "ticks/s", "speedup", "p50 [mm]", "p99 [mm]"
+    );
+
+    let specs = |n: u64| -> Vec<SessionSpec> {
+        (0..n)
+            .map(|id| {
+                SessionSpec::new(
+                    id,
+                    SourceSpec::Replayed(Arc::clone(&replay)),
+                    ChannelSpec::ControlledLoss {
+                        burst_len: 6,
+                        burst_prob: 0.01,
+                        seed: 40_000 + id,
+                    },
+                    RecoverySpec::FoReCo {
+                        forecaster: forecaster.clone(),
+                        config: RecoveryConfig::for_model(&fx.model),
+                    },
+                )
+            })
+            .collect()
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut base_rate = 0.0f64;
+    for &shards in &shard_counts {
+        let service = Service::spawn(ServiceConfig::with_shards(shards));
+        let started = Instant::now();
+        let registry = service.run_to_completion(specs(sessions));
+        let wall_s = started.elapsed().as_secs_f64();
+        let summary = registry.summary();
+        let ticks_per_sec = summary.total_ticks as f64 / wall_s;
+        if rows.is_empty() {
+            base_rate = ticks_per_sec;
+        }
+        let speedup = ticks_per_sec / base_rate;
+        println!(
+            "{:>7} {:>12} {:>10.3} {:>14.0} {:>8.2}x {:>10.2} {:>10.2}",
+            shards,
+            summary.total_ticks,
+            wall_s,
+            ticks_per_sec,
+            speedup,
+            summary.rmse_mm.p50,
+            summary.rmse_mm.p99
+        );
+        rows.push(Row {
+            shards,
+            sessions,
+            total_ticks: summary.total_ticks,
+            total_misses: summary.total_misses,
+            wall_s,
+            ticks_per_sec,
+            speedup_vs_1_shard: speedup,
+            rmse_p50_mm: summary.rmse_mm.p50,
+            rmse_p99_mm: summary.rmse_mm.p99,
+        });
+    }
+
+    let output = Output {
+        bench: "serve_throughput".to_string(),
+        sessions,
+        ticks_per_session: replay.len(),
+        forecaster: forecaster.name().to_string(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&output).expect("serialise bench output");
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("\nwrote {out_path}");
+}

@@ -11,7 +11,10 @@ use foreco_linalg::stats::Running;
 use foreco_teleop::{Dataset, Skill};
 
 fn main() {
-    banner("Table I — training-pipeline time profile", "paper §VI-D-3, Table I");
+    banner(
+        "Table I — training-pipeline time profile",
+        "paper §VI-D-3, Table I",
+    );
     // Paper-scale dataset: ~100 cycles ≈ 70k+ commands (the paper's
     // H = 187 109 includes two operators; one suffices for the profile).
     let cycles = foreco_bench::env_knob("FORECO_CYCLES", 100);
@@ -31,7 +34,10 @@ fn main() {
         quality.push(run.timings.check_quality);
         train.push(run.timings.train);
     }
-    println!("\n{:<18} {:>12} {:>10}   (mean ± std over {runs} runs)", "stage", "mean [s]", "std [s]");
+    println!(
+        "\n{:<18} {:>12} {:>10}   (mean ± std over {runs} runs)",
+        "stage", "mean [s]", "std [s]"
+    );
     for (name, acc) in [
         ("Load Data", &load),
         ("Down Sampling", &down),

@@ -14,7 +14,10 @@ use foreco_teleop::{Dataset, Skill};
 use std::time::Instant;
 
 fn main() {
-    banner("Table II — training and inference times", "paper §VI-D-3, Table II");
+    banner(
+        "Table II — training and inference times",
+        "paper §VI-D-3, Table II",
+    );
     let cycles = foreco_bench::env_knob("FORECO_CYCLES", 100);
     eprintln!("recording {cycles} cycles…");
     let ds = Dataset::record(Skill::Experienced, cycles, 0.02, 0x7AB2);
@@ -40,7 +43,10 @@ fn main() {
     let infer = t0.elapsed().as_secs_f64() / iters as f64;
     assert!(sink.is_finite());
 
-    println!("\n{:<28} {:>14} {:>16}", "platform", "training [min]", "inference [ms]");
+    println!(
+        "\n{:<28} {:>14} {:>16}",
+        "platform", "training [min]", "inference [ms]"
+    );
     println!(
         "{:<28} {:>14.4} {:>16.6}   ← measured",
         "this host",

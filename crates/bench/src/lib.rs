@@ -65,7 +65,12 @@ impl Fixture {
         let train = Dataset::record(Skill::Experienced, n, OMEGA, 0xF0E0);
         let test = Dataset::record(Skill::Inexperienced, (n / 4).max(2), OMEGA, 0x7E57);
         let var = Var::fit_differenced(&train, 5, 1e-6).expect("training data well-conditioned");
-        Self { model: niryo_one(), train, test, var }
+        Self {
+            model: niryo_one(),
+            train,
+            test,
+            var,
+        }
     }
 }
 

@@ -82,7 +82,11 @@ impl ControlledLossChannel {
     pub fn new(burst_len: usize, burst_prob: f64, seed: u64) -> Self {
         assert!(burst_len >= 1, "burst length must be ≥ 1");
         assert!((0.0..=1.0).contains(&burst_prob), "burst prob out of range");
-        Self { burst_len, burst_prob, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            burst_len,
+            burst_prob,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -123,7 +127,10 @@ impl JammedChannel {
     /// Panics if `tolerance` is negative.
     pub fn new(link_cfg: LinkConfig, tolerance: f64, seed: u64) -> Self {
         assert!(tolerance >= 0.0, "tolerance must be non-negative");
-        Self { link: WirelessLink::new(link_cfg, seed), tolerance }
+        Self {
+            link: WirelessLink::new(link_cfg, seed),
+            tolerance,
+        }
     }
 
     /// The analytical solution backing the link (for reports).
@@ -202,7 +209,10 @@ mod tests {
         let mut ch = JammedChannel::new(cfg, 0.0, 3);
         let fates = ch.fates(4000);
         let on_time = fates.iter().filter(|a| a.on_time()).count();
-        let late = fates.iter().filter(|a| matches!(a, Arrival::Late(_))).count();
+        let late = fates
+            .iter()
+            .filter(|a| matches!(a, Arrival::Late(_)))
+            .count();
         let lost = fates.iter().filter(|a| matches!(a, Arrival::Lost)).count();
         assert_eq!(on_time + late + lost, 4000);
         assert!(late + lost > 0, "heavy jamming must cause misses");
@@ -216,7 +226,10 @@ mod tests {
 
     #[test]
     fn clean_wireless_is_mostly_on_time() {
-        let cfg = LinkConfig { stations: 5, ..LinkConfig::default() };
+        let cfg = LinkConfig {
+            stations: 5,
+            ..LinkConfig::default()
+        };
         let mut ch = JammedChannel::new(cfg, 0.0, 4);
         let fates = ch.fates(2000);
         let on_time = fates.iter().filter(|a| a.on_time()).count();

@@ -74,7 +74,10 @@ pub fn run_cell(
     cfg: &CellConfig,
 ) -> CellResult {
     assert!(!commands.is_empty(), "run_cell: no commands");
-    assert!(cfg.repetitions >= 1, "run_cell: need at least one repetition");
+    assert!(
+        cfg.repetitions >= 1,
+        "run_cell: need at least one repetition"
+    );
     let driver_cfg = DriverConfig::default();
     let mut base_acc = Running::new();
     let mut fore_acc = Running::new();
@@ -89,13 +92,7 @@ pub fn run_cell(
             JammedChannel::new(link_cfg, cfg.tolerance, cfg.seed.wrapping_add(rep as u64));
         let fates = channel.fates(commands.len());
 
-        let base = run_closed_loop(
-            model,
-            commands,
-            &fates,
-            RecoveryMode::Baseline,
-            driver_cfg,
-        );
+        let base = run_closed_loop(model, commands, &fates, RecoveryMode::Baseline, driver_cfg);
         let engine = RecoveryEngine::new(
             make_forecaster(),
             RecoveryConfig::for_model(model),

@@ -32,6 +32,6 @@ mod recovery;
 pub mod system;
 
 pub use channel::{Arrival, Channel, ControlledLossChannel, IdealChannel, JammedChannel};
-pub use recovery::{RecoveryConfig, RecoveryEngine, RecoveryStats, TickOutcome};
 pub use edge::{edge_packets, run_closed_loop_edge, EdgePacket};
+pub use recovery::{RecoveryConfig, RecoveryEngine, RecoveryStats, TickOutcome};
 pub use system::{run_closed_loop, ClosedLoopResult, RecoveryMode};

@@ -15,7 +15,10 @@ use foreco_robot::{ArmModel, Sample};
 /// # Panics
 /// Panics if either trajectory is empty.
 pub fn trajectory_rmse_mm(a: &[Sample], b: &[Sample]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "trajectory_rmse: empty trajectory");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "trajectory_rmse: empty trajectory"
+    );
     let n = a.len().min(b.len());
     let mut acc = 0.0;
     for i in 0..n {
@@ -37,7 +40,11 @@ pub fn distance_series(samples: &[Sample]) -> Vec<f64> {
 /// # Panics
 /// Panics on length mismatch or empty input.
 pub fn command_rmse_mm(model: &ArmModel, predicted: &[Vec<f64>], actual: &[Vec<f64>]) -> f64 {
-    assert_eq!(predicted.len(), actual.len(), "command_rmse: length mismatch");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "command_rmse: length mismatch"
+    );
     assert!(!predicted.is_empty(), "command_rmse: empty input");
     let mut acc = 0.0;
     for (p, a) in predicted.iter().zip(actual) {
@@ -55,8 +62,8 @@ pub fn max_deviation_mm(a: &[Sample], b: &[Sample]) -> f64 {
     for i in 0..n {
         let pa = &a[i].position_mm;
         let pb = &b[i].position_mm;
-        let d = ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2) + (pa[2] - pb[2]).powi(2))
-            .sqrt();
+        let d =
+            ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2) + (pa[2] - pb[2]).powi(2)).sqrt();
         worst = worst.max(d);
     }
     worst
@@ -95,7 +102,10 @@ mod tests {
         let clean = drive(&[]);
         let lossy = drive(&[20, 21, 22, 23, 24, 25, 26, 27, 28, 29]);
         let rmse = trajectory_rmse_mm(&clean, &lossy);
-        assert!(rmse > 0.5, "10-tick freeze should cost ≥ 0.5 mm, got {rmse}");
+        assert!(
+            rmse > 0.5,
+            "10-tick freeze should cost ≥ 0.5 mm, got {rmse}"
+        );
         assert!(max_deviation_mm(&clean, &lossy) >= rmse);
     }
 

@@ -210,6 +210,34 @@ impl RecoveryEngine {
         self.stats
     }
 
+    /// The engine configuration.
+    pub fn config(&self) -> &RecoveryConfig {
+        &self.cfg
+    }
+
+    /// Rewinds the engine to its just-constructed state around a new
+    /// initial command: history, counters, and burst tracking all clear.
+    /// Lets a service reuse one engine (and its trained forecaster)
+    /// across sequential sessions without reallocating.
+    ///
+    /// # Panics
+    /// Panics if `initial_command` does not match the forecaster's
+    /// dimensionality.
+    pub fn reset(&mut self, initial_command: Vec<f64>) {
+        assert_eq!(
+            initial_command.len(),
+            self.forecaster.dims(),
+            "recovery: initial command dimension mismatch"
+        );
+        self.history.clear();
+        self.forecast_slots.clear();
+        self.history.push_back(initial_command);
+        self.forecast_slots.push_back(false);
+        self.consecutive_forecasts = 0;
+        self.burst_quality = 1.0;
+        self.stats = RecoveryStats::default();
+    }
+
     /// One period tick.
     ///
     /// `arrived` is `Some(c_i)` when the network delivered the command
@@ -219,14 +247,21 @@ impl RecoveryEngine {
         self.stats.ticks += 1;
         match arrived {
             Some(cmd) => {
-                assert_eq!(cmd.len(), self.forecaster.dims(), "recovery: command dim mismatch");
+                assert_eq!(
+                    cmd.len(),
+                    self.forecaster.dims(),
+                    "recovery: command dim mismatch"
+                );
                 self.stats.delivered += 1;
                 if self.cfg.history_rebase && self.consecutive_forecasts > 0 {
                     self.rebase_history(&cmd);
                 }
                 self.consecutive_forecasts = 0;
                 self.push_history(cmd.clone(), false);
-                TickOutcome { command: cmd, forecast: false }
+                TickOutcome {
+                    command: cmd,
+                    forecast: false,
+                }
             }
             None => {
                 let r = self.forecaster.history_len();
@@ -237,17 +272,22 @@ impl RecoveryEngine {
                     self.stats.warmup_repeats += 1;
                     let last = self.history.back().expect("seeded at construction").clone();
                     self.push_history(last.clone(), true);
-                    return TickOutcome { command: last, forecast: true };
+                    return TickOutcome {
+                        command: last,
+                        forecast: true,
+                    };
                 }
                 if let Some(cap) = self.cfg.max_consecutive_forecasts {
                     if self.consecutive_forecasts >= cap {
                         // Horizon exhausted: hold the pose instead of
                         // extrapolating further into the unknown.
                         self.stats.horizon_holds += 1;
-                        let last =
-                            self.history.back().expect("seeded at construction").clone();
+                        let last = self.history.back().expect("seeded at construction").clone();
                         self.push_history(last.clone(), true);
-                        return TickOutcome { command: last, forecast: true };
+                        return TickOutcome {
+                            command: last,
+                            forecast: true,
+                        };
                     }
                 }
                 let window: Vec<Vec<f64>> = self.history.iter().cloned().collect();
@@ -279,7 +319,10 @@ impl RecoveryEngine {
                 self.stats.forecasts += 1;
                 self.consecutive_forecasts += 1;
                 self.push_history(pred.clone(), true);
-                TickOutcome { command: pred, forecast: true }
+                TickOutcome {
+                    command: pred,
+                    forecast: true,
+                }
             }
         }
     }
@@ -298,7 +341,11 @@ impl RecoveryEngine {
         if !self.forecast_slots[idx] {
             return false; // slot already holds a real command
         }
-        assert_eq!(cmd.len(), self.forecaster.dims(), "recovery: late command dim mismatch");
+        assert_eq!(
+            cmd.len(),
+            self.forecaster.dims(),
+            "recovery: late command dim mismatch"
+        );
         self.history[idx] = cmd;
         self.forecast_slots[idx] = false;
         self.stats.late_patches += 1;
@@ -429,14 +476,21 @@ mod tests {
         let mut e = engine(3);
         let mut outputs = 0;
         for i in 0..100 {
-            let arrived = if i % 3 == 0 { None } else { Some(vec![0.1, 0.2]) };
+            let arrived = if i % 3 == 0 {
+                None
+            } else {
+                Some(vec![0.1, 0.2])
+            };
             let _ = e.tick(arrived);
             outputs += 1;
         }
         assert_eq!(outputs, 100);
         assert_eq!(e.stats().ticks, 100);
         let s = e.stats();
-        assert_eq!(s.delivered + s.forecasts + s.warmup_repeats + s.horizon_holds, 100);
+        assert_eq!(
+            s.delivered + s.forecasts + s.warmup_repeats + s.horizon_holds,
+            100
+        );
     }
 
     #[test]
@@ -453,7 +507,10 @@ mod tests {
     fn late_commands_patch_history_when_enabled() {
         let mut e = RecoveryEngine::new(
             Box::new(MovingAverage::new(2, 2)),
-            RecoveryConfig { use_late_commands: true, ..raw_config() },
+            RecoveryConfig {
+                use_late_commands: true,
+                ..raw_config()
+            },
             vec![0.0, 0.0],
         );
         e.tick(Some(vec![1.0, 1.0]));
@@ -470,7 +527,10 @@ mod tests {
     fn horizon_cap_switches_to_hold() {
         let mut e = RecoveryEngine::new(
             Box::new(MovingAverage::new(1, 1)),
-            RecoveryConfig { max_consecutive_forecasts: Some(3), ..raw_config() },
+            RecoveryConfig {
+                max_consecutive_forecasts: Some(3),
+                ..raw_config()
+            },
             vec![0.0],
         );
         e.tick(Some(vec![1.0]));
@@ -512,12 +572,19 @@ mod tests {
         }
         let mut e = RecoveryEngine::new(
             Box::new(Runaway),
-            RecoveryConfig { limits: Some(vec![(-1.0, 1.0)]), ..raw_config() },
+            RecoveryConfig {
+                limits: Some(vec![(-1.0, 1.0)]),
+                ..raw_config()
+            },
             vec![0.0],
         );
         e.tick(Some(vec![0.5]));
         let out = e.tick(None);
-        assert_eq!(out.command, vec![1.0], "forecast must be clamped to the joint limit");
+        assert_eq!(
+            out.command,
+            vec![1.0],
+            "forecast must be clamped to the joint limit"
+        );
         // And the clamped value is what enters the history.
         let out2 = e.tick(None);
         assert_eq!(out2.command, vec![1.0]);
@@ -527,11 +594,17 @@ mod tests {
     fn late_patch_rejected_for_real_slots() {
         let mut e = RecoveryEngine::new(
             Box::new(MovingAverage::new(2, 2)),
-            RecoveryConfig { use_late_commands: true, ..raw_config() },
+            RecoveryConfig {
+                use_late_commands: true,
+                ..raw_config()
+            },
             vec![0.0, 0.0],
         );
         e.tick(Some(vec![1.0, 1.0]));
-        assert!(!e.late_command(vec![9.0, 9.0], 1), "real command must not be overwritten");
+        assert!(
+            !e.late_command(vec![9.0, 9.0], 1),
+            "real command must not be overwritten"
+        );
     }
 
     #[test]
@@ -554,12 +627,18 @@ mod tests {
         }
         let mut e = RecoveryEngine::new(
             Box::new(Runaway),
-            RecoveryConfig { max_step: Some(0.04), ..raw_config() },
+            RecoveryConfig {
+                max_step: Some(0.04),
+                ..raw_config()
+            },
             vec![0.0],
         );
         e.tick(Some(vec![0.5]));
         let out = e.tick(None);
-        assert!((out.command[0] - 0.54).abs() < 1e-12, "step-clamped to last + 0.04");
+        assert!(
+            (out.command[0] - 0.54).abs() < 1e-12,
+            "step-clamped to last + 0.04"
+        );
     }
 
     #[derive(Clone)]
@@ -586,7 +665,10 @@ mod tests {
     fn adaptive_damping_trusts_clean_windows() {
         let mut e = RecoveryEngine::new(
             Box::new(UnitStep),
-            RecoveryConfig { trend_damping: Some(0.5), ..raw_config() },
+            RecoveryConfig {
+                trend_damping: Some(0.5),
+                ..raw_config()
+            },
             vec![0.0],
         );
         e.tick(Some(vec![0.0]));
@@ -615,7 +697,7 @@ mod tests {
         e.tick(Some(vec![0.0])); // window all real
         e.tick(None); // forecast enters the window
         e.tick(Some(vec![1.0])); // delivery; window now half forecast
-        // New outage: q = 0.5 → γ_eff = 0.5 + 0.5·0.5 = 0.75.
+                                 // New outage: q = 0.5 → γ_eff = 0.5 + 0.5·0.5 = 0.75.
         let x0 = e.tick(None).command[0]; // k=0: 1 + 1·1.00 = 2.0
         let x1 = e.tick(None).command[0]; // k=1: 2 + 1·0.75 = 2.75
         let x2 = e.tick(None).command[0]; // k=2: 2.75 + 0.5625
@@ -630,20 +712,61 @@ mod tests {
     }
 
     #[test]
+    fn reset_restores_pristine_state() {
+        // A reset engine must be indistinguishable from a fresh one:
+        // run a messy mixed sequence, reset, and compare tick-for-tick
+        // against a newly constructed engine. Guards the engine-reuse
+        // path (`foreco-serve` session recycling) against future fields
+        // being forgotten in reset().
+        let sequence: Vec<Option<Vec<f64>>> = (0..40)
+            .map(|i| {
+                if i % 4 == 0 {
+                    None
+                } else {
+                    Some(vec![i as f64 * 0.1, -(i as f64) * 0.05])
+                }
+            })
+            .collect();
+        let mut recycled = RecoveryEngine::new(
+            Box::new(MovingAverage::new(3, 2)),
+            RecoveryConfig::default(),
+            vec![9.0, 9.0],
+        );
+        for arrived in &sequence {
+            recycled.tick(arrived.clone());
+        }
+        recycled.reset(vec![0.0, 0.0]);
+        assert_eq!(recycled.stats(), RecoveryStats::default());
+
+        let mut fresh = RecoveryEngine::new(
+            Box::new(MovingAverage::new(3, 2)),
+            RecoveryConfig::default(),
+            vec![0.0, 0.0],
+        );
+        for arrived in &sequence {
+            assert_eq!(recycled.tick(arrived.clone()), fresh.tick(arrived.clone()));
+        }
+        assert_eq!(recycled.stats(), fresh.stats());
+    }
+
+    #[test]
     fn history_rebase_absorbs_correction_jump() {
         // MA(1) = repeat-last forecaster; after two forecasts the truth
         // returns far away. With rebasing the spliced history must not
         // contain the raw jump.
         let mut e = RecoveryEngine::new(
             Box::new(MovingAverage::new(1, 1)),
-            RecoveryConfig { history_rebase: true, ..raw_config() },
+            RecoveryConfig {
+                history_rebase: true,
+                ..raw_config()
+            },
             vec![0.0],
         );
         e.tick(Some(vec![1.0]));
         e.tick(None); // forecast: 1.0
         e.tick(None); // forecast: 1.0
-        // Truth resumes at 3.0: MA(1) predicts 1.0, so the rebase shifts
-        // the two forecast entries by +2.0 to end at the incoming truth.
+                      // Truth resumes at 3.0: MA(1) predicts 1.0, so the rebase shifts
+                      // the two forecast entries by +2.0 to end at the incoming truth.
         e.tick(Some(vec![3.0]));
         // Next forecast (MA(1)) repeats the real 3.0 — and critically the
         // internal window was left smooth, which we observe through a

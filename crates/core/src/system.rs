@@ -59,7 +59,11 @@ pub fn run_closed_loop(
     driver_cfg: DriverConfig,
 ) -> ClosedLoopResult {
     assert!(!commands.is_empty(), "closed loop: no commands");
-    assert_eq!(commands.len(), fates.len(), "closed loop: fates/commands mismatch");
+    assert_eq!(
+        commands.len(),
+        fates.len(),
+        "closed loop: fates/commands mismatch"
+    );
     let start = model.clamp(&commands[0]);
     let omega = driver_cfg.period;
 
@@ -234,7 +238,10 @@ mod tests {
             (s.delivered + s.forecasts + s.warmup_repeats + s.horizon_holds) as usize,
             commands.len()
         );
-        assert_eq!((s.forecasts + s.warmup_repeats + s.horizon_holds) as usize, res.misses);
+        assert_eq!(
+            (s.forecasts + s.warmup_repeats + s.horizon_holds) as usize,
+            res.misses
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl Deterministic {
     /// # Panics
     /// Panics if `value` is negative or not finite.
     pub fn new(value: f64) -> Self {
-        assert!(value.is_finite() && value >= 0.0, "Deterministic: bad value {value}");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "Deterministic: bad value {value}"
+        );
         Self { value }
     }
 }
@@ -63,7 +66,10 @@ impl Exponential {
     /// # Panics
     /// Panics unless `rate` is finite and positive.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "Exponential: bad rate {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Exponential: bad rate {rate}"
+        );
         Self { rate }
     }
 }
@@ -92,7 +98,10 @@ impl Uniform {
     /// # Panics
     /// Panics unless `lo < hi` and both are finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "Uniform: bad range {lo}..{hi}");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "Uniform: bad range {lo}..{hi}"
+        );
         Self { lo, hi }
     }
 }
@@ -165,7 +174,11 @@ impl Sampler for HyperExponential {
         -(1.0 - v).ln() / self.rates[phase]
     }
     fn mean(&self) -> f64 {
-        self.weights.iter().zip(&self.rates).map(|(w, r)| w / r).sum()
+        self.weights
+            .iter()
+            .zip(&self.rates)
+            .map(|(w, r)| w / r)
+            .sum()
     }
 }
 
@@ -208,7 +221,10 @@ impl Shifted {
     /// # Panics
     /// Panics if `offset` is negative or not finite.
     pub fn new(offset: f64, inner: Box<dyn Sampler>) -> Self {
-        assert!(offset.is_finite() && offset >= 0.0, "Shifted: bad offset {offset}");
+        assert!(
+            offset.is_finite() && offset >= 0.0,
+            "Shifted: bad offset {offset}"
+        );
         Self { offset, inner }
     }
 }

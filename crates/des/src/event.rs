@@ -52,7 +52,10 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `payload` at absolute `time`.
@@ -61,7 +64,11 @@ impl<E> EventQueue<E> {
     /// Panics if `time` is NaN (events must be orderable).
     pub fn schedule(&mut self, time: f64, payload: E) {
         assert!(!time.is_nan(), "EventQueue: NaN event time");
-        self.heap.push(Entry { time, seq: self.seq, payload });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 

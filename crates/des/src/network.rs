@@ -82,7 +82,12 @@ enum Event {
     /// `source_idx` fires a new external arrival.
     SourceArrival(usize),
     /// Customer `cust` finishes service at `node`.
-    EndService { node: usize, cust: u64, arrival: f64, service_start: f64 },
+    EndService {
+        node: usize,
+        cust: u64,
+        arrival: f64,
+        service_start: f64,
+    },
 }
 
 struct NodeState {
@@ -103,7 +108,12 @@ pub struct Network {
 impl Network {
     /// Creates an empty network with a seeded RNG.
     pub fn new(seed: u64) -> Self {
-        Self { nodes: Vec::new(), sources: Vec::new(), rng: StdRng::seed_from_u64(seed), next_id: 0 }
+        Self {
+            nodes: Vec::new(),
+            sources: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
     }
 
     /// Adds a node, returning its index.
@@ -118,7 +128,11 @@ impl Network {
             spec.routing.iter().all(|(_, p)| (0.0..=1.0).contains(p)) && mass <= 1.0 + 1e-12,
             "invalid routing probabilities (mass {mass})"
         );
-        self.nodes.push(NodeState { spec, waiting: VecDeque::new(), busy: 0 });
+        self.nodes.push(NodeState {
+            spec,
+            waiting: VecDeque::new(),
+            busy: 0,
+        });
         self.nodes.len() - 1
     }
 
@@ -127,7 +141,11 @@ impl Network {
     /// # Panics
     /// Panics if `target` is not a valid node index.
     pub fn add_source(&mut self, spec: SourceSpec) -> usize {
-        assert!(spec.target < self.nodes.len(), "source target {} out of range", spec.target);
+        assert!(
+            spec.target < self.nodes.len(),
+            "source target {} out of range",
+            spec.target
+        );
         self.sources.push(spec);
         self.sources.len() - 1
     }
@@ -158,7 +176,12 @@ impl Network {
                     let gap = self.sources[si].interarrival.sample(&mut self.rng);
                     queue.schedule(now + gap, Event::SourceArrival(si));
                 }
-                Event::EndService { node, cust, arrival, service_start } => {
+                Event::EndService {
+                    node,
+                    cust,
+                    arrival,
+                    service_start,
+                } => {
                     records.push(Record {
                         id: cust,
                         node,
@@ -222,7 +245,12 @@ impl Network {
             let dur = st.spec.service.sample(&mut self.rng);
             queue.schedule(
                 now + dur,
-                Event::EndService { node, cust, arrival: now, service_start: now },
+                Event::EndService {
+                    node,
+                    cust,
+                    arrival: now,
+                    service_start: now,
+                },
             );
         } else {
             st.waiting.push_back((cust, now));
@@ -406,7 +434,10 @@ mod tests {
         let w1 = run(1); // ρ = 1.5: unstable, waits grow
         let w2 = run(2); // ρ = 0.75 per server: stable, zero waits (D/D/2)
         assert!(w2 < 1e-9, "D/D/2 underloaded should never wait, got {w2}");
-        assert!(w1 > 10.0, "D/D/1 overloaded should accumulate waits, got {w1}");
+        assert!(
+            w1 > 10.0,
+            "D/D/1 overloaded should accumulate waits, got {w1}"
+        );
     }
 
     #[test]

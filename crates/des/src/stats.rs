@@ -58,12 +58,20 @@ pub fn summarize(records: &[Record]) -> RecordSummary {
     RecordSummary {
         count,
         lost,
-        loss_fraction: if count == 0 { 0.0 } else { lost as f64 / count as f64 },
+        loss_fraction: if count == 0 {
+            0.0
+        } else {
+            lost as f64 / count as f64
+        },
         mean_wait: wait_sum / n_served,
         mean_sojourn: sojourn_sum / n_served,
         max_sojourn,
         busy_time: busy,
-        utilisation: if span > 0.0 { (busy / span).min(1.0) } else { 0.0 },
+        utilisation: if span > 0.0 {
+            (busy / span).min(1.0)
+        } else {
+            0.0
+        },
     }
 }
 
@@ -101,7 +109,11 @@ mod tests {
     fn utilisation_matches_rho_for_mm1() {
         let recs = run_mm1(0.5, 1.0, 100_000.0, 3);
         let s = summarize(&recs);
-        assert!((s.utilisation - 0.5).abs() < 0.02, "utilisation {}", s.utilisation);
+        assert!(
+            (s.utilisation - 0.5).abs() < 0.02,
+            "utilisation {}",
+            s.utilisation
+        );
         assert_eq!(s.lost, 0);
     }
 

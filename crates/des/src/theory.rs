@@ -67,7 +67,10 @@ pub fn mg1_mean_wait(lambda: f64, mean_service: f64, second_moment_service: f64)
 /// phases: `E[S²] = Σ w_j · 2/rate_j²`.
 pub fn hyperexp_second_moment(phases: &[(f64, f64)]) -> f64 {
     let total: f64 = phases.iter().map(|(w, _)| w).sum();
-    phases.iter().map(|(w, r)| (w / total) * 2.0 / (r * r)).sum()
+    phases
+        .iter()
+        .map(|(w, r)| (w / total) * 2.0 / (r * r))
+        .sum()
 }
 
 #[cfg(test)]

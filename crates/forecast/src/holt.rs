@@ -38,7 +38,12 @@ impl Holt {
         assert!(dims >= 1, "Holt: dims must be ≥ 1");
         assert!(alpha > 0.0 && alpha <= 1.0, "Holt: alpha out of (0,1]");
         assert!(beta > 0.0 && beta <= 1.0, "Holt: beta out of (0,1]");
-        Self { r, dims, alpha, beta }
+        Self {
+            r,
+            dims,
+            alpha,
+            beta,
+        }
     }
 
     /// Sensible teleoperation defaults: responsive level, damped trend.

@@ -44,14 +44,23 @@ impl KalmanCv {
         process_noise: f64,
         measurement_noise: f64,
     ) -> Self {
-        assert!(r >= 2, "Kalman: need at least 2 commands to observe velocity");
+        assert!(
+            r >= 2,
+            "Kalman: need at least 2 commands to observe velocity"
+        );
         assert!(dims >= 1, "Kalman: dims must be ≥ 1");
         assert!(period > 0.0, "Kalman: period must be positive");
         assert!(
             process_noise > 0.0 && measurement_noise > 0.0,
             "Kalman: noise parameters must be positive"
         );
-        Self { r, dims, period, process_noise, measurement_noise }
+        Self {
+            r,
+            dims,
+            period,
+            process_noise,
+            measurement_noise,
+        }
     }
 
     /// Defaults tuned for the 50 Hz Niryo joystick stream: trusting
@@ -68,7 +77,7 @@ impl KalmanCv {
         // State [pos, vel], covariance P.
         let mut x = [series[0], 0.0];
         let mut p = [[1.0, 0.0], [0.0, 1.0]]; // generous prior
-        // Discrete white-noise-acceleration process covariance.
+                                              // Discrete white-noise-acceleration process covariance.
         let q11 = self.process_noise * dt * dt * dt / 3.0;
         let q12 = self.process_noise * dt * dt / 2.0;
         let q22 = self.process_noise * dt;

@@ -39,7 +39,11 @@ pub use var::{Var, VarMode};
 pub use varma::Varma;
 
 /// A next-command predictor: `ĉ_{i+1} = f({ĉ_j}_{i−R+1..i})`.
-pub trait Forecaster {
+///
+/// `Send + Sync` is a supertrait so trained forecasters can be shared
+/// across the session shards of `foreco-serve` (forecasting is `&self`;
+/// one trained model serves many concurrent recovery loops).
+pub trait Forecaster: Send + Sync {
     /// Predicts the next command given at least [`Forecaster::history_len`]
     /// past commands (most recent last). Implementations use the **last**
     /// `history_len()` entries and ignore anything older.
@@ -67,13 +71,12 @@ pub trait Forecaster {
 ///
 /// # Panics
 /// Panics if `history` is shorter than the forecaster's `history_len()`.
-pub fn forecast_horizon(
-    f: &dyn Forecaster,
-    history: &[Vec<f64>],
-    steps: usize,
-) -> Vec<Vec<f64>> {
+pub fn forecast_horizon(f: &dyn Forecaster, history: &[Vec<f64>], steps: usize) -> Vec<Vec<f64>> {
     let r = f.history_len();
-    assert!(history.len() >= r, "forecast_horizon: history shorter than R");
+    assert!(
+        history.len() >= r,
+        "forecast_horizon: history shorter than R"
+    );
     let mut window: Vec<Vec<f64>> = history[history.len() - r..].to_vec();
     let mut out = Vec::with_capacity(steps);
     for _ in 0..steps {

@@ -26,7 +26,12 @@ impl MovingAverage {
 
 impl Forecaster for MovingAverage {
     fn forecast(&self, history: &[Vec<f64>]) -> Vec<f64> {
-        assert!(history.len() >= self.r, "MA: need {} commands, got {}", self.r, history.len());
+        assert!(
+            history.len() >= self.r,
+            "MA: need {} commands, got {}",
+            self.r,
+            history.len()
+        );
         let window = &history[history.len() - self.r..];
         let mut mean = vec![0.0; self.dims];
         for cmd in window {

@@ -31,7 +31,13 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { downsample: 1, r: 5, ridge: 1e-6, outlier_z: 6.0, max_step: 0.05 }
+        Self {
+            downsample: 1,
+            r: 5,
+            ridge: 1e-6,
+            outlier_z: 6.0,
+            max_step: 0.05,
+        }
     }
 }
 
@@ -141,7 +147,11 @@ pub fn check_quality(data: &Dataset, cfg: &PipelineConfig) -> QualityReport {
             if cmd == prev {
                 duplicates += 1;
             }
-            if cmd.iter().zip(prev).any(|(a, b)| (a - b).abs() > cfg.max_step) {
+            if cmd
+                .iter()
+                .zip(prev)
+                .any(|(a, b)| (a - b).abs() > cfg.max_step)
+            {
                 step_violations += 1;
             }
         }
@@ -153,7 +163,10 @@ pub fn check_quality(data: &Dataset, cfg: &PipelineConfig) -> QualityReport {
         let m = stats::mean(&series);
         let s = stats::std_dev(&series);
         if s > 0.0 {
-            outliers[k] = series.iter().filter(|&&x| ((x - m) / s).abs() > cfg.outlier_z).count();
+            outliers[k] = series
+                .iter()
+                .filter(|&&x| ((x - m) / s).abs() > cfg.outlier_z)
+                .count();
         }
         lag1[k] = stats::autocorrelation(&series, 1);
     }
@@ -181,7 +194,13 @@ mod tests {
         assert!(q.is_acceptable(ds.len()));
         // Teleop series are extremely smooth: lag-1 autocorrelation ≈ 1
         // on the joints that actually move.
-        assert!(q.lag1_autocorrelation.iter().cloned().fold(f64::MIN, f64::max) > 0.95);
+        assert!(
+            q.lag1_autocorrelation
+                .iter()
+                .cloned()
+                .fold(f64::MIN, f64::max)
+                > 0.95
+        );
     }
 
     #[test]
@@ -209,9 +228,16 @@ mod tests {
             0.02,
             0.04,
         );
-        let clean_ds = Dataset { period: 0.02, commands: clean, cycle_starts: vec![0] };
+        let clean_ds = Dataset {
+            period: 0.02,
+            commands: clean,
+            cycle_starts: vec![0],
+        };
         let q = check_quality(&clean_ds, &PipelineConfig::default());
-        assert!(q.duplicates > 0, "dwells in the defined trajectory duplicate");
+        assert!(
+            q.duplicates > 0,
+            "dwells in the defined trajectory duplicate"
+        );
     }
 
     #[test]
@@ -228,7 +254,10 @@ mod tests {
     #[test]
     fn downsampling_shrinks_training_set() {
         let ds = Dataset::record(Skill::Experienced, 2, 0.02, 9);
-        let cfg = PipelineConfig { downsample: 4, ..Default::default() };
+        let cfg = PipelineConfig {
+            downsample: 4,
+            ..Default::default()
+        };
         let run4 = run(&ds, &cfg).unwrap();
         // Model trains on 1/4 of the windows but still produces a valid
         // 6-joint VAR.

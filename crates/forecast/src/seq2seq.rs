@@ -30,7 +30,13 @@ pub struct Seq2SeqTrainConfig {
 
 impl Default for Seq2SeqTrainConfig {
     fn default() -> Self {
-        Self { model: Seq2SeqConfig::default(), r: 5, epochs: 3, subsample: 1, seed: 0 }
+        Self {
+            model: Seq2SeqConfig::default(),
+            r: 5,
+            epochs: 3,
+            subsample: 1,
+            seed: 0,
+        }
     }
 }
 
@@ -62,7 +68,12 @@ impl Seq2SeqForecaster {
         assert!(!samples.is_empty(), "seq2seq: no training windows");
         let mut model = Seq2Seq::new(&model_cfg, cfg.seed);
         let report = model.train(&samples, cfg.epochs);
-        Self { model, r: cfg.r, dims, report }
+        Self {
+            model,
+            r: cfg.r,
+            dims,
+            report,
+        }
     }
 
     /// Per-epoch training losses.

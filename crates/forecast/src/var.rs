@@ -113,7 +113,13 @@ impl Var {
                     .fold(0.0f64, |m, &x| m.max(x.abs())),
             ),
         };
-        Ok(Self { r, dims: d, mode, beta, diff_clamp })
+        Ok(Self {
+            r,
+            dims: d,
+            mode,
+            beta,
+            diff_clamp,
+        })
     }
 
     /// Levels-mode fit (the paper's literal eq. 5).
@@ -131,8 +137,18 @@ impl Var {
     /// # Panics
     /// Panics if the coefficient shape is not `(1 + dims·r) x dims`.
     pub fn from_coefficients(r: usize, dims: usize, beta: Matrix) -> Self {
-        assert_eq!(beta.shape(), (1 + dims * r, dims), "VAR: bad coefficient shape");
-        Self { r, dims, mode: VarMode::Levels, beta, diff_clamp: None }
+        assert_eq!(
+            beta.shape(),
+            (1 + dims * r, dims),
+            "VAR: bad coefficient shape"
+        );
+        Self {
+            r,
+            dims,
+            mode: VarMode::Levels,
+            beta,
+            diff_clamp: None,
+        }
     }
 
     /// The regression mode.
@@ -314,11 +330,19 @@ mod tests {
                 a[1][0] * prev[0] + a[1][1] * prev[1] + b[1] + noise(),
             ]);
         }
-        let ds = Dataset { period: 0.02, commands: cmds, cycle_starts: vec![0] };
+        let ds = Dataset {
+            period: 0.02,
+            commands: cmds,
+            cycle_starts: vec![0],
+        };
         let var = Var::fit(&ds, 1, 0.0).unwrap();
         let beta = var.coefficients(); // rows: [bias, c^0 lag, c^1 lag]
         for k in 0..2 {
-            assert!((beta[(0, k)] - b[k]).abs() < 0.01, "bias[{k}] = {}", beta[(0, k)]);
+            assert!(
+                (beta[(0, k)] - b[k]).abs() < 0.01,
+                "bias[{k}] = {}",
+                beta[(0, k)]
+            );
             for l in 0..2 {
                 assert!(
                     (beta[(1 + l, k)] - a[k][l]).abs() < 0.05,
@@ -343,10 +367,7 @@ mod tests {
         let preds = forecast_horizon(&var, &hist, 25);
         for (s, p) in preds.iter().enumerate() {
             for (a, b) in p.iter().zip(&pose) {
-                assert!(
-                    (a - b).abs() < 0.02,
-                    "step {s}: drifted to {a} from {b}"
-                );
+                assert!((a - b).abs() < 0.02, "step {s}: drifted to {a} from {b}");
             }
         }
     }
@@ -356,8 +377,9 @@ mod tests {
         let train = Dataset::record(Skill::Experienced, 3, 0.02, 22);
         let var = Var::fit_differenced(&train, 5, 1e-6).unwrap();
         // Steady motion: joint 0 advancing 0.01 rad/tick.
-        let hist: Vec<Vec<f64>> =
-            (0..10).map(|i| vec![0.01 * i as f64, 0.0, 0.0, 0.0, 0.0, 0.0]).collect();
+        let hist: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![0.01 * i as f64, 0.0, 0.0, 0.0, 0.0, 0.0])
+            .collect();
         let pred = var.forecast(&hist);
         // Should continue forward, not undershoot like MA.
         assert!(pred[0] > 0.09, "predicted {}", pred[0]);
@@ -429,9 +451,15 @@ mod tests {
         let diff = Var::fit_differenced(&train, 5, 1e-6).unwrap();
         let rho_levels = levels.companion_spectral_radius();
         let rho_diff = diff.companion_spectral_radius();
-        assert!(rho_levels > 0.9, "levels VAR should be near-unit-root: {rho_levels}");
+        assert!(
+            rho_levels > 0.9,
+            "levels VAR should be near-unit-root: {rho_levels}"
+        );
         assert!(rho_levels < 1.2, "levels VAR wildly unstable: {rho_levels}");
-        assert!(rho_diff < 1.05, "differenced VAR must be ~stable: {rho_diff}");
+        assert!(
+            rho_diff < 1.05,
+            "differenced VAR must be ~stable: {rho_diff}"
+        );
         assert!(rho_diff.is_finite() && rho_diff > 0.0);
     }
 

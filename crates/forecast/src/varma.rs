@@ -82,7 +82,13 @@ impl Varma {
             y.row_mut(row).copy_from_slice(&train.commands[i]);
         }
         let beta = ols_ridge(&x, &y, ridge)?;
-        Ok(Self { r, q, dims: d, stage1, beta })
+        Ok(Self {
+            r,
+            q,
+            dims: d,
+            stage1,
+            beta,
+        })
     }
 
     /// Total trainable weights across both stages.
@@ -107,9 +113,7 @@ impl Forecaster for Varma {
         let mut residuals: Vec<Vec<f64>> = Vec::with_capacity(self.q);
         for i in self.r..tail.len() {
             let pred = self.stage1.forecast(&tail[..i]);
-            residuals.push(
-                tail[i].iter().zip(&pred).map(|(t, p)| t - p).collect(),
-            );
+            residuals.push(tail[i].iter().zip(&pred).map(|(t, p)| t - p).collect());
         }
         while residuals.len() < self.q {
             residuals.insert(0, vec![0.0; d]);

@@ -277,18 +277,16 @@ mod tests {
     #[test]
     fn qr_residual_orthogonal_to_columns() {
         // For LS solutions, Aᵀ(Ax − b) = 0.
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[0.5, -1.0],
-            &[2.0, 0.3],
-            &[1.5, 1.5],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[2.0, 0.3], &[1.5, 1.5]]);
         let b = [1.0, -2.0, 0.5, 3.0];
         let x = Qr::new(&a).unwrap().solve_least_squares(&b);
         let ax = a.matvec(&x);
         let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
         let atr = a.transpose().matvec(&resid);
-        assert!(atr.iter().all(|v| v.abs() < 1e-10), "residual not orthogonal: {atr:?}");
+        assert!(
+            atr.iter().all(|v| v.abs() < 1e-10),
+            "residual not orthogonal: {atr:?}"
+        );
     }
 
     #[test]

@@ -21,12 +21,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -43,7 +51,12 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "data length {} != {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} != {rows}x{cols}",
+            data.len()
+        );
         Self { rows, cols, data }
     }
 
@@ -59,7 +72,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "from_rows: inconsistent row length");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix whose rows are produced by `f(row_index)`.
@@ -145,7 +162,8 @@ impl Matrix {
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul: shape mismatch {:?} x {:?}",
             self.shape(),
             rhs.shape()
@@ -173,7 +191,9 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec: shape mismatch");
-        (0..self.rows).map(|i| crate::vector::dot(self.row(i), v)).collect()
+        (0..self.rows)
+            .map(|i| crate::vector::dot(self.row(i), v))
+            .collect()
     }
 
     /// `selfᵀ * self`, the Gram matrix, computed without forming the
@@ -232,7 +252,10 @@ impl Matrix {
     /// # Panics
     /// Panics if the range is out of bounds or reversed.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "slice_rows: bad range {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows: bad range {start}..{end}"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -248,7 +271,11 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "vstack: column mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// True when all elements are finite (no NaN/inf).
@@ -261,7 +288,11 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {:?}", self.shape());
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {:?}",
+            self.shape()
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -269,7 +300,11 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {:?}", self.shape());
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {:?}",
+            self.shape()
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -281,7 +316,12 @@ impl Add<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -293,7 +333,12 @@ impl Sub<&Matrix> for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }

@@ -30,7 +30,10 @@ impl std::fmt::Display for OlsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OlsError::Underdetermined { rows, cols } => {
-                write!(f, "underdetermined system: {rows} samples for {cols} features")
+                write!(
+                    f,
+                    "underdetermined system: {rows} samples for {cols} features"
+                )
             }
             OlsError::RankDeficient => write!(f, "design matrix is numerically rank-deficient"),
             OlsError::NonFinite => write!(f, "input contains NaN or infinite values"),
@@ -134,7 +137,10 @@ mod tests {
     fn underdetermined_rejected() {
         let x = Matrix::zeros(2, 5);
         let y = Matrix::zeros(2, 1);
-        assert_eq!(ols(&x, &y), Err(OlsError::Underdetermined { rows: 2, cols: 5 }));
+        assert_eq!(
+            ols(&x, &y),
+            Err(OlsError::Underdetermined { rows: 2, cols: 5 })
+        );
     }
 
     #[test]
@@ -169,12 +175,7 @@ mod tests {
 
     #[test]
     fn residuals_orthogonal_to_design() {
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.3],
-            &[1.0, -1.2],
-            &[1.0, 2.2],
-            &[1.0, 0.9],
-        ]);
+        let x = Matrix::from_rows(&[&[1.0, 0.3], &[1.0, -1.2], &[1.0, 2.2], &[1.0, 0.9]]);
         let y = Matrix::from_rows(&[&[1.0], &[0.0], &[3.5], &[1.7]]);
         let b = ols(&x, &y).unwrap();
         let resid = &x.matmul(&b) - &y;

@@ -89,8 +89,12 @@ mod tests {
     #[test]
     fn derivatives_match_finite_differences() {
         let eps = 1e-6;
-        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity]
-        {
+        for act in [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
             for &x in &[-1.5, -0.3, 0.4, 2.0] {
                 let y = act.apply(x);
                 let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);

@@ -28,7 +28,12 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { learning_rate: 1e-3, beta1: 0.9, beta2: 0.999, epsilon: 1e-7 }
+        Self {
+            learning_rate: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-7,
+        }
     }
 }
 
@@ -51,7 +56,11 @@ pub struct Adam {
 impl Adam {
     /// Creates an optimiser for at most `num_tensors` parameter tensors.
     pub fn new(cfg: AdamConfig, num_tensors: usize) -> Self {
-        Self { cfg, step: 0, states: vec![None; num_tensors] }
+        Self {
+            cfg,
+            step: 0,
+            states: vec![None; num_tensors],
+        }
     }
 
     /// Advances the global step counter. Call once per optimisation step,
@@ -71,15 +80,31 @@ impl Adam {
     /// Panics if `idx` is out of range, lengths mismatch a previous call
     /// for the same tensor, or `begin_step` was never called.
     pub fn update(&mut self, idx: usize, weights: &mut [f64], grads: &[f64]) {
-        assert!(self.step > 0, "Adam::begin_step must be called before update");
-        assert_eq!(weights.len(), grads.len(), "adam: weight/grad length mismatch");
+        assert!(
+            self.step > 0,
+            "Adam::begin_step must be called before update"
+        );
+        assert_eq!(
+            weights.len(),
+            grads.len(),
+            "adam: weight/grad length mismatch"
+        );
         let state = self.states[idx].get_or_insert_with(|| TensorState {
             m: vec![0.0; weights.len()],
             v: vec![0.0; weights.len()],
         });
-        assert_eq!(state.m.len(), weights.len(), "adam: tensor {idx} changed size");
+        assert_eq!(
+            state.m.len(),
+            weights.len(),
+            "adam: tensor {idx} changed size"
+        );
 
-        let AdamConfig { learning_rate, beta1, beta2, epsilon } = self.cfg;
+        let AdamConfig {
+            learning_rate,
+            beta1,
+            beta2,
+            epsilon,
+        } = self.cfg;
         let bc1 = 1.0 - beta1.powi(self.step as i32);
         let bc2 = 1.0 - beta2.powi(self.step as i32);
         for i in 0..weights.len() {
@@ -100,7 +125,13 @@ mod tests {
     /// Minimising f(w) = (w − 3)² must converge to 3.
     #[test]
     fn converges_on_quadratic() {
-        let mut adam = Adam::new(AdamConfig { learning_rate: 0.1, ..Default::default() }, 1);
+        let mut adam = Adam::new(
+            AdamConfig {
+                learning_rate: 0.1,
+                ..Default::default()
+            },
+            1,
+        );
         let mut w = vec![0.0];
         for _ in 0..500 {
             adam.begin_step();

@@ -92,8 +92,16 @@ impl Dense {
     /// Panics if called before `forward` or with a mismatched gradient.
     #[allow(clippy::needless_range_loop)] // i indexes dy, db and two matrices
     pub fn backward(&mut self, dy: &[f64]) -> Vec<f64> {
-        assert_eq!(dy.len(), self.out_dim(), "dense backward: grad dim mismatch");
-        assert_eq!(self.cache_x.len(), self.in_dim(), "dense backward before forward");
+        assert_eq!(
+            dy.len(),
+            self.out_dim(),
+            "dense backward: grad dim mismatch"
+        );
+        assert_eq!(
+            self.cache_x.len(),
+            self.in_dim(),
+            "dense backward before forward"
+        );
         let mut dx = vec![0.0; self.in_dim()];
         for i in 0..self.out_dim() {
             let dz = dy[i] * self.activation.deriv(self.cache_z[i], self.cache_y[i]);

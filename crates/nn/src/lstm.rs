@@ -30,7 +30,10 @@ pub struct LstmState {
 impl LstmState {
     /// Zero state for a given hidden dimension.
     pub fn zeros(hidden: usize) -> Self {
-        Self { h: vec![0.0; hidden], c: vec![0.0; hidden] }
+        Self {
+            h: vec![0.0; hidden],
+            c: vec![0.0; hidden],
+        }
     }
 }
 
@@ -84,12 +87,19 @@ impl Lstm {
         cell_activation: Activation,
         seed: u64,
     ) -> Self {
-        assert!(input_dim > 0 && hidden_dim > 0, "lstm: dims must be positive");
+        assert!(
+            input_dim > 0 && hidden_dim > 0,
+            "lstm: dims must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let lim_x = (6.0 / (input_dim + hidden_dim) as f64).sqrt();
         let lim_h = (6.0 / (2 * hidden_dim) as f64).sqrt();
-        let wx = Matrix::from_fn(4 * hidden_dim, input_dim, |_, _| rng.gen_range(-lim_x..lim_x));
-        let wh = Matrix::from_fn(4 * hidden_dim, hidden_dim, |_, _| rng.gen_range(-lim_h..lim_h));
+        let wx = Matrix::from_fn(4 * hidden_dim, input_dim, |_, _| {
+            rng.gen_range(-lim_x..lim_x)
+        });
+        let wh = Matrix::from_fn(4 * hidden_dim, hidden_dim, |_, _| {
+            rng.gen_range(-lim_h..lim_h)
+        });
         let mut b = vec![0.0; 4 * hidden_dim];
         // Forget-gate bias = 1.
         for bf in b.iter_mut().take(2 * hidden_dim).skip(hidden_dim) {
@@ -212,7 +222,11 @@ impl Lstm {
     /// Panics if `dhs.len()` differs from the cached sequence length.
     #[allow(clippy::needless_range_loop)] // r walks dz against four weight blocks
     pub fn backward_sequence(&mut self, dhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        assert_eq!(dhs.len(), self.caches.len(), "lstm backward: length mismatch");
+        assert_eq!(
+            dhs.len(),
+            self.caches.len(),
+            "lstm backward: length mismatch"
+        );
         let h_dim = self.hidden;
         let sig = Activation::Sigmoid;
         let mut dxs = vec![vec![0.0; self.input]; dhs.len()];

@@ -93,7 +93,13 @@ impl Seq2Seq {
             Activation::Identity,
             seed.wrapping_add(2),
         );
-        Self { encoder, decoder, head, adam: Adam::new(cfg.adam, 8), cfg: cfg.clone() }
+        Self {
+            encoder,
+            decoder,
+            head,
+            adam: Adam::new(cfg.adam, 8),
+            cfg: cfg.clone(),
+        }
     }
 
     /// Total number of trainable weights `|w|`.
@@ -113,7 +119,9 @@ impl Seq2Seq {
     pub fn predict(&self, history: &[Vec<f64>]) -> Vec<f64> {
         assert!(!history.is_empty(), "seq2seq: empty history");
         let enc = self.encoder.infer_sequence(history);
-        let dec = self.decoder.infer_step(&enc.h, &LstmState::zeros(self.cfg.decoder_hidden));
+        let dec = self
+            .decoder
+            .infer_step(&enc.h, &LstmState::zeros(self.cfg.decoder_hidden));
         self.head.infer(&dec.h)
     }
 
@@ -144,19 +152,24 @@ impl Seq2Seq {
     fn apply_adam(&mut self) {
         self.adam.begin_step();
         let enc_dwx = self.encoder.dwx.as_slice().to_vec();
-        self.adam.update(T_ENC_WX, self.encoder.wx.as_mut_slice(), &enc_dwx);
+        self.adam
+            .update(T_ENC_WX, self.encoder.wx.as_mut_slice(), &enc_dwx);
         let enc_dwh = self.encoder.dwh.as_slice().to_vec();
-        self.adam.update(T_ENC_WH, self.encoder.wh.as_mut_slice(), &enc_dwh);
+        self.adam
+            .update(T_ENC_WH, self.encoder.wh.as_mut_slice(), &enc_dwh);
         let enc_db = self.encoder.db.clone();
         self.adam.update(T_ENC_B, &mut self.encoder.b, &enc_db);
         let dec_dwx = self.decoder.dwx.as_slice().to_vec();
-        self.adam.update(T_DEC_WX, self.decoder.wx.as_mut_slice(), &dec_dwx);
+        self.adam
+            .update(T_DEC_WX, self.decoder.wx.as_mut_slice(), &dec_dwx);
         let dec_dwh = self.decoder.dwh.as_slice().to_vec();
-        self.adam.update(T_DEC_WH, self.decoder.wh.as_mut_slice(), &dec_dwh);
+        self.adam
+            .update(T_DEC_WH, self.decoder.wh.as_mut_slice(), &dec_dwh);
         let dec_db = self.decoder.db.clone();
         self.adam.update(T_DEC_B, &mut self.decoder.b, &dec_db);
         let head_dw = self.head.dw.as_slice().to_vec();
-        self.adam.update(T_HEAD_W, self.head.w.as_mut_slice(), &head_dw);
+        self.adam
+            .update(T_HEAD_W, self.head.w.as_mut_slice(), &head_dw);
         let head_db = self.head.db.clone();
         self.adam.update(T_HEAD_B, &mut self.head.b, &head_db);
     }
@@ -166,11 +179,7 @@ impl Seq2Seq {
     ///
     /// Samples are consumed in the given order (callers shuffle if they
     /// want; deterministic order keeps experiments reproducible).
-    pub fn train(
-        &mut self,
-        samples: &[(Vec<Vec<f64>>, Vec<f64>)],
-        epochs: usize,
-    ) -> TrainReport {
+    pub fn train(&mut self, samples: &[(Vec<Vec<f64>>, Vec<f64>)], epochs: usize) -> TrainReport {
         assert!(!samples.is_empty(), "seq2seq train: no samples");
         let batch = self.cfg.batch_size.max(1);
         let mut epoch_losses = Vec::with_capacity(epochs);
@@ -195,7 +204,10 @@ impl Seq2Seq {
             }
             epoch_losses.push(epoch_loss / samples.len() as f64);
         }
-        TrainReport { epoch_losses, steps: self.adam.steps() }
+        TrainReport {
+            epoch_losses,
+            steps: self.adam.steps(),
+        }
     }
 }
 
@@ -209,7 +221,10 @@ mod tests {
             encoder_hidden: 8,
             decoder_hidden: 4,
             activation: Activation::Tanh,
-            adam: AdamConfig { learning_rate: 0.01, ..Default::default() },
+            adam: AdamConfig {
+                learning_rate: 0.01,
+                ..Default::default()
+            },
             batch_size: 4,
         }
     }
@@ -241,7 +256,11 @@ mod tests {
         let cfg = Seq2SeqConfig::default();
         let m = Seq2Seq::new(&cfg, 0);
         // Same order of magnitude as the paper's |w| = 163 803.
-        assert!(m.num_params() > 100_000 && m.num_params() < 300_000, "{}", m.num_params());
+        assert!(
+            m.num_params() > 100_000 && m.num_params() < 300_000,
+            "{}",
+            m.num_params()
+        );
     }
 
     /// Whole-model gradient check through encoder, decoder and head.

@@ -22,7 +22,10 @@ pub struct DriverConfig {
 
 impl Default for DriverConfig {
     fn default() -> Self {
-        Self { period: 0.020, gains: PidGains::niryo_default() }
+        Self {
+            period: 0.020,
+            gains: PidGains::niryo_default(),
+        }
     }
 }
 
@@ -63,6 +66,8 @@ pub struct RobotDriver {
     last_command: Vec<f64>,
     t: f64,
     trail: Vec<Sample>,
+    record: bool,
+    scratch: Sample,
 }
 
 impl RobotDriver {
@@ -81,6 +86,13 @@ impl RobotDriver {
             .iter()
             .map(|l| Pid::new(cfg.gains, l.max_velocity))
             .collect();
+        let scratch = Sample {
+            t: 0.0,
+            joints: initial.to_vec(),
+            position_mm: model.chain.forward_mm(initial),
+            distance_mm: 0.0,
+            fresh_command: false,
+        };
         Self {
             joints: initial.to_vec(),
             last_command: initial.to_vec(),
@@ -89,7 +101,19 @@ impl RobotDriver {
             cfg,
             t: 0.0,
             trail: Vec::new(),
+            record: true,
+            scratch,
         }
+    }
+
+    /// Turns trajectory recording on or off (on by default).
+    ///
+    /// With recording off, [`RobotDriver::tick`] still returns each
+    /// sample but nothing accumulates in the trail — the mode the
+    /// multi-session service runtime uses to hold thousands of
+    /// concurrent arms at O(1) memory each.
+    pub fn set_recording(&mut self, record: bool) {
+        self.record = record;
     }
 
     /// The arm model.
@@ -138,14 +162,20 @@ impl RobotDriver {
         let position_mm = self.model.chain.forward_mm(&self.joints);
         let distance_mm =
             (position_mm[0].powi(2) + position_mm[1].powi(2) + position_mm[2].powi(2)).sqrt();
-        self.trail.push(Sample {
+        let sample = Sample {
             t: self.t,
             joints: self.joints.clone(),
             position_mm,
             distance_mm,
             fresh_command: fresh,
-        });
-        self.trail.last().expect("just pushed")
+        };
+        if self.record {
+            self.trail.push(sample);
+            self.trail.last().expect("just pushed")
+        } else {
+            self.scratch = sample;
+            &self.scratch
+        }
     }
 
     /// Full recorded trajectory.
@@ -178,7 +208,11 @@ mod tests {
         for _ in 0..150 {
             d.tick(Some(&target));
         }
-        assert!((d.joints()[0] - target[0]).abs() < 0.005, "joint0 = {}", d.joints()[0]);
+        assert!(
+            (d.joints()[0] - target[0]).abs() < 0.005,
+            "joint0 = {}",
+            d.joints()[0]
+        );
     }
 
     #[test]
@@ -248,7 +282,10 @@ mod tests {
             d.tick(Some(&home));
         }
         let end_dist = d.trajectory().last().unwrap().distance_mm;
-        assert!((start_dist - end_dist).abs() < 1.0, "arm drifted {start_dist} → {end_dist}");
+        assert!(
+            (start_dist - end_dist).abs() < 1.0,
+            "arm drifted {start_dist} → {end_dist}"
+        );
     }
 
     /// Recovery transient: freeze the command stream mid-motion, then

@@ -30,7 +30,12 @@ pub struct IkConfig {
 
 impl Default for IkConfig {
     fn default() -> Self {
-        Self { damping: 0.05, tolerance: 1e-4, max_iterations: 200, fd_step: 1e-6 }
+        Self {
+            damping: 0.05,
+            tolerance: 1e-4,
+            max_iterations: 200,
+            fd_step: 1e-6,
+        }
     }
 }
 
@@ -126,7 +131,12 @@ pub fn solve_position(
         let dp = [target_m[0] - p[0], target_m[1] - p[1], target_m[2] - p[2]];
         error = (dp[0] * dp[0] + dp[1] * dp[1] + dp[2] * dp[2]).sqrt();
         if error <= cfg.tolerance {
-            return IkSolution { joints: q, error, iterations: iter, converged: true };
+            return IkSolution {
+                joints: q,
+                error,
+                iterations: iter,
+                converged: true,
+            };
         }
         let jac = jacobian(model, &q, cfg.fd_step);
         // A = J Jᵀ + λ² I (3×3).
@@ -149,7 +159,12 @@ pub fn solve_position(
             q[j] = model.limits[j].clamp(q[j] + dq);
         }
     }
-    IkSolution { joints: q, error, iterations: cfg.max_iterations, converged: false }
+    IkSolution {
+        joints: q,
+        error,
+        iterations: cfg.max_iterations,
+        converged: false,
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +179,11 @@ mod tests {
         let start = model.chain.forward(&seed);
         let target = [start[0] + 0.03, start[1] - 0.02, start[2] + 0.01];
         let sol = solve_position(&model, target, &seed, &IkConfig::default());
-        assert!(sol.converged, "error {} after {} iters", sol.error, sol.iterations);
+        assert!(
+            sol.converged,
+            "error {} after {} iters",
+            sol.error, sol.iterations
+        );
         assert!(sol.error < 1e-3);
         assert!(model.within_limits(&sol.joints));
     }
@@ -201,7 +220,10 @@ mod tests {
         let sol = solve_position(&model, [2.0, 0.0, 0.3], &seed, &IkConfig::default());
         assert!(!sol.converged);
         assert!(sol.error > 1.0, "error {}", sol.error);
-        assert!(model.within_limits(&sol.joints), "even failed solves stay legal");
+        assert!(
+            model.within_limits(&sol.joints),
+            "even failed solves stay legal"
+        );
     }
 
     #[test]

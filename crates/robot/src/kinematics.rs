@@ -29,7 +29,10 @@ struct Transform {
 
 impl Transform {
     fn identity() -> Self {
-        Self { r: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], t: [0.0; 3] }
+        Self {
+            r: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            t: [0.0; 3],
+        }
     }
 
     fn dh(link: &DhLink, q: f64) -> Self {
@@ -132,8 +135,18 @@ mod tests {
     #[test]
     fn planar_two_link_textbook() {
         let chain = DhChain::new(vec![
-            DhLink { a: 1.0, alpha: 0.0, d: 0.0, theta_offset: 0.0 },
-            DhLink { a: 0.5, alpha: 0.0, d: 0.0, theta_offset: 0.0 },
+            DhLink {
+                a: 1.0,
+                alpha: 0.0,
+                d: 0.0,
+                theta_offset: 0.0,
+            },
+            DhLink {
+                a: 0.5,
+                alpha: 0.0,
+                d: 0.0,
+                theta_offset: 0.0,
+            },
         ]);
         // Straight out along x.
         let p = chain.forward(&[0.0, 0.0]);
@@ -161,9 +174,24 @@ mod tests {
     #[test]
     fn reach_never_exceeds_bound() {
         let chain = DhChain::new(vec![
-            DhLink { a: 0.2, alpha: 1.0, d: 0.1, theta_offset: 0.3 },
-            DhLink { a: 0.3, alpha: -0.5, d: 0.05, theta_offset: 0.0 },
-            DhLink { a: 0.1, alpha: 0.2, d: 0.2, theta_offset: -0.7 },
+            DhLink {
+                a: 0.2,
+                alpha: 1.0,
+                d: 0.1,
+                theta_offset: 0.3,
+            },
+            DhLink {
+                a: 0.3,
+                alpha: -0.5,
+                d: 0.05,
+                theta_offset: 0.0,
+            },
+            DhLink {
+                a: 0.1,
+                alpha: 0.2,
+                d: 0.2,
+                theta_offset: -0.7,
+            },
         ]);
         let bound = chain.max_reach() + 1e-9;
         for k in 0..100 {
@@ -177,8 +205,18 @@ mod tests {
     #[test]
     fn fk_is_continuous() {
         let chain = DhChain::new(vec![
-            DhLink { a: 0.2, alpha: 0.5, d: 0.1, theta_offset: 0.0 },
-            DhLink { a: 0.3, alpha: -0.5, d: 0.0, theta_offset: 0.0 },
+            DhLink {
+                a: 0.2,
+                alpha: 0.5,
+                d: 0.1,
+                theta_offset: 0.0,
+            },
+            DhLink {
+                a: 0.3,
+                alpha: -0.5,
+                d: 0.0,
+                theta_offset: 0.0,
+            },
         ]);
         let q = [0.4, -0.9];
         let p0 = chain.forward(&q);

@@ -38,12 +38,23 @@ impl ArmModel {
     /// # Panics
     /// Panics if `limits.len() != chain.dof()` or a limit is inverted.
     pub fn new(name: &str, limits: Vec<JointLimit>, chain: DhChain) -> Self {
-        assert_eq!(limits.len(), chain.dof(), "limits/chain joint count mismatch");
+        assert_eq!(
+            limits.len(),
+            chain.dof(),
+            "limits/chain joint count mismatch"
+        );
         for (i, l) in limits.iter().enumerate() {
             assert!(l.min < l.max, "joint {i}: inverted limits");
-            assert!(l.max_velocity > 0.0, "joint {i}: non-positive velocity limit");
+            assert!(
+                l.max_velocity > 0.0,
+                "joint {i}: non-positive velocity limit"
+            );
         }
-        Self { name: name.to_string(), limits, chain }
+        Self {
+            name: name.to_string(),
+            limits,
+            chain,
+        }
     }
 
     /// Degrees of freedom.
@@ -57,13 +68,18 @@ impl ArmModel {
     /// Panics on joint-count mismatch.
     pub fn clamp(&self, q: &[f64]) -> Vec<f64> {
         assert_eq!(q.len(), self.dof(), "clamp: joint count mismatch");
-        q.iter().zip(&self.limits).map(|(qi, l)| l.clamp(*qi)).collect()
+        q.iter()
+            .zip(&self.limits)
+            .map(|(qi, l)| l.clamp(*qi))
+            .collect()
     }
 
     /// True when every coordinate lies within its limit.
     pub fn within_limits(&self, q: &[f64]) -> bool {
         q.len() == self.dof()
-            && q.iter().zip(&self.limits).all(|(qi, l)| *qi >= l.min && *qi <= l.max)
+            && q.iter()
+                .zip(&self.limits)
+                .all(|(qi, l)| *qi >= l.min && *qi <= l.max)
     }
 
     /// A neutral "home" pose: mid-range of every joint.
@@ -83,20 +99,74 @@ pub fn niryo_one() -> ArmModel {
     use std::f64::consts::{FRAC_PI_2, PI};
     let deg = |d: f64| d * PI / 180.0;
     let limits = vec![
-        JointLimit { min: deg(-175.0), max: deg(175.0), max_velocity: deg(90.0) },
-        JointLimit { min: deg(-90.0), max: deg(36.7), max_velocity: deg(80.0) },
-        JointLimit { min: deg(-80.0), max: deg(90.0), max_velocity: deg(80.0) },
-        JointLimit { min: deg(-175.0), max: deg(175.0), max_velocity: deg(110.0) },
-        JointLimit { min: deg(-100.0), max: deg(110.0), max_velocity: deg(110.0) },
-        JointLimit { min: deg(-147.5), max: deg(147.5), max_velocity: deg(140.0) },
+        JointLimit {
+            min: deg(-175.0),
+            max: deg(175.0),
+            max_velocity: deg(90.0),
+        },
+        JointLimit {
+            min: deg(-90.0),
+            max: deg(36.7),
+            max_velocity: deg(80.0),
+        },
+        JointLimit {
+            min: deg(-80.0),
+            max: deg(90.0),
+            max_velocity: deg(80.0),
+        },
+        JointLimit {
+            min: deg(-175.0),
+            max: deg(175.0),
+            max_velocity: deg(110.0),
+        },
+        JointLimit {
+            min: deg(-100.0),
+            max: deg(110.0),
+            max_velocity: deg(110.0),
+        },
+        JointLimit {
+            min: deg(-147.5),
+            max: deg(147.5),
+            max_velocity: deg(140.0),
+        },
     ];
     let chain = DhChain::new(vec![
-        DhLink { a: 0.0, alpha: FRAC_PI_2, d: 0.183, theta_offset: 0.0 },
-        DhLink { a: 0.210, alpha: 0.0, d: 0.0, theta_offset: FRAC_PI_2 },
-        DhLink { a: 0.0415, alpha: FRAC_PI_2, d: 0.0, theta_offset: 0.0 },
-        DhLink { a: 0.0, alpha: -FRAC_PI_2, d: 0.180, theta_offset: 0.0 },
-        DhLink { a: 0.0, alpha: FRAC_PI_2, d: 0.0, theta_offset: 0.0 },
-        DhLink { a: 0.0, alpha: 0.0, d: 0.0873, theta_offset: 0.0 },
+        DhLink {
+            a: 0.0,
+            alpha: FRAC_PI_2,
+            d: 0.183,
+            theta_offset: 0.0,
+        },
+        DhLink {
+            a: 0.210,
+            alpha: 0.0,
+            d: 0.0,
+            theta_offset: FRAC_PI_2,
+        },
+        DhLink {
+            a: 0.0415,
+            alpha: FRAC_PI_2,
+            d: 0.0,
+            theta_offset: 0.0,
+        },
+        DhLink {
+            a: 0.0,
+            alpha: -FRAC_PI_2,
+            d: 0.180,
+            theta_offset: 0.0,
+        },
+        DhLink {
+            a: 0.0,
+            alpha: FRAC_PI_2,
+            d: 0.0,
+            theta_offset: 0.0,
+        },
+        DhLink {
+            a: 0.0,
+            alpha: 0.0,
+            d: 0.0873,
+            theta_offset: 0.0,
+        },
     ]);
     ArmModel::new("niryo-one", limits, chain)
 }

@@ -25,7 +25,11 @@ impl PidGains {
     /// 0.04 rad per-command steps, a few hundred milliseconds to recover
     /// from a multi-command freeze (matching Fig. 10's annotation).
     pub fn niryo_default() -> Self {
-        Self { kp: 10.0, ki: 2.0, kd: 0.05 }
+        Self {
+            kp: 10.0,
+            ki: 2.0,
+            kd: 0.05,
+        }
     }
 }
 
@@ -45,7 +49,12 @@ impl Pid {
     /// Panics if `max_output` is not positive.
     pub fn new(gains: PidGains, max_output: f64) -> Self {
         assert!(max_output > 0.0, "pid: max_output must be positive");
-        Self { gains, max_output, integral: 0.0, prev_error: None }
+        Self {
+            gains,
+            max_output,
+            integral: 0.0,
+            prev_error: None,
+        }
     }
 
     /// One control step: returns the clamped velocity command.
@@ -107,7 +116,14 @@ mod tests {
 
     #[test]
     fn output_respects_clamp() {
-        let mut pid = Pid::new(PidGains { kp: 1000.0, ki: 0.0, kd: 0.0 }, 1.5);
+        let mut pid = Pid::new(
+            PidGains {
+                kp: 1000.0,
+                ki: 0.0,
+                kd: 0.0,
+            },
+            1.5,
+        );
         let v = pid.step(100.0, 0.0, 0.02);
         assert_eq!(v, 1.5);
         let v = pid.step(-100.0, 0.0, 0.02);
@@ -121,7 +137,10 @@ mod tests {
         let mut pid = Pid::new(PidGains::niryo_default(), 1.57);
         let traj = simulate(&mut pid, 0.0, 0.04, 0.02, 25); // half a second
         let settled = traj.iter().position(|x| (x - 0.04).abs() < 0.004).unwrap();
-        assert!(settled <= 15, "took {settled} ticks to reach 90 % of a 0.04 rad step");
+        assert!(
+            settled <= 15,
+            "took {settled} ticks to reach 90 % of a 0.04 rad step"
+        );
     }
 
     /// A big error (post-burst recovery) takes hundreds of milliseconds —
@@ -143,7 +162,14 @@ mod tests {
     fn anti_windup_limits_overshoot() {
         // With naive integration a long saturation would cause massive
         // overshoot; clamped integration must keep it small.
-        let mut pid = Pid::new(PidGains { kp: 4.0, ki: 4.0, kd: 0.0 }, 0.5);
+        let mut pid = Pid::new(
+            PidGains {
+                kp: 4.0,
+                ki: 4.0,
+                kd: 0.0,
+            },
+            0.5,
+        );
         let traj = simulate(&mut pid, 0.0, 2.0, 0.02, 2000);
         let peak = traj.iter().cloned().fold(f64::MIN, f64::max);
         assert!(peak < 2.4, "overshoot to {peak} (20 %+ means windup)");

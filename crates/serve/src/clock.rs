@@ -1,0 +1,183 @@
+//! The deterministic virtual 50 Hz clock every shard advances on.
+//!
+//! Sessions never read wall time: a session's notion of "now" is its
+//! virtual tick index times `Ω`, exactly like the offline closed loop.
+//! That is what makes a service run reproducible — the interleaving of
+//! shard threads cannot leak into any session's trajectory — and
+//! shard-count invariant, because each session's clock is its own.
+//!
+//! [`Pacing`] decides how virtual time relates to wall time: benchmarks
+//! and tests run [`Pacing::Unpaced`] (as fast as the hardware allows),
+//! while a demo fronting a real operator can hold the paper's real-time
+//! 50 Hz with [`Pacing::RealTime`].
+
+use std::time::{Duration, Instant};
+
+/// The paper's control frequency.
+pub const TICK_HZ: f64 = 50.0;
+
+/// The command period `Ω` in seconds (20 ms).
+pub const TICK_PERIOD: f64 = 1.0 / TICK_HZ;
+
+/// A session- or shard-local virtual clock: a tick counter with a fixed
+/// period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualClock {
+    tick: u64,
+    period: f64,
+}
+
+impl VirtualClock {
+    /// A clock at tick zero with period `Ω`.
+    pub fn new(period: f64) -> Self {
+        assert!(period > 0.0, "clock: period must be positive");
+        Self { tick: 0, period }
+    }
+
+    /// The 50 Hz clock of the paper.
+    pub fn at_50hz() -> Self {
+        Self::new(TICK_PERIOD)
+    }
+
+    /// Current tick index.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Virtual seconds since the clock started.
+    pub fn now(&self) -> f64 {
+        self.tick as f64 * self.period
+    }
+
+    /// The period `Ω`.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Advances one period and returns the new tick index.
+    pub fn advance(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// How a shard's virtual clock maps to wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pacing {
+    /// Advance as fast as the hardware allows (benchmarks, tests,
+    /// batch re-simulation).
+    #[default]
+    Unpaced,
+    /// Hold each virtual tick to its wall-clock slot (live operation).
+    RealTime,
+}
+
+/// Wall-clock governor used by shards running [`Pacing::RealTime`].
+#[derive(Debug)]
+pub struct Pacer {
+    pacing: Pacing,
+    epoch: Instant,
+    ticks: u64,
+    period: Duration,
+}
+
+impl Pacer {
+    /// A pacer for the given mode and period (seconds).
+    pub fn new(pacing: Pacing, period: f64) -> Self {
+        Self {
+            pacing,
+            epoch: Instant::now(),
+            ticks: 0,
+            period: Duration::from_secs_f64(period),
+        }
+    }
+
+    /// Re-anchors the pacer at the current instant. Call when resuming
+    /// from an idle stretch: without this, a real-time pacer whose
+    /// epoch is long past would skip sleeping for thousands of passes
+    /// to "catch up" to wall time — an unpaced burst of spurious
+    /// deadline misses for any live session.
+    pub fn resync(&mut self) {
+        self.epoch = Instant::now();
+        self.ticks = 0;
+    }
+
+    /// Records one completed tick and, in real-time mode, sleeps until
+    /// the next tick's wall-clock slot.
+    pub fn tick_complete(&mut self) {
+        self.ticks += 1;
+        if self.pacing == Pacing::RealTime {
+            // f64 multiply, not `Duration * u32`: the tick counter
+            // outgrows u32 in ~994 days at 50 Hz and truncation would
+            // silently disable pacing from then on.
+            let due = self.epoch + self.period.mul_f64(self.ticks as f64);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            } else if now - due > self.period {
+                // More than one period behind (stall, suspend,
+                // overloaded host): drop the backlog rather than
+                // free-running to catch up.
+                self.resync();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_by_period() {
+        let mut c = VirtualClock::at_50hz();
+        assert_eq!(c.tick(), 0);
+        assert_eq!(c.now(), 0.0);
+        c.advance();
+        c.advance();
+        assert_eq!(c.tick(), 2);
+        assert!((c.now() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpaced_pacer_does_not_sleep() {
+        let mut p = Pacer::new(Pacing::Unpaced, TICK_PERIOD);
+        let start = Instant::now();
+        for _ in 0..1000 {
+            p.tick_complete();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn realtime_pacer_holds_the_period() {
+        let mut p = Pacer::new(Pacing::RealTime, 0.002);
+        let start = Instant::now();
+        for _ in 0..10 {
+            p.tick_complete();
+        }
+        // Coarse lower bound only — upper bounds are flaky under load.
+        assert!(
+            start.elapsed() >= Duration::from_millis(15),
+            "pacer did not pace"
+        );
+    }
+
+    #[test]
+    fn stale_pacer_drops_backlog_instead_of_bursting() {
+        // Simulate an idle stretch: the epoch falls far behind wall
+        // time. Without backlog dropping, the next ~25 ticks would all
+        // skip their sleeps (a catch-up burst).
+        let mut p = Pacer::new(Pacing::RealTime, 0.002);
+        std::thread::sleep(Duration::from_millis(50));
+        p.tick_complete(); // detects the stall and resyncs
+        let start = Instant::now();
+        for _ in 0..5 {
+            p.tick_complete();
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(7),
+            "post-stall ticks must be paced, not a catch-up burst"
+        );
+    }
+}

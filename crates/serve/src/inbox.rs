@@ -1,0 +1,120 @@
+//! The bounded per-session command inbox — where backpressure becomes
+//! the paper's loss event.
+//!
+//! A streamed session receives operator commands through a fixed-capacity
+//! queue. When the queue is full the newest command is **dropped**, not
+//! queued: a teleoperation command is only useful in its 20 ms slot, so
+//! buffering beyond the robot's consumption rate would trade loss for
+//! lag — the exact trade the paper rejects (§II: late commands are as
+//! useless as lost ones). The drop surfaces to the recovery engine as a
+//! miss on the tick that would have consumed it, and FoReCo forecasts
+//! the gap — the drop policy *is* the loss model.
+
+use std::collections::VecDeque;
+
+/// Outcome of offering a command to the inbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Queued for the next free tick.
+    Accepted,
+    /// Inbox full: the command was dropped (a loss event).
+    Dropped,
+}
+
+/// Fixed-capacity FIFO of joint-space commands.
+#[derive(Debug)]
+pub struct BoundedInbox {
+    queue: VecDeque<Vec<f64>>,
+    capacity: usize,
+    accepted: u64,
+    dropped: u64,
+}
+
+impl BoundedInbox {
+    /// An empty inbox holding at most `capacity` commands.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "inbox: capacity must be ≥ 1");
+        Self {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            accepted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Offers a command; full inboxes drop it.
+    pub fn offer(&mut self, command: Vec<f64>) -> Offer {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+            Offer::Dropped
+        } else {
+            self.queue.push_back(command);
+            self.accepted += 1;
+            Offer::Accepted
+        }
+    }
+
+    /// Takes the oldest queued command, if any (one per tick).
+    pub fn take(&mut self) -> Option<Vec<f64>> {
+        self.queue.pop_front()
+    }
+
+    /// Commands currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Commands accepted since construction.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Commands dropped by backpressure since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_until_full_then_drops() {
+        let mut inbox = BoundedInbox::new(2);
+        assert_eq!(inbox.offer(vec![1.0]), Offer::Accepted);
+        assert_eq!(inbox.offer(vec![2.0]), Offer::Accepted);
+        assert_eq!(inbox.offer(vec![3.0]), Offer::Dropped);
+        assert_eq!(inbox.len(), 2);
+        assert_eq!(inbox.accepted(), 2);
+        assert_eq!(inbox.dropped(), 1);
+    }
+
+    #[test]
+    fn drains_fifo() {
+        let mut inbox = BoundedInbox::new(3);
+        inbox.offer(vec![1.0]);
+        inbox.offer(vec![2.0]);
+        assert_eq!(inbox.take(), Some(vec![1.0]));
+        assert_eq!(inbox.take(), Some(vec![2.0]));
+        assert_eq!(inbox.take(), None);
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn drop_frees_no_slot() {
+        let mut inbox = BoundedInbox::new(1);
+        inbox.offer(vec![1.0]);
+        inbox.offer(vec![2.0]); // dropped
+        assert_eq!(inbox.take(), Some(vec![1.0]));
+        assert_eq!(inbox.take(), None, "dropped command must not appear");
+    }
+}

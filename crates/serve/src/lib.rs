@@ -1,0 +1,85 @@
+//! FoReCo as a service: a sharded runtime hosting thousands of
+//! concurrent recovery loops in one process.
+//!
+//! The paper frames FoReCo as edge-cloud infrastructure sitting between
+//! many operators and many robots (Fig. 1); the offline crates reproduce
+//! one loop at a time. This crate turns that loop into a *session* and
+//! hosts arbitrarily many of them on a pool of shard threads:
+//!
+//! - [`Session`] bundles an operator command source, a channel
+//!   impairment model, a [`foreco_core::RecoveryEngine`], and the PID
+//!   robot driver — one hosted closed loop;
+//! - [`SessionCommand`] / [`SessionEvent`] split control from
+//!   observation over bounded `std::sync::mpsc` channels: callers talk
+//!   through a [`ServiceHandle`], the service talks back through events;
+//! - the shard pool ([`Service`]) hashes sessions onto `N` worker
+//!   threads and advances each on a deterministic virtual 50 Hz clock —
+//!   every run is reproducible, and per-session results are
+//!   **bit-identical** to solo `run_closed_loop` runs regardless of
+//!   shard count (pinned by the shard-invariance integration test);
+//! - [`MetricsRegistry`] aggregates per-session
+//!   [`foreco_core::RecoveryStats`] and task-space error into
+//!   percentile summaries ([`ServiceSummary`]);
+//! - backpressure is explicit and *is* the loss model: a streamed
+//!   session's bounded inbox drops overflowing commands, and the
+//!   recovery engine forecasts the gap — exactly the paper's loss event,
+//!   produced by the service's own admission control.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use foreco_serve::{
+//!     ChannelSpec, RecoverySpec, Service, ServiceConfig, SessionSpec, SharedForecaster,
+//!     SourceSpec,
+//! };
+//! use foreco_core::RecoveryConfig;
+//! use foreco_forecast::Var;
+//! use foreco_robot::niryo_one;
+//! use foreco_teleop::{Dataset, Skill};
+//! use std::sync::Arc;
+//!
+//! // Train one VAR; share it across every session.
+//! let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+//! let forecaster = SharedForecaster::new(Var::fit_differenced(&train, 5, 1e-6).unwrap());
+//! let replay = Arc::new(Dataset::record(Skill::Inexperienced, 1, 0.02, 8).commands);
+//!
+//! let specs: Vec<SessionSpec> = (0..32)
+//!     .map(|id| {
+//!         SessionSpec::new(
+//!             id,
+//!             SourceSpec::Replayed(Arc::clone(&replay)),
+//!             ChannelSpec::ControlledLoss { burst_len: 8, burst_prob: 0.01, seed: id },
+//!             RecoverySpec::FoReCo {
+//!                 forecaster: forecaster.clone(),
+//!                 config: RecoveryConfig::for_model(&niryo_one()),
+//!             },
+//!         )
+//!     })
+//!     .collect();
+//!
+//! let registry = Service::spawn(ServiceConfig::with_shards(4)).run_to_completion(specs);
+//! let summary = registry.summary();
+//! assert_eq!(summary.sessions, 32);
+//! assert!(summary.rmse_mm.p99.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod inbox;
+pub mod metrics;
+pub mod protocol;
+pub mod service;
+pub mod session;
+pub mod shard;
+pub mod spec;
+
+pub use clock::{Pacing, VirtualClock, TICK_HZ, TICK_PERIOD};
+pub use inbox::{BoundedInbox, Offer};
+pub use metrics::{MetricsRegistry, PercentileSummary, ServiceSummary};
+pub use protocol::{ServiceError, SessionCommand, SessionEvent};
+pub use service::{Service, ServiceConfig, ServiceHandle};
+pub use session::{Advance, Session, SessionReport};
+pub use shard::shard_of;
+pub use spec::{ChannelSpec, RecoverySpec, SessionId, SessionSpec, SharedForecaster, SourceSpec};

@@ -1,0 +1,218 @@
+//! Service-wide aggregation: per-session reports → percentile summaries.
+//!
+//! The paper evaluates one loop at a time; a service hosting thousands
+//! cares about the *distribution* — the p99 operator experience, not the
+//! mean. [`MetricsRegistry`] collects completed [`SessionReport`]s and
+//! reduces them to [`ServiceSummary`]: summed recovery counters plus
+//! nearest-rank percentiles of the task-space error.
+
+use crate::session::SessionReport;
+use crate::spec::SessionId;
+use foreco_core::RecoveryStats;
+use serde::Serialize;
+
+/// Distribution summary of one scalar across sessions (nearest-rank
+/// percentiles).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PercentileSummary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl PercentileSummary {
+    /// Summarises a non-empty set of values.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "percentiles: no values");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Self {
+            mean,
+            p50: nearest_rank(&sorted, 0.50),
+            p90: nearest_rank(&sorted, 0.90),
+            p99: nearest_rank(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregate view over every completed session.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServiceSummary {
+    /// Completed sessions.
+    pub sessions: usize,
+    /// Total virtual ticks across sessions.
+    pub total_ticks: u64,
+    /// Total deadline misses across sessions.
+    pub total_misses: u64,
+    /// Total inbox-backpressure drops across sessions.
+    pub total_overflow_drops: u64,
+    /// Summed recovery-engine counters (FoReCo sessions).
+    pub recovery: RecoveryStats,
+    /// Distribution of per-session task-space RMSE (mm).
+    pub rmse_mm: PercentileSummary,
+    /// Distribution of per-session worst deviation (mm).
+    pub max_deviation_mm: PercentileSummary,
+}
+
+/// Collects per-session reports as sessions complete.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct MetricsRegistry {
+    reports: Vec<SessionReport>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed session.
+    pub fn record(&mut self, report: SessionReport) {
+        self.reports.push(report);
+    }
+
+    /// Completed sessions so far.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True when nothing completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// All reports, in completion order.
+    pub fn reports(&self) -> &[SessionReport] {
+        &self.reports
+    }
+
+    /// The report for one session, if it completed.
+    pub fn get(&self, id: SessionId) -> Option<&SessionReport> {
+        self.reports.iter().find(|r| r.id == id)
+    }
+
+    /// Reduces to the service-wide summary.
+    ///
+    /// # Panics
+    /// Panics when no session has completed (there is nothing to
+    /// summarise).
+    pub fn summary(&self) -> ServiceSummary {
+        assert!(!self.reports.is_empty(), "metrics: no completed sessions");
+        let mut recovery = RecoveryStats::default();
+        for stats in self.reports.iter().filter_map(|r| r.stats.as_ref()) {
+            recovery.ticks += stats.ticks;
+            recovery.delivered += stats.delivered;
+            recovery.forecasts += stats.forecasts;
+            recovery.warmup_repeats += stats.warmup_repeats;
+            recovery.horizon_holds += stats.horizon_holds;
+            recovery.late_patches += stats.late_patches;
+        }
+        let rmse: Vec<f64> = self.reports.iter().map(|r| r.rmse_mm).collect();
+        let worst: Vec<f64> = self.reports.iter().map(|r| r.max_deviation_mm).collect();
+        ServiceSummary {
+            sessions: self.reports.len(),
+            total_ticks: self.reports.iter().map(|r| r.ticks).sum(),
+            total_misses: self.reports.iter().map(|r| r.misses as u64).sum(),
+            total_overflow_drops: self.reports.iter().map(|r| r.overflow_drops).sum(),
+            recovery,
+            rmse_mm: PercentileSummary::of(&rmse),
+            max_deviation_mm: PercentileSummary::of(&worst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(id: u64, rmse: f64) -> SessionReport {
+        SessionReport {
+            id,
+            ticks: 100,
+            misses: 5,
+            overflow_drops: 1,
+            rmse_mm: rmse,
+            max_deviation_mm: rmse * 2.0,
+            stats: Some(RecoveryStats {
+                ticks: 100,
+                delivered: 95,
+                forecasts: 5,
+                ..Default::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let values: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let p = PercentileSummary::of(&values);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.max, 100.0);
+        assert!((p.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_of_singleton() {
+        let p = PercentileSummary::of(&[3.5]);
+        assert_eq!(p.p50, 3.5);
+        assert_eq!(p.p99, 3.5);
+        assert_eq!(p.max, 3.5);
+    }
+
+    #[test]
+    fn summary_sums_counters() {
+        let mut reg = MetricsRegistry::new();
+        for i in 0..10 {
+            reg.record(report(i, i as f64));
+        }
+        let s = reg.summary();
+        assert_eq!(s.sessions, 10);
+        assert_eq!(s.total_ticks, 1000);
+        assert_eq!(s.total_misses, 50);
+        assert_eq!(s.total_overflow_drops, 10);
+        assert_eq!(s.recovery.delivered, 950);
+        assert_eq!(s.recovery.forecasts, 50);
+        assert_eq!(s.rmse_mm.max, 9.0);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        for i in 0..20 {
+            a.record(report(i, i as f64));
+        }
+        for i in (0..20).rev() {
+            b.record(report(i, i as f64));
+        }
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let mut reg = MetricsRegistry::new();
+        reg.record(report(42, 1.0));
+        assert!(reg.get(42).is_some());
+        assert!(reg.get(7).is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! The command/event split between callers and shards.
+//!
+//! Callers talk to the service exclusively through [`SessionCommand`]s
+//! sent via a `ServiceHandle` (`crate::ServiceHandle`), and observe it
+//! exclusively through [`SessionEvent`]s drained from the service's
+//! event receiver — the controller-handle pattern: no shared state, two
+//! bounded `std::sync::mpsc` channels per shard, ownership of every
+//! session confined to exactly one shard thread.
+
+use crate::session::SessionReport;
+use crate::spec::{SessionId, SessionSpec};
+
+/// Instructions a caller sends into the service.
+#[derive(Debug, Clone)]
+pub enum SessionCommand {
+    /// Materialise a new session on its home shard (boxed: a spec is an
+    /// order of magnitude larger than the per-tick variants).
+    Open(Box<SessionSpec>),
+    /// Feed one operator command to a streamed session's inbox.
+    Inject {
+        /// Target session.
+        id: SessionId,
+        /// Joint-space command.
+        command: Vec<f64>,
+    },
+    /// Finish a streamed session: it drains its inbox, then reports.
+    Close {
+        /// Target session.
+        id: SessionId,
+    },
+    /// Stop the shard after finishing in-flight sessions' current tick.
+    Shutdown,
+}
+
+/// Observations the service emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// The session was materialised on shard `shard`.
+    Opened {
+        /// Session id.
+        id: SessionId,
+        /// Owning shard index.
+        shard: usize,
+    },
+    /// A command aimed at a full inbox was dropped — a loss event the
+    /// session's recovery engine will cover by forecasting.
+    CommandDropped {
+        /// Session id.
+        id: SessionId,
+        /// The session's virtual tick at drop time.
+        tick: u64,
+    },
+    /// A command addressed an unknown (or already completed) session.
+    UnknownSession {
+        /// The unmatched id.
+        id: SessionId,
+    },
+    /// An `Open` reused a live session's id and was rejected (the
+    /// running session is untouched).
+    DuplicateSession {
+        /// The contested id.
+        id: SessionId,
+    },
+    /// The session ran to completion.
+    Completed {
+        /// Session id.
+        id: SessionId,
+        /// Final per-session accounting.
+        report: SessionReport,
+    },
+    /// A shard exited its run loop (after `Shutdown` or handle drop).
+    ShardTerminated {
+        /// Shard index.
+        shard: usize,
+        /// Total session-ticks the shard advanced over its lifetime.
+        ticks_advanced: u64,
+    },
+}
+
+/// Why a handle operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The target shard's control channel is full (backpressure). The
+    /// command was dropped; for `Inject` this is a loss event.
+    Backpressure,
+    /// The target shard has terminated.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Backpressure => write!(f, "shard control channel full"),
+            ServiceError::Disconnected => write!(f, "shard terminated"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,455 @@
+//! The service: a shard pool behind a cloneable handle.
+//!
+//! [`Service::spawn`] starts `shards` worker threads, each owning a
+//! bounded control channel and a share of the sessions (placement by
+//! [`shard_of`]). Callers hold a [`ServiceHandle`] to open, feed, and
+//! close sessions, and drain [`SessionEvent`]s from the service to
+//! observe them. [`Service::run_to_completion`] is the batch
+//! convenience: open a set of scripted sessions, collect every report
+//! into a [`MetricsRegistry`], shut down.
+
+use crate::clock::{Pacing, TICK_PERIOD};
+use crate::metrics::MetricsRegistry;
+use crate::protocol::{ServiceError, SessionCommand, SessionEvent};
+use crate::shard::{shard_of, ShardWorker};
+use crate::spec::{SessionId, SessionSpec};
+use foreco_robot::{niryo_one, ArmModel};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (≥ 1). Session placement is shard-count-stable
+    /// only in the sense that results never depend on it.
+    pub shards: usize,
+    /// Bound of each shard's control channel.
+    pub control_capacity: usize,
+    /// Bound of the shared event channel.
+    pub event_capacity: usize,
+    /// Wall-clock pacing of the virtual 50 Hz clock.
+    pub pacing: Pacing,
+    /// Arm model every session drives.
+    pub model: ArmModel,
+    /// Virtual tick period `Ω` in seconds.
+    pub period: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            control_capacity: 1024,
+            event_capacity: 4096,
+            pacing: Pacing::Unpaced,
+            model: niryo_one(),
+            period: TICK_PERIOD,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Config with `shards` workers and defaults elsewhere.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Default::default()
+        }
+    }
+}
+
+/// Cloneable ingress: routes commands to the owning shard.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    controls: Vec<SyncSender<SessionCommand>>,
+}
+
+impl ServiceHandle {
+    fn route(&self, id: SessionId) -> &SyncSender<SessionCommand> {
+        &self.controls[shard_of(id, self.controls.len())]
+    }
+
+    /// Opens a session on its home shard (blocks if the shard's control
+    /// channel is full — opens are never dropped).
+    ///
+    /// Opening a large batch from the thread that also drains events
+    /// can deadlock once both bounded channels fill: the shard blocks
+    /// emitting events, stops draining control, and this send never
+    /// completes. For batches, drain events concurrently, use
+    /// [`Service::run_to_completion`] (which interleaves internally),
+    /// or use [`ServiceHandle::try_open`].
+    pub fn open(&self, spec: SessionSpec) -> Result<(), ServiceError> {
+        self.route(spec.id)
+            .send(SessionCommand::Open(Box::new(spec)))
+            .map_err(|_| ServiceError::Disconnected)
+    }
+
+    /// Non-blocking [`ServiceHandle::open`]: on shard backpressure the
+    /// spec comes back in `Err((Backpressure, spec))` so the caller can
+    /// drain events and retry without losing it.
+    #[allow(clippy::result_large_err)] // the spec rides back to the caller by design
+    pub fn try_open(&self, spec: SessionSpec) -> Result<(), (ServiceError, SessionSpec)> {
+        match self
+            .route(spec.id)
+            .try_send(SessionCommand::Open(Box::new(spec)))
+        {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(SessionCommand::Open(spec))) => {
+                Err((ServiceError::Backpressure, *spec))
+            }
+            Err(TrySendError::Disconnected(SessionCommand::Open(spec))) => {
+                Err((ServiceError::Disconnected, *spec))
+            }
+            Err(_) => unreachable!("try_open only sends Open"),
+        }
+    }
+
+    /// Feeds one operator command to a streamed session. Non-blocking:
+    /// a full control channel drops the command and reports
+    /// [`ServiceError::Backpressure`] — to the robot that drop is
+    /// indistinguishable from a network loss, and the session's engine
+    /// will forecast the gap.
+    pub fn inject(&self, id: SessionId, command: Vec<f64>) -> Result<(), ServiceError> {
+        match self
+            .route(id)
+            .try_send(SessionCommand::Inject { id, command })
+        {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(ServiceError::Backpressure),
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Disconnected),
+        }
+    }
+
+    /// Asks a streamed session to drain its inbox and report.
+    pub fn close(&self, id: SessionId) -> Result<(), ServiceError> {
+        self.route(id)
+            .send(SessionCommand::Close { id })
+            .map_err(|_| ServiceError::Disconnected)
+    }
+
+    /// Requests a graceful drain of every shard.
+    pub fn shutdown(&self) {
+        for control in &self.controls {
+            let _ = control.send(SessionCommand::Shutdown);
+        }
+    }
+}
+
+/// A running shard pool. Drop order matters only through
+/// [`Service::join`], which consumes the service after a shutdown.
+pub struct Service {
+    handle: ServiceHandle,
+    events: Receiver<SessionEvent>,
+    workers: Vec<JoinHandle<u64>>,
+}
+
+impl Service {
+    /// Spawns the shard pool.
+    ///
+    /// # Panics
+    /// Panics if `config.shards` is zero.
+    pub fn spawn(config: ServiceConfig) -> Self {
+        assert!(config.shards >= 1, "service: need at least one shard");
+        let (event_tx, event_rx) = sync_channel(config.event_capacity);
+        let mut controls = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for index in 0..config.shards {
+            let (control_tx, control_rx) = sync_channel(config.control_capacity);
+            let worker = ShardWorker {
+                index,
+                control: control_rx,
+                events: event_tx.clone(),
+                model: config.model.clone(),
+                pacing: config.pacing,
+                period: config.period,
+            };
+            controls.push(control_tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("foreco-shard-{index}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard thread"),
+            );
+        }
+        Self {
+            handle: ServiceHandle { controls },
+            events: event_rx,
+            workers,
+        }
+    }
+
+    /// A cloneable ingress handle.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Blocking receive of the next service event.
+    pub fn next_event(&self) -> Option<SessionEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Shuts down and joins every shard, returning the total
+    /// session-ticks each advanced. Buffered events are discarded.
+    pub fn join(self) -> Vec<u64> {
+        self.handle.shutdown();
+        drop(self.handle);
+        drop(self.events);
+        self.workers
+            .into_iter()
+            .map(|w| w.join().expect("shard thread panicked"))
+            .collect()
+    }
+
+    /// Batch driver: opens every spec, waits for all of them to
+    /// complete, and returns the collected registry. Scripted sessions
+    /// complete on their own; streamed specs are closed immediately (so
+    /// they report after draining whatever was injected beforehand —
+    /// use the handle/event API directly for live streaming).
+    ///
+    /// Events are drained *while* opening, so the batch size is not
+    /// limited by the bounded control/event channels: with both full,
+    /// a blocking open would deadlock against shards blocked on event
+    /// sends. Opens therefore use `try_send` and fall back to draining.
+    ///
+    /// # Panics
+    /// Panics if a shard dies before every session reports, or if two
+    /// specs share an id (the second could never report).
+    pub fn run_to_completion(self, specs: Vec<SessionSpec>) -> MetricsRegistry {
+        let expected = specs.len();
+        {
+            let mut ids: Vec<SessionId> = specs.iter().map(|s| s.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(
+                ids.len(),
+                expected,
+                "run_to_completion: duplicate session ids"
+            );
+        }
+        let mut registry = MetricsRegistry::new();
+        for spec in specs {
+            let streamed = matches!(spec.source, crate::spec::SourceSpec::Streamed { .. });
+            let id = spec.id;
+            let control = self.handle.route(id);
+            let mut pending = Box::new(spec);
+            loop {
+                match control.try_send(SessionCommand::Open(pending)) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(SessionCommand::Open(spec))) => {
+                        // Shard backpressure: free event capacity so the
+                        // shard can make progress, then retry.
+                        pending = spec;
+                        self.drain_into(&mut registry, true);
+                    }
+                    Err(_) => panic!("shard terminated while opening sessions"),
+                }
+            }
+            if streamed {
+                // Close may hit the same backpressure; same treatment.
+                loop {
+                    match control.try_send(SessionCommand::Close { id }) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(_)) => self.drain_into(&mut registry, true),
+                        Err(_) => panic!("shard terminated while closing sessions"),
+                    }
+                }
+            }
+            self.drain_into(&mut registry, false);
+        }
+        while registry.len() < expected {
+            match self.next_event() {
+                Some(SessionEvent::Completed { report, .. }) => registry.record(report),
+                Some(_) => {}
+                None => panic!("service terminated with sessions outstanding"),
+            }
+        }
+        self.join();
+        registry
+    }
+
+    /// Drains buffered events into the registry without blocking; with
+    /// `wait`, blocks briefly first so a backpressure retry loop is not
+    /// a busy spin.
+    fn drain_into(&self, registry: &mut MetricsRegistry, wait: bool) {
+        if wait {
+            if let Ok(SessionEvent::Completed { report, .. }) = self
+                .events
+                .recv_timeout(std::time::Duration::from_millis(1))
+            {
+                registry.record(report);
+            }
+        }
+        while let Ok(event) = self.events.try_recv() {
+            if let SessionEvent::Completed { report, .. } = event {
+                registry.record(report);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChannelSpec, RecoverySpec, SourceSpec};
+    use foreco_teleop::{Dataset, Skill};
+    use std::sync::Arc;
+
+    fn specs(n: u64) -> Vec<SessionSpec> {
+        let dataset = Arc::new(Dataset::record(Skill::Inexperienced, 1, 0.02, 99).commands);
+        (0..n)
+            .map(|id| {
+                SessionSpec::new(
+                    id,
+                    SourceSpec::Replayed(Arc::clone(&dataset)),
+                    ChannelSpec::ControlledLoss {
+                        burst_len: 5,
+                        burst_prob: 0.01,
+                        seed: id,
+                    },
+                    RecoverySpec::Baseline,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_run_collects_every_session() {
+        let service = Service::spawn(ServiceConfig::with_shards(3));
+        let registry = service.run_to_completion(specs(16));
+        assert_eq!(registry.len(), 16);
+        for id in 0..16 {
+            assert!(registry.get(id).is_some(), "missing session {id}");
+        }
+    }
+
+    #[test]
+    fn batch_run_survives_tiny_channel_bounds() {
+        // Regression: with bounded channels far smaller than the batch,
+        // a blocking open loop deadlocks against shards blocked on
+        // event sends. run_to_completion must interleave draining.
+        let config = ServiceConfig {
+            shards: 2,
+            control_capacity: 2,
+            event_capacity: 2,
+            ..Default::default()
+        };
+        let service = Service::spawn(config);
+        let registry = service.run_to_completion(specs(64));
+        assert_eq!(registry.len(), 64);
+    }
+
+    #[test]
+    fn duplicate_open_rejected_without_killing_live_session() {
+        let service = Service::spawn(ServiceConfig::with_shards(1));
+        let handle = service.handle();
+        let pair = specs(2);
+        let mut duplicate = pair[0].clone();
+        duplicate.id = pair[1].id; // collide with the second spec's id
+        for spec in pair {
+            handle.open(spec).unwrap();
+        }
+        handle.open(duplicate).unwrap();
+        let (mut completed, mut duplicates) = (0, 0);
+        while completed < 2 {
+            match service.next_event().expect("service alive") {
+                SessionEvent::Completed { .. } => completed += 1,
+                SessionEvent::DuplicateSession { id } => {
+                    assert_eq!(id, 1);
+                    duplicates += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(
+            duplicates, 1,
+            "duplicate open must be rejected, not absorbed"
+        );
+        service.join();
+    }
+
+    #[test]
+    fn try_open_returns_spec_on_backpressure() {
+        // One shard, capacity-1 control channel, and no shard progress
+        // guaranteed between sends: fill the channel until Backpressure
+        // comes back, and verify the spec survives the round trip.
+        let config = ServiceConfig {
+            shards: 1,
+            control_capacity: 1,
+            ..Default::default()
+        };
+        let service = Service::spawn(config);
+        let handle = service.handle();
+        let mut bounced = None;
+        for spec in specs(64) {
+            if let Err((ServiceError::Backpressure, spec)) = handle.try_open(spec) {
+                bounced = Some(spec);
+                break;
+            }
+        }
+        let bounced = bounced.expect("64 rapid opens at capacity 1 must bounce at least once");
+        handle.open(bounced).expect("bounced spec still usable");
+        service.join();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate session ids")]
+    fn batch_run_rejects_duplicate_ids_upfront() {
+        let mut batch = specs(4);
+        batch[3].id = batch[0].id;
+        Service::spawn(ServiceConfig::with_shards(2)).run_to_completion(batch);
+    }
+
+    #[test]
+    fn events_report_opens_and_completions() {
+        let service = Service::spawn(ServiceConfig::with_shards(2));
+        let handle = service.handle();
+        for spec in specs(4) {
+            handle.open(spec).unwrap();
+        }
+        let mut opened = 0;
+        let mut completed = 0;
+        while completed < 4 {
+            match service.next_event().expect("service alive") {
+                SessionEvent::Opened { .. } => opened += 1,
+                SessionEvent::Completed { .. } => completed += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(opened, 4);
+        service.join();
+    }
+
+    #[test]
+    fn unknown_session_reported() {
+        let service = Service::spawn(ServiceConfig::with_shards(1));
+        let handle = service.handle();
+        handle.close(123).unwrap();
+        match service.next_event().expect("event") {
+            SessionEvent::UnknownSession { id } => assert_eq!(id, 123),
+            other => panic!("expected UnknownSession, got {other:?}"),
+        }
+        service.join();
+    }
+
+    #[test]
+    fn join_returns_shard_tick_totals() {
+        let service = Service::spawn(ServiceConfig::with_shards(2));
+        let registry = {
+            let handle = service.handle();
+            for spec in specs(6) {
+                handle.open(spec).unwrap();
+            }
+            let mut registry = MetricsRegistry::new();
+            while registry.len() < 6 {
+                if let Some(SessionEvent::Completed { report, .. }) = service.next_event() {
+                    registry.record(report);
+                }
+            }
+            registry
+        };
+        let ticks = service.join();
+        assert_eq!(ticks.len(), 2);
+        let expected: u64 = registry.reports().iter().map(|r| r.ticks).sum();
+        assert_eq!(ticks.iter().sum::<u64>(), expected);
+    }
+}

@@ -1,0 +1,500 @@
+//! One hosted recovery loop: operator source → impairment → recovery →
+//! PID robot, advanced one virtual tick at a time.
+//!
+//! [`Session::advance`] replicates the offline
+//! `foreco_core::run_closed_loop` body *operation for operation* —
+//! including the order of floating-point accumulation in the error
+//! metrics — so a session hosted on any shard of the service produces
+//! **bit-identical** per-session results to a solo closed-loop run. The
+//! shard-invariance integration test pins that contract.
+//!
+//! Differences from the offline loop are purely structural:
+//!
+//! - the reference (perfect-channel) driver advances in lockstep with
+//!   the executed driver instead of in a separate pass — both drivers
+//!   are deterministic and independent, so their trajectories are
+//!   unchanged;
+//! - task-space error accumulates incrementally (same summation order
+//!   as `trajectory_rmse_mm`) instead of over stored trajectories, and
+//!   both drivers run with trail recording off — a session is O(1) in
+//!   memory regardless of how long it runs, which is what lets one
+//!   process hold thousands of arms;
+//! - commands may come from a live bounded inbox instead of a recorded
+//!   script, in which case an empty inbox at tick time *is* the miss.
+
+use crate::clock::VirtualClock;
+use crate::inbox::{BoundedInbox, Offer};
+use crate::spec::{SessionId, SessionSpec, SourceSpec};
+use foreco_core::channel::{Arrival, Channel};
+use foreco_core::{RecoveryEngine, RecoveryStats};
+use foreco_robot::{ArmModel, RobotDriver};
+use foreco_teleop::Dataset;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// How many fates a streamed session draws from its channel per batch.
+/// Chunked draws keep burst structure intact within a batch while
+/// avoiding unbounded pre-draw for endless streams.
+const FATE_CHUNK: usize = 256;
+
+/// Final accounting for one completed session.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SessionReport {
+    /// Session id.
+    pub id: SessionId,
+    /// Virtual ticks executed.
+    pub ticks: u64,
+    /// Commands that missed their deadline (lost, late, or never sent).
+    pub misses: usize,
+    /// Commands dropped by inbox backpressure (streamed sessions).
+    pub overflow_drops: u64,
+    /// Task-space RMSE (mm) between executed and defined trajectories.
+    pub rmse_mm: f64,
+    /// Worst instantaneous deviation (mm).
+    pub max_deviation_mm: f64,
+    /// Recovery-engine counters (FoReCo sessions only).
+    pub stats: Option<RecoveryStats>,
+}
+
+/// What one call to [`Session::advance`] did.
+#[derive(Debug)]
+pub enum Advance {
+    /// The session consumed one virtual tick and continues.
+    Ticked,
+    /// The session finished; it must be removed from its shard.
+    Completed(Box<SessionReport>),
+}
+
+enum Source {
+    Scripted {
+        commands: Arc<Vec<Vec<f64>>>,
+        fates: Vec<Arrival>,
+    },
+    Streamed {
+        inbox: BoundedInbox,
+        channel: Box<dyn Channel + Send>,
+        fate_buf: std::collections::VecDeque<Arrival>,
+        closing: bool,
+    },
+}
+
+/// A hosted recovery loop (see module docs).
+pub struct Session {
+    id: SessionId,
+    source: Source,
+    engine: Option<RecoveryEngine>,
+    reference: RobotDriver,
+    executed: RobotDriver,
+    /// Late commands waiting to (maybe) patch FoReCo's history:
+    /// (arrival time, tick index, payload) — §VII-C.
+    pending_late: Vec<(f64, usize, Vec<f64>)>,
+    clock: VirtualClock,
+    omega: f64,
+    misses: usize,
+    /// Running sum of squared task-space deviation (mm²), accumulated in
+    /// `trajectory_rmse_mm` order.
+    acc_sq_mm: f64,
+    worst_mm: f64,
+}
+
+impl Session {
+    /// Materialises a session from its spec on the given arm model.
+    ///
+    /// # Panics
+    /// Panics if a recorded/replayed source has no commands, or if the
+    /// engine dimensionality mismatches the arm.
+    pub fn open(spec: &SessionSpec, model: &ArmModel) -> Self {
+        let omega = spec.driver.period;
+        let (source, start) = match &spec.source {
+            SourceSpec::Recorded {
+                skill,
+                cycles,
+                seed,
+            } => {
+                let commands = Arc::new(Dataset::record(*skill, *cycles, omega, *seed).commands);
+                Self::scripted_source(commands, spec, model)
+            }
+            SourceSpec::Replayed(commands) => {
+                Self::scripted_source(Arc::clone(commands), spec, model)
+            }
+            SourceSpec::Streamed {
+                initial,
+                inbox_capacity,
+            } => {
+                let start = model.clamp(initial);
+                (
+                    Source::Streamed {
+                        inbox: BoundedInbox::new(*inbox_capacity),
+                        channel: spec.channel.build(),
+                        fate_buf: std::collections::VecDeque::new(),
+                        closing: false,
+                    },
+                    start,
+                )
+            }
+        };
+        let mut reference = RobotDriver::new(model.clone(), spec.driver, &start);
+        let mut executed = RobotDriver::new(model.clone(), spec.driver, &start);
+        reference.set_recording(false);
+        executed.set_recording(false);
+        Self {
+            id: spec.id,
+            source,
+            engine: spec.recovery.build(start),
+            reference,
+            executed,
+            pending_late: Vec::new(),
+            clock: VirtualClock::new(omega),
+            omega,
+            misses: 0,
+            acc_sq_mm: 0.0,
+            worst_mm: 0.0,
+        }
+    }
+
+    fn scripted_source(
+        commands: Arc<Vec<Vec<f64>>>,
+        spec: &SessionSpec,
+        model: &ArmModel,
+    ) -> (Source, Vec<f64>) {
+        assert!(!commands.is_empty(), "session: no commands");
+        let fates = spec.channel.build().fates(commands.len());
+        let start = model.clamp(&commands[0]);
+        (Source::Scripted { commands, fates }, start)
+    }
+
+    /// Session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Current virtual tick.
+    pub fn tick(&self) -> u64 {
+        self.clock.tick()
+    }
+
+    /// Offers a live command to a streamed session's inbox. Returns the
+    /// backpressure outcome; scripted sessions always report `Dropped`.
+    pub fn offer(&mut self, command: Vec<f64>) -> Offer {
+        match &mut self.source {
+            Source::Streamed { inbox, .. } => inbox.offer(command),
+            Source::Scripted { .. } => Offer::Dropped,
+        }
+    }
+
+    /// Marks a streamed session closing: it drains its inbox and then
+    /// completes. No-op for scripted sessions (they end with the script).
+    pub fn close(&mut self) {
+        if let Source::Streamed { closing, .. } = &mut self.source {
+            *closing = true;
+        }
+    }
+
+    /// Advances one virtual tick.
+    pub fn advance(&mut self) -> Advance {
+        // What does this tick deliver? `None` = deadline miss.
+        let (delivered, fate, exhausted) = match &mut self.source {
+            Source::Scripted { commands, fates } => {
+                let i = self.clock.tick() as usize;
+                if i >= commands.len() {
+                    return Advance::Completed(Box::new(self.report()));
+                }
+                (Some(commands[i].clone()), fates[i], false)
+            }
+            Source::Streamed {
+                inbox,
+                channel,
+                fate_buf,
+                closing,
+            } => {
+                match inbox.take() {
+                    Some(cmd) => {
+                        if fate_buf.is_empty() {
+                            fate_buf.extend(channel.fates(FATE_CHUNK));
+                        }
+                        let fate = fate_buf.pop_front().expect("chunk refilled above");
+                        (Some(cmd), fate, false)
+                    }
+                    // An empty inbox at tick time is itself the miss: the
+                    // operator (or the backpressure drop) left this slot
+                    // unfilled.
+                    None => (None, Arrival::Lost, *closing),
+                }
+            }
+        };
+        if exhausted {
+            return Advance::Completed(Box::new(self.report()));
+        }
+
+        let i = self.clock.tick() as usize;
+        let now = (i as f64 + 1.0) * self.omega; // driver consumption instant
+
+        // Reference driver: the defined trajectory (perfect channel).
+        // Streamed misses have no command to define with — hold, like
+        // the executed side's baseline.
+        let ref_pos = {
+            let sample = self.reference.tick(delivered.as_deref());
+            sample.position_mm
+        };
+
+        // Executed driver: impairment + recovery, mirroring
+        // `run_closed_loop` exactly.
+        let exec_pos = match &mut self.engine {
+            None => {
+                // Baseline: repeat-last on every miss.
+                let sample = match (&delivered, fate.on_time()) {
+                    (Some(cmd), true) => self.executed.tick(Some(cmd)),
+                    _ => {
+                        self.misses += 1;
+                        self.executed.tick(None)
+                    }
+                };
+                sample.position_mm
+            }
+            Some(engine) => {
+                // Deliver late commands that have arrived by now (§VII-C).
+                pending_late_drain(&mut self.pending_late, engine, now, i);
+                let outcome = match (delivered, fate.on_time()) {
+                    (Some(cmd), true) => engine.tick(Some(cmd)),
+                    (delivered, _) => {
+                        self.misses += 1;
+                        if let (Some(cmd), Arrival::Late(delay)) = (delivered, fate) {
+                            self.pending_late
+                                .push((i as f64 * self.omega + delay, i, cmd));
+                        }
+                        engine.tick(None)
+                    }
+                };
+                self.executed.tick(Some(&outcome.command)).position_mm
+            }
+        };
+
+        // Task-space error, accumulated in `trajectory_rmse_mm` /
+        // `max_deviation_mm` operation order so the final report is
+        // bit-identical to the offline metrics.
+        self.acc_sq_mm += (exec_pos[0] - ref_pos[0]).powi(2)
+            + (exec_pos[1] - ref_pos[1]).powi(2)
+            + (exec_pos[2] - ref_pos[2]).powi(2);
+        let d = ((exec_pos[0] - ref_pos[0]).powi(2)
+            + (exec_pos[1] - ref_pos[1]).powi(2)
+            + (exec_pos[2] - ref_pos[2]).powi(2))
+        .sqrt();
+        self.worst_mm = self.worst_mm.max(d);
+
+        self.clock.advance();
+        Advance::Ticked
+    }
+
+    fn report(&self) -> SessionReport {
+        let n = self.clock.tick();
+        let overflow_drops = match &self.source {
+            Source::Streamed { inbox, .. } => inbox.dropped(),
+            Source::Scripted { .. } => 0,
+        };
+        SessionReport {
+            id: self.id,
+            ticks: n,
+            misses: self.misses,
+            overflow_drops,
+            rmse_mm: if n == 0 {
+                0.0
+            } else {
+                (self.acc_sq_mm / n as f64).sqrt()
+            },
+            max_deviation_mm: self.worst_mm,
+            stats: self.engine.as_ref().map(RecoveryEngine::stats),
+        }
+    }
+
+    /// The arm model this session drives.
+    pub fn model(&self) -> &ArmModel {
+        self.executed.model()
+    }
+}
+
+/// Mirrors the `pending_late.retain` block of `run_closed_loop`.
+fn pending_late_drain(
+    pending: &mut Vec<(f64, usize, Vec<f64>)>,
+    engine: &mut RecoveryEngine,
+    now: f64,
+    i: usize,
+) {
+    pending.retain(|(arrives, idx, payload)| {
+        if *arrives <= now {
+            let age = i.saturating_sub(*idx);
+            engine.late_command(payload.clone(), age);
+            false
+        } else {
+            true
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChannelSpec, RecoverySpec, SessionSpec, SharedForecaster, SourceSpec};
+    use foreco_core::{run_closed_loop, RecoveryConfig, RecoveryEngine, RecoveryMode};
+    use foreco_forecast::{MovingAverage, Var};
+    use foreco_robot::niryo_one;
+    use foreco_teleop::{Dataset, Skill};
+
+    fn trained_var() -> Var {
+        let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+        Var::fit_differenced(&train, 5, 1e-6).unwrap()
+    }
+
+    #[test]
+    fn scripted_session_matches_solo_closed_loop() {
+        let model = niryo_one();
+        let var = trained_var();
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 321);
+        let channel = ChannelSpec::ControlledLoss {
+            burst_len: 8,
+            burst_prob: 0.01,
+            seed: 5,
+        };
+        let spec = SessionSpec::new(
+            9,
+            SourceSpec::replay(&test),
+            channel.clone(),
+            RecoverySpec::FoReCo {
+                forecaster: SharedForecaster::new(var.clone()),
+                config: RecoveryConfig::for_model(&model),
+            },
+        );
+        let mut session = Session::open(&spec, &model);
+        let report = loop {
+            if let Advance::Completed(report) = session.advance() {
+                break report;
+            }
+        };
+
+        let fates = channel.build().fates(test.commands.len());
+        let engine = RecoveryEngine::new(
+            Box::new(var),
+            RecoveryConfig::for_model(&model),
+            model.clamp(&test.commands[0]),
+        );
+        let solo = run_closed_loop(
+            &model,
+            &test.commands,
+            &fates,
+            RecoveryMode::FoReCo(engine),
+            spec.driver,
+        );
+        assert_eq!(report.ticks as usize, test.commands.len());
+        assert_eq!(report.misses, solo.misses);
+        assert_eq!(report.stats, solo.stats);
+        assert_eq!(
+            report.rmse_mm.to_bits(),
+            solo.rmse_mm.to_bits(),
+            "rmse must be bit-identical"
+        );
+        assert_eq!(
+            report.max_deviation_mm.to_bits(),
+            solo.max_deviation_mm.to_bits(),
+            "max deviation must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn baseline_session_matches_solo_closed_loop() {
+        let model = niryo_one();
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 654);
+        let channel = ChannelSpec::ControlledLoss {
+            burst_len: 10,
+            burst_prob: 0.02,
+            seed: 3,
+        };
+        let spec = SessionSpec::new(
+            1,
+            SourceSpec::replay(&test),
+            channel.clone(),
+            RecoverySpec::Baseline,
+        );
+        let mut session = Session::open(&spec, &model);
+        let report = loop {
+            if let Advance::Completed(report) = session.advance() {
+                break report;
+            }
+        };
+        let fates = channel.build().fates(test.commands.len());
+        let solo = run_closed_loop(
+            &model,
+            &test.commands,
+            &fates,
+            RecoveryMode::Baseline,
+            spec.driver,
+        );
+        assert_eq!(report.misses, solo.misses);
+        assert_eq!(report.rmse_mm.to_bits(), solo.rmse_mm.to_bits());
+        assert!(report.stats.is_none());
+    }
+
+    #[test]
+    fn streamed_session_covers_missing_ticks() {
+        let model = niryo_one();
+        let home = model.home();
+        let spec = SessionSpec::new(
+            2,
+            SourceSpec::Streamed {
+                initial: home.clone(),
+                inbox_capacity: 4,
+            },
+            ChannelSpec::Ideal,
+            RecoverySpec::FoReCo {
+                forecaster: SharedForecaster::new(MovingAverage::new(2, home.len())),
+                config: RecoveryConfig::for_model(&model),
+            },
+        );
+        let mut session = Session::open(&spec, &model);
+        // Feed two commands, then starve it for three ticks.
+        session.offer(home.clone());
+        session.offer(home.clone());
+        for _ in 0..5 {
+            assert!(matches!(session.advance(), Advance::Ticked));
+        }
+        session.close();
+        let report = match session.advance() {
+            Advance::Completed(report) => report,
+            Advance::Ticked => panic!("closing session with empty inbox must complete"),
+        };
+        assert_eq!(report.ticks, 5);
+        assert_eq!(report.misses, 3);
+        let stats = report.stats.unwrap();
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(
+            stats.forecasts + stats.warmup_repeats + stats.horizon_holds,
+            3,
+            "every starved tick covered by the engine"
+        );
+    }
+
+    #[test]
+    fn streamed_overflow_counts_drops() {
+        let model = niryo_one();
+        let home = model.home();
+        let spec = SessionSpec::new(
+            3,
+            SourceSpec::Streamed {
+                initial: home.clone(),
+                inbox_capacity: 2,
+            },
+            ChannelSpec::Ideal,
+            RecoverySpec::Baseline,
+        );
+        let mut session = Session::open(&spec, &model);
+        assert_eq!(session.offer(home.clone()), Offer::Accepted);
+        assert_eq!(session.offer(home.clone()), Offer::Accepted);
+        assert_eq!(session.offer(home.clone()), Offer::Dropped);
+        session.close();
+        let report = loop {
+            if let Advance::Completed(report) = session.advance() {
+                break report;
+            }
+        };
+        assert_eq!(report.overflow_drops, 1);
+        assert_eq!(report.ticks, 2);
+    }
+}

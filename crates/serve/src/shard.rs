@@ -1,0 +1,194 @@
+//! A shard: one worker thread owning a disjoint set of sessions.
+//!
+//! Each shard holds its sessions in a `BTreeMap` and advances them in
+//! ascending-id order, one virtual tick per pass. Determinism falls out
+//! of ownership: a session's entire state lives on exactly one shard,
+//! sessions never interact, and each session's inputs (script, channel
+//! RNG, engine) are self-contained — so the assignment of sessions to
+//! shards, the number of shards, and thread scheduling cannot change any
+//! session's trajectory. The in-order pass merely makes per-shard
+//! accounting reproducible too.
+//!
+//! Control flow per loop iteration: drain the control inbox
+//! (non-blocking), advance every live session one tick, emit events for
+//! completions/drops, then let the pacer decide whether to sleep
+//! (real-time mode) or immediately continue. An idle shard parks on a
+//! blocking `recv` so it costs nothing between sessions.
+
+use crate::clock::{Pacer, Pacing};
+use crate::inbox::Offer;
+use crate::protocol::{SessionCommand, SessionEvent};
+use crate::session::{Advance, Session};
+use foreco_robot::ArmModel;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+
+/// Everything a shard worker needs at spawn time.
+pub(crate) struct ShardWorker {
+    pub(crate) index: usize,
+    pub(crate) control: Receiver<SessionCommand>,
+    pub(crate) events: SyncSender<SessionEvent>,
+    pub(crate) model: ArmModel,
+    pub(crate) pacing: Pacing,
+    pub(crate) period: f64,
+}
+
+impl ShardWorker {
+    /// The shard main loop. Returns total session-ticks advanced.
+    pub(crate) fn run(self) -> u64 {
+        let ShardWorker {
+            index,
+            control,
+            events,
+            model,
+            pacing,
+            period,
+        } = self;
+        let mut sessions: BTreeMap<u64, Session> = BTreeMap::new();
+        let mut pacer = Pacer::new(pacing, period);
+        let mut ticks_advanced: u64 = 0;
+        let mut shutdown = false;
+        let mut idle = true;
+        'run: loop {
+            // Drain control without blocking while sessions are live;
+            // park when idle.
+            loop {
+                let command = if sessions.is_empty() && !shutdown {
+                    match control.recv() {
+                        Ok(c) => c,
+                        Err(_) => break 'run, // all handles dropped
+                    }
+                } else {
+                    match control.try_recv() {
+                        Ok(c) => c,
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            shutdown = true;
+                            break;
+                        }
+                    }
+                };
+                match command {
+                    SessionCommand::Open(spec) => {
+                        let id = spec.id;
+                        if let std::collections::btree_map::Entry::Vacant(slot) = sessions.entry(id)
+                        {
+                            slot.insert(Session::open(&spec, &model));
+                            let _ = events.send(SessionEvent::Opened { id, shard: index });
+                        } else {
+                            // Never destroy a live session: reject the
+                            // replacement and say so.
+                            let _ = events.send(SessionEvent::DuplicateSession { id });
+                        }
+                    }
+                    SessionCommand::Inject { id, command } => match sessions.get_mut(&id) {
+                        Some(session) => {
+                            if session.offer(command) == Offer::Dropped {
+                                let _ = events.send(SessionEvent::CommandDropped {
+                                    id,
+                                    tick: session.tick(),
+                                });
+                            }
+                        }
+                        None => {
+                            let _ = events.send(SessionEvent::UnknownSession { id });
+                        }
+                    },
+                    SessionCommand::Close { id } => match sessions.get_mut(&id) {
+                        Some(session) => session.close(),
+                        None => {
+                            let _ = events.send(SessionEvent::UnknownSession { id });
+                        }
+                    },
+                    SessionCommand::Shutdown => shutdown = true,
+                }
+            }
+            if shutdown && sessions.is_empty() {
+                break;
+            }
+            if sessions.is_empty() {
+                idle = true;
+                continue;
+            }
+            if idle {
+                // Coming back from an idle stretch: re-anchor real-time
+                // pacing so the first live tick is not a catch-up burst.
+                pacer.resync();
+                idle = false;
+            }
+
+            // One virtual tick for every session, ascending id.
+            let mut completed: Vec<u64> = Vec::new();
+            for (id, session) in sessions.iter_mut() {
+                match session.advance() {
+                    Advance::Ticked => ticks_advanced += 1,
+                    Advance::Completed(report) => {
+                        completed.push(*id);
+                        let _ = events.send(SessionEvent::Completed {
+                            id: *id,
+                            report: *report,
+                        });
+                    }
+                }
+            }
+            for id in completed {
+                sessions.remove(&id);
+            }
+            pacer.tick_complete();
+
+            // A shutdown request finishes in-flight scripted sessions
+            // only if they complete naturally; streamed sessions are
+            // closed so they drain and report rather than hang.
+            if shutdown {
+                for session in sessions.values_mut() {
+                    session.close();
+                }
+            }
+        }
+        let _ = events.send(SessionEvent::ShardTerminated {
+            shard: index,
+            ticks_advanced,
+        });
+        ticks_advanced
+    }
+}
+
+/// Deterministic session→shard placement: SplitMix64 finalizer over the
+/// id, reduced modulo the shard count. Stable across runs, processes,
+/// and shard pools of equal size.
+pub fn shard_of(id: u64, shards: usize) -> usize {
+    assert!(shards >= 1, "shard_of: need at least one shard");
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 8, 16] {
+            for id in 0..100u64 {
+                let s = shard_of(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(id, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn placement_spreads_sessions() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for id in 0..1000u64 {
+            counts[shard_of(id, shards)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 50, "shard {i} underloaded: {c}/1000");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Declarative session blueprints.
+//!
+//! A [`SessionSpec`] is everything the service needs to materialise a
+//! recovery loop inside a shard thread: where commands come from, what
+//! the network does to them, and how misses are covered. Specs are plain
+//! data (plus a shared trained forecaster) so they can cross the control
+//! channel into whichever shard the session hashes to.
+//!
+//! The expensive part of a FoReCo loop is the *trained* forecaster, so
+//! specs don't train — they carry a [`SharedForecaster`], an `Arc` around
+//! any trained [`Forecaster`]. Forecasting is `&self`, which is why one
+//! VAR fitted once can serve thousands of concurrent sessions without
+//! copies (the deployment shape of the paper's edge cloud, §V).
+
+use foreco_core::channel::{Channel, ControlledLossChannel, IdealChannel, JammedChannel};
+use foreco_core::{RecoveryConfig, RecoveryEngine};
+use foreco_forecast::Forecaster;
+use foreco_robot::DriverConfig;
+use foreco_teleop::{Dataset, Skill};
+use foreco_wifi::LinkConfig;
+use std::sync::Arc;
+
+/// Service-wide session identifier (also the shard-hash input).
+pub type SessionId = u64;
+
+/// A trained forecaster shared across sessions and shards.
+#[derive(Clone)]
+pub struct SharedForecaster {
+    inner: Arc<dyn Forecaster>,
+}
+
+impl SharedForecaster {
+    /// Wraps a trained forecaster for sharing.
+    pub fn new<F: Forecaster + 'static>(forecaster: F) -> Self {
+        Self {
+            inner: Arc::new(forecaster),
+        }
+    }
+
+    /// The underlying forecaster's display name.
+    pub fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+impl std::fmt::Debug for SharedForecaster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedForecaster")
+            .field("name", &self.inner.name())
+            .finish()
+    }
+}
+
+impl Forecaster for SharedForecaster {
+    fn forecast(&self, history: &[Vec<f64>]) -> Vec<f64> {
+        self.inner.forecast(history)
+    }
+
+    fn history_len(&self) -> usize {
+        self.inner.history_len()
+    }
+
+    fn dims(&self) -> usize {
+        self.inner.dims()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Where a session's operator commands come from.
+#[derive(Debug, Clone)]
+pub enum SourceSpec {
+    /// Record a pick-and-place dataset at session open (each session gets
+    /// its own operator RNG stream).
+    Recorded {
+        /// Operator skill profile.
+        skill: Skill,
+        /// Pick-and-place repetitions.
+        cycles: usize,
+        /// Operator RNG seed.
+        seed: u64,
+    },
+    /// Replay a pre-recorded command list, shared across sessions
+    /// (thousands of sessions can replay one dataset with zero copies).
+    Replayed(Arc<Vec<Vec<f64>>>),
+    /// Commands arrive live through [`ServiceHandle::inject`]
+    /// (`crate::ServiceHandle::inject`) into the session's bounded inbox;
+    /// `initial` is the agreed start pose.
+    ///
+    /// A streamed session counts every tick with an empty inbox as a
+    /// deadline miss, so live operation needs the service's virtual
+    /// clock tied to wall time (`Pacing::RealTime` in the
+    /// `ServiceConfig`) — under the default unpaced clock the shard
+    /// spins virtual ticks as fast as the CPU allows and a real
+    /// operator looks permanently silent. Unpaced streamed sessions
+    /// are for tests that pre-fill the inbox.
+    Streamed {
+        /// Start pose both ends agree on before teleoperation.
+        initial: Vec<f64>,
+        /// Inbox capacity; overflow drops commands (loss events).
+        inbox_capacity: usize,
+    },
+}
+
+impl SourceSpec {
+    /// Convenience: replay an already-recorded dataset.
+    pub fn replay(dataset: &Dataset) -> Self {
+        SourceSpec::Replayed(Arc::new(dataset.commands.clone()))
+    }
+}
+
+/// The impairment model between operator and robot.
+#[derive(Debug, Clone)]
+pub enum ChannelSpec {
+    /// Perfect network: every command on time.
+    Ideal,
+    /// Bursts of exactly `burst_len` consecutive losses, each command
+    /// starting one with probability `burst_prob` (Fig. 9 setup).
+    ControlledLoss {
+        /// Consecutive losses per burst.
+        burst_len: usize,
+        /// Per-command burst start probability.
+        burst_prob: f64,
+        /// Channel RNG seed.
+        seed: u64,
+    },
+    /// The full 802.11-with-interference link simulation (Figs. 8, 10).
+    Jammed {
+        /// Link and interference configuration.
+        link: LinkConfig,
+        /// Deadline tolerance `τ` in seconds.
+        tolerance: f64,
+        /// Link RNG seed.
+        seed: u64,
+    },
+}
+
+impl ChannelSpec {
+    /// Materialises the channel.
+    pub(crate) fn build(&self) -> Box<dyn Channel + Send> {
+        match self {
+            ChannelSpec::Ideal => Box::new(IdealChannel),
+            ChannelSpec::ControlledLoss {
+                burst_len,
+                burst_prob,
+                seed,
+            } => Box::new(ControlledLossChannel::new(*burst_len, *burst_prob, *seed)),
+            ChannelSpec::Jammed {
+                link,
+                tolerance,
+                seed,
+            } => Box::new(JammedChannel::new(*link, *tolerance, *seed)),
+        }
+    }
+}
+
+/// How the session covers misses.
+#[derive(Debug, Clone)]
+pub enum RecoverySpec {
+    /// Niryo stack behaviour: repeat the last command.
+    Baseline,
+    /// FoReCo around a shared trained forecaster.
+    FoReCo {
+        /// The trained forecaster (shared, not copied).
+        forecaster: SharedForecaster,
+        /// Engine knobs.
+        config: RecoveryConfig,
+    },
+}
+
+impl RecoverySpec {
+    /// Materialises the per-session engine (FoReCo only).
+    pub(crate) fn build(&self, initial: Vec<f64>) -> Option<RecoveryEngine> {
+        match self {
+            RecoverySpec::Baseline => None,
+            RecoverySpec::FoReCo { forecaster, config } => Some(RecoveryEngine::new(
+                Box::new(forecaster.clone()),
+                config.clone(),
+                initial,
+            )),
+        }
+    }
+}
+
+/// Complete blueprint for one service-hosted recovery loop.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Service-wide identifier; also determines the owning shard.
+    pub id: SessionId,
+    /// Command source.
+    pub source: SourceSpec,
+    /// Network impairment model.
+    pub channel: ChannelSpec,
+    /// Miss-recovery mode.
+    pub recovery: RecoverySpec,
+    /// Robot driver configuration (period `Ω`, PID gains).
+    pub driver: DriverConfig,
+}
+
+impl SessionSpec {
+    /// A spec with the default 50 Hz Niryo driver.
+    pub fn new(
+        id: SessionId,
+        source: SourceSpec,
+        channel: ChannelSpec,
+        recovery: RecoverySpec,
+    ) -> Self {
+        Self {
+            id,
+            source,
+            channel,
+            recovery,
+            driver: DriverConfig::default(),
+        }
+    }
+}

@@ -54,7 +54,11 @@ impl Dataset {
             current = cycle.last().cloned().unwrap_or_else(rest_pose);
             commands.extend(cycle);
         }
-        Self { period, commands, cycle_starts }
+        Self {
+            period,
+            commands,
+            cycle_starts,
+        }
     }
 
     /// Number of commands `H`.
@@ -83,7 +87,12 @@ impl Dataset {
         let train = Dataset {
             period: self.period,
             commands: self.commands[..cut].to_vec(),
-            cycle_starts: self.cycle_starts.iter().cloned().filter(|&s| s < cut).collect(),
+            cycle_starts: self
+                .cycle_starts
+                .iter()
+                .cloned()
+                .filter(|&s| s < cut)
+                .collect(),
         };
         let test = Dataset {
             period: self.period,
@@ -119,7 +128,11 @@ impl Dataset {
     /// Panics if `r == 0`.
     pub fn windows(&self, r: usize) -> WindowIter<'_> {
         assert!(r >= 1, "windows: history length must be ≥ 1");
-        WindowIter { data: &self.commands, r, pos: r }
+        WindowIter {
+            data: &self.commands,
+            r,
+            pos: r,
+        }
     }
 }
 
@@ -167,10 +180,22 @@ mod tests {
         let d = small();
         let c0 = &d.commands[d.cycle_starts[0]..d.cycle_starts[1]];
         let c1 = &d.commands[d.cycle_starts[1]..];
-        assert_ne!(c0, &c1[..c0.len().min(c1.len())], "cycles identical — no human variation");
+        assert_ne!(
+            c0,
+            &c1[..c0.len().min(c1.len())],
+            "cycles identical — no human variation"
+        );
         // Same general magnitude: both visit the same workspace.
-        let max0 = c0.iter().flat_map(|c| c.iter()).cloned().fold(f64::MIN, f64::max);
-        let max1 = c1.iter().flat_map(|c| c.iter()).cloned().fold(f64::MIN, f64::max);
+        let max0 = c0
+            .iter()
+            .flat_map(|c| c.iter())
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        let max1 = c1
+            .iter()
+            .flat_map(|c| c.iter())
+            .cloned()
+            .fold(f64::MIN, f64::max);
         assert!((max0 - max1).abs() < 0.2);
     }
 

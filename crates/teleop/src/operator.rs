@@ -100,8 +100,15 @@ impl Operator {
     /// Panics on a non-positive period or moving offset.
     pub fn with_params(params: OperatorParams, period: f64, seed: u64) -> Self {
         assert!(period > 0.0, "operator: period must be positive");
-        assert!(params.moving_offset > 0.0, "operator: moving offset must be positive");
-        Self { params, rng: StdRng::seed_from_u64(seed), period }
+        assert!(
+            params.moving_offset > 0.0,
+            "operator: moving offset must be positive"
+        );
+        Self {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            period,
+        }
     }
 
     /// Command period.
@@ -180,7 +187,12 @@ pub fn defined_trajectory(
     let mut targets: Vec<Vec<f64>> = Vec::new();
     let mut from = start.to_vec();
     for wp in script {
-        targets.extend(min_jerk_segment(&from, &wp.joints, wp.move_duration, period));
+        targets.extend(min_jerk_segment(
+            &from,
+            &wp.joints,
+            wp.move_duration,
+            period,
+        ));
         let dwell_ticks = (wp.dwell / period).round() as usize;
         for _ in 0..dwell_ticks {
             targets.push(wp.joints.clone());
@@ -214,7 +226,11 @@ mod tests {
         let mut prev = rest_pose();
         for cmd in &cmds {
             for (c, p) in cmd.iter().zip(&prev) {
-                assert!((c - p).abs() <= 0.04 + 1e-12, "step {} too large", (c - p).abs());
+                assert!(
+                    (c - p).abs() <= 0.04 + 1e-12,
+                    "step {} too large",
+                    (c - p).abs()
+                );
             }
             prev = cmd.clone();
         }
@@ -241,9 +257,8 @@ mod tests {
             (acc / n as f64).sqrt()
         };
         // Average across several seeds to avoid a fluke.
-        let mean_dev = |skill: Skill| -> f64 {
-            (0..5).map(|s| dev(&cycle(skill, s))).sum::<f64>() / 5.0
-        };
+        let mean_dev =
+            |skill: Skill| -> f64 { (0..5).map(|s| dev(&cycle(skill, s))).sum::<f64>() / 5.0 };
         let exp = mean_dev(Skill::Experienced);
         let inexp = mean_dev(Skill::Inexperienced);
         assert!(

@@ -37,13 +37,41 @@ pub fn pick_and_place_cycle() -> Vec<Waypoint> {
     let at_place = vec![-0.8, 0.3, 0.3, 0.0, -0.75, 0.4]; // ≈ 528 mm
     let retreat = vec![-0.8, -0.35, -0.8, 0.0, 0.3, 0.0]; // ≈ 293 mm
     vec![
-        Waypoint { joints: above_pick, move_duration: 2.2, dwell: 0.3 },
-        Waypoint { joints: at_pick, move_duration: 1.4, dwell: 0.8 }, // grasp
-        Waypoint { joints: lifted, move_duration: 1.2, dwell: 0.2 },
-        Waypoint { joints: above_place, move_duration: 2.6, dwell: 0.3 },
-        Waypoint { joints: at_place, move_duration: 1.4, dwell: 0.8 }, // release
-        Waypoint { joints: retreat, move_duration: 1.0, dwell: 0.2 },
-        Waypoint { joints: rest, move_duration: 1.6, dwell: 0.4 },
+        Waypoint {
+            joints: above_pick,
+            move_duration: 2.2,
+            dwell: 0.3,
+        },
+        Waypoint {
+            joints: at_pick,
+            move_duration: 1.4,
+            dwell: 0.8,
+        }, // grasp
+        Waypoint {
+            joints: lifted,
+            move_duration: 1.2,
+            dwell: 0.2,
+        },
+        Waypoint {
+            joints: above_place,
+            move_duration: 2.6,
+            dwell: 0.3,
+        },
+        Waypoint {
+            joints: at_place,
+            move_duration: 1.4,
+            dwell: 0.8,
+        }, // release
+        Waypoint {
+            joints: retreat,
+            move_duration: 1.0,
+            dwell: 0.2,
+        },
+        Waypoint {
+            joints: rest,
+            move_duration: 1.6,
+            dwell: 0.4,
+        },
     ]
 }
 

@@ -21,14 +21,12 @@ pub fn min_jerk(tau: f64) -> f64 {
 ///
 /// # Panics
 /// Panics on mismatched joint counts or non-positive duration/period.
-pub fn min_jerk_segment(
-    from: &[f64],
-    to: &[f64],
-    duration: f64,
-    period: f64,
-) -> Vec<Vec<f64>> {
+pub fn min_jerk_segment(from: &[f64], to: &[f64], duration: f64, period: f64) -> Vec<Vec<f64>> {
     assert_eq!(from.len(), to.len(), "segment: joint count mismatch");
-    assert!(duration > 0.0 && period > 0.0, "segment: bad duration/period");
+    assert!(
+        duration > 0.0 && period > 0.0,
+        "segment: bad duration/period"
+    );
     let steps = (duration / period).round().max(1.0) as usize;
     let mut out = Vec::with_capacity(steps);
     for k in 1..=steps {
@@ -50,7 +48,11 @@ pub fn rate_limit(initial: &[f64], targets: &[Vec<f64>], offset: f64) -> Vec<Vec
     let mut current = initial.to_vec();
     let mut out = Vec::with_capacity(targets.len());
     for target in targets {
-        assert_eq!(target.len(), current.len(), "rate_limit: joint count mismatch");
+        assert_eq!(
+            target.len(),
+            current.len(),
+            "rate_limit: joint count mismatch"
+        );
         for (c, t) in current.iter_mut().zip(target) {
             *c += (t - *c).clamp(-offset, offset);
         }
@@ -93,7 +95,10 @@ mod tests {
         let h = 1e-4;
         let v_start = (min_jerk(h) - min_jerk(0.0)) / h;
         let v_mid = (min_jerk(0.5 + h) - min_jerk(0.5 - h)) / (2.0 * h);
-        assert!(v_start < 0.01 * v_mid, "start velocity {v_start}, mid {v_mid}");
+        assert!(
+            v_start < 0.01 * v_mid,
+            "start velocity {v_start}, mid {v_mid}"
+        );
     }
 
     #[test]

@@ -164,8 +164,7 @@ impl DcfModel {
         let others = (n_eff - 1.0).max(0.0);
         let p_idle_others = (1.0 - tau).powf(others);
         let p_s_others = if others > 0.0 {
-            (others * tau * (1.0 - tau).powf(others - 1.0) * (1.0 - p_hit))
-                .min(1.0 - p_idle_others)
+            (others * tau * (1.0 - tau).powf(others - 1.0) * (1.0 - p_hit)).min(1.0 - p_idle_others)
         } else {
             0.0
         };
@@ -187,8 +186,7 @@ impl DcfModel {
         }
         // A frame that dies at the limit burned M+1 failed attempts and all
         // the backoff stages.
-        let loss_occupancy =
-            (m_retx as f64 + 1.0) * pr.t_collision() + mean_slot * backoff_sum;
+        let loss_occupancy = (m_retx as f64 + 1.0) * pr.t_collision() + mean_slot * backoff_sum;
 
         // a_j = p^j (1−p); loss = p^{M+1}.
         let mut attempt_probs = Vec::with_capacity(m_retx as usize + 1);
@@ -248,21 +246,22 @@ impl DcfModel {
     /// curves (S ≈ 0.8 for few stations at these frame sizes, slowly
     /// degrading with contention).
     pub fn saturation_throughput(&self) -> f64 {
-        let sol = DcfModel { offered_interval: None, ..*self }.solve();
+        let sol = DcfModel {
+            offered_interval: None,
+            ..*self
+        }
+        .solve();
         let pr = &self.params;
         let n = self.stations as f64;
         let tau = sol.tau;
-        let p_hit = self
-            .interference
-            .mid_frame_hit_probability(pr.tx_slots());
+        let p_hit = self.interference.mid_frame_hit_probability(pr.tx_slots());
         let p_idle = (1.0 - tau).powf(n);
         let p_succ = (n * tau * (1.0 - tau).powf(n - 1.0) * (1.0 - p_hit)).min(1.0 - p_idle);
         let p_fail = (1.0 - p_idle - p_succ).max(0.0);
         let t_if = self.interference.duration_slots as f64;
         let sigma_idle = pr.slot * (1.0 + self.interference.prob * t_if);
         let payload_time = pr.payload_bits as f64 / pr.data_rate;
-        let mean_slot =
-            p_idle * sigma_idle + p_succ * pr.t_success() + p_fail * pr.t_collision();
+        let mean_slot = p_idle * sigma_idle + p_succ * pr.t_success() + p_fail * pr.t_collision();
         p_succ * payload_time / mean_slot
     }
 }
@@ -360,7 +359,10 @@ mod tests {
 
     #[test]
     fn saturated_mode_uses_all_stations() {
-        let m = DcfModel { offered_interval: None, ..model(10, 0.0, 0) };
+        let m = DcfModel {
+            offered_interval: None,
+            ..model(10, 0.0, 0)
+        };
         let s = m.solve();
         assert!((s.effective_contenders - 10.0).abs() < 1e-6);
         // Saturated 10-station 802.11: collision probability notably > 0.
@@ -394,9 +396,18 @@ mod tests {
         let s_jammed = model(5, 0.05, 100).saturation_throughput();
         // Payload is only ~100 B of a ~405 µs exchange: the *normalised*
         // ceiling here is payload_time/Ts ≈ 0.18.
-        assert!(s_clean_small > 0.05 && s_clean_small < 0.2, "{s_clean_small}");
-        assert!(s_clean_large < s_clean_small, "throughput must decay with n");
-        assert!(s_jammed < s_clean_small, "interference must cost throughput");
+        assert!(
+            s_clean_small > 0.05 && s_clean_small < 0.2,
+            "{s_clean_small}"
+        );
+        assert!(
+            s_clean_large < s_clean_small,
+            "throughput must decay with n"
+        );
+        assert!(
+            s_jammed < s_clean_small,
+            "interference must cost throughput"
+        );
     }
 
     /// Mean slot grows once the interferer freezes backoff counters.

@@ -26,17 +26,26 @@ impl Interference {
     /// Panics if `prob` is outside `[0, 1]` or `prob > 0` with a zero
     /// duration.
     pub fn new(prob: f64, duration_slots: u32) -> Self {
-        assert!((0.0..=1.0).contains(&prob), "p_if must be in [0,1], got {prob}");
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "p_if must be in [0,1], got {prob}"
+        );
         assert!(
             prob == 0.0 || duration_slots >= 1,
             "active interferer needs duration ≥ 1 slot"
         );
-        Self { prob, duration_slots }
+        Self {
+            prob,
+            duration_slots,
+        }
     }
 
     /// No interference at all (the paper's baseline channel).
     pub fn none() -> Self {
-        Self { prob: 0.0, duration_slots: 0 }
+        Self {
+            prob: 0.0,
+            duration_slots: 0,
+        }
     }
 
     /// Stationary fraction of slots covered by a burst.

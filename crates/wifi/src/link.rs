@@ -118,7 +118,11 @@ impl WirelessLink {
             offered_interval: Some(cfg.period),
         }
         .solve();
-        Self { cfg, solution, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            cfg,
+            solution,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The underlying analytical solution.
@@ -161,7 +165,9 @@ impl WirelessLink {
             if lost_rtx {
                 fates.push(CommandFate::LostRtx);
             } else {
-                fates.push(CommandFate::Delivered { delay: finish - arrival });
+                fates.push(CommandFate::Delivered {
+                    delay: finish - arrival,
+                });
             }
         }
         fates
@@ -295,8 +301,11 @@ mod tests {
             first_arrival: 0.0,
         });
         let recs = net.run_until(50_000.0 * link_cfg.period);
-        let net_delays: Vec<f64> =
-            recs.iter().filter(|r| !r.lost).map(|r| r.sojourn_time()).collect();
+        let net_delays: Vec<f64> = recs
+            .iter()
+            .filter(|r| !r.lost)
+            .map(|r| r.sojourn_time())
+            .collect();
         let net_mean = net_delays.iter().sum::<f64>() / net_delays.len() as f64;
         let rel = (direct_mean - net_mean).abs() / net_mean;
         assert!(rel < 0.1, "direct {direct_mean} vs network {net_mean}");

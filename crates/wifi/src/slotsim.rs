@@ -73,7 +73,11 @@ impl SlotSimulator {
             |rng: &mut StdRng, stage: u32, pr: &Params| rng.gen_range(0..pr.cw(stage));
 
         let mut stations: Vec<Station> = (0..self.stations)
-            .map(|_| Station { backoff: sample_backoff(&mut rng, 0, pr), stage: 0, hol_since: 0.0 })
+            .map(|_| Station {
+                backoff: sample_backoff(&mut rng, 0, pr),
+                stage: 0,
+                hol_since: 0.0,
+            })
             .collect();
 
         let mut now = 0.0_f64;
@@ -128,7 +132,11 @@ impl SlotSimulator {
             if !success {
                 failed_attempts += transmitters.len() as u64;
             }
-            let air_time = if success { pr.t_success() } else { pr.t_collision() };
+            let air_time = if success {
+                pr.t_success()
+            } else {
+                pr.t_collision()
+            };
             now += air_time;
             if hit {
                 // Remainder of the burst outlives the frame.
@@ -219,8 +227,7 @@ mod tests {
             offered_interval: None,
         }
         .solve();
-        let rel = (r.mean_delay_delivered - a.mean_delay_delivered).abs()
-            / a.mean_delay_delivered;
+        let rel = (r.mean_delay_delivered - a.mean_delay_delivered).abs() / a.mean_delay_delivered;
         assert!(
             rel < 0.05,
             "sim {} vs analytic {}",

@@ -27,7 +27,10 @@ fn main() {
         "VAR(R=5, differenced — deployed)".into(),
         Box::new(Var::fit_differenced(&train, 5, 1e-6).expect("fit")),
     ));
-    entries.push(("Holt(α=0.8, β=0.3)".into(), Box::new(Holt::default_teleop(6, 6))));
+    entries.push((
+        "Holt(α=0.8, β=0.3)".into(),
+        Box::new(Holt::default_teleop(6, 6)),
+    ));
     entries.push((
         "VARMA(4,2)".into(),
         Box::new(Varma::fit(&train, 4, 2, 1e-6).expect("fit")),
@@ -38,14 +41,19 @@ fn main() {
         subsample: 16,
         ..Default::default()
     };
-    println!("training seq2seq ({} windows, paper-scale 200/30 LSTM)…",
-        (train.len() - 5) / 16);
+    println!(
+        "training seq2seq ({} windows, paper-scale 200/30 LSTM)…",
+        (train.len() - 5) / 16
+    );
     entries.push((
         "seq2seq(200/30 ReLU)".into(),
         Box::new(Seq2SeqForecaster::fit(&train, &s2s_cfg)),
     ));
 
-    println!("\n{:<36} {:>14} {:>16}", "forecaster", "1-step [rad]", "20-step [mm]");
+    println!(
+        "\n{:<36} {:>14} {:>16}",
+        "forecaster", "1-step [rad]", "20-step [mm]"
+    );
     for (name, f) in &entries {
         let joint = one_step_rmse(f.as_ref(), &test);
         // Multi-step task-space RMSE: forecast 20 commands ahead from

@@ -20,7 +20,13 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { robots: 15, prob: 0.025, duration: 50, seconds: 30.0, seed: 7 };
+    let mut args = Args {
+        robots: 15,
+        prob: 0.025,
+        duration: 50,
+        seconds: 30.0,
+        seed: 7,
+    };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i + 1 < argv.len() {
@@ -56,7 +62,11 @@ fn main() {
     } else {
         Interference::none()
     };
-    let link_cfg = LinkConfig { stations: args.robots, interference, ..LinkConfig::default() };
+    let link_cfg = LinkConfig {
+        stations: args.robots,
+        interference,
+        ..LinkConfig::default()
+    };
     let solution = DcfModel {
         params: link_cfg.params,
         stations: args.robots,
@@ -66,11 +76,22 @@ fn main() {
     .solve();
     println!("802.11 DCF analysis:");
     println!("  attempt failure probability p  = {:.4}", solution.p);
-    println!("  RTX-limit loss probability     = {:.2e}", solution.loss_probability);
-    println!("  mean delay (delivered)         = {:.2} ms", solution.mean_delay_delivered * 1e3);
-    println!("  mean channel occupancy / frame = {:.2} ms (budget Ω = 20 ms)",
-        solution.mean_occupancy * 1e3);
-    println!("  effective contenders           = {:.1}\n", solution.effective_contenders);
+    println!(
+        "  RTX-limit loss probability     = {:.2e}",
+        solution.loss_probability
+    );
+    println!(
+        "  mean delay (delivered)         = {:.2} ms",
+        solution.mean_delay_delivered * 1e3
+    );
+    println!(
+        "  mean channel occupancy / frame = {:.2} ms (budget Ω = 20 ms)",
+        solution.mean_occupancy * 1e3
+    );
+    println!(
+        "  effective contenders           = {:.1}\n",
+        solution.effective_contenders
+    );
 
     // Train on the experienced operator, drive with the inexperienced one.
     let train = Dataset::record(Skill::Experienced, 5, 0.02, args.seed.wrapping_add(1));
@@ -83,21 +104,45 @@ fn main() {
     let mut channel = JammedChannel::new(link_cfg, 0.0, args.seed);
     let fates = channel.fates(commands.len());
     let misses = fates.iter().filter(|f| !f.on_time()).count();
-    println!("simulated {:.0} s of teleoperation: {} / {} commands missed their deadline\n",
-        args.seconds, misses, commands.len());
+    println!(
+        "simulated {:.0} s of teleoperation: {} / {} commands missed their deadline\n",
+        args.seconds,
+        misses,
+        commands.len()
+    );
 
     let baseline = run_closed_loop(
-        &model, commands, &fates, RecoveryMode::Baseline, DriverConfig::default());
+        &model,
+        commands,
+        &fates,
+        RecoveryMode::Baseline,
+        DriverConfig::default(),
+    );
     let engine = RecoveryEngine::new(
-        Box::new(var), RecoveryConfig::for_model(&model), model.clamp(&commands[0]));
+        Box::new(var),
+        RecoveryConfig::for_model(&model),
+        model.clamp(&commands[0]),
+    );
     let foreco = run_closed_loop(
-        &model, commands, &fates, RecoveryMode::FoReCo(engine), DriverConfig::default());
+        &model,
+        commands,
+        &fates,
+        RecoveryMode::FoReCo(engine),
+        DriverConfig::default(),
+    );
 
-    println!("  no forecasting : RMSE {:7.2} mm (worst {:7.2} mm)",
-        baseline.rmse_mm, baseline.max_deviation_mm);
-    println!("  FoReCo         : RMSE {:7.2} mm (worst {:7.2} mm)",
-        foreco.rmse_mm, foreco.max_deviation_mm);
+    println!(
+        "  no forecasting : RMSE {:7.2} mm (worst {:7.2} mm)",
+        baseline.rmse_mm, baseline.max_deviation_mm
+    );
+    println!(
+        "  FoReCo         : RMSE {:7.2} mm (worst {:7.2} mm)",
+        foreco.rmse_mm, foreco.max_deviation_mm
+    );
     if foreco.rmse_mm > 0.0 {
-        println!("  improvement    : x{:.2}", baseline.rmse_mm / foreco.rmse_mm);
+        println!(
+            "  improvement    : x{:.2}",
+            baseline.rmse_mm / foreco.rmse_mm
+        );
     }
 }

@@ -44,7 +44,11 @@ fn main() {
         } else {
             Interference::none()
         };
-        let link = LinkConfig { stations: robots, interference, ..LinkConfig::default() };
+        let link = LinkConfig {
+            stations: robots,
+            interference,
+            ..LinkConfig::default()
+        };
         let solution = DcfModel {
             params: link.params,
             stations: robots,

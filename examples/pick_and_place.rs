@@ -38,11 +38,24 @@ fn main() {
     let fates = ControlledLossChannel::new(burst, 0.005, seed).fates(test.commands.len());
 
     let baseline = run_closed_loop(
-        &model, &test.commands, &fates, RecoveryMode::Baseline, DriverConfig::default());
+        &model,
+        &test.commands,
+        &fates,
+        RecoveryMode::Baseline,
+        DriverConfig::default(),
+    );
     let engine = RecoveryEngine::new(
-        Box::new(var), RecoveryConfig::for_model(&model), model.clamp(&test.commands[0]));
+        Box::new(var),
+        RecoveryConfig::for_model(&model),
+        model.clamp(&test.commands[0]),
+    );
     let foreco = run_closed_loop(
-        &model, &test.commands, &fates, RecoveryMode::FoReCo(engine), DriverConfig::default());
+        &model,
+        &test.commands,
+        &fates,
+        RecoveryMode::FoReCo(engine),
+        DriverConfig::default(),
+    );
 
     eprintln!("misses: {}", baseline.misses);
     eprintln!("no forecast RMSE: {:.2} mm", baseline.rmse_mm);

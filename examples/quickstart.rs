@@ -14,7 +14,11 @@ fn main() {
     //    (the paper trains on the experienced dataset, §VI-A).
     println!("recording training data (experienced operator)…");
     let train = Dataset::record(Skill::Experienced, 5, 0.02, 42);
-    println!("  {} commands over {} cycles", train.len(), train.cycle_starts.len());
+    println!(
+        "  {} commands over {} cycles",
+        train.len(),
+        train.cycle_starts.len()
+    );
 
     // 2. Fit the paper's winning forecaster: VAR trained with OLS.
     let var = Var::fit_differenced(&train, 5, 1e-6).expect("training data is well-conditioned");
@@ -51,13 +55,25 @@ fn main() {
         DriverConfig::default(),
     );
 
-    println!("channel: bursts of 10 consecutive losses ({} misses)\n", baseline.misses);
-    println!("  no forecasting : RMSE {:6.2} mm (worst {:6.2} mm)",
-        baseline.rmse_mm, baseline.max_deviation_mm);
-    println!("  FoReCo         : RMSE {:6.2} mm (worst {:6.2} mm)",
-        foreco.rmse_mm, foreco.max_deviation_mm);
-    println!("  improvement    : x{:.1}", baseline.rmse_mm / foreco.rmse_mm.max(1e-9));
+    println!(
+        "channel: bursts of 10 consecutive losses ({} misses)\n",
+        baseline.misses
+    );
+    println!(
+        "  no forecasting : RMSE {:6.2} mm (worst {:6.2} mm)",
+        baseline.rmse_mm, baseline.max_deviation_mm
+    );
+    println!(
+        "  FoReCo         : RMSE {:6.2} mm (worst {:6.2} mm)",
+        foreco.rmse_mm, foreco.max_deviation_mm
+    );
+    println!(
+        "  improvement    : x{:.1}",
+        baseline.rmse_mm / foreco.rmse_mm.max(1e-9)
+    );
     let stats = foreco.stats.expect("FoReCo mode records stats");
-    println!("\nrecovery stats: {} delivered, {} forecast, {} warm-up repeats",
-        stats.delivered, stats.forecasts, stats.warmup_repeats);
+    println!(
+        "\nrecovery stats: {} delivered, {} forecast, {} warm-up repeats",
+        stats.delivered, stats.forecasts, stats.warmup_repeats
+    );
 }

@@ -1,0 +1,113 @@
+//! The edge service at scale: 256 concurrent teleoperation sessions on a
+//! 4-shard pool, every one of them fighting the same jammed 802.11
+//! channel, with one shared trained VAR covering the losses.
+//!
+//! Prints the service-wide task-space error distribution — at scale the
+//! metric that matters is the p99 operator's experience, not the mean.
+//!
+//! ```sh
+//! cargo run --release --example teleop_service -- --sessions 256 --shards 4
+//! ```
+
+use foreco::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut sessions: u64 = 256;
+    let mut shards: usize = 4;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        match argv[i].as_str() {
+            "--sessions" => sessions = argv[i + 1].parse().expect("--sessions: count"),
+            "--shards" => shards = argv[i + 1].parse().expect("--shards: count"),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    println!("== foreco-serve: {sessions} sessions × {shards} shards over a jammed channel ==\n");
+
+    // One operator dataset and one trained forecaster, shared by every
+    // session (training is the expensive part; forecasting is `&self`).
+    let model = niryo_one();
+    let train = Dataset::record(Skill::Experienced, 5, 0.02, 7);
+    let var = Var::fit_differenced(&train, 5, 1e-6).expect("fit VAR");
+    let forecaster = SharedForecaster::new(var);
+    let replay = Arc::new(Dataset::record(Skill::Inexperienced, 2, 0.02, 8).commands);
+    println!(
+        "dataset: {} commands/session, forecaster: {}",
+        replay.len(),
+        forecaster.name()
+    );
+
+    // Every session sees its own interference realisation (seeded by
+    // id) of the same Fig.-8-style jammed link.
+    let link = LinkConfig {
+        stations: 15,
+        interference: Interference::new(0.025, 50),
+        ..Default::default()
+    };
+    let specs: Vec<SessionSpec> = (0..sessions)
+        .map(|id| {
+            SessionSpec::new(
+                id,
+                SourceSpec::Replayed(Arc::clone(&replay)),
+                ChannelSpec::Jammed {
+                    link,
+                    tolerance: 0.0,
+                    seed: 1000 + id,
+                },
+                RecoverySpec::FoReCo {
+                    forecaster: forecaster.clone(),
+                    config: RecoveryConfig::for_model(&model),
+                },
+            )
+        })
+        .collect();
+
+    let started = Instant::now();
+    let service = Service::spawn(ServiceConfig {
+        shards,
+        ..Default::default()
+    });
+    let registry = service.run_to_completion(specs);
+    let elapsed = started.elapsed();
+
+    let s = registry.summary();
+    let tick_rate = s.total_ticks as f64 / elapsed.as_secs_f64();
+    println!(
+        "\ncompleted {} sessions in {:.2?} ({:.0} session-ticks/s)",
+        s.sessions, elapsed, tick_rate
+    );
+    println!(
+        "misses: {} of {} ticks ({:.2} %), recovered by {} forecasts + {} warmup repeats + {} holds",
+        s.total_misses,
+        s.total_ticks,
+        100.0 * s.total_misses as f64 / s.total_ticks as f64,
+        s.recovery.forecasts,
+        s.recovery.warmup_repeats,
+        s.recovery.horizon_holds,
+    );
+    println!("\ntask-space error across sessions (mm):");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "mean", "p50", "p90", "p99", "max"
+    );
+    println!(
+        "{:>12} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        "rmse", s.rmse_mm.mean, s.rmse_mm.p50, s.rmse_mm.p90, s.rmse_mm.p99, s.rmse_mm.max
+    );
+    println!(
+        "{:>12} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        "worst dev",
+        s.max_deviation_mm.mean,
+        s.max_deviation_mm.p50,
+        s.max_deviation_mm.p90,
+        s.max_deviation_mm.p99,
+        s.max_deviation_mm.max
+    );
+}

@@ -13,6 +13,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`serve`] | `foreco-serve` | sharded multi-session service runtime, metrics registry |
 //! | [`recovery`] | `foreco-core` | recovery engine, channels, closed loop, Fig-8 grid |
 //! | [`forecast`] | `foreco-forecast` | MA, VAR, seq2seq, Holt, VARMA + training pipeline |
 //! | [`robot`] | `foreco-robot` | Niryo-One-like arm, DH kinematics, PID driver loop |
@@ -52,6 +53,34 @@
 //! );
 //! assert!(result.rmse_mm < 50.0);
 //! ```
+//!
+//! # Serving many loops at once
+//!
+//! The closed loop above is one operator and one robot. The [`serve`]
+//! runtime hosts thousands of such loops concurrently on a shard pool,
+//! with one trained forecaster shared across all of them:
+//!
+//! ```
+//! use foreco::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+//! let forecaster = SharedForecaster::new(Var::fit_differenced(&train, 5, 1e-6).unwrap());
+//! let replay = Arc::new(Dataset::record(Skill::Inexperienced, 1, 0.02, 8).commands);
+//! let specs: Vec<SessionSpec> = (0..16)
+//!     .map(|id| SessionSpec::new(
+//!         id,
+//!         SourceSpec::Replayed(Arc::clone(&replay)),
+//!         ChannelSpec::ControlledLoss { burst_len: 8, burst_prob: 0.01, seed: id },
+//!         RecoverySpec::FoReCo {
+//!             forecaster: forecaster.clone(),
+//!             config: RecoveryConfig::for_model(&niryo_one()),
+//!         },
+//!     ))
+//!     .collect();
+//! let registry = Service::spawn(ServiceConfig::with_shards(2)).run_to_completion(specs);
+//! assert_eq!(registry.summary().sessions, 16);
+//! ```
 
 pub use foreco_core as recovery;
 pub use foreco_des as des;
@@ -59,6 +88,7 @@ pub use foreco_forecast as forecast;
 pub use foreco_linalg as linalg;
 pub use foreco_nn as nn;
 pub use foreco_robot as robot;
+pub use foreco_serve as serve;
 pub use foreco_teleop as teleop;
 pub use foreco_wifi as wifi;
 
@@ -67,9 +97,9 @@ pub mod prelude {
     pub use foreco_core::channel::{
         Arrival, Channel, ControlledLossChannel, IdealChannel, JammedChannel,
     };
+    pub use foreco_core::edge::{edge_packets, run_closed_loop_edge, EdgePacket};
     pub use foreco_core::experiment::{run_cell, CellConfig, CellResult};
     pub use foreco_core::metrics;
-    pub use foreco_core::edge::{edge_packets, run_closed_loop_edge, EdgePacket};
     pub use foreco_core::{
         run_closed_loop, ClosedLoopResult, RecoveryConfig, RecoveryEngine, RecoveryMode,
         RecoveryStats,
@@ -79,6 +109,10 @@ pub mod prelude {
         VarMode, Varma,
     };
     pub use foreco_robot::{niryo_one, ArmModel, DriverConfig, RobotDriver};
+    pub use foreco_serve::{
+        ChannelSpec, MetricsRegistry, Pacing, RecoverySpec, Service, ServiceConfig, ServiceHandle,
+        ServiceSummary, SessionEvent, SessionReport, SessionSpec, SharedForecaster, SourceSpec,
+    };
     pub use foreco_teleop::{Dataset, Operator, Skill};
     pub use foreco_wifi::{DcfModel, Interference, LinkConfig, Params, WirelessLink};
 }

@@ -169,7 +169,11 @@ fn every_forecaster_plugs_into_the_engine() {
     ];
     for f in forecasters {
         let name = f.name();
-        let eng = RecoveryEngine::new(f, RecoveryConfig::for_model(&model), model.clamp(&commands[0]));
+        let eng = RecoveryEngine::new(
+            f,
+            RecoveryConfig::for_model(&model),
+            model.clamp(&commands[0]),
+        );
         let fates = ControlledLossChannel::new(8, 0.01, 77).fates(commands.len());
         let res = run_closed_loop(
             &model,

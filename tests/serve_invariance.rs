@@ -1,0 +1,157 @@
+//! Shard-invariance contract of the service runtime: hosting a session
+//! on any shard of any pool must be observationally identical — down to
+//! the floating-point bits — to running the same closed loop solo with
+//! `foreco_core::run_closed_loop`.
+//!
+//! 64 deterministic sessions (distinct operator streams, distinct
+//! channel realisations, a mix of FoReCo and baseline recovery) run on
+//! pools of 1, 2, and 8 shards; every per-session report must equal the
+//! matching solo run.
+
+use foreco::prelude::*;
+use foreco::serve::SessionReport;
+
+const SESSIONS: u64 = 64;
+
+fn forecaster() -> Var {
+    let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+    Var::fit_differenced(&train, 5, 1e-6).expect("fit VAR")
+}
+
+fn channel_for(id: u64) -> (usize, f64, u64) {
+    // Distinct burst shapes per session.
+    (
+        4 + (id % 8) as usize,
+        0.008 + 0.001 * (id % 5) as f64,
+        10_000 + id,
+    )
+}
+
+fn spec_for(id: u64, shared: &SharedForecaster, model: &ArmModel) -> SessionSpec {
+    let (burst_len, burst_prob, seed) = channel_for(id);
+    let recovery = if id % 3 == 2 {
+        RecoverySpec::Baseline
+    } else {
+        RecoverySpec::FoReCo {
+            forecaster: shared.clone(),
+            config: RecoveryConfig::for_model(model),
+        }
+    };
+    SessionSpec::new(
+        id,
+        SourceSpec::Recorded {
+            skill: Skill::Inexperienced,
+            cycles: 1,
+            seed: 500 + id,
+        },
+        ChannelSpec::ControlledLoss {
+            burst_len,
+            burst_prob,
+            seed,
+        },
+        recovery,
+    )
+}
+
+/// The ground truth: the same loop, run solo through `run_closed_loop`.
+fn solo_run(id: u64, var: &Var, model: &ArmModel) -> (usize, f64, f64, Option<RecoveryStats>) {
+    let commands = Dataset::record(Skill::Inexperienced, 1, 0.02, 500 + id).commands;
+    let (burst_len, burst_prob, seed) = channel_for(id);
+    let fates = ControlledLossChannel::new(burst_len, burst_prob, seed).fates(commands.len());
+    let mode = if id % 3 == 2 {
+        RecoveryMode::Baseline
+    } else {
+        RecoveryMode::FoReCo(RecoveryEngine::new(
+            Box::new(var.clone()),
+            RecoveryConfig::for_model(model),
+            model.clamp(&commands[0]),
+        ))
+    };
+    let res = run_closed_loop(model, &commands, &fates, mode, DriverConfig::default());
+    (res.misses, res.rmse_mm, res.max_deviation_mm, res.stats)
+}
+
+fn assert_matches_solo(
+    report: &SessionReport,
+    id: u64,
+    var: &Var,
+    model: &ArmModel,
+    shards: usize,
+) {
+    let (misses, rmse_mm, max_dev_mm, stats) = solo_run(id, var, model);
+    assert_eq!(
+        report.misses, misses,
+        "session {id} misses @ {shards} shards"
+    );
+    assert_eq!(report.stats, stats, "session {id} stats @ {shards} shards");
+    assert_eq!(
+        report.rmse_mm.to_bits(),
+        rmse_mm.to_bits(),
+        "session {id} rmse not bit-identical @ {shards} shards: {} vs {}",
+        report.rmse_mm,
+        rmse_mm
+    );
+    assert_eq!(
+        report.max_deviation_mm.to_bits(),
+        max_dev_mm.to_bits(),
+        "session {id} max deviation not bit-identical @ {shards} shards",
+    );
+}
+
+#[test]
+fn per_session_results_invariant_across_shard_counts() {
+    let model = niryo_one();
+    let var = forecaster();
+    let shared = SharedForecaster::new(var.clone());
+
+    let mut by_shard_count = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let specs: Vec<SessionSpec> = (0..SESSIONS)
+            .map(|id| spec_for(id, &shared, &model))
+            .collect();
+        let registry = Service::spawn(ServiceConfig::with_shards(shards)).run_to_completion(specs);
+        assert_eq!(
+            registry.len() as u64,
+            SESSIONS,
+            "{shards} shards: missing sessions"
+        );
+        by_shard_count.push((shards, registry));
+    }
+
+    // Every pool size agrees with the solo ground truth (hence with
+    // every other pool size) session by session.
+    for (shards, registry) in &by_shard_count {
+        for id in 0..SESSIONS {
+            let report = registry.get(id).expect("every session reports");
+            assert_matches_solo(report, id, &var, &model, *shards);
+        }
+    }
+
+    // And the aggregate summaries are identical too.
+    let s1 = by_shard_count[0].1.summary();
+    for (_, registry) in &by_shard_count[1..] {
+        assert_eq!(
+            registry.summary(),
+            s1,
+            "aggregate summary must be shard-count invariant"
+        );
+    }
+}
+
+#[test]
+fn loss_patterns_actually_exercised() {
+    // Guard against the invariance test degenerating into comparing
+    // loss-free runs: the configured channels must produce misses and
+    // the FoReCo sessions must forecast.
+    let model = niryo_one();
+    let var = forecaster();
+    let shared = SharedForecaster::new(var);
+    let specs: Vec<SessionSpec> = (0..SESSIONS)
+        .map(|id| spec_for(id, &shared, &model))
+        .collect();
+    let registry = Service::spawn(ServiceConfig::with_shards(2)).run_to_completion(specs);
+    let s = registry.summary();
+    assert!(s.total_misses > 0, "channels produced no losses");
+    assert!(s.recovery.forecasts > 0, "engines never forecast");
+    assert!(s.rmse_mm.max > 0.0, "no task-space error recorded");
+}

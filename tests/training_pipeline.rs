@@ -34,7 +34,10 @@ fn pipeline_model_deploys_into_recovery() {
 #[test]
 fn downsampled_pipeline_still_produces_usable_model() {
     let train = Dataset::record(Skill::Experienced, 4, 0.02, 11);
-    let cfg = PipelineConfig { downsample: 2, ..Default::default() };
+    let cfg = PipelineConfig {
+        downsample: 2,
+        ..Default::default()
+    };
     let run = pipeline::run(&train, &cfg).expect("pipeline");
     // A 25 Hz model still forecasts finite commands.
     let hist = vec![train.commands[0].clone(); 10];

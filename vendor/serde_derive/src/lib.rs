@@ -1,0 +1,443 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-tree serde shim.
+//!
+//! The real `serde_derive` (and its syn/quote dependency tree) cannot be
+//! fetched in this container, so this crate parses the item token stream
+//! by hand. Supported shapes — everything the workspace derives on:
+//!
+//! - structs with named fields;
+//! - unit structs and tuple structs;
+//! - enums with unit, tuple, and struct variants (externally tagged,
+//!   matching serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce
+//! a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` unnamed fields.
+    TupleStruct { name: String, arity: usize },
+    /// Unit struct.
+    UnitStruct { name: String },
+    /// Enum; each variant is `(name, shape)`.
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consumes leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`) tokens.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a braced named-field list.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        // Skip the type: consume until a top-level comma outside angle
+        // brackets. Generic commas (`Foo<A, B>`) hide behind depth > 0;
+        // bracket/paren commas hide inside Group trees automatically.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts unnamed fields in a parenthesised tuple field list.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut in_field = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle_depth += 1;
+                } else if c == '>' {
+                    angle_depth -= 1;
+                } else if c == ',' && angle_depth == 0 {
+                    in_field = false;
+                    continue;
+                }
+                if !in_field {
+                    in_field = true;
+                    arity += 1;
+                }
+            }
+            _ => {
+                if !in_field {
+                    in_field = true;
+                    arity += 1;
+                }
+            }
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            } else {
+                return Err(format!("unexpected punct after variant `{name}`"));
+            }
+        }
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic item `{name}` is not supported by the serde shim derive"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: named_fields(g.stream())?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unexpected struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unexpected enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Derives the shim's `serde::Serialize` (`fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Object(vec![{entries}])
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: String = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Array(vec![{entries}])
+                    }}
+                }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}
+            }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => {
+                        format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),")
+                    }
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{items}]))]),",
+                            binds.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let items: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::Value::Object(vec![{items}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+/// Derives the shim's `serde::Deserialize`
+/// (`fn from_value(&Value) -> Result<Self, Error>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__obj.iter()\
+                         .find(|(k, _)| k == \"{f}\").map(|(_, v)| v)\
+                         .unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| e.field(\"{name}.{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{
+                        let __obj = v.as_object().ok_or_else(|| \
+                            ::serde::Error::new(\"expected object for {name}\"))?;
+                        Ok({name} {{ {entries} }})
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let entries: String = (0..arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__arr.get({i})\
+                         .unwrap_or(&::serde::Value::Null))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{
+                        let __arr = v.as_array().ok_or_else(|| \
+                            ::serde::Error::new(\"expected array for {name}\"))?;
+                        Ok({name}({entries}))
+                    }}
+                }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(_v: &::serde::Value) -> Result<Self, ::serde::Error> {{
+                    Ok({name})
+                }}
+            }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let entries: String = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(__items.get({i})\
+                                     .unwrap_or(&::serde::Value::Null))?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{
+                                let __items = __inner.as_array().ok_or_else(|| \
+                                    ::serde::Error::new(\"expected array for {name}::{v}\"))?;
+                                Ok({name}::{v}({entries}))
+                            }}"
+                        ))
+                    }
+                    VariantShape::Struct(fields) => {
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__items.iter()\
+                                     .find(|(k, _)| k == \"{f}\").map(|(_, v)| v)\
+                                     .unwrap_or(&::serde::Value::Null))?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{
+                                let __items = __inner.as_object().ok_or_else(|| \
+                                    ::serde::Error::new(\"expected object for {name}::{v}\"))?;
+                                Ok({name}::{v} {{ {entries} }})
+                            }}"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{
+                        match v {{
+                            ::serde::Value::String(__s) => match __s.as_str() {{
+                                {unit_arms}
+                                other => Err(::serde::Error::new(&format!(
+                                    \"unknown {name} variant: {{other}}\"))),
+                            }},
+                            ::serde::Value::Object(__o) if __o.len() == 1 => {{
+                                let (__tag, __inner) = &__o[0];
+                                match __tag.as_str() {{
+                                    {tagged_arms}
+                                    other => Err(::serde::Error::new(&format!(
+                                        \"unknown {name} variant: {{other}}\"))),
+                                }}
+                            }}
+                            _ => Err(::serde::Error::new(\"expected string or 1-key object for {name}\")),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}

@@ -45,6 +45,20 @@ pub trait Channel {
 
     /// Channel display name for reports.
     fn name(&self) -> &'static str;
+
+    /// Raw RNG state for checkpointing a mid-stream channel, or `None`
+    /// for stateless channels. Every in-tree channel's only cross-call
+    /// state is its generator, so these four words (plus the original
+    /// construction parameters) fully determine all future fates.
+    fn rng_state(&self) -> Option<[u64; 4]> {
+        None
+    }
+
+    /// Restores RNG state exported by [`Channel::rng_state`]. No-op for
+    /// stateless channels.
+    fn restore_rng(&mut self, state: [u64; 4]) {
+        let _ = state;
+    }
 }
 
 /// Perfect network: everything on time.
@@ -110,6 +124,14 @@ impl Channel for ControlledLossChannel {
     fn name(&self) -> &'static str {
         "controlled-loss"
     }
+
+    fn rng_state(&self) -> Option<[u64; 4]> {
+        Some(self.rng.state())
+    }
+
+    fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
 }
 
 /// The 802.11-under-interference channel: per-command delays and losses
@@ -155,6 +177,14 @@ impl Channel for JammedChannel {
     }
     fn name(&self) -> &'static str {
         "jammed-802.11"
+    }
+
+    fn rng_state(&self) -> Option<[u64; 4]> {
+        Some(self.link.rng_state())
+    }
+
+    fn restore_rng(&mut self, state: [u64; 4]) {
+        self.link.restore_rng(state);
     }
 }
 

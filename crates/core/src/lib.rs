@@ -33,5 +33,7 @@ pub mod system;
 
 pub use channel::{Arrival, Channel, ControlledLossChannel, IdealChannel, JammedChannel};
 pub use edge::{edge_packets, run_closed_loop_edge, EdgePacket};
-pub use recovery::{RecoveryConfig, RecoveryEngine, RecoveryStats, TickOutcome};
+pub use recovery::{
+    EngineSnapshot, EngineStateError, RecoveryConfig, RecoveryEngine, RecoveryStats, TickOutcome,
+};
 pub use system::{run_closed_loop, ClosedLoopResult, RecoveryMode};

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecoveryConfig {
     /// Command period `Ω` (seconds). Used for reporting only; the engine
     /// is tick-driven.
@@ -135,6 +135,60 @@ pub struct RecoveryStats {
     pub late_patches: u64,
 }
 
+/// Why exporting or restoring engine state failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineStateError {
+    /// The engine's forecaster has no serialisable form (e.g. seq2seq):
+    /// `Forecaster::export_state` returned `None`.
+    UnsupportedForecaster {
+        /// Display name of the offending forecaster.
+        name: &'static str,
+    },
+    /// The snapshot's internal invariants do not hold (corrupt or
+    /// hand-edited data).
+    Invalid {
+        /// What was inconsistent.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for EngineStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineStateError::UnsupportedForecaster { name } => {
+                write!(f, "forecaster `{name}` has no serialisable state")
+            }
+            EngineStateError::Invalid { reason } => {
+                write!(f, "invalid engine snapshot: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineStateError {}
+
+/// Complete serialised form of a mid-run [`RecoveryEngine`]: the
+/// forecaster, the configuration, the `{ĉ_j}` history window with its
+/// real/forecast flags, and every counter. Restoring it yields an engine
+/// whose future ticks are bit-identical to the original's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// The forecaster, in its concrete serialisable form.
+    pub forecaster: foreco_forecast::ForecasterState,
+    /// Engine knobs.
+    pub config: RecoveryConfig,
+    /// History window `{ĉ_j}`, oldest first.
+    pub history: Vec<Vec<f64>>,
+    /// Per-entry forecast flags (parallel to `history`).
+    pub forecast_slots: Vec<bool>,
+    /// Forecasts issued since the last on-time delivery.
+    pub consecutive_forecasts: usize,
+    /// Window-quality signal frozen at the current outage's start.
+    pub burst_quality: f64,
+    /// Running counters.
+    pub stats: RecoveryStats,
+}
+
 /// The FoReCo recovery engine.
 ///
 /// # Example
@@ -236,6 +290,74 @@ impl RecoveryEngine {
         self.consecutive_forecasts = 0;
         self.burst_quality = 1.0;
         self.stats = RecoveryStats::default();
+    }
+
+    /// Exports the engine's complete state for checkpointing.
+    ///
+    /// # Errors
+    /// [`EngineStateError::UnsupportedForecaster`] when the forecaster
+    /// has no serialisable form.
+    pub fn snapshot(&self) -> Result<EngineSnapshot, EngineStateError> {
+        let forecaster =
+            self.forecaster
+                .export_state()
+                .ok_or(EngineStateError::UnsupportedForecaster {
+                    name: self.forecaster.name(),
+                })?;
+        Ok(EngineSnapshot {
+            forecaster,
+            config: self.cfg.clone(),
+            history: self.history.iter().cloned().collect(),
+            forecast_slots: self.forecast_slots.iter().copied().collect(),
+            consecutive_forecasts: self.consecutive_forecasts,
+            burst_quality: self.burst_quality,
+            stats: self.stats,
+        })
+    }
+
+    /// Rebuilds an engine from a snapshot. The restored engine's future
+    /// [`RecoveryEngine::tick`] outputs are bit-identical to what the
+    /// snapshotted engine would have produced.
+    ///
+    /// # Errors
+    /// [`EngineStateError::Invalid`] when the snapshot violates engine
+    /// invariants (empty history, mismatched lengths or dimensions).
+    pub fn from_snapshot(snap: EngineSnapshot) -> Result<Self, EngineStateError> {
+        let forecaster = snap.forecaster.build();
+        let invalid = |reason: String| EngineStateError::Invalid { reason };
+        if snap.history.is_empty() {
+            return Err(invalid("history must hold at least one command".into()));
+        }
+        if snap.history.len() != snap.forecast_slots.len() {
+            return Err(invalid(format!(
+                "history/forecast_slots length mismatch: {} vs {}",
+                snap.history.len(),
+                snap.forecast_slots.len()
+            )));
+        }
+        if snap.history.len() > forecaster.history_len().max(1) + 1 {
+            return Err(invalid(format!(
+                "history longer than the engine window: {} > {}",
+                snap.history.len(),
+                forecaster.history_len().max(1) + 1
+            )));
+        }
+        let dims = forecaster.dims();
+        if let Some(bad) = snap.history.iter().find(|c| c.len() != dims) {
+            return Err(invalid(format!(
+                "history entry of dimension {} in a {dims}-dimensional engine",
+                bad.len()
+            )));
+        }
+        Ok(Self {
+            forecaster,
+            cfg: snap.config,
+            history: snap.history.into(),
+            forecast_slots: snap.forecast_slots.into(),
+            consecutive_forecasts: snap.consecutive_forecasts,
+            burst_quality: snap.burst_quality,
+            stats: snap.stats,
+        })
     }
 
     /// One period tick.
@@ -747,6 +869,101 @@ mod tests {
             assert_eq!(recycled.tick(arrived.clone()), fresh.tick(arrived.clone()));
         }
         assert_eq!(recycled.stats(), fresh.stats());
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_mid_outage() {
+        // Snapshot in the middle of a loss burst (the hardest point:
+        // consecutive_forecasts, burst_quality, and forecast slots all
+        // live) and verify the restored engine replays the remaining
+        // sequence tick-for-tick, bit-for-bit.
+        let sequence: Vec<Option<Vec<f64>>> = (0..60)
+            .map(|i| {
+                if (12..20).contains(&i) || i % 7 == 0 {
+                    None
+                } else {
+                    Some(vec![i as f64 * 0.01, -(i as f64) * 0.02])
+                }
+            })
+            .collect();
+        let mut original = RecoveryEngine::new(
+            Box::new(MovingAverage::new(3, 2)),
+            RecoveryConfig::default(),
+            vec![0.0, 0.0],
+        );
+        for arrived in &sequence[..15] {
+            original.tick(arrived.clone());
+        }
+        let snap = original.snapshot().expect("MA is snapshotable");
+        // Round-trip through JSON bytes, as the service would.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: EngineSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let mut restored = RecoveryEngine::from_snapshot(back).expect("valid snapshot");
+        assert_eq!(restored.stats(), original.stats());
+        for arrived in &sequence[15..] {
+            let a = original.tick(arrived.clone());
+            let b = restored.tick(arrived.clone());
+            assert_eq!(a.forecast, b.forecast);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.command), bits(&b.command));
+        }
+        assert_eq!(restored.stats(), original.stats());
+    }
+
+    #[test]
+    fn snapshot_rejects_unsnapshotable_forecaster() {
+        #[derive(Clone)]
+        struct Opaque;
+        impl foreco_forecast::Forecaster for Opaque {
+            fn forecast(&self, history: &[Vec<f64>]) -> Vec<f64> {
+                history.last().unwrap().clone()
+            }
+            fn history_len(&self) -> usize {
+                1
+            }
+            fn dims(&self) -> usize {
+                1
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+        let e = RecoveryEngine::new(Box::new(Opaque), RecoveryConfig::default(), vec![0.0]);
+        match e.snapshot() {
+            Err(EngineStateError::UnsupportedForecaster { name }) => assert_eq!(name, "opaque"),
+            other => panic!("expected UnsupportedForecaster, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let e = RecoveryEngine::new(
+            Box::new(MovingAverage::new(2, 2)),
+            RecoveryConfig::default(),
+            vec![0.0, 0.0],
+        );
+        let good = e.snapshot().unwrap();
+
+        let mut empty = good.clone();
+        empty.history.clear();
+        empty.forecast_slots.clear();
+        assert!(RecoveryEngine::from_snapshot(empty).is_err());
+
+        let mut skewed = good.clone();
+        skewed.forecast_slots.push(true);
+        assert!(RecoveryEngine::from_snapshot(skewed).is_err());
+
+        let mut wrong_dims = good;
+        wrong_dims.history[0] = vec![0.0];
+        let err = match RecoveryEngine::from_snapshot(wrong_dims) {
+            Err(err) => err,
+            Ok(_) => panic!("dimension mismatch must be rejected"),
+        };
+        assert!(matches!(err, EngineStateError::Invalid { .. }));
+        // The error type is matchable and boxable for callers/tests.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("invalid engine snapshot"));
     }
 
     #[test]

@@ -87,6 +87,10 @@ impl Forecaster for Holt {
     fn name(&self) -> &'static str {
         "Holt"
     }
+
+    fn export_state(&self) -> Option<crate::ForecasterState> {
+        Some(crate::ForecasterState::Holt(*self))
+    }
 }
 
 #[cfg(test)]

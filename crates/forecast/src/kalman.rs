@@ -139,6 +139,10 @@ impl Forecaster for KalmanCv {
     fn name(&self) -> &'static str {
         "Kalman-CV"
     }
+
+    fn export_state(&self) -> Option<crate::ForecasterState> {
+        Some(crate::ForecasterState::Kalman(*self))
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ mod kalman;
 mod ma;
 pub mod pipeline;
 mod seq2seq;
+pub mod state;
 mod var;
 mod varma;
 
@@ -35,6 +36,7 @@ pub use holt::Holt;
 pub use kalman::KalmanCv;
 pub use ma::MovingAverage;
 pub use seq2seq::{Seq2SeqForecaster, Seq2SeqTrainConfig};
+pub use state::ForecasterState;
 pub use var::{Var, VarMode};
 pub use varma::Varma;
 
@@ -61,6 +63,15 @@ pub trait Forecaster: Send + Sync {
 
     /// Short display name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serialisable description of this forecaster for session
+    /// snapshots, or `None` when the forecaster cannot be checkpointed
+    /// (the default — see [`state`] for which types support it).
+    /// Wrappers (shared handles, adapters) must delegate to the inner
+    /// forecaster or their sessions become unsnapshotable.
+    fn export_state(&self) -> Option<ForecasterState> {
+        None
+    }
 }
 
 /// Recursive multi-step forecasting: predicts `steps` commands ahead,

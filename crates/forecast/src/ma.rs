@@ -57,6 +57,10 @@ impl Forecaster for MovingAverage {
     fn name(&self) -> &'static str {
         "MA"
     }
+
+    fn export_state(&self) -> Option<crate::ForecasterState> {
+        Some(crate::ForecasterState::Ma(self.clone()))
+    }
 }
 
 #[cfg(test)]

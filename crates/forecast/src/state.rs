@@ -1,0 +1,89 @@
+//! Serialisable forecaster state for session snapshots.
+//!
+//! A [`crate::Forecaster`] inside a live recovery engine is a boxed
+//! trait object; to checkpoint a session to bytes the service needs a
+//! concrete, versionable description of it that can be rebuilt on
+//! another shard or in another process. [`ForecasterState`] is that
+//! description: an externally-tagged enum over the in-tree forecaster
+//! types, each of which is plain data (windows, smoothing factors,
+//! trained coefficient matrices).
+//!
+//! Every forecaster here is a *pure function* of the history window the
+//! engine feeds it — the per-session mutable state lives in the engine's
+//! history, not in the forecaster — so rebuilding from state yields
+//! bit-identical forecasts, which is what the snapshot/restore
+//! determinism suite pins.
+//!
+//! [`Seq2SeqForecaster`](crate::Seq2SeqForecaster) is deliberately
+//! absent: its weight tensors are orders of magnitude larger than the
+//! rest of a snapshot and it is not deployed by the service runtime.
+//! Engines wrapping it report
+//! `Forecaster::export_state() == None` and snapshotting such a session
+//! fails with an explicit error instead of silently dropping state.
+
+use crate::{Forecaster, Holt, KalmanCv, MovingAverage, Var, Varma};
+use serde::{Deserialize, Serialize};
+
+/// Concrete, serialisable form of a deployed forecaster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ForecasterState {
+    /// Moving average (eq. 8 benchmark).
+    Ma(MovingAverage),
+    /// Holt double exponential smoothing (§VII-C).
+    Holt(Holt),
+    /// Constant-velocity Kalman filter (related-work baseline).
+    Kalman(KalmanCv),
+    /// Trained VAR — the paper's winner (eq. 5).
+    Var(Var),
+    /// Trained VARMA (§VII-C, Hannan–Rissanen).
+    Varma(Varma),
+}
+
+impl ForecasterState {
+    /// Rebuilds a boxed forecaster producing bit-identical forecasts to
+    /// the one this state was exported from.
+    pub fn build(&self) -> Box<dyn Forecaster> {
+        match self {
+            ForecasterState::Ma(f) => Box::new(f.clone()),
+            ForecasterState::Holt(f) => Box::new(*f),
+            ForecasterState::Kalman(f) => Box::new(*f),
+            ForecasterState::Var(f) => Box::new(f.clone()),
+            ForecasterState::Varma(f) => Box::new(f.clone()),
+        }
+    }
+
+    /// Display name of the wrapped forecaster.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ForecasterState::Ma(_) => "MA",
+            ForecasterState::Holt(_) => "Holt",
+            ForecasterState::Kalman(_) => "Kalman-CV",
+            ForecasterState::Var(_) => "VAR",
+            ForecasterState::Varma(_) => "VARMA",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_forecasts() {
+        let hist: Vec<Vec<f64>> = (0..12).map(|i| vec![0.01 * i as f64, -0.5]).collect();
+        let states = [
+            ForecasterState::Ma(MovingAverage::new(5, 2)),
+            ForecasterState::Holt(Holt::default_teleop(5, 2)),
+            ForecasterState::Kalman(KalmanCv::default_teleop(8, 2)),
+        ];
+        for state in &states {
+            let json = serde_json::to_string(state).unwrap();
+            let back: ForecasterState = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, state);
+            let a = state.build().forecast(&hist);
+            let b = back.build().forecast(&hist);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "{} drifted", state.name());
+        }
+    }
+}

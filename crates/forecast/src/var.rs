@@ -302,6 +302,10 @@ impl Forecaster for Var {
     fn name(&self) -> &'static str {
         "VAR"
     }
+
+    fn export_state(&self) -> Option<crate::ForecasterState> {
+        Some(crate::ForecasterState::Var(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -157,6 +157,10 @@ impl Forecaster for Varma {
     fn name(&self) -> &'static str {
         "VARMA"
     }
+
+    fn export_state(&self) -> Option<crate::ForecasterState> {
+        Some(crate::ForecasterState::Varma(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,162 @@
+//! Golden-vector regression tests: committed input/output fixtures per
+//! forecaster, compared **bit-exactly**, so a refactor of any forecaster
+//! (or of `foreco-linalg` underneath the trained ones) cannot silently
+//! change imputation numerics. The service-level determinism suite
+//! compares runs against each other; this file pins the absolute values.
+//!
+//! The fixture `tests/fixtures/golden_vectors.json` holds, per
+//! forecaster, the 6-step recursive forecast horizon (step 0 is the
+//! plain one-step forecast) over a fixed history window. Inputs are
+//! fully deterministic: the synthetic dataset below uses only +,-,×,÷
+//! (no libm trig, whose last bits can differ across platforms), and the
+//! trained models fit on it with the in-tree deterministic OLS.
+//!
+//! `Seq2SeqForecaster` is deliberately not pinned here: its training is
+//! three orders of magnitude slower than everything else combined and
+//! leans on libm transcendentals whose final bits are platform-specific.
+//!
+//! To regenerate after an *intentional* numerics change:
+//!
+//! ```text
+//! cargo test -p foreco-forecast --test golden_vectors -- --ignored regenerate
+//! ```
+//!
+//! then commit the diff — the point is that the diff is visible.
+
+use foreco_forecast::{forecast_horizon, Forecaster, Holt, KalmanCv, MovingAverage, Var, Varma};
+use foreco_teleop::Dataset;
+use serde::Value;
+
+const HORIZON: usize = 6;
+const FIXTURE: &str = include_str!("fixtures/golden_vectors.json");
+
+/// 400 six-joint commands from exact rational recurrences: per joint a
+/// lightly damped oscillator with a sawtooth drive — smooth, quasi-
+/// periodic motion in the teleoperation amplitude range, bit-identical
+/// on every IEEE-754 platform.
+fn synthetic_dataset() -> Dataset {
+    let mut commands = Vec::with_capacity(400);
+    let mut x = [0.10, -0.20, 0.30, 0.00, -0.10, 0.20];
+    let mut v = [0.010, 0.020, -0.015, 0.010, 0.000, -0.020];
+    for i in 0..400 {
+        let drive = (i % 50) as f64 * 1e-4 - 2.5e-3;
+        for k in 0..6 {
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            let acc = -0.08 * x[k] - 0.05 * v[k] + sign * drive;
+            v[k] += acc * 0.25;
+            x[k] += v[k] * 0.25;
+        }
+        commands.push(x.to_vec());
+    }
+    Dataset {
+        period: 0.02,
+        commands,
+        cycle_starts: vec![0],
+    }
+}
+
+/// The forecasters under pin, with stable fixture keys.
+fn forecasters(train: &Dataset) -> Vec<(&'static str, Box<dyn Forecaster>)> {
+    vec![
+        ("ma-5", Box::new(MovingAverage::new(5, 6))),
+        ("holt-5", Box::new(Holt::default_teleop(5, 6))),
+        ("kalman-8", Box::new(KalmanCv::default_teleop(8, 6))),
+        (
+            "var-levels-3",
+            Box::new(Var::fit(train, 3, 1e-6).expect("fit levels VAR")),
+        ),
+        (
+            "var-diff-3",
+            Box::new(Var::fit_differenced(train, 3, 1e-6).expect("fit differenced VAR")),
+        ),
+        (
+            "varma-2-2",
+            Box::new(Varma::fit(train, 2, 2, 1e-6).expect("fit VARMA")),
+        ),
+    ]
+}
+
+/// The fixed input window: 12 mid-trajectory commands.
+fn history(train: &Dataset) -> Vec<Vec<f64>> {
+    train.commands[100..112].to_vec()
+}
+
+fn computed_horizons() -> Vec<(&'static str, Vec<Vec<f64>>)> {
+    let train = synthetic_dataset();
+    let hist = history(&train);
+    forecasters(&train)
+        .into_iter()
+        .map(|(key, f)| (key, forecast_horizon(f.as_ref(), &hist, HORIZON)))
+        .collect()
+}
+
+#[test]
+fn forecasters_match_golden_vectors_bit_exactly() {
+    let fixture: Value = serde_json::from_str(FIXTURE).expect("parse fixture");
+    let mut pinned = 0;
+    for (key, horizon) in computed_horizons() {
+        let expected = fixture
+            .get(key)
+            .unwrap_or_else(|| panic!("fixture missing `{key}` — regenerate (see module docs)"))
+            .as_array()
+            .expect("fixture entry is an array of steps");
+        assert_eq!(expected.len(), horizon.len(), "{key}: step count");
+        for (step, (exp_step, got_step)) in expected.iter().zip(&horizon).enumerate() {
+            let exp_step = exp_step.as_array().expect("step is an array of joints");
+            assert_eq!(exp_step.len(), got_step.len(), "{key} step {step}: dims");
+            for (joint, (exp, got)) in exp_step.iter().zip(got_step).enumerate() {
+                let exp = match exp {
+                    Value::Number(n) => *n,
+                    other => panic!("{key} step {step} joint {joint}: not a number: {other:?}"),
+                };
+                assert_eq!(
+                    exp.to_bits(),
+                    got.to_bits(),
+                    "{key} step {step} joint {joint}: fixture {exp} vs computed {got} — \
+                     imputation numerics changed; if intentional, regenerate the fixture"
+                );
+            }
+        }
+        pinned += 1;
+    }
+    assert_eq!(pinned, 6, "every forecaster family must be pinned");
+}
+
+/// The fixture itself must stay in sync with the key list above.
+#[test]
+fn fixture_has_no_stale_entries() {
+    let fixture: Value = serde_json::from_str(FIXTURE).expect("parse fixture");
+    let keys: Vec<&str> = computed_horizons().iter().map(|(k, _)| *k).collect();
+    for (key, _) in fixture.as_object().expect("fixture is an object") {
+        assert!(
+            keys.contains(&key.as_str()),
+            "fixture entry `{key}` matches no pinned forecaster"
+        );
+    }
+}
+
+/// Writes the fixture from current numerics. Ignored: run explicitly
+/// (and review the diff!) when an imputation change is intentional.
+#[test]
+#[ignore = "regenerates the committed fixture; run on intentional numerics changes only"]
+fn regenerate() {
+    let entries: Vec<(String, Value)> = computed_horizons()
+        .into_iter()
+        .map(|(key, horizon)| {
+            let steps = Value::Array(
+                horizon
+                    .into_iter()
+                    .map(|step| Value::Array(step.into_iter().map(Value::Number).collect()))
+                    .collect(),
+            );
+            (key.to_string(), steps)
+        })
+        .collect();
+    let json = serde_json::to_string_pretty(&Value::Object(entries)).expect("render fixture");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("golden_vectors.json");
+    std::fs::write(&path, json + "\n").expect("write fixture");
+    eprintln!("regenerated {}", path.display());
+}

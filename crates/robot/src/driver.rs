@@ -8,11 +8,11 @@
 //! command ĉ_{i+1} = c_i in case Δ(c_{i+1}) > Ω").
 
 use crate::model::ArmModel;
-use crate::pid::{Pid, PidGains};
+use crate::pid::{Pid, PidGains, PidState};
 use serde::{Deserialize, Serialize};
 
 /// Driver-loop configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DriverConfig {
     /// Control period `Ω` in seconds (paper: 20 ms / 50 Hz).
     pub period: f64,
@@ -42,6 +42,23 @@ pub struct Sample {
     pub distance_mm: f64,
     /// Whether this tick had a fresh command (false = held the last one).
     pub fresh_command: bool,
+}
+
+/// Serialisable mutable state of a [`RobotDriver`]: everything a tick
+/// reads or writes except the arm model and gains (configuration,
+/// supplied again at restore time). The trajectory trail is *not*
+/// captured — snapshots are taken from O(1)-memory service sessions,
+/// which run with recording off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriverState {
+    /// Joint positions (rad).
+    pub joints: Vec<f64>,
+    /// Last command fed to the PIDs (held on misses).
+    pub last_command: Vec<f64>,
+    /// Simulated seconds since driver start.
+    pub t: f64,
+    /// Per-joint controller state.
+    pub pids: Vec<PidState>,
 }
 
 /// The simulated robot: joint state + PIDs + trajectory recording.
@@ -121,6 +138,11 @@ impl RobotDriver {
         &self.model
     }
 
+    /// The driver configuration.
+    pub fn config(&self) -> &DriverConfig {
+        &self.cfg
+    }
+
     /// Current joint state.
     pub fn joints(&self) -> &[f64] {
         &self.joints
@@ -176,6 +198,51 @@ impl RobotDriver {
             self.scratch = sample;
             &self.scratch
         }
+    }
+
+    /// Exports the driver's mutable state for checkpointing (the trail,
+    /// if any, is not included — see [`DriverState`]).
+    pub fn export_state(&self) -> DriverState {
+        DriverState {
+            joints: self.joints.clone(),
+            last_command: self.last_command.clone(),
+            t: self.t,
+            pids: self.pids.iter().map(Pid::state).collect(),
+        }
+    }
+
+    /// Rebuilds a driver from configuration plus exported state. Future
+    /// [`RobotDriver::tick`] outputs are bit-identical to what the
+    /// exported driver would have produced. Recording starts *off* (the
+    /// restored trail would be incomplete anyway).
+    ///
+    /// # Panics
+    /// Panics if the state's joint/command/PID counts mismatch the model
+    /// or the restored pose violates joint limits.
+    pub fn from_state(model: ArmModel, cfg: DriverConfig, state: &DriverState) -> Self {
+        assert_eq!(
+            state.joints.len(),
+            model.dof(),
+            "driver restore: joint count mismatch"
+        );
+        assert_eq!(
+            state.last_command.len(),
+            model.dof(),
+            "driver restore: command dimension mismatch"
+        );
+        assert_eq!(
+            state.pids.len(),
+            model.dof(),
+            "driver restore: PID count mismatch"
+        );
+        let mut driver = Self::new(model, cfg, &state.joints);
+        driver.last_command = state.last_command.clone();
+        driver.t = state.t;
+        for (pid, s) in driver.pids.iter_mut().zip(&state.pids) {
+            pid.restore(*s);
+        }
+        driver.set_recording(false);
+        driver
     }
 
     /// Full recorded trajectory.

@@ -35,8 +35,8 @@ mod kinematics;
 mod model;
 mod pid;
 
-pub use driver::{DriverConfig, RobotDriver, Sample};
+pub use driver::{DriverConfig, DriverState, RobotDriver, Sample};
 pub use ik::{solve_position, IkConfig, IkSolution};
 pub use kinematics::{DhChain, DhLink};
 pub use model::{niryo_one, ArmModel, JointLimit};
-pub use pid::{Pid, PidGains};
+pub use pid::{Pid, PidGains, PidState};

@@ -33,6 +33,16 @@ impl PidGains {
     }
 }
 
+/// Serialisable mutable state of one [`Pid`] (gains and output clamp are
+/// configuration, rebuilt from the arm model at restore time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidState {
+    /// Accumulated integral term.
+    pub integral: f64,
+    /// Previous error sample feeding the derivative term.
+    pub prev_error: Option<f64>,
+}
+
 /// One PID controller instance (one joint).
 #[derive(Debug, Clone)]
 pub struct Pid {
@@ -86,6 +96,21 @@ impl Pid {
     pub fn reset(&mut self) {
         self.integral = 0.0;
         self.prev_error = None;
+    }
+
+    /// Exports the controller's mutable state for checkpointing.
+    pub fn state(&self) -> PidState {
+        PidState {
+            integral: self.integral,
+            prev_error: self.prev_error,
+        }
+    }
+
+    /// Restores state exported by [`Pid::state`]; subsequent
+    /// [`Pid::step`] outputs are bit-identical to the original's.
+    pub fn restore(&mut self, state: PidState) {
+        self.integral = state.integral;
+        self.prev_error = state.prev_error;
     }
 }
 

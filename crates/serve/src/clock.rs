@@ -39,6 +39,16 @@ impl VirtualClock {
         Self::new(TICK_PERIOD)
     }
 
+    /// A clock resumed at `tick` (session snapshot restore).
+    ///
+    /// # Panics
+    /// Panics if `period` is not positive.
+    pub fn at_tick(period: f64, tick: u64) -> Self {
+        let mut clock = Self::new(period);
+        clock.tick = tick;
+        clock
+    }
+
     /// Current tick index.
     pub fn tick(&self) -> u64 {
         self.tick
@@ -161,6 +171,47 @@ mod tests {
             start.elapsed() >= Duration::from_millis(15),
             "pacer did not pace"
         );
+    }
+
+    #[test]
+    fn resumed_clock_continues_from_its_tick() {
+        let c = VirtualClock::at_tick(TICK_PERIOD, 350);
+        assert_eq!(c.tick(), 350);
+        assert!((c.now() - 7.0).abs() < 1e-12, "350 ticks at 50 Hz = 7 s");
+        let mut c = c;
+        c.advance();
+        assert_eq!(c.tick(), 351);
+    }
+
+    #[test]
+    fn resync_re_anchors_the_epoch() {
+        // The re-anchor-after-idle path: after resync() the pacer's
+        // schedule restarts from "now", so the next ticks are paced at
+        // the full period instead of replaying the idle backlog.
+        let mut p = Pacer::new(Pacing::RealTime, 0.002);
+        std::thread::sleep(Duration::from_millis(30));
+        p.resync();
+        let start = Instant::now();
+        for _ in 0..5 {
+            p.tick_complete();
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(9),
+            "resynced pacer must pace from its new epoch ({elapsed:?})"
+        );
+    }
+
+    #[test]
+    fn resync_is_harmless_for_unpaced_clocks() {
+        let mut p = Pacer::new(Pacing::Unpaced, TICK_PERIOD);
+        std::thread::sleep(Duration::from_millis(5));
+        p.resync();
+        let start = Instant::now();
+        for _ in 0..1000 {
+            p.tick_complete();
+        }
+        assert!(start.elapsed() < Duration::from_millis(100));
     }
 
     #[test]

@@ -10,7 +10,23 @@
 //! miss on the tick that would have consumed it, and FoReCo forecasts
 //! the gap — the drop policy *is* the loss model.
 
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Serialisable form of a [`BoundedInbox`] for session snapshots:
+/// capacity, the queued (not-yet-consumed) commands, and the lifetime
+/// accept/drop counters that feed `SessionReport::overflow_drops`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InboxState {
+    /// Maximum queued commands.
+    pub capacity: usize,
+    /// Queued commands, oldest first.
+    pub queue: Vec<Vec<f64>>,
+    /// Commands accepted since construction.
+    pub accepted: u64,
+    /// Commands dropped by backpressure since construction.
+    pub dropped: u64,
+}
 
 /// Outcome of offering a command to the inbox.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +97,34 @@ impl BoundedInbox {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Exports the inbox for checkpointing.
+    pub fn snapshot(&self) -> InboxState {
+        InboxState {
+            capacity: self.capacity,
+            queue: self.queue.iter().cloned().collect(),
+            accepted: self.accepted,
+            dropped: self.dropped,
+        }
+    }
+
+    /// Rebuilds an inbox from exported state.
+    ///
+    /// # Panics
+    /// Panics if the state's capacity is zero or the queue exceeds it.
+    pub fn from_state(state: &InboxState) -> Self {
+        assert!(state.capacity >= 1, "inbox restore: capacity must be ≥ 1");
+        assert!(
+            state.queue.len() <= state.capacity,
+            "inbox restore: queue longer than capacity"
+        );
+        Self {
+            queue: state.queue.iter().cloned().collect(),
+            capacity: state.capacity,
+            accepted: state.accepted,
+            dropped: state.dropped,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +160,76 @@ mod tests {
         inbox.offer(vec![2.0]); // dropped
         assert_eq!(inbox.take(), Some(vec![1.0]));
         assert_eq!(inbox.take(), None, "dropped command must not appear");
+    }
+
+    #[test]
+    fn counters_survive_refill_cycles() {
+        // Overflow accounting is lifetime accounting: draining the queue
+        // must never reset or double-count accepted/dropped.
+        let mut inbox = BoundedInbox::new(2);
+        for round in 0..5u64 {
+            assert_eq!(inbox.offer(vec![0.1]), Offer::Accepted);
+            assert_eq!(inbox.offer(vec![0.2]), Offer::Accepted);
+            assert_eq!(inbox.offer(vec![0.3]), Offer::Dropped);
+            assert_eq!(inbox.offer(vec![0.4]), Offer::Dropped);
+            while inbox.take().is_some() {}
+            assert_eq!(inbox.accepted(), (round + 1) * 2);
+            assert_eq!(inbox.dropped(), (round + 1) * 2);
+        }
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.len(), 0);
+    }
+
+    #[test]
+    fn drain_reopens_capacity_exactly() {
+        // A full inbox accepts again after exactly one take — the
+        // boundary where an off-by-one would either leak a slot or
+        // wrongly drop.
+        let mut inbox = BoundedInbox::new(2);
+        inbox.offer(vec![1.0]);
+        inbox.offer(vec![2.0]);
+        assert_eq!(inbox.offer(vec![3.0]), Offer::Dropped);
+        assert_eq!(inbox.take(), Some(vec![1.0]));
+        assert_eq!(inbox.offer(vec![4.0]), Offer::Accepted);
+        assert_eq!(inbox.offer(vec![5.0]), Offer::Dropped);
+        assert_eq!(inbox.take(), Some(vec![2.0]));
+        assert_eq!(inbox.take(), Some(vec![4.0]));
+        assert_eq!(inbox.dropped(), 2);
+        assert_eq!(inbox.accepted(), 3);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_queue_and_counters() {
+        let mut inbox = BoundedInbox::new(3);
+        inbox.offer(vec![1.0, 2.0]);
+        inbox.offer(vec![3.0, 4.0]);
+        inbox.offer(vec![5.0, 6.0]);
+        inbox.offer(vec![7.0, 8.0]); // dropped
+        inbox.take();
+        let state = inbox.snapshot();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: InboxState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let mut restored = BoundedInbox::from_state(&back);
+        assert_eq!(restored.len(), inbox.len());
+        assert_eq!(restored.accepted(), 3);
+        assert_eq!(restored.dropped(), 1);
+        assert_eq!(restored.take(), inbox.take());
+        assert_eq!(restored.take(), inbox.take());
+        assert_eq!(restored.take(), None);
+        // And the drop policy picks up where it left off.
+        restored.offer(vec![9.0, 9.0]);
+        assert_eq!(restored.accepted(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue longer than capacity")]
+    fn from_state_rejects_overfull_queue() {
+        BoundedInbox::from_state(&InboxState {
+            capacity: 1,
+            queue: vec![vec![0.0], vec![1.0]],
+            accepted: 2,
+            dropped: 0,
+        });
     }
 }

@@ -23,7 +23,15 @@
 //! - backpressure is explicit and *is* the loss model: a streamed
 //!   session's bounded inbox drops overflowing commands, and the
 //!   recovery engine forecasts the gap — exactly the paper's loss event,
-//!   produced by the service's own admission control.
+//!   produced by the service's own admission control;
+//! - sessions are **portable**: [`Session::snapshot`] checkpoints a live
+//!   loop (engine history, forecaster, PID state, channel RNG, tick,
+//!   stats) to a versioned [`SessionSnapshot`] that
+//!   [`Session::restore`] rehydrates anywhere — same shard, another
+//!   shard ([`SessionCommand::Migrate`]'s drain→transfer→resume path),
+//!   or another process ([`ServiceHandle::adopt`]) — with **bit-identical**
+//!   continued output, pinned by the `tests/snapshot_roundtrip.rs`
+//!   determinism suite.
 //!
 //! # Quickstart
 //!
@@ -73,13 +81,15 @@ pub mod protocol;
 pub mod service;
 pub mod session;
 pub mod shard;
+pub mod snapshot;
 pub mod spec;
 
 pub use clock::{Pacing, VirtualClock, TICK_HZ, TICK_PERIOD};
-pub use inbox::{BoundedInbox, Offer};
+pub use inbox::{BoundedInbox, InboxState, Offer};
 pub use metrics::{MetricsRegistry, PercentileSummary, ServiceSummary};
 pub use protocol::{ServiceError, SessionCommand, SessionEvent};
 pub use service::{Service, ServiceConfig, ServiceHandle};
 pub use session::{Advance, Session, SessionReport};
 pub use shard::shard_of;
+pub use snapshot::{RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_VERSION};
 pub use spec::{ChannelSpec, RecoverySpec, SessionId, SessionSpec, SharedForecaster, SourceSpec};

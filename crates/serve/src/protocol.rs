@@ -8,6 +8,7 @@
 //! session confined to exactly one shard thread.
 
 use crate::session::SessionReport;
+use crate::snapshot::SessionSnapshot;
 use crate::spec::{SessionId, SessionSpec};
 
 /// Instructions a caller sends into the service.
@@ -28,6 +29,29 @@ pub enum SessionCommand {
         /// Target session.
         id: SessionId,
     },
+    /// Checkpoint a live session: the owning shard exports its complete
+    /// state and emits [`SessionEvent::Snapshotted`]. The session keeps
+    /// running, untouched.
+    Snapshot {
+        /// Target session.
+        id: SessionId,
+    },
+    /// Move a live session to shard `to`: drain (finish the current
+    /// tick), transfer (snapshot + hand the state to the target shard),
+    /// resume (the target rehydrates and continues). Outputs are
+    /// bit-identical to never having moved; the service's routing table
+    /// follows the session so later commands find it.
+    Migrate {
+        /// Target session.
+        id: SessionId,
+        /// Destination shard index.
+        to: usize,
+    },
+    /// Rehydrate a snapshotted session on the receiving shard — the
+    /// transfer half of a migration, also sent directly by
+    /// [`ServiceHandle::adopt`](crate::ServiceHandle::adopt) to revive a
+    /// checkpoint from another process or an earlier run.
+    Adopt(Box<SessionSnapshot>),
     /// Stop the shard after finishing in-flight sessions' current tick.
     Shutdown,
 }
@@ -61,6 +85,53 @@ pub enum SessionEvent {
         /// The contested id.
         id: SessionId,
     },
+    /// A session was checkpointed in response to
+    /// [`SessionCommand::Snapshot`].
+    Snapshotted {
+        /// Session id.
+        id: SessionId,
+        /// Shard that owns the session.
+        shard: usize,
+        /// The exported state (boxed: an order of magnitude larger than
+        /// every other event).
+        snapshot: Box<SessionSnapshot>,
+    },
+    /// A snapshot or migration was requested but the session's state
+    /// cannot be exported (unsnapshotable forecaster). The session keeps
+    /// running where it is.
+    SnapshotFailed {
+        /// Session id.
+        id: SessionId,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// An adopted snapshot could not be rehydrated (version mismatch,
+    /// corrupt state, wrong arm model). Nothing was created.
+    RestoreFailed {
+        /// Session id from the rejected snapshot.
+        id: SessionId,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A session left its shard as part of a migration; a matching
+    /// [`SessionEvent::Restored`] follows from the destination.
+    Migrated {
+        /// Session id.
+        id: SessionId,
+        /// Shard the session left.
+        from: usize,
+        /// Shard the session is moving to.
+        to: usize,
+    },
+    /// A session was rehydrated from a snapshot and resumed.
+    Restored {
+        /// Session id.
+        id: SessionId,
+        /// Shard now owning the session.
+        shard: usize,
+        /// Virtual tick the session resumed at.
+        tick: u64,
+    },
     /// The session ran to completion.
     Completed {
         /// Session id.
@@ -85,6 +156,13 @@ pub enum ServiceError {
     Backpressure,
     /// The target shard has terminated.
     Disconnected,
+    /// A migration named a shard index outside the pool.
+    NoSuchShard {
+        /// The requested destination.
+        shard: usize,
+        /// How many shards the pool has.
+        shards: usize,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -92,6 +170,9 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Backpressure => write!(f, "shard control channel full"),
             ServiceError::Disconnected => write!(f, "shard terminated"),
+            ServiceError::NoSuchShard { shard, shards } => {
+                write!(f, "no shard {shard} in a {shards}-shard pool")
+            }
         }
     }
 }

@@ -11,10 +11,12 @@
 use crate::clock::{Pacing, TICK_PERIOD};
 use crate::metrics::MetricsRegistry;
 use crate::protocol::{ServiceError, SessionCommand, SessionEvent};
-use crate::shard::{shard_of, ShardWorker};
+use crate::shard::{RoutingTable, ShardWorker};
+use crate::snapshot::SessionSnapshot;
 use crate::spec::{SessionId, SessionSpec};
 use foreco_robot::{niryo_one, ArmModel};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Service construction knobs.
@@ -58,15 +60,23 @@ impl ServiceConfig {
     }
 }
 
-/// Cloneable ingress: routes commands to the owning shard.
+/// Cloneable ingress: routes commands to the owning shard — the static
+/// hash placement by default, the migration-aware routing table once a
+/// session has moved.
 #[derive(Clone)]
 pub struct ServiceHandle {
     controls: Vec<SyncSender<SessionCommand>>,
+    routes: Arc<RoutingTable>,
 }
 
 impl ServiceHandle {
     fn route(&self, id: SessionId) -> &SyncSender<SessionCommand> {
-        &self.controls[shard_of(id, self.controls.len())]
+        &self.controls[self.routes.shard_for(id, self.controls.len())]
+    }
+
+    /// Number of shards in the pool.
+    pub fn shards(&self) -> usize {
+        self.controls.len()
     }
 
     /// Opens a session on its home shard (blocks if the shard's control
@@ -127,6 +137,41 @@ impl ServiceHandle {
             .map_err(|_| ServiceError::Disconnected)
     }
 
+    /// Requests a checkpoint of a live session; the owning shard answers
+    /// with [`SessionEvent::Snapshotted`] (or `SnapshotFailed` /
+    /// `UnknownSession`). The session keeps running.
+    pub fn snapshot(&self, id: SessionId) -> Result<(), ServiceError> {
+        self.route(id)
+            .send(SessionCommand::Snapshot { id })
+            .map_err(|_| ServiceError::Disconnected)
+    }
+
+    /// Moves a live session to shard `to` mid-run (drain → transfer →
+    /// resume; see the shard docs). Watch for the paired
+    /// [`SessionEvent::Migrated`] / [`SessionEvent::Restored`] events.
+    pub fn migrate(&self, id: SessionId, to: usize) -> Result<(), ServiceError> {
+        if to >= self.controls.len() {
+            return Err(ServiceError::NoSuchShard {
+                shard: to,
+                shards: self.controls.len(),
+            });
+        }
+        self.route(id)
+            .send(SessionCommand::Migrate { id, to })
+            .map_err(|_| ServiceError::Disconnected)
+    }
+
+    /// Rehydrates a checkpointed session — e.g. one exported by
+    /// [`ServiceHandle::snapshot`] before a process restart — onto its
+    /// routed shard. The shard answers with [`SessionEvent::Restored`]
+    /// (or `RestoreFailed` / `DuplicateSession`) and the session resumes
+    /// from its snapshot tick.
+    pub fn adopt(&self, snapshot: SessionSnapshot) -> Result<(), ServiceError> {
+        self.route(snapshot.id)
+            .send(SessionCommand::Adopt(Box::new(snapshot)))
+            .map_err(|_| ServiceError::Disconnected)
+    }
+
     /// Requests a graceful drain of every shard.
     pub fn shutdown(&self) {
         for control in &self.controls {
@@ -151,19 +196,26 @@ impl Service {
     pub fn spawn(config: ServiceConfig) -> Self {
         assert!(config.shards >= 1, "service: need at least one shard");
         let (event_tx, event_rx) = sync_channel(config.event_capacity);
-        let mut controls = Vec::with_capacity(config.shards);
+        let routes = Arc::new(RoutingTable::default());
+        // All control channels exist before any worker starts: each
+        // worker holds every peer's sender for migration hand-offs.
+        let channels: Vec<_> = (0..config.shards)
+            .map(|_| sync_channel(config.control_capacity))
+            .collect();
+        let controls: Vec<SyncSender<SessionCommand>> =
+            channels.iter().map(|(tx, _)| tx.clone()).collect();
         let mut workers = Vec::with_capacity(config.shards);
-        for index in 0..config.shards {
-            let (control_tx, control_rx) = sync_channel(config.control_capacity);
+        for (index, (_, control_rx)) in channels.into_iter().enumerate() {
             let worker = ShardWorker {
                 index,
                 control: control_rx,
                 events: event_tx.clone(),
+                peers: controls.clone(),
+                routes: Arc::clone(&routes),
                 model: config.model.clone(),
                 pacing: config.pacing,
                 period: config.period,
             };
-            controls.push(control_tx);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("foreco-shard-{index}"))
@@ -172,7 +224,7 @@ impl Service {
             );
         }
         Self {
-            handle: ServiceHandle { controls },
+            handle: ServiceHandle { controls, routes },
             events: event_rx,
             workers,
         }
@@ -190,11 +242,13 @@ impl Service {
 
     /// Shuts down and joins every shard, returning the total
     /// session-ticks each advanced. Buffered events are discarded.
-    pub fn join(self) -> Vec<u64> {
-        self.handle.shutdown();
-        drop(self.handle);
-        drop(self.events);
-        self.workers
+    pub fn join(mut self) -> Vec<u64> {
+        let workers = std::mem::take(&mut self.workers);
+        // Dropping self runs the Drop impl (Shutdown to every shard)
+        // and releases the event receiver, so shards blocked emitting
+        // events unblock and exit.
+        drop(self);
+        workers
             .into_iter()
             .map(|w| w.join().expect("shard thread panicked"))
             .collect()
@@ -287,9 +341,22 @@ impl Service {
     }
 }
 
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Every worker holds peer control senders (for migration
+        // hand-offs), so the channels never disconnect on their own and
+        // a shard parked on `recv` would otherwise sleep forever when a
+        // Service is dropped without `join`. Ask each shard to drain
+        // and exit; the threads finish asynchronously ([`Service::join`]
+        // is still the way to wait for them).
+        self.handle.shutdown();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::shard_of;
     use crate::spec::{ChannelSpec, RecoverySpec, SourceSpec};
     use foreco_teleop::{Dataset, Skill};
     use std::sync::Arc;
@@ -429,6 +496,226 @@ mod tests {
             other => panic!("expected UnknownSession, got {other:?}"),
         }
         service.join();
+    }
+
+    #[test]
+    fn snapshot_command_checkpoints_live_session() {
+        let service = Service::spawn(ServiceConfig::with_shards(2));
+        let handle = service.handle();
+        let batch = specs(2);
+        for spec in batch {
+            handle.open(spec).unwrap();
+        }
+        handle.snapshot(0).unwrap();
+        let mut snapshot = None;
+        let mut completed = 0;
+        while completed < 2 {
+            match service.next_event().expect("service alive") {
+                SessionEvent::Snapshotted {
+                    id, snapshot: s, ..
+                } => {
+                    assert_eq!(id, 0);
+                    snapshot = Some(s);
+                }
+                SessionEvent::Completed { .. } => completed += 1,
+                _ => {}
+            }
+        }
+        let snapshot = snapshot.expect("snapshot event must arrive");
+        assert_eq!(snapshot.id, 0);
+        assert_eq!(snapshot.version, crate::snapshot::SNAPSHOT_VERSION);
+        // The checkpoint survives a byte round trip.
+        let bytes = snapshot.to_bytes();
+        let back = crate::snapshot::SessionSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, *snapshot);
+        service.join();
+    }
+
+    #[test]
+    fn migrate_moves_session_and_routing_follows() {
+        let service = Service::spawn(ServiceConfig::with_shards(4));
+        let handle = service.handle();
+        let batch = specs(8);
+        let ids: Vec<u64> = batch.iter().map(|s| s.id).collect();
+        for spec in batch {
+            handle.open(spec).unwrap();
+        }
+        // Move every session off its home shard immediately.
+        for &id in &ids {
+            let home = shard_of(id, 4);
+            handle.migrate(id, (home + 1) % 4).unwrap();
+        }
+        let mut migrated = 0;
+        let mut restored = 0;
+        let mut completed = 0;
+        while completed < ids.len() {
+            match service.next_event().expect("service alive") {
+                SessionEvent::Migrated { from, to, .. } => {
+                    assert_ne!(from, to, "no-op migrations not requested here");
+                    migrated += 1;
+                }
+                SessionEvent::Restored { id, shard, .. } => {
+                    assert_eq!(shard, (shard_of(id, 4) + 1) % 4);
+                    restored += 1;
+                }
+                SessionEvent::Opened { .. } => {}
+                SessionEvent::Completed { .. } => completed += 1,
+                SessionEvent::UnknownSession { .. } => {
+                    // The session completed before its migrate arrived —
+                    // legal in this race, just not counted as a move.
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(migrated, restored, "every departure must land");
+        assert!(migrated > 0, "no migration ever happened");
+        service.join();
+    }
+
+    #[test]
+    fn adopt_rehydrates_into_a_fresh_service() {
+        // Simulate a process restart: checkpoint a session in service A,
+        // tear A down, revive the checkpoint in service B. B's report
+        // must be bit-identical to A's uninterrupted twin.
+        let twin = Service::spawn(ServiceConfig::with_shards(1))
+            .run_to_completion(specs(1))
+            .reports()
+            .first()
+            .cloned()
+            .expect("twin report");
+
+        let a = Service::spawn(ServiceConfig::with_shards(1));
+        let handle = a.handle();
+        handle.open(specs(1).remove(0)).unwrap();
+        handle.snapshot(0).unwrap();
+        let bytes = loop {
+            match a.next_event().expect("service alive") {
+                SessionEvent::Snapshotted { snapshot, .. } => break snapshot.to_bytes(),
+                SessionEvent::Completed { .. } => panic!("snapshot raced completion"),
+                _ => {}
+            }
+        };
+        a.join(); // "the process dies"
+
+        let b = Service::spawn(ServiceConfig::with_shards(1));
+        let snapshot = crate::snapshot::SessionSnapshot::from_bytes(&bytes).unwrap();
+        b.handle().adopt(snapshot).unwrap();
+        let report = loop {
+            match b.next_event().expect("service alive") {
+                SessionEvent::Restored { id, .. } => assert_eq!(id, 0),
+                SessionEvent::Completed { report, .. } => break report,
+                other => panic!("unexpected event {other:?}"),
+            }
+        };
+        b.join();
+        assert_eq!(report.misses, twin.misses);
+        assert_eq!(report.ticks, twin.ticks);
+        assert_eq!(report.rmse_mm.to_bits(), twin.rmse_mm.to_bits());
+        assert_eq!(
+            report.max_deviation_mm.to_bits(),
+            twin.max_deviation_mm.to_bits()
+        );
+    }
+
+    #[test]
+    fn migrate_rejects_out_of_range_shard() {
+        let service = Service::spawn(ServiceConfig::with_shards(2));
+        let handle = service.handle();
+        assert_eq!(handle.shards(), 2);
+        let err = handle.migrate(0, 5).expect_err("shard 5 of 2 must fail");
+        assert_eq!(
+            err,
+            ServiceError::NoSuchShard {
+                shard: 5,
+                shards: 2
+            }
+        );
+        // ServiceError is a real std error for caller/test ergonomics.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("no shard 5"));
+        service.join();
+    }
+
+    #[test]
+    fn bidirectional_migration_with_tiny_control_channels_does_not_deadlock() {
+        // Regression: migration hand-offs must never block the shard
+        // loop. With capacity-2 control channels and sessions migrating
+        // in both directions at once, a blocking `send` in the Migrate
+        // arm deadlocks the pool (each shard stuck writing to the
+        // other's full channel, neither draining its own).
+        let config = ServiceConfig {
+            shards: 2,
+            control_capacity: 2,
+            ..Default::default()
+        };
+        let service = Service::spawn(config);
+        let handle = service.handle();
+        let batch = specs(12);
+        for spec in batch {
+            handle.open(spec).unwrap();
+        }
+        for round in 0..3usize {
+            for id in 0..12u64 {
+                // Ping-pong: odd rounds send everything to shard 0,
+                // even rounds to shard 1 — guaranteed cross-traffic.
+                handle.migrate(id, round % 2).unwrap();
+            }
+        }
+        let mut completed = 0;
+        while completed < 12 {
+            if let Some(SessionEvent::Completed { .. }) = service.next_event() {
+                completed += 1;
+            }
+        }
+        service.join();
+    }
+
+    #[test]
+    fn dropped_service_unwinds_its_shards() {
+        // Regression: workers hold peer control senders, so channel
+        // disconnection alone can't wake a parked shard — dropping a
+        // Service without join() must still shut the threads down (via
+        // the Drop impl) instead of leaking them.
+        let service = Service::spawn(ServiceConfig::with_shards(2));
+        let handle = service.handle();
+        drop(service); // no join
+        let ids: Vec<u64> = (0..2)
+            .map(|s| (0..).find(|&id| shard_of(id, 2) == s).unwrap())
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        for id in ids {
+            // Once the worker exits, its control receiver drops and
+            // sends start failing with Disconnected.
+            loop {
+                match handle.close(id) {
+                    Err(ServiceError::Disconnected) => break,
+                    _ => {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "shard owning session {id} never exited after drop"
+                        );
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handle_errors_after_shutdown_are_matchable() {
+        let service = Service::spawn(ServiceConfig::with_shards(1));
+        let handle = service.handle();
+        service.join();
+        assert_eq!(
+            handle.snapshot(0).expect_err("pool is gone"),
+            ServiceError::Disconnected
+        );
+        assert_eq!(
+            handle.inject(0, vec![0.0]).expect_err("pool is gone"),
+            ServiceError::Disconnected
+        );
+        let err: Box<dyn std::error::Error> = Box::new(handle.close(0).expect_err("still gone"));
+        assert!(err.to_string().contains("terminated"));
     }
 
     #[test]

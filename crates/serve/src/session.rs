@@ -24,10 +24,13 @@
 
 use crate::clock::VirtualClock;
 use crate::inbox::{BoundedInbox, Offer};
-use crate::spec::{SessionId, SessionSpec, SourceSpec};
+use crate::snapshot::{
+    RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_VERSION,
+};
+use crate::spec::{ChannelSpec, SessionId, SessionSpec, SourceSpec};
 use foreco_core::channel::{Arrival, Channel};
-use foreco_core::{RecoveryEngine, RecoveryStats};
-use foreco_robot::{ArmModel, RobotDriver};
+use foreco_core::{EngineStateError, RecoveryEngine, RecoveryStats};
+use foreco_robot::{ArmModel, DriverState, RobotDriver};
 use foreco_teleop::Dataset;
 use serde::Serialize;
 use std::sync::Arc;
@@ -73,6 +76,9 @@ enum Source {
     Streamed {
         inbox: BoundedInbox,
         channel: Box<dyn Channel + Send>,
+        /// Construction parameters of `channel`, kept so a snapshot can
+        /// rebuild the same impairment model elsewhere.
+        channel_spec: Box<ChannelSpec>,
         fate_buf: std::collections::VecDeque<Arrival>,
         closing: bool,
     },
@@ -126,6 +132,7 @@ impl Session {
                     Source::Streamed {
                         inbox: BoundedInbox::new(*inbox_capacity),
                         channel: spec.channel.build(),
+                        channel_spec: Box::new(spec.channel.clone()),
                         fate_buf: std::collections::VecDeque::new(),
                         closing: false,
                     },
@@ -206,6 +213,7 @@ impl Session {
                 channel,
                 fate_buf,
                 closing,
+                ..
             } => {
                 match inbox.take() {
                     Some(cmd) => {
@@ -310,6 +318,215 @@ impl Session {
     pub fn model(&self) -> &ArmModel {
         self.executed.model()
     }
+
+    /// Checkpoints the complete session to a [`SessionSnapshot`]: engine
+    /// history, forecaster, PID/driver state, channel RNG, tick, and
+    /// every accumulator. The session keeps running; restoring the
+    /// snapshot anywhere continues it with bit-identical outputs (see
+    /// the [`crate::snapshot`] module docs for the contract).
+    ///
+    /// # Errors
+    /// [`SnapshotError::UnsupportedForecaster`] when the engine wraps a
+    /// forecaster with no serialisable form (e.g. seq2seq).
+    pub fn snapshot(&self) -> Result<SessionSnapshot, SnapshotError> {
+        let engine = match &self.engine {
+            None => None,
+            Some(engine) => match engine.snapshot() {
+                Ok(snap) => Some(snap),
+                Err(EngineStateError::UnsupportedForecaster { name }) => {
+                    return Err(SnapshotError::UnsupportedForecaster { name })
+                }
+                Err(EngineStateError::Invalid { reason }) => {
+                    unreachable!("live engine exported invalid state: {reason}")
+                }
+            },
+        };
+        let source = match &self.source {
+            Source::Scripted { commands, fates } => SourceState::Scripted {
+                commands: (**commands).clone(),
+                fates: fates.clone(),
+            },
+            Source::Streamed {
+                inbox,
+                channel,
+                channel_spec,
+                fate_buf,
+                closing,
+            } => SourceState::Streamed {
+                inbox: inbox.snapshot(),
+                channel: channel_spec.clone(),
+                channel_rng: channel.rng_state(),
+                fate_buf: fate_buf.iter().copied().collect(),
+                closing: *closing,
+            },
+        };
+        Ok(SessionSnapshot {
+            version: SNAPSHOT_VERSION,
+            id: self.id,
+            tick: self.clock.tick(),
+            period: self.omega,
+            driver: *self.executed.config(),
+            misses: self.misses,
+            acc_sq_mm: self.acc_sq_mm,
+            worst_mm: self.worst_mm,
+            source,
+            engine,
+            pending_late: self.pending_late.clone(),
+            reference: self.reference.export_state(),
+            executed: self.executed.export_state(),
+        })
+    }
+
+    /// Rehydrates a session from a snapshot onto `model`, continuing
+    /// exactly where the snapshotted session left off.
+    ///
+    /// # Errors
+    /// [`RestoreError::Version`] on a foreign format version and
+    /// [`RestoreError::Invalid`] when the snapshot violates session
+    /// invariants (dimension mismatches against `model`, inconsistent
+    /// script/fate lengths, out-of-range restore points, …).
+    pub fn restore(snap: &SessionSnapshot, model: &ArmModel) -> Result<Self, RestoreError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(RestoreError::Version {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        if !snap.period.is_finite() || snap.period <= 0.0 {
+            return Err(RestoreError::Invalid("period must be positive".into()));
+        }
+        validate_driver_state(&snap.reference, model, "reference")?;
+        validate_driver_state(&snap.executed, model, "executed")?;
+        if let Some(bad) = snap
+            .pending_late
+            .iter()
+            .find(|(_, _, payload)| payload.len() != model.dof())
+        {
+            return Err(RestoreError::Invalid(format!(
+                "pending late command of dimension {} for a {}-DoF arm",
+                bad.2.len(),
+                model.dof()
+            )));
+        }
+        let source = match &snap.source {
+            SourceState::Scripted { commands, fates } => {
+                if commands.is_empty() {
+                    return Err(RestoreError::Invalid(
+                        "scripted source without commands".into(),
+                    ));
+                }
+                if let Some(bad) = commands.iter().find(|c| c.len() != model.dof()) {
+                    return Err(RestoreError::Invalid(format!(
+                        "scripted command of dimension {} for a {}-DoF arm",
+                        bad.len(),
+                        model.dof()
+                    )));
+                }
+                if fates.len() != commands.len() {
+                    return Err(RestoreError::Invalid(format!(
+                        "{} fates for {} commands",
+                        fates.len(),
+                        commands.len()
+                    )));
+                }
+                if snap.tick as usize > commands.len() {
+                    return Err(RestoreError::Invalid(format!(
+                        "tick {} beyond the {}-command script",
+                        snap.tick,
+                        commands.len()
+                    )));
+                }
+                Source::Scripted {
+                    commands: Arc::new(commands.clone()),
+                    fates: fates.clone(),
+                }
+            }
+            SourceState::Streamed {
+                inbox,
+                channel,
+                channel_rng,
+                fate_buf,
+                closing,
+            } => {
+                if inbox.capacity == 0 {
+                    return Err(RestoreError::Invalid("inbox capacity of zero".into()));
+                }
+                if inbox.queue.len() > inbox.capacity {
+                    return Err(RestoreError::Invalid(format!(
+                        "{} queued commands in a capacity-{} inbox",
+                        inbox.queue.len(),
+                        inbox.capacity
+                    )));
+                }
+                if let Some(bad) = inbox.queue.iter().find(|c| c.len() != model.dof()) {
+                    return Err(RestoreError::Invalid(format!(
+                        "queued command of dimension {} for a {}-DoF arm",
+                        bad.len(),
+                        model.dof()
+                    )));
+                }
+                let mut rebuilt = channel.build();
+                if let Some(state) = channel_rng {
+                    rebuilt.restore_rng(*state);
+                }
+                Source::Streamed {
+                    inbox: BoundedInbox::from_state(inbox),
+                    channel: rebuilt,
+                    channel_spec: channel.clone(),
+                    fate_buf: fate_buf.iter().copied().collect(),
+                    closing: *closing,
+                }
+            }
+        };
+        let engine = match &snap.engine {
+            None => None,
+            Some(engine_snap) => {
+                if engine_snap.history.first().map(Vec::len) != Some(model.dof()) {
+                    return Err(RestoreError::Invalid(
+                        "engine dimensionality mismatches the arm".into(),
+                    ));
+                }
+                Some(RecoveryEngine::from_snapshot(engine_snap.clone())?)
+            }
+        };
+        Ok(Self {
+            id: snap.id,
+            source,
+            engine,
+            reference: RobotDriver::from_state(model.clone(), snap.driver, &snap.reference),
+            executed: RobotDriver::from_state(model.clone(), snap.driver, &snap.executed),
+            pending_late: snap.pending_late.clone(),
+            clock: VirtualClock::at_tick(snap.period, snap.tick),
+            omega: snap.period,
+            misses: snap.misses,
+            acc_sq_mm: snap.acc_sq_mm,
+            worst_mm: snap.worst_mm,
+        })
+    }
+}
+
+/// Pre-checks a driver state against the target arm so restore returns
+/// an error instead of tripping `RobotDriver::from_state`'s panics.
+fn validate_driver_state(
+    state: &DriverState,
+    model: &ArmModel,
+    which: &str,
+) -> Result<(), RestoreError> {
+    let dof = model.dof();
+    if state.joints.len() != dof || state.last_command.len() != dof || state.pids.len() != dof {
+        return Err(RestoreError::Invalid(format!(
+            "{which} driver shape ({} joints, {} command dims, {} PIDs) mismatches the {dof}-DoF arm",
+            state.joints.len(),
+            state.last_command.len(),
+            state.pids.len()
+        )));
+    }
+    if !model.within_limits(&state.joints) {
+        return Err(RestoreError::Invalid(format!(
+            "{which} driver pose violates joint limits"
+        )));
+    }
+    Ok(())
 }
 
 /// Mirrors the `pending_late.retain` block of `run_closed_loop`.
@@ -469,6 +686,165 @@ mod tests {
             3,
             "every starved tick covered by the engine"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Run one session straight through; run a twin that is frozen to
+        // bytes mid-run and rehydrated. Final reports must match bit for
+        // bit — the session-level form of the determinism contract.
+        let model = niryo_one();
+        let var = trained_var();
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 77);
+        let spec = SessionSpec::new(
+            4,
+            SourceSpec::replay(&test),
+            ChannelSpec::ControlledLoss {
+                burst_len: 6,
+                burst_prob: 0.015,
+                seed: 21,
+            },
+            RecoverySpec::FoReCo {
+                forecaster: SharedForecaster::new(var),
+                config: RecoveryConfig::for_model(&model),
+            },
+        );
+        let mut straight = Session::open(&spec, &model);
+        let mut resumed = Session::open(&spec, &model);
+        for _ in 0..test.commands.len() / 3 {
+            assert!(matches!(resumed.advance(), Advance::Ticked));
+        }
+        let bytes = resumed.snapshot().expect("VAR is snapshotable").to_bytes();
+        let snap = crate::snapshot::SessionSnapshot::from_bytes(&bytes).expect("decode");
+        let mut resumed = Session::restore(&snap, &model).expect("restore");
+        assert_eq!(resumed.tick() as usize, test.commands.len() / 3);
+
+        let finish = |s: &mut Session| loop {
+            if let Advance::Completed(report) = s.advance() {
+                break report;
+            }
+        };
+        let a = finish(&mut straight);
+        let b = finish(&mut resumed);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.rmse_mm.to_bits(), b.rmse_mm.to_bits());
+        assert_eq!(a.max_deviation_mm.to_bits(), b.max_deviation_mm.to_bits());
+    }
+
+    #[test]
+    fn streamed_snapshot_carries_inbox_and_channel_state() {
+        let model = niryo_one();
+        let home = model.home();
+        let spec = SessionSpec::new(
+            5,
+            SourceSpec::Streamed {
+                initial: home.clone(),
+                inbox_capacity: 4,
+            },
+            ChannelSpec::ControlledLoss {
+                burst_len: 3,
+                burst_prob: 0.3,
+                seed: 9,
+            },
+            RecoverySpec::FoReCo {
+                forecaster: SharedForecaster::new(MovingAverage::new(2, home.len())),
+                config: RecoveryConfig::for_model(&model),
+            },
+        );
+        let mut original = Session::open(&spec, &model);
+        original.offer(home.clone());
+        original.offer(home.clone());
+        original.offer(home.clone());
+        for _ in 0..2 {
+            original.advance();
+        }
+        // One command still queued, channel RNG mid-stream.
+        let snap = original.snapshot().unwrap();
+        match &snap.source {
+            crate::snapshot::SourceState::Streamed {
+                inbox, channel_rng, ..
+            } => {
+                assert_eq!(inbox.queue.len(), 1);
+                assert_eq!(inbox.accepted, 3);
+                assert!(channel_rng.is_some(), "loss channel must export RNG");
+            }
+            other => panic!("expected streamed source state, got {other:?}"),
+        }
+        // Through bytes, so the raw RNG words exercise the lossless
+        // big-integer path of the serde shim.
+        let snap = crate::snapshot::SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let mut restored = Session::restore(&snap, &model).expect("restore");
+        // Drive both twins identically: starve, then close.
+        for _ in 0..3 {
+            original.advance();
+            restored.advance();
+        }
+        original.close();
+        restored.close();
+        let finish = |s: &mut Session| loop {
+            if let Advance::Completed(report) = s.advance() {
+                break report;
+            }
+        };
+        let a = finish(&mut original);
+        let b = finish(&mut restored);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.overflow_drops, b.overflow_drops);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.rmse_mm.to_bits(), b.rmse_mm.to_bits());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_versions_and_wrong_arms() {
+        let model = niryo_one();
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 13);
+        let spec = SessionSpec::new(
+            6,
+            SourceSpec::replay(&test),
+            ChannelSpec::Ideal,
+            RecoverySpec::Baseline,
+        );
+        let session = Session::open(&spec, &model);
+        let mut snap = session.snapshot().unwrap();
+
+        let restore_err =
+            |snap: &crate::snapshot::SessionSnapshot, model: &ArmModel| match Session::restore(
+                snap, model,
+            ) {
+                Err(e) => e,
+                Ok(_) => panic!("restore must fail"),
+            };
+        let mut future = snap.clone();
+        future.version = crate::snapshot::SNAPSHOT_VERSION + 1;
+        let err = restore_err(&future, &model);
+        assert!(matches!(err, RestoreError::Version { .. }), "{err}");
+        // from_bytes applies the same gate.
+        assert!(matches!(
+            crate::snapshot::SessionSnapshot::from_bytes(&future.to_bytes()),
+            Err(RestoreError::Version { .. })
+        ));
+
+        // A corrupt payload anywhere in the source must be rejected up
+        // front, not panic the owning shard on the first tick.
+        let mut bad_script = snap.clone();
+        if let crate::snapshot::SourceState::Scripted { commands, .. } = &mut bad_script.source {
+            commands[0].pop();
+        }
+        let err = restore_err(&bad_script, &model);
+        assert!(matches!(err, RestoreError::Invalid(_)), "{err}");
+
+        let mut bad_late = snap.clone();
+        bad_late.pending_late.push((0.1, 2, vec![0.0; 3]));
+        let err = restore_err(&bad_late, &model);
+        assert!(matches!(err, RestoreError::Invalid(_)), "{err}");
+
+        snap.executed.joints.pop();
+        let err = restore_err(&snap, &model);
+        assert!(matches!(err, RestoreError::Invalid(_)), "{err}");
+        // Errors are boxable for assertion ergonomics downstream.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("mismatches"));
     }
 
     #[test]

@@ -9,6 +9,17 @@
 //! session's trajectory. The in-order pass merely makes per-shard
 //! accounting reproducible too.
 //!
+//! Migration preserves that ownership discipline: `Migrate` runs inside
+//! the control drain (so the session is between ticks), snapshots the
+//! session, removes it, updates the shared [`RoutingTable`], and hands
+//! the state to the destination shard's control channel as an `Adopt` —
+//! at no instant do two shards own the session, and the destination
+//! resumes it from the exact tick it left, so results are bit-identical
+//! to never having moved. Commands racing a migration can land on a
+//! shard that no longer (or does not yet) own the session; they are
+//! answered with `UnknownSession`, which for `Inject` is just another
+//! loss event of the kind the recovery engine exists to absorb.
+//!
 //! Control flow per loop iteration: drain the control inbox
 //! (non-blocking), advance every live session one tick, emit events for
 //! completions/drops, then let the pacer decide whether to sleep
@@ -20,14 +31,65 @@ use crate::inbox::Offer;
 use crate::protocol::{SessionCommand, SessionEvent};
 use crate::session::{Advance, Session};
 use foreco_robot::ArmModel;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, RwLock};
+
+/// Shared session→shard routing overrides, maintained by the shards and
+/// consulted by every `ServiceHandle`. A session absent from the map
+/// lives on its hash-placed home shard ([`shard_of`]); migration inserts
+/// an override, completion removes it. The `moved` flag keeps the
+/// common no-migrations case lock-free on the command hot path.
+#[derive(Debug, Default)]
+pub(crate) struct RoutingTable {
+    pub(crate) moved: AtomicBool,
+    pub(crate) routes: RwLock<HashMap<u64, usize>>,
+}
+
+impl RoutingTable {
+    /// The shard currently owning `id` in a pool of `shards`.
+    pub(crate) fn shard_for(&self, id: u64, shards: usize) -> usize {
+        if self.moved.load(Ordering::Acquire) {
+            if let Some(&shard) = self.routes.read().expect("routing table poisoned").get(&id) {
+                return shard;
+            }
+        }
+        shard_of(id, shards)
+    }
+
+    /// Records that `id` now lives on `shard`.
+    pub(crate) fn set(&self, id: u64, shard: usize) {
+        // Flag updates happen under the write lock (here and in
+        // `clear`) so flag and map can never disagree.
+        let mut routes = self.routes.write().expect("routing table poisoned");
+        routes.insert(id, shard);
+        self.moved.store(true, Ordering::Release);
+    }
+
+    /// Drops the override for `id` (after completion). When the last
+    /// override goes, the fast-path flag resets so routing returns to
+    /// lock-free hash placement.
+    pub(crate) fn clear(&self, id: u64) {
+        if self.moved.load(Ordering::Acquire) {
+            let mut routes = self.routes.write().expect("routing table poisoned");
+            routes.remove(&id);
+            if routes.is_empty() {
+                self.moved.store(false, Ordering::Release);
+            }
+        }
+    }
+}
 
 /// Everything a shard worker needs at spawn time.
 pub(crate) struct ShardWorker {
     pub(crate) index: usize,
     pub(crate) control: Receiver<SessionCommand>,
     pub(crate) events: SyncSender<SessionEvent>,
+    /// Control senders of every shard in the pool (self included), for
+    /// the transfer leg of a migration.
+    pub(crate) peers: Vec<SyncSender<SessionCommand>>,
+    pub(crate) routes: Arc<RoutingTable>,
     pub(crate) model: ArmModel,
     pub(crate) pacing: Pacing,
     pub(crate) period: f64,
@@ -40,20 +102,45 @@ impl ShardWorker {
             index,
             control,
             events,
+            peers,
+            routes,
             model,
             pacing,
             period,
         } = self;
         let mut sessions: BTreeMap<u64, Session> = BTreeMap::new();
+        // Migration hand-offs the destination's control channel could
+        // not take yet. Transfers never use a blocking send: two shards
+        // migrating toward each other with full control channels would
+        // deadlock the pool (neither can drain its own channel while
+        // blocked in the other's). State parks here and is retried each
+        // pass instead.
+        let mut pending_transfers: Vec<(usize, Box<crate::snapshot::SessionSnapshot>)> = Vec::new();
         let mut pacer = Pacer::new(pacing, period);
         let mut ticks_advanced: u64 = 0;
         let mut shutdown = false;
         let mut idle = true;
         'run: loop {
+            // Retry parked hand-offs first: the destination frees its
+            // channel by draining, which happens every pass it makes.
+            pending_transfers = pending_transfers
+                .into_iter()
+                .filter_map(|(to, snapshot)| {
+                    match peers[to].try_send(SessionCommand::Adopt(snapshot)) {
+                        Ok(()) => None,
+                        Err(std::sync::mpsc::TrySendError::Full(SessionCommand::Adopt(s))) => {
+                            Some((to, s))
+                        }
+                        // Destination terminated (pool tearing down):
+                        // the state is dropped with it.
+                        Err(_) => None,
+                    }
+                })
+                .collect();
             // Drain control without blocking while sessions are live;
-            // park when idle.
+            // park when idle (never while a hand-off is parked).
             loop {
-                let command = if sessions.is_empty() && !shutdown {
+                let command = if sessions.is_empty() && !shutdown && pending_transfers.is_empty() {
                     match control.recv() {
                         Ok(c) => c,
                         Err(_) => break 'run, // all handles dropped
@@ -100,14 +187,129 @@ impl ShardWorker {
                             let _ = events.send(SessionEvent::UnknownSession { id });
                         }
                     },
+                    SessionCommand::Snapshot { id } => match sessions.get(&id) {
+                        Some(session) => match session.snapshot() {
+                            Ok(snapshot) => {
+                                let _ = events.send(SessionEvent::Snapshotted {
+                                    id,
+                                    shard: index,
+                                    snapshot: Box::new(snapshot),
+                                });
+                            }
+                            Err(e) => {
+                                let _ = events.send(SessionEvent::SnapshotFailed {
+                                    id,
+                                    reason: e.to_string(),
+                                });
+                            }
+                        },
+                        None => {
+                            let _ = events.send(SessionEvent::UnknownSession { id });
+                        }
+                    },
+                    SessionCommand::Migrate { id, to } => match sessions.get(&id) {
+                        Some(_) if to >= peers.len() => {
+                            // The handle validates destinations; this
+                            // guards raw control-channel writers.
+                            let _ = events.send(SessionEvent::SnapshotFailed {
+                                id,
+                                reason: format!(
+                                    "migration destination {to} outside the {}-shard pool",
+                                    peers.len()
+                                ),
+                            });
+                        }
+                        Some(_) if to == index => {
+                            // Already home: a migration to the owning
+                            // shard is a successful no-op.
+                            let _ = events.send(SessionEvent::Migrated {
+                                id,
+                                from: index,
+                                to: index,
+                            });
+                        }
+                        Some(session) => match session.snapshot() {
+                            Ok(snapshot) => {
+                                // Drain→transfer→resume: the session has
+                                // finished its current tick (advances
+                                // happen outside this drain loop), so
+                                // the snapshot is tick-aligned. Remove
+                                // it *before* the hand-off: from here
+                                // the destination owns the state.
+                                sessions.remove(&id);
+                                routes.set(id, to);
+                                let _ = events.send(SessionEvent::Migrated {
+                                    id,
+                                    from: index,
+                                    to,
+                                });
+                                match peers[to].try_send(SessionCommand::Adopt(Box::new(snapshot)))
+                                {
+                                    Ok(()) => {}
+                                    Err(std::sync::mpsc::TrySendError::Full(
+                                        SessionCommand::Adopt(s),
+                                    )) => pending_transfers.push((to, s)),
+                                    // Destination terminated (pool
+                                    // tearing down): state dropped.
+                                    Err(_) => {}
+                                }
+                            }
+                            Err(e) => {
+                                // Unsnapshotable sessions stay put and
+                                // keep running.
+                                let _ = events.send(SessionEvent::SnapshotFailed {
+                                    id,
+                                    reason: e.to_string(),
+                                });
+                            }
+                        },
+                        None => {
+                            let _ = events.send(SessionEvent::UnknownSession { id });
+                        }
+                    },
+                    SessionCommand::Adopt(snapshot) => {
+                        let id = snapshot.id;
+                        if let std::collections::btree_map::Entry::Vacant(slot) = sessions.entry(id)
+                        {
+                            match Session::restore(&snapshot, &model) {
+                                Ok(session) => {
+                                    let tick = session.tick();
+                                    slot.insert(session);
+                                    if shard_of(id, peers.len()) != index {
+                                        routes.set(id, index);
+                                    } else {
+                                        routes.clear(id);
+                                    }
+                                    let _ = events.send(SessionEvent::Restored {
+                                        id,
+                                        shard: index,
+                                        tick,
+                                    });
+                                }
+                                Err(e) => {
+                                    let _ = events.send(SessionEvent::RestoreFailed {
+                                        id,
+                                        reason: e.to_string(),
+                                    });
+                                }
+                            }
+                        } else {
+                            let _ = events.send(SessionEvent::DuplicateSession { id });
+                        }
+                    }
                     SessionCommand::Shutdown => shutdown = true,
                 }
             }
-            if shutdown && sessions.is_empty() {
+            if shutdown && sessions.is_empty() && pending_transfers.is_empty() {
                 break;
             }
             if sessions.is_empty() {
                 idle = true;
+                if !pending_transfers.is_empty() {
+                    // Nothing to advance, destination still full: yield
+                    // briefly instead of spinning on try_send.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
                 continue;
             }
             if idle {
@@ -133,6 +335,11 @@ impl ShardWorker {
             }
             for id in completed {
                 sessions.remove(&id);
+                // A migrated-in session leaves a routing override behind;
+                // clear it so the id can be reused at its home placement.
+                if shard_of(id, peers.len()) != index {
+                    routes.clear(id);
+                }
             }
             pacer.tick_complete();
 

@@ -1,0 +1,208 @@
+//! Session checkpointing: the versioned, serialisable form of a live
+//! [`Session`](crate::Session).
+//!
+//! FoReCo's recovery is *stateful* — the forecaster's history window,
+//! the engine's outage counters, the PID integrators, and the channel's
+//! RNG position are what turn losses into imputed commands — so moving
+//! a session between shards or across a process restart without
+//! changing a single output means capturing **all** of it. A
+//! [`SessionSnapshot`] is that capture:
+//!
+//! | layer | state captured |
+//! |---|---|
+//! | session  | id, virtual tick, period, error accumulators, miss count |
+//! | source   | scripted: remaining script + pre-drawn fates; streamed: inbox queue + counters, channel spec + RNG words, buffered fates, closing flag |
+//! | recovery | engine history + forecast slots + counters + config + concrete forecaster ([`foreco_core::EngineSnapshot`]) |
+//! | robot    | both drivers' joints, held command, PID integral/derivative memory ([`foreco_robot::DriverState`]) |
+//! | pending  | late commands awaiting §VII-C history patches |
+//!
+//! # Format and versioning
+//!
+//! [`SessionSnapshot::to_bytes`] renders JSON through the in-tree serde
+//! shim; floats use shortest-round-trip formatting (bit-exact),
+//! 64-bit integers beyond ±2⁵³ (raw RNG words) are decimal strings.
+//! Every snapshot starts with a `version` field holding
+//! [`SNAPSHOT_VERSION`]; [`SessionSnapshot::from_bytes`] rejects other
+//! versions with [`RestoreError::Version`] instead of misreading a
+//! future layout. Bump the constant whenever a field changes meaning,
+//! and keep decoding old versions explicit (a `match` on the version),
+//! never implicit.
+//!
+//! # Determinism contract
+//!
+//! Restoring a snapshot — on the same shard, another shard, or another
+//! process — and running the session to completion yields a
+//! [`SessionReport`](crate::SessionReport) **bit-identical** to the
+//! uninterrupted run's, including `f64` bit patterns of the RMSE and
+//! deviation accumulators. `tests/snapshot_roundtrip.rs` pins this with
+//! a property suite over random specs, seeds, and snapshot ticks.
+
+use crate::inbox::InboxState;
+use crate::spec::{ChannelSpec, SessionId};
+use foreco_core::channel::Arrival;
+use foreco_core::EngineSnapshot;
+use foreco_robot::{DriverConfig, DriverState};
+use serde::{Deserialize, Serialize};
+
+/// Current snapshot format version (see the module docs for the
+/// versioning policy).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Serialised command source of a mid-run session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceState {
+    /// A scripted (recorded/replayed) source: the full script and its
+    /// pre-drawn per-command fates. The virtual tick indexes into both,
+    /// so no separate cursor is needed.
+    Scripted {
+        /// The command script, materialised (recorded sources are
+        /// rendered to commands at open time, so the snapshot does not
+        /// depend on the operator model).
+        commands: Vec<Vec<f64>>,
+        /// Pre-drawn channel outcome per command.
+        fates: Vec<Arrival>,
+    },
+    /// A live streamed source.
+    Streamed {
+        /// Queued commands and accept/drop counters.
+        inbox: InboxState,
+        /// The impairment model's construction parameters (boxed: a
+        /// jammed-link spec is far larger than the scripted variant).
+        channel: Box<ChannelSpec>,
+        /// The channel's raw RNG words at snapshot time (`None` for
+        /// stateless channels such as `ChannelSpec::Ideal`).
+        channel_rng: Option<[u64; 4]>,
+        /// Fates drawn in chunks but not yet consumed, oldest first.
+        fate_buf: Vec<Arrival>,
+        /// Whether the session was already draining toward completion.
+        closing: bool,
+    },
+}
+
+/// Complete serialisable state of one live session (see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`] at write time).
+    pub version: u32,
+    /// Session id (also the default shard-placement input).
+    pub id: SessionId,
+    /// Virtual tick at snapshot time.
+    pub tick: u64,
+    /// Virtual tick period `Ω` in seconds.
+    pub period: f64,
+    /// Driver configuration (PID gains, period).
+    pub driver: DriverConfig,
+    /// Deadline misses so far.
+    pub misses: usize,
+    /// Running sum of squared task-space deviation (mm²).
+    pub acc_sq_mm: f64,
+    /// Worst instantaneous deviation (mm) so far.
+    pub worst_mm: f64,
+    /// Command source state.
+    pub source: SourceState,
+    /// Recovery engine state (`None` for baseline sessions).
+    pub engine: Option<EngineSnapshot>,
+    /// Late commands awaiting delivery: `(arrival time, tick index,
+    /// payload)`, mirroring the session's pending list (§VII-C).
+    pub pending_late: Vec<(f64, usize, Vec<f64>)>,
+    /// Reference (perfect-channel) driver state.
+    pub reference: DriverState,
+    /// Executed (impaired + recovered) driver state.
+    pub executed: DriverState,
+}
+
+impl SessionSnapshot {
+    /// Serialises the snapshot to its portable byte form (JSON, UTF-8).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("snapshot serialisation is infallible")
+            .into_bytes()
+    }
+
+    /// Parses a snapshot previously produced by
+    /// [`SessionSnapshot::to_bytes`].
+    ///
+    /// # Errors
+    /// [`RestoreError::Decode`] on malformed bytes,
+    /// [`RestoreError::Version`] on a format version this build does not
+    /// understand.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RestoreError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| RestoreError::Decode("snapshot is not UTF-8".into()))?;
+        let snap: SessionSnapshot =
+            serde_json::from_str(text).map_err(|e| RestoreError::Decode(e.to_string()))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(RestoreError::Version {
+                found: snap.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+/// Why exporting a session snapshot failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The session's forecaster has no serialisable form (currently only
+    /// seq2seq engines).
+    UnsupportedForecaster {
+        /// Display name of the offending forecaster.
+        name: &'static str,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnsupportedForecaster { name } => {
+                write!(
+                    f,
+                    "session snapshot: forecaster `{name}` is not serialisable"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Why rehydrating a session from a snapshot failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The bytes are not a well-formed snapshot.
+    Decode(String),
+    /// The snapshot's format version does not match this build's.
+    Version {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build reads/writes.
+        expected: u32,
+    },
+    /// The snapshot decoded but violates session invariants (wrong
+    /// dimensions for the target arm model, inconsistent lengths, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Decode(reason) => write!(f, "session restore: {reason}"),
+            RestoreError::Version { found, expected } => write!(
+                f,
+                "session restore: snapshot version {found}, this build reads {expected}"
+            ),
+            RestoreError::Invalid(reason) => {
+                write!(f, "session restore: invalid snapshot: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<foreco_core::EngineStateError> for RestoreError {
+    fn from(e: foreco_core::EngineStateError) -> Self {
+        RestoreError::Invalid(e.to_string())
+    }
+}

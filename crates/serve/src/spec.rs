@@ -14,10 +14,11 @@
 
 use foreco_core::channel::{Channel, ControlledLossChannel, IdealChannel, JammedChannel};
 use foreco_core::{RecoveryConfig, RecoveryEngine};
-use foreco_forecast::Forecaster;
+use foreco_forecast::{Forecaster, ForecasterState};
 use foreco_robot::DriverConfig;
 use foreco_teleop::{Dataset, Skill};
 use foreco_wifi::LinkConfig;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Service-wide session identifier (also the shard-hash input).
@@ -67,6 +68,13 @@ impl Forecaster for SharedForecaster {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
+
+    fn export_state(&self) -> Option<ForecasterState> {
+        // Delegation matters: a session built around a SharedForecaster
+        // must snapshot the *inner* trained model, not fall back to the
+        // unsnapshotable default.
+        self.inner.export_state()
+    }
 }
 
 /// Where a session's operator commands come from.
@@ -112,7 +120,12 @@ impl SourceSpec {
 }
 
 /// The impairment model between operator and robot.
-#[derive(Debug, Clone)]
+///
+/// Serialisable so streamed-session snapshots can carry it: together
+/// with the channel's raw RNG state it fully determines all future
+/// fates, which is what lets a migrated session replay the exact same
+/// loss pattern it would have seen on its original shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ChannelSpec {
     /// Perfect network: every command on time.
     Ideal,

@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Configuration of a wireless command link.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkConfig {
     /// Command period `Ω` in seconds (paper: 20 ms).
     pub period: f64,
@@ -133,6 +133,18 @@ impl WirelessLink {
     /// The link configuration.
     pub fn config(&self) -> &LinkConfig {
         &self.cfg
+    }
+
+    /// Raw generator state for checkpointing a mid-stream link: together
+    /// with the configuration (from which the DCF solution is
+    /// re-derived) it fully determines every future sample.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores generator state exported by [`WirelessLink::rng_state`].
+    pub fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
     }
 
     /// Simulates the fate of `n` consecutive commands sent every `Ω`.

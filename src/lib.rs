@@ -81,6 +81,42 @@
 //! let registry = Service::spawn(ServiceConfig::with_shards(2)).run_to_completion(specs);
 //! assert_eq!(registry.summary().sessions, 16);
 //! ```
+//!
+//! # Checkpointing sessions
+//!
+//! Recovery is stateful, so a production service must be able to carry
+//! a session across process restarts and shard moves without changing
+//! a single output. [`serve::Session::snapshot`] freezes a live loop to
+//! a versioned, serialisable [`serve::SessionSnapshot`] and
+//! [`serve::Session::restore`] rehydrates it — same results, bit for
+//! bit (pinned by the `tests/snapshot_roundtrip.rs` determinism
+//! suite). At the service level, `ServiceHandle::snapshot` checkpoints,
+//! `ServiceHandle::migrate` moves a session between shards mid-run, and
+//! `ServiceHandle::adopt` revives a checkpoint from another process:
+//!
+//! ```
+//! use foreco::prelude::*;
+//! use foreco::serve::{Session, SessionSnapshot};
+//!
+//! let model = niryo_one();
+//! let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 8);
+//! let spec = SessionSpec::new(
+//!     1,
+//!     SourceSpec::replay(&test),
+//!     ChannelSpec::ControlledLoss { burst_len: 8, burst_prob: 0.01, seed: 3 },
+//!     RecoverySpec::Baseline,
+//! );
+//! // Freeze a running session to bytes…
+//! let mut session = Session::open(&spec, &model);
+//! for _ in 0..100 {
+//!     session.advance();
+//! }
+//! let bytes = session.snapshot().unwrap().to_bytes();
+//! // …ship them anywhere, and resume exactly where it left off.
+//! let snap = SessionSnapshot::from_bytes(&bytes).unwrap();
+//! let resumed = Session::restore(&snap, &model).unwrap();
+//! assert_eq!(resumed.tick(), 100);
+//! ```
 
 pub use foreco_core as recovery;
 pub use foreco_des as des;
@@ -110,8 +146,9 @@ pub mod prelude {
     };
     pub use foreco_robot::{niryo_one, ArmModel, DriverConfig, RobotDriver};
     pub use foreco_serve::{
-        ChannelSpec, MetricsRegistry, Pacing, RecoverySpec, Service, ServiceConfig, ServiceHandle,
-        ServiceSummary, SessionEvent, SessionReport, SessionSpec, SharedForecaster, SourceSpec,
+        ChannelSpec, MetricsRegistry, Pacing, RecoverySpec, Service, ServiceConfig, ServiceError,
+        ServiceHandle, ServiceSummary, SessionCommand, SessionEvent, SessionReport,
+        SessionSnapshot, SessionSpec, SharedForecaster, SourceSpec,
     };
     pub use foreco_teleop::{Dataset, Operator, Skill};
     pub use foreco_wifi::{DcfModel, Interference, LinkConfig, Params, WirelessLink};

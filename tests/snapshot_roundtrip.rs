@@ -1,0 +1,251 @@
+//! The snapshot/restore determinism contract, property-tested.
+//!
+//! FoReCo's recovery is stateful (forecaster history window, outage
+//! counters, PID integrators, channel RNG), so checkpointing a session
+//! and rehydrating it — on the same shard, another shard, or another
+//! process — must not change a single output bit. Three layers pin that:
+//!
+//! 1. a property suite over random operator streams, channel
+//!    realisations, recovery modes, and snapshot ticks: freeze to bytes
+//!    mid-run (twice, chained), restore, and compare the final
+//!    [`SessionReport`] bit-for-bit against the uninterrupted twin;
+//! 2. a service-level live-migration test: every session is moved
+//!    between shards mid-run (twice) and the reports must equal an
+//!    unmigrated run's, bit-for-bit — alongside the shard-count
+//!    invariance already pinned by `tests/serve_invariance.rs`;
+//! 3. a cross-pool adoption test: bytes snapshotted out of one service
+//!    are revived in a pool of a different shard count.
+//!
+//! Run with a fixed case count via `PROPTEST_CASES` (CI pins it); on a
+//! failure the proptest shim reports the failing case's RNG seed and,
+//! when `PROPTEST_FAILURES_FILE` is set, appends it there for artifact
+//! upload.
+
+use foreco::prelude::*;
+use foreco::serve::session::Advance;
+use foreco::serve::snapshot::SessionSnapshot;
+use foreco::serve::{shard_of, Session, SessionId};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One trained VAR shared by every case (training dominates runtime).
+fn shared_var() -> &'static Var {
+    static VAR: OnceLock<Var> = OnceLock::new();
+    VAR.get_or_init(|| {
+        let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+        Var::fit_differenced(&train, 5, 1e-6).expect("fit VAR")
+    })
+}
+
+fn spec_for(
+    id: SessionId,
+    op_seed: u64,
+    burst_len: usize,
+    burst_prob: f64,
+    ch_seed: u64,
+    foreco: bool,
+    model: &ArmModel,
+) -> SessionSpec {
+    let recovery = if foreco {
+        RecoverySpec::FoReCo {
+            forecaster: SharedForecaster::new(shared_var().clone()),
+            config: RecoveryConfig::for_model(model),
+        }
+    } else {
+        RecoverySpec::Baseline
+    };
+    SessionSpec::new(
+        id,
+        SourceSpec::Recorded {
+            skill: Skill::Inexperienced,
+            cycles: 1,
+            seed: op_seed,
+        },
+        ChannelSpec::ControlledLoss {
+            burst_len,
+            burst_prob,
+            seed: ch_seed,
+        },
+        recovery,
+    )
+}
+
+fn run_out(session: &mut Session) -> foreco::serve::SessionReport {
+    loop {
+        if let Advance::Completed(report) = session.advance() {
+            break *report;
+        }
+    }
+}
+
+fn assert_reports_bit_identical(
+    a: &foreco::serve::SessionReport,
+    b: &foreco::serve::SessionReport,
+    context: &str,
+) {
+    assert_eq!(a.ticks, b.ticks, "{context}: ticks");
+    assert_eq!(a.misses, b.misses, "{context}: misses");
+    assert_eq!(a.overflow_drops, b.overflow_drops, "{context}: drops");
+    assert_eq!(a.stats, b.stats, "{context}: stats");
+    assert_eq!(
+        a.rmse_mm.to_bits(),
+        b.rmse_mm.to_bits(),
+        "{context}: rmse {} vs {}",
+        a.rmse_mm,
+        b.rmse_mm
+    );
+    assert_eq!(
+        a.max_deviation_mm.to_bits(),
+        b.max_deviation_mm.to_bits(),
+        "{context}: max deviation {} vs {}",
+        a.max_deviation_mm,
+        b.max_deviation_mm
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::env_or(12))]
+
+    /// Freeze → bytes → restore at two random points of a random run;
+    /// the resumed session's final report must equal the uninterrupted
+    /// twin's bit-for-bit.
+    #[test]
+    fn snapshot_restore_is_bit_identical(
+        op_seed in 0u64..10_000,
+        ch_seed in 0u64..10_000,
+        burst_len in 1usize..12,
+        burst_prob in 0.0f64..0.05,
+        cut_a in 0.05f64..0.45,
+        cut_b in 0.5f64..0.95,
+        foreco in any::<bool>(),
+    ) {
+        let model = niryo_one();
+        let spec = spec_for(1, op_seed, burst_len, burst_prob, ch_seed, foreco, &model);
+        let script_len = Dataset::record(Skill::Inexperienced, 1, 0.02, op_seed)
+            .commands
+            .len();
+
+        let mut straight = Session::open(&spec, &model);
+        let mut twin = Session::open(&spec, &model);
+
+        for (label, cut) in [("first", cut_a), ("second", cut_b)] {
+            let at = ((script_len as f64 * cut) as u64).max(twin.tick());
+            while twin.tick() < at {
+                prop_assert!(matches!(twin.advance(), Advance::Ticked));
+            }
+            let bytes = twin.snapshot().expect("snapshotable").to_bytes();
+            let snap = SessionSnapshot::from_bytes(&bytes).expect("decode");
+            twin = Session::restore(&snap, &model).expect("restore");
+            prop_assert_eq!(twin.tick(), at, "{} cut resumed at the wrong tick", label);
+        }
+
+        let a = run_out(&mut straight);
+        let b = run_out(&mut twin);
+        assert_reports_bit_identical(&a, &b, "roundtrip");
+    }
+}
+
+/// Live shard migration mid-run is observationally invisible: a pool
+/// where every session is migrated (then migrated again) must produce
+/// the same bit-exact reports as an unmigrated pool.
+#[test]
+fn migration_mid_run_is_bit_identical() {
+    const SESSIONS: u64 = 24;
+    const SHARDS: usize = 4;
+    let model = niryo_one();
+    let specs: Vec<SessionSpec> = (0..SESSIONS)
+        .map(|id| {
+            spec_for(
+                id,
+                900 + id,
+                3 + (id % 6) as usize,
+                0.01 + 0.002 * (id % 4) as f64,
+                7_000 + id,
+                id % 3 != 2,
+                &model,
+            )
+        })
+        .collect();
+
+    let baseline =
+        Service::spawn(ServiceConfig::with_shards(SHARDS)).run_to_completion(specs.clone());
+    assert_eq!(baseline.len() as u64, SESSIONS);
+
+    let service = Service::spawn(ServiceConfig::with_shards(SHARDS));
+    let handle = service.handle();
+    for spec in specs {
+        handle.open(spec).unwrap();
+    }
+    // First wave: evict every session from its home shard immediately;
+    // second wave fires later, racing session progress from another
+    // placement. Both must be invisible in the reports.
+    for id in 0..SESSIONS {
+        handle
+            .migrate(id, (shard_of(id, SHARDS) + 1) % SHARDS)
+            .unwrap();
+    }
+    let mut migrated = 0u32;
+    let mut second_wave_sent = false;
+    let mut reports = Vec::new();
+    while reports.len() < SESSIONS as usize {
+        match service.next_event().expect("service alive") {
+            SessionEvent::Migrated { .. } => migrated += 1,
+            SessionEvent::Restored { .. } if !second_wave_sent => {
+                second_wave_sent = true;
+                for id in 0..SESSIONS {
+                    handle
+                        .migrate(id, (shard_of(id, SHARDS) + 3) % SHARDS)
+                        .unwrap();
+                }
+            }
+            SessionEvent::Completed { id, report } => reports.push((id, report)),
+            SessionEvent::SnapshotFailed { id, reason } => {
+                panic!("session {id} failed to snapshot: {reason}")
+            }
+            SessionEvent::RestoreFailed { id, reason } => {
+                panic!("session {id} failed to restore: {reason}")
+            }
+            _ => {}
+        }
+    }
+    service.join();
+    assert!(migrated > 0, "no migration ever happened — test is vacuous");
+
+    for (id, report) in &reports {
+        let unmigrated = baseline.get(*id).expect("baseline report");
+        assert_reports_bit_identical(report, unmigrated, &format!("session {id}"));
+    }
+}
+
+/// A checkpoint taken in one pool revives in a pool of a different
+/// shard count — snapshots carry no placement assumptions.
+#[test]
+fn adoption_across_pool_sizes_is_bit_identical() {
+    let model = niryo_one();
+    let spec = spec_for(11, 4321, 8, 0.02, 999, true, &model);
+
+    let mut straight = Session::open(&spec, &model);
+    let solo = run_out(&mut straight);
+
+    let mut donor = Session::open(&spec, &model);
+    for _ in 0..200 {
+        assert!(matches!(donor.advance(), Advance::Ticked));
+    }
+    let bytes = donor.snapshot().unwrap().to_bytes();
+
+    let pool = Service::spawn(ServiceConfig::with_shards(3));
+    let snapshot = SessionSnapshot::from_bytes(&bytes).unwrap();
+    pool.handle().adopt(snapshot).unwrap();
+    let report = loop {
+        match pool.next_event().expect("service alive") {
+            SessionEvent::Restored { id, tick, .. } => {
+                assert_eq!(id, 11);
+                assert_eq!(tick, 200);
+            }
+            SessionEvent::Completed { report, .. } => break report,
+            other => panic!("unexpected event {other:?}"),
+        }
+    };
+    pool.join();
+    assert_reports_bit_identical(&report, &solo, "adopted");
+}

@@ -31,11 +31,23 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// Configuration taking the case count from the `PROPTEST_CASES`
+    /// environment variable (mirroring the real proptest), falling back
+    /// to `default_cases` when unset or unparsable. CI pins the variable
+    /// so the determinism suite explores a fixed, reproducible set.
+    pub fn env_or(default_cases: u32) -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_cases);
+        Self { cases }
+    }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 64 }
+        Self::env_or(64)
     }
 }
 
@@ -220,12 +232,61 @@ pub mod test_runner {
     /// Deterministic per-case RNG: seeded from the test name and case
     /// index so every run of the suite explores the same inputs.
     pub fn rng_for(test_name: &str, case: u32) -> StdRng {
+        StdRng::seed_from_u64(seed_for(test_name, case))
+    }
+
+    /// The `seed_from_u64` seed behind [`rng_for`] — reported on failure
+    /// so a failing case can be replayed in isolation.
+    pub fn seed_for(test_name: &str, case: u32) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
         for b in test_name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64)
+        h ^ ((case as u64) << 32) ^ case as u64
+    }
+
+    /// Drop guard armed around each case body: if the case panics, the
+    /// guard reports the test name, case index, and RNG seed to stderr
+    /// and — when `PROPTEST_FAILURES_FILE` is set — appends a line to
+    /// that file so CI can upload the failing seeds as an artifact.
+    /// Normal completion (including `prop_assume!` skips, which exit the
+    /// case via `continue`) disarms silently.
+    pub struct CaseGuard {
+        test_name: &'static str,
+        case: u32,
+    }
+
+    impl CaseGuard {
+        /// Arms a guard for one case.
+        pub fn new(test_name: &'static str, case: u32) -> Self {
+            Self { test_name, case }
+        }
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if !std::thread::panicking() {
+                return;
+            }
+            let seed = seed_for(self.test_name, self.case);
+            let line = format!(
+                "proptest failure: {} case {} (rng seed {seed:#018x}; replay with \
+                 rng_for(\"{}\", {}))",
+                self.test_name, self.case, self.test_name, self.case
+            );
+            eprintln!("{line}");
+            if let Ok(path) = std::env::var("PROPTEST_FAILURES_FILE") {
+                use std::io::Write;
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = writeln!(f, "{line}");
+                }
+            }
+        }
     }
 }
 
@@ -269,6 +330,8 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let __cfg: $crate::ProptestConfig = $cfg;
                 for __case in 0..__cfg.cases {
+                    let __guard =
+                        $crate::test_runner::CaseGuard::new(stringify!($name), __case);
                     let mut __rng =
                         $crate::test_runner::rng_for(stringify!($name), __case);
                     $(
@@ -276,6 +339,7 @@ macro_rules! __proptest_impl {
                             $crate::Strategy::sample_value(&($strat), &mut __rng);
                     )*
                     $body
+                    ::core::mem::drop(__guard);
                 }
             }
         )*

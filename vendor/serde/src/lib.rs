@@ -123,7 +123,41 @@ macro_rules! impl_num {
     )*};
 }
 
-impl_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_num!(f64, f32, u8, u16, u32, i8, i16, i32);
+
+/// Largest integer magnitude an `f64` mantissa carries exactly (2⁵³).
+const EXACT_F64_INT: u64 = 1 << 53;
+
+macro_rules! impl_big_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                // 64-bit integers overflow the f64 mantissa: values beyond
+                // ±2⁵³ (e.g. raw RNG state words) serialise as decimal
+                // strings so snapshot round-trips stay lossless, while
+                // small counters keep their plain-number JSON shape.
+                if (*self as i128).unsigned_abs() <= EXACT_F64_INT as u128 {
+                    Value::Number(*self as f64)
+                } else {
+                    Value::String(self.to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    Value::String(s) => s.parse::<$t>().map_err(|_| {
+                        Error::new(concat!("invalid integer string for ", stringify!($t)))
+                    }),
+                    _ => Err(Error::new(concat!("expected number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_big_int!(u64, usize, i64, isize);
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
@@ -191,6 +225,18 @@ impl<T: Deserialize> Deserialize for VecDeque<T> {
     }
 }
 
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
@@ -236,6 +282,25 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
         match v.as_array() {
             Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
             _ => Err(Error::new("expected 2-element array for tuple")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::new("expected 3-element array for tuple")),
         }
     }
 }

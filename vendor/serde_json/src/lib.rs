@@ -44,7 +44,9 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize)
         Value::Number(n) => {
             if !n.is_finite() {
                 out.push_str("null");
-            } else if n.fract() == 0.0 && n.abs() < 1e15 {
+            } else if n.fract() == 0.0 && n.abs() < 1e15 && !(*n == 0.0 && n.is_sign_negative()) {
+                // (-0.0 is excluded: casting it to i64 would print "0"
+                // and break bit-exact round-trips.)
                 // Integral values print without the trailing ".0" so
                 // counters look like JSON integers.
                 out.push_str(&format!("{}", *n as i64));
@@ -377,6 +379,34 @@ mod tests {
     fn integral_floats_print_as_integers() {
         assert_eq!(to_string(&7.0f64).unwrap(), "7");
         assert_eq!(to_string(&7u64).unwrap(), "7");
+    }
+
+    #[test]
+    fn negative_zero_round_trips_bit_exactly() {
+        let json = to_string(&-0.0f64).unwrap();
+        let back: f64 = from_str(&json).unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits(), "-0.0 → {json}");
+    }
+
+    #[test]
+    fn big_u64_round_trips_losslessly() {
+        // Raw xoshiro state words overflow the f64 mantissa; they must
+        // take the string path and come back exact.
+        for &x in &[u64::MAX, 0x9E37_79B9_7F4A_7C15, (1 << 53) + 1, 1 << 53, 42] {
+            let json = to_string(&x).unwrap();
+            let back: u64 = from_str(&json).unwrap();
+            assert_eq!(back, x, "{x} → {json}");
+        }
+        assert!(to_string(&u64::MAX).unwrap().starts_with('"'));
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+    }
+
+    #[test]
+    fn triples_round_trip() {
+        let v: Vec<(f64, usize, Vec<f64>)> = vec![(0.25, 7, vec![1.5, -2.5])];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(f64, usize, Vec<f64>)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
     }
 
     #[test]

@@ -1,25 +1,42 @@
 //! Throughput of the `foreco-serve` shard pool: session-ticks per second
-//! swept over shard count × session count, written to `BENCH_serve.json`
-//! so CI can track the service's perf trajectory.
+//! swept over shard count × session count, plus the **idle-heavy**
+//! scenario that pins the event-driven scheduler's scaling claim —
+//! written to `BENCH_serve.json` so CI can track the service's perf
+//! trajectory.
 //!
 //! One session-tick = one full hosted loop step (reference driver +
 //! impaired driver + recovery engine), so ticks/sec × 1/50 Hz is the
 //! number of real-time 50 Hz loops one process could sustain.
 //!
+//! The idle-heavy scenario models the production fleet shape: thousands
+//! of streamed sessions, a few percent of them carrying live traffic,
+//! the rest silent. Under the event-driven scheduler the silent ones
+//! park at their idle fixed point, so `wakeups_per_tick` (mean session
+//! advances per scheduling pass) must track the *active* population —
+//! the eager sweep's is pinned at the total. CI asserts the event-mode
+//! number against `FORECO_SERVE_WAKEUP_BUDGET` to catch regressions
+//! back to O(total-sessions) sweeps.
+//!
 //! Knobs: `FORECO_SERVE_SESSIONS` (default 1024),
 //! `FORECO_SERVE_CYCLES` (replay length, default 1),
 //! `FORECO_SERVE_SHARDS` (comma list, default `1,2,4,8`),
+//! `FORECO_SERVE_IDLE_SESSIONS` (default 4096),
+//! `FORECO_SERVE_IDLE_ACTIVE_PCT` (default 2),
+//! `FORECO_SERVE_IDLE_ROUNDS` (hot-session inject rounds, default 400),
+//! `FORECO_SERVE_WAKEUP_BUDGET` (optional hard ceiling on idle-heavy
+//! event-mode wakeups/tick; breach exits non-zero),
 //! `FORECO_SERVE_OUT` (output path, default `BENCH_serve.json`).
 
 use foreco_bench::{banner, env_knob, Fixture};
 use foreco_core::RecoveryConfig;
 use foreco_serve::{
-    ChannelSpec, RecoverySpec, Service, ServiceConfig, SessionSpec, SharedForecaster, SourceSpec,
+    BalancerConfig, ChannelSpec, EventWait, RecoverySpec, Scheduler, Service, ServiceConfig,
+    SessionSpec, SharedForecaster, SourceSpec,
 };
 use foreco_teleop::{Dataset, Skill};
 use serde::Serialize;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[derive(Serialize)]
 struct Row {
@@ -35,12 +52,188 @@ struct Row {
 }
 
 #[derive(Serialize)]
+struct IdleRow {
+    scheduler: String,
+    shards: usize,
+    sessions: u64,
+    active_sessions: u64,
+    inject_rounds: usize,
+    wall_s: f64,
+    passes: u64,
+    wakeups: u64,
+    /// Mean session advances per scheduling pass — the scaling metric.
+    wakeups_per_tick: f64,
+    /// `wakeups_per_tick / sessions`: fraction of the fleet awake on an
+    /// average pass.
+    runnable_ratio: f64,
+    timer_wakeups: u64,
+    traffic_wakeups: u64,
+    balancer_migrations: u64,
+    total_session_ticks: u64,
+}
+
+#[derive(Serialize)]
 struct Output {
     bench: String,
     sessions: u64,
     ticks_per_session: usize,
     forecaster: String,
     rows: Vec<Row>,
+    idle_heavy: Vec<IdleRow>,
+}
+
+/// Runs the idle-heavy fleet under one scheduler and measures the
+/// wakeup profile.
+fn idle_heavy_run(
+    scheduler: Scheduler,
+    shards: usize,
+    sessions: u64,
+    active: u64,
+    rounds: usize,
+    fx: &Fixture,
+    forecaster: &SharedForecaster,
+) -> IdleRow {
+    let config = ServiceConfig {
+        shards,
+        scheduler,
+        control_capacity: 4096,
+        // Headroom for every session's Opened + Completed plus drop
+        // notifications, so nothing deadlocks on a full event buffer.
+        event_capacity: sessions as usize * 3 + 1024,
+        balancer: Some(BalancerConfig::default()),
+        ..Default::default()
+    };
+    let service = Service::spawn(config);
+    let handle = service.handle();
+    let home = fx.model.home();
+    let started = Instant::now();
+    for id in 0..sessions {
+        handle
+            .open(SessionSpec::new(
+                id,
+                SourceSpec::Streamed {
+                    initial: home.clone(),
+                    inbox_capacity: 8,
+                },
+                ChannelSpec::ControlledLoss {
+                    burst_len: 5,
+                    burst_prob: 0.02,
+                    seed: 60_000 + id,
+                },
+                RecoverySpec::FoReCo {
+                    forecaster: forecaster.clone(),
+                    config: RecoveryConfig::for_model(&fx.model),
+                },
+            ))
+            .expect("open session");
+    }
+    // Settle phase: a freshly opened silent fleet runs eagerly through
+    // forecast horizon + PID settling. Wait for it to reach steady
+    // state before measuring — parked under the event scheduler, simply
+    // ticking under the eager one.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let loads = handle.shard_loads();
+        let settled = match scheduler {
+            Scheduler::EventDriven => loads.iter().map(|l| l.parked).sum::<u64>() == sessions,
+            Scheduler::Eager => loads.iter().map(|l| l.passes).sum::<u64>() > 200,
+        };
+        if settled {
+            break;
+        }
+        assert!(Instant::now() < deadline, "fleet never settled: {loads:?}");
+        while let EventWait::Event(_) = service.next_event_timeout(Duration::ZERO) {}
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let baseline = handle.shard_loads();
+
+    // Hot phase: the active set gets a command per round (~1 kHz), the
+    // rest stay silent; the metric is how many sessions the pool
+    // touches per pass while most of the fleet is idle.
+    let mut drained = 0u64;
+    for round in 0..rounds {
+        for id in 0..active {
+            let mut cmd = home.clone();
+            let joint = round % home.len();
+            cmd[joint] += 0.01 * ((round % 5) as f64 - 2.0);
+            let _ = handle.inject(id, cmd); // backpressure = loss, by design
+        }
+        // Keep the event buffer flowing (Opened / CommandDropped).
+        while let EventWait::Event(e) = service.next_event_timeout(Duration::ZERO) {
+            if matches!(e, foreco_serve::SessionEvent::Completed { .. }) {
+                drained += 1;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Sample before teardown: the close wave wakes the whole parked
+    // fleet and would smear the hot-phase wakeup profile. Hot-phase
+    // deltas against the post-settle baseline are the honest numbers.
+    let sample = handle.shard_loads();
+    let wall_s = started.elapsed().as_secs_f64();
+
+    // Tear down: close everyone (waking the parked fleet), drain all
+    // reports.
+    let mut total_session_ticks = 0u64;
+    let mut completed = drained;
+    for id in 0..sessions {
+        handle.close(id).expect("close session");
+        while let EventWait::Event(e) = service.next_event_timeout(Duration::ZERO) {
+            if let foreco_serve::SessionEvent::Completed { report, .. } = e {
+                total_session_ticks += report.ticks;
+                completed += 1;
+            }
+        }
+    }
+    while completed < sessions {
+        match service.next_event() {
+            Some(foreco_serve::SessionEvent::Completed { report, .. }) => {
+                total_session_ticks += report.ticks;
+                completed += 1;
+            }
+            Some(_) => {}
+            None => panic!("service died before every report"),
+        }
+    }
+    service.join();
+
+    let delta = |f: fn(&foreco_serve::ShardLoadSummary) -> u64| -> u64 {
+        sample.iter().zip(&baseline).map(|(s, b)| f(s) - f(b)).sum()
+    };
+    let passes = delta(|l| l.passes);
+    let wakeups = delta(|l| l.wakeups);
+    // Sum of per-shard advances-per-pass over the hot phase: "how many
+    // sessions does the pool touch per tick slot" — directly comparable
+    // to the total session count (where the eager sweep pins it). A
+    // shard that ran no passes (fully parked) contributes zero.
+    let wakeups_per_tick: f64 = sample
+        .iter()
+        .zip(&baseline)
+        .map(|(s, b)| {
+            let passes = s.passes - b.passes;
+            if passes == 0 {
+                0.0
+            } else {
+                (s.wakeups - b.wakeups) as f64 / passes as f64
+            }
+        })
+        .sum();
+    IdleRow {
+        scheduler: format!("{scheduler:?}"),
+        shards,
+        sessions,
+        active_sessions: active,
+        inject_rounds: rounds,
+        wall_s,
+        passes,
+        wakeups,
+        wakeups_per_tick,
+        runnable_ratio: wakeups_per_tick / sessions as f64,
+        timer_wakeups: delta(|l| l.timer_wakeups),
+        traffic_wakeups: delta(|l| l.traffic_wakeups),
+        balancer_migrations: delta(|l| l.migrated_out),
+        total_session_ticks,
+    }
 }
 
 fn main() {
@@ -136,12 +329,76 @@ fn main() {
         });
     }
 
+    // ---- idle-heavy scenario: mostly-parked fleet, few hot sessions ----
+    let idle_sessions = env_knob("FORECO_SERVE_IDLE_SESSIONS", 4096) as u64;
+    let active_pct = env_knob("FORECO_SERVE_IDLE_ACTIVE_PCT", 2) as u64;
+    let rounds = env_knob("FORECO_SERVE_IDLE_ROUNDS", 400);
+    let active = (idle_sessions * active_pct / 100).max(1);
+    let idle_shards = *shard_counts.iter().max().expect("non-empty shard list");
+    println!(
+        "\nidle-heavy: {idle_sessions} streamed sessions, {active} active ({active_pct}%), \
+         {idle_shards} shards, {rounds} inject rounds"
+    );
+    println!(
+        "{:>12} {:>10} {:>12} {:>16} {:>15} {:>11}",
+        "scheduler", "wall [s]", "passes", "wakeups/tick", "runnable ratio", "migrations"
+    );
+    let mut idle_heavy = Vec::new();
+    for scheduler in [Scheduler::EventDriven, Scheduler::Eager] {
+        // The eager sweep pays O(total sessions) per pass; a tenth of
+        // the rounds is plenty to pin its (structural) wakeup rate.
+        let sched_rounds = match scheduler {
+            Scheduler::EventDriven => rounds,
+            Scheduler::Eager => (rounds / 10).max(20),
+        };
+        let row = idle_heavy_run(
+            scheduler,
+            idle_shards,
+            idle_sessions,
+            active,
+            sched_rounds,
+            &fx,
+            &forecaster,
+        );
+        println!(
+            "{:>12} {:>10.3} {:>12} {:>16.1} {:>15.4} {:>11}",
+            row.scheduler,
+            row.wall_s,
+            row.passes,
+            row.wakeups_per_tick,
+            row.runnable_ratio,
+            row.balancer_migrations
+        );
+        idle_heavy.push(row);
+    }
+
+    // Optional CI gate: idle-heavy wakeups/tick must track the active
+    // population, not the fleet size.
+    if let Ok(budget) = std::env::var("FORECO_SERVE_WAKEUP_BUDGET") {
+        let budget: f64 = budget.parse().expect("FORECO_SERVE_WAKEUP_BUDGET: number");
+        let event_row = &idle_heavy[0];
+        assert_eq!(event_row.scheduler, "EventDriven");
+        if event_row.wakeups_per_tick > budget {
+            eprintln!(
+                "FAIL: idle-heavy wakeups/tick {:.1} exceeds budget {budget} \
+                 ({} sessions, {} active) — scheduler regressed toward O(total) sweeps",
+                event_row.wakeups_per_tick, event_row.sessions, event_row.active_sessions
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "wakeup budget: {:.1} ≤ {budget} (OK)",
+            event_row.wakeups_per_tick
+        );
+    }
+
     let output = Output {
         bench: "serve_throughput".to_string(),
         sessions,
         ticks_per_session: replay.len(),
         forecaster: forecaster.name().to_string(),
         rows,
+        idle_heavy,
     };
     let json = serde_json::to_string_pretty(&output).expect("serialise bench output");
     std::fs::write(&out_path, &json).expect("write bench output");

@@ -449,6 +449,63 @@ impl RecoveryEngine {
         }
     }
 
+    /// True when a [`RecoveryEngine::tick`]`(None)` would leave every
+    /// non-counter field of the engine bit-identical: the horizon is
+    /// exhausted (hold regime), the history window is full, and every
+    /// entry already equals the held command with its forecast flag set
+    /// — so the hold pushes a clone of the back entry and pops an equal
+    /// front entry, a no-op on the window.
+    ///
+    /// This is the engine half of the *idle fixed point* the service
+    /// scheduler parks sessions at: once true, consecutive misses change
+    /// only [`RecoveryStats::ticks`] and [`RecoveryStats::horizon_holds`],
+    /// which [`RecoveryEngine::apply_idle_holds`] replays in O(1).
+    pub fn idle_hold_is_identity(&self) -> bool {
+        let cap = match self.cfg.max_consecutive_forecasts {
+            Some(cap) => cap,
+            // Unbounded extrapolation: every miss runs the forecaster and
+            // bumps `consecutive_forecasts` — never an identity.
+            None => return false,
+        };
+        let r = self.forecaster.history_len();
+        if self.history.len() < r || self.consecutive_forecasts < cap {
+            return false; // warmup or still forecasting
+        }
+        if self.history.len() != r.max(1) + 1 {
+            return false; // window not yet at capacity: a push grows it
+        }
+        if self.forecast_slots.iter().any(|&f| !f) {
+            return false; // a real entry would rotate out of the window
+        }
+        let held = self.history.back().expect("seeded at construction");
+        self.history
+            .iter()
+            .all(|c| c.iter().zip(held).all(|(a, b)| a.to_bits() == b.to_bits()))
+    }
+
+    /// The command a hold tick would re-issue (the back of the history).
+    pub fn held_command(&self) -> &[f64] {
+        self.history.back().expect("seeded at construction")
+    }
+
+    /// Replays the bookkeeping of `n` consecutive idle hold ticks without
+    /// running them: exactly what `n` calls of `tick(None)` would do at
+    /// a verified idle fixed point ([`RecoveryEngine::idle_hold_is_identity`]).
+    /// Counter updates are integer additions, so batching is exact.
+    ///
+    /// # Panics
+    /// Panics (debug) when the engine is not at the idle fixed point —
+    /// calling this anywhere else would silently corrupt the
+    /// determinism contract.
+    pub fn apply_idle_holds(&mut self, n: u64) {
+        debug_assert!(
+            self.idle_hold_is_identity(),
+            "apply_idle_holds outside the idle fixed point"
+        );
+        self.stats.ticks += n;
+        self.stats.horizon_holds += n;
+    }
+
     /// §VII-C extension: a command that missed its tick arrived `age`
     /// ticks late. When [`RecoveryConfig::use_late_commands`] is on and
     /// the corresponding history slot still holds a forecast, replace it
@@ -964,6 +1021,85 @@ mod tests {
         // The error type is matchable and boxable for callers/tests.
         let boxed: Box<dyn std::error::Error> = Box::new(err);
         assert!(boxed.to_string().contains("invalid engine snapshot"));
+    }
+
+    #[test]
+    fn idle_hold_identity_detected_and_batched_exactly() {
+        // Drive an engine into its hold regime, wait for the window to
+        // saturate with the held command, then check: (a) the identity
+        // detector fires exactly when a real tick(None) stops changing
+        // state, (b) apply_idle_holds(n) equals n eager hold ticks.
+        let mut e = RecoveryEngine::new(
+            Box::new(MovingAverage::new(2, 2)),
+            RecoveryConfig {
+                max_consecutive_forecasts: Some(3),
+                ..RecoveryConfig::default()
+            },
+            vec![0.1, -0.2],
+        );
+        e.tick(Some(vec![0.2, -0.1]));
+        e.tick(Some(vec![0.3, 0.0]));
+        assert!(!e.idle_hold_is_identity(), "still delivering");
+        // Outage: 3 forecasts, then holds refill the 3-entry window.
+        let mut idle_at = None;
+        for i in 0..20 {
+            if e.idle_hold_is_identity() {
+                idle_at = Some(i);
+                break;
+            }
+            e.tick(None);
+        }
+        let idle_at = idle_at.expect("hold regime must become an identity");
+        assert!(idle_at >= 3, "cannot be idle before the horizon is spent");
+
+        // (a) once identity, an eager tick really is a state no-op.
+        let before = e.snapshot().unwrap();
+        let out = e.tick(None);
+        let after = e.snapshot().unwrap();
+        assert_eq!(out.command.as_slice(), e.held_command());
+        assert_eq!(before.history, after.history);
+        assert_eq!(before.forecast_slots, after.forecast_slots);
+        assert_eq!(before.consecutive_forecasts, after.consecutive_forecasts);
+        assert_eq!(
+            before.burst_quality.to_bits(),
+            after.burst_quality.to_bits()
+        );
+        assert_eq!(after.stats.ticks, before.stats.ticks + 1);
+        assert_eq!(after.stats.horizon_holds, before.stats.horizon_holds + 1);
+
+        // (b) batched bookkeeping == eager ticks, bit for bit.
+        let mut eager = RecoveryEngine::from_snapshot(after.clone()).unwrap();
+        let mut batched = RecoveryEngine::from_snapshot(after).unwrap();
+        for _ in 0..137 {
+            eager.tick(None);
+        }
+        batched.apply_idle_holds(137);
+        assert_eq!(eager.stats(), batched.stats());
+        assert_eq!(eager.snapshot().unwrap(), batched.snapshot().unwrap());
+        // And the fixed point survives: a delivery resumes both equally.
+        assert_eq!(
+            eager.tick(Some(vec![0.5, 0.5])),
+            batched.tick(Some(vec![0.5, 0.5]))
+        );
+    }
+
+    #[test]
+    fn idle_hold_identity_requires_a_horizon() {
+        // With unbounded extrapolation every miss runs the forecaster, so
+        // the engine must never report an identity (sessions never park).
+        let mut e = RecoveryEngine::new(
+            Box::new(MovingAverage::new(1, 1)),
+            RecoveryConfig {
+                max_consecutive_forecasts: None,
+                ..raw_config()
+            },
+            vec![0.0],
+        );
+        e.tick(Some(vec![1.0]));
+        for _ in 0..50 {
+            e.tick(None);
+            assert!(!e.idle_hold_is_identity());
+        }
     }
 
     #[test]

@@ -200,6 +200,73 @@ impl RobotDriver {
         }
     }
 
+    /// True when one [`RobotDriver::tick`] fed with `command` would
+    /// leave every state bit except the clock (`t`) unchanged — the
+    /// driver half of the *idle fixed point* the service scheduler parks
+    /// settled sessions at. `None` models a miss (hold the last
+    /// command); `Some(cmd)` models a constant incoming command, which
+    /// must already clamp to the held one.
+    ///
+    /// Verified, not assumed: each joint's PID step is replayed without
+    /// mutating ([`Pid::peek_step`]) and the joint update is checked to
+    /// vanish in f64. Once true, it stays true for identical inputs (the
+    /// tick is a deterministic function of the unchanged state), so a
+    /// parked session can skip these ticks wholesale and account the
+    /// clock with [`RobotDriver::advance_time`].
+    pub fn hold_is_identity(&self, command: Option<&[f64]>) -> bool {
+        if self.record {
+            // A recording driver pushes a trail sample every tick, so a
+            // hold is never a state no-op; fast-forwarding would drop
+            // samples silently.
+            return false;
+        }
+        if let Some(cmd) = command {
+            if cmd.len() != self.model.dof() {
+                return false;
+            }
+            // tick() would overwrite last_command with the clamped
+            // incoming command; identity needs that write to be a no-op.
+            let clamped = self.model.clamp(cmd);
+            if clamped
+                .iter()
+                .zip(&self.last_command)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                return false;
+            }
+        }
+        let dt = self.cfg.period;
+        for i in 0..self.joints.len() {
+            let (v, pid_unchanged) =
+                self.pids[i].peek_step(self.last_command[i], self.joints[i], dt);
+            if !pid_unchanged {
+                return false;
+            }
+            let q = self.model.limits[i].clamp(self.joints[i] + v * dt);
+            if q.to_bits() != self.joints[i].to_bits() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Replays the clock bookkeeping of `ticks` hold ticks at a verified
+    /// fixed point: `t` accumulates period by period, exactly as `ticks`
+    /// real calls would have (`t += dt` is *not* associative in f64, so
+    /// this must loop rather than multiply).
+    ///
+    /// # Panics
+    /// Panics (debug) when the driver is not at the hold fixed point.
+    pub fn advance_time(&mut self, ticks: u64) {
+        debug_assert!(
+            self.hold_is_identity(None),
+            "advance_time outside the hold fixed point"
+        );
+        for _ in 0..ticks {
+            self.t += self.cfg.period;
+        }
+    }
+
     /// Exports the driver's mutable state for checkpointing (the trail,
     /// if any, is not included — see [`DriverState`]).
     pub fn export_state(&self) -> DriverState {
@@ -353,6 +420,55 @@ mod tests {
             (start_dist - end_dist).abs() < 1.0,
             "arm drifted {start_dist} → {end_dist}"
         );
+    }
+
+    #[test]
+    fn hold_identity_detected_and_fast_forward_exact() {
+        // Drive toward a target, then hold: the driver must reach a
+        // verified f64 fixed point, after which advance_time(n) equals n
+        // eager hold ticks bit for bit (including the accumulated t).
+        let mut d = driver();
+        let mut target = d.joints().to_vec();
+        target[0] += 0.2;
+        target[2] -= 0.1;
+        d.tick(Some(&target));
+        // Recording drivers grow their trail every tick: never a no-op.
+        assert!(!d.hold_is_identity(None), "recording driver can't hold");
+        d.set_recording(false);
+        assert!(!d.hold_is_identity(None), "mid-transient is not a hold");
+        let mut settled = None;
+        for i in 0..200_000 {
+            if d.hold_is_identity(None) {
+                settled = Some(i);
+                break;
+            }
+            d.tick(None);
+        }
+        settled.expect("hold never reached its fixed point");
+        // Identity under the held command fed explicitly, too (the
+        // engine re-issues the held command as Some(cmd)).
+        let held = d.last_command().to_vec();
+        assert!(d.hold_is_identity(Some(&held)));
+        // A different incoming command is not an identity.
+        let mut other = held.clone();
+        other[0] += 0.01;
+        assert!(!d.hold_is_identity(Some(&other)));
+
+        // Fast-forward vs eager: bit-identical states.
+        let state = d.export_state();
+        let mut eager = RobotDriver::from_state(d.model().clone(), *d.config(), &state);
+        let mut skipped = RobotDriver::from_state(d.model().clone(), *d.config(), &state);
+        for _ in 0..997 {
+            eager.tick(None);
+        }
+        skipped.advance_time(997);
+        let (a, b) = (eager.export_state(), skipped.export_state());
+        assert_eq!(a.t.to_bits(), b.t.to_bits(), "t must replay exactly");
+        assert_eq!(a, b);
+        // And both continue identically once commands resume.
+        let mut next = state.joints.clone();
+        next[0] += 0.04;
+        assert_eq!(eager.tick(Some(&next)), skipped.tick(Some(&next)));
     }
 
     /// Recovery transient: freeze the command stream mid-motion, then

@@ -92,6 +92,34 @@ impl Pid {
         output
     }
 
+    /// Replays one [`Pid::step`] without mutating: returns the velocity
+    /// the step would output and whether the controller's own state
+    /// (integral, derivative memory) would stay bit-identical.
+    ///
+    /// This feeds the *idle fixed point* detection the service scheduler
+    /// parks settled sessions at: a held joint is at its fixed point when
+    /// the peeked state is unchanged **and** the returned velocity moves
+    /// the joint by less than half an ulp (the caller checks the joint
+    /// update, which lives in the driver).
+    pub fn peek_step(&self, setpoint: f64, measured: f64, dt: f64) -> (f64, bool) {
+        let error = setpoint - measured;
+        let (derivative, prev_unchanged) = match self.prev_error {
+            Some(prev) => ((error - prev) / dt, prev.to_bits() == error.to_bits()),
+            None => (0.0, false), // first step always writes prev_error
+        };
+        let unclamped = self.gains.kp * error
+            + self.gains.ki * (self.integral + error * dt)
+            + self.gains.kd * derivative;
+        let output = unclamped.clamp(-self.max_output, self.max_output);
+        let integral_unchanged = if unclamped == output || (error * unclamped) < 0.0 {
+            // The step would integrate: the addition must vanish in f64.
+            (self.integral + error * dt).to_bits() == self.integral.to_bits()
+        } else {
+            true // saturated: anti-windup skips the integral entirely
+        };
+        (output, prev_unchanged && integral_unchanged)
+    }
+
     /// Resets integral and derivative memory.
     pub fn reset(&mut self) {
         self.integral = 0.0;
@@ -199,6 +227,47 @@ mod tests {
         let peak = traj.iter().cloned().fold(f64::MIN, f64::max);
         assert!(peak < 2.4, "overshoot to {peak} (20 %+ means windup)");
         assert!((traj.last().unwrap() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn peek_step_matches_step_exactly() {
+        // peek must replay step's arithmetic bit for bit, and its
+        // "state unchanged" verdict must agree with what step does.
+        let mut pid = Pid::new(PidGains::niryo_default(), 1.57);
+        let mut x = 0.0f64;
+        for i in 0..400 {
+            let before = pid.state();
+            let (peeked, unchanged) = pid.peek_step(0.3, x, 0.02);
+            let v = pid.step(0.3, x, 0.02);
+            assert_eq!(peeked.to_bits(), v.to_bits(), "tick {i}");
+            let after = pid.state();
+            let state_same = after.integral.to_bits() == before.integral.to_bits()
+                && after.prev_error.map(f64::to_bits) == before.prev_error.map(f64::to_bits);
+            assert_eq!(unchanged, state_same, "tick {i}: verdict vs reality");
+            x += v * 0.02;
+        }
+    }
+
+    #[test]
+    fn hold_reaches_exact_noop() {
+        // Under a constant setpoint the controller must eventually reach
+        // a state where peek_step reports (≈0 velocity, unchanged state)
+        // — the parkability precondition of the service scheduler.
+        let mut pid = Pid::new(PidGains::niryo_default(), 1.57);
+        let mut x = 0.0f64;
+        let mut settled = None;
+        for i in 0..200_000 {
+            let (v, unchanged) = pid.peek_step(0.3, x, 0.02);
+            let moved = (x + v * 0.02).to_bits() != x.to_bits();
+            if unchanged && !moved {
+                settled = Some(i);
+                break;
+            }
+            let v = pid.step(0.3, x, 0.02);
+            x += v * 0.02;
+        }
+        let settled = settled.expect("PID hold never reached its f64 fixed point");
+        assert!(settled > 10, "cannot settle while still converging");
     }
 
     #[test]

@@ -69,6 +69,14 @@ impl VirtualClock {
         self.tick += 1;
         self.tick
     }
+
+    /// Advances `ticks` periods at once (integer-exact) and returns the
+    /// new tick index. Used by the scheduler's parked-session catch-up:
+    /// the tick counter is the only clock state, so batching is lossless.
+    pub fn advance_by(&mut self, ticks: u64) -> u64 {
+        self.tick += ticks;
+        self.tick
+    }
 }
 
 /// How a shard's virtual clock maps to wall time.

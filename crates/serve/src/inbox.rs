@@ -9,6 +9,14 @@
 //! useless as lost ones). The drop surfaces to the recovery engine as a
 //! miss on the tick that would have consumed it, and FoReCo forecasts
 //! the gap — the drop policy *is* the loss model.
+//!
+//! The inbox is also the scheduler's primary **wake source**: a parked
+//! session (one whose empty-inbox tick is a verified state no-op, see
+//! [`Wake`](crate::session::Wake)) leaves the run queue entirely, and
+//! the arrival of a command through `SessionCommand::Inject` is what
+//! pulls it back in — the owning shard replays the skipped ticks
+//! exactly, then lets the session consume the command on the tick it
+//! arrived at.
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;

@@ -8,7 +8,8 @@
 //!
 //! - [`Session`] bundles an operator command source, a channel
 //!   impairment model, a [`foreco_core::RecoveryEngine`], and the PID
-//!   robot driver — one hosted closed loop;
+//!   robot driver — one hosted closed loop, exposed as a pollable state
+//!   machine: every [`Session::advance`] reports a [`Wake`] verdict;
 //! - [`SessionCommand`] / [`SessionEvent`] split control from
 //!   observation over bounded `std::sync::mpsc` channels: callers talk
 //!   through a [`ServiceHandle`], the service talks back through events;
@@ -17,6 +18,18 @@
 //!   every run is reproducible, and per-session results are
 //!   **bit-identical** to solo `run_closed_loop` runs regardless of
 //!   shard count (pinned by the shard-invariance integration test);
+//! - shards schedule **wake-on-work** by default
+//!   ([`Scheduler::EventDriven`]): a run queue plus a hierarchical
+//!   [`TimerWheel`], with idle streamed sessions parking at a *verified*
+//!   f64 fixed point (engine in horizon-hold, PIDs settled) where
+//!   [`Session::catch_up`] can later replay every skipped tick exactly
+//!   — a mostly-idle fleet costs work proportional to its *active*
+//!   sessions, bit-identically to the eager sweep ([`Scheduler::Eager`],
+//!   kept as the property-tested ground truth);
+//! - with a [`BalancerConfig`], a balancer thread watches per-shard
+//!   load ([`ServiceHandle::shard_loads`], [`ShardLoadSummary`]) and
+//!   evens out runnable sessions across shards through the
+//!   bit-invisible migration mechanism;
 //! - [`MetricsRegistry`] aggregates per-session
 //!   [`foreco_core::RecoveryStats`] and task-space error into
 //!   percentile summaries ([`ServiceSummary`]);
@@ -78,6 +91,7 @@ pub mod clock;
 pub mod inbox;
 pub mod metrics;
 pub mod protocol;
+pub mod sched;
 pub mod service;
 pub mod session;
 pub mod shard;
@@ -86,10 +100,11 @@ pub mod spec;
 
 pub use clock::{Pacing, VirtualClock, TICK_HZ, TICK_PERIOD};
 pub use inbox::{BoundedInbox, InboxState, Offer};
-pub use metrics::{MetricsRegistry, PercentileSummary, ServiceSummary};
+pub use metrics::{MetricsRegistry, PercentileSummary, ServiceSummary, ShardLoadSummary};
 pub use protocol::{ServiceError, SessionCommand, SessionEvent};
-pub use service::{Service, ServiceConfig, ServiceHandle};
-pub use session::{Advance, Session, SessionReport};
+pub use sched::{Scheduler, TimerWheel};
+pub use service::{BalancerConfig, EventWait, Service, ServiceConfig, ServiceHandle};
+pub use session::{Advance, Session, SessionReport, Wake};
 pub use shard::shard_of;
 pub use snapshot::{RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_VERSION};
 pub use spec::{ChannelSpec, RecoverySpec, SessionId, SessionSpec, SharedForecaster, SourceSpec};

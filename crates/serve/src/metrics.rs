@@ -5,6 +5,12 @@
 //! mean. [`MetricsRegistry`] collects completed [`SessionReport`]s and
 //! reduces them to [`ServiceSummary`]: summed recovery counters plus
 //! nearest-rank percentiles of the task-space error.
+//!
+//! Scheduler observability rides alongside: [`ShardLoadSummary`] is the
+//! point-in-time copy of one shard's load counters (runnable vs parked
+//! sessions, passes, wakeups) — the balancer's decision inputs, also
+//! recordable into a registry so a run's load picture survives next to
+//! its reports.
 
 use crate::session::SessionReport;
 use crate::spec::SessionId;
@@ -53,6 +59,57 @@ fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Point-in-time copy of one shard's scheduler load counters (see
+/// `sched::ShardLoad` for the live atomics). Gauges (`sessions`,
+/// `runnable`, `parked`) reflect the last completed pass; the rest are
+/// cumulative over the shard's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ShardLoadSummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Live sessions owned by the shard.
+    pub sessions: u64,
+    /// Sessions in the run queue after the last pass.
+    pub runnable: u64,
+    /// Sessions parked (timer or awaiting input) after the last pass.
+    pub parked: u64,
+    /// Scheduling passes executed.
+    pub passes: u64,
+    /// Session advances performed across all passes.
+    pub wakeups: u64,
+    /// Parked sessions woken by the timer wheel.
+    pub timer_wakeups: u64,
+    /// Parked sessions woken by operator traffic (`Inject`/`Close`).
+    pub traffic_wakeups: u64,
+    /// Sessions migrated away from this shard.
+    pub migrated_out: u64,
+    /// Sessions adopted by this shard.
+    pub migrated_in: u64,
+}
+
+impl ShardLoadSummary {
+    /// Mean session advances per scheduling pass — the "wakeups per
+    /// tick" an event-driven shard should keep proportional to its
+    /// *active* sessions, not its total.
+    pub fn wakeups_per_pass(&self) -> f64 {
+        if self.passes == 0 {
+            0.0
+        } else {
+            self.wakeups as f64 / self.passes as f64
+        }
+    }
+
+    /// Fraction of owned sessions that were runnable after the last
+    /// pass (0 when the shard owns none).
+    pub fn runnable_ratio(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.runnable as f64 / self.sessions as f64
+        }
+    }
+}
+
 /// Aggregate view over every completed session.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ServiceSummary {
@@ -72,10 +129,12 @@ pub struct ServiceSummary {
     pub max_deviation_mm: PercentileSummary,
 }
 
-/// Collects per-session reports as sessions complete.
+/// Collects per-session reports as sessions complete, plus (optionally)
+/// the final per-shard load picture of the run.
 #[derive(Debug, Default, Clone, Serialize)]
 pub struct MetricsRegistry {
     reports: Vec<SessionReport>,
+    shard_loads: Vec<ShardLoadSummary>,
 }
 
 impl MetricsRegistry {
@@ -107,6 +166,19 @@ impl MetricsRegistry {
     /// The report for one session, if it completed.
     pub fn get(&self, id: SessionId) -> Option<&SessionReport> {
         self.reports.iter().find(|r| r.id == id)
+    }
+
+    /// Records the per-shard load picture (typically
+    /// `ServiceHandle::shard_loads` taken at the end of a run), so the
+    /// balancer's inputs are observable next to the session reports.
+    pub fn record_shard_loads(&mut self, loads: Vec<ShardLoadSummary>) {
+        self.shard_loads = loads;
+    }
+
+    /// The recorded per-shard load summaries (empty unless
+    /// [`MetricsRegistry::record_shard_loads`] was called).
+    pub fn shard_loads(&self) -> &[ShardLoadSummary] {
+        &self.shard_loads
     }
 
     /// Reduces to the service-wide summary.

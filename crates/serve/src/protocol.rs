@@ -52,6 +52,18 @@ pub enum SessionCommand {
     /// [`ServiceHandle::adopt`](crate::ServiceHandle::adopt) to revive a
     /// checkpoint from another process or an earlier run.
     Adopt(Box<SessionSnapshot>),
+    /// Balancer directive: migrate up to `count` of this shard's
+    /// *runnable* sessions to shard `to` (parked sessions cost nothing
+    /// where they are, so only live work moves). The shard picks the
+    /// sessions — highest runnable ids first, a deterministic choice —
+    /// and drives each through the ordinary `Migrate` path, so every
+    /// move is bit-invisible and the routing table stays authoritative.
+    Rebalance {
+        /// Destination shard index.
+        to: usize,
+        /// Upper bound on sessions to move.
+        count: usize,
+    },
     /// Stop the shard after finishing in-flight sessions' current tick.
     Shutdown,
 }

@@ -7,17 +7,54 @@
 //! observe them. [`Service::run_to_completion`] is the batch
 //! convenience: open a set of scripted sessions, collect every report
 //! into a [`MetricsRegistry`], shut down.
+//!
+//! With a [`BalancerConfig`] set, the service also runs a **balancer**:
+//! a thread that periodically reads every shard's load counters
+//! ([`ServiceHandle::shard_loads`]) and, when the runnable-session gap
+//! between the most and least loaded shards crosses a threshold, orders
+//! the overloaded shard to migrate live sessions to the underloaded one
+//! (`SessionCommand::Rebalance`, riding the bit-invisible `Migrate`
+//! mechanism — the routing table stays authoritative throughout). The
+//! policy moves *runnable* sessions only: parked sessions cost nothing
+//! where they are, so balancing chases active work, not session counts.
 
 use crate::clock::{Pacing, TICK_PERIOD};
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{MetricsRegistry, ShardLoadSummary};
 use crate::protocol::{ServiceError, SessionCommand, SessionEvent};
+use crate::sched::{Scheduler, ShardLoad};
 use crate::shard::{RoutingTable, ShardWorker};
 use crate::snapshot::SessionSnapshot;
 use crate::spec::{SessionId, SessionSpec};
 use foreco_robot::{niryo_one, ArmModel};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Load-aware rebalancing policy knobs (see the module docs; the
+/// mechanism it drives is `SessionCommand::Migrate`).
+#[derive(Debug, Clone)]
+pub struct BalancerConfig {
+    /// How often shard loads are inspected.
+    pub interval: Duration,
+    /// Minimum runnable-session gap (max − min across shards) before a
+    /// move is ordered. Below it, migration churn costs more than the
+    /// imbalance.
+    pub min_imbalance: u64,
+    /// Upper bound on sessions moved per round, so one round can never
+    /// flood a control channel.
+    pub max_moves: usize,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(20),
+            min_imbalance: 2,
+            max_moves: 8,
+        }
+    }
+}
 
 /// Service construction knobs.
 #[derive(Debug, Clone)]
@@ -35,6 +72,13 @@ pub struct ServiceConfig {
     pub model: ArmModel,
     /// Virtual tick period `Ω` in seconds.
     pub period: f64,
+    /// Per-shard scheduling discipline (event-driven by default; eager
+    /// is the property-tested ground truth).
+    pub scheduler: Scheduler,
+    /// Load-aware shard rebalancing; `None` disables the balancer
+    /// thread (sessions stay wherever placement or explicit migration
+    /// put them).
+    pub balancer: Option<BalancerConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -46,6 +90,8 @@ impl Default for ServiceConfig {
             pacing: Pacing::Unpaced,
             model: niryo_one(),
             period: TICK_PERIOD,
+            scheduler: Scheduler::default(),
+            balancer: None,
         }
     }
 }
@@ -58,6 +104,15 @@ impl ServiceConfig {
             ..Default::default()
         }
     }
+
+    /// Same, with the default load balancer enabled.
+    pub fn with_balanced_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            balancer: Some(BalancerConfig::default()),
+            ..Default::default()
+        }
+    }
 }
 
 /// Cloneable ingress: routes commands to the owning shard — the static
@@ -67,6 +122,7 @@ impl ServiceConfig {
 pub struct ServiceHandle {
     controls: Vec<SyncSender<SessionCommand>>,
     routes: Arc<RoutingTable>,
+    loads: Arc<Vec<ShardLoad>>,
 }
 
 impl ServiceHandle {
@@ -77,6 +133,19 @@ impl ServiceHandle {
     /// Number of shards in the pool.
     pub fn shards(&self) -> usize {
         self.controls.len()
+    }
+
+    /// Point-in-time load picture of every shard — runnable vs parked
+    /// sessions, passes, wakeups, migrations. These are the balancer's
+    /// decision inputs, exposed so operators (and benchmarks) can see
+    /// what it sees. Lock-free reads; gauges reflect each shard's last
+    /// completed pass.
+    pub fn shard_loads(&self) -> Vec<ShardLoadSummary> {
+        self.loads
+            .iter()
+            .enumerate()
+            .map(|(index, load)| load.summary(index))
+            .collect()
     }
 
     /// Opens a session on its home shard (blocks if the shard's control
@@ -172,6 +241,26 @@ impl ServiceHandle {
             .map_err(|_| ServiceError::Disconnected)
     }
 
+    /// Orders shard `from` to migrate up to `count` of its runnable
+    /// sessions to shard `to` — the manual form of what the balancer
+    /// does periodically. Non-blocking; a full control channel reports
+    /// [`ServiceError::Backpressure`] (retry after draining events).
+    pub fn rebalance(&self, from: usize, to: usize, count: usize) -> Result<(), ServiceError> {
+        for shard in [from, to] {
+            if shard >= self.controls.len() {
+                return Err(ServiceError::NoSuchShard {
+                    shard,
+                    shards: self.controls.len(),
+                });
+            }
+        }
+        match self.controls[from].try_send(SessionCommand::Rebalance { to, count }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(ServiceError::Backpressure),
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Disconnected),
+        }
+    }
+
     /// Requests a graceful drain of every shard.
     pub fn shutdown(&self) {
         for control in &self.controls {
@@ -180,16 +269,29 @@ impl ServiceHandle {
     }
 }
 
+/// Outcome of a timed wait for the next service event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventWait {
+    /// An event arrived within the timeout.
+    Event(SessionEvent),
+    /// The timeout elapsed with no event; the service is still alive.
+    TimedOut,
+    /// Every shard has terminated and the buffer is drained.
+    Disconnected,
+}
+
 /// A running shard pool. Drop order matters only through
 /// [`Service::join`], which consumes the service after a shutdown.
 pub struct Service {
     handle: ServiceHandle,
     events: Receiver<SessionEvent>,
     workers: Vec<JoinHandle<u64>>,
+    /// The balancer thread and the sender whose drop stops it.
+    balancer: Option<(JoinHandle<()>, SyncSender<()>)>,
 }
 
 impl Service {
-    /// Spawns the shard pool.
+    /// Spawns the shard pool (and the balancer, when configured).
     ///
     /// # Panics
     /// Panics if `config.shards` is zero.
@@ -197,6 +299,8 @@ impl Service {
         assert!(config.shards >= 1, "service: need at least one shard");
         let (event_tx, event_rx) = sync_channel(config.event_capacity);
         let routes = Arc::new(RoutingTable::default());
+        let loads: Arc<Vec<ShardLoad>> =
+            Arc::new((0..config.shards).map(|_| ShardLoad::default()).collect());
         // All control channels exist before any worker starts: each
         // worker holds every peer's sender for migration hand-offs.
         let channels: Vec<_> = (0..config.shards)
@@ -215,6 +319,8 @@ impl Service {
                 model: config.model.clone(),
                 pacing: config.pacing,
                 period: config.period,
+                scheduler: config.scheduler,
+                loads: Arc::clone(&loads),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -223,10 +329,25 @@ impl Service {
                     .expect("spawn shard thread"),
             );
         }
+        let handle = ServiceHandle {
+            controls,
+            routes,
+            loads,
+        };
+        let balancer = config.balancer.map(|cfg| {
+            let (stop_tx, stop_rx) = sync_channel(1);
+            let balancer_handle = handle.clone();
+            let thread = std::thread::Builder::new()
+                .name("foreco-balancer".to_string())
+                .spawn(move || balancer_loop(cfg, balancer_handle, stop_rx))
+                .expect("spawn balancer thread");
+            (thread, stop_tx)
+        });
         Self {
-            handle: ServiceHandle { controls, routes },
+            handle,
             events: event_rx,
             workers,
+            balancer,
         }
     }
 
@@ -235,19 +356,38 @@ impl Service {
         self.handle.clone()
     }
 
-    /// Blocking receive of the next service event.
+    /// Blocking receive of the next service event. Parks the calling
+    /// thread until an event arrives; `None` once every shard has
+    /// terminated and the buffer is drained.
     pub fn next_event(&self) -> Option<SessionEvent> {
         self.events.recv().ok()
+    }
+
+    /// Bounded-wait receive: blocks up to `timeout` for the next event
+    /// instead of forcing callers to poll [`Service::next_event`] in a
+    /// busy loop when they have periodic work of their own (balancer
+    /// observation, stats printing, injection pacing).
+    pub fn next_event_timeout(&self, timeout: Duration) -> EventWait {
+        match self.events.recv_timeout(timeout) {
+            Ok(event) => EventWait::Event(event),
+            Err(RecvTimeoutError::Timeout) => EventWait::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => EventWait::Disconnected,
+        }
     }
 
     /// Shuts down and joins every shard, returning the total
     /// session-ticks each advanced. Buffered events are discarded.
     pub fn join(mut self) -> Vec<u64> {
         let workers = std::mem::take(&mut self.workers);
+        let balancer = self.balancer.take();
         // Dropping self runs the Drop impl (Shutdown to every shard)
         // and releases the event receiver, so shards blocked emitting
         // events unblock and exit.
         drop(self);
+        if let Some((thread, stop)) = balancer {
+            drop(stop); // disconnects the balancer's stop channel
+            thread.join().expect("balancer thread panicked");
+        }
         workers
             .into_iter()
             .map(|w| w.join().expect("shard thread panicked"))
@@ -317,6 +457,9 @@ impl Service {
                 None => panic!("service terminated with sessions outstanding"),
             }
         }
+        // The final load picture (passes, wakeups, migrations) rides
+        // along with the reports for observability.
+        registry.record_shard_loads(self.handle.shard_loads());
         self.join();
         registry
     }
@@ -338,6 +481,40 @@ impl Service {
                 registry.record(report);
             }
         }
+    }
+}
+
+/// The balancer: every `interval`, read shard loads and — when the
+/// runnable gap justifies it — order the most loaded shard to migrate
+/// live sessions toward the least loaded one. Exits when the stop
+/// channel signals or disconnects (service drop/join).
+fn balancer_loop(cfg: BalancerConfig, handle: ServiceHandle, stop: Receiver<()>) {
+    loop {
+        match stop.recv_timeout(cfg.interval) {
+            Err(RecvTimeoutError::Timeout) => {}
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+        }
+        let loads = handle.shard_loads();
+        let Some(busiest) = loads.iter().max_by_key(|l| l.runnable) else {
+            continue;
+        };
+        let Some(idlest) = loads.iter().min_by_key(|l| l.runnable) else {
+            continue;
+        };
+        if busiest.shard == idlest.shard
+            || busiest.runnable.saturating_sub(idlest.runnable) < cfg.min_imbalance
+        {
+            continue;
+        }
+        // Move half the gap (at least one), capped: the next round
+        // re-measures rather than trusting a single stale reading.
+        let count = (((busiest.runnable - idlest.runnable) / 2).max(1) as usize).min(cfg.max_moves);
+        // Never block: a full control channel means the shard is busy —
+        // skipping a round is cheaper than stalling the balancer.
+        let _ = handle.controls[busiest.shard].try_send(SessionCommand::Rebalance {
+            to: idlest.shard,
+            count,
+        });
     }
 }
 
@@ -716,6 +893,197 @@ mod tests {
         );
         let err: Box<dyn std::error::Error> = Box::new(handle.close(0).expect_err("still gone"));
         assert!(err.to_string().contains("terminated"));
+    }
+
+    #[test]
+    fn event_driven_parks_idle_streams_and_traffic_wakes_them() {
+        // One shard, a fleet of silent streamed sessions: the scheduler
+        // must park them all (zero wakeups while parked), wake on
+        // traffic, and still complete every session on close.
+        let model = niryo_one();
+        let home = model.home();
+        let service = Service::spawn(ServiceConfig::with_shards(1));
+        let handle = service.handle();
+        const FLEET: u64 = 32;
+        for id in 0..FLEET {
+            handle
+                .open(SessionSpec::new(
+                    id,
+                    SourceSpec::Streamed {
+                        initial: home.clone(),
+                        inbox_capacity: 4,
+                    },
+                    ChannelSpec::Ideal,
+                    RecoverySpec::Baseline,
+                ))
+                .unwrap();
+        }
+        // Baseline sessions settle within a few ticks; wait for the
+        // whole fleet to park.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let load = &handle.shard_loads()[0];
+            if load.parked == FLEET && load.runnable == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "fleet never parked: {load:?}"
+            );
+            std::thread::yield_now();
+        }
+        // Parked fleet: the shard is quiescent, so the wakeup counter
+        // must stop moving entirely.
+        let before = handle.shard_loads()[0].wakeups;
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let after = handle.shard_loads()[0].wakeups;
+        assert_eq!(
+            before, after,
+            "parked sessions must cost zero advances while idle"
+        );
+        // Traffic wakes exactly its target.
+        handle.inject(3, home.clone()).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let load = &handle.shard_loads()[0];
+            if load.wakeups > after && load.traffic_wakeups >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "inject never woke the session: {load:?}"
+            );
+            std::thread::yield_now();
+        }
+        // Close everything; every session must still report.
+        for id in 0..FLEET {
+            handle.close(id).unwrap();
+        }
+        let mut completed = 0;
+        while completed < FLEET {
+            if let Some(SessionEvent::Completed { .. }) = service.next_event() {
+                completed += 1;
+            }
+        }
+        service.join();
+    }
+
+    #[test]
+    fn rebalance_migrates_runnable_sessions() {
+        // All sessions on shard 0 (by id choice), then a manual
+        // rebalance order: live sessions must move to shard 1 through
+        // the ordinary bit-invisible migration path.
+        let service = Service::spawn(ServiceConfig::with_shards(2));
+        let handle = service.handle();
+        let dataset = Arc::new(Dataset::record(Skill::Inexperienced, 3, 0.02, 99).commands);
+        let ids: Vec<u64> = (0..).filter(|&id| shard_of(id, 2) == 0).take(8).collect();
+        for &id in &ids {
+            handle
+                .open(SessionSpec::new(
+                    id,
+                    SourceSpec::Replayed(Arc::clone(&dataset)),
+                    ChannelSpec::Ideal,
+                    RecoverySpec::Baseline,
+                ))
+                .unwrap();
+        }
+        handle.rebalance(0, 1, 3).unwrap();
+        let mut migrated = 0;
+        let mut restored = 0;
+        let mut completed = 0;
+        while completed < ids.len() {
+            match service.next_event().expect("service alive") {
+                SessionEvent::Migrated { from, to, .. } => {
+                    assert_eq!((from, to), (0, 1));
+                    migrated += 1;
+                }
+                SessionEvent::Restored { shard, .. } => {
+                    assert_eq!(shard, 1);
+                    restored += 1;
+                }
+                SessionEvent::Completed { .. } => completed += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(migrated, restored, "every departure must land");
+        assert!(
+            migrated > 0,
+            "rebalance of a loaded shard must move something"
+        );
+        let loads = handle.shard_loads();
+        assert_eq!(loads[0].migrated_out, migrated);
+        assert_eq!(loads[1].migrated_in, migrated);
+        service.join();
+        // Out-of-range shards are rejected up front.
+        assert!(matches!(
+            ServiceHandle::rebalance(&handle, 0, 9, 1),
+            Err(ServiceError::NoSuchShard { shard: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn balancer_evens_out_a_loaded_shard() {
+        // Pile long scripted sessions onto shard 0 of a balanced pool;
+        // the balancer must notice the runnable gap and order moves.
+        let config = ServiceConfig {
+            balancer: Some(BalancerConfig {
+                interval: Duration::from_millis(2),
+                min_imbalance: 2,
+                max_moves: 4,
+            }),
+            ..ServiceConfig::with_shards(2)
+        };
+        let service = Service::spawn(config);
+        let handle = service.handle();
+        let dataset = Arc::new(Dataset::record(Skill::Inexperienced, 4, 0.02, 42).commands);
+        let ids: Vec<u64> = (0..).filter(|&id| shard_of(id, 2) == 0).take(12).collect();
+        for &id in &ids {
+            handle
+                .open(SessionSpec::new(
+                    id,
+                    SourceSpec::Replayed(Arc::clone(&dataset)),
+                    ChannelSpec::ControlledLoss {
+                        burst_len: 5,
+                        burst_prob: 0.01,
+                        seed: id,
+                    },
+                    RecoverySpec::Baseline,
+                ))
+                .unwrap();
+        }
+        let mut migrated = 0;
+        let mut completed = 0;
+        while completed < ids.len() {
+            match service.next_event().expect("service alive") {
+                // Counts the initial-imbalance direction; late in the run
+                // the gap can legally reverse as sessions finish.
+                SessionEvent::Migrated { from: 0, to: 1, .. } => migrated += 1,
+                SessionEvent::Completed { .. } => completed += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            migrated > 0,
+            "balancer never rebalanced a 12-vs-0 runnable split"
+        );
+        service.join();
+    }
+
+    #[test]
+    fn next_event_timeout_is_a_bounded_wait() {
+        let service = Service::spawn(ServiceConfig::with_shards(1));
+        assert_eq!(
+            service.next_event_timeout(Duration::from_millis(5)),
+            EventWait::TimedOut
+        );
+        let handle = service.handle();
+        handle.open(specs(1).remove(0)).unwrap();
+        // Something must arrive within a generous bound.
+        match service.next_event_timeout(Duration::from_secs(30)) {
+            EventWait::Event(_) => {}
+            other => panic!("expected an event, got {other:?}"),
+        }
+        service.join();
     }
 
     #[test]

@@ -59,11 +59,38 @@ pub struct SessionReport {
     pub stats: Option<RecoveryStats>,
 }
 
+/// Scheduling verdict a session reports to its shard: when must this
+/// session be polled again?
+///
+/// The verdict is *load-bearing* for the event-driven scheduler — a
+/// session may only report [`Wake::ParkedUntil`] / [`Wake::AwaitingInput`]
+/// from a **verified idle fixed point**, where one more idle tick would
+/// change nothing but clocks and counters (engine in horizon-hold with a
+/// saturated window, both drivers' PIDs settled to exact f64 no-ops, see
+/// [`foreco_core::RecoveryEngine::idle_hold_is_identity`] and
+/// [`foreco_robot::RobotDriver::hold_is_identity`]). That is what makes
+/// [`Session::catch_up`] able to replay the skipped ticks' bookkeeping
+/// exactly, keeping parked sessions bit-identical to eagerly ticked ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Poll again on the next scheduling pass (live traffic, draining,
+    /// mid-transient, or still inside the forecast horizon).
+    Runnable,
+    /// Idle-stable, but a pending late command (§VII-C) falls due at
+    /// this virtual tick: skip ticks until then, then poll.
+    ParkedUntil(u64),
+    /// Idle-stable with nothing scheduled: only new traffic
+    /// ([`Session::offer`]) or a close can make the next tick differ, so
+    /// don't poll until one arrives.
+    AwaitingInput,
+}
+
 /// What one call to [`Session::advance`] did.
 #[derive(Debug)]
 pub enum Advance {
-    /// The session consumed one virtual tick and continues.
-    Ticked,
+    /// The session consumed one virtual tick and continues; the payload
+    /// tells the scheduler when to poll it next.
+    Ticked(Wake),
     /// The session finished; it must be removed from its shard.
     Completed(Box<SessionReport>),
 }
@@ -290,7 +317,105 @@ impl Session {
         self.worst_mm = self.worst_mm.max(d);
 
         self.clock.advance();
-        Advance::Ticked
+        Advance::Ticked(self.wake_hint())
+    }
+
+    /// The scheduling verdict for this session's *next* tick, computable
+    /// at any tick boundary (freshly opened, just advanced, or just
+    /// restored from a snapshot). See [`Wake`] for the contract.
+    pub fn wake_hint(&self) -> Wake {
+        if !self.idle_stable() {
+            return Wake::Runnable;
+        }
+        let from = self.clock.tick();
+        match self
+            .pending_late
+            .iter()
+            .map(|(arrives, _, _)| first_fire_tick(*arrives, self.omega, from))
+            .min()
+        {
+            Some(due) if due > from => Wake::ParkedUntil(due),
+            Some(_) => Wake::Runnable, // a late command fires on the next tick
+            None => Wake::AwaitingInput,
+        }
+    }
+
+    /// True when the next tick, fed nothing, would change no state bit
+    /// outside clocks and counters: streamed source with an empty inbox
+    /// and not draining, engine (if any) at its hold identity, both
+    /// drivers at their hold fixed points. Scripted sessions always have
+    /// a next command, so they are never idle.
+    fn idle_stable(&self) -> bool {
+        match &self.source {
+            Source::Scripted { .. } => return false,
+            Source::Streamed { inbox, closing, .. } => {
+                if !inbox.is_empty() || *closing {
+                    return false;
+                }
+            }
+        }
+        match &self.engine {
+            Some(engine) => {
+                engine.idle_hold_is_identity()
+                    && self.executed.hold_is_identity(Some(engine.held_command()))
+                    && self.reference.hold_is_identity(None)
+            }
+            None => self.executed.hold_is_identity(None) && self.reference.hold_is_identity(None),
+        }
+    }
+
+    /// Replays `ticks` idle ticks' bookkeeping at a verified idle fixed
+    /// point, bit-identically to eager [`Session::advance`] calls: each
+    /// skipped tick is a deadline miss covered by the engine's hold (or
+    /// the baseline's repeat-last), the constant task-space deviation
+    /// accumulates term by term in the eager summation order, and both
+    /// drivers' clocks replay their per-tick `t += Ω` additions.
+    ///
+    /// The scheduler calls this when waking a parked session: the state
+    /// after `catch_up(k)` equals the state after `k` eager idle
+    /// advances, so parking is observationally invisible.
+    ///
+    /// # Panics
+    /// Panics (debug) when the session is not idle-stable — catching up
+    /// anywhere else would corrupt the determinism contract.
+    pub fn catch_up(&mut self, ticks: u64) {
+        if ticks == 0 {
+            return;
+        }
+        debug_assert!(self.idle_stable(), "catch_up outside the idle fixed point");
+        // Positions are frozen at the fixed point, so the per-tick
+        // deviation is one constant — computed by the same expression
+        // `advance` evaluates, on the same (unchanged) joints.
+        let exec_pos = self
+            .executed
+            .model()
+            .chain
+            .forward_mm(self.executed.joints());
+        let ref_pos = self
+            .reference
+            .model()
+            .chain
+            .forward_mm(self.reference.joints());
+        let d2 = (exec_pos[0] - ref_pos[0]).powi(2)
+            + (exec_pos[1] - ref_pos[1]).powi(2)
+            + (exec_pos[2] - ref_pos[2]).powi(2);
+        let d = d2.sqrt();
+        for _ in 0..ticks {
+            // Term-by-term: f64 addition is not associative, and the
+            // report must match the eager accumulation bit for bit.
+            self.acc_sq_mm += d2;
+        }
+        // The park decision required at least one eager tick at this
+        // state, so `worst_mm` has already absorbed `d`; max is a no-op
+        // applied once for the whole span.
+        self.worst_mm = self.worst_mm.max(d);
+        self.misses += ticks as usize;
+        if let Some(engine) = &mut self.engine {
+            engine.apply_idle_holds(ticks);
+        }
+        self.reference.advance_time(ticks);
+        self.executed.advance_time(ticks);
+        self.clock.advance_by(ticks);
     }
 
     fn report(&self) -> SessionReport {
@@ -529,6 +654,28 @@ fn validate_driver_state(
     Ok(())
 }
 
+/// The first tick index `i ≥ from` whose drain instant `(i+1)·Ω`
+/// reaches `arrives` — i.e. when [`pending_late_drain`] would deliver a
+/// late command. Computed against the *exact* f64 predicate the drain
+/// uses (an analytic `ceil` seeds the search, then the predicate is
+/// verified both ways), so a parked span can never skip a due patch.
+fn first_fire_tick(arrives: f64, omega: f64, from: u64) -> u64 {
+    let estimate = (arrives / omega - 1.0).ceil();
+    let mut i = if estimate.is_finite() && estimate > from as f64 {
+        estimate as u64
+    } else {
+        from
+    };
+    // Guard against rounding in either direction of the estimate.
+    while (i as f64 + 1.0) * omega < arrives {
+        i += 1;
+    }
+    while i > from && (i as f64) * omega >= arrives {
+        i -= 1;
+    }
+    i
+}
+
 /// Mirrors the `pending_late.retain` block of `run_closed_loop`.
 fn pending_late_drain(
     pending: &mut Vec<(f64, usize, Vec<f64>)>,
@@ -670,12 +817,12 @@ mod tests {
         session.offer(home.clone());
         session.offer(home.clone());
         for _ in 0..5 {
-            assert!(matches!(session.advance(), Advance::Ticked));
+            assert!(matches!(session.advance(), Advance::Ticked(_)));
         }
         session.close();
         let report = match session.advance() {
             Advance::Completed(report) => report,
-            Advance::Ticked => panic!("closing session with empty inbox must complete"),
+            Advance::Ticked(_) => panic!("closing session with empty inbox must complete"),
         };
         assert_eq!(report.ticks, 5);
         assert_eq!(report.misses, 3);
@@ -712,7 +859,7 @@ mod tests {
         let mut straight = Session::open(&spec, &model);
         let mut resumed = Session::open(&spec, &model);
         for _ in 0..test.commands.len() / 3 {
-            assert!(matches!(resumed.advance(), Advance::Ticked));
+            assert!(matches!(resumed.advance(), Advance::Ticked(_)));
         }
         let bytes = resumed.snapshot().expect("VAR is snapshotable").to_bytes();
         let snap = crate::snapshot::SessionSnapshot::from_bytes(&bytes).expect("decode");
@@ -845,6 +992,265 @@ mod tests {
         // Errors are boxable for assertion ergonomics downstream.
         let boxed: Box<dyn std::error::Error> = Box::new(err);
         assert!(boxed.to_string().contains("mismatches"));
+    }
+
+    /// Drives a streamed session with `advance` until it reports a
+    /// non-runnable wake, returning how many ticks that took.
+    fn run_until_parked(session: &mut Session, budget: usize) -> usize {
+        for i in 0..budget {
+            match session.advance() {
+                Advance::Ticked(Wake::Runnable) => {}
+                Advance::Ticked(_) => return i + 1,
+                Advance::Completed(_) => panic!("session completed while starving"),
+            }
+        }
+        panic!("session never parked within {budget} ticks");
+    }
+
+    #[test]
+    fn park_catch_up_is_bit_identical_to_eager_idle_ticks() {
+        // The core scheduler contract: starve a streamed session to its
+        // idle fixed point, then let one twin tick eagerly through a long
+        // idle span while the other skips it with catch_up. Both then see
+        // the same resumed traffic; the final reports must match bit for
+        // bit — including the f64 accumulators and driver clocks.
+        let model = niryo_one();
+        let home = model.home();
+        for foreco in [true, false] {
+            let recovery = if foreco {
+                RecoverySpec::FoReCo {
+                    forecaster: SharedForecaster::new(trained_var()),
+                    config: RecoveryConfig::for_model(&model),
+                }
+            } else {
+                RecoverySpec::Baseline
+            };
+            let spec = SessionSpec::new(
+                7,
+                SourceSpec::Streamed {
+                    initial: home.clone(),
+                    inbox_capacity: 8,
+                },
+                ChannelSpec::ControlledLoss {
+                    burst_len: 4,
+                    burst_prob: 0.05,
+                    seed: 11,
+                },
+                recovery,
+            );
+            let mut eager = Session::open(&spec, &model);
+            let mut parked = Session::open(&spec, &model);
+            // Some live traffic first so the drivers build real state.
+            let drive = |s: &mut Session| {
+                for k in 0..24u64 {
+                    let mut cmd = home.clone();
+                    cmd[0] += 0.01 * (k % 5) as f64;
+                    s.offer(cmd);
+                    s.advance();
+                }
+            };
+            drive(&mut eager);
+            drive(&mut parked);
+            // Starve both to the fixed point (identical tick counts).
+            let a = run_until_parked(&mut eager, 200_000);
+            let b = run_until_parked(&mut parked, 200_000);
+            assert_eq!(a, b, "twins must park at the same tick");
+            assert_eq!(parked.wake_hint(), Wake::AwaitingInput);
+
+            // Idle span: one twin ticks, the other catches up.
+            const SPAN: u64 = 5_003;
+            for _ in 0..SPAN {
+                assert!(matches!(eager.advance(), Advance::Ticked(_)));
+            }
+            parked.catch_up(SPAN);
+            assert_eq!(parked.tick(), eager.tick());
+
+            // Wake both with the same traffic, then drain and compare.
+            for s in [&mut eager, &mut parked] {
+                let mut cmd = home.clone();
+                cmd[1] -= 0.02;
+                s.offer(cmd.clone());
+                s.offer(cmd);
+                for _ in 0..40 {
+                    s.advance();
+                }
+                s.close();
+            }
+            let finish = |s: &mut Session| loop {
+                if let Advance::Completed(report) = s.advance() {
+                    break report;
+                }
+            };
+            let (ra, rb) = (finish(&mut eager), finish(&mut parked));
+            assert_eq!(ra.ticks, rb.ticks, "foreco={foreco}");
+            assert_eq!(ra.misses, rb.misses, "foreco={foreco}");
+            assert_eq!(ra.stats, rb.stats, "foreco={foreco}");
+            assert_eq!(
+                ra.rmse_mm.to_bits(),
+                rb.rmse_mm.to_bits(),
+                "foreco={foreco}: rmse {} vs {}",
+                ra.rmse_mm,
+                rb.rmse_mm
+            );
+            assert_eq!(
+                ra.max_deviation_mm.to_bits(),
+                rb.max_deviation_mm.to_bits(),
+                "foreco={foreco}"
+            );
+        }
+    }
+
+    #[test]
+    fn wake_hint_tracks_traffic_and_close() {
+        let model = niryo_one();
+        let home = model.home();
+        let spec = SessionSpec::new(
+            8,
+            SourceSpec::Streamed {
+                initial: home.clone(),
+                inbox_capacity: 4,
+            },
+            ChannelSpec::Ideal,
+            RecoverySpec::Baseline,
+        );
+        let mut session = Session::open(&spec, &model);
+        // Fresh session: the first tick still writes PID derivative
+        // memory, so it must not claim to be parkable.
+        assert_eq!(session.wake_hint(), Wake::Runnable);
+        let parked_at = run_until_parked(&mut session, 10_000);
+        assert!(parked_at >= 1);
+        assert_eq!(session.wake_hint(), Wake::AwaitingInput);
+        // Traffic is a wake source…
+        session.offer(home.clone());
+        assert_eq!(session.wake_hint(), Wake::Runnable);
+        assert!(matches!(session.advance(), Advance::Ticked(_)));
+        // …consumed, the session settles straight back to parked (the
+        // command equals the held pose, so the fixed point survives).
+        assert_eq!(session.wake_hint(), Wake::AwaitingInput);
+        // Closing is a wake source too: the session must drain + report.
+        session.close();
+        assert_eq!(session.wake_hint(), Wake::Runnable);
+        assert!(matches!(session.advance(), Advance::Completed(_)));
+    }
+
+    #[test]
+    fn parked_until_wakes_exactly_at_the_late_patch_tick() {
+        // A §VII-C late command whose arrival instant lies beyond the
+        // park point is the one scheduled event that can change a parked
+        // session's state: the wake hint must name its exact due tick,
+        // and skipping to that tick must be bit-identical to ticking
+        // through. Built synthetically through the snapshot (the only
+        // way to plant a far-future pending arrival deterministically).
+        let model = niryo_one();
+        let home = model.home();
+        let mut config = RecoveryConfig::for_model(&model);
+        config.use_late_commands = true;
+        let spec = SessionSpec::new(
+            10,
+            SourceSpec::Streamed {
+                initial: home.clone(),
+                inbox_capacity: 4,
+            },
+            ChannelSpec::Ideal,
+            RecoverySpec::FoReCo {
+                forecaster: SharedForecaster::new(MovingAverage::new(2, home.len())),
+                config,
+            },
+        );
+        let mut donor = Session::open(&spec, &model);
+        donor.offer(home.clone());
+        donor.offer(home.clone());
+        donor.advance();
+        donor.advance();
+        run_until_parked(&mut donor, 10_000);
+        let t0 = donor.tick();
+        let mut snap = donor.snapshot().expect("MA is snapshotable");
+        // A command lost at tick 1 resurfaces mid-way through tick
+        // index t0+40 — long after the session parked.
+        let arrives = (t0 + 40) as f64 * 0.02 + 0.013;
+        snap.pending_late.push((arrives, 1, home.clone()));
+
+        let mut eager = Session::restore(&snap, &model).expect("restore");
+        let mut parked = Session::restore(&snap, &model).expect("restore");
+        let due = match parked.wake_hint() {
+            Wake::ParkedUntil(due) => due,
+            other => panic!("expected a timed park, got {other:?}"),
+        };
+        assert_eq!(due, t0 + 40, "wake must land on the drain tick");
+
+        // Eager twin ticks through the idle span; parked twin jumps to
+        // the due tick, then both process it (the drain fires) and
+        // drain out together.
+        for _ in 0..due - t0 {
+            assert!(matches!(eager.advance(), Advance::Ticked(_)));
+        }
+        parked.catch_up(due - t0);
+        assert_eq!(parked.tick(), due);
+        assert!(matches!(eager.advance(), Advance::Ticked(_)));
+        assert!(matches!(parked.advance(), Advance::Ticked(_)));
+        // The pending entry is consumed: nothing scheduled remains.
+        assert_eq!(eager.wake_hint(), Wake::AwaitingInput);
+        assert_eq!(parked.wake_hint(), Wake::AwaitingInput);
+        for s in [&mut eager, &mut parked] {
+            s.close();
+        }
+        let finish = |s: &mut Session| loop {
+            if let Advance::Completed(report) = s.advance() {
+                break report;
+            }
+        };
+        let (a, b) = (finish(&mut eager), finish(&mut parked));
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.rmse_mm.to_bits(), b.rmse_mm.to_bits());
+    }
+
+    #[test]
+    fn first_fire_tick_matches_the_drain_predicate_exactly() {
+        // The park-until computation must agree with pending_late_drain's
+        // `arrives <= (i+1)·Ω` test at the boundary, or a parked span
+        // could skip a due late command.
+        let omega = 0.02;
+        for k in 1..400u64 {
+            let arrives = k as f64 * 0.00731 + 0.0003;
+            for from in [0u64, 1, 5, 1000] {
+                let i = first_fire_tick(arrives, omega, from);
+                assert!(i >= from);
+                assert!(
+                    (i as f64 + 1.0) * omega >= arrives,
+                    "fire tick {i} does not reach arrival {arrives}"
+                );
+                if i > from {
+                    assert!(
+                        (i as f64) * omega < arrives,
+                        "tick {} already fires for arrival {arrives}",
+                        i - 1
+                    );
+                }
+            }
+        }
+        // Exact-boundary case: arrival lands precisely on a drain instant.
+        let i = first_fire_tick(10.0 * omega, omega, 0);
+        assert!((i as f64 + 1.0) * omega >= 10.0 * omega);
+        assert!(i == 0 || (i as f64) * omega < 10.0 * omega);
+    }
+
+    #[test]
+    fn scripted_sessions_never_park() {
+        let model = niryo_one();
+        let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 99);
+        let spec = SessionSpec::new(
+            9,
+            SourceSpec::replay(&test),
+            ChannelSpec::Ideal,
+            RecoverySpec::Baseline,
+        );
+        let mut session = Session::open(&spec, &model);
+        assert_eq!(session.wake_hint(), Wake::Runnable);
+        while let Advance::Ticked(wake) = session.advance() {
+            assert_eq!(wake, Wake::Runnable);
+        }
     }
 
     #[test]

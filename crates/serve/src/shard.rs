@@ -1,39 +1,70 @@
-//! A shard: one worker thread owning a disjoint set of sessions.
+//! A shard: one worker thread owning a disjoint set of sessions,
+//! scheduled by a wake-on-work cooperative scheduler.
 //!
-//! Each shard holds its sessions in a `BTreeMap` and advances them in
-//! ascending-id order, one virtual tick per pass. Determinism falls out
-//! of ownership: a session's entire state lives on exactly one shard,
-//! sessions never interact, and each session's inputs (script, channel
-//! RNG, engine) are self-contained — so the assignment of sessions to
-//! shards, the number of shards, and thread scheduling cannot change any
-//! session's trajectory. The in-order pass merely makes per-shard
-//! accounting reproducible too.
+//! # Ownership and determinism
 //!
-//! Migration preserves that ownership discipline: `Migrate` runs inside
-//! the control drain (so the session is between ticks), snapshots the
-//! session, removes it, updates the shared [`RoutingTable`], and hands
-//! the state to the destination shard's control channel as an `Adopt` —
-//! at no instant do two shards own the session, and the destination
-//! resumes it from the exact tick it left, so results are bit-identical
-//! to never having moved. Commands racing a migration can land on a
-//! shard that no longer (or does not yet) own the session; they are
-//! answered with `UnknownSession`, which for `Inject` is just another
-//! loss event of the kind the recovery engine exists to absorb.
+//! Each shard holds its sessions in a `BTreeMap` and advances the
+//! *runnable* ones in ascending-id order, one virtual tick per pass.
+//! Determinism falls out of ownership: a session's entire state lives on
+//! exactly one shard, sessions never interact, and each session's inputs
+//! (script, channel RNG, engine) are self-contained — so the assignment
+//! of sessions to shards, the number of shards, and thread scheduling
+//! cannot change any session's trajectory. The in-order pass merely
+//! makes per-shard accounting reproducible too.
 //!
-//! Control flow per loop iteration: drain the control inbox
-//! (non-blocking), advance every live session one tick, emit events for
-//! completions/drops, then let the pacer decide whether to sleep
-//! (real-time mode) or immediately continue. An idle shard parks on a
-//! blocking `recv` so it costs nothing between sessions.
+//! # Scheduling
+//!
+//! Under [`Scheduler::EventDriven`] (the default) the per-pass sweep
+//! touches only the run queue. After every advance a session reports a
+//! [`Wake`] verdict; sessions at a verified idle fixed point leave the
+//! queue and park — in the [`TimerWheel`] when their next state change
+//! is a scheduled §VII-C late command ([`Wake::ParkedUntil`]), or
+//! indefinitely when only traffic can change their next tick
+//! ([`Wake::AwaitingInput`]). Parked sessions cost **zero** work per
+//! pass. Wake sources are the inbox (`Inject`), `Close`, any targeted
+//! control command, and the timer wheel; on wake the session's skipped
+//! passes are replayed exactly by `Session::catch_up`, so parking is
+//! observationally invisible (property-tested against the eager
+//! scheduler). When the whole shard is parked with no timers, the worker
+//! blocks on its control channel and the parked sessions' virtual time
+//! suspends with it — under real-time pacing it instead keeps 50 Hz
+//! slots flowing via a timed receive, so idle spans still track wall
+//! time. When only timers remain, an unpaced shard jumps its pass
+//! counter straight to the next due pass.
+//!
+//! [`Scheduler::Eager`] preserves the original flat sweep (every session
+//! every pass) and is the ground truth the event-driven mode is tested
+//! against.
+//!
+//! # Migration and rebalancing
+//!
+//! Migration preserves the ownership discipline: `Migrate` runs inside
+//! the control drain (so the session is between ticks), syncs a parked
+//! session's backlog, snapshots it, removes it, updates the shared
+//! [`RoutingTable`], and hands the state to the destination shard's
+//! control channel as an `Adopt` — at no instant do two shards own the
+//! session, and the destination resumes it from the exact tick it left,
+//! so results are bit-identical to never having moved. `Rebalance` (sent
+//! by the service's balancer) is the policy layer on the same mechanism:
+//! the shard picks its highest-id runnable sessions and migrates them
+//! out. Commands racing a migration can land on a shard that no longer
+//! (or does not yet) own the session; they are answered with
+//! `UnknownSession`, which for `Inject` is just another loss event of
+//! the kind the recovery engine exists to absorb.
+//!
+//! Control flow per loop iteration: retry parked migration hand-offs,
+//! drain the control inbox (blocking when quiescent), fire due timers,
+//! advance the run queue, publish load gauges, pace.
 
 use crate::clock::{Pacer, Pacing};
 use crate::inbox::Offer;
 use crate::protocol::{SessionCommand, SessionEvent};
-use crate::session::{Advance, Session};
+use crate::sched::{Scheduler, ShardLoad, TimerWheel};
+use crate::session::{Advance, Session, Wake};
 use foreco_robot::ArmModel;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
 use std::sync::{Arc, RwLock};
 
 /// Shared session→shard routing overrides, maintained by the shards and
@@ -93,6 +124,423 @@ pub(crate) struct ShardWorker {
     pub(crate) model: ArmModel,
     pub(crate) pacing: Pacing,
     pub(crate) period: f64,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) loads: Arc<Vec<ShardLoad>>,
+}
+
+/// The shard's mutable scheduling state, factored out of the run loop so
+/// command handling, waking, and parking share one vocabulary.
+struct Runtime {
+    index: usize,
+    events: SyncSender<SessionEvent>,
+    peers: Vec<SyncSender<SessionCommand>>,
+    routes: Arc<RoutingTable>,
+    model: ArmModel,
+    scheduler: Scheduler,
+    loads: Arc<Vec<ShardLoad>>,
+    sessions: BTreeMap<u64, Session>,
+    /// Runnable session ids, advanced in ascending order each pass.
+    runnable: BTreeSet<u64>,
+    /// Parked session id → the pass it last advanced (or synced)
+    /// through. The backlog to replay on wake is
+    /// `current pass − parked_at`.
+    parked: HashMap<u64, u64>,
+    /// Scheduled wakes for [`Wake::ParkedUntil`] sessions.
+    wheel: TimerWheel,
+    /// Completed scheduling passes.
+    pass: u64,
+    /// Total session-ticks advanced (eager ticks + replayed backlog).
+    ticks_advanced: u64,
+    /// Migration hand-offs the destination's control channel could not
+    /// take yet. Transfers never use a blocking send: two shards
+    /// migrating toward each other with full control channels would
+    /// deadlock the pool (neither can drain its own channel while
+    /// blocked in the other's). State parks here and is retried each
+    /// pass instead.
+    pending_transfers: Vec<(usize, Box<crate::snapshot::SessionSnapshot>)>,
+}
+
+impl Runtime {
+    /// This shard's slice of the shared load counters.
+    fn load(&self) -> &ShardLoad {
+        &self.loads[self.index]
+    }
+
+    /// Syncs a parked session through the current pass: replays its idle
+    /// backlog, cancels its timers, and provisionally requeues it. A
+    /// no-op for runnable (or unknown) sessions. Callers that may leave
+    /// the session idle re-park it via [`Runtime::settle`]. `traffic`
+    /// marks wakes caused by operator input (`Inject`/`Close`) so the
+    /// load counters keep administrative syncs (snapshot, migration,
+    /// shutdown) out of the traffic-wakeup figure.
+    fn poke(&mut self, id: u64, traffic: bool) {
+        if let Some(parked_at) = self.parked.remove(&id) {
+            let backlog = self.pass - parked_at;
+            self.wheel.cancel(id);
+            let session = self.sessions.get_mut(&id).expect("parked session exists");
+            session.catch_up(backlog);
+            self.ticks_advanced += backlog;
+            if traffic {
+                self.load().traffic_wakeups.fetch_add(1, Ordering::Relaxed);
+            }
+            self.runnable.insert(id);
+        }
+    }
+
+    /// Re-parks `id` if its wake hint says the next tick is a no-op;
+    /// the inverse of [`Runtime::poke`], run after a control command.
+    fn settle(&mut self, id: u64) {
+        if !self.scheduler.event_driven() || !self.runnable.contains(&id) {
+            return;
+        }
+        let wake = match self.sessions.get(&id) {
+            Some(session) => session.wake_hint(),
+            None => return,
+        };
+        if wake != Wake::Runnable {
+            self.park(id, wake, self.pass);
+        }
+    }
+
+    /// Moves `id` out of the run queue; `ParkedUntil` wakes are keyed
+    /// into the timer wheel at the pass that maps to the named tick.
+    fn park(&mut self, id: u64, wake: Wake, at_pass: u64) {
+        self.runnable.remove(&id);
+        self.parked.insert(id, at_pass);
+        if let Wake::ParkedUntil(due_tick) = wake {
+            // The wheel idles (un-advanced) while empty; re-anchor it to
+            // the present so firing this timer is O(gap), not O(passes
+            // since the wheel last held anything).
+            if self.wheel.is_empty() {
+                self.wheel.sync(at_pass);
+            }
+            let session = &self.sessions[&id];
+            // The session has completed `tick()` ticks; tick index
+            // `due_tick` runs `due_tick − tick() + 1` passes after the
+            // one it just advanced (or synced) through.
+            let due_pass = at_pass + (due_tick - session.tick()) + 1;
+            self.wheel.insert(due_pass, id);
+        }
+    }
+
+    /// Places a session that just entered this shard (open or adopt).
+    fn enqueue_new(&mut self, id: u64) {
+        let wake = if self.scheduler.event_driven() {
+            self.sessions[&id].wake_hint()
+        } else {
+            Wake::Runnable
+        };
+        if wake == Wake::Runnable {
+            self.runnable.insert(id);
+        } else {
+            self.park(id, wake, self.pass);
+        }
+    }
+
+    /// Removes a completed session everywhere and reports it.
+    fn complete(&mut self, id: u64, report: crate::session::SessionReport) {
+        self.sessions.remove(&id);
+        self.runnable.remove(&id);
+        if self.parked.remove(&id).is_some() {
+            self.wheel.cancel(id);
+        }
+        // A migrated-in session leaves a routing override behind; clear
+        // it so the id can be reused at its home placement.
+        if shard_of(id, self.peers.len()) != self.index {
+            self.routes.clear(id);
+        }
+        let _ = self.events.send(SessionEvent::Completed { id, report });
+    }
+
+    /// Drain→transfer leg of a migration (the caller validated `to` and
+    /// the session's existence). `quiet` suppresses per-session failure
+    /// events for balancer-initiated moves, which retry on the next
+    /// round anyway.
+    fn migrate_out(&mut self, id: u64, to: usize, quiet: bool) {
+        self.poke(id, false); // a parked session must ship its synced state
+        let session = self.sessions.get(&id).expect("caller checked existence");
+        match session.snapshot() {
+            Ok(snapshot) => {
+                // The session has finished its current tick (migrations
+                // run inside the control drain), so the snapshot is
+                // tick-aligned. Remove it *before* the hand-off: from
+                // here the destination owns the state.
+                self.sessions.remove(&id);
+                self.runnable.remove(&id);
+                self.routes.set(id, to);
+                self.load().migrated_out.fetch_add(1, Ordering::Relaxed);
+                let _ = self.events.send(SessionEvent::Migrated {
+                    id,
+                    from: self.index,
+                    to,
+                });
+                self.hand_off(to, Box::new(snapshot));
+            }
+            Err(e) => {
+                // Unsnapshotable sessions stay put and keep running
+                // (or re-park, if they were idle).
+                if !quiet {
+                    let _ = self.events.send(SessionEvent::SnapshotFailed {
+                        id,
+                        reason: e.to_string(),
+                    });
+                }
+                self.settle(id);
+            }
+        }
+    }
+
+    /// Non-blocking transfer to a peer; a full channel parks the state
+    /// for retry, a dead one drops it (pool tearing down).
+    fn hand_off(&mut self, to: usize, snapshot: Box<crate::snapshot::SessionSnapshot>) {
+        match self.peers[to].try_send(SessionCommand::Adopt(snapshot)) {
+            Ok(()) => {}
+            Err(std::sync::mpsc::TrySendError::Full(SessionCommand::Adopt(s))) => {
+                self.pending_transfers.push((to, s));
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// One control command. Returns true when it was `Shutdown`.
+    fn handle(&mut self, command: SessionCommand) -> bool {
+        match command {
+            SessionCommand::Open(spec) => {
+                let id = spec.id;
+                if let std::collections::btree_map::Entry::Vacant(slot) = self.sessions.entry(id) {
+                    slot.insert(Session::open(&spec, &self.model));
+                    self.enqueue_new(id);
+                    let _ = self.events.send(SessionEvent::Opened {
+                        id,
+                        shard: self.index,
+                    });
+                } else {
+                    // Never destroy a live session: reject the
+                    // replacement and say so.
+                    let _ = self.events.send(SessionEvent::DuplicateSession { id });
+                }
+            }
+            SessionCommand::Inject { id, command } => {
+                if self.sessions.contains_key(&id) {
+                    // Traffic is a wake source: sync the backlog first so
+                    // the command lands on the tick it arrived at.
+                    self.poke(id, true);
+                    let session = self.sessions.get_mut(&id).expect("checked above");
+                    if session.offer(command) == Offer::Dropped {
+                        let _ = self.events.send(SessionEvent::CommandDropped {
+                            id,
+                            tick: session.tick(),
+                        });
+                    }
+                    self.settle(id);
+                } else {
+                    let _ = self.events.send(SessionEvent::UnknownSession { id });
+                }
+            }
+            SessionCommand::Close { id } => {
+                if self.sessions.contains_key(&id) {
+                    self.poke(id, true);
+                    self.sessions.get_mut(&id).expect("checked above").close();
+                    self.settle(id);
+                } else {
+                    let _ = self.events.send(SessionEvent::UnknownSession { id });
+                }
+            }
+            SessionCommand::Snapshot { id } => {
+                if self.sessions.contains_key(&id) {
+                    // Sync first: the checkpoint must capture the state
+                    // an eager shard would have at this pass, park
+                    // backlog included — that is what makes parked
+                    // snapshots restore bit-identically.
+                    self.poke(id, false);
+                    let session = &self.sessions[&id];
+                    match session.snapshot() {
+                        Ok(snapshot) => {
+                            let _ = self.events.send(SessionEvent::Snapshotted {
+                                id,
+                                shard: self.index,
+                                snapshot: Box::new(snapshot),
+                            });
+                        }
+                        Err(e) => {
+                            let _ = self.events.send(SessionEvent::SnapshotFailed {
+                                id,
+                                reason: e.to_string(),
+                            });
+                        }
+                    }
+                    self.settle(id);
+                } else {
+                    let _ = self.events.send(SessionEvent::UnknownSession { id });
+                }
+            }
+            SessionCommand::Migrate { id, to } => match self.sessions.get(&id) {
+                Some(_) if to >= self.peers.len() => {
+                    // The handle validates destinations; this guards raw
+                    // control-channel writers.
+                    let _ = self.events.send(SessionEvent::SnapshotFailed {
+                        id,
+                        reason: format!(
+                            "migration destination {to} outside the {}-shard pool",
+                            self.peers.len()
+                        ),
+                    });
+                }
+                Some(_) if to == self.index => {
+                    // Already home: a migration to the owning shard is a
+                    // successful no-op.
+                    let _ = self.events.send(SessionEvent::Migrated {
+                        id,
+                        from: self.index,
+                        to: self.index,
+                    });
+                }
+                Some(_) => self.migrate_out(id, to, false),
+                None => {
+                    let _ = self.events.send(SessionEvent::UnknownSession { id });
+                }
+            },
+            SessionCommand::Adopt(snapshot) => {
+                let id = snapshot.id;
+                if let std::collections::btree_map::Entry::Vacant(slot) = self.sessions.entry(id) {
+                    match Session::restore(&snapshot, &self.model) {
+                        Ok(session) => {
+                            let tick = session.tick();
+                            slot.insert(session);
+                            if shard_of(id, self.peers.len()) != self.index {
+                                self.routes.set(id, self.index);
+                            } else {
+                                self.routes.clear(id);
+                            }
+                            self.load().migrated_in.fetch_add(1, Ordering::Relaxed);
+                            self.enqueue_new(id);
+                            let _ = self.events.send(SessionEvent::Restored {
+                                id,
+                                shard: self.index,
+                                tick,
+                            });
+                        }
+                        Err(e) => {
+                            let _ = self.events.send(SessionEvent::RestoreFailed {
+                                id,
+                                reason: e.to_string(),
+                            });
+                        }
+                    }
+                } else {
+                    let _ = self.events.send(SessionEvent::DuplicateSession { id });
+                }
+            }
+            SessionCommand::Rebalance { to, count } => {
+                if to < self.peers.len() && to != self.index {
+                    // Policy: shed live work only — parked sessions cost
+                    // nothing where they are. The highest runnable ids
+                    // go, a deterministic pick that leaves long-lived
+                    // low ids settled in place.
+                    let picks: Vec<u64> = self.runnable.iter().rev().take(count).copied().collect();
+                    for id in picks {
+                        self.migrate_out(id, to, true);
+                    }
+                }
+            }
+            SessionCommand::Shutdown => return true,
+        }
+        false
+    }
+
+    /// Fires timers due at the upcoming pass and wakes their sessions.
+    fn fire_timers(&mut self) {
+        if !self.scheduler.event_driven() || self.wheel.is_empty() {
+            return;
+        }
+        let mut fired = Vec::new();
+        self.wheel.advance(self.pass + 1, &mut fired);
+        fired.sort_unstable();
+        for id in fired {
+            if let Some(parked_at) = self.parked.remove(&id) {
+                let backlog = self.pass - parked_at;
+                let session = self.sessions.get_mut(&id).expect("timer for live session");
+                session.catch_up(backlog);
+                self.ticks_advanced += backlog;
+                self.load().timer_wakeups.fetch_add(1, Ordering::Relaxed);
+                self.runnable.insert(id);
+            }
+        }
+    }
+
+    /// One scheduling pass: fire timers, advance the run queue in
+    /// ascending-id order, park/complete per verdict.
+    fn run_pass(&mut self) {
+        let target = self.pass + 1;
+        self.fire_timers();
+        let mut advanced = 0u64;
+        let mut parked: Vec<(u64, Wake)> = Vec::new();
+        let mut completed: Vec<(u64, Box<crate::session::SessionReport>)> = Vec::new();
+        let event_driven = self.scheduler.event_driven();
+        if self.runnable.len() == self.sessions.len() {
+            // Everyone is runnable (the eager mode invariant, and the
+            // event mode's settle phase): sweep the map directly rather
+            // than paying a per-session id lookup.
+            for (&id, session) in self.sessions.iter_mut() {
+                match session.advance() {
+                    Advance::Ticked(wake) => {
+                        advanced += 1;
+                        if event_driven && wake != Wake::Runnable {
+                            parked.push((id, wake));
+                        }
+                    }
+                    Advance::Completed(report) => completed.push((id, report)),
+                }
+            }
+        } else {
+            let ids: Vec<u64> = self.runnable.iter().copied().collect();
+            for id in ids {
+                let session = self.sessions.get_mut(&id).expect("runnable session exists");
+                match session.advance() {
+                    Advance::Ticked(wake) => {
+                        advanced += 1;
+                        if event_driven && wake != Wake::Runnable {
+                            parked.push((id, wake));
+                        }
+                    }
+                    Advance::Completed(report) => completed.push((id, report)),
+                }
+            }
+        }
+        for (id, wake) in parked {
+            self.park(id, wake, target);
+        }
+        for (id, report) in completed {
+            self.complete(id, *report);
+        }
+        self.ticks_advanced += advanced;
+        self.pass = target;
+        self.load().wakeups.fetch_add(advanced, Ordering::Relaxed);
+        self.load().passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the point-in-time gauges.
+    fn publish_gauges(&self) {
+        let load = self.load();
+        load.sessions
+            .store(self.sessions.len() as u64, Ordering::Relaxed);
+        load.runnable
+            .store(self.runnable.len() as u64, Ordering::Relaxed);
+        load.parked
+            .store(self.parked.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Retries parked migration hand-offs; destinations free their
+    /// channels by draining, which happens every pass they make.
+    fn retry_transfers(&mut self) {
+        if self.pending_transfers.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_transfers);
+        for (to, snapshot) in pending {
+            self.hand_off(to, snapshot);
+        }
+    }
 }
 
 impl ShardWorker {
@@ -107,43 +555,73 @@ impl ShardWorker {
             model,
             pacing,
             period,
+            scheduler,
+            loads,
         } = self;
-        let mut sessions: BTreeMap<u64, Session> = BTreeMap::new();
-        // Migration hand-offs the destination's control channel could
-        // not take yet. Transfers never use a blocking send: two shards
-        // migrating toward each other with full control channels would
-        // deadlock the pool (neither can drain its own channel while
-        // blocked in the other's). State parks here and is retried each
-        // pass instead.
-        let mut pending_transfers: Vec<(usize, Box<crate::snapshot::SessionSnapshot>)> = Vec::new();
+        let mut rt = Runtime {
+            index,
+            events,
+            peers,
+            routes,
+            model,
+            scheduler,
+            loads,
+            sessions: BTreeMap::new(),
+            runnable: BTreeSet::new(),
+            parked: HashMap::new(),
+            wheel: TimerWheel::new(0),
+            pass: 0,
+            ticks_advanced: 0,
+            pending_transfers: Vec::new(),
+        };
         let mut pacer = Pacer::new(pacing, period);
-        let mut ticks_advanced: u64 = 0;
         let mut shutdown = false;
         let mut idle = true;
+        // Wall deadline of the current 50 Hz slot while a real-time
+        // shard is fully parked. Fixed when the wait begins and kept
+        // across interleaved control commands — restarting the period
+        // per command would let sub-period control traffic stall
+        // virtual time (and ParkedUntil timers) indefinitely.
+        let mut slot_deadline: Option<std::time::Instant> = None;
         'run: loop {
-            // Retry parked hand-offs first: the destination frees its
-            // channel by draining, which happens every pass it makes.
-            pending_transfers = pending_transfers
-                .into_iter()
-                .filter_map(|(to, snapshot)| {
-                    match peers[to].try_send(SessionCommand::Adopt(snapshot)) {
-                        Ok(()) => None,
-                        Err(std::sync::mpsc::TrySendError::Full(SessionCommand::Adopt(s))) => {
-                            Some((to, s))
-                        }
-                        // Destination terminated (pool tearing down):
-                        // the state is dropped with it.
-                        Err(_) => None,
-                    }
-                })
-                .collect();
-            // Drain control without blocking while sessions are live;
-            // park when idle (never while a hand-off is parked).
+            rt.retry_transfers();
+            // Drain control; block when quiescent (nothing runnable, no
+            // timer a blocked shard could miss, no parked hand-off).
+            let mut slot_elapsed = false;
             loop {
-                let command = if sessions.is_empty() && !shutdown && pending_transfers.is_empty() {
-                    match control.recv() {
-                        Ok(c) => c,
-                        Err(_) => break 'run, // all handles dropped
+                let quiescent = rt.runnable.is_empty()
+                    && rt.pending_transfers.is_empty()
+                    && !shutdown
+                    && (rt.wheel.is_empty() || pacing == Pacing::RealTime);
+                let command = if quiescent {
+                    idle = true;
+                    if pacing == Pacing::RealTime && scheduler.event_driven() {
+                        // Keep 50 Hz slots flowing while fully parked so
+                        // idle spans track wall time; traffic interrupts
+                        // the wait mid-slot but never extends the slot.
+                        let deadline = *slot_deadline.get_or_insert_with(|| {
+                            std::time::Instant::now() + std::time::Duration::from_secs_f64(period)
+                        });
+                        let now = std::time::Instant::now();
+                        if now >= deadline {
+                            slot_deadline = None;
+                            slot_elapsed = true;
+                            break;
+                        }
+                        match control.recv_timeout(deadline - now) {
+                            Ok(c) => c,
+                            Err(RecvTimeoutError::Timeout) => {
+                                slot_deadline = None;
+                                slot_elapsed = true;
+                                break;
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break 'run,
+                        }
+                    } else {
+                        match control.recv() {
+                            Ok(c) => c,
+                            Err(_) => break 'run, // all handles dropped
+                        }
                     }
                 } else {
                     match control.try_recv() {
@@ -155,162 +633,47 @@ impl ShardWorker {
                         }
                     }
                 };
-                match command {
-                    SessionCommand::Open(spec) => {
-                        let id = spec.id;
-                        if let std::collections::btree_map::Entry::Vacant(slot) = sessions.entry(id)
-                        {
-                            slot.insert(Session::open(&spec, &model));
-                            let _ = events.send(SessionEvent::Opened { id, shard: index });
-                        } else {
-                            // Never destroy a live session: reject the
-                            // replacement and say so.
-                            let _ = events.send(SessionEvent::DuplicateSession { id });
-                        }
-                    }
-                    SessionCommand::Inject { id, command } => match sessions.get_mut(&id) {
-                        Some(session) => {
-                            if session.offer(command) == Offer::Dropped {
-                                let _ = events.send(SessionEvent::CommandDropped {
-                                    id,
-                                    tick: session.tick(),
-                                });
-                            }
-                        }
-                        None => {
-                            let _ = events.send(SessionEvent::UnknownSession { id });
-                        }
-                    },
-                    SessionCommand::Close { id } => match sessions.get_mut(&id) {
-                        Some(session) => session.close(),
-                        None => {
-                            let _ = events.send(SessionEvent::UnknownSession { id });
-                        }
-                    },
-                    SessionCommand::Snapshot { id } => match sessions.get(&id) {
-                        Some(session) => match session.snapshot() {
-                            Ok(snapshot) => {
-                                let _ = events.send(SessionEvent::Snapshotted {
-                                    id,
-                                    shard: index,
-                                    snapshot: Box::new(snapshot),
-                                });
-                            }
-                            Err(e) => {
-                                let _ = events.send(SessionEvent::SnapshotFailed {
-                                    id,
-                                    reason: e.to_string(),
-                                });
-                            }
-                        },
-                        None => {
-                            let _ = events.send(SessionEvent::UnknownSession { id });
-                        }
-                    },
-                    SessionCommand::Migrate { id, to } => match sessions.get(&id) {
-                        Some(_) if to >= peers.len() => {
-                            // The handle validates destinations; this
-                            // guards raw control-channel writers.
-                            let _ = events.send(SessionEvent::SnapshotFailed {
-                                id,
-                                reason: format!(
-                                    "migration destination {to} outside the {}-shard pool",
-                                    peers.len()
-                                ),
-                            });
-                        }
-                        Some(_) if to == index => {
-                            // Already home: a migration to the owning
-                            // shard is a successful no-op.
-                            let _ = events.send(SessionEvent::Migrated {
-                                id,
-                                from: index,
-                                to: index,
-                            });
-                        }
-                        Some(session) => match session.snapshot() {
-                            Ok(snapshot) => {
-                                // Drain→transfer→resume: the session has
-                                // finished its current tick (advances
-                                // happen outside this drain loop), so
-                                // the snapshot is tick-aligned. Remove
-                                // it *before* the hand-off: from here
-                                // the destination owns the state.
-                                sessions.remove(&id);
-                                routes.set(id, to);
-                                let _ = events.send(SessionEvent::Migrated {
-                                    id,
-                                    from: index,
-                                    to,
-                                });
-                                match peers[to].try_send(SessionCommand::Adopt(Box::new(snapshot)))
-                                {
-                                    Ok(()) => {}
-                                    Err(std::sync::mpsc::TrySendError::Full(
-                                        SessionCommand::Adopt(s),
-                                    )) => pending_transfers.push((to, s)),
-                                    // Destination terminated (pool
-                                    // tearing down): state dropped.
-                                    Err(_) => {}
-                                }
-                            }
-                            Err(e) => {
-                                // Unsnapshotable sessions stay put and
-                                // keep running.
-                                let _ = events.send(SessionEvent::SnapshotFailed {
-                                    id,
-                                    reason: e.to_string(),
-                                });
-                            }
-                        },
-                        None => {
-                            let _ = events.send(SessionEvent::UnknownSession { id });
-                        }
-                    },
-                    SessionCommand::Adopt(snapshot) => {
-                        let id = snapshot.id;
-                        if let std::collections::btree_map::Entry::Vacant(slot) = sessions.entry(id)
-                        {
-                            match Session::restore(&snapshot, &model) {
-                                Ok(session) => {
-                                    let tick = session.tick();
-                                    slot.insert(session);
-                                    if shard_of(id, peers.len()) != index {
-                                        routes.set(id, index);
-                                    } else {
-                                        routes.clear(id);
-                                    }
-                                    let _ = events.send(SessionEvent::Restored {
-                                        id,
-                                        shard: index,
-                                        tick,
-                                    });
-                                }
-                                Err(e) => {
-                                    let _ = events.send(SessionEvent::RestoreFailed {
-                                        id,
-                                        reason: e.to_string(),
-                                    });
-                                }
-                            }
-                        } else {
-                            let _ = events.send(SessionEvent::DuplicateSession { id });
-                        }
-                    }
-                    SessionCommand::Shutdown => shutdown = true,
-                }
+                shutdown |= rt.handle(command);
             }
-            if shutdown && sessions.is_empty() && pending_transfers.is_empty() {
-                break;
-            }
-            if sessions.is_empty() {
-                idle = true;
-                if !pending_transfers.is_empty() {
-                    // Nothing to advance, destination still full: yield
-                    // briefly instead of spinning on try_send.
-                    std::thread::sleep(std::time::Duration::from_micros(200));
-                }
+            if slot_elapsed {
+                // The timed receive consumed this wall slot; run the
+                // pass (firing any due timers) without pacing again.
+                rt.run_pass();
+                rt.publish_gauges();
                 continue;
+            }
+            if shutdown {
+                if rt.sessions.is_empty() && rt.pending_transfers.is_empty() {
+                    break;
+                }
+                // A shutdown request finishes in-flight scripted sessions
+                // only if they complete naturally; streamed sessions are
+                // closed so they drain and report rather than hang —
+                // parked ones wake (with their backlog synced) to do so.
+                let parked: Vec<u64> = rt.parked.keys().copied().collect();
+                for id in parked {
+                    rt.poke(id, false);
+                }
+                for session in rt.sessions.values_mut() {
+                    session.close();
+                }
+                rt.runnable.extend(rt.sessions.keys().copied());
+            }
+            if rt.runnable.is_empty() {
+                if scheduler.event_driven() && !rt.wheel.is_empty() && pacing == Pacing::Unpaced {
+                    // Only timers remain: jump straight to the pass
+                    // before the next due one — the skipped passes are
+                    // billed to the parked sessions on wake.
+                    rt.pass = rt.wheel.next_due().expect("wheel non-empty") - 1;
+                } else {
+                    if !rt.pending_transfers.is_empty() {
+                        // Nothing to advance, destination still full:
+                        // yield briefly instead of spinning on try_send.
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    rt.publish_gauges();
+                    continue;
+                }
             }
             if idle {
                 // Coming back from an idle stretch: re-anchor real-time
@@ -318,45 +681,17 @@ impl ShardWorker {
                 pacer.resync();
                 idle = false;
             }
-
-            // One virtual tick for every session, ascending id.
-            let mut completed: Vec<u64> = Vec::new();
-            for (id, session) in sessions.iter_mut() {
-                match session.advance() {
-                    Advance::Ticked => ticks_advanced += 1,
-                    Advance::Completed(report) => {
-                        completed.push(*id);
-                        let _ = events.send(SessionEvent::Completed {
-                            id: *id,
-                            report: *report,
-                        });
-                    }
-                }
-            }
-            for id in completed {
-                sessions.remove(&id);
-                // A migrated-in session leaves a routing override behind;
-                // clear it so the id can be reused at its home placement.
-                if shard_of(id, peers.len()) != index {
-                    routes.clear(id);
-                }
-            }
+            // Live work resumes: the pacer owns slot timing from here.
+            slot_deadline = None;
+            rt.run_pass();
+            rt.publish_gauges();
             pacer.tick_complete();
-
-            // A shutdown request finishes in-flight scripted sessions
-            // only if they complete naturally; streamed sessions are
-            // closed so they drain and report rather than hang.
-            if shutdown {
-                for session in sessions.values_mut() {
-                    session.close();
-                }
-            }
         }
-        let _ = events.send(SessionEvent::ShardTerminated {
+        let _ = rt.events.send(SessionEvent::ShardTerminated {
             shard: index,
-            ticks_advanced,
+            ticks_advanced: rt.ticks_advanced,
         });
-        ticks_advanced
+        rt.ticks_advanced
     }
 }
 

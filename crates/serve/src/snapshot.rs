@@ -36,6 +36,17 @@
 //! uninterrupted run's, including `f64` bit patterns of the RMSE and
 //! deviation accumulators. `tests/snapshot_roundtrip.rs` pins this with
 //! a property suite over random specs, seeds, and snapshot ticks.
+//!
+//! **Parked sessions** need no extra fields: before a shard checkpoints
+//! (or migrates) a parked session it replays the idle backlog with
+//! [`Session::catch_up`](crate::Session::catch_up), so the snapshot is
+//! exactly what an eager shard would have produced at that pass — tick,
+//! accumulators, driver clocks, engine counters, and any `pending_late`
+//! entries included. On restore, the receiving shard re-derives the
+//! park verdict from [`Session::wake_hint`](crate::Session::wake_hint)
+//! (parked-ness is a property of the state, not a stored flag) and the
+//! session resumes bit-identically — the parked-snapshot property in
+//! `tests/snapshot_roundtrip.rs` pins that round trip too.
 
 use crate::inbox::InboxState;
 use crate::spec::{ChannelSpec, SessionId};

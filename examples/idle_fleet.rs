@@ -1,0 +1,189 @@
+//! A production-shaped fleet: thousands of mostly-idle streamed
+//! teleoperation sessions with a handful of hot ones, hosted by the
+//! event-driven scheduler with the load balancer on.
+//!
+//! Silent sessions run through FoReCo's forecast horizon, settle at
+//! their idle fixed point, and park — costing zero scheduler work until
+//! traffic returns, at which point their missed slots are replayed
+//! exactly. The printed load picture shows what that buys: the pool
+//! touches ~`active` sessions per tick, not ~`fleet`, and the balancer
+//! keeps the live work spread across shards.
+//!
+//! ```sh
+//! cargo run --release --example idle_fleet -- --sessions 4096 --hot 64 --shards 4
+//! ```
+
+use foreco::prelude::*;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut sessions: u64 = 4096;
+    let mut hot: u64 = 64;
+    let mut shards: usize = 4;
+    let mut seconds: u64 = 5;
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < argv.len() {
+        match argv[i].as_str() {
+            "--sessions" => sessions = argv[i + 1].parse().expect("--sessions: count"),
+            "--hot" => hot = argv[i + 1].parse().expect("--hot: count"),
+            "--shards" => shards = argv[i + 1].parse().expect("--shards: count"),
+            "--seconds" => seconds = argv[i + 1].parse().expect("--seconds: duration"),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    let hot = hot.min(sessions);
+    println!(
+        "== idle fleet: {sessions} streamed sessions ({hot} hot) × {shards} shards, \
+         event-driven scheduler + balancer ==\n"
+    );
+
+    // One trained forecaster for the whole fleet.
+    let model = niryo_one();
+    let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+    let var = Var::fit_differenced(&train, 5, 1e-6).expect("fit VAR");
+    let forecaster = SharedForecaster::new(var);
+    let home = model.home();
+
+    let service = Service::spawn(ServiceConfig {
+        shards,
+        control_capacity: 4096,
+        event_capacity: sessions as usize * 3 + 1024,
+        balancer: Some(BalancerConfig::default()),
+        ..Default::default()
+    });
+    let handle = service.handle();
+    for id in 0..sessions {
+        handle
+            .open(SessionSpec::new(
+                id,
+                SourceSpec::Streamed {
+                    initial: home.clone(),
+                    inbox_capacity: 8,
+                },
+                ChannelSpec::ControlledLoss {
+                    burst_len: 6,
+                    burst_prob: 0.015,
+                    seed: 70_000 + id,
+                },
+                RecoverySpec::FoReCo {
+                    forecaster: forecaster.clone(),
+                    config: RecoveryConfig::for_model(&model),
+                },
+            ))
+            .expect("open session");
+    }
+    println!("fleet opened; waiting for the silent majority to park…");
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let parked: u64 = handle.shard_loads().iter().map(|l| l.parked).sum();
+        if parked == sessions {
+            break;
+        }
+        assert!(Instant::now() < deadline, "fleet never parked");
+        while let EventWait::Event(_) = service.next_event_timeout(Duration::ZERO) {}
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let baseline = handle.shard_loads();
+    println!("entire fleet parked — scheduler work is now zero.\n");
+
+    // Hot phase: drive the hot subset at ~1 kHz of injects for a while,
+    // printing the per-shard picture once a second.
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>14} {:>12}",
+        "shard", "sessions", "runnable", "parked", "wakeups/pass", "migrations"
+    );
+    let started = Instant::now();
+    let mut round: u64 = 0;
+    let mut next_report = started + Duration::from_secs(1);
+    while started.elapsed() < Duration::from_secs(seconds) {
+        for id in 0..hot {
+            let mut cmd = home.clone();
+            let joint = (round as usize) % home.len();
+            cmd[joint] += 0.012 * ((round % 7) as f64 - 3.0) / 3.0;
+            let _ = handle.inject(id, cmd); // backpressure = loss, by design
+        }
+        while let EventWait::Event(_) = service.next_event_timeout(Duration::ZERO) {}
+        std::thread::sleep(Duration::from_millis(1));
+        round += 1;
+        if Instant::now() >= next_report {
+            next_report += Duration::from_secs(1);
+            for load in handle.shard_loads() {
+                println!(
+                    "{:>6} {:>10} {:>10} {:>10} {:>14.2} {:>12}",
+                    load.shard,
+                    load.sessions,
+                    load.runnable,
+                    load.parked,
+                    load.wakeups_per_pass(),
+                    load.migrated_in + load.migrated_out,
+                );
+            }
+            println!();
+        }
+    }
+
+    // Fleet-wide verdict over the hot phase alone.
+    let sample = handle.shard_loads();
+    let wakeups_per_tick: f64 = sample
+        .iter()
+        .zip(&baseline)
+        .map(|(s, b)| {
+            let passes = s.passes - b.passes;
+            if passes == 0 {
+                0.0
+            } else {
+                (s.wakeups - b.wakeups) as f64 / passes as f64
+            }
+        })
+        .sum();
+    let migrations: u64 = sample
+        .iter()
+        .zip(&baseline)
+        .map(|(s, b)| s.migrated_out - b.migrated_out)
+        .sum();
+    println!(
+        "hot phase: pool touched {wakeups_per_tick:.1} sessions/tick for a {sessions}-session \
+         fleet ({hot} hot); balancer migrated {migrations} live sessions"
+    );
+
+    // Close everything; parked sessions wake, replay their idle
+    // backlog exactly, and report.
+    println!("closing the fleet…");
+    let mut completed: u64 = 0;
+    let mut registry = MetricsRegistry::new();
+    for id in 0..sessions {
+        handle.close(id).expect("close");
+        while let EventWait::Event(e) = service.next_event_timeout(Duration::ZERO) {
+            if let SessionEvent::Completed { report, .. } = e {
+                registry.record(report);
+                completed += 1;
+            }
+        }
+    }
+    while completed < sessions {
+        match service.next_event() {
+            Some(SessionEvent::Completed { report, .. }) => {
+                registry.record(report);
+                completed += 1;
+            }
+            Some(_) => {}
+            None => panic!("service died before every report"),
+        }
+    }
+    registry.record_shard_loads(handle.shard_loads());
+    service.join();
+    let summary = registry.summary();
+    println!(
+        "\n{} sessions reported: {} total ticks, {} misses covered, rmse p50 {:.2} mm / p99 {:.2} mm",
+        summary.sessions,
+        summary.total_ticks,
+        summary.total_misses,
+        summary.rmse_mm.p50,
+        summary.rmse_mm.p99
+    );
+}

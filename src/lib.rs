@@ -58,7 +58,12 @@
 //!
 //! The closed loop above is one operator and one robot. The [`serve`]
 //! runtime hosts thousands of such loops concurrently on a shard pool,
-//! with one trained forecaster shared across all of them:
+//! with one trained forecaster shared across all of them. Shards
+//! schedule wake-on-work: sessions report a `Wake` verdict after every
+//! tick, idle streamed sessions park at a verified fixed point (costing
+//! zero scheduler work until traffic or a timer fires, with their
+//! missed slots replayed exactly on wake), and an optional balancer
+//! migrates live sessions from overloaded to underloaded shards:
 //!
 //! ```
 //! use foreco::prelude::*;
@@ -78,8 +83,12 @@
 //!         },
 //!     ))
 //!     .collect();
-//! let registry = Service::spawn(ServiceConfig::with_shards(2)).run_to_completion(specs);
+//! // Event-driven scheduling is the default; the balancer is opt-in.
+//! let registry = Service::spawn(ServiceConfig::with_balanced_shards(2)).run_to_completion(specs);
 //! assert_eq!(registry.summary().sessions, 16);
+//! // The per-shard load picture (runnable vs parked, wakeups/pass,
+//! // migrations) rides along with the reports.
+//! assert_eq!(registry.shard_loads().len(), 2);
 //! ```
 //!
 //! # Checkpointing sessions
@@ -146,9 +155,10 @@ pub mod prelude {
     };
     pub use foreco_robot::{niryo_one, ArmModel, DriverConfig, RobotDriver};
     pub use foreco_serve::{
-        ChannelSpec, MetricsRegistry, Pacing, RecoverySpec, Service, ServiceConfig, ServiceError,
-        ServiceHandle, ServiceSummary, SessionCommand, SessionEvent, SessionReport,
-        SessionSnapshot, SessionSpec, SharedForecaster, SourceSpec,
+        BalancerConfig, ChannelSpec, EventWait, MetricsRegistry, Pacing, RecoverySpec, Scheduler,
+        Service, ServiceConfig, ServiceError, ServiceHandle, ServiceSummary, SessionCommand,
+        SessionEvent, SessionReport, SessionSnapshot, SessionSpec, ShardLoadSummary,
+        SharedForecaster, SourceSpec, Wake,
     };
     pub use foreco_teleop::{Dataset, Operator, Skill};
     pub use foreco_wifi::{DcfModel, Interference, LinkConfig, Params, WirelessLink};

@@ -7,6 +7,11 @@
 //! channel realisations, a mix of FoReCo and baseline recovery) run on
 //! pools of 1, 2, and 8 shards; every per-session report must equal the
 //! matching solo run.
+//!
+//! The scheduler dimension rides on the same workload: the event-driven
+//! run-queue scheduler (and the load balancer migrating sessions
+//! mid-run on top of it) must produce reports bit-identical to the
+//! eager every-session-every-pass sweep at every pool size.
 
 use foreco::prelude::*;
 use foreco::serve::SessionReport;
@@ -135,6 +140,69 @@ fn per_session_results_invariant_across_shard_counts() {
             s1,
             "aggregate summary must be shard-count invariant"
         );
+    }
+}
+
+/// The event-driven scheduler (run queue + timer wheel + parking) and
+/// the balancer (live migration policy) are pure scheduling concerns:
+/// at 1, 2, and 8 shards, their per-session reports must equal the
+/// eager sweep's bit for bit, and so must the aggregate summaries.
+#[test]
+fn eager_and_event_driven_schedulers_agree() {
+    let model = niryo_one();
+    let var = forecaster();
+    let shared = SharedForecaster::new(var);
+    let specs = || -> Vec<SessionSpec> {
+        (0..SESSIONS)
+            .map(|id| spec_for(id, &shared, &model))
+            .collect()
+    };
+    for shards in [1usize, 2, 8] {
+        let eager = Service::spawn(ServiceConfig {
+            scheduler: Scheduler::Eager,
+            ..ServiceConfig::with_shards(shards)
+        })
+        .run_to_completion(specs());
+        let event = Service::spawn(ServiceConfig::with_shards(shards)).run_to_completion(specs());
+        let balanced = Service::spawn(ServiceConfig {
+            balancer: Some(BalancerConfig {
+                interval: std::time::Duration::from_millis(2),
+                min_imbalance: 1,
+                max_moves: 4,
+            }),
+            ..ServiceConfig::with_shards(shards)
+        })
+        .run_to_completion(specs());
+        for id in 0..SESSIONS {
+            let ground = eager.get(id).expect("eager report");
+            for (label, registry) in [("event-driven", &event), ("balanced", &balanced)] {
+                let report = registry.get(id).expect("report");
+                assert_eq!(
+                    report.misses, ground.misses,
+                    "session {id} misses ({label} @ {shards} shards)"
+                );
+                assert_eq!(
+                    report.stats, ground.stats,
+                    "session {id} stats ({label} @ {shards} shards)"
+                );
+                assert_eq!(
+                    report.rmse_mm.to_bits(),
+                    ground.rmse_mm.to_bits(),
+                    "session {id} rmse not bit-identical ({label} @ {shards} shards)"
+                );
+                assert_eq!(
+                    report.max_deviation_mm.to_bits(),
+                    ground.max_deviation_mm.to_bits(),
+                    "session {id} max deviation ({label} @ {shards} shards)"
+                );
+            }
+        }
+        assert_eq!(eager.summary(), event.summary());
+        assert_eq!(eager.summary(), balanced.summary());
+        // The scheduler really scheduled: every pool advanced every tick.
+        let loads = event.shard_loads();
+        assert_eq!(loads.len(), shards);
+        assert!(loads.iter().map(|l| l.wakeups).sum::<u64>() > 0);
     }
 }
 

@@ -28,6 +28,15 @@ use foreco::serve::{shard_of, Session, SessionId};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
+/// Deterministic operator wiggle around the home pose for streamed
+/// sessions (seeded per case, constant across twins).
+fn wiggle(home: &[f64], seed: u64, k: u64) -> Vec<f64> {
+    home.iter()
+        .enumerate()
+        .map(|(j, q)| q + 0.01 * (((seed ^ (k * 31 + j as u64)) % 7) as f64 - 3.0) / 3.0)
+        .collect()
+}
+
 /// One trained VAR shared by every case (training dominates runtime).
 fn shared_var() -> &'static Var {
     static VAR: OnceLock<Var> = OnceLock::new();
@@ -131,7 +140,7 @@ proptest! {
         for (label, cut) in [("first", cut_a), ("second", cut_b)] {
             let at = ((script_len as f64 * cut) as u64).max(twin.tick());
             while twin.tick() < at {
-                prop_assert!(matches!(twin.advance(), Advance::Ticked));
+                prop_assert!(matches!(twin.advance(), Advance::Ticked(_)));
             }
             let bytes = twin.snapshot().expect("snapshotable").to_bytes();
             let snap = SessionSnapshot::from_bytes(&bytes).expect("decode");
@@ -142,6 +151,95 @@ proptest! {
         let a = run_out(&mut straight);
         let b = run_out(&mut twin);
         assert_reports_bit_identical(&a, &b, "roundtrip");
+    }
+
+    /// The parked-session contract, end to end: a streamed session goes
+    /// silent, reaches its verified idle fixed point, and parks. One
+    /// twin ticks eagerly through a long idle span; the other skips it
+    /// with `catch_up` and is additionally frozen to bytes and restored
+    /// *inside* the parked span. Resumed traffic and the final drain
+    /// must then be bit-identical — parking, catch-up, and a parked
+    /// checkpoint are all observationally invisible.
+    #[test]
+    fn parked_snapshot_resumes_bit_identically(
+        op_seed in 0u64..10_000,
+        ch_seed in 0u64..10_000,
+        burst_len in 1usize..10,
+        burst_prob in 0.0f64..0.08,
+        warm in 8u64..48,
+        idle_span in 1u64..20_000,
+        resume in 4u64..40,
+        foreco in any::<bool>(),
+    ) {
+        let model = niryo_one();
+        let home = model.home();
+        let recovery = if foreco {
+            RecoverySpec::FoReCo {
+                forecaster: SharedForecaster::new(shared_var().clone()),
+                config: RecoveryConfig::for_model(&model),
+            }
+        } else {
+            RecoverySpec::Baseline
+        };
+        let spec = SessionSpec::new(
+            21,
+            SourceSpec::Streamed {
+                initial: home.clone(),
+                inbox_capacity: 8,
+            },
+            ChannelSpec::ControlledLoss {
+                burst_len,
+                burst_prob,
+                seed: ch_seed,
+            },
+            recovery,
+        );
+        let mut eager = Session::open(&spec, &model);
+        let mut parked = Session::open(&spec, &model);
+        // Identical live traffic on both twins.
+        for k in 0..warm {
+            for s in [&mut eager, &mut parked] {
+                s.offer(wiggle(&home, op_seed, k));
+                prop_assert!(matches!(s.advance(), Advance::Ticked(_)));
+            }
+        }
+        // Starve to the idle fixed point (identical tick for both).
+        let park = |s: &mut Session| -> u64 {
+            for _ in 0..200_000u32 {
+                match s.advance() {
+                    Advance::Ticked(foreco::serve::Wake::Runnable) => {}
+                    Advance::Ticked(_) => return s.tick(),
+                    Advance::Completed(_) => panic!("completed while starving"),
+                }
+            }
+            panic!("never parked");
+        };
+        let at_a = park(&mut eager);
+        let at_b = park(&mut parked);
+        prop_assert_eq!(at_a, at_b, "twins must park at the same tick");
+
+        // Idle span: eager ticks, parked skips — through a byte freeze.
+        for _ in 0..idle_span {
+            prop_assert!(matches!(eager.advance(), Advance::Ticked(_)));
+        }
+        parked.catch_up(idle_span);
+        let bytes = parked.snapshot().expect("parked state snapshotable").to_bytes();
+        let snap = SessionSnapshot::from_bytes(&bytes).expect("decode");
+        let mut parked = Session::restore(&snap, &model).expect("restore");
+        prop_assert_eq!(parked.tick(), eager.tick());
+
+        // Wake with fresh traffic; drain out; compare bit for bit.
+        for k in 0..resume {
+            for s in [&mut eager, &mut parked] {
+                s.offer(wiggle(&home, op_seed ^ 0xABCD, k));
+                prop_assert!(matches!(s.advance(), Advance::Ticked(_)));
+            }
+        }
+        eager.close();
+        parked.close();
+        let a = run_out(&mut eager);
+        let b = run_out(&mut parked);
+        assert_reports_bit_identical(&a, &b, "parked roundtrip");
     }
 }
 
@@ -229,7 +327,7 @@ fn adoption_across_pool_sizes_is_bit_identical() {
 
     let mut donor = Session::open(&spec, &model);
     for _ in 0..200 {
-        assert!(matches!(donor.advance(), Advance::Ticked));
+        assert!(matches!(donor.advance(), Advance::Ticked(_)));
     }
     let bytes = donor.snapshot().unwrap().to_bytes();
 

@@ -17,6 +17,11 @@
 //! number against `FORECO_SERVE_WAKEUP_BUDGET` to catch regressions
 //! back to O(total-sessions) sweeps.
 //!
+//! The **ingress** scenario measures the `foreco-net` gateway: the same
+//! teleop frames pushed through the full wire pipeline (codec → reorder
+//! → gated injection) over the in-process loopback transport vs real
+//! localhost UDP, reported as datagrams/sec.
+//!
 //! Knobs: `FORECO_SERVE_SESSIONS` (default 1024),
 //! `FORECO_SERVE_CYCLES` (replay length, default 1),
 //! `FORECO_SERVE_SHARDS` (comma list, default `1,2,4,8`),
@@ -25,6 +30,8 @@
 //! `FORECO_SERVE_IDLE_ROUNDS` (hot-session inject rounds, default 400),
 //! `FORECO_SERVE_WAKEUP_BUDGET` (optional hard ceiling on idle-heavy
 //! event-mode wakeups/tick; breach exits non-zero),
+//! `FORECO_SERVE_INGRESS_SESSIONS` (default 16),
+//! `FORECO_SERVE_INGRESS_FRAMES` (per-session datagrams, default 1000),
 //! `FORECO_SERVE_OUT` (output path, default `BENCH_serve.json`).
 
 use foreco_bench::{banner, env_knob, Fixture};
@@ -73,6 +80,18 @@ struct IdleRow {
 }
 
 #[derive(Serialize)]
+struct IngressRow {
+    transport: String,
+    sessions: u64,
+    frames_per_session: usize,
+    datagrams: u64,
+    wall_s: f64,
+    datagrams_per_sec: f64,
+    delivered: u64,
+    lost: u64,
+}
+
+#[derive(Serialize)]
 struct Output {
     bench: String,
     sessions: u64,
@@ -80,6 +99,7 @@ struct Output {
     forecaster: String,
     rows: Vec<Row>,
     idle_heavy: Vec<IdleRow>,
+    ingress: Vec<IngressRow>,
 }
 
 /// Runs the idle-heavy fleet under one scheduler and measures the
@@ -233,6 +253,55 @@ fn idle_heavy_run(
         traffic_wakeups: delta(|l| l.traffic_wakeups),
         balancer_migrations: delta(|l| l.migrated_out),
         total_session_ticks,
+    }
+}
+
+/// Pushes `frames` datagrams per session through the gateway on one
+/// transport and measures the wire pipeline's throughput.
+fn ingress_run(transport: &str, shards: usize, sessions: u64, trace: &[Vec<f64>]) -> IngressRow {
+    use foreco_net::{ClientConfig, Gateway, GatewayConfig, NetClient, TcpControl, UdpWire};
+
+    let gateway = Gateway::spawn(ServiceConfig::with_shards(shards), GatewayConfig::default())
+        .expect("spawn gateway");
+    let cfg = ClientConfig {
+        window: 64,
+        ..ClientConfig::default()
+    };
+    let started = Instant::now();
+    let (mut delivered, mut lost) = (0u64, 0u64);
+    for id in 0..sessions {
+        let ingress = match transport {
+            "loopback" => {
+                let (data, control) = gateway.loopback();
+                let mut client = NetClient::new(id, data, control);
+                client.open(trace[0].clone(), trace.len()).expect("open");
+                client.replay(trace, 0, &cfg).expect("replay");
+                client.close().expect("close").1
+            }
+            _ => {
+                let data = UdpWire::connect(gateway.udp_addr()).expect("udp");
+                let control = TcpControl::connect(gateway.tcp_addr()).expect("tcp");
+                let mut client = NetClient::new(id, data, control);
+                client.open(trace[0].clone(), trace.len()).expect("open");
+                client.replay(trace, 0, &cfg).expect("replay");
+                client.close().expect("close").1
+            }
+        };
+        delivered += ingress.delivered;
+        lost += ingress.lost;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    gateway.shutdown();
+    let datagrams = sessions * trace.len() as u64;
+    IngressRow {
+        transport: transport.to_string(),
+        sessions,
+        frames_per_session: trace.len(),
+        datagrams,
+        wall_s,
+        datagrams_per_sec: datagrams as f64 / wall_s,
+        delivered,
+        lost,
     }
 }
 
@@ -392,6 +461,30 @@ fn main() {
         );
     }
 
+    // ---- ingress scenario: the wire pipeline, loopback vs UDP ----
+    let ingress_sessions = env_knob("FORECO_SERVE_INGRESS_SESSIONS", 16) as u64;
+    let ingress_frames = env_knob("FORECO_SERVE_INGRESS_FRAMES", 1000);
+    let ingress_trace = Dataset::record(Skill::Inexperienced, 4, 0.02, 91)
+        .head(ingress_frames)
+        .commands;
+    println!(
+        "\ningress: {ingress_sessions} sessions × {} datagrams through the foreco-net gateway",
+        ingress_trace.len()
+    );
+    println!(
+        "{:>10} {:>10} {:>14} {:>12} {:>8}",
+        "transport", "wall [s]", "datagrams/s", "delivered", "lost"
+    );
+    let mut ingress = Vec::new();
+    for transport in ["loopback", "udp"] {
+        let row = ingress_run(transport, idle_shards, ingress_sessions, &ingress_trace);
+        println!(
+            "{:>10} {:>10.3} {:>14.0} {:>12} {:>8}",
+            row.transport, row.wall_s, row.datagrams_per_sec, row.delivered, row.lost
+        );
+        ingress.push(row);
+    }
+
     let output = Output {
         bench: "serve_throughput".to_string(),
         sessions,
@@ -399,6 +492,7 @@ fn main() {
         forecaster: forecaster.name().to_string(),
         rows,
         idle_heavy,
+        ingress,
     };
     let json = serde_json::to_string_pretty(&output).expect("serialise bench output");
     std::fs::write(&out_path, &json).expect("write bench output");

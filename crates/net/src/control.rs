@@ -1,0 +1,360 @@
+//! The TCP control plane: length-prefixed request/response messages for
+//! everything that is not per-tick traffic — attach (open), detach
+//! (close + final report), checkpoint (snapshot), revive (adopt), and
+//! ingress stats.
+//!
+//! # Framing
+//!
+//! A connection opens with a 5-byte handshake (`WIRE_MAGIC` +
+//! `WIRE_VERSION`, echoed by the server — the same versioning gate as
+//! the data plane). Every message after that is `u32` little-endian
+//! length + a JSON-encoded [`ControlRequest`] / [`ControlResponse`]
+//! (JSON because the heaviest payload — a session snapshot — already
+//! *is* the snapshot JSON; wrapping it in a second binary codec would
+//! buy nothing).
+//!
+//! The server side ([`ControlCore`]) is transport-agnostic: the TCP
+//! connection handler and the in-process loopback control both call
+//! [`ControlCore::execute`] — one implementation, two transports,
+//! mirroring the data plane's design.
+
+use crate::gateway::{EventHub, GatewayConfig};
+use crate::ingress::IngressState;
+use crate::wire::{WIRE_MAGIC, WIRE_VERSION};
+use crate::NetError;
+use foreco_serve::{
+    IngressSummary, ServiceHandle, SessionId, SessionReport, SessionSnapshot, SessionSpec,
+    SourceSpec, SourceState,
+};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::sync::{Arc, Mutex};
+
+/// Hard cap on one control message (a snapshot of a long scripted
+/// session is the largest legitimate payload).
+pub const MAX_CONTROL_MSG: usize = 64 << 20;
+
+/// Operator→gateway control messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlRequest {
+    /// Attach: materialise a gated session for this operator. The
+    /// gateway supplies the recovery/channel template; the operator
+    /// supplies identity, start pose, and inbox bound.
+    Open {
+        /// Session id (also the shard-placement input).
+        id: SessionId,
+        /// Start pose both ends agree on.
+        initial: Vec<f64>,
+        /// Queued-command bound (overflow drops become losses).
+        inbox_capacity: usize,
+    },
+    /// Detach: flush the data plane, drain the session, return its
+    /// final report and ingress counters.
+    Close {
+        /// Session id.
+        id: SessionId,
+    },
+    /// Checkpoint the live session; the response carries the snapshot's
+    /// portable JSON form.
+    Snapshot {
+        /// Session id.
+        id: SessionId,
+    },
+    /// Revive a checkpointed session (e.g. across a gateway restart)
+    /// and re-attach its data plane at the snapshot's slot watermark.
+    Adopt {
+        /// Snapshot JSON as produced by [`ControlResponse::Snapshot`].
+        snapshot: String,
+    },
+    /// The session's current ingress counters.
+    Stats {
+        /// Session id.
+        id: SessionId,
+    },
+}
+
+/// Gateway→operator control replies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlResponse {
+    /// The session is live; start streaming datagrams at slot 0.
+    Opened {
+        /// Session id.
+        id: SessionId,
+    },
+    /// The session drained and reported.
+    Closed {
+        /// Session id.
+        id: SessionId,
+        /// Final engine-side accounting.
+        report: SessionReport,
+        /// Final wire-side accounting.
+        ingress: IngressSummary,
+    },
+    /// The checkpoint, as portable JSON.
+    Snapshot {
+        /// Session id.
+        id: SessionId,
+        /// `SessionSnapshot::to_bytes` content (UTF-8 JSON).
+        snapshot: String,
+    },
+    /// The snapshot was revived; stream datagrams from `next_slot`.
+    Adopted {
+        /// Session id.
+        id: SessionId,
+        /// Virtual tick the session resumed at.
+        tick: u64,
+        /// The data-plane watermark: the next sequence number to send.
+        next_slot: u64,
+    },
+    /// Current ingress counters.
+    Stats {
+        /// The counters.
+        ingress: IngressSummary,
+    },
+    /// The request could not be honoured; nothing changed.
+    Rejected {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+/// Writes the 5-byte protocol handshake.
+pub fn write_hello<W: Write>(w: &mut W) -> std::io::Result<()> {
+    let mut hello = [0u8; 5];
+    hello[..4].copy_from_slice(&WIRE_MAGIC);
+    hello[4] = WIRE_VERSION;
+    w.write_all(&hello)
+}
+
+/// Reads and validates the 5-byte protocol handshake.
+pub fn read_hello<R: Read>(r: &mut R) -> Result<(), NetError> {
+    let mut hello = [0u8; 5];
+    r.read_exact(&mut hello).map_err(NetError::Io)?;
+    if hello[..4] != WIRE_MAGIC {
+        return Err(NetError::Protocol("control handshake: bad magic".into()));
+    }
+    if hello[4] != WIRE_VERSION {
+        return Err(NetError::Protocol(format!(
+            "control handshake: version {} (this build speaks {WIRE_VERSION})",
+            hello[4]
+        )));
+    }
+    Ok(())
+}
+
+/// Writes one length-prefixed message.
+pub fn write_msg<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed message (bounded by [`MAX_CONTROL_MSG`]).
+pub fn read_msg<R: Read>(r: &mut R) -> Result<Vec<u8>, NetError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len).map_err(NetError::Io)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_CONTROL_MSG {
+        return Err(NetError::Protocol(format!(
+            "control message of {len} bytes exceeds the {MAX_CONTROL_MSG}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(NetError::Io)?;
+    Ok(payload)
+}
+
+/// The transport-agnostic control-plane executor (shared by every TCP
+/// connection handler and the loopback control).
+#[derive(Clone)]
+pub struct ControlCore {
+    pub(crate) handle: ServiceHandle,
+    pub(crate) ingress: Arc<Mutex<IngressState>>,
+    pub(crate) hub: Arc<EventHub>,
+    pub(crate) cfg: Arc<GatewayConfig>,
+    pub(crate) dof: usize,
+}
+
+impl ControlCore {
+    /// Executes one control request against the service.
+    pub fn execute(&self, request: ControlRequest) -> ControlResponse {
+        match request {
+            ControlRequest::Open {
+                id,
+                initial,
+                inbox_capacity,
+            } => self.open(id, initial, inbox_capacity),
+            ControlRequest::Close { id } => self.close(id),
+            ControlRequest::Snapshot { id } => self.snapshot(id),
+            ControlRequest::Adopt { snapshot } => self.adopt(&snapshot),
+            ControlRequest::Stats { id } => match self.ingress.lock().expect("ingress").summary(id)
+            {
+                Some(ingress) => ControlResponse::Stats { ingress },
+                None => reject(format!("session {id} is not attached")),
+            },
+        }
+    }
+
+    fn open(&self, id: SessionId, initial: Vec<f64>, inbox_capacity: usize) -> ControlResponse {
+        if initial.len() != self.dof {
+            return reject(format!(
+                "initial pose has {} joints, the arm has {}",
+                initial.len(),
+                self.dof
+            ));
+        }
+        if inbox_capacity == 0 {
+            return reject("inbox capacity must be ≥ 1".into());
+        }
+        let spec = SessionSpec::new(
+            id,
+            SourceSpec::Gated {
+                initial,
+                inbox_capacity,
+            },
+            self.cfg.channel.clone(),
+            self.cfg.recovery.clone(),
+        );
+        if let Err(e) = self.handle.open(spec) {
+            return reject(format!("service rejected open: {e}"));
+        }
+        match self.hub.wait_opened(id, self.cfg.control_timeout) {
+            Ok(()) => {
+                self.ingress.lock().expect("ingress").attach(id, 0);
+                ControlResponse::Opened { id }
+            }
+            Err(reason) => reject(reason),
+        }
+    }
+
+    fn close(&self, id: SessionId) -> ControlResponse {
+        // Flush but stay attached: `Rejected` promises "nothing
+        // changed", so the session must survive a failed close for the
+        // operator to retry. The flush is re-attempted without holding
+        // the ingress lock across shard backpressure — one session's
+        // close must never stall the whole data plane.
+        loop {
+            let flushed = {
+                let mut state = self.ingress.lock().expect("ingress");
+                if state.summary(id).is_none() {
+                    return reject(format!("session {id} is not attached"));
+                }
+                state.try_flush(id)
+            };
+            if flushed {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // Purge any stale UnknownSession leftover (a retransmitted
+        // datagram racing an earlier teardown) before the close is
+        // issued — its genuine answer must not be confused with it.
+        self.hub.forget_unknown(id);
+        if let Err(e) = self.handle.close(id) {
+            return reject(format!("service rejected close: {e}"));
+        }
+        match self.hub.wait_report(id, self.cfg.control_timeout) {
+            Ok(report) => {
+                let ingress = self
+                    .ingress
+                    .lock()
+                    .expect("ingress")
+                    .detach(id)
+                    .expect("session was attached above");
+                // The session is finished end to end: drop its hub
+                // bookkeeping so a long-lived gateway stays O(live).
+                self.hub.purge(id);
+                ControlResponse::Closed {
+                    id,
+                    report,
+                    ingress,
+                }
+            }
+            // The report may still arrive; the hub keeps it for a
+            // retried Close, and the session stays attached meanwhile.
+            Err(reason) => reject(reason),
+        }
+    }
+
+    fn snapshot(&self, id: SessionId) -> ControlResponse {
+        // Land any loss verdicts parked on shard backpressure first:
+        // the checkpoint's queue must reflect every verdict the ingress
+        // watermark has issued, or the adopt-side slot arithmetic would
+        // resume below where the wire's acks already reached.
+        while !self.ingress.lock().expect("ingress").try_settle(id) {
+            std::thread::yield_now();
+        }
+        self.hub.forget_unknown(id);
+        if let Err(e) = self.handle.snapshot(id) {
+            return reject(format!("service rejected snapshot: {e}"));
+        }
+        match self.hub.wait_snapshot(id, self.cfg.control_timeout) {
+            Ok(snapshot) => ControlResponse::Snapshot {
+                id,
+                snapshot: String::from_utf8(snapshot.to_bytes()).expect("snapshot JSON is UTF-8"),
+            },
+            Err(reason) => reject(reason),
+        }
+    }
+
+    fn adopt(&self, snapshot_json: &str) -> ControlResponse {
+        let snapshot = match SessionSnapshot::from_bytes(snapshot_json.as_bytes()) {
+            Ok(snapshot) => snapshot,
+            Err(e) => return reject(format!("snapshot rejected: {e}")),
+        };
+        let id = snapshot.id;
+        // The data-plane watermark resumes at the snapshot's settled
+        // slot count: consumed ticks plus still-queued tick-consuming
+        // slots (late patches ride between ticks and consume none).
+        let next_slot = match &snapshot.source {
+            SourceState::Gated { inbox, .. } => {
+                let queued = inbox.queue.iter().try_fold(0u64, |acc, s| {
+                    acc.checked_add(match s {
+                        foreco_serve::GatedSlot::Late { .. } => 0,
+                        foreco_serve::GatedSlot::Miss { count } => *count,
+                        foreco_serve::GatedSlot::Command(_) => 1,
+                    })
+                });
+                match queued.and_then(|q| snapshot.tick.checked_add(q)) {
+                    Some(next_slot) => next_slot,
+                    None => return reject("snapshot slot arithmetic overflows".into()),
+                }
+            }
+            _ => {
+                return reject("only gated (socket-ingress) sessions attach to the gateway".into())
+            }
+        };
+        if let Err(e) = self.handle.adopt(snapshot) {
+            return reject(format!("service rejected adopt: {e}"));
+        }
+        match self.hub.wait_restored(id, self.cfg.control_timeout) {
+            Ok(tick) => {
+                self.ingress.lock().expect("ingress").attach(id, next_slot);
+                ControlResponse::Adopted {
+                    id,
+                    tick,
+                    next_slot,
+                }
+            }
+            Err(reason) => reject(reason),
+        }
+    }
+}
+
+fn reject(reason: String) -> ControlResponse {
+    ControlResponse::Rejected { reason }
+}
+
+/// Serialises a control message to its JSON wire payload.
+pub(crate) fn to_payload<T: Serialize>(msg: &T) -> Vec<u8> {
+    serde_json::to_string(msg)
+        .expect("control messages serialise infallibly")
+        .into_bytes()
+}
+
+/// Parses a control payload.
+pub(crate) fn from_payload<T: Deserialize>(payload: &[u8]) -> Result<T, NetError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| NetError::Protocol("control payload is not UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| NetError::Protocol(format!("control payload: {e}")))
+}

@@ -1,0 +1,531 @@
+//! The ingress gateway: real sockets in front of a [`Service`].
+//!
+//! [`Gateway::spawn`] binds a UDP socket (data plane) and a TCP
+//! listener (control plane) on loopback-ephemeral ports, spawns the
+//! shard pool, and runs three thread groups in front of it:
+//!
+//! - the **UDP thread** receives datagrams, runs them through the
+//!   shared [`IngressState`] (decode → reorder → inject, see the
+//!   `ingress` module docs), and sends the telemetry ack back to the
+//!   datagram's source address;
+//! - the **TCP accept thread** spawns one handler thread per operator
+//!   connection, each speaking the length-prefixed control protocol
+//!   through the shared [`ControlCore`];
+//! - the **event pump** owns the [`Service`] and its event stream,
+//!   routing `Completed`/`Snapshotted`/`Restored`/… to whichever
+//!   control request is waiting on them (via [`EventHub`]).
+//!
+//! The in-process **loopback transport** ([`Gateway::loopback`])
+//! returns a data wire and a control wire that bypass the sockets but
+//! run the *identical* codec, ingress, and control code — the hermetic
+//! twin the determinism suite compares real-socket runs against.
+
+use crate::client::{LoopbackControl, LoopbackWire};
+use crate::control::{self, ControlCore, ControlRequest};
+use crate::ingress::{IngressConfig, IngressState};
+use crate::wire::MAX_FRAME;
+use foreco_serve::{
+    ChannelSpec, IngressSummary, MetricsRegistry, RecoverySpec, Service, ServiceConfig,
+    ServiceHandle, SessionEvent, SessionId, SessionReport, SessionSnapshot,
+};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gateway construction knobs. The recovery/channel pair is the
+/// **session template**: operators supply identity and a start pose,
+/// the deployment decides how misses are covered (the trained
+/// forecaster lives server-side, exactly the paper's edge-cloud split).
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Recovery mode every attached session runs.
+    pub recovery: RecoverySpec,
+    /// Composed impairment channel per session. `Ideal` by default —
+    /// with a real network in front, the wire itself is the impairment.
+    pub channel: ChannelSpec,
+    /// Data-plane reassembly knobs.
+    pub ingress: IngressConfig,
+    /// How long a control request waits for its service event.
+    pub control_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            recovery: RecoverySpec::Baseline,
+            channel: ChannelSpec::Ideal,
+            ingress: IngressConfig::default(),
+            control_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What the event pump knows, keyed by session: control-plane waiters
+/// block on this (condvar) until their event lands.
+#[derive(Default)]
+struct HubState {
+    opened: HashMap<SessionId, Result<(), String>>,
+    reports: HashMap<SessionId, SessionReport>,
+    snapshots: HashMap<SessionId, Result<Box<SessionSnapshot>, String>>,
+    restored: HashMap<SessionId, Result<u64, String>>,
+    /// `UnknownSession` answers, claimable by whichever request raced it.
+    unknown: HashMap<SessionId, u64>,
+    /// Engine-side overflow drops observed per session.
+    engine_drops: HashMap<SessionId, u64>,
+    pump_alive: bool,
+}
+
+/// Routes service events to waiting control requests.
+pub(crate) struct EventHub {
+    state: Mutex<HubState>,
+    cv: Condvar,
+}
+
+impl EventHub {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(HubState {
+                pump_alive: true,
+                ..HubState::default()
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn absorb(&self, event: SessionEvent) {
+        let mut state = self.state.lock().expect("hub");
+        match event {
+            SessionEvent::Opened { id, .. } => {
+                state.opened.insert(id, Ok(()));
+            }
+            SessionEvent::DuplicateSession { id } => {
+                // A duplicate answers either an Open or an Adopt; feed
+                // both waiters so neither waits out its full timeout.
+                state
+                    .opened
+                    .insert(id, Err(format!("session {id} already exists")));
+                state
+                    .restored
+                    .insert(id, Err(format!("session {id} already exists")));
+            }
+            SessionEvent::Completed { id, report } => {
+                state.reports.insert(id, report);
+            }
+            SessionEvent::Snapshotted { id, snapshot, .. } => {
+                state.snapshots.insert(id, Ok(snapshot));
+            }
+            SessionEvent::SnapshotFailed { id, reason } => {
+                state.snapshots.insert(id, Err(reason));
+            }
+            SessionEvent::Restored { id, tick, .. } => {
+                state.restored.insert(id, Ok(tick));
+            }
+            SessionEvent::RestoreFailed { id, reason } => {
+                state.restored.insert(id, Err(reason));
+            }
+            SessionEvent::UnknownSession { id } => {
+                *state.unknown.entry(id).or_insert(0) += 1;
+            }
+            SessionEvent::CommandDropped { id, .. } => {
+                *state.engine_drops.entry(id).or_insert(0) += 1;
+            }
+            SessionEvent::Migrated { .. } | SessionEvent::ShardTerminated { .. } => {}
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    fn dead(&self) {
+        self.state.lock().expect("hub").pump_alive = false;
+        self.cv.notify_all();
+    }
+
+    /// Drops any stale `UnknownSession` answer for `id`. Call **before
+    /// issuing** a command whose wait treats unknowns as failure, so a
+    /// leftover from an earlier race (e.g. a retransmitted datagram
+    /// landing after a completed session was removed) cannot fail a
+    /// fresh request — and the genuine answer, arriving after the
+    /// command, is never discarded.
+    pub(crate) fn forget_unknown(&self, id: SessionId) {
+        self.state.lock().expect("hub").unknown.remove(&id);
+    }
+
+    /// Waits until `claim` yields a value, the pump dies, or `timeout`
+    /// passes. With `unknown_fails`, an `UnknownSession` answer for the
+    /// id fails the wait — only for requests the service actually
+    /// answers that way (close/snapshot); an Open/Adopt can race stray
+    /// datagrams whose unknowns mean nothing about it.
+    fn wait<T>(
+        &self,
+        id: SessionId,
+        timeout: Duration,
+        unknown_fails: bool,
+        mut claim: impl FnMut(&mut HubState) -> Option<T>,
+    ) -> Result<T, String> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("hub");
+        loop {
+            if let Some(value) = claim(&mut state) {
+                return Ok(value);
+            }
+            if unknown_fails && state.unknown.remove(&id).is_some() {
+                return Err(format!("session {id} is unknown to the service"));
+            }
+            if !state.pump_alive {
+                return Err("service terminated".into());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(format!("timed out waiting on session {id}"));
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("hub poisoned");
+            state = next;
+        }
+    }
+
+    pub(crate) fn wait_opened(&self, id: SessionId, timeout: Duration) -> Result<(), String> {
+        self.wait(id, timeout, false, |s| s.opened.remove(&id))?
+    }
+
+    pub(crate) fn wait_report(
+        &self,
+        id: SessionId,
+        timeout: Duration,
+    ) -> Result<SessionReport, String> {
+        self.wait(id, timeout, true, |s| s.reports.remove(&id))
+    }
+
+    pub(crate) fn wait_snapshot(
+        &self,
+        id: SessionId,
+        timeout: Duration,
+    ) -> Result<Box<SessionSnapshot>, String> {
+        self.wait(id, timeout, true, |s| s.snapshots.remove(&id))?
+    }
+
+    pub(crate) fn wait_restored(&self, id: SessionId, timeout: Duration) -> Result<u64, String> {
+        self.wait(id, timeout, false, |s| s.restored.remove(&id))?
+    }
+
+    pub(crate) fn engine_drops(&self, id: SessionId) -> u64 {
+        self.state
+            .lock()
+            .expect("hub")
+            .engine_drops
+            .get(&id)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Forgets everything recorded for a finished session, so a
+    /// long-lived gateway's hub stays O(live sessions) instead of
+    /// accreting an entry per session ever served.
+    pub(crate) fn purge(&self, id: SessionId) {
+        let mut state = self.state.lock().expect("hub");
+        state.opened.remove(&id);
+        state.reports.remove(&id);
+        state.snapshots.remove(&id);
+        state.restored.remove(&id);
+        state.unknown.remove(&id);
+        state.engine_drops.remove(&id);
+    }
+}
+
+/// A running socket ingress gateway (see the module docs).
+pub struct Gateway {
+    core: ControlCore,
+    udp_addr: SocketAddr,
+    tcp_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Gateway {
+    /// Spawns the service and the gateway threads; binds loopback
+    /// ephemeral ports (read them back from [`Gateway::udp_addr`] /
+    /// [`Gateway::tcp_addr`]).
+    ///
+    /// # Errors
+    /// Socket bind/configuration failures.
+    pub fn spawn(service_config: ServiceConfig, config: GatewayConfig) -> std::io::Result<Self> {
+        let dof = service_config.model.dof();
+        let udp = UdpSocket::bind("127.0.0.1:0")?;
+        udp.set_read_timeout(Some(Duration::from_millis(5)))?;
+        let tcp = TcpListener::bind("127.0.0.1:0")?;
+        tcp.set_nonblocking(true)?;
+        let udp_addr = udp.local_addr()?;
+        let tcp_addr = tcp.local_addr()?;
+
+        let service = Service::spawn(service_config);
+        let handle = service.handle();
+        let ingress = Arc::new(Mutex::new(IngressState::new(
+            handle.clone(),
+            config.ingress.clone(),
+            dof,
+        )));
+        let hub = Arc::new(EventHub::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let core = ControlCore {
+            handle,
+            ingress: Arc::clone(&ingress),
+            hub: Arc::clone(&hub),
+            cfg: Arc::new(config),
+            dof,
+        };
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut threads = Vec::new();
+        // Event pump: owns the Service; shuts the pool down when asked.
+        {
+            let hub = Arc::clone(&hub);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("foreco-net-events".into())
+                    .spawn(move || event_pump(service, hub, stop))
+                    .expect("spawn event pump"),
+            );
+        }
+        // UDP data plane.
+        {
+            let ingress = Arc::clone(&ingress);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("foreco-net-udp".into())
+                    .spawn(move || udp_loop(udp, ingress, stop))
+                    .expect("spawn udp thread"),
+            );
+        }
+        // TCP control plane.
+        {
+            let core = core.clone();
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("foreco-net-tcp".into())
+                    .spawn(move || accept_loop(tcp, core, stop, conns))
+                    .expect("spawn tcp thread"),
+            );
+        }
+        Ok(Self {
+            core,
+            udp_addr,
+            tcp_addr,
+            stop,
+            threads,
+            conns,
+        })
+    }
+
+    /// The data plane's UDP address.
+    pub fn udp_addr(&self) -> SocketAddr {
+        self.udp_addr
+    }
+
+    /// The control plane's TCP address.
+    pub fn tcp_addr(&self) -> SocketAddr {
+        self.tcp_addr
+    }
+
+    /// An in-process transport pair running the identical codec,
+    /// ingress, and control paths without sockets — the hermetic twin
+    /// for determinism tests.
+    pub fn loopback(&self) -> (LoopbackWire, LoopbackControl) {
+        (
+            LoopbackWire::new(Arc::clone(&self.core.ingress)),
+            LoopbackControl::new(self.core.clone()),
+        )
+    }
+
+    /// A handle into the fronted service (for operators of the gateway
+    /// itself: shard loads, manual migration, …).
+    pub fn service_handle(&self) -> ServiceHandle {
+        self.core.handle.clone()
+    }
+
+    /// Every attached session's ingress counters, id-ordered.
+    pub fn ingress_summaries(&self) -> Vec<IngressSummary> {
+        self.core.ingress.lock().expect("ingress").summaries()
+    }
+
+    /// Datagrams that failed to decode, and well-formed frames for
+    /// unattached sessions — the gateway-level reject counters no
+    /// session can own.
+    pub fn reject_counters(&self) -> (u64, u64) {
+        let state = self.core.ingress.lock().expect("ingress");
+        (state.undecodable, state.unknown)
+    }
+
+    /// Records the gateway's ingress picture into a metrics registry
+    /// (next to the session reports the wire produced).
+    pub fn record_ingress(&self, registry: &mut MetricsRegistry) {
+        registry.record_ingress(self.ingress_summaries());
+    }
+
+    /// Engine-side drops (gated-inbox overflow, refused late patches)
+    /// the event stream reported for `id` — the admission-control half
+    /// of the loss picture, next to the wire-side counters.
+    pub fn engine_drops(&self, id: SessionId) -> u64 {
+        self.core.hub.engine_drops(id)
+    }
+
+    /// Stops every thread and tears the fronted service down.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conns"));
+        for conn in conns {
+            let _ = conn.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        // Threads observe the flag within their poll timeouts; a drop
+        // without `shutdown()` still stops them, just asynchronously.
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+fn event_pump(service: Service, hub: Arc<EventHub>, stop: Arc<AtomicBool>) {
+    loop {
+        match service.next_event_timeout(Duration::from_millis(20)) {
+            foreco_serve::EventWait::Event(event) => hub.absorb(event),
+            foreco_serve::EventWait::TimedOut => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            foreco_serve::EventWait::Disconnected => break,
+        }
+    }
+    hub.dead();
+    service.join();
+}
+
+fn udp_loop(socket: UdpSocket, ingress: Arc<Mutex<IngressState>>, stop: Arc<AtomicBool>) {
+    // One receive datagram, one ack frame: the hot path allocates
+    // nothing beyond the command vector that rides into the session.
+    let mut buf = [0u8; MAX_FRAME + 64];
+    let mut ack = [0u8; MAX_FRAME];
+    while !stop.load(Ordering::SeqCst) {
+        match socket.recv_from(&mut buf) {
+            Ok((len, src)) => {
+                let ack_len = ingress
+                    .lock()
+                    .expect("ingress")
+                    .handle_datagram(&buf[..len], &mut ack);
+                if let Some(ack_len) = ack_len {
+                    let _ = socket.send_to(&ack[..ack_len], src);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    core: ControlCore,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let core = core.clone();
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name("foreco-net-conn".into())
+                    .spawn(move || connection(stream, core, stop))
+                    .expect("spawn connection thread");
+                let mut conns = conns.lock().expect("conns");
+                // Reap finished handlers as we go; a long-lived gateway
+                // sees one connection per operator attach/detach cycle.
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn connection(mut stream: TcpStream, core: ControlCore, stop: Arc<AtomicBool>) {
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let Some(hello) = read_exact_with_stop(&mut stream, 5, &stop) else {
+        return;
+    };
+    if hello[..4] != crate::wire::WIRE_MAGIC || hello[4] != crate::wire::WIRE_VERSION {
+        return; // wrong protocol or version: hang up, send nothing
+    }
+    if control::write_hello(&mut stream).is_err() {
+        return;
+    }
+    loop {
+        let Some(len_bytes) = read_exact_with_stop(&mut stream, 4, &stop) else {
+            return;
+        };
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if len > control::MAX_CONTROL_MSG {
+            return;
+        }
+        let Some(payload) = read_exact_with_stop(&mut stream, len, &stop) else {
+            return;
+        };
+        let response = match control::from_payload::<ControlRequest>(&payload) {
+            Ok(request) => core.execute(request),
+            Err(e) => crate::control::ControlResponse::Rejected {
+                reason: e.to_string(),
+            },
+        };
+        if control::write_msg(&mut stream, &control::to_payload(&response)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Reads exactly `n` bytes, tolerating read timeouts (to observe the
+/// stop flag) and partial reads. `None` on EOF, error, or stop.
+fn read_exact_with_stop(stream: &mut TcpStream, n: usize, stop: &AtomicBool) -> Option<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    let mut read = 0;
+    while read < n {
+        if stop.load(Ordering::SeqCst) {
+            return None;
+        }
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => return None,
+            Ok(k) => read += k,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    Some(buf)
+}

@@ -1,0 +1,425 @@
+//! The binary wire codec: how operator traffic looks on the network.
+//!
+//! Every datagram (and every framed control payload on the return path)
+//! starts with the same fixed 32-byte header, little-endian throughout:
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0  | 4 | magic `"FRC0"` ([`WIRE_MAGIC`]) |
+//! | 4  | 1 | wire version ([`WIRE_VERSION`]) |
+//! | 5  | 1 | frame kind ([`FrameKind`]) |
+//! | 6  | 2 | payload length in f64 words (`dims`) |
+//! | 8  | 8 | session id |
+//! | 16 | 8 | sequence number = virtual tick **slot** the payload is for |
+//! | 24 | 8 | virtual tick (telemetry: slots settled; data: sender's clock) |
+//!
+//! followed by `dims × 8` bytes of IEEE-754 f64 joint values. A
+//! [`FrameKind::Command`] carries the slot's joint-space command; a
+//! [`FrameKind::Miss`] is the operator's explicit "this slot is gone"
+//! (payload-free); a [`FrameKind::Telemetry`] flows gateway→operator
+//! carrying the cumulative settled-slot watermark in `seq` — the ack
+//! that drives the client's send window.
+//!
+//! Encoding and decoding are **zero-allocation**: encoders write into a
+//! caller buffer and return the frame length, [`decode`] borrows the
+//! payload and exposes joints as an on-demand iterator. Malformed input
+//! never panics — every reject is a typed [`WireError`], pinned by the
+//! codec property suite (`tests/wire_codec.rs`).
+//!
+//! # Versioning
+//!
+//! [`WIRE_VERSION`] follows the same rule as the snapshot format's
+//! `SNAPSHOT_VERSION`: bump it whenever a header field changes meaning,
+//! and keep any legacy decoding an explicit `match` on the version —
+//! never implicit. A foreign version rejects with
+//! [`WireError::Version`].
+
+/// Leading magic of every FoReCo wire frame.
+pub const WIRE_MAGIC: [u8; 4] = *b"FRC0";
+
+/// Current wire format version (see the module docs for the bump rule).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 32;
+
+/// Hard cap on payload joints: no supported arm comes close, and the
+/// cap keeps the largest legal datagram at [`MAX_FRAME`] bytes.
+pub const MAX_JOINTS: usize = 32;
+
+/// Largest legal frame in bytes (header + max payload); sized for
+/// stack-allocated codec buffers.
+pub const MAX_FRAME: usize = HEADER_LEN + MAX_JOINTS * 8;
+
+/// What a frame is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Operator→gateway: the joint-space command for slot `seq`.
+    Command,
+    /// Operator→gateway: slot `seq` is declared lost (payload-free).
+    Miss,
+    /// Gateway→operator: cumulative ack — every slot below `seq` is
+    /// settled (delivered, patched, or flushed as lost).
+    Telemetry,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Command => 1,
+            FrameKind::Miss => 2,
+            FrameKind::Telemetry => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(FrameKind::Command),
+            2 => Some(FrameKind::Miss),
+            3 => Some(FrameKind::Telemetry),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded frame borrowing its payload from the receive buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frame<'a> {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Session the frame belongs to.
+    pub session: u64,
+    /// Sequence number (= virtual tick slot; telemetry: settled
+    /// watermark).
+    pub seq: u64,
+    /// Virtual tick field (see the module docs).
+    pub tick: u64,
+    payload: &'a [u8],
+}
+
+impl<'a> Frame<'a> {
+    /// Number of f64 joints in the payload.
+    pub fn dims(&self) -> usize {
+        self.payload.len() / 8
+    }
+
+    /// The payload joints, decoded on demand (no allocation).
+    pub fn joints(&self) -> impl Iterator<Item = f64> + 'a {
+        self.payload
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+    }
+
+    /// The payload joints as an owned vector (the one allocation the
+    /// ingress path makes per delivered command — the `Vec` that rides
+    /// the `Inject` into the session).
+    pub fn joints_vec(&self) -> Vec<f64> {
+        self.joints().collect()
+    }
+}
+
+/// Why a frame failed to encode or decode. Every malformed input maps
+/// to exactly one of these — the codec never panics on wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header (or than the header-declared
+    /// payload) — a truncated datagram.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// The leading magic is not [`WIRE_MAGIC`]: not our protocol.
+    BadMagic {
+        /// The four bytes found.
+        found: [u8; 4],
+    },
+    /// A frame from a different protocol version.
+    Version {
+        /// Version found in the header.
+        found: u8,
+        /// Version this build speaks.
+        expected: u8,
+    },
+    /// An unassigned frame-kind byte.
+    UnknownKind {
+        /// The byte found.
+        found: u8,
+    },
+    /// The header declares more joints than [`MAX_JOINTS`].
+    Oversized {
+        /// Declared joint count.
+        dims: usize,
+        /// The cap.
+        max: usize,
+    },
+    /// The buffer holds more bytes than the header accounts for —
+    /// trailing garbage is rejected, not ignored.
+    TrailingBytes {
+        /// Expected total frame length.
+        expect: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// An encode target buffer too small for the frame.
+    BufferTooSmall {
+        /// Bytes required.
+        need: usize,
+        /// Buffer capacity.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, got } => {
+                write!(f, "truncated frame: need {need} bytes, got {got}")
+            }
+            WireError::BadMagic { found } => write!(f, "bad magic {found:02x?}"),
+            WireError::Version { found, expected } => {
+                write!(f, "wire version {found}, this build speaks {expected}")
+            }
+            WireError::UnknownKind { found } => write!(f, "unknown frame kind {found:#04x}"),
+            WireError::Oversized { dims, max } => {
+                write!(f, "oversized payload: {dims} joints > max {max}")
+            }
+            WireError::TrailingBytes { expect, got } => {
+                write!(f, "trailing bytes: frame is {expect}, buffer holds {got}")
+            }
+            WireError::BufferTooSmall { need, got } => {
+                write!(f, "encode buffer too small: need {need}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn encode_header(
+    buf: &mut [u8],
+    kind: FrameKind,
+    dims: usize,
+    session: u64,
+    seq: u64,
+    tick: u64,
+) -> Result<usize, WireError> {
+    if dims > MAX_JOINTS {
+        return Err(WireError::Oversized {
+            dims,
+            max: MAX_JOINTS,
+        });
+    }
+    let need = HEADER_LEN + dims * 8;
+    if buf.len() < need {
+        return Err(WireError::BufferTooSmall {
+            need,
+            got: buf.len(),
+        });
+    }
+    buf[0..4].copy_from_slice(&WIRE_MAGIC);
+    buf[4] = WIRE_VERSION;
+    buf[5] = kind.to_byte();
+    buf[6..8].copy_from_slice(&(dims as u16).to_le_bytes());
+    buf[8..16].copy_from_slice(&session.to_le_bytes());
+    buf[16..24].copy_from_slice(&seq.to_le_bytes());
+    buf[24..32].copy_from_slice(&tick.to_le_bytes());
+    Ok(need)
+}
+
+/// Encodes a command frame into `buf`, returning the frame length.
+///
+/// # Errors
+/// [`WireError::Oversized`] over [`MAX_JOINTS`] joints,
+/// [`WireError::BufferTooSmall`] when `buf` cannot hold the frame.
+pub fn encode_command(
+    buf: &mut [u8],
+    session: u64,
+    seq: u64,
+    tick: u64,
+    joints: &[f64],
+) -> Result<usize, WireError> {
+    let len = encode_header(buf, FrameKind::Command, joints.len(), session, seq, tick)?;
+    for (i, v) in joints.iter().enumerate() {
+        let at = HEADER_LEN + i * 8;
+        buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+    }
+    Ok(len)
+}
+
+/// Encodes an explicit-loss frame (payload-free).
+///
+/// # Errors
+/// [`WireError::BufferTooSmall`] when `buf` is shorter than
+/// [`HEADER_LEN`].
+pub fn encode_miss(buf: &mut [u8], session: u64, seq: u64, tick: u64) -> Result<usize, WireError> {
+    encode_header(buf, FrameKind::Miss, 0, session, seq, tick)
+}
+
+/// Encodes a telemetry/ack frame: `ack` is the cumulative settled-slot
+/// watermark, `tick` the session's slot clock.
+///
+/// # Errors
+/// [`WireError::BufferTooSmall`] when `buf` is shorter than
+/// [`HEADER_LEN`].
+pub fn encode_telemetry(
+    buf: &mut [u8],
+    session: u64,
+    ack: u64,
+    tick: u64,
+) -> Result<usize, WireError> {
+    encode_header(buf, FrameKind::Telemetry, 0, session, ack, tick)
+}
+
+/// Decodes one frame from `buf` (which must hold exactly one frame —
+/// the datagram boundary is the frame boundary).
+///
+/// # Errors
+/// A typed [`WireError`] for every malformed shape; never panics.
+pub fn decode(buf: &[u8]) -> Result<Frame<'_>, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            need: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&buf[0..4]);
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    if buf[4] != WIRE_VERSION {
+        return Err(WireError::Version {
+            found: buf[4],
+            expected: WIRE_VERSION,
+        });
+    }
+    let kind = FrameKind::from_byte(buf[5]).ok_or(WireError::UnknownKind { found: buf[5] })?;
+    let dims = u16::from_le_bytes(buf[6..8].try_into().expect("2 bytes")) as usize;
+    if dims > MAX_JOINTS {
+        return Err(WireError::Oversized {
+            dims,
+            max: MAX_JOINTS,
+        });
+    }
+    let expect = HEADER_LEN + dims * 8;
+    if buf.len() < expect {
+        return Err(WireError::Truncated {
+            need: expect,
+            got: buf.len(),
+        });
+    }
+    if buf.len() > expect {
+        return Err(WireError::TrailingBytes {
+            expect,
+            got: buf.len(),
+        });
+    }
+    Ok(Frame {
+        kind,
+        session: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+        seq: u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")),
+        tick: u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes")),
+        payload: &buf[HEADER_LEN..expect],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_round_trip_is_bit_exact() {
+        let joints = [0.1, -2.5, f64::MIN_POSITIVE, -0.0, 1.0e300, f64::NAN];
+        let mut buf = [0u8; MAX_FRAME];
+        let len = encode_command(&mut buf, 42, 7, 9, &joints).unwrap();
+        assert_eq!(len, HEADER_LEN + joints.len() * 8);
+        let frame = decode(&buf[..len]).unwrap();
+        assert_eq!(frame.kind, FrameKind::Command);
+        assert_eq!((frame.session, frame.seq, frame.tick), (42, 7, 9));
+        assert_eq!(frame.dims(), joints.len());
+        for (a, b) in frame.joints().zip(joints) {
+            assert_eq!(a.to_bits(), b.to_bits(), "payload must be bit-exact");
+        }
+    }
+
+    #[test]
+    fn miss_and_telemetry_are_payload_free() {
+        let mut buf = [0u8; MAX_FRAME];
+        let len = encode_miss(&mut buf, 1, 2, 3).unwrap();
+        assert_eq!(len, HEADER_LEN);
+        assert_eq!(decode(&buf[..len]).unwrap().kind, FrameKind::Miss);
+        let len = encode_telemetry(&mut buf, 1, 100, 99).unwrap();
+        let frame = decode(&buf[..len]).unwrap();
+        assert_eq!(frame.kind, FrameKind::Telemetry);
+        assert_eq!(frame.seq, 100);
+        assert_eq!(frame.dims(), 0);
+    }
+
+    #[test]
+    fn malformed_frames_reject_with_typed_errors() {
+        let mut buf = [0u8; MAX_FRAME];
+        let len = encode_command(&mut buf, 5, 6, 7, &[1.0, 2.0]).unwrap();
+
+        assert!(matches!(
+            decode(&buf[..HEADER_LEN - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode(&buf[..len - 3]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode(&buf[..len + 8]),
+            Err(WireError::TrailingBytes { .. })
+        ));
+
+        let mut bad = buf;
+        bad[0] = b'X';
+        assert!(matches!(
+            decode(&bad[..len]),
+            Err(WireError::BadMagic { .. })
+        ));
+
+        let mut bad = buf;
+        bad[4] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode(&bad[..len]),
+            Err(WireError::Version {
+                found: WIRE_VERSION + 1,
+                expected: WIRE_VERSION
+            })
+        );
+
+        let mut bad = buf;
+        bad[5] = 0xEE;
+        assert!(matches!(
+            decode(&bad[..len]),
+            Err(WireError::UnknownKind { found: 0xEE })
+        ));
+
+        let mut bad = buf;
+        bad[6..8].copy_from_slice(&(MAX_JOINTS as u16 + 1).to_le_bytes());
+        assert!(matches!(
+            decode(&bad[..len]),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_and_tiny_buffers_reject_on_encode() {
+        let joints = vec![0.0; MAX_JOINTS + 1];
+        let mut buf = [0u8; MAX_FRAME];
+        assert!(matches!(
+            encode_command(&mut buf, 0, 0, 0, &joints),
+            Err(WireError::Oversized { .. })
+        ));
+        let mut tiny = [0u8; 10];
+        let err = encode_miss(&mut tiny, 0, 0, 0).unwrap_err();
+        assert!(matches!(err, WireError::BufferTooSmall { need: 32, .. }));
+        // Errors are boxable std errors for callers.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("too small"));
+    }
+}

@@ -1,0 +1,308 @@
+//! Gateway integration suite: the issue's acceptance criterion.
+//!
+//! A teleop trace replayed by [`NetClient`] over **localhost UDP/TCP**
+//! must produce session statistics **bit-identical** to the same trace
+//! driven through the in-process **loopback transport** — and the
+//! client's injected drops/lateness must surface as engine loss events
+//! (misses the forecaster covers) and §VII-C late patches in the
+//! [`MetricsRegistry`].
+//!
+//! Determinism over a real socket holds because (a) a gated session's
+//! clock advances only as ingress slots are consumed, and (b) every
+//! ingress decision depends on frame arrival order, not wall time. The
+//! replay keeps its tail impairment-free so every settleable slot is
+//! acked before close — the one wall-clock race (a datagram still in
+//! flight at close) is thereby excluded by construction.
+
+use foreco_core::RecoveryConfig;
+use foreco_net::{
+    ClientConfig, ControlWire, DataWire, Gateway, GatewayConfig, IngressConfig, NetClient,
+    ReplayStats, TcpControl, UdpWire,
+};
+use foreco_serve::{
+    ChannelSpec, IngressSummary, MetricsRegistry, RecoverySpec, ServiceConfig, SessionReport,
+    SharedForecaster,
+};
+use foreco_teleop::{Dataset, Skill};
+
+const SESSION: u64 = 7;
+const CLEAN_TAIL: usize = 80;
+
+fn foreco_gateway_config() -> GatewayConfig {
+    let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+    let var = foreco_forecast::Var::fit_differenced(&train, 5, 1e-6).expect("fit VAR");
+    let model = foreco_robot::niryo_one();
+    let mut recovery = RecoveryConfig::for_model(&model);
+    // §VII-C on: late frames must patch the forecast history.
+    recovery.use_late_commands = true;
+    GatewayConfig {
+        recovery: RecoverySpec::FoReCo {
+            forecaster: SharedForecaster::new(var),
+            config: recovery,
+        },
+        channel: ChannelSpec::Ideal,
+        ingress: IngressConfig {
+            // A short reorder horizon so deliberately-late frames
+            // (late_depth below) genuinely miss it and ride §VII-C.
+            reorder_window: 3,
+            ..IngressConfig::default()
+        },
+        ..GatewayConfig::default()
+    }
+}
+
+fn test_trace() -> Vec<Vec<f64>> {
+    Dataset::record(Skill::Inexperienced, 1, 0.02, 321)
+        .head(400)
+        .commands
+}
+
+fn impaired_config() -> ClientConfig {
+    ClientConfig {
+        loss: 0.04,
+        late: 0.05,
+        late_depth: 4, // > reorder_window: arrives behind the horizon
+        seed: 0xC0FFEE,
+        ..ClientConfig::default()
+    }
+}
+
+/// Attach, replay (impaired body + clean tail), detach.
+fn drive<D: DataWire, C: ControlWire>(
+    mut client: NetClient<D, C>,
+    trace: &[Vec<f64>],
+) -> (SessionReport, IngressSummary, ReplayStats) {
+    client
+        .open(trace[0].clone(), trace.len().max(16))
+        .expect("open session");
+    let cut = trace.len().saturating_sub(CLEAN_TAIL);
+    let stats = client
+        .replay(&trace[..cut], 0, &impaired_config())
+        .expect("impaired replay");
+    // Clean tail: every outstanding gap flushes and every settleable
+    // slot settles before close (see the module docs).
+    client
+        .replay(&trace[cut..], cut as u64, &ClientConfig::default())
+        .expect("clean tail");
+    let (report, ingress) = client.close().expect("close");
+    (report, ingress, stats)
+}
+
+#[test]
+fn udp_replay_is_bit_identical_to_loopback_and_losses_reach_the_engine() {
+    let trace = test_trace();
+    assert!(trace.len() > 2 * CLEAN_TAIL, "trace long enough to impair");
+
+    // Loopback: the hermetic ground truth.
+    let loop_gw = Gateway::spawn(ServiceConfig::with_shards(2), foreco_gateway_config())
+        .expect("spawn loopback gateway");
+    let (data, control) = loop_gw.loopback();
+    let (loop_report, loop_ingress, loop_stats) =
+        drive(NetClient::new(SESSION, data, control), &trace);
+    loop_gw.shutdown();
+
+    // Real sockets: localhost UDP data plane + TCP control plane.
+    let udp_gw = Gateway::spawn(ServiceConfig::with_shards(2), foreco_gateway_config())
+        .expect("spawn socket gateway");
+    let data = UdpWire::connect(udp_gw.udp_addr()).expect("udp connect");
+    let control = TcpControl::connect(udp_gw.tcp_addr()).expect("tcp connect");
+    let (udp_report, udp_ingress, udp_stats) =
+        drive(NetClient::new(SESSION, data, control), &trace);
+    udp_gw.shutdown();
+
+    // The client made identical impairment decisions on both transports…
+    assert_eq!(loop_stats.sent, udp_stats.sent);
+    assert_eq!(loop_stats.lost, udp_stats.lost);
+    assert_eq!(loop_stats.deferred, udp_stats.deferred);
+    assert!(loop_stats.lost > 0, "impairment must actually drop frames");
+    assert!(loop_stats.deferred > 0, "impairment must defer frames");
+
+    // …the gateway reached identical ingress verdicts…
+    assert_eq!(loop_ingress.delivered, udp_ingress.delivered);
+    assert_eq!(loop_ingress.lost, udp_ingress.lost);
+    assert_eq!(loop_ingress.late, udp_ingress.late);
+    assert!(loop_ingress.lost > 0, "drops surface as ingress losses");
+    assert!(loop_ingress.late > 0, "deferred frames ride the late path");
+
+    // …and the sessions' final statistics are bit-identical.
+    assert_eq!(loop_report.ticks, udp_report.ticks);
+    assert_eq!(loop_report.misses, udp_report.misses);
+    assert_eq!(loop_report.stats, udp_report.stats);
+    assert_eq!(
+        loop_report.rmse_mm.to_bits(),
+        udp_report.rmse_mm.to_bits(),
+        "rmse must be bit-identical across transports: {} vs {}",
+        loop_report.rmse_mm,
+        udp_report.rmse_mm
+    );
+    assert_eq!(
+        loop_report.max_deviation_mm.to_bits(),
+        udp_report.max_deviation_mm.to_bits()
+    );
+
+    // The client's injected impairments are visible as engine events in
+    // the registry: losses became forecast-covered misses, late frames
+    // became §VII-C history patches.
+    let mut registry = MetricsRegistry::new();
+    registry.record(udp_report.clone());
+    registry.record_ingress(vec![udp_ingress]);
+    let engine = udp_report.stats.expect("FoReCo session has stats");
+    assert!(
+        udp_report.misses as u64 >= udp_ingress.lost,
+        "every wire loss is an engine miss"
+    );
+    assert!(
+        engine.forecasts + engine.warmup_repeats + engine.horizon_holds >= udp_ingress.lost,
+        "engine covered the losses"
+    );
+    assert!(engine.late_patches > 0, "§VII-C patches landed");
+    assert_eq!(registry.ingress()[0].lost, udp_ingress.lost);
+    assert_eq!(registry.summary().total_misses, udp_report.misses as u64);
+}
+
+#[test]
+fn snapshot_adopt_survives_a_gateway_restart_bit_identically() {
+    let trace = test_trace();
+    let cut = trace.len() / 2;
+    let clean = ClientConfig::default();
+
+    // Twin: the same trace, uninterrupted, on its own gateway.
+    let twin_gw = Gateway::spawn(ServiceConfig::with_shards(1), foreco_gateway_config())
+        .expect("spawn twin gateway");
+    let (data, control) = twin_gw.loopback();
+    let mut twin = NetClient::new(SESSION, data, control);
+    twin.open(trace[0].clone(), trace.len()).expect("open twin");
+    twin.replay(&trace, 0, &clean).expect("twin replay");
+    let (twin_report, _) = twin.close().expect("twin close");
+    twin_gw.shutdown();
+
+    // First gateway "process": half the trace, checkpoint, die.
+    let gw_a = Gateway::spawn(ServiceConfig::with_shards(1), foreco_gateway_config())
+        .expect("spawn gateway A");
+    let (data, control) = gw_a.loopback();
+    let mut operator = NetClient::new(SESSION, data, control);
+    operator.open(trace[0].clone(), trace.len()).expect("open");
+    operator
+        .replay(&trace[..cut], 0, &clean)
+        .expect("first half");
+    let snapshot = operator.snapshot().expect("checkpoint over the wire");
+    gw_a.shutdown(); // the gateway restarts…
+
+    // …and the operator re-attaches to the revived session.
+    let gw_b = Gateway::spawn(ServiceConfig::with_shards(1), foreco_gateway_config())
+        .expect("spawn gateway B");
+    let (data, control) = gw_b.loopback();
+    let mut operator = NetClient::new(SESSION, data, control);
+    let next_slot = operator.adopt(&snapshot).expect("adopt");
+    assert_eq!(next_slot as usize, cut, "resume where the wire left off");
+    operator
+        .replay(&trace[cut..], next_slot, &clean)
+        .expect("second half");
+    let (report, ingress) = operator.close().expect("close");
+    gw_b.shutdown();
+
+    assert_eq!(report.ticks, twin_report.ticks);
+    assert_eq!(report.misses, twin_report.misses);
+    assert_eq!(report.stats, twin_report.stats);
+    assert_eq!(report.rmse_mm.to_bits(), twin_report.rmse_mm.to_bits());
+    assert_eq!(ingress.delivered as usize, trace.len() - cut);
+}
+
+#[test]
+fn impairment_through_the_final_slot_terminates_and_closes_cleanly() {
+    // Regression: a replay whose *last* slots are lost or deferred must
+    // not hang — stale frames are fire-and-forget (they can never
+    // re-settle below the ack watermark), retransmission paces off its
+    // own clock instead of rewinding the progress clock, and the drain
+    // gives up on trailing unsettleable slots so close() can flush
+    // every gap the gateway knows about.
+    let trace = test_trace();
+    let gateway = Gateway::spawn(ServiceConfig::with_shards(1), foreco_gateway_config())
+        .expect("spawn gateway");
+    let (data, control) = gateway.loopback();
+    let mut client = NetClient::new(SESSION, data, control);
+    client.open(trace[0].clone(), trace.len()).expect("open");
+    let stats = client
+        .replay(&trace, 0, &impaired_config())
+        .expect("impaired replay to the last slot");
+    assert!(stats.lost > 0 && stats.deferred > 0);
+    let (report, ingress) = client.close().expect("close");
+    gateway.shutdown();
+    // Every slot the gateway settled got exactly one verdict: the
+    // session's tick count is deliveries plus flushed losses, and only
+    // slots trailing the final received frame are missing from it.
+    assert_eq!(report.ticks, ingress.delivered + ingress.lost);
+    assert!(report.ticks as usize <= trace.len());
+    assert!(
+        trace.len() as u64 - report.ticks <= impaired_config().late_depth + 1,
+        "only a trailing loss/deferral span may go unheard: {} of {}",
+        report.ticks,
+        trace.len()
+    );
+    assert!(report.misses as u64 >= ingress.lost);
+}
+
+#[test]
+fn malformed_and_unknown_traffic_is_counted_and_contained() {
+    use std::net::UdpSocket;
+
+    let gateway = Gateway::spawn(ServiceConfig::with_shards(1), GatewayConfig::default())
+        .expect("spawn gateway");
+    let raw = UdpSocket::bind("127.0.0.1:0").expect("bind raw socket");
+    raw.connect(gateway.udp_addr()).expect("connect raw socket");
+
+    // Garbage, bad magic, wrong version, truncation: all undecodable.
+    raw.send(b"not a frame at all").unwrap();
+    let mut bad = [0u8; 32];
+    bad[..4].copy_from_slice(b"XXXX");
+    raw.send(&bad).unwrap();
+    let mut wrong_version = [0u8; 32];
+    wrong_version[..4].copy_from_slice(&foreco_net::WIRE_MAGIC);
+    wrong_version[4] = foreco_net::WIRE_VERSION + 9;
+    raw.send(&wrong_version).unwrap();
+    // A well-formed frame for a session nobody attached.
+    let mut buf = [0u8; foreco_net::MAX_FRAME];
+    let len = foreco_net::wire::encode_miss(&mut buf, 999, 0, 0).unwrap();
+    raw.send(&buf[..len]).unwrap();
+
+    // A real operator is unbothered: attach and stream a short trace,
+    // including one frame with a wrong joint count (attributably
+    // malformed, counted, never delivered — its slot flushes as lost).
+    let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 9)
+        .head(40)
+        .commands;
+    let data = UdpWire::connect(gateway.udp_addr()).expect("udp connect");
+    let control = TcpControl::connect(gateway.tcp_addr()).expect("tcp connect");
+    let mut client = NetClient::new(3, data, control);
+    client.open(trace[0].clone(), 64).expect("open");
+    let len = foreco_net::wire::encode_command(&mut buf, 3, 0, 0, &[1.0, 2.0, 3.0]).unwrap();
+    raw.connect(gateway.udp_addr()).unwrap();
+    raw.send(&buf[..len]).unwrap();
+    // A structurally valid frame with an absurd sequence jump (a
+    // spoofed datagram): it must be rejected as malformed, not allowed
+    // to stampede the watermark across 2^63 missing slots.
+    let pose: Vec<f64> = trace[0].clone();
+    let len = foreco_net::wire::encode_command(&mut buf, 3, u64::MAX - 1, 0, &pose).unwrap();
+    raw.send(&buf[..len]).unwrap();
+    // Give the junk frames time to land before the real slot 0 (this
+    // test asserts counters, not bit-determinism).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    client
+        .replay(&trace, 0, &ClientConfig::default())
+        .expect("replay");
+    let stats = client.stats().expect("stats over the wire");
+    assert_eq!(
+        stats.malformed, 2,
+        "wrong-dims and absurd-seq frames counted"
+    );
+    assert_eq!(stats.delivered, trace.len() as u64);
+    assert_eq!(stats.lost, 0, "the spoofed seq must not flush real slots");
+    let (report, ingress) = client.close().expect("close");
+    assert_eq!(report.ticks as usize, trace.len());
+    assert_eq!(ingress.malformed, 2);
+
+    let (undecodable, unknown) = gateway.reject_counters();
+    assert!(undecodable >= 3, "garbage datagrams counted: {undecodable}");
+    assert!(unknown >= 1, "unattached-session frames counted: {unknown}");
+    gateway.shutdown();
+}

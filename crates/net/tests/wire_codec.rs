@@ -1,0 +1,183 @@
+//! Wire-codec property suite: encode→decode bit-identity over generated
+//! frames, and a malformed-frame corpus that must reject with typed
+//! errors — never panic, never misread.
+//!
+//! Run with a pinned case count in CI: `PROPTEST_CASES=64 cargo test -q
+//! -p foreco-net --test wire_codec`.
+
+use foreco_net::wire::{
+    decode, encode_command, encode_miss, encode_telemetry, FrameKind, WireError, HEADER_LEN,
+    MAX_FRAME, MAX_JOINTS, WIRE_MAGIC, WIRE_VERSION,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::env_or(64))]
+
+    /// Any joint vector (any f64 bit pattern, NaNs and -0.0 included)
+    /// survives the wire bit-for-bit.
+    #[test]
+    fn command_round_trip_is_bit_identical(
+        session in any::<u64>(),
+        seq in any::<u64>(),
+        tick in any::<u64>(),
+        bits in prop::collection::vec(any::<u64>(), 0..33usize),
+    ) {
+        let joints: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut buf = [0u8; MAX_FRAME];
+        let len = encode_command(&mut buf, session, seq, tick, &joints).unwrap();
+        prop_assert_eq!(len, HEADER_LEN + joints.len() * 8);
+        let frame = decode(&buf[..len]).unwrap();
+        prop_assert_eq!(frame.kind, FrameKind::Command);
+        prop_assert_eq!(frame.session, session);
+        prop_assert_eq!(frame.seq, seq);
+        prop_assert_eq!(frame.tick, tick);
+        prop_assert_eq!(frame.dims(), joints.len());
+        let decoded_bits: Vec<u64> = frame.joints().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(decoded_bits, bits);
+    }
+
+    /// Payload-free frames round-trip too.
+    #[test]
+    fn control_frames_round_trip(
+        session in any::<u64>(),
+        seq in any::<u64>(),
+        tick in any::<u64>(),
+        telemetry in any::<bool>(),
+    ) {
+        let mut buf = [0u8; MAX_FRAME];
+        let len = if telemetry {
+            encode_telemetry(&mut buf, session, seq, tick).unwrap()
+        } else {
+            encode_miss(&mut buf, session, seq, tick).unwrap()
+        };
+        prop_assert_eq!(len, HEADER_LEN);
+        let frame = decode(&buf[..len]).unwrap();
+        let expect = if telemetry { FrameKind::Telemetry } else { FrameKind::Miss };
+        prop_assert_eq!(frame.kind, expect);
+        prop_assert_eq!((frame.session, frame.seq, frame.tick), (session, seq, tick));
+    }
+
+    /// Truncating a valid frame anywhere yields `Truncated` (or, below
+    /// 4 bytes of magic… still `Truncated` — the header check comes
+    /// first); never a panic, never a bogus success.
+    #[test]
+    fn every_truncation_rejects(
+        bits in prop::collection::vec(any::<u64>(), 1..7usize),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let joints: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut buf = [0u8; MAX_FRAME];
+        let len = encode_command(&mut buf, 9, 9, 9, &joints).unwrap();
+        let cut = ((len - 1) as f64 * cut_frac) as usize;
+        prop_assert!(matches!(
+            decode(&buf[..cut]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    /// Arbitrary bytes never panic the decoder: they either decode (if
+    /// they happen to be a valid frame) or reject with a typed error.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(0u64..256, 0..80usize)) {
+        let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let _ = decode(&bytes);
+    }
+
+    /// Flipping any single byte of a valid frame either still decodes
+    /// (payload bytes are opaque) or rejects with a typed error —
+    /// headers are fully validated.
+    #[test]
+    fn single_byte_corruption_is_contained(
+        bits in prop::collection::vec(any::<u64>(), 1..7usize),
+        at_frac in 0.0f64..1.0,
+        xor in 1u64..256,
+    ) {
+        let joints: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut buf = [0u8; MAX_FRAME];
+        let len = encode_command(&mut buf, 3, 4, 5, &joints).unwrap();
+        let at = ((len - 1) as f64 * at_frac) as usize;
+        buf[at] ^= xor as u8;
+        match decode(&buf[..len]) {
+            Ok(frame) => {
+                // Corruption landed in an opaque field: the frame still
+                // parses structurally.
+                prop_assert_eq!(frame.dims(), joints.len());
+            }
+            Err(
+                WireError::BadMagic { .. }
+                | WireError::Version { .. }
+                | WireError::UnknownKind { .. }
+                | WireError::Oversized { .. }
+                | WireError::Truncated { .. }
+                | WireError::TrailingBytes { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected reject: {other:?}"),
+        }
+    }
+}
+
+/// The fixed malformed-frame corpus of the issue: truncated, bad magic,
+/// wrong version, unknown kind, oversized, trailing — all typed, none
+/// panicking.
+#[test]
+fn malformed_corpus_rejects_with_typed_errors() {
+    let mut valid = [0u8; MAX_FRAME];
+    let len = encode_command(&mut valid, 1, 2, 3, &[0.5, -0.5, 1.5]).unwrap();
+
+    // Truncated: empty, sub-header, sub-payload.
+    for cut in [0, 1, HEADER_LEN - 1, len - 1] {
+        assert!(
+            matches!(decode(&valid[..cut]), Err(WireError::Truncated { .. })),
+            "cut at {cut}"
+        );
+    }
+    // Bad magic (each magic byte).
+    for i in 0..4 {
+        let mut bad = valid;
+        bad[i] ^= 0xFF;
+        assert!(matches!(
+            decode(&bad[..len]),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+    // Every wrong version byte.
+    for version in (0..=255u8).filter(|&v| v != WIRE_VERSION) {
+        let mut bad = valid;
+        bad[4] = version;
+        assert_eq!(
+            decode(&bad[..len]),
+            Err(WireError::Version {
+                found: version,
+                expected: WIRE_VERSION
+            })
+        );
+    }
+    // Every unassigned kind byte.
+    for kind in (0..=255u8).filter(|&k| !(1..=3).contains(&k)) {
+        let mut bad = valid;
+        bad[5] = kind;
+        assert!(matches!(
+            decode(&bad[..len]),
+            Err(WireError::UnknownKind { found }) if found == kind
+        ));
+    }
+    // Oversized dims declaration.
+    let mut bad = valid;
+    bad[6..8].copy_from_slice(&(MAX_JOINTS as u16 + 7).to_le_bytes());
+    assert!(matches!(
+        decode(&bad[..len]),
+        Err(WireError::Oversized {
+            max: MAX_JOINTS,
+            ..
+        })
+    ));
+    // Trailing garbage.
+    assert!(matches!(
+        decode(&valid[..len + 1]),
+        Err(WireError::TrailingBytes { .. })
+    ));
+    // And the original still decodes (the corpus never mutated it).
+    assert_eq!(decode(&valid[..len]).unwrap().kind, FrameKind::Command);
+    assert_eq!(&valid[..4], &WIRE_MAGIC);
+}

@@ -135,6 +135,214 @@ impl BoundedInbox {
     }
 }
 
+/// One entry of a [`GatedInbox`]: the ingress gateway's verdict for one
+/// virtual tick slot (plus tickless late patches riding between slots).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GatedSlot {
+    /// The slot's command arrived (in order) — the session consumes it
+    /// on the tick this slot maps to.
+    Command(Vec<f64>),
+    /// `count` consecutive slots' commands are lost (wire gaps the
+    /// gateway flushed, or bounced/overflowed injections): each is a
+    /// deadline-miss tick the recovery engine covers. Runs are
+    /// coalesced so a long outage costs one queue entry, not one per
+    /// slot — [`GatedInbox::take`] always hands back single-slot units
+    /// (`count == 1`).
+    Miss {
+        /// Consecutive lost slots in this run (≥ 1).
+        count: u64,
+    },
+    /// A command that resurfaced after its slot was already flushed as
+    /// missed (§VII-C): consumes **no** tick — it patches the engine
+    /// history just before the next slot's tick, `age` ticks after the
+    /// slot it was meant for.
+    Late {
+        /// The late payload.
+        command: Vec<f64>,
+        /// Ticks between the command's slot and its arrival.
+        age: usize,
+    },
+}
+
+/// Serialisable form of a [`GatedInbox`] for session snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatedInboxState {
+    /// Maximum queued *command* slots (miss markers ride free: they
+    /// carry no payload and must keep the slot timeline aligned).
+    pub capacity: usize,
+    /// Queued slots, oldest first.
+    pub queue: Vec<GatedSlot>,
+    /// Command slots accepted since construction.
+    pub accepted: u64,
+    /// Commands dropped (converted to misses, or late patches refused)
+    /// by backpressure since construction.
+    pub dropped: u64,
+}
+
+/// The flow-controlled ingress queue behind [`SourceSpec::Gated`]
+/// (`crate::SourceSpec::Gated`) sessions.
+///
+/// Unlike [`BoundedInbox`], where an empty queue at tick time *is* the
+/// miss, a gated session's virtual clock advances only as slots are
+/// consumed — an empty gated inbox means "no network verdict yet", and
+/// the session parks without ticking. Losses are therefore **explicit**
+/// ([`GatedSlot::Miss`], enqueued by the gateway for wire gaps and
+/// overflow), which is what makes a session fed over a real socket
+/// bit-identical to one fed in-process: the slot sequence, not the race
+/// between socket threads and shard clocks, determines every tick.
+///
+/// Backpressure still bounds memory: at `capacity` queued command
+/// payloads a further command is dropped and a miss takes its place
+/// (payload-free, so the timeline stays aligned); late patches are
+/// refused beyond a `2 × capacity` entry bound; and consecutive misses
+/// coalesce into one run-counted entry. Every miss run borders a
+/// non-miss entry, so the queue holds O(`capacity`) entries no matter
+/// how hard a client floods it.
+#[derive(Debug)]
+pub struct GatedInbox {
+    queue: VecDeque<GatedSlot>,
+    commands: usize,
+    capacity: usize,
+    accepted: u64,
+    dropped: u64,
+}
+
+impl GatedInbox {
+    /// An empty gated inbox holding at most `capacity` command slots.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "gated inbox: capacity must be ≥ 1");
+        Self {
+            queue: VecDeque::new(),
+            commands: 0,
+            capacity,
+            accepted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Offers a command slot; at capacity the payload is dropped and a
+    /// miss marker preserves the slot timeline.
+    pub fn offer(&mut self, command: Vec<f64>) -> Offer {
+        if self.commands >= self.capacity {
+            self.dropped += 1;
+            self.push_miss();
+            Offer::Dropped
+        } else {
+            self.commands += 1;
+            self.accepted += 1;
+            self.queue.push_back(GatedSlot::Command(command));
+            Offer::Accepted
+        }
+    }
+
+    /// Enqueues an explicit miss slot (always accepted: it is the loss;
+    /// consecutive misses coalesce, so acceptance costs O(1) memory).
+    pub fn offer_miss(&mut self) {
+        self.push_miss();
+    }
+
+    fn push_miss(&mut self) {
+        if let Some(GatedSlot::Miss { count }) = self.queue.back_mut() {
+            *count += 1;
+        } else {
+            self.queue.push_back(GatedSlot::Miss { count: 1 });
+        }
+    }
+
+    /// Offers a §VII-C late patch; refused (dropped) when the queue is
+    /// saturated (command capacity spent, or the `2 × capacity` entry
+    /// bound reached) — a lost patch is semantically a loss staying a
+    /// loss.
+    pub fn offer_late(&mut self, command: Vec<f64>, age: usize) -> Offer {
+        if self.commands >= self.capacity || self.queue.len() >= 2 * self.capacity {
+            self.dropped += 1;
+            Offer::Dropped
+        } else {
+            self.queue.push_back(GatedSlot::Late { command, age });
+            Offer::Accepted
+        }
+    }
+
+    /// Takes the oldest queued slot, if any, always as a single-slot
+    /// unit (a coalesced miss run yields one `Miss { count: 1 }` per
+    /// call).
+    pub fn take(&mut self) -> Option<GatedSlot> {
+        if let Some(GatedSlot::Miss { count }) = self.queue.front_mut() {
+            if *count > 1 {
+                *count -= 1;
+                return Some(GatedSlot::Miss { count: 1 });
+            }
+        }
+        let slot = self.queue.pop_front();
+        if matches!(slot, Some(GatedSlot::Command(_))) {
+            self.commands -= 1;
+        }
+        slot
+    }
+
+    /// Queue entries currently held (a coalesced miss run counts once,
+    /// however many slots it spans).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Command slots accepted since construction.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Payloads dropped by backpressure since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exports the inbox for checkpointing.
+    pub fn snapshot(&self) -> GatedInboxState {
+        GatedInboxState {
+            capacity: self.capacity,
+            queue: self.queue.iter().cloned().collect(),
+            accepted: self.accepted,
+            dropped: self.dropped,
+        }
+    }
+
+    /// Rebuilds a gated inbox from exported state.
+    ///
+    /// # Panics
+    /// Panics if the state's capacity is zero or its queue holds more
+    /// command slots than the capacity admits.
+    pub fn from_state(state: &GatedInboxState) -> Self {
+        assert!(
+            state.capacity >= 1,
+            "gated inbox restore: capacity must be ≥ 1"
+        );
+        let commands = state
+            .queue
+            .iter()
+            .filter(|s| matches!(s, GatedSlot::Command(_)))
+            .count();
+        assert!(
+            commands <= state.capacity,
+            "gated inbox restore: queue longer than capacity"
+        );
+        Self {
+            queue: state.queue.iter().cloned().collect(),
+            commands,
+            capacity: state.capacity,
+            accepted: state.accepted,
+            dropped: state.dropped,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +447,97 @@ mod tests {
             accepted: 2,
             dropped: 0,
         });
+    }
+
+    #[test]
+    fn gated_overflow_converts_commands_to_misses() {
+        // The slot timeline must stay aligned through backpressure: a
+        // dropped payload leaves a miss marker in its place.
+        let mut inbox = GatedInbox::new(2);
+        assert_eq!(inbox.offer(vec![1.0]), Offer::Accepted);
+        assert_eq!(inbox.offer(vec![2.0]), Offer::Accepted);
+        assert_eq!(inbox.offer(vec![3.0]), Offer::Dropped);
+        assert_eq!(inbox.len(), 3, "the dropped slot still occupies a slot");
+        assert_eq!(inbox.dropped(), 1);
+        assert_eq!(inbox.take(), Some(GatedSlot::Command(vec![1.0])));
+        assert_eq!(inbox.take(), Some(GatedSlot::Command(vec![2.0])));
+        assert_eq!(inbox.take(), Some(GatedSlot::Miss { count: 1 }));
+        assert_eq!(inbox.take(), None);
+    }
+
+    #[test]
+    fn gated_late_patches_ride_free_but_respect_capacity() {
+        let mut inbox = GatedInbox::new(1);
+        assert_eq!(inbox.offer(vec![1.0]), Offer::Accepted);
+        // Miss markers and late patches don't consume command capacity…
+        inbox.offer_miss();
+        assert_eq!(inbox.offer_late(vec![9.0], 2), Offer::Dropped);
+        assert_eq!(inbox.dropped(), 1, "late patch refused at capacity");
+        // …and capacity reopens when a command is consumed.
+        assert_eq!(inbox.take(), Some(GatedSlot::Command(vec![1.0])));
+        assert_eq!(
+            inbox.offer_late(vec![9.0], 2),
+            Offer::Accepted,
+            "capacity freed"
+        );
+        assert_eq!(inbox.take(), Some(GatedSlot::Miss { count: 1 }));
+        assert_eq!(
+            inbox.take(),
+            Some(GatedSlot::Late {
+                command: vec![9.0],
+                age: 2
+            })
+        );
+    }
+
+    #[test]
+    fn gated_miss_runs_coalesce_and_bound_the_queue() {
+        // A flood of over-capacity commands and explicit misses must
+        // cost O(1) queue entries per run, not one per slot — the
+        // memory bound behind "backpressure still bounds memory".
+        let mut inbox = GatedInbox::new(2);
+        inbox.offer(vec![1.0]);
+        inbox.offer(vec![2.0]);
+        for _ in 0..10_000 {
+            assert_eq!(inbox.offer(vec![9.9]), Offer::Dropped);
+            inbox.offer_miss();
+        }
+        assert_eq!(inbox.len(), 3, "one coalesced run after the commands");
+        assert_eq!(inbox.dropped(), 10_000);
+        // Late patches respect the entry bound too.
+        assert_eq!(inbox.offer_late(vec![9.0], 1), Offer::Dropped);
+        // Consumption yields single-slot units, 20 000 of them.
+        inbox.take();
+        inbox.take();
+        let mut misses = 0u64;
+        while let Some(slot) = inbox.take() {
+            assert_eq!(slot, GatedSlot::Miss { count: 1 });
+            misses += 1;
+        }
+        assert_eq!(misses, 20_000);
+    }
+
+    #[test]
+    fn gated_snapshot_round_trip() {
+        let mut inbox = GatedInbox::new(3);
+        inbox.offer(vec![1.0, 2.0]);
+        inbox.offer_miss();
+        inbox.offer_miss(); // coalesces with the previous miss
+        inbox.offer_late(vec![3.0, 4.0], 1);
+        inbox.offer(vec![5.0, 6.0]);
+        let state = inbox.snapshot();
+        assert_eq!(state.queue.len(), 4, "runs stay coalesced in snapshots");
+        let json = serde_json::to_string(&state).unwrap();
+        let back: GatedInboxState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let mut restored = GatedInbox::from_state(&back);
+        assert_eq!(restored.len(), inbox.len());
+        while let Some(slot) = inbox.take() {
+            assert_eq!(restored.take(), Some(slot));
+        }
+        assert_eq!(restored.take(), None);
+        // Command accounting survives: two queued commands were restored
+        // and drained, so a third offer fits again.
+        assert_eq!(restored.offer(vec![7.0, 8.0]), Offer::Accepted);
     }
 }

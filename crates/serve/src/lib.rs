@@ -37,6 +37,13 @@
 //!   session's bounded inbox drops overflowing commands, and the
 //!   recovery engine forecasts the gap — exactly the paper's loss event,
 //!   produced by the service's own admission control;
+//! - socket-fed sessions are **gated** ([`SourceSpec::Gated`], the
+//!   `foreco-net` gateway's shape): the inbox holds explicit per-slot
+//!   verdicts ([`GatedSlot`]: command, loss, or §VII-C late patch) and
+//!   the virtual clock advances only as slots are consumed — an empty
+//!   queue suspends time ([`Advance::Idle`]) instead of counting a
+//!   miss, so the race between socket threads and shard clocks cannot
+//!   change a single output bit;
 //! - sessions are **portable**: [`Session::snapshot`] checkpoints a live
 //!   loop (engine history, forecaster, PID state, channel RNG, tick,
 //!   stats) to a versioned [`SessionSnapshot`] that
@@ -99,8 +106,10 @@ pub mod snapshot;
 pub mod spec;
 
 pub use clock::{Pacing, VirtualClock, TICK_HZ, TICK_PERIOD};
-pub use inbox::{BoundedInbox, InboxState, Offer};
-pub use metrics::{MetricsRegistry, PercentileSummary, ServiceSummary, ShardLoadSummary};
+pub use inbox::{BoundedInbox, GatedInbox, GatedInboxState, GatedSlot, InboxState, Offer};
+pub use metrics::{
+    IngressSummary, MetricsRegistry, PercentileSummary, ServiceSummary, ShardLoadSummary,
+};
 pub use protocol::{ServiceError, SessionCommand, SessionEvent};
 pub use sched::{Scheduler, TimerWheel};
 pub use service::{BalancerConfig, EventWait, Service, ServiceConfig, ServiceHandle};

@@ -15,7 +15,7 @@
 use crate::session::SessionReport;
 use crate::spec::SessionId;
 use foreco_core::RecoveryStats;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Distribution summary of one scalar across sessions (nearest-rank
 /// percentiles).
@@ -110,6 +110,46 @@ impl ShardLoadSummary {
     }
 }
 
+/// Point-in-time copy of one session's socket-ingress counters, as kept
+/// by the `foreco-net` gateway: what the wire delivered, what it lost,
+/// and what the gateway did about it. Recordable into a
+/// [`MetricsRegistry`] so a run's ingress picture survives next to its
+/// session reports (the engine-side view of the same events lives in
+/// [`SessionReport`]'s misses and `RecoveryStats::late_patches`), and
+/// deserialisable so the control plane can ship it to remote operators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngressSummary {
+    /// Session the counters belong to.
+    pub session: SessionId,
+    /// Well-formed data frames received for this session (any order,
+    /// duplicates included).
+    pub received: u64,
+    /// Command slots delivered to the session in order.
+    pub delivered: u64,
+    /// Slots flushed as losses: wire gaps past the reorder horizon,
+    /// gaps resolved by the close-time flush, and bounced injections.
+    /// (Slots trailing the last *received* frame are unknowable — the
+    /// gateway cannot mourn datagrams it never heard of — so the
+    /// session simply ends that many ticks earlier.)
+    pub lost: u64,
+    /// Stale frames fed through the §VII-C late-command path.
+    pub late: u64,
+    /// Out-of-order arrivals healed by the reorder buffer (delivered in
+    /// order, invisibly to the session).
+    pub reordered: u64,
+    /// Already-settled sequence numbers discarded (retransmissions).
+    pub duplicates: u64,
+    /// Frames addressed to this session rejected for an invalid payload
+    /// (e.g. a joint-vector dimension that mismatches the arm).
+    pub malformed: u64,
+    /// Gateway-side backpressure drops: hot-path injections bounced by
+    /// a full shard control channel (`ServiceHandle::try_inject`,
+    /// converted to losses), frames dropped by a full reorder buffer
+    /// (redeliverable — the slot flushes as lost only if nothing ever
+    /// lands), and late patches a full channel refused.
+    pub bounced: u64,
+}
+
 /// Aggregate view over every completed session.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ServiceSummary {
@@ -135,6 +175,7 @@ pub struct ServiceSummary {
 pub struct MetricsRegistry {
     reports: Vec<SessionReport>,
     shard_loads: Vec<ShardLoadSummary>,
+    ingress: Vec<IngressSummary>,
 }
 
 impl MetricsRegistry {
@@ -179,6 +220,21 @@ impl MetricsRegistry {
     /// [`MetricsRegistry::record_shard_loads`] was called).
     pub fn shard_loads(&self) -> &[ShardLoadSummary] {
         &self.shard_loads
+    }
+
+    /// Records per-session socket-ingress counters (typically the
+    /// `foreco-net` gateway's, taken at the end of a run), so wire-level
+    /// losses are observable next to the engine-level reports they
+    /// caused. Accumulates like [`MetricsRegistry::record`]: batches
+    /// from several gateways (or several sampling points) append.
+    pub fn record_ingress(&mut self, ingress: Vec<IngressSummary>) {
+        self.ingress.extend(ingress);
+    }
+
+    /// The recorded ingress summaries (empty unless
+    /// [`MetricsRegistry::record_ingress`] was called).
+    pub fn ingress(&self) -> &[IngressSummary] {
+        &self.ingress
     }
 
     /// Reduces to the service-wide summary.

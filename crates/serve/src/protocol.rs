@@ -24,6 +24,27 @@ pub enum SessionCommand {
         /// Joint-space command.
         command: Vec<f64>,
     },
+    /// Declare one slot of a gated session lost (the ingress gateway's
+    /// verdict for a wire gap, a reorder-horizon flush, or a bounced
+    /// injection): the session's next consumed tick becomes the deadline
+    /// miss the recovery engine covers. Ignored by non-gated sessions.
+    InjectMiss {
+        /// Target session.
+        id: SessionId,
+    },
+    /// Deliver a §VII-C late command to a gated session: a payload whose
+    /// slot was already flushed as missed resurfaced `age` ticks later.
+    /// It consumes no tick — it patches the engine's forecast history so
+    /// subsequent forecasts are seeded with truth. Ignored by non-gated
+    /// sessions.
+    InjectLate {
+        /// Target session.
+        id: SessionId,
+        /// The late payload.
+        command: Vec<f64>,
+        /// Ticks between the command's slot and its arrival.
+        age: usize,
+    },
     /// Finish a streamed session: it drains its inbox, then reports.
     Close {
         /// Target session.

@@ -199,6 +199,66 @@ impl ServiceHandle {
         }
     }
 
+    /// Non-blocking [`ServiceHandle::inject`] that hands the command
+    /// back on backpressure instead of dropping it: the `foreco-net`
+    /// gateway's hot path, where a socket thread must never block and
+    /// must decide for itself what a bounce means (it counts the bounce
+    /// as a loss and keeps the slot timeline aligned with an explicit
+    /// miss). No allocation happens on the bounce path — the buffer
+    /// rides back to the caller inside the rejected command.
+    pub fn try_inject(
+        &self,
+        id: SessionId,
+        command: Vec<f64>,
+    ) -> Result<(), (ServiceError, Vec<f64>)> {
+        match self
+            .route(id)
+            .try_send(SessionCommand::Inject { id, command })
+        {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(SessionCommand::Inject { command, .. })) => {
+                Err((ServiceError::Backpressure, command))
+            }
+            Err(TrySendError::Disconnected(SessionCommand::Inject { command, .. })) => {
+                Err((ServiceError::Disconnected, command))
+            }
+            Err(_) => unreachable!("try_inject only sends Inject"),
+        }
+    }
+
+    /// Declares one slot of a gated session lost (see
+    /// [`SessionCommand::InjectMiss`]). Non-blocking: a full control
+    /// channel reports [`ServiceError::Backpressure`] and the caller
+    /// retries — a miss marker is the slot, so unlike a command it must
+    /// eventually land to keep the timeline aligned.
+    pub fn inject_miss(&self, id: SessionId) -> Result<(), ServiceError> {
+        match self.route(id).try_send(SessionCommand::InjectMiss { id }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(ServiceError::Backpressure),
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Disconnected),
+        }
+    }
+
+    /// Delivers a §VII-C late command to a gated session (see
+    /// [`SessionCommand::InjectLate`]). Non-blocking; a dropped late
+    /// patch is a loss staying a loss, so callers may simply count a
+    /// bounce and move on.
+    pub fn inject_late(
+        &self,
+        id: SessionId,
+        command: Vec<f64>,
+        age: usize,
+    ) -> Result<(), ServiceError> {
+        match self
+            .route(id)
+            .try_send(SessionCommand::InjectLate { id, command, age })
+        {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(ServiceError::Backpressure),
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Disconnected),
+        }
+    }
+
     /// Asks a streamed session to drain its inbox and report.
     pub fn close(&self, id: SessionId) -> Result<(), ServiceError> {
         self.route(id)

@@ -23,7 +23,7 @@
 //!   script, in which case an empty inbox at tick time *is* the miss.
 
 use crate::clock::VirtualClock;
-use crate::inbox::{BoundedInbox, Offer};
+use crate::inbox::{BoundedInbox, GatedInbox, GatedSlot, Offer};
 use crate::snapshot::{
     RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_VERSION,
 };
@@ -32,7 +32,7 @@ use foreco_core::channel::{Arrival, Channel};
 use foreco_core::{EngineStateError, RecoveryEngine, RecoveryStats};
 use foreco_robot::{ArmModel, DriverState, RobotDriver};
 use foreco_teleop::Dataset;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// How many fates a streamed session draws from its channel per batch.
@@ -40,8 +40,9 @@ use std::sync::Arc;
 /// avoiding unbounded pre-draw for endless streams.
 const FATE_CHUNK: usize = 256;
 
-/// Final accounting for one completed session.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// Final accounting for one completed session. Deserialisable so the
+/// `foreco-net` control plane can ship it back to remote operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionReport {
     /// Session id.
     pub id: SessionId,
@@ -91,6 +92,12 @@ pub enum Advance {
     /// The session consumed one virtual tick and continues; the payload
     /// tells the scheduler when to poll it next.
     Ticked(Wake),
+    /// Nothing happened — **no tick was consumed** and no state changed.
+    /// Only gated sessions report this: their clock is driven by ingress
+    /// slots, and none was queued. The payload tells the scheduler when
+    /// to poll again; unlike a parked idle-stable session, a gated wait
+    /// accrues no backlog ([`Session::catch_up`] replays zero ticks).
+    Idle(Wake),
     /// The session finished; it must be removed from its shard.
     Completed(Box<SessionReport>),
 }
@@ -105,6 +112,16 @@ enum Source {
         channel: Box<dyn Channel + Send>,
         /// Construction parameters of `channel`, kept so a snapshot can
         /// rebuild the same impairment model elsewhere.
+        channel_spec: Box<ChannelSpec>,
+        fate_buf: std::collections::VecDeque<Arrival>,
+        closing: bool,
+    },
+    /// Flow-controlled socket ingress: one queued [`GatedSlot`] per
+    /// virtual tick (late patches ride between ticks), an empty queue
+    /// suspends virtual time instead of counting a miss.
+    Gated {
+        inbox: GatedInbox,
+        channel: Box<dyn Channel + Send>,
         channel_spec: Box<ChannelSpec>,
         fate_buf: std::collections::VecDeque<Arrival>,
         closing: bool,
@@ -166,6 +183,22 @@ impl Session {
                     start,
                 )
             }
+            SourceSpec::Gated {
+                initial,
+                inbox_capacity,
+            } => {
+                let start = model.clamp(initial);
+                (
+                    Source::Gated {
+                        inbox: GatedInbox::new(*inbox_capacity),
+                        channel: spec.channel.build(),
+                        channel_spec: Box::new(spec.channel.clone()),
+                        fate_buf: std::collections::VecDeque::new(),
+                        closing: false,
+                    },
+                    start,
+                )
+            }
         };
         let mut reference = RobotDriver::new(model.clone(), spec.driver, &start);
         let mut executed = RobotDriver::new(model.clone(), spec.driver, &start);
@@ -207,20 +240,49 @@ impl Session {
         self.clock.tick()
     }
 
-    /// Offers a live command to a streamed session's inbox. Returns the
-    /// backpressure outcome; scripted sessions always report `Dropped`.
+    /// Offers a live command to a streamed or gated session's inbox.
+    /// Returns the backpressure outcome; scripted sessions always report
+    /// `Dropped`.
     pub fn offer(&mut self, command: Vec<f64>) -> Offer {
         match &mut self.source {
             Source::Streamed { inbox, .. } => inbox.offer(command),
+            Source::Gated { inbox, .. } => inbox.offer(command),
             Source::Scripted { .. } => Offer::Dropped,
         }
     }
 
-    /// Marks a streamed session closing: it drains its inbox and then
-    /// completes. No-op for scripted sessions (they end with the script).
+    /// Enqueues an explicit loss slot on a gated session — the wire said
+    /// "this tick's command is gone", and the next consumed tick becomes
+    /// the miss the engine forecasts over. `Dropped` for every other
+    /// source (their losses are modelled elsewhere).
+    pub fn offer_miss(&mut self) -> Offer {
+        match &mut self.source {
+            Source::Gated { inbox, .. } => {
+                inbox.offer_miss();
+                Offer::Accepted
+            }
+            _ => Offer::Dropped,
+        }
+    }
+
+    /// Enqueues a §VII-C late patch on a gated session: a command whose
+    /// slot was already flushed as missed resurfaced `age` ticks later.
+    /// The patch consumes no tick; it amends the engine history just
+    /// before the next slot is consumed. `Dropped` for other sources.
+    pub fn offer_late(&mut self, command: Vec<f64>, age: usize) -> Offer {
+        match &mut self.source {
+            Source::Gated { inbox, .. } => inbox.offer_late(command, age),
+            _ => Offer::Dropped,
+        }
+    }
+
+    /// Marks a streamed/gated session closing: it drains its inbox and
+    /// then completes. No-op for scripted sessions (they end with the
+    /// script).
     pub fn close(&mut self) {
-        if let Source::Streamed { closing, .. } = &mut self.source {
-            *closing = true;
+        match &mut self.source {
+            Source::Streamed { closing, .. } | Source::Gated { closing, .. } => *closing = true,
+            Source::Scripted { .. } => {}
         }
     }
 
@@ -256,6 +318,42 @@ impl Session {
                     None => (None, Arrival::Lost, *closing),
                 }
             }
+            Source::Gated {
+                inbox,
+                channel,
+                fate_buf,
+                closing,
+                ..
+            } => loop {
+                match inbox.take() {
+                    // Late patches ride between ticks: amend the engine
+                    // history and keep looking for a tick-consuming slot.
+                    Some(GatedSlot::Late { command, age }) => {
+                        if let Some(engine) = &mut self.engine {
+                            engine.late_command(command, age);
+                        }
+                    }
+                    Some(GatedSlot::Command(cmd)) => {
+                        if fate_buf.is_empty() {
+                            fate_buf.extend(channel.fates(FATE_CHUNK));
+                        }
+                        let fate = fate_buf.pop_front().expect("chunk refilled above");
+                        break (Some(cmd), fate, false);
+                    }
+                    // The wire's explicit loss verdict for this slot
+                    // (take() always yields single-slot units).
+                    Some(GatedSlot::Miss { .. }) => break (None, Arrival::Lost, false),
+                    // No verdict yet is *not* a miss: virtual time
+                    // suspends until the gateway enqueues one (or the
+                    // session closes).
+                    None => {
+                        if *closing {
+                            return Advance::Completed(Box::new(self.report()));
+                        }
+                        return Advance::Idle(Wake::AwaitingInput);
+                    }
+                }
+            },
         };
         if exhausted {
             return Advance::Completed(Box::new(self.report()));
@@ -324,6 +422,17 @@ impl Session {
     /// at any tick boundary (freshly opened, just advanced, or just
     /// restored from a snapshot). See [`Wake`] for the contract.
     pub fn wake_hint(&self) -> Wake {
+        // Gated sessions are wire-driven: runnable exactly while slots
+        // (or a close) are pending, awaiting input otherwise. They never
+        // report `ParkedUntil` — their virtual time suspends while they
+        // wait, so no wall-pass timer can ever fall due.
+        if let Source::Gated { inbox, closing, .. } = &self.source {
+            return if *closing || !inbox.is_empty() {
+                Wake::Runnable
+            } else {
+                Wake::AwaitingInput
+            };
+        }
         if !self.idle_stable() {
             return Wake::Runnable;
         }
@@ -347,7 +456,9 @@ impl Session {
     /// a next command, so they are never idle.
     fn idle_stable(&self) -> bool {
         match &self.source {
-            Source::Scripted { .. } => return false,
+            // Gated sessions never reach this notion of idleness: their
+            // parked state is "clock suspended", not "idle ticks elided".
+            Source::Scripted { .. } | Source::Gated { .. } => return false,
             Source::Streamed { inbox, closing, .. } => {
                 if !inbox.is_empty() || *closing {
                     return false;
@@ -373,14 +484,21 @@ impl Session {
     ///
     /// The scheduler calls this when waking a parked session: the state
     /// after `catch_up(k)` equals the state after `k` eager idle
-    /// advances, so parking is observationally invisible.
+    /// advances, so parking is observationally invisible. Returns the
+    /// ticks actually replayed — `ticks` for idle-stable sessions, `0`
+    /// for gated ones, whose virtual clock was *suspended* while parked
+    /// (no ticks happened, so there is nothing to replay).
     ///
     /// # Panics
-    /// Panics (debug) when the session is not idle-stable — catching up
-    /// anywhere else would corrupt the determinism contract.
-    pub fn catch_up(&mut self, ticks: u64) {
+    /// Panics (debug) when the session is neither gated nor idle-stable
+    /// — catching up anywhere else would corrupt the determinism
+    /// contract.
+    pub fn catch_up(&mut self, ticks: u64) -> u64 {
+        if matches!(self.source, Source::Gated { .. }) {
+            return 0;
+        }
         if ticks == 0 {
-            return;
+            return 0;
         }
         debug_assert!(self.idle_stable(), "catch_up outside the idle fixed point");
         // Positions are frozen at the fixed point, so the per-tick
@@ -416,12 +534,14 @@ impl Session {
         self.reference.advance_time(ticks);
         self.executed.advance_time(ticks);
         self.clock.advance_by(ticks);
+        ticks
     }
 
     fn report(&self) -> SessionReport {
         let n = self.clock.tick();
         let overflow_drops = match &self.source {
             Source::Streamed { inbox, .. } => inbox.dropped(),
+            Source::Gated { inbox, .. } => inbox.dropped(),
             Source::Scripted { .. } => 0,
         };
         SessionReport {
@@ -478,6 +598,19 @@ impl Session {
                 fate_buf,
                 closing,
             } => SourceState::Streamed {
+                inbox: inbox.snapshot(),
+                channel: channel_spec.clone(),
+                channel_rng: channel.rng_state(),
+                fate_buf: fate_buf.iter().copied().collect(),
+                closing: *closing,
+            },
+            Source::Gated {
+                inbox,
+                channel,
+                channel_spec,
+                fate_buf,
+                closing,
+            } => SourceState::Gated {
                 inbox: inbox.snapshot(),
                 channel: channel_spec.clone(),
                 channel_rng: channel.rng_state(),
@@ -596,6 +729,65 @@ impl Session {
                 }
                 Source::Streamed {
                     inbox: BoundedInbox::from_state(inbox),
+                    channel: rebuilt,
+                    channel_spec: channel.clone(),
+                    fate_buf: fate_buf.iter().copied().collect(),
+                    closing: *closing,
+                }
+            }
+            SourceState::Gated {
+                inbox,
+                channel,
+                channel_rng,
+                fate_buf,
+                closing,
+            } => {
+                if inbox.capacity == 0 {
+                    return Err(RestoreError::Invalid("inbox capacity of zero".into()));
+                }
+                let commands = inbox
+                    .queue
+                    .iter()
+                    .filter(|s| matches!(s, GatedSlot::Command(_)))
+                    .count();
+                if commands > inbox.capacity {
+                    return Err(RestoreError::Invalid(format!(
+                        "{commands} queued commands in a capacity-{} gated inbox",
+                        inbox.capacity
+                    )));
+                }
+                if let Some(bad) = inbox.queue.iter().find_map(|s| match s {
+                    GatedSlot::Command(c) | GatedSlot::Late { command: c, .. }
+                        if c.len() != model.dof() =>
+                    {
+                        Some(c.len())
+                    }
+                    _ => None,
+                }) {
+                    return Err(RestoreError::Invalid(format!(
+                        "queued slot of dimension {bad} for a {}-DoF arm",
+                        model.dof()
+                    )));
+                }
+                if inbox
+                    .queue
+                    .iter()
+                    .any(|s| matches!(s, GatedSlot::Miss { count: 0 }))
+                {
+                    // A zero-count run would consume a tick on take()
+                    // while counting as zero slots everywhere else —
+                    // a one-tick desync smuggled in through a crafted
+                    // snapshot.
+                    return Err(RestoreError::Invalid(
+                        "gated miss run with a zero count".into(),
+                    ));
+                }
+                let mut rebuilt = channel.build();
+                if let Some(state) = channel_rng {
+                    rebuilt.restore_rng(*state);
+                }
+                Source::Gated {
+                    inbox: GatedInbox::from_state(inbox),
                     channel: rebuilt,
                     channel_spec: channel.clone(),
                     fate_buf: fate_buf.iter().copied().collect(),
@@ -822,7 +1014,7 @@ mod tests {
         session.close();
         let report = match session.advance() {
             Advance::Completed(report) => report,
-            Advance::Ticked(_) => panic!("closing session with empty inbox must complete"),
+            other => panic!("closing session with empty inbox must complete, got {other:?}"),
         };
         assert_eq!(report.ticks, 5);
         assert_eq!(report.misses, 3);
@@ -1000,7 +1192,7 @@ mod tests {
         for i in 0..budget {
             match session.advance() {
                 Advance::Ticked(Wake::Runnable) => {}
-                Advance::Ticked(_) => return i + 1,
+                Advance::Ticked(_) | Advance::Idle(_) => return i + 1,
                 Advance::Completed(_) => panic!("session completed while starving"),
             }
         }
@@ -1251,6 +1443,233 @@ mod tests {
         while let Advance::Ticked(wake) = session.advance() {
             assert_eq!(wake, Wake::Runnable);
         }
+    }
+
+    /// The gated sessions' enabling property for socket ingress: the
+    /// slot sequence alone determines every output — how advance() calls
+    /// interleave with slot arrivals (the race a real network injects)
+    /// must not change a single bit.
+    #[test]
+    fn gated_outputs_depend_only_on_the_slot_sequence() {
+        let model = niryo_one();
+        let home = model.home();
+        let mut config = RecoveryConfig::for_model(&model);
+        config.use_late_commands = true;
+        let spec = SessionSpec::new(
+            11,
+            SourceSpec::Gated {
+                initial: home.clone(),
+                inbox_capacity: 512,
+            },
+            ChannelSpec::Ideal,
+            RecoverySpec::FoReCo {
+                forecaster: SharedForecaster::new(trained_var()),
+                config,
+            },
+        );
+        // One slot timeline with commands, losses, and a late patch.
+        enum Step {
+            Cmd(Vec<f64>),
+            Miss,
+            Late(Vec<f64>, usize),
+        }
+        let timeline: Vec<Step> = (0..120u64)
+            .map(|k| {
+                let mut cmd = home.clone();
+                cmd[0] += 0.01 * (k % 7) as f64;
+                cmd[2] -= 0.005 * (k % 3) as f64;
+                match k % 9 {
+                    3 | 4 => Step::Miss,
+                    5 => Step::Late(cmd, 2),
+                    _ => Step::Cmd(cmd),
+                }
+            })
+            .collect();
+        let feed = |s: &mut Session, step: &Step| match step {
+            Step::Cmd(c) => {
+                s.offer(c.clone());
+            }
+            Step::Miss => {
+                s.offer_miss();
+            }
+            Step::Late(c, age) => {
+                s.offer_late(c.clone(), *age);
+            }
+        };
+        // Twin A: every slot arrives before any tick runs.
+        let mut batched = Session::open(&spec, &model);
+        for step in &timeline {
+            feed(&mut batched, step);
+        }
+        // Twin B: the shard races ahead — several advances (hitting the
+        // empty-queue Idle path) between every arrival.
+        let mut raced = Session::open(&spec, &model);
+        for step in &timeline {
+            for _ in 0..3 {
+                if let Advance::Ticked(_) | Advance::Completed(_) = raced.advance() {
+                    // keep consuming; Completed is impossible pre-close
+                }
+            }
+            feed(&mut raced, step);
+            raced.advance();
+        }
+        let finish = |s: &mut Session| {
+            s.close();
+            loop {
+                if let Advance::Completed(report) = s.advance() {
+                    break report;
+                }
+            }
+        };
+        let (a, b) = (finish(&mut batched), finish(&mut raced));
+        assert_eq!(a.ticks, b.ticks, "virtual time must be slot-driven");
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.as_ref().unwrap().late_patches > 0, "late path ran");
+        assert_eq!(a.rmse_mm.to_bits(), b.rmse_mm.to_bits());
+        assert_eq!(a.max_deviation_mm.to_bits(), b.max_deviation_mm.to_bits());
+        // Miss slots are the losses; ticks count only tick-consuming slots.
+        let consuming = timeline
+            .iter()
+            .filter(|s| !matches!(s, Step::Late(..)))
+            .count();
+        assert_eq!(a.ticks as usize, consuming);
+    }
+
+    #[test]
+    fn gated_empty_queue_suspends_virtual_time() {
+        let model = niryo_one();
+        let home = model.home();
+        let spec = SessionSpec::new(
+            12,
+            SourceSpec::Gated {
+                initial: home.clone(),
+                inbox_capacity: 4,
+            },
+            ChannelSpec::Ideal,
+            RecoverySpec::Baseline,
+        );
+        let mut session = Session::open(&spec, &model);
+        assert_eq!(session.wake_hint(), Wake::AwaitingInput);
+        for _ in 0..5 {
+            assert!(matches!(
+                session.advance(),
+                Advance::Idle(Wake::AwaitingInput)
+            ));
+        }
+        assert_eq!(session.tick(), 0, "no slot, no tick");
+        // A suspended wait accrues no backlog: catch_up replays nothing.
+        assert_eq!(session.catch_up(1_000), 0);
+        assert_eq!(session.tick(), 0);
+        session.offer(home.clone());
+        assert_eq!(session.wake_hint(), Wake::Runnable);
+        assert!(matches!(session.advance(), Advance::Ticked(_)));
+        assert_eq!(session.tick(), 1);
+        // Misses consume ticks too — they are the slot's verdict.
+        session.offer_miss();
+        assert!(matches!(session.advance(), Advance::Ticked(_)));
+        assert_eq!(session.tick(), 2);
+        session.close();
+        let report = match session.advance() {
+            Advance::Completed(report) => report,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        assert_eq!(report.ticks, 2);
+        assert_eq!(report.misses, 1);
+    }
+
+    #[test]
+    fn gated_snapshot_restore_resumes_bit_identically() {
+        let model = niryo_one();
+        let home = model.home();
+        let spec = SessionSpec::new(
+            13,
+            SourceSpec::Gated {
+                initial: home.clone(),
+                inbox_capacity: 64,
+            },
+            // A composed impairment channel on top of the wire verdicts:
+            // the RNG state must survive the round trip.
+            ChannelSpec::ControlledLoss {
+                burst_len: 3,
+                burst_prob: 0.1,
+                seed: 17,
+            },
+            RecoverySpec::FoReCo {
+                forecaster: SharedForecaster::new(MovingAverage::new(2, home.len())),
+                config: RecoveryConfig::for_model(&model),
+            },
+        );
+        let drive = |s: &mut Session, base: u64, n: u64| {
+            for k in 0..n {
+                let mut cmd = home.clone();
+                cmd[1] += 0.008 * ((base + k) % 5) as f64;
+                if (base + k).is_multiple_of(6) {
+                    s.offer_miss();
+                } else {
+                    s.offer(cmd);
+                }
+                s.advance();
+            }
+        };
+        let mut original = Session::open(&spec, &model);
+        drive(&mut original, 0, 40);
+        // Leave slots queued so the snapshot carries a live queue.
+        original.offer(home.clone());
+        original.offer_miss();
+        let bytes = original.snapshot().expect("snapshotable").to_bytes();
+        let snap = crate::snapshot::SessionSnapshot::from_bytes(&bytes).expect("decode");
+        let mut restored = Session::restore(&snap, &model).expect("restore");
+        for s in [&mut original, &mut restored] {
+            s.advance();
+            s.advance();
+            drive(s, 40, 30);
+            s.close();
+        }
+        let finish = |s: &mut Session| loop {
+            if let Advance::Completed(report) = s.advance() {
+                break report;
+            }
+        };
+        let (a, b) = (finish(&mut original), finish(&mut restored));
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.rmse_mm.to_bits(), b.rmse_mm.to_bits());
+    }
+
+    #[test]
+    fn gated_restore_rejects_zero_count_miss_runs() {
+        // A crafted snapshot with `Miss { count: 0 }` would consume a
+        // tick on take() while counting as zero slots in the gateway's
+        // adopt arithmetic — a smuggled one-tick desync. Restore must
+        // reject it up front.
+        let model = niryo_one();
+        let home = model.home();
+        let spec = SessionSpec::new(
+            14,
+            SourceSpec::Gated {
+                initial: home.clone(),
+                inbox_capacity: 8,
+            },
+            ChannelSpec::Ideal,
+            RecoverySpec::Baseline,
+        );
+        let mut session = Session::open(&spec, &model);
+        session.offer(home.clone());
+        let mut snap = session.snapshot().unwrap();
+        match &mut snap.source {
+            crate::snapshot::SourceState::Gated { inbox, .. } => {
+                inbox.queue.push(crate::inbox::GatedSlot::Miss { count: 0 });
+            }
+            other => panic!("expected gated source state, got {other:?}"),
+        }
+        let err = match Session::restore(&snap, &model) {
+            Err(e) => e,
+            Ok(_) => panic!("zero-count miss run must be rejected"),
+        };
+        assert!(matches!(err, RestoreError::Invalid(_)), "{err}");
+        assert!(err.to_string().contains("zero count"));
     }
 
     #[test]

@@ -178,8 +178,8 @@ impl Runtime {
             let backlog = self.pass - parked_at;
             self.wheel.cancel(id);
             let session = self.sessions.get_mut(&id).expect("parked session exists");
-            session.catch_up(backlog);
-            self.ticks_advanced += backlog;
+            // Gated sessions replay nothing: their clock was suspended.
+            self.ticks_advanced += session.catch_up(backlog);
             if traffic {
                 self.load().traffic_wakeups.fetch_add(1, Ordering::Relaxed);
             }
@@ -337,6 +337,31 @@ impl Runtime {
                     let _ = self.events.send(SessionEvent::UnknownSession { id });
                 }
             }
+            SessionCommand::InjectMiss { id } => {
+                if self.sessions.contains_key(&id) {
+                    self.poke(id, true);
+                    let session = self.sessions.get_mut(&id).expect("checked above");
+                    session.offer_miss();
+                    self.settle(id);
+                } else {
+                    let _ = self.events.send(SessionEvent::UnknownSession { id });
+                }
+            }
+            SessionCommand::InjectLate { id, command, age } => {
+                if self.sessions.contains_key(&id) {
+                    self.poke(id, true);
+                    let session = self.sessions.get_mut(&id).expect("checked above");
+                    if session.offer_late(command, age) == Offer::Dropped {
+                        let _ = self.events.send(SessionEvent::CommandDropped {
+                            id,
+                            tick: session.tick(),
+                        });
+                    }
+                    self.settle(id);
+                } else {
+                    let _ = self.events.send(SessionEvent::UnknownSession { id });
+                }
+            }
             SessionCommand::Close { id } => {
                 if self.sessions.contains_key(&id) {
                     self.poke(id, true);
@@ -460,8 +485,7 @@ impl Runtime {
             if let Some(parked_at) = self.parked.remove(&id) {
                 let backlog = self.pass - parked_at;
                 let session = self.sessions.get_mut(&id).expect("timer for live session");
-                session.catch_up(backlog);
-                self.ticks_advanced += backlog;
+                self.ticks_advanced += session.catch_up(backlog);
                 self.load().timer_wakeups.fetch_add(1, Ordering::Relaxed);
                 self.runnable.insert(id);
             }
@@ -489,6 +513,15 @@ impl Runtime {
                             parked.push((id, wake));
                         }
                     }
+                    // A starved gated session: no tick happened, so it
+                    // counts as no advance; under the event scheduler it
+                    // parks until traffic (eager keeps polling it — the
+                    // ground-truth sweep stays a sweep).
+                    Advance::Idle(wake) => {
+                        if event_driven {
+                            parked.push((id, wake));
+                        }
+                    }
                     Advance::Completed(report) => completed.push((id, report)),
                 }
             }
@@ -500,6 +533,11 @@ impl Runtime {
                     Advance::Ticked(wake) => {
                         advanced += 1;
                         if event_driven && wake != Wake::Runnable {
+                            parked.push((id, wake));
+                        }
+                    }
+                    Advance::Idle(wake) => {
+                        if event_driven {
                             parked.push((id, wake));
                         }
                     }

@@ -73,6 +73,24 @@ pub enum SourceState {
         /// Pre-drawn channel outcome per command.
         fates: Vec<Arrival>,
     },
+    /// A flow-controlled socket-ingress source (`SourceSpec::Gated`):
+    /// the queued slot timeline, the (usually `Ideal`) composed
+    /// impairment model, and the closing flag. Gated sessions park with
+    /// their virtual clock *suspended*, so — like every other source —
+    /// no extra scheduling state needs capturing: parked-ness is
+    /// re-derived from the queue on restore.
+    Gated {
+        /// Queued ingress slots and accept/drop counters.
+        inbox: crate::inbox::GatedInboxState,
+        /// The composed impairment model's construction parameters.
+        channel: Box<ChannelSpec>,
+        /// The channel's raw RNG words at snapshot time.
+        channel_rng: Option<[u64; 4]>,
+        /// Fates drawn in chunks but not yet consumed, oldest first.
+        fate_buf: Vec<Arrival>,
+        /// Whether the session was already draining toward completion.
+        closing: bool,
+    },
     /// A live streamed source.
     Streamed {
         /// Queued commands and accept/drop counters.

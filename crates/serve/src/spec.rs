@@ -110,6 +110,29 @@ pub enum SourceSpec {
         /// Inbox capacity; overflow drops commands (loss events).
         inbox_capacity: usize,
     },
+    /// Flow-controlled socket ingress (the `foreco-net` gateway's
+    /// session shape): the wire carries one verdict per virtual tick
+    /// slot — a command ([`ServiceHandle::try_inject`]
+    /// (`crate::ServiceHandle::try_inject`)), an explicit loss
+    /// (`inject_miss`), or a tickless §VII-C late patch (`inject_late`)
+    /// — and the session's clock advances only as slots are consumed.
+    /// An empty queue parks the session *without* a miss (no verdict is
+    /// not a loss), so the interleaving of socket threads and shard
+    /// clocks cannot change a single output: the same slot sequence is
+    /// bit-identical whether it arrived over localhost UDP, a WAN, or an
+    /// in-process loopback.
+    ///
+    /// Real-time behaviour comes from the *operator* pacing frames at
+    /// 50 Hz, not from the shard clock; under `Pacing::Unpaced` a gated
+    /// session simply consumes slots as fast as they arrive.
+    Gated {
+        /// Start pose both ends agree on before teleoperation.
+        initial: Vec<f64>,
+        /// Queued command-payload bound; at capacity a further command
+        /// is dropped and a miss marker keeps the slot timeline aligned
+        /// (the loss event the engine then forecasts over).
+        inbox_capacity: usize,
+    },
 }
 
 impl SourceSpec {

@@ -107,6 +107,24 @@ impl Dataset {
         (train, test)
     }
 
+    /// The first `commands` commands as a dataset of their own — the
+    /// short-trace helper for live replay (a socket client streaming a
+    /// bounded session, a benchmark bounding its wall time). The full
+    /// dataset is returned when `commands` exceeds the length.
+    pub fn head(&self, commands: usize) -> Dataset {
+        let cut = commands.min(self.len());
+        Dataset {
+            period: self.period,
+            commands: self.commands[..cut].to_vec(),
+            cycle_starts: self
+                .cycle_starts
+                .iter()
+                .cloned()
+                .filter(|&s| s < cut)
+                .collect(),
+        }
+    }
+
     /// Keeps every `factor`-th command (the pipeline's down-sampling
     /// stage, Table I).
     ///

@@ -1,0 +1,105 @@
+//! Real remote operators over real sockets: the deployment shape of the
+//! paper's Fig. 1, end to end in one process.
+//!
+//! A `foreco-net` gateway (UDP data plane + TCP control plane) fronts a
+//! sharded service whose sessions run FoReCo around one shared trained
+//! VAR. Two operators connect over localhost sockets and replay teleop
+//! traces at the paper's 50 Hz — one over a clean wire, one through
+//! artificial loss and reordering — and the run ends with both views of
+//! the damage: what the wire did (ingress counters) and what the engine
+//! did about it (forecasts, §VII-C late patches, task-space error).
+//!
+//! Run with `cargo run --release --example net_teleop`.
+
+use foreco::net::{ClientConfig, Gateway, GatewayConfig, IngressConfig, NetClient};
+use foreco::prelude::*;
+use foreco::serve::IngressSummary;
+use std::time::Duration;
+
+fn main() {
+    // One trained forecaster serves every session (the edge-cloud split:
+    // the model lives server-side, operators only stream commands).
+    let model = niryo_one();
+    let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+    let var = Var::fit_differenced(&train, 5, 1e-6).expect("fit VAR");
+    let mut recovery = RecoveryConfig::for_model(&model);
+    recovery.use_late_commands = true; // §VII-C: late datagrams patch history
+
+    let gateway = Gateway::spawn(
+        ServiceConfig::with_shards(2),
+        GatewayConfig {
+            recovery: RecoverySpec::FoReCo {
+                forecaster: SharedForecaster::new(var),
+                config: recovery,
+            },
+            ingress: IngressConfig {
+                reorder_window: 3,
+                ..IngressConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("spawn gateway");
+    println!(
+        "gateway up: data plane udp://{}  control plane tcp://{}\n",
+        gateway.udp_addr(),
+        gateway.tcp_addr()
+    );
+
+    let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 42)
+        .head(250)
+        .commands;
+
+    // Operator 1: clean wire. Operator 2: 5% loss, 6% late datagrams.
+    let operators = [
+        ("clean wire", ClientConfig::default()),
+        (
+            "lossy wire",
+            ClientConfig {
+                loss: 0.05,
+                late: 0.06,
+                late_depth: 4,
+                seed: 99,
+                ..ClientConfig::default()
+            },
+        ),
+    ];
+    let mut registry = MetricsRegistry::new();
+    let mut ingress_rows: Vec<IngressSummary> = Vec::new();
+    for (id, (label, mut cfg)) in operators.into_iter().enumerate() {
+        // The paper's 50 Hz command period, held by the operator.
+        cfg.pace = Some(Duration::from_millis(20));
+        let data = foreco::net::UdpWire::connect(gateway.udp_addr()).expect("udp connect");
+        let control = foreco::net::TcpControl::connect(gateway.tcp_addr()).expect("tcp connect");
+        let mut operator = NetClient::new(id as u64, data, control);
+        operator.open(trace[0].clone(), 64).expect("attach");
+        let stats = operator.replay(&trace, 0, &cfg).expect("replay");
+        let (report, ingress) = operator.close().expect("detach");
+        println!(
+            "operator {id} ({label}): sent {} frames ({} lost, {} deferred on purpose)",
+            stats.sent, stats.lost, stats.deferred
+        );
+        println!(
+            "  wire   : delivered {} · lost {} · late {} · reordered {} · dup {}",
+            ingress.delivered, ingress.lost, ingress.late, ingress.reordered, ingress.duplicates
+        );
+        let engine = report.stats.as_ref().expect("FoReCo stats");
+        println!(
+            "  engine : {} ticks · {} misses · {} forecasts · {} late patches",
+            report.ticks, report.misses, engine.forecasts, engine.late_patches
+        );
+        println!(
+            "  error  : rmse {:.3} mm · worst {:.3} mm\n",
+            report.rmse_mm, report.max_deviation_mm
+        );
+        registry.record(report);
+        ingress_rows.push(ingress);
+    }
+    registry.record_ingress(ingress_rows);
+    let summary = registry.summary();
+    println!(
+        "fleet: {} sessions · {} ticks · {} misses covered · rmse p50 {:.3} mm",
+        summary.sessions, summary.total_ticks, summary.total_misses, summary.rmse_mm.p50
+    );
+    gateway.shutdown();
+}

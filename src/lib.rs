@@ -13,6 +13,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`net`] | `foreco-net` | socket ingress gateway, binary wire codec, operator client |
 //! | [`serve`] | `foreco-serve` | sharded multi-session service runtime, metrics registry |
 //! | [`recovery`] | `foreco-core` | recovery engine, channels, closed loop, Fig-8 grid |
 //! | [`forecast`] | `foreco-forecast` | MA, VAR, seq2seq, Holt, VARMA + training pipeline |
@@ -91,6 +92,35 @@
 //! assert_eq!(registry.shard_loads().len(), 2);
 //! ```
 //!
+//! # Real operators over the network
+//!
+//! The [`net`] gateway puts an actual wire in front of the service —
+//! the deployment shape of the paper's Fig. 1: operator commands arrive
+//! as UDP datagrams in a versioned binary format (seq = virtual tick
+//! slot), session control (attach/detach/snapshot/adopt) runs over TCP,
+//! and lost or reordered datagrams become exactly the loss and §VII-C
+//! late-command events the recovery engine exists to absorb. Sessions
+//! fed from a socket are *gated*: their virtual clock advances with the
+//! delivered slot stream, so the same frames produce bit-identical
+//! statistics over localhost UDP and the hermetic loopback transport:
+//!
+//! ```
+//! use foreco::prelude::*;
+//!
+//! let gateway = Gateway::spawn(ServiceConfig::with_shards(2), GatewayConfig::default()).unwrap();
+//! let data = UdpWire::connect(gateway.udp_addr()).unwrap();
+//! let control = TcpControl::connect(gateway.tcp_addr()).unwrap();
+//! let mut operator = NetClient::new(1, data, control);
+//!
+//! let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 5).head(100);
+//! operator.open(trace.commands[0].clone(), 128).unwrap();
+//! operator.replay(&trace.commands, 0, &ClientConfig::default()).unwrap();
+//! let (report, ingress) = operator.close().unwrap();
+//! assert_eq!(report.ticks, 100);
+//! assert_eq!(ingress.delivered, 100);
+//! gateway.shutdown();
+//! ```
+//!
 //! # Checkpointing sessions
 //!
 //! Recovery is stateful, so a production service must be able to carry
@@ -131,6 +161,7 @@ pub use foreco_core as recovery;
 pub use foreco_des as des;
 pub use foreco_forecast as forecast;
 pub use foreco_linalg as linalg;
+pub use foreco_net as net;
 pub use foreco_nn as nn;
 pub use foreco_robot as robot;
 pub use foreco_serve as serve;
@@ -152,6 +183,10 @@ pub mod prelude {
     pub use foreco_forecast::{
         forecast_horizon, Forecaster, Holt, KalmanCv, MovingAverage, Seq2SeqForecaster, Var,
         VarMode, Varma,
+    };
+    pub use foreco_net::{
+        ClientConfig, Gateway, GatewayConfig, IngressConfig, NetClient, NetError, TcpControl,
+        UdpWire,
     };
     pub use foreco_robot::{niryo_one, ArmModel, DriverConfig, RobotDriver};
     pub use foreco_serve::{

@@ -208,7 +208,7 @@ proptest! {
             for _ in 0..200_000u32 {
                 match s.advance() {
                     Advance::Ticked(foreco::serve::Wake::Runnable) => {}
-                    Advance::Ticked(_) => return s.tick(),
+                    Advance::Ticked(_) | Advance::Idle(_) => return s.tick(),
                     Advance::Completed(_) => panic!("completed while starving"),
                 }
             }

@@ -22,6 +22,14 @@
 //! → gated injection) over the in-process loopback transport vs real
 //! localhost UDP, reported as datagrams/sec.
 //!
+//! The **engine_hot_path** scenario profiles one hosted session's
+//! steady-state tick (source → engine → both PID drivers → metrics) in
+//! isolation: per-tick wall nanoseconds and — through a counting global
+//! allocator — heap allocations per tick, under the replay's hit/miss
+//! mix. Since the flat-ring + `forecast_into` rework the allocs/tick
+//! figure must be ~0 (the `hot_path_allocs` test pins exactly 0 per
+//! steady tick); this row gives the perf trajectory a trend line.
+//!
 //! Knobs: `FORECO_SERVE_SESSIONS` (default 1024),
 //! `FORECO_SERVE_CYCLES` (replay length, default 1),
 //! `FORECO_SERVE_SHARDS` (comma list, default `1,2,4,8`),
@@ -30,20 +38,63 @@
 //! `FORECO_SERVE_IDLE_ROUNDS` (hot-session inject rounds, default 400),
 //! `FORECO_SERVE_WAKEUP_BUDGET` (optional hard ceiling on idle-heavy
 //! event-mode wakeups/tick; breach exits non-zero),
+//! `FORECO_ENGINE_TICKS_BUDGET` (optional hard floor on the 1-shard
+//! `ticks_per_sec`; shortfall exits non-zero — the CI regression gate,
+//! set to committed-baseline × 0.9),
+//! `FORECO_SERVE_HOTPATH_TICKS` (measured hot-path ticks, default 200000),
 //! `FORECO_SERVE_INGRESS_SESSIONS` (default 16),
 //! `FORECO_SERVE_INGRESS_FRAMES` (per-session datagrams, default 1000),
 //! `FORECO_SERVE_OUT` (output path, default `BENCH_serve.json`).
 
 use foreco_bench::{banner, env_knob, Fixture};
 use foreco_core::RecoveryConfig;
+use foreco_forecast::MovingAverage;
 use foreco_serve::{
-    BalancerConfig, ChannelSpec, EventWait, RecoverySpec, Scheduler, Service, ServiceConfig,
-    SessionSpec, SharedForecaster, SourceSpec,
+    Advance, BalancerConfig, ChannelSpec, EventWait, RecoverySpec, Scheduler, Service,
+    ServiceConfig, Session, SessionSpec, SharedForecaster, SourceSpec,
 };
 use foreco_teleop::{Dataset, Skill};
 use serde::Serialize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// System allocator with a per-thread allocation counter, so the
+/// hot-path scenario can report allocs/tick alongside ns/tick.
+struct CountingAllocator;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 #[derive(Serialize)]
 struct Row {
@@ -92,14 +143,94 @@ struct IngressRow {
 }
 
 #[derive(Serialize)]
+struct HotPathRow {
+    forecaster: String,
+    /// Measured steady-state ticks (warmup excluded).
+    ticks: u64,
+    /// Misses across the full sessions (the hit/miss mix context).
+    misses: u64,
+    miss_fraction: f64,
+    wall_s: f64,
+    ns_per_tick: f64,
+    ticks_per_sec: f64,
+    /// Heap allocations per measured tick (counting allocator) — ~0
+    /// since the flat-ring engine rework.
+    allocs_per_tick: f64,
+}
+
+#[derive(Serialize)]
 struct Output {
     bench: String,
     sessions: u64,
     ticks_per_session: usize,
     forecaster: String,
     rows: Vec<Row>,
+    engine_hot_path: Vec<HotPathRow>,
     idle_heavy: Vec<IdleRow>,
     ingress: Vec<IngressRow>,
+}
+
+/// Profiles one hosted session's steady-state tick: ns/tick and
+/// allocs/tick over `target_ticks` measured advances (replay warmup and
+/// session open/teardown excluded from both counters).
+fn engine_hot_path_run(
+    name: &str,
+    forecaster: SharedForecaster,
+    fx: &Fixture,
+    replay: &Arc<Vec<Vec<f64>>>,
+    target_ticks: u64,
+) -> HotPathRow {
+    let len = replay.len() as u64;
+    let warmup = len / 8;
+    let per_rep = len - warmup - 1;
+    let reps = target_ticks.div_ceil(per_rep).max(1);
+    let (mut ticks, mut misses, mut allocs) = (0u64, 0u64, 0u64);
+    let mut wall = Duration::ZERO;
+    for rep in 0..reps {
+        let spec = SessionSpec::new(
+            rep,
+            SourceSpec::Replayed(Arc::clone(replay)),
+            ChannelSpec::ControlledLoss {
+                burst_len: 6,
+                burst_prob: 0.01,
+                seed: 70_000 + rep,
+            },
+            RecoverySpec::FoReCo {
+                forecaster: forecaster.clone(),
+                config: RecoveryConfig::for_model(&fx.model),
+            },
+        );
+        let mut session = Session::open(&spec, &fx.model);
+        for _ in 0..warmup {
+            session.advance();
+        }
+        let a0 = thread_allocs();
+        let t0 = Instant::now();
+        for _ in 0..per_rep {
+            session.advance();
+        }
+        wall += t0.elapsed();
+        allocs += thread_allocs() - a0;
+        ticks += per_rep;
+        // Drain the tail to the report for the miss-mix context.
+        let report = loop {
+            if let Advance::Completed(report) = session.advance() {
+                break report;
+            }
+        };
+        misses += report.misses as u64;
+    }
+    let wall_s = wall.as_secs_f64();
+    HotPathRow {
+        forecaster: name.to_string(),
+        ticks,
+        misses,
+        miss_fraction: misses as f64 / (reps * len) as f64,
+        wall_s,
+        ns_per_tick: wall_s * 1e9 / ticks as f64,
+        ticks_per_sec: ticks as f64 / wall_s,
+        allocs_per_tick: allocs as f64 / ticks as f64,
+    }
 }
 
 /// Runs the idle-heavy fleet under one scheduler and measures the
@@ -398,6 +529,45 @@ fn main() {
         });
     }
 
+    // Optional CI gate: the single-shard throughput must not regress
+    // below the committed baseline (the bench job sets the budget to
+    // baseline × 0.9). Parsed up front so a typo fails fast, but the
+    // verdict is deferred to the end of main — a breach must not
+    // discard the engine_hot_path diagnostics (ns/tick, allocs/tick)
+    // or the BENCH_serve.json artifact needed to debug it.
+    let ticks_budget: Option<f64> = std::env::var("FORECO_ENGINE_TICKS_BUDGET")
+        .ok()
+        .map(|v| v.parse().expect("FORECO_ENGINE_TICKS_BUDGET: number"));
+
+    // ---- engine hot path: one session's steady-state tick profile ----
+    let hotpath_ticks = env_knob("FORECO_SERVE_HOTPATH_TICKS", 200_000) as u64;
+    println!("\nengine hot path: ~{hotpath_ticks} measured steady-state ticks per forecaster");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "forecaster", "ticks", "miss frac", "ns/tick", "ticks/s", "allocs/tick"
+    );
+    let hot_replay = Arc::new(Dataset::record(Skill::Inexperienced, 8, 0.02, 23).commands);
+    let mut engine_hot_path = Vec::new();
+    for (name, shared) in [
+        ("VAR", forecaster.clone()),
+        (
+            "MA",
+            SharedForecaster::new(MovingAverage::new(5, fx.model.dof())),
+        ),
+    ] {
+        let row = engine_hot_path_run(name, shared, &fx, &hot_replay, hotpath_ticks);
+        println!(
+            "{:>10} {:>10} {:>10.4} {:>12.1} {:>12.0} {:>12.4}",
+            row.forecaster,
+            row.ticks,
+            row.miss_fraction,
+            row.ns_per_tick,
+            row.ticks_per_sec,
+            row.allocs_per_tick
+        );
+        engine_hot_path.push(row);
+    }
+
     // ---- idle-heavy scenario: mostly-parked fleet, few hot sessions ----
     let idle_sessions = env_knob("FORECO_SERVE_IDLE_SESSIONS", 4096) as u64;
     let active_pct = env_knob("FORECO_SERVE_IDLE_ACTIVE_PCT", 2) as u64;
@@ -491,10 +661,35 @@ fn main() {
         ticks_per_session: replay.len(),
         forecaster: forecaster.name().to_string(),
         rows,
+        engine_hot_path,
         idle_heavy,
         ingress,
     };
     let json = serde_json::to_string_pretty(&output).expect("serialise bench output");
     std::fs::write(&out_path, &json).expect("write bench output");
     println!("\nwrote {out_path}");
+
+    // Deferred ticks-budget verdict (see above): every scenario has run
+    // and the artifact is on disk, so a breach still leaves the full
+    // diagnostic trail behind.
+    if let Some(budget) = ticks_budget {
+        let one = output
+            .rows
+            .iter()
+            .find(|r| r.shards == 1)
+            .expect("FORECO_ENGINE_TICKS_BUDGET needs a 1-shard row");
+        if one.ticks_per_sec < budget {
+            eprintln!(
+                "FAIL: 1-shard throughput {:.0} ticks/s below budget {budget} — \
+                 the engine hot path regressed (see the engine_hot_path rows \
+                 in {out_path} for ns/tick and allocs/tick)",
+                one.ticks_per_sec
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "engine ticks budget: {:.0} ≥ {budget} (OK)",
+            one.ticks_per_sec
+        );
+    }
 }

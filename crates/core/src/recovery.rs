@@ -17,9 +17,8 @@
 //! replace the forecast in the history so later forecasts are seeded with
 //! truth instead of guesses.
 
-use foreco_forecast::Forecaster;
+use foreco_forecast::{ForecastScratch, Forecaster, HistoryView};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -189,7 +188,119 @@ pub struct EngineSnapshot {
     pub stats: RecoveryStats,
 }
 
+/// Flat, fixed-capacity ring of the engine's `{ĉ_j}` window: one
+/// contiguous `R+1 × dims` `f64` block plus a parallel forecast-flag
+/// ring. Pushing past capacity overwrites the oldest row in place, so a
+/// steady-state tick touches the allocator exactly zero times — the
+/// replacement for the old `VecDeque<Vec<f64>>` whose every window read
+/// cloned O(R·dims).
+struct CommandRing {
+    /// Row-major storage, `cap × dims`.
+    data: Box<[f64]>,
+    /// Per-row forecast flags, parallel to `data`'s rows.
+    flags: Box<[bool]>,
+    dims: usize,
+    /// Row capacity (`history_len().max(1) + 1`, fixed at construction).
+    cap: usize,
+    /// Physical index of the oldest row.
+    start: usize,
+    /// Occupied rows.
+    len: usize,
+}
+
+impl CommandRing {
+    fn new(cap: usize, dims: usize) -> Self {
+        assert!(cap >= 1 && dims >= 1, "command ring: degenerate shape");
+        Self {
+            data: vec![0.0; cap * dims].into_boxed_slice(),
+            flags: vec![false; cap].into_boxed_slice(),
+            dims,
+            cap,
+            start: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.start = 0;
+        self.len = 0;
+    }
+
+    #[inline]
+    fn phys(&self, i: usize) -> usize {
+        debug_assert!(i < self.len, "command ring: row {i} of {}", self.len);
+        (self.start + i) % self.cap
+    }
+
+    /// Row `i` (0 = oldest).
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        let p = self.phys(i);
+        &self.data[p * self.dims..(p + 1) * self.dims]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        let p = self.phys(i);
+        &mut self.data[p * self.dims..(p + 1) * self.dims]
+    }
+
+    #[inline]
+    fn flag(&self, i: usize) -> bool {
+        self.flags[self.phys(i)]
+    }
+
+    /// The newest row.
+    #[inline]
+    fn back(&self) -> &[f64] {
+        assert!(self.len > 0, "seeded at construction");
+        self.row(self.len - 1)
+    }
+
+    /// Appends a row, evicting the oldest in place once full.
+    fn push(&mut self, row: &[f64], is_forecast: bool) {
+        debug_assert_eq!(row.len(), self.dims, "command ring: row width");
+        let p = if self.len == self.cap {
+            let p = self.start;
+            self.start = (self.start + 1) % self.cap;
+            p
+        } else {
+            let p = (self.start + self.len) % self.cap;
+            self.len += 1;
+            p
+        };
+        self.data[p * self.dims..(p + 1) * self.dims].copy_from_slice(row);
+        self.flags[p] = is_forecast;
+    }
+
+    /// Overwrites row `i` (a §VII-C late patch).
+    fn set_row(&mut self, i: usize, row: &[f64], is_forecast: bool) {
+        let p = self.phys(i);
+        self.data[p * self.dims..(p + 1) * self.dims].copy_from_slice(row);
+        self.flags[p] = is_forecast;
+    }
+
+    /// Borrow view over the occupied rows, oldest first.
+    fn view(&self) -> HistoryView<'_> {
+        let first = (self.cap - self.start).min(self.len);
+        let head = &self.data[self.start * self.dims..(self.start + first) * self.dims];
+        let tail = &self.data[..(self.len - first) * self.dims];
+        HistoryView::new(head, tail, self.dims)
+    }
+}
+
 /// The FoReCo recovery engine.
+///
+/// The steady-state path ([`RecoveryEngine::tick_into`]) is
+/// **zero-heap-allocation**: history lives in a flat [`CommandRing`],
+/// forecasts are produced through
+/// [`Forecaster::forecast_into`] against a borrowed window view, and
+/// every intermediate row reuses engine-owned scratch. The allocating
+/// [`RecoveryEngine::tick`] remains as a thin compatibility wrapper.
 ///
 /// # Example
 ///
@@ -206,24 +317,28 @@ pub struct EngineSnapshot {
 /// let out = engine.tick(Some(vec![0.5]));
 /// assert_eq!(out.command, vec![0.5]);
 /// assert!(!out.forecast);
-/// // …and a miss is concealed with a forecast.
-/// let out = engine.tick(None);
-/// assert!(out.forecast);
+/// // …and a miss is concealed with a forecast, written into a
+/// // caller-owned buffer on the allocation-free path.
+/// let mut cmd = [0.0];
+/// assert!(engine.tick_into(None, &mut cmd));
 /// ```
 pub struct RecoveryEngine {
     forecaster: Box<dyn Forecaster>,
     cfg: RecoveryConfig,
-    /// `{ĉ_j}`: the last R commands — real when on time, forecast otherwise.
-    history: VecDeque<Vec<f64>>,
-    /// Tick indices (within `history`, oldest = front) holding forecasts,
-    /// kept so late commands can overwrite them.
-    forecast_slots: VecDeque<bool>,
+    /// `{ĉ_j}`: the last R commands — real when on time, forecast
+    /// otherwise — with their forecast flags, in a flat ring.
+    ring: CommandRing,
     /// Forecasts issued since the last on-time delivery.
     consecutive_forecasts: usize,
     /// Fraction of real entries in the window when the current outage
     /// began (drives adaptive damping).
     burst_quality: f64,
     stats: RecoveryStats,
+    /// Forecaster workspace, reused every miss.
+    scratch: ForecastScratch,
+    /// Rebase workspace (anchor prediction + drift), sized `dims`.
+    anchor: Vec<f64>,
+    delta: Vec<f64>,
 }
 
 impl RecoveryEngine {
@@ -239,24 +354,31 @@ impl RecoveryEngine {
             forecaster.dims(),
             "recovery: initial command dimension mismatch"
         );
-        let mut history = VecDeque::with_capacity(forecaster.history_len() + 1);
-        let mut forecast_slots = VecDeque::with_capacity(forecaster.history_len() + 1);
-        history.push_back(initial_command);
-        forecast_slots.push_back(false);
+        let dims = forecaster.dims();
+        let mut ring = CommandRing::new(forecaster.history_len().max(1) + 1, dims);
+        ring.push(&initial_command, false);
         Self {
             forecaster,
             cfg,
-            history,
-            forecast_slots,
+            ring,
             consecutive_forecasts: 0,
             burst_quality: 1.0,
             stats: RecoveryStats::default(),
+            scratch: ForecastScratch::new(),
+            anchor: vec![0.0; dims],
+            delta: vec![0.0; dims],
         }
     }
 
     /// History length `R` of the underlying forecaster.
     pub fn history_len(&self) -> usize {
         self.forecaster.history_len()
+    }
+
+    /// Command dimensionality `d` — the required length of
+    /// [`RecoveryEngine::tick_into`]'s output buffer.
+    pub fn dims(&self) -> usize {
+        self.forecaster.dims()
     }
 
     /// Counters so far.
@@ -283,10 +405,8 @@ impl RecoveryEngine {
             self.forecaster.dims(),
             "recovery: initial command dimension mismatch"
         );
-        self.history.clear();
-        self.forecast_slots.clear();
-        self.history.push_back(initial_command);
-        self.forecast_slots.push_back(false);
+        self.ring.clear();
+        self.ring.push(&initial_command, false);
         self.consecutive_forecasts = 0;
         self.burst_quality = 1.0;
         self.stats = RecoveryStats::default();
@@ -307,8 +427,10 @@ impl RecoveryEngine {
         Ok(EngineSnapshot {
             forecaster,
             config: self.cfg.clone(),
-            history: self.history.iter().cloned().collect(),
-            forecast_slots: self.forecast_slots.iter().copied().collect(),
+            // The ring serialises through the existing row-per-command
+            // snapshot shape — the on-disk format is unchanged.
+            history: self.ring.view().to_rows(),
+            forecast_slots: (0..self.ring.len()).map(|i| self.ring.flag(i)).collect(),
             consecutive_forecasts: self.consecutive_forecasts,
             burst_quality: self.burst_quality,
             stats: self.stats,
@@ -349,23 +471,51 @@ impl RecoveryEngine {
                 bad.len()
             )));
         }
+        let mut ring = CommandRing::new(forecaster.history_len().max(1) + 1, dims);
+        for (row, &flag) in snap.history.iter().zip(&snap.forecast_slots) {
+            ring.push(row, flag);
+        }
         Ok(Self {
             forecaster,
             cfg: snap.config,
-            history: snap.history.into(),
-            forecast_slots: snap.forecast_slots.into(),
+            ring,
             consecutive_forecasts: snap.consecutive_forecasts,
             burst_quality: snap.burst_quality,
             stats: snap.stats,
+            scratch: ForecastScratch::new(),
+            anchor: vec![0.0; dims],
+            delta: vec![0.0; dims],
         })
     }
 
-    /// One period tick.
+    /// One period tick (allocating compatibility wrapper around
+    /// [`RecoveryEngine::tick_into`]).
     ///
     /// `arrived` is `Some(c_i)` when the network delivered the command
     /// within `Ω + τ`, `None` otherwise. Returns what to inject into the
     /// robot drivers.
     pub fn tick(&mut self, arrived: Option<Vec<f64>>) -> TickOutcome {
+        let mut command = vec![0.0; self.forecaster.dims()];
+        let forecast = self.tick_into(arrived.as_deref(), &mut command);
+        TickOutcome { command, forecast }
+    }
+
+    /// One period tick on the **zero-allocation** path: the injected
+    /// command is written into the caller-owned `out` buffer and the
+    /// return value is its forecast flag ([`TickOutcome::forecast`]).
+    ///
+    /// Outputs are bit-identical to [`RecoveryEngine::tick`]; what
+    /// changes is the cost model — no history clone, no per-tick `Vec`:
+    /// deliveries copy into the ring, misses forecast through
+    /// [`Forecaster::forecast_into`] with engine-owned scratch. The
+    /// only allocator traffic left on a miss is whatever a forecaster
+    /// without a native `forecast_into` (seq2seq) does in its shim.
+    pub fn tick_into(&mut self, arrived: Option<&[f64]>, out: &mut [f64]) -> bool {
+        assert_eq!(
+            out.len(),
+            self.forecaster.dims(),
+            "recovery: output dim mismatch"
+        );
         self.stats.ticks += 1;
         match arrived {
             Some(cmd) => {
@@ -376,75 +526,64 @@ impl RecoveryEngine {
                 );
                 self.stats.delivered += 1;
                 if self.cfg.history_rebase && self.consecutive_forecasts > 0 {
-                    self.rebase_history(&cmd);
+                    self.rebase_history(cmd);
                 }
                 self.consecutive_forecasts = 0;
-                self.push_history(cmd.clone(), false);
-                TickOutcome {
-                    command: cmd,
-                    forecast: false,
-                }
+                self.ring.push(cmd, false);
+                out.copy_from_slice(cmd);
+                false
             }
             None => {
                 let r = self.forecaster.history_len();
-                if self.history.len() < r {
+                if self.ring.len() < r {
                     // Not enough history yet: fall back to the Niryo
                     // behaviour (repeat last) and record it as a forecast
                     // slot so a late command may replace it.
                     self.stats.warmup_repeats += 1;
-                    let last = self.history.back().expect("seeded at construction").clone();
-                    self.push_history(last.clone(), true);
-                    return TickOutcome {
-                        command: last,
-                        forecast: true,
-                    };
+                    out.copy_from_slice(self.ring.back());
+                    self.ring.push(out, true);
+                    return true;
                 }
                 if let Some(cap) = self.cfg.max_consecutive_forecasts {
                     if self.consecutive_forecasts >= cap {
                         // Horizon exhausted: hold the pose instead of
                         // extrapolating further into the unknown.
                         self.stats.horizon_holds += 1;
-                        let last = self.history.back().expect("seeded at construction").clone();
-                        self.push_history(last.clone(), true);
-                        return TickOutcome {
-                            command: last,
-                            forecast: true,
-                        };
+                        out.copy_from_slice(self.ring.back());
+                        self.ring.push(out, true);
+                        return true;
                     }
                 }
-                let window: Vec<Vec<f64>> = self.history.iter().cloned().collect();
-                let mut pred = self.forecaster.forecast(&window);
+                self.forecaster
+                    .forecast_into(&self.ring.view(), &mut self.scratch, out);
                 if let Some(gamma_min) = self.cfg.trend_damping {
                     if self.consecutive_forecasts == 0 {
                         // Outage starts: freeze the window-quality signal.
-                        let real = self.forecast_slots.iter().filter(|&&f| !f).count();
-                        self.burst_quality = real as f64 / self.forecast_slots.len() as f64;
+                        let real = (0..self.ring.len()).filter(|&i| !self.ring.flag(i)).count();
+                        self.burst_quality = real as f64 / self.ring.len() as f64;
                     }
                     let gamma_eff = gamma_min + (1.0 - gamma_min) * self.burst_quality;
                     let factor = gamma_eff.powi(self.consecutive_forecasts as i32);
-                    let last = self.history.back().expect("seeded at construction");
-                    for (v, prev) in pred.iter_mut().zip(last) {
+                    let last = self.ring.back();
+                    for (v, prev) in out.iter_mut().zip(last) {
                         *v = prev + factor * (*v - prev);
                     }
                 }
                 if let Some(step) = self.cfg.max_step {
-                    let last = self.history.back().expect("seeded at construction");
-                    for (v, prev) in pred.iter_mut().zip(last) {
+                    let last = self.ring.back();
+                    for (v, prev) in out.iter_mut().zip(last) {
                         *v = v.clamp(prev - step, prev + step);
                     }
                 }
                 if let Some(limits) = &self.cfg.limits {
-                    for (v, (lo, hi)) in pred.iter_mut().zip(limits) {
+                    for (v, (lo, hi)) in out.iter_mut().zip(limits) {
                         *v = v.clamp(*lo, *hi);
                     }
                 }
                 self.stats.forecasts += 1;
                 self.consecutive_forecasts += 1;
-                self.push_history(pred.clone(), true);
-                TickOutcome {
-                    command: pred,
-                    forecast: true,
-                }
+                self.ring.push(out, true);
+                true
             }
         }
     }
@@ -468,24 +607,25 @@ impl RecoveryEngine {
             None => return false,
         };
         let r = self.forecaster.history_len();
-        if self.history.len() < r || self.consecutive_forecasts < cap {
+        if self.ring.len() < r || self.consecutive_forecasts < cap {
             return false; // warmup or still forecasting
         }
-        if self.history.len() != r.max(1) + 1 {
+        if self.ring.len() != r.max(1) + 1 {
             return false; // window not yet at capacity: a push grows it
         }
-        if self.forecast_slots.iter().any(|&f| !f) {
+        if (0..self.ring.len()).any(|i| !self.ring.flag(i)) {
             return false; // a real entry would rotate out of the window
         }
-        let held = self.history.back().expect("seeded at construction");
-        self.history
+        let held = self.ring.back();
+        self.ring
+            .view()
             .iter()
             .all(|c| c.iter().zip(held).all(|(a, b)| a.to_bits() == b.to_bits()))
     }
 
     /// The command a hold tick would re-issue (the back of the history).
     pub fn held_command(&self) -> &[f64] {
-        self.history.back().expect("seeded at construction")
+        self.ring.back()
     }
 
     /// Replays the bookkeeping of `n` consecutive idle hold ticks without
@@ -512,12 +652,12 @@ impl RecoveryEngine {
     /// so subsequent forecasts are seeded with truth.
     ///
     /// Returns true when the history was patched.
-    pub fn late_command(&mut self, cmd: Vec<f64>, age: usize) -> bool {
-        if !self.cfg.use_late_commands || age == 0 || age > self.history.len() {
+    pub fn late_command(&mut self, cmd: &[f64], age: usize) -> bool {
+        if !self.cfg.use_late_commands || age == 0 || age > self.ring.len() {
             return false;
         }
-        let idx = self.history.len() - age;
-        if !self.forecast_slots[idx] {
+        let idx = self.ring.len() - age;
+        if !self.ring.flag(idx) {
             return false; // slot already holds a real command
         }
         assert_eq!(
@@ -525,8 +665,7 @@ impl RecoveryEngine {
             self.forecaster.dims(),
             "recovery: late command dim mismatch"
         );
-        self.history[idx] = cmd;
-        self.forecast_slots[idx] = false;
+        self.ring.set_row(idx, cmd, false);
         self.stats.late_patches += 1;
         true
     }
@@ -536,11 +675,9 @@ impl RecoveryEngine {
     /// step prediction rather than the accumulated drift.
     fn rebase_history(&mut self, incoming: &[f64]) {
         // Length of the trailing forecast run (bounded by stored history).
-        let run = self
-            .forecast_slots
-            .iter()
+        let run = (0..self.ring.len())
             .rev()
-            .take_while(|&&f| f)
+            .take_while(|&i| self.ring.flag(i))
             .count()
             .min(self.consecutive_forecasts);
         if run == 0 {
@@ -549,28 +686,20 @@ impl RecoveryEngine {
         // Drift = incoming − what the recursion would have said for this
         // tick. Predict only when the window suffices; otherwise align the
         // segment end to the incoming command directly.
-        let window: Vec<Vec<f64>> = self.history.iter().cloned().collect();
-        let anchor = if window.len() >= self.forecaster.history_len() {
-            self.forecaster.forecast(&window)
+        if self.ring.len() >= self.forecaster.history_len() {
+            self.forecaster
+                .forecast_into(&self.ring.view(), &mut self.scratch, &mut self.anchor);
         } else {
-            self.history.back().expect("seeded at construction").clone()
-        };
-        let delta: Vec<f64> = incoming.iter().zip(&anchor).map(|(c, a)| c - a).collect();
-        let len = self.history.len();
+            self.anchor.copy_from_slice(self.ring.back());
+        }
+        for (dst, (c, a)) in self.delta.iter_mut().zip(incoming.iter().zip(&self.anchor)) {
+            *dst = c - a;
+        }
+        let len = self.ring.len();
         for idx in len - run..len {
-            for (v, d) in self.history[idx].iter_mut().zip(&delta) {
+            for (v, d) in self.ring.row_mut(idx).iter_mut().zip(&self.delta) {
                 *v += d;
             }
-        }
-    }
-
-    fn push_history(&mut self, cmd: Vec<f64>, is_forecast: bool) {
-        let cap = self.forecaster.history_len().max(1) + 1;
-        self.history.push_back(cmd);
-        self.forecast_slots.push_back(is_forecast);
-        while self.history.len() > cap {
-            self.history.pop_front();
-            self.forecast_slots.pop_front();
         }
     }
 }
@@ -678,7 +807,7 @@ mod tests {
         e.tick(Some(vec![1.0, 1.0]));
         e.tick(Some(vec![2.0, 2.0]));
         e.tick(None);
-        assert!(!e.late_command(vec![9.0, 9.0], 1));
+        assert!(!e.late_command(&[9.0, 9.0], 1));
         assert_eq!(e.stats().late_patches, 0);
     }
 
@@ -695,7 +824,7 @@ mod tests {
         e.tick(Some(vec![1.0, 1.0]));
         e.tick(Some(vec![3.0, 3.0]));
         e.tick(None); // forecast = (2,2) stored in history
-        assert!(e.late_command(vec![5.0, 5.0], 1)); // truth arrives late
+        assert!(e.late_command(&[5.0, 5.0], 1)); // truth arrives late
         assert_eq!(e.stats().late_patches, 1);
         // Next forecast uses (3,5) not (3,2).
         let out = e.tick(None);
@@ -781,7 +910,7 @@ mod tests {
         );
         e.tick(Some(vec![1.0, 1.0]));
         assert!(
-            !e.late_command(vec![9.0, 9.0], 1),
+            !e.late_command(&[9.0, 9.0], 1),
             "real command must not be overwritten"
         );
     }

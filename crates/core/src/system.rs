@@ -80,6 +80,8 @@ pub fn run_closed_loop(
     // Late commands waiting to (maybe) patch FoReCo's history: (arrival
     // time, tick index, payload).
     let mut pending_late: Vec<(f64, usize, Vec<f64>)> = Vec::new();
+    // Reusable output buffer for the engine's zero-allocation tick path.
+    let mut injected = vec![0.0; start.len()];
     for (i, (cmd, fate)) in commands.iter().zip(fates).enumerate() {
         let now = (i as f64 + 1.0) * omega; // driver consumption instant
         match &mut mode {
@@ -97,22 +99,22 @@ pub fn run_closed_loop(
                 pending_late.retain(|(arrives, idx, payload)| {
                     if *arrives <= now {
                         let age = i.saturating_sub(*idx);
-                        engine.late_command(payload.clone(), age);
+                        engine.late_command(payload, age);
                         false
                     } else {
                         true
                     }
                 });
-                let outcome = if fate.on_time() {
-                    engine.tick(Some(cmd.clone()))
+                if fate.on_time() {
+                    engine.tick_into(Some(cmd), &mut injected);
                 } else {
                     misses += 1;
                     if let Arrival::Late(delay) = fate {
                         pending_late.push((i as f64 * omega + delay, i, cmd.clone()));
                     }
-                    engine.tick(None)
-                };
-                driver.tick(Some(&outcome.command));
+                    engine.tick_into(None, &mut injected);
+                }
+                driver.tick(Some(&injected));
             }
         }
     }

@@ -76,6 +76,33 @@ impl Forecaster for Holt {
         out
     }
 
+    fn forecast_into(
+        &self,
+        history: &crate::HistoryView<'_>,
+        _scratch: &mut crate::ForecastScratch,
+        out: &mut [f64],
+    ) {
+        assert!(
+            history.len() >= self.r,
+            "Holt: need {} commands, got {}",
+            self.r,
+            history.len()
+        );
+        assert_eq!(history.dims(), self.dims, "Holt: dimension mismatch");
+        assert_eq!(out.len(), self.dims, "Holt: output dimension mismatch");
+        let window = history.suffix(self.r);
+        for (k, slot) in out.iter_mut().enumerate() {
+            let mut level = window.row(0)[k];
+            let mut trend = window.row(1)[k] - window.row(0)[k];
+            for i in 1..self.r {
+                let prev_level = level;
+                level = self.alpha * window.row(i)[k] + (1.0 - self.alpha) * (level + trend);
+                trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+            }
+            *slot = level + trend;
+        }
+    }
+
     fn history_len(&self) -> usize {
         self.r
     }

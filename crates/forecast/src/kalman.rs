@@ -73,16 +73,23 @@ impl KalmanCv {
     /// Runs the filter over one joint's window; returns predicted next
     /// position.
     fn filter_joint(&self, series: &[f64]) -> f64 {
+        self.filter_joint_from(series.iter().copied())
+    }
+
+    /// Iterator form of [`KalmanCv::filter_joint`] — the same arithmetic
+    /// in the same order, streamed so the zero-allocation forecast path
+    /// needs no per-joint series buffer.
+    fn filter_joint_from(&self, mut series: impl Iterator<Item = f64>) -> f64 {
         let dt = self.period;
         // State [pos, vel], covariance P.
-        let mut x = [series[0], 0.0];
+        let mut x = [series.next().expect("Kalman: empty window"), 0.0];
         let mut p = [[1.0, 0.0], [0.0, 1.0]]; // generous prior
                                               // Discrete white-noise-acceleration process covariance.
         let q11 = self.process_noise * dt * dt * dt / 3.0;
         let q12 = self.process_noise * dt * dt / 2.0;
         let q22 = self.process_noise * dt;
         let rm = self.measurement_noise;
-        for &z in &series[1..] {
+        for z in series {
             // Predict: x ← F x, P ← F P Fᵀ + Q.
             let xp = [x[0] + dt * x[1], x[1]];
             let p00 = p[0][0] + dt * (p[1][0] + p[0][1]) + dt * dt * p[1][1] + q11;
@@ -126,6 +133,26 @@ impl Forecaster for KalmanCv {
                 self.filter_joint(&series)
             })
             .collect()
+    }
+
+    fn forecast_into(
+        &self,
+        history: &crate::HistoryView<'_>,
+        _scratch: &mut crate::ForecastScratch,
+        out: &mut [f64],
+    ) {
+        assert!(
+            history.len() >= self.r,
+            "Kalman: need {} commands, got {}",
+            self.r,
+            history.len()
+        );
+        assert_eq!(history.dims(), self.dims, "Kalman: dimension mismatch");
+        assert_eq!(out.len(), self.dims, "Kalman: output dimension mismatch");
+        let window = history.suffix(self.r);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.filter_joint_from(window.iter().map(|c| c[k]));
+        }
     }
 
     fn history_len(&self) -> usize {

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod history;
 mod holt;
 mod kalman;
 mod ma;
@@ -32,6 +33,7 @@ pub mod state;
 mod var;
 mod varma;
 
+pub use history::{ForecastScratch, HistoryView};
 pub use holt::Holt;
 pub use kalman::KalmanCv;
 pub use ma::MovingAverage;
@@ -64,11 +66,41 @@ pub trait Forecaster: Send + Sync {
     /// Short display name for reports.
     fn name(&self) -> &'static str;
 
+    /// Allocation-free forecast: predicts the next command from a
+    /// borrowed [`HistoryView`] into a caller-owned `out` buffer, using
+    /// `scratch` for any intermediate rows.
+    ///
+    /// **Contract: bit-identical to [`Forecaster::forecast`]** on the
+    /// same rows — the recovery engine's hot path calls this, and the
+    /// service determinism suites (snapshot round-trip, shard
+    /// invariance, golden vectors) pin the outputs, so an implementation
+    /// must perform the same floating-point operations in the same
+    /// order. The in-tree forecasters (MA, Holt, Kalman, VAR, VARMA)
+    /// override it with zero-allocation implementations; the default
+    /// shims through the allocating method for forecasters that don't
+    /// (e.g. seq2seq).
+    ///
+    /// # Panics
+    /// Same preconditions as [`Forecaster::forecast`], plus
+    /// `out.len() == dims()`.
+    fn forecast_into(
+        &self,
+        history: &HistoryView<'_>,
+        scratch: &mut ForecastScratch,
+        out: &mut [f64],
+    ) {
+        let _ = scratch;
+        let pred = self.forecast(&history.to_rows());
+        out.copy_from_slice(&pred);
+    }
+
     /// Serialisable description of this forecaster for session
     /// snapshots, or `None` when the forecaster cannot be checkpointed
     /// (the default — see [`state`] for which types support it).
     /// Wrappers (shared handles, adapters) must delegate to the inner
-    /// forecaster or their sessions become unsnapshotable.
+    /// forecaster or their sessions become unsnapshotable — and should
+    /// delegate [`Forecaster::forecast_into`] too, or their sessions
+    /// fall back to the allocating shim on every miss.
     fn export_state(&self) -> Option<ForecasterState> {
         None
     }

@@ -46,6 +46,31 @@ impl Forecaster for MovingAverage {
         mean
     }
 
+    fn forecast_into(
+        &self,
+        history: &crate::HistoryView<'_>,
+        _scratch: &mut crate::ForecastScratch,
+        out: &mut [f64],
+    ) {
+        assert!(
+            history.len() >= self.r,
+            "MA: need {} commands, got {}",
+            self.r,
+            history.len()
+        );
+        assert_eq!(history.dims(), self.dims, "MA: dimension mismatch");
+        assert_eq!(out.len(), self.dims, "MA: output dimension mismatch");
+        out.fill(0.0);
+        for cmd in history.suffix(self.r).iter() {
+            for (m, c) in out.iter_mut().zip(cmd) {
+                *m += c;
+            }
+        }
+        for m in out {
+            *m /= self.r as f64;
+        }
+    }
+
     fn history_len(&self) -> usize {
         self.r
     }

@@ -225,14 +225,26 @@ impl Var {
 
 impl Var {
     /// Applies the linear map to an R-window of the regression series.
-    #[allow(clippy::needless_range_loop)] // k walks out[] against beta columns
     fn regress(&self, window: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dims];
+        self.regress_rows(window.iter().map(Vec::as_slice), &mut out);
+        out
+    }
+
+    /// In-place form of the eq.-5 linear map over an iterator of lag
+    /// rows (oldest first): `out = b + Σ w·row`, accumulated in exactly
+    /// the historical operation order (bias init, then lag-major /
+    /// joint-minor terms, zero regressors skipped) so callers stay
+    /// bit-identical to the allocating path. Shared with VARMA's
+    /// stage-1 residual rebuild.
+    #[allow(clippy::needless_range_loop)] // k walks out[] against beta columns
+    pub(crate) fn regress_rows<'a>(&self, rows: impl Iterator<Item = &'a [f64]>, out: &mut [f64]) {
         let d = self.dims;
-        let mut out = vec![0.0; d];
+        assert_eq!(out.len(), d, "VAR: output dimension mismatch");
         for k in 0..d {
             out[k] = self.beta[(0, k)];
         }
-        for (lag, cmd) in window.iter().enumerate() {
+        for (lag, cmd) in rows.enumerate() {
             assert_eq!(cmd.len(), d, "VAR: dimension mismatch");
             for (l, &v) in cmd.iter().enumerate() {
                 if v == 0.0 {
@@ -244,7 +256,6 @@ impl Var {
                 }
             }
         }
-        out
     }
 }
 
@@ -284,6 +295,64 @@ impl Forecaster for Var {
                     .zip(&delta)
                     .map(|(c, dv)| c + dv)
                     .collect()
+            }
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // k walks out[] against beta columns
+    fn forecast_into(
+        &self,
+        history: &crate::HistoryView<'_>,
+        scratch: &mut crate::ForecastScratch,
+        out: &mut [f64],
+    ) {
+        let need = self.history_len();
+        assert!(
+            history.len() >= need,
+            "VAR: need {} commands, got {}",
+            need,
+            history.len()
+        );
+        match self.mode {
+            VarMode::Levels => {
+                self.regress_rows(history.suffix(self.r).iter(), out);
+            }
+            VarMode::Differences => {
+                // Differences of the last R+1 commands, predict the next
+                // difference, integrate onto the last command — each diff
+                // row built in the caller-owned scratch instead of a
+                // collected Vec<Vec<f64>>, same arithmetic order.
+                let d = self.dims;
+                assert_eq!(out.len(), d, "VAR: output dimension mismatch");
+                let tail = history.suffix(self.r + 1);
+                assert_eq!(tail.dims(), d, "VAR: dimension mismatch");
+                let clamp = self.diff_clamp.unwrap_or(f64::INFINITY);
+                let diff = scratch.buf(d);
+                for k in 0..d {
+                    out[k] = self.beta[(0, k)];
+                }
+                for lag in 0..self.r {
+                    let (prev, next) = (tail.row(lag), tail.row(lag + 1));
+                    for l in 0..d {
+                        diff[l] = (next[l] - prev[l]).clamp(-clamp, clamp);
+                    }
+                    for (l, &v) in diff.iter().enumerate() {
+                        if v == 0.0 {
+                            continue;
+                        }
+                        let row = 1 + lag * d + l;
+                        for k in 0..d {
+                            out[k] += v * self.beta[(row, k)];
+                        }
+                    }
+                }
+                let last = tail.row(self.r);
+                // Keeps the legacy `c + dv` operand order: `*v += c`
+                // would swap it, which flips NaN payload selection.
+                #[allow(clippy::assign_op_pattern)]
+                for (v, c) in out.iter_mut().zip(last) {
+                    *v = c + *v;
+                }
             }
         }
     }

@@ -144,6 +144,60 @@ impl Forecaster for Varma {
         out
     }
 
+    #[allow(clippy::needless_range_loop)] // k walks out[] against beta columns
+    fn forecast_into(
+        &self,
+        history: &crate::HistoryView<'_>,
+        scratch: &mut crate::ForecastScratch,
+        out: &mut [f64],
+    ) {
+        let need = self.history_len();
+        assert!(
+            history.len() >= need,
+            "VARMA: need {} commands, got {}",
+            need,
+            history.len()
+        );
+        let d = self.dims;
+        assert_eq!(history.dims(), d, "VARMA: dimension mismatch");
+        assert_eq!(out.len(), d, "VARMA: output dimension mismatch");
+        // Rebuild residuals over the window with the stage-1 VAR, rows
+        // landing in the caller-owned scratch: residual j is the stage-1
+        // one-step error at tail row r+j, predicted from rows j..j+r.
+        let tail = history.suffix(need);
+        let (residuals, pred) = scratch.pair(self.q * d, d);
+        for j in 0..self.q {
+            self.stage1
+                .regress_rows(tail.range(j, j + self.r).iter(), pred);
+            let target = tail.row(self.r + j);
+            for l in 0..d {
+                residuals[j * d + l] = target[l] - pred[l];
+            }
+        }
+
+        for k in 0..d {
+            out[k] = self.beta[(0, k)];
+        }
+        for lag in 0..self.r {
+            let cmd = tail.row(self.q + lag);
+            for (l, &v) in cmd.iter().enumerate() {
+                let row = 1 + lag * d + l;
+                for k in 0..d {
+                    out[k] += v * self.beta[(row, k)];
+                }
+            }
+        }
+        for lag in 0..self.q {
+            let res = &residuals[lag * d..(lag + 1) * d];
+            for (l, &v) in res.iter().enumerate() {
+                let row = 1 + d * self.r + lag * d + l;
+                for k in 0..d {
+                    out[k] += v * self.beta[(row, k)];
+                }
+            }
+        }
+    }
+
     fn history_len(&self) -> usize {
         // Need r commands for the AR part plus enough extra to rebuild q
         // residuals (each residual needs an r-window before it).

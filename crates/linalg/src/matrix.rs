@@ -190,10 +190,24 @@ impl Matrix {
     /// # Panics
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// In-place matrix-vector product `out = self * v` — the
+    /// allocation-free form hot paths reuse a caller-owned buffer with.
+    /// Row `i` of the result is the same `dot(row(i), v)` the allocating
+    /// [`Matrix::matvec`] computes, so the two are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
         assert_eq!(v.len(), self.cols, "matvec: shape mismatch");
-        (0..self.rows)
-            .map(|i| crate::vector::dot(self.row(i), v))
-            .collect()
+        assert_eq!(out.len(), self.rows, "matvec: output shape mismatch");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = crate::vector::dot(self.row(i), v);
+        }
     }
 
     /// `selfᵀ * self`, the Gram matrix, computed without forming the
@@ -426,6 +440,17 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let v = vec![5.0, 6.0];
         assert_eq!(a.matvec(&v), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_bitwise() {
+        let a = Matrix::from_rows(&[&[0.1, -2.7, 3.3], &[1e-9, 4.0, -0.0]]);
+        let v = vec![5.21, -6.04, 0.33];
+        let mut out = vec![9.9; 2]; // stale contents must be overwritten
+        a.matvec_into(&v, &mut out);
+        for (x, y) in out.iter().zip(a.matvec(&v)) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -170,9 +170,9 @@ impl RobotDriver {
         let fresh = command.is_some();
         if let Some(cmd) = command {
             assert_eq!(cmd.len(), self.model.dof(), "tick: joint count mismatch");
-            // Commands outside the joint limits are clamped, as the real
-            // driver would refuse to exceed them.
-            self.last_command = self.model.clamp(cmd);
+            // Commands outside the joint limits are clamped in place, as
+            // the real driver would refuse to exceed them.
+            self.model.clamp_into(cmd, &mut self.last_command);
         }
         let dt = self.cfg.period;
         for i in 0..self.joints.len() {
@@ -184,18 +184,24 @@ impl RobotDriver {
         let position_mm = self.model.chain.forward_mm(&self.joints);
         let distance_mm =
             (position_mm[0].powi(2) + position_mm[1].powi(2) + position_mm[2].powi(2)).sqrt();
-        let sample = Sample {
-            t: self.t,
-            joints: self.joints.clone(),
-            position_mm,
-            distance_mm,
-            fresh_command: fresh,
-        };
         if self.record {
-            self.trail.push(sample);
+            self.trail.push(Sample {
+                t: self.t,
+                joints: self.joints.clone(),
+                position_mm,
+                distance_mm,
+                fresh_command: fresh,
+            });
             self.trail.last().expect("just pushed")
         } else {
-            self.scratch = sample;
+            // Service sessions run with recording off at a hard 50 Hz per
+            // operator: refresh the reusable scratch sample in place so
+            // the tick performs zero heap allocations.
+            self.scratch.t = self.t;
+            self.scratch.joints.copy_from_slice(&self.joints);
+            self.scratch.position_mm = position_mm;
+            self.scratch.distance_mm = distance_mm;
+            self.scratch.fresh_command = fresh;
             &self.scratch
         }
     }
@@ -226,11 +232,13 @@ impl RobotDriver {
             }
             // tick() would overwrite last_command with the clamped
             // incoming command; identity needs that write to be a no-op.
-            let clamped = self.model.clamp(cmd);
-            if clamped
+            // Compared element-wise (no materialised clamp vector): this
+            // check runs on the per-tick wake-hint path.
+            if cmd
                 .iter()
+                .zip(&self.model.limits)
                 .zip(&self.last_command)
-                .any(|(a, b)| a.to_bits() != b.to_bits())
+                .any(|((qi, l), held)| l.clamp(*qi).to_bits() != held.to_bits())
             {
                 return false;
             }

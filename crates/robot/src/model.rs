@@ -68,10 +68,23 @@ impl ArmModel {
     /// Panics on joint-count mismatch.
     pub fn clamp(&self, q: &[f64]) -> Vec<f64> {
         assert_eq!(q.len(), self.dof(), "clamp: joint count mismatch");
-        q.iter()
-            .zip(&self.limits)
-            .map(|(qi, l)| l.clamp(*qi))
-            .collect()
+        let mut out = vec![0.0; q.len()];
+        self.clamp_into(q, &mut out);
+        out
+    }
+
+    /// In-place form of [`ArmModel::clamp`]: writes the clamped vector
+    /// into a caller-owned buffer so per-tick paths (the driver loop)
+    /// stay allocation-free. Values are bit-identical to `clamp`.
+    ///
+    /// # Panics
+    /// Panics on joint-count mismatch (input or output).
+    pub fn clamp_into(&self, q: &[f64], out: &mut [f64]) {
+        assert_eq!(q.len(), self.dof(), "clamp: joint count mismatch");
+        assert_eq!(out.len(), self.dof(), "clamp: output count mismatch");
+        for ((dst, qi), l) in out.iter_mut().zip(q).zip(&self.limits) {
+            *dst = l.clamp(*qi);
+        }
     }
 
     /// True when every coordinate lies within its limit.

@@ -33,6 +33,7 @@ use foreco_core::{EngineStateError, RecoveryEngine, RecoveryStats};
 use foreco_robot::{ArmModel, DriverState, RobotDriver};
 use foreco_teleop::Dataset;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// How many fates a streamed session draws from its channel per batch.
@@ -138,6 +139,9 @@ pub struct Session {
     /// Late commands waiting to (maybe) patch FoReCo's history:
     /// (arrival time, tick index, payload) — §VII-C.
     pending_late: Vec<(f64, usize, Vec<f64>)>,
+    /// Reusable buffer the engine's zero-allocation tick writes the
+    /// injected command into (sized `dof`, lives for the session).
+    injected: Vec<f64>,
     clock: VirtualClock,
     omega: f64,
     misses: usize,
@@ -207,6 +211,7 @@ impl Session {
         Self {
             id: spec.id,
             source,
+            injected: vec![0.0; model.dof()],
             engine: spec.recovery.build(start),
             reference,
             executed,
@@ -287,15 +292,28 @@ impl Session {
     }
 
     /// Advances one virtual tick.
+    ///
+    /// This is the service's hot path: in steady state (scripted replay
+    /// or a live command already queued) it performs **zero heap
+    /// allocations** — scripted commands are borrowed straight from the
+    /// shared script, the engine ticks through
+    /// [`RecoveryEngine::tick_into`] into the session-owned `injected`
+    /// buffer, and both drivers update in place. The remaining
+    /// allocator traffic is bounded and off the steady path: inbox
+    /// hand-offs (owned at offer time), a fate-chunk refill every
+    /// [`FATE_CHUNK`] streamed deliveries, and §VII-C pending-late
+    /// bookkeeping.
     pub fn advance(&mut self) -> Advance {
-        // What does this tick deliver? `None` = deadline miss.
-        let (delivered, fate, exhausted) = match &mut self.source {
+        // What does this tick deliver? `None` = deadline miss. Scripted
+        // sessions borrow the command; live sources hand over the owned
+        // buffer their offer already allocated.
+        let (delivered, fate): (Option<Cow<'_, [f64]>>, Arrival) = match &mut self.source {
             Source::Scripted { commands, fates } => {
                 let i = self.clock.tick() as usize;
                 if i >= commands.len() {
                     return Advance::Completed(Box::new(self.report()));
                 }
-                (Some(commands[i].clone()), fates[i], false)
+                (Some(Cow::Borrowed(commands[i].as_slice())), fates[i])
             }
             Source::Streamed {
                 inbox,
@@ -310,12 +328,17 @@ impl Session {
                             fate_buf.extend(channel.fates(FATE_CHUNK));
                         }
                         let fate = fate_buf.pop_front().expect("chunk refilled above");
-                        (Some(cmd), fate, false)
+                        (Some(Cow::Owned(cmd)), fate)
                     }
                     // An empty inbox at tick time is itself the miss: the
                     // operator (or the backpressure drop) left this slot
                     // unfilled.
-                    None => (None, Arrival::Lost, *closing),
+                    None => {
+                        if *closing {
+                            return Advance::Completed(Box::new(self.report()));
+                        }
+                        (None, Arrival::Lost)
+                    }
                 }
             }
             Source::Gated {
@@ -330,7 +353,7 @@ impl Session {
                     // history and keep looking for a tick-consuming slot.
                     Some(GatedSlot::Late { command, age }) => {
                         if let Some(engine) = &mut self.engine {
-                            engine.late_command(command, age);
+                            engine.late_command(&command, age);
                         }
                     }
                     Some(GatedSlot::Command(cmd)) => {
@@ -338,11 +361,11 @@ impl Session {
                             fate_buf.extend(channel.fates(FATE_CHUNK));
                         }
                         let fate = fate_buf.pop_front().expect("chunk refilled above");
-                        break (Some(cmd), fate, false);
+                        break (Some(Cow::Owned(cmd)), fate);
                     }
                     // The wire's explicit loss verdict for this slot
                     // (take() always yields single-slot units).
-                    Some(GatedSlot::Miss { .. }) => break (None, Arrival::Lost, false),
+                    Some(GatedSlot::Miss { .. }) => break (None, Arrival::Lost),
                     // No verdict yet is *not* a miss: virtual time
                     // suspends until the gateway enqueues one (or the
                     // session closes).
@@ -355,9 +378,6 @@ impl Session {
                 }
             },
         };
-        if exhausted {
-            return Advance::Completed(Box::new(self.report()));
-        }
 
         let i = self.clock.tick() as usize;
         let now = (i as f64 + 1.0) * self.omega; // driver consumption instant
@@ -375,7 +395,7 @@ impl Session {
         let exec_pos = match &mut self.engine {
             None => {
                 // Baseline: repeat-last on every miss.
-                let sample = match (&delivered, fate.on_time()) {
+                let sample = match (delivered.as_deref(), fate.on_time()) {
                     (Some(cmd), true) => self.executed.tick(Some(cmd)),
                     _ => {
                         self.misses += 1;
@@ -387,18 +407,23 @@ impl Session {
             Some(engine) => {
                 // Deliver late commands that have arrived by now (§VII-C).
                 pending_late_drain(&mut self.pending_late, engine, now, i);
-                let outcome = match (delivered, fate.on_time()) {
-                    (Some(cmd), true) => engine.tick(Some(cmd)),
+                match (delivered, fate.on_time()) {
+                    (Some(cmd), true) => {
+                        engine.tick_into(Some(&cmd), &mut self.injected);
+                    }
                     (delivered, _) => {
                         self.misses += 1;
                         if let (Some(cmd), Arrival::Late(delay)) = (delivered, fate) {
-                            self.pending_late
-                                .push((i as f64 * self.omega + delay, i, cmd));
+                            self.pending_late.push((
+                                i as f64 * self.omega + delay,
+                                i,
+                                cmd.into_owned(),
+                            ));
                         }
-                        engine.tick(None)
+                        engine.tick_into(None, &mut self.injected);
                     }
-                };
-                self.executed.tick(Some(&outcome.command)).position_mm
+                }
+                self.executed.tick(Some(&self.injected)).position_mm
             }
         };
 
@@ -810,6 +835,7 @@ impl Session {
             id: snap.id,
             source,
             engine,
+            injected: vec![0.0; model.dof()],
             reference: RobotDriver::from_state(model.clone(), snap.driver, &snap.reference),
             executed: RobotDriver::from_state(model.clone(), snap.driver, &snap.executed),
             pending_late: snap.pending_late.clone(),
@@ -878,7 +904,7 @@ fn pending_late_drain(
     pending.retain(|(arrives, idx, payload)| {
         if *arrives <= now {
             let age = i.saturating_sub(*idx);
-            engine.late_command(payload.clone(), age);
+            engine.late_command(payload, age);
             false
         } else {
             true

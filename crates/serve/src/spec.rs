@@ -57,6 +57,19 @@ impl Forecaster for SharedForecaster {
         self.inner.forecast(history)
     }
 
+    fn forecast_into(
+        &self,
+        history: &foreco_forecast::HistoryView<'_>,
+        scratch: &mut foreco_forecast::ForecastScratch,
+        out: &mut [f64],
+    ) {
+        // Delegation matters here too: falling through to the trait
+        // default would re-materialise the history on every forecast,
+        // silently undoing the zero-allocation hot path for every
+        // session sharing this forecaster.
+        self.inner.forecast_into(history, scratch, out)
+    }
+
     fn history_len(&self) -> usize {
         self.inner.history_len()
     }

@@ -121,6 +121,35 @@
 //! gateway.shutdown();
 //! ```
 //!
+//! # The zero-allocation hot path
+//!
+//! A session tick is the service's innermost loop — at 50 Hz per
+//! operator it runs millions of times per second across a fleet — so
+//! the steady-state tick performs **zero heap allocations**: the
+//! recovery engine keeps its history in a flat ring buffer and
+//! forecasts through [`forecast::Forecaster::forecast_into`], which
+//! writes into a caller-owned buffer against a borrowed
+//! [`forecast::HistoryView`] window (scratch space comes from a
+//! reusable [`forecast::ForecastScratch`]). The allocating
+//! `Forecaster::forecast` / `RecoveryEngine::tick` APIs remain as thin
+//! wrappers, bit-identical by contract (pinned by the
+//! `crates/forecast/tests/forecast_into.rs` property suite; the zero
+//! figure itself is pinned by `tests/hot_path_allocs.rs`):
+//!
+//! ```
+//! use foreco::prelude::*;
+//!
+//! let var = {
+//!     let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+//!     Var::fit_differenced(&train, 5, 1e-6).unwrap()
+//! };
+//! let hist: Vec<f64> = (0..12).flat_map(|i| vec![0.01 * i as f64; 6]).collect();
+//! let view = HistoryView::contiguous(&hist, 6);
+//! let (mut scratch, mut pred) = (ForecastScratch::new(), vec![0.0; 6]);
+//! var.forecast_into(&view, &mut scratch, &mut pred); // no allocation
+//! assert_eq!(pred, var.forecast(&view.to_rows()));   // same bits
+//! ```
+//!
 //! # Checkpointing sessions
 //!
 //! Recovery is stateful, so a production service must be able to carry
@@ -181,8 +210,8 @@ pub mod prelude {
         RecoveryStats,
     };
     pub use foreco_forecast::{
-        forecast_horizon, Forecaster, Holt, KalmanCv, MovingAverage, Seq2SeqForecaster, Var,
-        VarMode, Varma,
+        forecast_horizon, ForecastScratch, Forecaster, HistoryView, Holt, KalmanCv, MovingAverage,
+        Seq2SeqForecaster, Var, VarMode, Varma,
     };
     pub use foreco_net::{
         ClientConfig, Gateway, GatewayConfig, IngressConfig, NetClient, NetError, TcpControl,

@@ -1,0 +1,269 @@
+//! The hot-path memory-discipline contract: a steady-state session tick
+//! performs **zero heap allocations**.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator with a
+//! per-thread allocation counter (per-thread so the harness's parallel
+//! test threads cannot pollute each other's measurements). Each test
+//! warms a recovery loop past its first-use growth (forecast scratch,
+//! fate chunk, PID transient) and then asserts the allocation delta of
+//! every subsequent tick:
+//!
+//! - `RecoveryEngine::tick_into` — 0 allocations on both the delivery
+//!   and the miss (forecast) path for MA, Holt, Kalman-CV, and VAR;
+//! - `Session::advance` — 0 allocations per steady-state tick for a
+//!   scripted FoReCo session over a lossy channel (the
+//!   `serve_throughput` workload) and for a starved streamed session
+//!   (the forecast-horizon → hold → park path);
+//! - the bounded paths (fate-chunk refills on live sources, §VII-C
+//!   late-command bookkeeping, VARMA's one-time scratch growth) stay
+//!   under an explicit budget instead of growing per tick.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use foreco::prelude::*;
+use foreco::serve::{Advance, Session};
+
+/// System allocator with a per-thread allocation counter.
+struct CountingAllocator;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocations performed by the calling thread so far.
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // try_with: the counter may be unavailable during thread teardown.
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many allocations it performed.
+fn allocs_during(mut f: impl FnMut()) -> u64 {
+    let before = thread_allocs();
+    f();
+    thread_allocs() - before
+}
+
+/// The zero-allocation forecaster families of the acceptance criteria.
+fn families() -> Vec<(&'static str, Box<dyn Forecaster>)> {
+    let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+    vec![
+        ("MA", Box::new(MovingAverage::new(5, 6))),
+        ("Holt", Box::new(Holt::default_teleop(5, 6))),
+        ("Kalman-CV", Box::new(KalmanCv::default_teleop(5, 6))),
+        (
+            "VAR",
+            Box::new(Var::fit_differenced(&train, 5, 1e-6).expect("fit VAR")),
+        ),
+    ]
+}
+
+/// Engine level: after warmup, neither deliveries nor misses touch the
+/// allocator — the flat ring absorbs pushes in place and forecasts run
+/// through `forecast_into` with engine-owned scratch.
+#[test]
+fn engine_ticks_are_allocation_free_for_all_deployed_families() {
+    let model = niryo_one();
+    let commands = Dataset::record(Skill::Inexperienced, 1, 0.02, 42).commands;
+    for (name, forecaster) in families() {
+        let mut engine = RecoveryEngine::new(
+            forecaster,
+            RecoveryConfig::for_model(&model),
+            model.clamp(&commands[0]),
+        );
+        let mut out = vec![0.0; engine.dims()];
+        // Warmup: fill the window, run one forecast (grows the scratch
+        // high-water mark) and one post-outage delivery (exercises the
+        // rebase buffers).
+        for cmd in &commands[..12] {
+            engine.tick_into(Some(cmd), &mut out);
+        }
+        engine.tick_into(None, &mut out);
+        engine.tick_into(Some(&commands[12]), &mut out);
+        // Steady state: a mix of hits and misses, every tick 0 allocs.
+        for (i, cmd) in commands[13..313].iter().enumerate() {
+            let arrived = if i % 7 < 2 {
+                None
+            } else {
+                Some(cmd.as_slice())
+            };
+            let n = allocs_during(|| {
+                engine.tick_into(arrived, &mut out);
+            });
+            assert_eq!(
+                n,
+                0,
+                "{name}: tick {i} ({} path) allocated {n} times",
+                if arrived.is_some() {
+                    "delivery"
+                } else {
+                    "miss"
+                }
+            );
+        }
+        let stats = engine.stats();
+        assert!(stats.forecasts > 0, "{name}: miss path never ran");
+        assert!(stats.delivered > 0, "{name}: delivery path never ran");
+    }
+}
+
+/// Session level: the full hosted loop (source → engine → both PID
+/// drivers → metrics) on the scripted `serve_throughput` workload is
+/// allocation-free per tick once warm.
+#[test]
+fn scripted_session_advance_is_allocation_free() {
+    let model = niryo_one();
+    let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+    let var = Var::fit_differenced(&train, 5, 1e-6).expect("fit VAR");
+    let replay = std::sync::Arc::new(Dataset::record(Skill::Inexperienced, 2, 0.02, 8).commands);
+    let total = replay.len();
+    let spec = SessionSpec::new(
+        1,
+        SourceSpec::Replayed(replay),
+        ChannelSpec::ControlledLoss {
+            burst_len: 6,
+            burst_prob: 0.02,
+            seed: 9,
+        },
+        RecoverySpec::FoReCo {
+            forecaster: SharedForecaster::new(var),
+            config: RecoveryConfig::for_model(&model),
+        },
+    );
+    let mut session = Session::open(&spec, &model);
+    // Warm through the PID transient, the first loss burst, and the
+    // scratch growth; leave plenty of script to measure.
+    let warmup = total / 4;
+    for _ in 0..warmup {
+        assert!(matches!(session.advance(), Advance::Ticked(_)));
+    }
+    let measured = total / 2;
+    for i in 0..measured {
+        let n = allocs_during(|| {
+            assert!(matches!(session.advance(), Advance::Ticked(_)));
+        });
+        assert_eq!(n, 0, "tick {i} of the scripted session allocated {n} times");
+    }
+}
+
+/// A starved streamed session exercises the other steady state: misses
+/// covered by forecasts, then horizon holds at the idle fixed point
+/// (including the per-tick park-eligibility probing). Still 0 allocs.
+#[test]
+fn starved_streamed_session_is_allocation_free() {
+    let model = niryo_one();
+    let home = model.home();
+    let spec = SessionSpec::new(
+        2,
+        SourceSpec::Streamed {
+            initial: home.clone(),
+            inbox_capacity: 8,
+        },
+        ChannelSpec::Ideal,
+        RecoverySpec::FoReCo {
+            forecaster: SharedForecaster::new(MovingAverage::new(4, home.len())),
+            config: RecoveryConfig::for_model(&model),
+        },
+    );
+    let mut session = Session::open(&spec, &model);
+    // A little live traffic, then starvation through the forecast
+    // horizon (50 ticks) into the hold regime.
+    for _ in 0..4 {
+        session.offer(home.clone());
+        session.advance();
+    }
+    for _ in 0..80 {
+        session.advance();
+    }
+    for i in 0..200 {
+        let n = allocs_during(|| {
+            assert!(matches!(session.advance(), Advance::Ticked(_)));
+        });
+        assert_eq!(n, 0, "starved tick {i} allocated {n} times");
+    }
+}
+
+/// The off-steady paths are *bounded*, not zero: a gated (socket-fed)
+/// session pays one fate-chunk refill per 256 delivered commands and a
+/// small constant for §VII-C late bookkeeping — never O(R·dims) per
+/// tick like the pre-ring engine did.
+#[test]
+fn gated_miss_and_late_paths_stay_within_the_allocation_budget() {
+    let model = niryo_one();
+    let home = model.home();
+    let mut config = RecoveryConfig::for_model(&model);
+    config.use_late_commands = true;
+    let spec = SessionSpec::new(
+        3,
+        SourceSpec::Gated {
+            initial: home.clone(),
+            inbox_capacity: 1024,
+        },
+        ChannelSpec::Ideal,
+        RecoverySpec::FoReCo {
+            forecaster: SharedForecaster::new(MovingAverage::new(4, home.len())),
+            config,
+        },
+    );
+    let mut session = Session::open(&spec, &model);
+    // Queue 600 slots up front (offers own their allocations), mixing
+    // deliveries, wire losses, and late patches.
+    let mut tick_slots = 0u64;
+    for k in 0..600u64 {
+        match k % 9 {
+            3 | 4 => {
+                session.offer_miss();
+                tick_slots += 1;
+            }
+            5 => {
+                let mut cmd = home.clone();
+                cmd[0] += 0.001;
+                session.offer_late(cmd, 2);
+            }
+            _ => {
+                let mut cmd = home.clone();
+                cmd[1] += 0.002 * (k % 3) as f64;
+                session.offer(cmd);
+                tick_slots += 1;
+            }
+        }
+    }
+    let mut total = 0u64;
+    for _ in 0..tick_slots {
+        total += allocs_during(|| {
+            assert!(matches!(session.advance(), Advance::Ticked(_)));
+        });
+    }
+    // Budget: one Vec per 256-slot fate chunk plus slack for the fate
+    // buffer's one-time growth. The old clone-the-window engine would
+    // have spent >1 allocation on every single miss.
+    let budget = tick_slots / 64 + 8;
+    assert!(
+        total <= budget,
+        "draining {tick_slots} gated slots allocated {total} times (budget {budget})"
+    );
+}

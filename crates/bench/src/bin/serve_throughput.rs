@@ -44,7 +44,17 @@
 //! `FORECO_SERVE_HOTPATH_TICKS` (measured hot-path ticks, default 200000),
 //! `FORECO_SERVE_INGRESS_SESSIONS` (default 16),
 //! `FORECO_SERVE_INGRESS_FRAMES` (per-session datagrams, default 1000),
+//! `FORECO_SERVE_DEDUP_SESSIONS` (shared-storage fleet size, default 1024),
+//! `FORECO_SERVE_DEDUP_CYCLES` (shared trace length, default 4),
 //! `FORECO_SERVE_OUT` (output path, default `BENCH_serve.json`).
+//!
+//! The **bytes_per_session** scenario measures the `foreco-store` dedup
+//! win: a fleet of scripted sessions all replaying one trace, reported
+//! as resident source bytes/session (private copies vs store claims)
+//! and bulk checkpoint bytes/session (self-contained snapshots vs one
+//! deduplicated `FleetArchive`), plus the proof that sessions adopted
+//! out of the archive into a fresh service finish **bit-identically**
+//! to their donors (divergence exits non-zero).
 
 use foreco_bench::{banner, env_knob, Fixture};
 use foreco_core::RecoveryConfig;
@@ -60,35 +70,46 @@ use std::cell::Cell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// System allocator with a per-thread allocation counter, so the
-/// hot-path scenario can report allocs/tick alongside ns/tick.
+/// System allocator with per-thread allocation and net-byte counters,
+/// so the hot-path scenario can report allocs/tick alongside ns/tick
+/// and the dedup scenario can report resident source bytes.
 struct CountingAllocator;
 
 thread_local! {
     static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_BYTES: Cell<i64> = const { Cell::new(0) };
 }
 
 fn thread_allocs() -> u64 {
     THREAD_ALLOCS.with(Cell::get)
 }
 
+/// Net heap bytes allocated by the calling thread (allocs − frees).
+fn thread_bytes() -> i64 {
+    THREAD_BYTES.with(Cell::get)
+}
+
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = THREAD_BYTES.try_with(|c| c.set(c.get() + layout.size() as i64));
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = THREAD_BYTES.try_with(|c| c.set(c.get() + layout.size() as i64));
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = THREAD_BYTES.try_with(|c| c.set(c.get() + new_size as i64 - layout.size() as i64));
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        let _ = THREAD_BYTES.try_with(|c| c.set(c.get() - layout.size() as i64));
         System.dealloc(ptr, layout)
     }
 }
@@ -159,6 +180,31 @@ struct HotPathRow {
 }
 
 #[derive(Serialize)]
+struct BytesRow {
+    sessions: u64,
+    trace_commands: usize,
+    /// Net heap bytes to hold the fleet's command sources with one
+    /// private trace copy per session (the pre-store layout).
+    naive_source_bytes: i64,
+    /// Same fleet's sources as store claims on one resident trace.
+    stored_source_bytes: i64,
+    naive_source_bytes_per_session: f64,
+    stored_source_bytes_per_session: f64,
+    resident_reduction: f64,
+    /// Σ of per-session self-contained snapshot bytes (each one
+    /// materialising the full trace) — the pre-archive checkpoint cost.
+    inline_archive_bytes: u64,
+    /// One `FleetArchive`: the trace once, sessions by reference.
+    dedup_archive_bytes: u64,
+    inline_archive_bytes_per_session: f64,
+    dedup_archive_bytes_per_session: f64,
+    archive_reduction: f64,
+    /// Every adopted session's final report matched its donor bit for
+    /// bit (ticks, misses, RMSE bits, max-deviation bits).
+    restored_bit_identical: bool,
+}
+
+#[derive(Serialize)]
 struct Output {
     bench: String,
     sessions: u64,
@@ -168,6 +214,7 @@ struct Output {
     engine_hot_path: Vec<HotPathRow>,
     idle_heavy: Vec<IdleRow>,
     ingress: Vec<IngressRow>,
+    bytes_per_session: BytesRow,
 }
 
 /// Profiles one hosted session's steady-state tick: ns/tick and
@@ -436,6 +483,177 @@ fn ingress_run(transport: &str, shards: usize, sessions: u64, trace: &[Vec<f64>]
     }
 }
 
+/// The shared-storage dedup scenario: a fleet of scripted sessions all
+/// replaying one teleop trace, measured three ways — resident source
+/// bytes (private copies vs store claims), bulk checkpoint bytes
+/// (per-session inline snapshots vs one deduplicated `FleetArchive`),
+/// and the determinism proof that every session adopted out of the
+/// archive into a fresh service finishes bit-identically to its donor.
+fn bytes_per_session_run(fx: &Fixture, sessions: u64, cycles: usize) -> BytesRow {
+    use foreco_serve::SessionEvent;
+    use foreco_store::Storage;
+    use std::collections::HashMap;
+
+    let dataset = Dataset::record(Skill::Inexperienced, cycles, 0.02, 8);
+    let trace_commands = dataset.commands.len();
+    let forecaster = SharedForecaster::new(fx.var.clone());
+
+    // Resident footprint, measured by the counting allocator: N private
+    // copies of the trace vs N claims on one resident object.
+    let naive_source_bytes = {
+        let before = thread_bytes();
+        let copies: Vec<SourceSpec> = (0..sessions)
+            .map(|_| SourceSpec::Replayed(Arc::new(dataset.commands.clone())))
+            .collect();
+        let held = thread_bytes() - before;
+        drop(copies);
+        held
+    };
+    let store = Storage::new();
+    let stored_source_bytes = {
+        let before = thread_bytes();
+        let claims: Vec<SourceSpec> = (0..sessions)
+            .map(|_| SourceSpec::stored(&store, &dataset))
+            .collect();
+        let held = thread_bytes() - before;
+        drop(claims);
+        held
+    };
+    assert_eq!(
+        store.stats().traces.objects,
+        0,
+        "dropping the last claim must evict the trace"
+    );
+
+    // Donor fleet, built directly: each session opens on a clone of the
+    // fleet's one claim, advances to a per-session checkpoint tick, and
+    // exports its fleet part. Direct construction keeps the checkpoint
+    // deterministic — a live unpaced pool races a lightly-loaded fleet
+    // through a whole trace in under a millisecond, so service-side bulk
+    // snapshots of scripted sessions are inherently racy against
+    // completion. (`snapshot_fleet` itself is pinned by service-level
+    // tests on streamed sessions, which park instead of completing.)
+    let fleet_claim = store.insert_trace(&dataset.commands);
+    let snap_span = (trace_commands / 2).max(1) as u64;
+    let spec_for = |id: u64| {
+        SessionSpec::new(
+            id,
+            SourceSpec::Stored(fleet_claim.clone()),
+            ChannelSpec::ControlledLoss {
+                burst_len: 6,
+                burst_prob: 0.01,
+                seed: 40_000 + id,
+            },
+            RecoverySpec::FoReCo {
+                forecaster: forecaster.clone(),
+                config: RecoveryConfig::for_model(&fx.model),
+            },
+        )
+    };
+    let ids: Vec<u64> = (0..sessions).collect();
+    let mut parts = Vec::with_capacity(ids.len());
+    let mut donor_fleet: Vec<(u64, Session)> = Vec::with_capacity(ids.len());
+    for &id in &ids {
+        let mut session = Session::open(&spec_for(id), &fx.model);
+        // Spread checkpoint ticks across the first half of the trace so
+        // the archive holds sessions at many distinct depths.
+        for _ in 0..(id * 97 + 13) % snap_span {
+            session.advance();
+        }
+        let part = session.snapshot_for_fleet().expect("fleet part");
+        parts.push(part);
+        donor_fleet.push((id, session));
+    }
+    let archive = foreco_serve::FleetArchive::build(parts);
+    assert_eq!(
+        archive.sessions.len(),
+        sessions as usize,
+        "every session must land in the archive"
+    );
+    assert_eq!(archive.traces.len(), 1, "one shared trace, stored once");
+
+    // Checkpoint cost: the archive vs the same snapshots self-contained.
+    let dedup_archive_bytes = archive.to_bytes().len() as u64;
+    let inline_archive_bytes: u64 = archive
+        .sessions
+        .iter()
+        .map(|snap| {
+            snap.materialized(&archive.traces[0].commands)
+                .expect("rehydrate inline")
+                .to_bytes()
+                .len() as u64
+        })
+        .sum();
+
+    // Donors run out; their reports are the bit-identity reference.
+    let mut donors: HashMap<u64, foreco_serve::SessionReport> = HashMap::new();
+    for (id, mut session) in donor_fleet {
+        let report = loop {
+            if let Advance::Completed(report) = session.advance() {
+                break *report;
+            }
+        };
+        donors.insert(id, report);
+    }
+
+    // Revival: a fresh service and a fresh store adopt the archive; the
+    // trace table is filed once and every session claims it.
+    let config = ServiceConfig {
+        shards: 4,
+        control_capacity: 4096,
+        // Headroom for every Restored/Completed so adoption never
+        // deadlocks on a full event buffer.
+        event_capacity: sessions as usize * 4 + 1024,
+        ..Default::default()
+    };
+    let revived = Service::spawn(config);
+    let store_b = Storage::new();
+    let sent = revived
+        .handle()
+        .adopt_fleet(archive, &store_b)
+        .expect("adopt fleet");
+    assert_eq!(sent as u64, sessions, "every archived session adopted");
+    assert_eq!(store_b.stats().traces.objects, 1);
+    let mut adopted: HashMap<u64, foreco_serve::SessionReport> = HashMap::new();
+    while adopted.len() < sessions as usize {
+        match revived.next_event().expect("revived service alive") {
+            SessionEvent::Completed { id, report } => {
+                adopted.insert(id, report);
+            }
+            SessionEvent::RestoreFailed { id, reason } => {
+                panic!("session {id} failed to restore from the archive: {reason}")
+            }
+            _ => {}
+        }
+    }
+    revived.join();
+
+    let restored_bit_identical = ids.iter().all(|id| {
+        let (a, b) = (&donors[id], &adopted[id]);
+        a.ticks == b.ticks
+            && a.misses == b.misses
+            && a.rmse_mm.to_bits() == b.rmse_mm.to_bits()
+            && a.max_deviation_mm.to_bits() == b.max_deviation_mm.to_bits()
+    });
+
+    let per = |total: i64| total as f64 / sessions as f64;
+    BytesRow {
+        sessions,
+        trace_commands,
+        naive_source_bytes,
+        stored_source_bytes,
+        naive_source_bytes_per_session: per(naive_source_bytes),
+        stored_source_bytes_per_session: per(stored_source_bytes),
+        resident_reduction: naive_source_bytes as f64 / stored_source_bytes.max(1) as f64,
+        inline_archive_bytes,
+        dedup_archive_bytes,
+        inline_archive_bytes_per_session: per(inline_archive_bytes as i64),
+        dedup_archive_bytes_per_session: per(dedup_archive_bytes as i64),
+        archive_reduction: inline_archive_bytes as f64 / dedup_archive_bytes.max(1) as f64,
+        restored_bit_identical,
+    }
+}
+
 fn main() {
     // env_knob rejects zero, which would otherwise panic summary()
     // on an empty registry.
@@ -655,6 +873,41 @@ fn main() {
         ingress.push(row);
     }
 
+    // ---- shared-storage dedup: resident + checkpoint bytes/session ----
+    let dedup_sessions = env_knob("FORECO_SERVE_DEDUP_SESSIONS", 1024) as u64;
+    let dedup_cycles = env_knob("FORECO_SERVE_DEDUP_CYCLES", 4);
+    println!(
+        "\nbytes/session: {dedup_sessions} store-backed sessions sharing one \
+         {dedup_cycles}-cycle trace"
+    );
+    let bytes_row = bytes_per_session_run(&fx, dedup_sessions, dedup_cycles);
+    println!(
+        "{:>24} {:>16} {:>16} {:>10}",
+        "", "naive", "dedup", "reduction"
+    );
+    println!(
+        "{:>24} {:>16.0} {:>16.0} {:>9.1}x",
+        "resident source B/sess",
+        bytes_row.naive_source_bytes_per_session,
+        bytes_row.stored_source_bytes_per_session,
+        bytes_row.resident_reduction
+    );
+    println!(
+        "{:>24} {:>16.0} {:>16.0} {:>9.1}x",
+        "archive B/sess",
+        bytes_row.inline_archive_bytes_per_session,
+        bytes_row.dedup_archive_bytes_per_session,
+        bytes_row.archive_reduction
+    );
+    println!(
+        "restored bit-identical to donors: {}",
+        bytes_row.restored_bit_identical
+    );
+    if !bytes_row.restored_bit_identical {
+        eprintln!("FAIL: archive-adopted sessions diverged from their donors");
+        std::process::exit(1);
+    }
+
     let output = Output {
         bench: "serve_throughput".to_string(),
         sessions,
@@ -664,6 +917,7 @@ fn main() {
         engine_hot_path,
         idle_heavy,
         ingress,
+        bytes_per_session: bytes_row,
     };
     let json = serde_json::to_string_pretty(&output).expect("serialise bench output");
     std::fs::write(&out_path, &json).expect("write bench output");

@@ -52,6 +52,19 @@ impl ForecasterState {
         }
     }
 
+    /// The canonical bytes of this state — the content a model is
+    /// *addressed by* in shared storage and dedup-aware archives.
+    ///
+    /// Two models have the same canonical bytes iff they are the same
+    /// forecaster family with bit-identical parameters (the JSON codec
+    /// round-trips every `f64` bit pattern, `-0.0` and NaNs included),
+    /// which by the purity contract above means bit-identical forecasts.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("forecaster state serialization is infallible")
+            .into_bytes()
+    }
+
     /// Display name of the wrapped forecaster.
     pub fn name(&self) -> &'static str {
         match self {

@@ -1,0 +1,134 @@
+//! Deduplicated bulk checkpoints: one archive for thousands of
+//! sessions.
+//!
+//! A fleet of scripted sessions replaying the same teleop trace used to
+//! checkpoint as N self-contained snapshots, each materialising the
+//! full script — O(sessions × trace) bytes. A [`FleetArchive`] stores
+//! each distinct trace **once**, keyed by its content address, and the
+//! per-session snapshots reference it through
+//! [`SourceState::ScriptedRef`](crate::SourceState::ScriptedRef) — so
+//! the archive is O(traces + sessions) and a thousand-session
+//! checkpoint costs about as much as one. The `bytes_per_session`
+//! scenario in `serve_throughput` measures the ratio into
+//! `BENCH_serve.json`.
+//!
+//! Assembled by `ServiceHandle::snapshot_fleet`, revived by
+//! `ServiceHandle::adopt_fleet` (which files the trace table into a
+//! `foreco-store` [`Storage`](foreco_store::Storage) and sends each
+//! session its claim). The determinism contract is unchanged: a session
+//! restored from an archive continues bit-identically to its donor.
+//!
+//! The archive has its own format version, gated exactly like
+//! [`SNAPSHOT_VERSION`](crate::SNAPSHOT_VERSION): an explicit `match`,
+//! foreign versions rejected.
+
+use crate::snapshot::{RestoreError, SessionSnapshot};
+use foreco_store::ObjectId;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Current fleet-archive format version.
+pub const FLEET_ARCHIVE_VERSION: u32 = 1;
+
+/// One session's contribution to a fleet archive, as produced by
+/// [`Session::snapshot_for_fleet`](crate::Session::snapshot_for_fleet):
+/// the snapshot plus, for scripted sources, the referenced trace —
+/// content address and shared rows (a cheap `Arc` clone of the
+/// session's script, not a copy).
+pub type FleetSnapshotPart = (SessionSnapshot, Option<(ObjectId, Arc<Vec<Vec<f64>>>)>);
+
+/// One distinct trace in an archive's table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// The trace's content address — what session snapshots reference.
+    pub id: ObjectId,
+    /// The command rows.
+    pub commands: Vec<Vec<f64>>,
+}
+
+/// A deduplicated bulk checkpoint (see module docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetArchive {
+    /// Archive format version ([`FLEET_ARCHIVE_VERSION`] at write time).
+    pub version: u32,
+    /// Each distinct scripted trace, exactly once.
+    pub traces: Vec<TraceEntry>,
+    /// Per-session snapshots; scripted sources reference `traces` by
+    /// content address.
+    pub sessions: Vec<SessionSnapshot>,
+}
+
+impl FleetArchive {
+    /// Assembles an archive from per-session parts as produced by
+    /// [`Session::snapshot_for_fleet`](crate::Session::snapshot_for_fleet):
+    /// each distinct trace id lands in the table once, in first-seen
+    /// order (deterministic for a deterministic part order).
+    pub fn build(parts: Vec<FleetSnapshotPart>) -> Self {
+        let mut traces: Vec<TraceEntry> = Vec::new();
+        let mut sessions = Vec::with_capacity(parts.len());
+        for (snapshot, trace) in parts {
+            if let Some((id, commands)) = trace {
+                if !traces.iter().any(|t| t.id == id) {
+                    traces.push(TraceEntry {
+                        id,
+                        commands: (*commands).clone(),
+                    });
+                }
+            }
+            sessions.push(snapshot);
+        }
+        Self {
+            version: FLEET_ARCHIVE_VERSION,
+            traces,
+            sessions,
+        }
+    }
+
+    /// The table entry for `id`, if present.
+    pub fn trace(&self, id: ObjectId) -> Option<&TraceEntry> {
+        self.traces.iter().find(|t| t.id == id)
+    }
+
+    /// Folds another archive into this one — trace tables dedup by
+    /// content address, sessions append. Incremental assembly for
+    /// callers that checkpoint a fleet in waves (e.g. snapshotting each
+    /// batch of sessions right after opening it, so none can complete
+    /// before its checkpoint lands).
+    pub fn merge(&mut self, other: FleetArchive) {
+        for entry in other.traces {
+            if self.trace(entry.id).is_none() {
+                self.traces.push(entry);
+            }
+        }
+        self.sessions.extend(other.sessions);
+    }
+
+    /// Serialises the archive to its portable byte form (JSON, UTF-8,
+    /// same codec and bit-exactness guarantees as
+    /// [`SessionSnapshot::to_bytes`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("archive serialisation is infallible")
+            .into_bytes()
+    }
+
+    /// Parses an archive previously produced by
+    /// [`FleetArchive::to_bytes`].
+    ///
+    /// # Errors
+    /// [`RestoreError::Decode`] on malformed bytes,
+    /// [`RestoreError::Version`] on a foreign archive version.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RestoreError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| RestoreError::Decode("archive is not UTF-8".into()))?;
+        let archive: FleetArchive =
+            serde_json::from_str(text).map_err(|e| RestoreError::Decode(e.to_string()))?;
+        match archive.version {
+            FLEET_ARCHIVE_VERSION => Ok(archive),
+            found => Err(RestoreError::Version {
+                found,
+                expected: FLEET_ARCHIVE_VERSION,
+            }),
+        }
+    }
+}

@@ -94,6 +94,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod clock;
 pub mod inbox;
 pub mod metrics;
@@ -105,15 +106,18 @@ pub mod shard;
 pub mod snapshot;
 pub mod spec;
 
+pub use archive::{FleetArchive, FleetSnapshotPart, TraceEntry, FLEET_ARCHIVE_VERSION};
 pub use clock::{Pacing, VirtualClock, TICK_HZ, TICK_PERIOD};
 pub use inbox::{BoundedInbox, GatedInbox, GatedInboxState, GatedSlot, InboxState, Offer};
 pub use metrics::{
     IngressSummary, MetricsRegistry, PercentileSummary, ServiceSummary, ShardLoadSummary,
 };
-pub use protocol::{ServiceError, SessionCommand, SessionEvent};
+pub use protocol::{FleetPart, ServiceError, SessionCommand, SessionEvent};
 pub use sched::{Scheduler, TimerWheel};
 pub use service::{BalancerConfig, EventWait, Service, ServiceConfig, ServiceHandle};
 pub use session::{Advance, Session, SessionReport, Wake};
 pub use shard::shard_of;
-pub use snapshot::{RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_VERSION};
+pub use snapshot::{
+    FateRun, RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_VERSION,
+};
 pub use spec::{ChannelSpec, RecoverySpec, SessionId, SessionSpec, SharedForecaster, SourceSpec};

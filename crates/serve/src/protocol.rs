@@ -10,6 +10,9 @@
 use crate::session::SessionReport;
 use crate::snapshot::SessionSnapshot;
 use crate::spec::{SessionId, SessionSpec};
+use foreco_store::{ObjectId, TraceHandle};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
 
 /// Instructions a caller sends into the service.
 #[derive(Debug, Clone)]
@@ -72,7 +75,28 @@ pub enum SessionCommand {
     /// transfer half of a migration, also sent directly by
     /// [`ServiceHandle::adopt`](crate::ServiceHandle::adopt) to revive a
     /// checkpoint from another process or an earlier run.
-    Adopt(Box<SessionSnapshot>),
+    Adopt {
+        /// The state to rehydrate.
+        snapshot: Box<SessionSnapshot>,
+        /// Claim on the script a `ScriptedRef` snapshot references
+        /// (`adopt_fleet` rides the claim along the channel, so the
+        /// trace cannot be evicted between send and restore). `None`
+        /// for self-contained snapshots.
+        trace: Option<TraceHandle>,
+    },
+    /// Checkpoint a session for a bulk fleet archive: the shard replies
+    /// on the dedicated channel instead of the event stream, with the
+    /// scripted trace deduplicated out of the snapshot (see
+    /// [`Session::snapshot_for_fleet`](crate::Session::snapshot_for_fleet)).
+    /// `ServiceHandle::snapshot_fleet` fans this across all shards and
+    /// assembles one archive.
+    SnapshotInto {
+        /// Target session.
+        id: SessionId,
+        /// Where to deliver the [`FleetPart`]. The caller sizes the
+        /// channel to the request count, so shard sends never block.
+        reply: SyncSender<FleetPart>,
+    },
     /// Balancer directive: migrate up to `count` of this shard's
     /// *runnable* sessions to shard `to` (parked sessions cost nothing
     /// where they are, so only live work moves). The shard picks the
@@ -87,6 +111,33 @@ pub enum SessionCommand {
     },
     /// Stop the shard after finishing in-flight sessions' current tick.
     Shutdown,
+}
+
+/// One shard's reply to [`SessionCommand::SnapshotInto`].
+#[derive(Debug, Clone)]
+pub enum FleetPart {
+    /// The session's archive-form snapshot.
+    Snapshot {
+        /// The exported state (scripted sources by reference).
+        snapshot: Box<SessionSnapshot>,
+        /// The referenced trace payload — an `Arc` clone, shared with
+        /// the live session, never a copy. `None` for live sources.
+        trace: Option<(ObjectId, Arc<Vec<Vec<f64>>>)>,
+    },
+    /// No such session on the routed shard (unknown id, or it completed
+    /// before the command arrived).
+    Missing {
+        /// The unmatched id.
+        id: SessionId,
+    },
+    /// The session exists but cannot be exported (unsnapshotable
+    /// forecaster). It keeps running.
+    Failed {
+        /// Session id.
+        id: SessionId,
+        /// Human-readable cause.
+        reason: String,
+    },
 }
 
 /// Observations the service emits.

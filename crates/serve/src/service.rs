@@ -18,14 +18,17 @@
 //! policy moves *runnable* sessions only: parked sessions cost nothing
 //! where they are, so balancing chases active work, not session counts.
 
+use crate::archive::FleetArchive;
 use crate::clock::{Pacing, TICK_PERIOD};
 use crate::metrics::{MetricsRegistry, ShardLoadSummary};
-use crate::protocol::{ServiceError, SessionCommand, SessionEvent};
+use crate::protocol::{FleetPart, ServiceError, SessionCommand, SessionEvent};
 use crate::sched::{Scheduler, ShardLoad};
 use crate::shard::{RoutingTable, ShardWorker};
-use crate::snapshot::SessionSnapshot;
+use crate::snapshot::{SessionSnapshot, SourceState};
 use crate::spec::{SessionId, SessionSpec};
 use foreco_robot::{niryo_one, ArmModel};
+use foreco_store::{trace_object_id, ObjectId, Storage, TraceHandle};
+use std::collections::HashMap;
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -297,8 +300,88 @@ impl ServiceHandle {
     /// from its snapshot tick.
     pub fn adopt(&self, snapshot: SessionSnapshot) -> Result<(), ServiceError> {
         self.route(snapshot.id)
-            .send(SessionCommand::Adopt(Box::new(snapshot)))
+            .send(SessionCommand::Adopt {
+                snapshot: Box::new(snapshot),
+                trace: None,
+            })
             .map_err(|_| ServiceError::Disconnected)
+    }
+
+    /// Bulk checkpoint: exports every listed session into one
+    /// deduplicated [`FleetArchive`] — each distinct scripted trace
+    /// stored once, no matter how many sessions replay it, so a
+    /// thousand-session archive costs O(traces + sessions) bytes instead
+    /// of O(sessions × trace). Sessions keep running, untouched.
+    ///
+    /// Sessions that are unknown (completed, never opened) or
+    /// unsnapshotable are simply absent from the archive — compare
+    /// `archive.sessions.len()` against `ids.len()` to detect either.
+    ///
+    /// Blocks until every routed shard has replied. Call it from a
+    /// thread that is not needed to drain events, or leave event-channel
+    /// headroom: a shard blocked emitting events cannot reach the
+    /// snapshot command. (The reply channel is sized to `ids.len()`, so
+    /// shard-side sends never block.)
+    pub fn snapshot_fleet(&self, ids: &[SessionId]) -> Result<FleetArchive, ServiceError> {
+        let (tx, rx) = sync_channel::<FleetPart>(ids.len().max(1));
+        for &id in ids {
+            self.route(id)
+                .send(SessionCommand::SnapshotInto {
+                    id,
+                    reply: tx.clone(),
+                })
+                .map_err(|_| ServiceError::Disconnected)?;
+        }
+        drop(tx); // shards hold the only remaining senders
+        let mut parts = Vec::with_capacity(ids.len());
+        for _ in 0..ids.len() {
+            match rx.recv() {
+                Ok(FleetPart::Snapshot { snapshot, trace }) => parts.push((*snapshot, trace)),
+                Ok(FleetPart::Missing { .. }) | Ok(FleetPart::Failed { .. }) => {}
+                Err(_) => return Err(ServiceError::Disconnected),
+            }
+        }
+        Ok(FleetArchive::build(parts))
+    }
+
+    /// Revives an archived fleet: files each trace-table entry into
+    /// `storage` under its content address (verifying the declared id
+    /// against a recomputed one; mismatched entries are skipped), then
+    /// adopts every session snapshot with its trace claim riding along
+    /// the control channel — so the trace cannot be evicted between send
+    /// and restore, and N adopted sessions share one resident copy.
+    ///
+    /// Returns how many adoptions were sent. Watch the event stream for
+    /// the matching [`SessionEvent::Restored`] / `RestoreFailed` pairs
+    /// (a session whose trace entry was missing or corrupt fails at
+    /// restore, not here).
+    pub fn adopt_fleet(
+        &self,
+        archive: FleetArchive,
+        storage: &Storage,
+    ) -> Result<usize, ServiceError> {
+        let mut claims: HashMap<ObjectId, TraceHandle> = HashMap::new();
+        for entry in archive.traces {
+            if trace_object_id(&entry.commands) != entry.id {
+                continue; // corrupt table entry; its sessions fail at restore
+            }
+            claims.insert(entry.id, storage.insert_trace_owned(entry.commands));
+        }
+        let mut sent = 0;
+        for snapshot in archive.sessions {
+            let trace = match &snapshot.source {
+                SourceState::ScriptedRef { trace, .. } => claims.get(trace).cloned(),
+                _ => None,
+            };
+            self.route(snapshot.id)
+                .send(SessionCommand::Adopt {
+                    snapshot: Box::new(snapshot),
+                    trace,
+                })
+                .map_err(|_| ServiceError::Disconnected)?;
+            sent += 1;
+        }
+        Ok(sent)
     }
 
     /// Orders shard `from` to migrate up to `count` of its runnable
@@ -1143,6 +1226,137 @@ mod tests {
             EventWait::Event(_) => {}
             other => panic!("expected an event, got {other:?}"),
         }
+        service.join();
+    }
+
+    #[test]
+    fn snapshot_fleet_archives_parked_sessions_and_skips_unknown_ids() {
+        use crate::session::Session;
+        use foreco_robot::niryo_one;
+
+        // Streamed sessions with no traffic park at their idle fixed
+        // point and never complete, so the bulk checkpoint cannot race
+        // session completion: per-shard control FIFO puts every
+        // `SnapshotInto` behind its `Open`.
+        let home = Dataset::record(Skill::Experienced, 1, 0.02, 3).commands[0].clone();
+        let service = Service::spawn(ServiceConfig::with_shards(2));
+        let handle = service.handle();
+        for id in 0..4u64 {
+            handle
+                .open(SessionSpec::new(
+                    id,
+                    SourceSpec::Streamed {
+                        initial: home.clone(),
+                        inbox_capacity: 8,
+                    },
+                    ChannelSpec::ControlledLoss {
+                        burst_len: 5,
+                        burst_prob: 0.01,
+                        seed: id,
+                    },
+                    RecoverySpec::Baseline,
+                ))
+                .unwrap();
+        }
+        let archive = handle.snapshot_fleet(&[0, 1, 2, 3, 99]).unwrap();
+        assert_eq!(
+            archive.sessions.len(),
+            4,
+            "unknown id 99 must be absent, not an error"
+        );
+        assert!(
+            archive.traces.is_empty(),
+            "streamed sessions contribute no trace table"
+        );
+        // Archived parts are plain self-contained snapshots: each one
+        // restores directly.
+        let model = niryo_one();
+        for snapshot in &archive.sessions {
+            Session::restore(snapshot, &model).expect("streamed part restores");
+        }
+        for id in 0..4 {
+            handle.close(id).unwrap();
+        }
+        let mut completed = 0;
+        while completed < 4 {
+            if let Some(SessionEvent::Completed { .. }) = service.next_event() {
+                completed += 1;
+            }
+        }
+        service.join();
+    }
+
+    #[test]
+    fn adopt_fleet_revives_archive_with_one_shared_trace() {
+        use crate::archive::FleetArchive;
+        use crate::session::{Advance, Session};
+        use foreco_robot::niryo_one;
+        use foreco_store::Storage;
+
+        // Donors are built directly (a live unpaced pool would race
+        // scripted sessions to completion before the checkpoint): all
+        // replay one Arc'd trace, snapshot at staggered ticks.
+        let model = niryo_one();
+        let batch = specs(6);
+        let mut parts = Vec::new();
+        let mut donors = std::collections::HashMap::new();
+        for (i, spec) in batch.iter().enumerate() {
+            let mut session = Session::open(spec, &model);
+            for _ in 0..i * 40 {
+                session.advance();
+            }
+            parts.push(session.snapshot_for_fleet().expect("fleet part"));
+            let report = loop {
+                if let Advance::Completed(report) = session.advance() {
+                    break *report;
+                }
+            };
+            donors.insert(spec.id, report);
+        }
+        let archive = FleetArchive::build(parts);
+        assert_eq!(archive.sessions.len(), 6);
+        assert_eq!(archive.traces.len(), 1, "one shared trace, stored once");
+
+        let service = Service::spawn(ServiceConfig::with_shards(3));
+        let storage = Storage::new();
+        let sent = service
+            .handle()
+            .adopt_fleet(archive, &storage)
+            .expect("adopt fleet");
+        assert_eq!(sent, 6);
+        assert_eq!(
+            storage.stats().traces.objects,
+            1,
+            "the trace table files exactly one object"
+        );
+        let mut restored = 0;
+        let mut completed = 0;
+        while completed < 6 {
+            match service.next_event().expect("service alive") {
+                SessionEvent::Restored { .. } => restored += 1,
+                SessionEvent::Completed { id, report } => {
+                    completed += 1;
+                    let donor = &donors[&id];
+                    assert_eq!(report.ticks, donor.ticks, "session {id}: ticks");
+                    assert_eq!(report.misses, donor.misses, "session {id}: misses");
+                    assert_eq!(
+                        report.rmse_mm.to_bits(),
+                        donor.rmse_mm.to_bits(),
+                        "session {id}: rmse"
+                    );
+                    assert_eq!(
+                        report.max_deviation_mm.to_bits(),
+                        donor.max_deviation_mm.to_bits(),
+                        "session {id}: max deviation"
+                    );
+                }
+                SessionEvent::RestoreFailed { id, reason } => {
+                    panic!("session {id} failed to restore: {reason}")
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(restored, 6, "every adoption must report Restored");
         service.join();
     }
 

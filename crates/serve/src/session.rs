@@ -22,15 +22,18 @@
 //! - commands may come from a live bounded inbox instead of a recorded
 //!   script, in which case an empty inbox at tick time *is* the miss.
 
+use crate::archive::FleetSnapshotPart;
 use crate::clock::VirtualClock;
 use crate::inbox::{BoundedInbox, GatedInbox, GatedSlot, Offer};
 use crate::snapshot::{
-    RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_VERSION,
+    compress_fates, expand_fates, RestoreError, SessionSnapshot, SnapshotError, SourceState,
+    SNAPSHOT_VERSION,
 };
 use crate::spec::{ChannelSpec, SessionId, SessionSpec, SourceSpec};
 use foreco_core::channel::{Arrival, Channel};
-use foreco_core::{EngineStateError, RecoveryEngine, RecoveryStats};
+use foreco_core::{EngineSnapshot, EngineStateError, RecoveryEngine, RecoveryStats};
 use foreco_robot::{ArmModel, DriverState, RobotDriver};
+use foreco_store::{trace_object_id, TraceHandle};
 use foreco_teleop::Dataset;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
@@ -107,6 +110,10 @@ enum Source {
     Scripted {
         commands: Arc<Vec<Vec<f64>>>,
         fates: Vec<Arrival>,
+        /// Store claim pinning a `SourceSpec::Stored` trace for the
+        /// session's lifetime (acquired at build/restore, never on the
+        /// tick path). `None` for recorded/replayed scripts.
+        claim: Option<TraceHandle>,
     },
     Streamed {
         inbox: BoundedInbox,
@@ -166,11 +173,17 @@ impl Session {
                 seed,
             } => {
                 let commands = Arc::new(Dataset::record(*skill, *cycles, omega, *seed).commands);
-                Self::scripted_source(commands, spec, model)
+                Self::scripted_source(commands, None, spec, model)
             }
             SourceSpec::Replayed(commands) => {
-                Self::scripted_source(Arc::clone(commands), spec, model)
+                Self::scripted_source(Arc::clone(commands), None, spec, model)
             }
+            SourceSpec::Stored(handle) => Self::scripted_source(
+                Arc::clone(handle.commands()),
+                Some(handle.clone()),
+                spec,
+                model,
+            ),
             SourceSpec::Streamed {
                 initial,
                 inbox_capacity,
@@ -226,13 +239,21 @@ impl Session {
 
     fn scripted_source(
         commands: Arc<Vec<Vec<f64>>>,
+        claim: Option<TraceHandle>,
         spec: &SessionSpec,
         model: &ArmModel,
     ) -> (Source, Vec<f64>) {
         assert!(!commands.is_empty(), "session: no commands");
         let fates = spec.channel.build().fates(commands.len());
         let start = model.clamp(&commands[0]);
-        (Source::Scripted { commands, fates }, start)
+        (
+            Source::Scripted {
+                commands,
+                fates,
+                claim,
+            },
+            start,
+        )
     }
 
     /// Session id.
@@ -308,7 +329,9 @@ impl Session {
         // sessions borrow the command; live sources hand over the owned
         // buffer their offer already allocated.
         let (delivered, fate): (Option<Cow<'_, [f64]>>, Arrival) = match &mut self.source {
-            Source::Scripted { commands, fates } => {
+            Source::Scripted {
+                commands, fates, ..
+            } => {
                 let i = self.clock.tick() as usize;
                 if i >= commands.len() {
                     return Advance::Completed(Box::new(self.report()));
@@ -599,20 +622,11 @@ impl Session {
     /// [`SnapshotError::UnsupportedForecaster`] when the engine wraps a
     /// forecaster with no serialisable form (e.g. seq2seq).
     pub fn snapshot(&self) -> Result<SessionSnapshot, SnapshotError> {
-        let engine = match &self.engine {
-            None => None,
-            Some(engine) => match engine.snapshot() {
-                Ok(snap) => Some(snap),
-                Err(EngineStateError::UnsupportedForecaster { name }) => {
-                    return Err(SnapshotError::UnsupportedForecaster { name })
-                }
-                Err(EngineStateError::Invalid { reason }) => {
-                    unreachable!("live engine exported invalid state: {reason}")
-                }
-            },
-        };
+        let engine = self.engine_snapshot()?;
         let source = match &self.source {
-            Source::Scripted { commands, fates } => SourceState::Scripted {
+            Source::Scripted {
+                commands, fates, ..
+            } => SourceState::Scripted {
                 commands: (**commands).clone(),
                 fates: fates.clone(),
             },
@@ -643,7 +657,69 @@ impl Session {
                 closing: *closing,
             },
         };
-        Ok(SessionSnapshot {
+        Ok(self.snapshot_shell(source, engine))
+    }
+
+    /// Checkpoints for a bulk fleet archive: a scripted source is
+    /// captured as [`SourceState::ScriptedRef`] — the trace's content
+    /// address plus run-length-encoded fates — and the trace payload is
+    /// returned alongside as a cheap `Arc` clone, so assembling an
+    /// archive of N sessions over one trace costs O(traces), not
+    /// O(sessions × trace), in both time and bytes. Non-scripted
+    /// sessions fall back to their self-contained snapshot (`None`
+    /// payload).
+    ///
+    /// # Errors
+    /// Same as [`Session::snapshot`].
+    pub fn snapshot_for_fleet(&self) -> Result<FleetSnapshotPart, SnapshotError> {
+        match &self.source {
+            Source::Scripted {
+                commands,
+                fates,
+                claim,
+            } => {
+                let engine = self.engine_snapshot()?;
+                let id = claim
+                    .as_ref()
+                    .map(TraceHandle::id)
+                    .unwrap_or_else(|| trace_object_id(commands));
+                let source = SourceState::ScriptedRef {
+                    trace: id,
+                    fates: compress_fates(fates),
+                };
+                Ok((
+                    self.snapshot_shell(source, engine),
+                    Some((id, Arc::clone(commands))),
+                ))
+            }
+            _ => Ok((self.snapshot()?, None)),
+        }
+    }
+
+    /// The engine layer of a snapshot.
+    fn engine_snapshot(&self) -> Result<Option<EngineSnapshot>, SnapshotError> {
+        match &self.engine {
+            None => Ok(None),
+            Some(engine) => match engine.snapshot() {
+                Ok(snap) => Ok(Some(snap)),
+                Err(EngineStateError::UnsupportedForecaster { name }) => {
+                    Err(SnapshotError::UnsupportedForecaster { name })
+                }
+                Err(EngineStateError::Invalid { reason }) => {
+                    unreachable!("live engine exported invalid state: {reason}")
+                }
+            },
+        }
+    }
+
+    /// Everything in a snapshot that does not depend on how the source
+    /// is encoded.
+    fn snapshot_shell(
+        &self,
+        source: SourceState,
+        engine: Option<EngineSnapshot>,
+    ) -> SessionSnapshot {
+        SessionSnapshot {
             version: SNAPSHOT_VERSION,
             id: self.id,
             tick: self.clock.tick(),
@@ -657,11 +733,15 @@ impl Session {
             pending_late: self.pending_late.clone(),
             reference: self.reference.export_state(),
             executed: self.executed.export_state(),
-        })
+        }
     }
 
     /// Rehydrates a session from a snapshot onto `model`, continuing
     /// exactly where the snapshotted session left off.
+    ///
+    /// A [`SourceState::ScriptedRef`] snapshot (an archive entry) is
+    /// rejected here — the script is not in the snapshot; claim it from
+    /// storage and use [`Session::restore_stored`].
     ///
     /// # Errors
     /// [`RestoreError::Version`] on a foreign format version and
@@ -669,11 +749,41 @@ impl Session {
     /// invariants (dimension mismatches against `model`, inconsistent
     /// script/fate lengths, out-of-range restore points, …).
     pub fn restore(snap: &SessionSnapshot, model: &ArmModel) -> Result<Self, RestoreError> {
-        if snap.version != SNAPSHOT_VERSION {
-            return Err(RestoreError::Version {
-                found: snap.version,
-                expected: SNAPSHOT_VERSION,
-            });
+        Self::restore_with(snap, model, None)
+    }
+
+    /// Rehydrates a [`SourceState::ScriptedRef`] snapshot, resolving the
+    /// trace reference through `trace` — a claim on the referenced
+    /// script, typically from [`foreco_store::Storage::get_trace`]. The
+    /// restored session holds the claim for its lifetime.
+    ///
+    /// # Errors
+    /// As [`Session::restore`], plus [`RestoreError::Invalid`] when
+    /// `trace` is not the trace the snapshot references.
+    pub fn restore_stored(
+        snap: &SessionSnapshot,
+        model: &ArmModel,
+        trace: TraceHandle,
+    ) -> Result<Self, RestoreError> {
+        Self::restore_with(snap, model, Some(trace))
+    }
+
+    /// Shared body of [`Session::restore`] / [`Session::restore_stored`].
+    pub(crate) fn restore_with(
+        snap: &SessionSnapshot,
+        model: &ArmModel,
+        trace: Option<TraceHandle>,
+    ) -> Result<Self, RestoreError> {
+        match snap.version {
+            // v1 layouts are a subset of v2 (no `ScriptedRef`), so the
+            // same restore path serves both.
+            1 | SNAPSHOT_VERSION => {}
+            found => {
+                return Err(RestoreError::Version {
+                    found,
+                    expected: SNAPSHOT_VERSION,
+                })
+            }
         }
         if !snap.period.is_finite() || snap.period <= 0.0 {
             return Err(RestoreError::Invalid("period must be positive".into()));
@@ -692,37 +802,37 @@ impl Session {
             )));
         }
         let source = match &snap.source {
-            SourceState::Scripted { commands, fates } => {
-                if commands.is_empty() {
-                    return Err(RestoreError::Invalid(
-                        "scripted source without commands".into(),
-                    ));
-                }
-                if let Some(bad) = commands.iter().find(|c| c.len() != model.dof()) {
+            SourceState::Scripted { commands, fates } => validated_scripted(
+                Arc::new(commands.clone()),
+                fates.clone(),
+                None,
+                snap.tick,
+                model,
+            )?,
+            SourceState::ScriptedRef {
+                trace: trace_id,
+                fates,
+            } => {
+                let handle = trace.ok_or_else(|| {
+                    RestoreError::Invalid(format!(
+                        "scripted-ref snapshot needs trace {trace_id} claimed from storage \
+                         (restore_stored / adopt_fleet)"
+                    ))
+                })?;
+                if handle.id() != *trace_id {
                     return Err(RestoreError::Invalid(format!(
-                        "scripted command of dimension {} for a {}-DoF arm",
-                        bad.len(),
-                        model.dof()
+                        "trace {} is not the script this snapshot references ({trace_id})",
+                        handle.id()
                     )));
                 }
-                if fates.len() != commands.len() {
-                    return Err(RestoreError::Invalid(format!(
-                        "{} fates for {} commands",
-                        fates.len(),
-                        commands.len()
-                    )));
-                }
-                if snap.tick as usize > commands.len() {
-                    return Err(RestoreError::Invalid(format!(
-                        "tick {} beyond the {}-command script",
-                        snap.tick,
-                        commands.len()
-                    )));
-                }
-                Source::Scripted {
-                    commands: Arc::new(commands.clone()),
-                    fates: fates.clone(),
-                }
+                let commands = Arc::clone(handle.commands());
+                validated_scripted(
+                    commands,
+                    expand_fates(fates),
+                    Some(handle),
+                    snap.tick,
+                    model,
+                )?
             }
             SourceState::Streamed {
                 inbox,
@@ -846,6 +956,48 @@ impl Session {
             worst_mm: snap.worst_mm,
         })
     }
+}
+
+/// Validates and builds a scripted source at restore time — shared by
+/// the inline `Scripted` and by-reference `ScriptedRef` decode paths,
+/// so both enforce identical invariants.
+fn validated_scripted(
+    commands: Arc<Vec<Vec<f64>>>,
+    fates: Vec<Arrival>,
+    claim: Option<TraceHandle>,
+    tick: u64,
+    model: &ArmModel,
+) -> Result<Source, RestoreError> {
+    if commands.is_empty() {
+        return Err(RestoreError::Invalid(
+            "scripted source without commands".into(),
+        ));
+    }
+    if let Some(bad) = commands.iter().find(|c| c.len() != model.dof()) {
+        return Err(RestoreError::Invalid(format!(
+            "scripted command of dimension {} for a {}-DoF arm",
+            bad.len(),
+            model.dof()
+        )));
+    }
+    if fates.len() != commands.len() {
+        return Err(RestoreError::Invalid(format!(
+            "{} fates for {} commands",
+            fates.len(),
+            commands.len()
+        )));
+    }
+    if tick as usize > commands.len() {
+        return Err(RestoreError::Invalid(format!(
+            "tick {tick} beyond the {}-command script",
+            commands.len()
+        )));
+    }
+    Ok(Source::Scripted {
+        commands,
+        fates,
+        claim,
+    })
 }
 
 /// Pre-checks a driver state against the target arm so restore returns

@@ -293,9 +293,16 @@ impl Runtime {
     /// Non-blocking transfer to a peer; a full channel parks the state
     /// for retry, a dead one drops it (pool tearing down).
     fn hand_off(&mut self, to: usize, snapshot: Box<crate::snapshot::SessionSnapshot>) {
-        match self.peers[to].try_send(SessionCommand::Adopt(snapshot)) {
+        // Migration snapshots are self-contained (scripted sources ship
+        // their rows inline), so no trace claim rides along.
+        match self.peers[to].try_send(SessionCommand::Adopt {
+            snapshot,
+            trace: None,
+        }) {
             Ok(()) => {}
-            Err(std::sync::mpsc::TrySendError::Full(SessionCommand::Adopt(s))) => {
+            Err(std::sync::mpsc::TrySendError::Full(SessionCommand::Adopt {
+                snapshot: s, ..
+            })) => {
                 self.pending_transfers.push((to, s));
             }
             Err(_) => {}
@@ -399,6 +406,30 @@ impl Runtime {
                     let _ = self.events.send(SessionEvent::UnknownSession { id });
                 }
             }
+            SessionCommand::SnapshotInto { id, reply } => {
+                if self.sessions.contains_key(&id) {
+                    // Same sync rule as `Snapshot`: the archived state
+                    // must match what an eager shard would hold.
+                    self.poke(id, false);
+                    let session = &self.sessions[&id];
+                    let part = match session.snapshot_for_fleet() {
+                        Ok((snapshot, trace)) => crate::protocol::FleetPart::Snapshot {
+                            snapshot: Box::new(snapshot),
+                            trace,
+                        },
+                        Err(e) => crate::protocol::FleetPart::Failed {
+                            id,
+                            reason: e.to_string(),
+                        },
+                    };
+                    // The caller sized the reply channel to its request
+                    // count, so this never blocks the shard loop.
+                    let _ = reply.send(part);
+                    self.settle(id);
+                } else {
+                    let _ = reply.send(crate::protocol::FleetPart::Missing { id });
+                }
+            }
             SessionCommand::Migrate { id, to } => match self.sessions.get(&id) {
                 Some(_) if to >= self.peers.len() => {
                     // The handle validates destinations; this guards raw
@@ -425,10 +456,10 @@ impl Runtime {
                     let _ = self.events.send(SessionEvent::UnknownSession { id });
                 }
             },
-            SessionCommand::Adopt(snapshot) => {
+            SessionCommand::Adopt { snapshot, trace } => {
                 let id = snapshot.id;
                 if let std::collections::btree_map::Entry::Vacant(slot) = self.sessions.entry(id) {
-                    match Session::restore(&snapshot, &self.model) {
+                    match Session::restore_with(&snapshot, &self.model, trace) {
                         Ok(session) => {
                             let tick = session.tick();
                             slot.insert(session);

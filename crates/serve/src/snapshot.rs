@@ -28,6 +28,21 @@
 //! and keep decoding old versions explicit (a `match` on the version),
 //! never implicit.
 //!
+//! **v1 → v2.** Version 2 adds the dedup-aware
+//! [`SourceState::ScriptedRef`] variant: instead of materialising the
+//! full script per session, a scripted source may serialise its trace's
+//! content address ([`foreco_store::ObjectId`]) plus run-length-encoded
+//! fates, with the trace payload carried once per
+//! [`FleetArchive`](crate::FleetArchive) rather than once per session.
+//! Every v1 layout is also a legal v2 layout (single-session
+//! [`Session::snapshot`](crate::Session::snapshot) still writes the
+//! self-contained [`SourceState::Scripted`] form, byte-stable with v1
+//! apart from the version field), so v1 decoding is the same parse
+//! behind an explicit version `match`. A `ScriptedRef` snapshot is only
+//! restorable with the referenced trace at hand —
+//! [`Session::restore_stored`](crate::Session::restore_stored) takes
+//! the store claim, and plain `restore` rejects the variant.
+//!
 //! # Determinism contract
 //!
 //! Restoring a snapshot — on the same shard, another shard, or another
@@ -53,11 +68,63 @@ use crate::spec::{ChannelSpec, SessionId};
 use foreco_core::channel::Arrival;
 use foreco_core::EngineSnapshot;
 use foreco_robot::{DriverConfig, DriverState};
+use foreco_store::ObjectId;
 use serde::{Deserialize, Serialize};
 
 /// Current snapshot format version (see the module docs for the
-/// versioning policy).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// versioning policy). v2 added [`SourceState::ScriptedRef`]; v1
+/// decoding is retained.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// One run of identical channel fates in a [`SourceState::ScriptedRef`]
+/// source — the run-length encoding that keeps per-session archive
+/// entries small (a fate stream is overwhelmingly `OnTime` runs broken
+/// by short loss bursts).
+///
+/// The encoding is lossless at the bit level: runs are grouped by fate
+/// *bit pattern* (`Late` delays compare via [`f64::to_bits`]), so
+/// expansion reproduces the original stream exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FateRun {
+    /// The repeated fate.
+    pub fate: Arrival,
+    /// How many consecutive slots share it.
+    pub count: u64,
+}
+
+/// True when two fates are the same bits (the run-grouping equality;
+/// `f64::eq` would merge `Late(-0.0)` into `Late(0.0)` runs).
+fn same_fate(a: Arrival, b: Arrival) -> bool {
+    match (a, b) {
+        (Arrival::OnTime, Arrival::OnTime) | (Arrival::Lost, Arrival::Lost) => true,
+        (Arrival::Late(x), Arrival::Late(y)) => x.to_bits() == y.to_bits(),
+        _ => false,
+    }
+}
+
+/// Run-length-encodes a fate stream (see [`FateRun`]).
+pub(crate) fn compress_fates(fates: &[Arrival]) -> Vec<FateRun> {
+    let mut runs: Vec<FateRun> = Vec::new();
+    for &fate in fates {
+        match runs.last_mut() {
+            Some(run) if same_fate(run.fate, fate) => run.count += 1,
+            _ => runs.push(FateRun { fate, count: 1 }),
+        }
+    }
+    runs
+}
+
+/// Expands run-length-encoded fates back to the per-slot stream.
+pub(crate) fn expand_fates(runs: &[FateRun]) -> Vec<Arrival> {
+    let total: u64 = runs.iter().map(|r| r.count).sum();
+    let mut fates = Vec::with_capacity(total as usize);
+    for run in runs {
+        for _ in 0..run.count {
+            fates.push(run.fate);
+        }
+    }
+    fates
+}
 
 /// Serialised command source of a mid-run session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,6 +139,18 @@ pub enum SourceState {
         commands: Vec<Vec<f64>>,
         /// Pre-drawn channel outcome per command.
         fates: Vec<Arrival>,
+    },
+    /// A scripted source by reference (v2): the trace's content address
+    /// in shared storage plus run-length-encoded fates. The script
+    /// itself travels once per archive (or lives in a `foreco-store`
+    /// [`Storage`](foreco_store::Storage)), not once per session — the
+    /// encoding behind `ServiceHandle::snapshot_fleet`'s O(traces)
+    /// instead of O(sessions × trace) archives.
+    ScriptedRef {
+        /// Content address of the command script.
+        trace: ObjectId,
+        /// Pre-drawn channel outcomes, run-length encoded.
+        fates: Vec<FateRun>,
     },
     /// A flow-controlled socket-ingress source (`SourceSpec::Gated`):
     /// the queued slot timeline, the (usually `Ideal`) composed
@@ -160,11 +239,42 @@ impl SessionSnapshot {
             .map_err(|_| RestoreError::Decode("snapshot is not UTF-8".into()))?;
         let snap: SessionSnapshot =
             serde_json::from_str(text).map_err(|e| RestoreError::Decode(e.to_string()))?;
-        if snap.version != SNAPSHOT_VERSION {
-            return Err(RestoreError::Version {
-                found: snap.version,
+        match snap.version {
+            // v1: same field layout as v2 minus `ScriptedRef`, which a
+            // v1 writer cannot have produced — the parse above already
+            // is the v1 decoder. Restore validation enforces the
+            // variant restriction.
+            1 => Ok(snap),
+            SNAPSHOT_VERSION => Ok(snap),
+            found => Err(RestoreError::Version {
+                found,
                 expected: SNAPSHOT_VERSION,
-            });
+            }),
+        }
+    }
+
+    /// Converts a [`SourceState::ScriptedRef`] snapshot into the
+    /// self-contained [`SourceState::Scripted`] form by materialising
+    /// `commands` (the referenced trace) into it — the bridge from an
+    /// archive entry back to a snapshot `Session::restore` accepts.
+    /// Non-`ScriptedRef` snapshots are returned unchanged.
+    ///
+    /// # Errors
+    /// [`RestoreError::Invalid`] when `commands` is not the trace the
+    /// snapshot references (content address mismatch).
+    pub fn materialized(&self, commands: &[Vec<f64>]) -> Result<SessionSnapshot, RestoreError> {
+        let mut snap = self.clone();
+        if let SourceState::ScriptedRef { trace, fates } = &snap.source {
+            let actual = foreco_store::trace_object_id(commands);
+            if actual != *trace {
+                return Err(RestoreError::Invalid(format!(
+                    "trace {actual} is not the script this snapshot references ({trace})"
+                )));
+            }
+            snap.source = SourceState::Scripted {
+                commands: commands.to_vec(),
+                fates: expand_fates(fates),
+            };
         }
         Ok(snap)
     }

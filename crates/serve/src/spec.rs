@@ -16,6 +16,7 @@ use foreco_core::channel::{Channel, ControlledLossChannel, IdealChannel, JammedC
 use foreco_core::{RecoveryConfig, RecoveryEngine};
 use foreco_forecast::{Forecaster, ForecasterState};
 use foreco_robot::DriverConfig;
+use foreco_store::{ModelHandle, ObjectId, Storage, StoreError, TraceHandle};
 use foreco_teleop::{Dataset, Skill};
 use foreco_wifi::LinkConfig;
 use serde::{Deserialize, Serialize};
@@ -25,9 +26,18 @@ use std::sync::Arc;
 pub type SessionId = u64;
 
 /// A trained forecaster shared across sessions and shards.
+///
+/// [`SharedForecaster::register`] additionally files the model in a
+/// `foreco-store` [`Storage`] under its content address, so a fleet
+/// registering the same trained model N times still holds one resident
+/// copy — every clone of the wrapper (one per session engine) carries a
+/// store claim that keeps the model alive until the last session drops.
 #[derive(Clone)]
 pub struct SharedForecaster {
     inner: Arc<dyn Forecaster>,
+    /// Store claim pinning the registered model (`None` for ad-hoc
+    /// `new`-wrapped forecasters that bypass the store).
+    claim: Option<ModelHandle>,
 }
 
 impl SharedForecaster {
@@ -35,12 +45,37 @@ impl SharedForecaster {
     pub fn new<F: Forecaster + 'static>(forecaster: F) -> Self {
         Self {
             inner: Arc::new(forecaster),
+            claim: None,
         }
+    }
+
+    /// Registers a trained forecaster in shared storage, deduplicating
+    /// against any already-registered model with bit-identical
+    /// parameters: the returned wrapper (and every clone of it) shares
+    /// the resident model and claims it for as long as it lives.
+    ///
+    /// # Errors
+    /// [`StoreError::UnsupportedModel`] when the forecaster exports no
+    /// [`ForecasterState`] (seq2seq) and so cannot be content-addressed.
+    pub fn register<F: Forecaster + 'static>(
+        forecaster: F,
+        store: &Storage,
+    ) -> Result<Self, StoreError> {
+        let claim = store.insert_model(Arc::new(forecaster))?;
+        Ok(Self {
+            inner: Arc::clone(claim.forecaster()),
+            claim: Some(claim),
+        })
     }
 
     /// The underlying forecaster's display name.
     pub fn name(&self) -> &'static str {
         self.inner.name()
+    }
+
+    /// The model's content address in shared storage, when registered.
+    pub fn store_id(&self) -> Option<ObjectId> {
+        self.claim.as_ref().map(ModelHandle::id)
     }
 }
 
@@ -48,6 +83,7 @@ impl std::fmt::Debug for SharedForecaster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedForecaster")
             .field("name", &self.inner.name())
+            .field("store_id", &self.store_id())
             .finish()
     }
 }
@@ -106,6 +142,13 @@ pub enum SourceSpec {
     /// Replay a pre-recorded command list, shared across sessions
     /// (thousands of sessions can replay one dataset with zero copies).
     Replayed(Arc<Vec<Vec<f64>>>),
+    /// Replay a trace claimed from a `foreco-store` [`Storage`]. Like
+    /// [`SourceSpec::Replayed`] the rows are shared, but the claim also
+    /// dedups across *independently built* specs (same content ⇒ same
+    /// resident object) and keeps the trace evictable the moment the
+    /// last session drops: the session holds the claim for its
+    /// lifetime, acquired at build time, never on the tick path.
+    Stored(TraceHandle),
     /// Commands arrive live through [`ServiceHandle::inject`]
     /// (`crate::ServiceHandle::inject`) into the session's bounded inbox;
     /// `initial` is the agreed start pose.
@@ -150,8 +193,21 @@ pub enum SourceSpec {
 
 impl SourceSpec {
     /// Convenience: replay an already-recorded dataset.
+    ///
+    /// Copies the rows once per call (sessions built from clones of the
+    /// returned spec still share that one `Arc`). When many specs are
+    /// built independently over the same dataset, prefer
+    /// [`SourceSpec::stored`] — the store dedups by content, so N specs
+    /// cost one resident copy no matter how they were constructed.
     pub fn replay(dataset: &Dataset) -> Self {
         SourceSpec::Replayed(Arc::new(dataset.commands.clone()))
+    }
+
+    /// Replay a dataset through shared storage: the trace is filed under
+    /// its content address (copied only if not already resident) and the
+    /// spec carries a claim on it.
+    pub fn stored(store: &Storage, dataset: &Dataset) -> Self {
+        SourceSpec::Stored(store.insert_trace(&dataset.commands))
     }
 }
 

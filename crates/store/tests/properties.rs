@@ -1,0 +1,175 @@
+//! Property suite for the shared store's refcounting contract.
+//!
+//! Three invariants carry the whole subsystem, so they get randomized
+//! coverage rather than a handful of examples:
+//!
+//! 1. **claims are conserved** — under arbitrary interleavings of
+//!    clone/claim/drop across threads, the live claim count equals the
+//!    number of outstanding handles, never more, never less;
+//! 2. **eviction happens exactly at the last drop** — an object is
+//!    resident while any claim exists and gone the moment none does
+//!    (no early eviction, no leak);
+//! 3. **identity is content, bit for bit** — `-0.0` and `+0.0` are
+//!    different objects, while bit-identical NaN payloads are one.
+//!
+//! Run with a fixed case count via `PROPTEST_CASES` (CI pins it); the
+//! concurrency cases only bite under `--release`, which is how the CI
+//! store job runs them.
+
+use foreco_store::{trace_object_id, Storage, TraceHandle};
+use proptest::prelude::*;
+
+/// A trace whose rows depend deterministically on `seed` (so distinct
+/// seeds give distinct content, equal seeds bit-equal content).
+fn trace(seed: u64, rows: usize, dims: usize) -> Vec<Vec<f64>> {
+    (0..rows)
+        .map(|r| {
+            (0..dims)
+                .map(|d| ((seed ^ (r as u64 * 31 + d as u64)) % 1000) as f64 * 0.001)
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::env_or(16))]
+
+    /// Claims are conserved across concurrent clone/claim/drop storms:
+    /// `threads` workers each claim the same trace `per_thread` times
+    /// (mixing fresh content-claims with handle clones), hold them all,
+    /// then drop them all. While any worker holds a claim the object is
+    /// resident; after the join-and-drop the store is empty.
+    #[test]
+    fn concurrent_claims_are_conserved(
+        seed in 0u64..1_000,
+        threads in 2usize..6,
+        per_thread in 1usize..8,
+        rows in 1usize..12,
+    ) {
+        let store = Storage::new();
+        let rows_data = trace(seed, rows, 3);
+        let root = store.insert_trace(&rows_data);
+        let id = root.id();
+
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let store = store.clone();
+                let rows_data = rows_data.clone();
+                let root = root.clone();
+                std::thread::spawn(move || -> Vec<TraceHandle> {
+                    (0..per_thread)
+                        .map(|k| {
+                            // Alternate acquisition paths: content
+                            // re-insert (dedup hit) vs handle clone
+                            // (reclaim) vs id lookup.
+                            match (t + k) % 3 {
+                                0 => store.insert_trace(&rows_data),
+                                1 => root.clone(),
+                                _ => store.get_trace(id).expect("resident while root lives"),
+                            }
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        let held: Vec<Vec<TraceHandle>> =
+            workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+        // Every path landed on the same object, and the claim count is
+        // exactly the outstanding handles (root + all workers').
+        let stats = store.stats();
+        prop_assert_eq!(stats.traces.objects, 1);
+        prop_assert_eq!(stats.traces.claims, 1 + (threads * per_thread) as u64);
+        for handles in &held {
+            for h in handles {
+                prop_assert_eq!(h.id(), id);
+            }
+        }
+
+        // Drop the workers' claims concurrently; the root keeps the
+        // object alive through the storm.
+        let droppers: Vec<_> = held
+            .into_iter()
+            .map(|handles| std::thread::spawn(move || drop(handles)))
+            .collect();
+        for d in droppers {
+            d.join().unwrap();
+        }
+        let stats = store.stats();
+        prop_assert_eq!(stats.traces.objects, 1);
+        prop_assert_eq!(stats.traces.claims, 1);
+        prop_assert!(store.get_trace(id).is_some());
+
+        // Last claim drops → eviction, exactly then.
+        drop(root);
+        let stats = store.stats();
+        prop_assert_eq!(stats.traces.objects, 0);
+        prop_assert_eq!(stats.traces.claims, 0);
+        prop_assert_eq!(stats.traces.evictions, 1);
+        prop_assert_eq!(stats.resident_bytes(), 0);
+        prop_assert!(store.get_trace(id).is_none());
+    }
+
+    /// Eviction timing under a random drop order: N claims on one
+    /// object, dropped in a seed-determined order — the object stays
+    /// resident until the very last drop and is gone right after.
+    #[test]
+    fn eviction_exactly_at_last_claim_drop(
+        seed in 0u64..1_000,
+        claims in 1usize..10,
+        rows in 1usize..8,
+    ) {
+        let store = Storage::new();
+        let rows_data = trace(seed, rows, 2);
+        let mut handles: Vec<TraceHandle> =
+            (0..claims).map(|_| store.insert_trace(&rows_data)).collect();
+        let id = handles[0].id();
+        prop_assert_eq!(store.stats().traces.inserts, 1);
+        prop_assert_eq!(store.stats().traces.dedup_hits, (claims - 1) as u64);
+
+        // Seed-determined drop order.
+        while handles.len() > 1 {
+            let pick = (seed as usize + handles.len()) % handles.len();
+            handles.swap_remove(pick);
+            // Still resident: claims remain.
+            prop_assert!(store.get_trace(id).is_some(), "evicted early");
+            prop_assert_eq!(store.stats().traces.objects, 1);
+        }
+        drop(handles);
+        prop_assert!(store.get_trace(id).is_none(), "leaked after last drop");
+        prop_assert_eq!(store.stats().traces.objects, 0);
+        prop_assert_eq!(store.stats().traces.evictions, 1);
+    }
+
+    /// Content addressing is bit addressing: traces differing only in a
+    /// `-0.0` vs `+0.0` cell are distinct objects, while two traces
+    /// carrying the same NaN bit pattern are one.
+    #[test]
+    fn identity_is_bitwise(
+        seed in 0u64..1_000,
+        rows in 1usize..8,
+        cell in 0usize..4,
+    ) {
+        let store = Storage::new();
+        let base = trace(seed, rows, 4);
+        let row = seed as usize % rows;
+
+        let mut pos = base.clone();
+        pos[row][cell] = 0.0;
+        let mut neg = base.clone();
+        neg[row][cell] = -0.0;
+        let a = store.insert_trace(&pos);
+        let b = store.insert_trace(&neg);
+        prop_assert_ne!(a.id(), b.id(), "-0.0 must be distinct content");
+        prop_assert_eq!(store.stats().traces.objects, 2);
+
+        let mut nan = base.clone();
+        nan[row][cell] = f64::NAN;
+        let c = store.insert_trace(&nan);
+        let d = store.insert_trace(&nan);
+        prop_assert_eq!(c.id(), d.id(), "bit-identical NaN payloads must dedup");
+        prop_assert_eq!(trace_object_id(&nan), c.id());
+        prop_assert_eq!(store.stats().traces.objects, 3);
+        prop_assert_eq!(store.stats().traces.dedup_hits, 1);
+    }
+}

@@ -76,6 +76,13 @@ impl Dataset {
         self.commands.first().map_or(0, Vec::len)
     }
 
+    /// Moves the command rows out without copying them — the zero-copy
+    /// path into shared storage (`foreco-store` files the rows under
+    /// their content address; `insert_trace_owned` takes them as-is).
+    pub fn into_commands(self) -> Vec<Vec<f64>> {
+        self.commands
+    }
+
     /// Splits into `(train, test)` at fraction `alpha` of the length —
     /// the paper's `αH` / `βH` split.
     ///

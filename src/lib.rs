@@ -15,6 +15,7 @@
 //! |---|---|---|
 //! | [`net`] | `foreco-net` | socket ingress gateway, binary wire codec, operator client |
 //! | [`serve`] | `foreco-serve` | sharded multi-session service runtime, metrics registry |
+//! | [`store`] | `foreco-store` | refcounted content-addressed storage for traces, models, blobs |
 //! | [`recovery`] | `foreco-core` | recovery engine, channels, closed loop, Fig-8 grid |
 //! | [`forecast`] | `foreco-forecast` | MA, VAR, seq2seq, Holt, VARMA + training pipeline |
 //! | [`robot`] | `foreco-robot` | Niryo-One-like arm, DH kinematics, PID driver loop |
@@ -185,6 +186,39 @@
 //! let resumed = Session::restore(&snap, &model).unwrap();
 //! assert_eq!(resumed.tick(), 100);
 //! ```
+//!
+//! # Shared storage
+//!
+//! A fleet replaying the same teleop trace, or forecasting with the
+//! same trained model, should pay for that content **once**. The
+//! [`store`] crate provides a clonable, thread-safe [`store::Storage`]
+//! that files traces, trained forecaster models, and opaque blobs under
+//! their *content address* — a stable hash over canonical bytes, so two
+//! bit-identical payloads are one resident object no matter who
+//! inserted them — and refcounts each object through RAII claim
+//! handles: the last claim dropping evicts the object. Sessions acquire
+//! claims at build time ([`serve::SourceSpec::stored`],
+//! [`serve::SharedForecaster::register`]), never on the tick path, so
+//! the zero-allocation hot path is untouched. Bulk checkpoints dedup
+//! the same way: `ServiceHandle::snapshot_fleet` writes each distinct
+//! trace once into a [`serve::FleetArchive`] and
+//! `ServiceHandle::adopt_fleet` revives the fleet sharing one resident
+//! copy:
+//!
+//! ```
+//! use foreco::prelude::*;
+//!
+//! let store = Storage::new();
+//! let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 8);
+//! // A thousand specs built independently over the same dataset all
+//! // resolve to one resident trace.
+//! let a = SourceSpec::stored(&store, &trace);
+//! let b = SourceSpec::stored(&store, &trace);
+//! assert_eq!(store.stats().traces.objects, 1);
+//! assert_eq!(store.stats().traces.claims, 2);
+//! drop((a, b)); // last claim dropped → evicted
+//! assert_eq!(store.stats().resident_bytes(), 0);
+//! ```
 
 pub use foreco_core as recovery;
 pub use foreco_des as des;
@@ -194,6 +228,7 @@ pub use foreco_net as net;
 pub use foreco_nn as nn;
 pub use foreco_robot as robot;
 pub use foreco_serve as serve;
+pub use foreco_store as store;
 pub use foreco_teleop as teleop;
 pub use foreco_wifi as wifi;
 
@@ -219,11 +254,12 @@ pub mod prelude {
     };
     pub use foreco_robot::{niryo_one, ArmModel, DriverConfig, RobotDriver};
     pub use foreco_serve::{
-        BalancerConfig, ChannelSpec, EventWait, MetricsRegistry, Pacing, RecoverySpec, Scheduler,
-        Service, ServiceConfig, ServiceError, ServiceHandle, ServiceSummary, SessionCommand,
-        SessionEvent, SessionReport, SessionSnapshot, SessionSpec, ShardLoadSummary,
-        SharedForecaster, SourceSpec, Wake,
+        BalancerConfig, ChannelSpec, EventWait, FleetArchive, MetricsRegistry, Pacing,
+        RecoverySpec, Scheduler, Service, ServiceConfig, ServiceError, ServiceHandle,
+        ServiceSummary, SessionCommand, SessionEvent, SessionReport, SessionSnapshot, SessionSpec,
+        ShardLoadSummary, SharedForecaster, SourceSpec, Wake,
     };
+    pub use foreco_store::{ModelHandle, ObjectId, Storage, StoreStats, TraceHandle};
     pub use foreco_teleop::{Dataset, Operator, Skill};
     pub use foreco_wifi::{DcfModel, Interference, LinkConfig, Params, WirelessLink};
 }

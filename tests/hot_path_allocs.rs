@@ -170,6 +170,54 @@ fn scripted_session_advance_is_allocation_free() {
     }
 }
 
+/// Store-backed scripted sessions obey the same contract: the trace
+/// claim is acquired once at session build (`SourceSpec::stored`) and
+/// merely *held* thereafter — the tick path never touches the store's
+/// locks or the allocator. Pins the "claims never on the hot path"
+/// invariant from the shared-storage design.
+#[test]
+fn stored_session_advance_is_allocation_free() {
+    use foreco::store::Storage;
+
+    let model = niryo_one();
+    let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+    let var = Var::fit_differenced(&train, 5, 1e-6).expect("fit VAR");
+    let store = Storage::new();
+    let dataset = Dataset::record(Skill::Inexperienced, 2, 0.02, 8);
+    let total = dataset.commands.len();
+    let spec = SessionSpec::new(
+        4,
+        SourceSpec::stored(&store, &dataset),
+        ChannelSpec::ControlledLoss {
+            burst_len: 6,
+            burst_prob: 0.02,
+            seed: 9,
+        },
+        RecoverySpec::FoReCo {
+            forecaster: SharedForecaster::new(var),
+            config: RecoveryConfig::for_model(&model),
+        },
+    );
+    let mut session = Session::open(&spec, &model);
+    assert_eq!(store.stats().traces.objects, 1);
+    let warmup = total / 4;
+    for _ in 0..warmup {
+        assert!(matches!(session.advance(), Advance::Ticked(_)));
+    }
+    let measured = total / 2;
+    for i in 0..measured {
+        let n = allocs_during(|| {
+            assert!(matches!(session.advance(), Advance::Ticked(_)));
+        });
+        assert_eq!(n, 0, "tick {i} of the stored session allocated {n} times");
+    }
+    // The claim outlived the whole run without being re-acquired; the
+    // trace evicts only when spec and session both drop.
+    drop(session);
+    drop(spec);
+    assert_eq!(store.stats().traces.objects, 0);
+}
+
 /// A starved streamed session exercises the other steady state: misses
 /// covered by forecasts, then horizon holds at the idle fixed point
 /// (including the per-tick park-eligibility probing). Still 0 allocs.

@@ -315,6 +315,103 @@ fn migration_mid_run_is_bit_identical() {
     }
 }
 
+/// The v1 decode arm stays live: a self-contained snapshot whose
+/// version field is rewritten to 1 (the wire form every pre-store
+/// release produced — v1 layouts are a subset of v2) must decode
+/// through the explicit v1 match arm, restore, and continue
+/// bit-identically to the uninterrupted donor twin.
+#[test]
+fn v1_snapshot_cross_decodes_and_restores_bit_identically() {
+    let model = niryo_one();
+    let spec = spec_for(31, 5150, 6, 0.015, 777, true, &model);
+
+    let mut straight = Session::open(&spec, &model);
+    let solo = run_out(&mut straight);
+
+    let mut donor = Session::open(&spec, &model);
+    for _ in 0..150 {
+        assert!(matches!(donor.advance(), Advance::Ticked(_)));
+    }
+    let bytes = donor.snapshot().unwrap().to_bytes();
+    let text = String::from_utf8(bytes).unwrap();
+    assert!(
+        text.contains("\"version\":2"),
+        "current snapshots must be v2"
+    );
+    // Masquerade as the previous release's wire form. A self-contained
+    // (non-ScriptedRef) v2 snapshot is layout-identical to v1, so this
+    // byte edit *is* a v1 document.
+    let v1_text = text.replacen("\"version\":2", "\"version\":1", 1);
+    let snap = SessionSnapshot::from_bytes(v1_text.as_bytes()).expect("v1 decode arm");
+    assert_eq!(snap.version, 1);
+
+    let mut revived = Session::restore(&snap, &model).expect("v1 restore");
+    assert_eq!(revived.tick(), 150);
+    let report = run_out(&mut revived);
+    assert_reports_bit_identical(&report, &solo, "v1 cross-decode");
+}
+
+/// Store-backed sessions checkpoint *by reference*: `snapshot_for_fleet`
+/// emits a `ScriptedRef` snapshot (content address + RLE fates, no
+/// trace rows), and `restore_stored` rehydrates it from a claim — with
+/// continued output bit-identical to the uninterrupted donor twin.
+#[test]
+fn stored_session_fleet_snapshot_restores_bit_identically() {
+    use foreco::serve::SourceState;
+    use foreco::store::Storage;
+
+    let model = niryo_one();
+    let store = Storage::new();
+    let dataset = Dataset::record(Skill::Inexperienced, 1, 0.02, 4242);
+    let spec = SessionSpec::new(
+        41,
+        SourceSpec::stored(&store, &dataset),
+        ChannelSpec::ControlledLoss {
+            burst_len: 7,
+            burst_prob: 0.02,
+            seed: 123,
+        },
+        RecoverySpec::FoReCo {
+            forecaster: SharedForecaster::new(shared_var().clone()),
+            config: RecoveryConfig::for_model(&model),
+        },
+    );
+
+    let mut straight = Session::open(&spec, &model);
+    let solo = run_out(&mut straight);
+
+    let mut donor = Session::open(&spec, &model);
+    for _ in 0..180 {
+        assert!(matches!(donor.advance(), Advance::Ticked(_)));
+    }
+    let (snap, trace) = donor.snapshot_for_fleet().expect("fleet snapshot");
+    let (trace_id, _payload) = trace.expect("scripted source must export its trace ref");
+    match &snap.source {
+        SourceState::ScriptedRef { trace, .. } => assert_eq!(*trace, trace_id),
+        other => panic!("expected ScriptedRef, got {other:?}"),
+    }
+    // The by-reference snapshot survives a byte round trip and is far
+    // smaller than the materialized form.
+    let bytes = snap.to_bytes();
+    let snap = SessionSnapshot::from_bytes(&bytes).unwrap();
+    let inline = snap
+        .materialized(&dataset.commands)
+        .expect("rehydrate inline")
+        .to_bytes();
+    assert!(
+        bytes.len() * 4 < inline.len(),
+        "by-reference snapshot ({}) must be much smaller than inline ({})",
+        bytes.len(),
+        inline.len()
+    );
+
+    let handle = store.get_trace(trace_id).expect("trace still claimed");
+    let mut revived = Session::restore_stored(&snap, &model, handle).expect("restore from claim");
+    assert_eq!(revived.tick(), 180);
+    let report = run_out(&mut revived);
+    assert_reports_bit_identical(&report, &solo, "stored fleet snapshot");
+}
+
 /// A checkpoint taken in one pool revives in a pool of a different
 /// shard count — snapshots carry no placement assumptions.
 #[test]

@@ -30,6 +30,22 @@
 //! figure must be ~0 (the `hot_path_allocs` test pins exactly 0 per
 //! steady tick); this row gives the perf trajectory a trend line.
 //!
+//! The **calibration** scenario runs a frozen pure-f64 arithmetic
+//! kernel (see [`calibration_run`]) and reports its iterations/sec —
+//! a measure of *this* container's scalar f64 speed, taken in the same
+//! process as every other scenario. Dividing engine throughput by it
+//! yields a dimensionless ratio that is comparable across machines,
+//! which is what the CI perf gate asserts (`FORECO_ENGINE_TICKS_RATIO`)
+//! instead of an absolute ticks/s constant that only reproduces on the
+//! container it was recorded on.
+//!
+//! The **batched** scenario pits the per-session scalar miss path
+//! (`tick_into(None)`, one virtual dispatch per engine) against the
+//! batched SoA lane (gather windows → one `forecast_batch` → hand each
+//! engine its row via `tick_miss_prepared`) across a fleet of engines
+//! sharing one forecaster, asserts the outputs are bit-identical, and
+//! records `batched_speedup_vs_scalar`.
+//!
 //! Knobs: `FORECO_SERVE_SESSIONS` (default 1024),
 //! `FORECO_SERVE_CYCLES` (replay length, default 1),
 //! `FORECO_SERVE_SHARDS` (comma list, default `1,2,4,8`),
@@ -38,9 +54,12 @@
 //! `FORECO_SERVE_IDLE_ROUNDS` (hot-session inject rounds, default 400),
 //! `FORECO_SERVE_WAKEUP_BUDGET` (optional hard ceiling on idle-heavy
 //! event-mode wakeups/tick; breach exits non-zero),
-//! `FORECO_ENGINE_TICKS_BUDGET` (optional hard floor on the 1-shard
-//! `ticks_per_sec`; shortfall exits non-zero — the CI regression gate,
-//! set to committed-baseline × 0.9),
+//! `FORECO_ENGINE_TICKS_RATIO` (optional hard floor on 1-shard
+//! `ticks_per_sec` ÷ calibration iterations/sec; shortfall exits
+//! non-zero — the CI regression gate, set to committed-baseline-ratio
+//! × 0.9; recalibration rule in ROADMAP),
+//! `FORECO_SERVE_BATCH_SESSIONS` (batched-lane fleet size, default 256),
+//! `FORECO_SERVE_BATCH_ROUNDS` (measured miss rounds, default 400),
 //! `FORECO_SERVE_HOTPATH_TICKS` (measured hot-path ticks, default 200000),
 //! `FORECO_SERVE_INGRESS_SESSIONS` (default 16),
 //! `FORECO_SERVE_INGRESS_FRAMES` (per-session datagrams, default 1000),
@@ -205,16 +224,180 @@ struct BytesRow {
 }
 
 #[derive(Serialize)]
+struct CalibrationRow {
+    /// Fixed iteration count of the frozen kernel.
+    iterations: u64,
+    wall_s: f64,
+    /// This container's scalar-f64 speed — the denominator of the
+    /// relative perf gate.
+    iterations_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BatchedRow {
+    forecaster: String,
+    /// Engines sharing the lane's forecaster.
+    lane_sessions: usize,
+    /// Measured miss ticks per path (rounds × lane_sessions).
+    ticks: u64,
+    scalar_ns_per_tick: f64,
+    batched_ns_per_tick: f64,
+    /// Scalar ns/tick ÷ batched ns/tick over the same miss ticks.
+    batched_speedup_vs_scalar: f64,
+    /// Every miss tick's forecast matched the scalar path bit for bit.
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
 struct Output {
     bench: String,
     sessions: u64,
     ticks_per_session: usize,
     forecaster: String,
+    calibration: CalibrationRow,
+    /// 1-shard `ticks_per_sec` ÷ calibration iterations/sec — the
+    /// dimensionless number the CI gate bounds.
+    engine_vs_calibration_ratio: f64,
     rows: Vec<Row>,
     engine_hot_path: Vec<HotPathRow>,
+    batched: Vec<BatchedRow>,
     idle_heavy: Vec<IdleRow>,
     ingress: Vec<IngressRow>,
     bytes_per_session: BytesRow,
+}
+
+/// The frozen calibration kernel: a fixed-length pure-f64 arithmetic
+/// chain over a SplitMix64 stream. Its iterations/sec measures the
+/// container's scalar floating-point speed with zero dependence on any
+/// foreco crate, so `engine ticks/s ÷ calibration iters/s` is a
+/// dimensionless ratio that transfers across machines — the basis of
+/// the CI perf gate.
+///
+/// **FROZEN — never modify this function.** Any change to the
+/// arithmetic (or the iteration count passed by `main`) silently
+/// rescales every recorded ratio; the gate must then be recalibrated
+/// (see ROADMAP "CI perf gates").
+fn calibration_run(iterations: u64) -> CalibrationRow {
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut acc = 1.0f64;
+    let t0 = Instant::now();
+    for _ in 0..iterations {
+        // ~the engine's mix: a multiply-add, a divide, a square root.
+        let x = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        acc = (acc * 0.999_999 + x).sqrt() + x / (1.0 + acc);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    CalibrationRow {
+        iterations,
+        wall_s,
+        iterations_per_sec: iterations as f64 / wall_s,
+    }
+}
+
+/// The batched-vs-scalar lane scenario: two identically-warmed fleets
+/// of recovery engines sharing one forecaster march through the same
+/// deliver/miss cadence; the miss ticks are timed per path (scalar
+/// `tick_into(None)` vs lane gather → `forecast_batch` →
+/// `tick_miss_prepared`) and every forecast is compared bit for bit.
+fn batched_run(
+    name: &str,
+    forecaster: SharedForecaster,
+    fx: &Fixture,
+    replay: &[Vec<f64>],
+    lane_sessions: usize,
+    rounds: usize,
+) -> BatchedRow {
+    use foreco_core::RecoveryEngine;
+    use foreco_forecast::{BatchLane, ForecastScratch, Forecaster};
+
+    let dof = fx.model.dof();
+    let build_fleet = || -> Vec<RecoveryEngine> {
+        (0..lane_sessions)
+            .map(|_| {
+                RecoveryEngine::new(
+                    Box::new(forecaster.clone()),
+                    RecoveryConfig::for_model(&fx.model),
+                    fx.model.clamp(&replay[0]),
+                )
+            })
+            .collect()
+    };
+    let mut scalar = build_fleet();
+    let mut batched = build_fleet();
+    let mut out_a = vec![0.0f64; dof];
+    let mut out_b = vec![0.0f64; dof];
+    // Warm both fleets past the forecast horizon on real deliveries.
+    let warmup = forecaster.history_len() + 2;
+    for j in 0..warmup {
+        let cmd = fx.model.clamp(&replay[j % replay.len()]);
+        for e in scalar.iter_mut().chain(batched.iter_mut()) {
+            e.tick_into(Some(&cmd), &mut out_a);
+        }
+    }
+
+    let mut lane = BatchLane::new(forecaster.shared());
+    let mut scratch = ForecastScratch::new();
+    let mut bit_identical = true;
+    let mut scalar_wall = Duration::ZERO;
+    let mut batched_wall = Duration::ZERO;
+    let mut mismatch_scratch = vec![0u64; lane_sessions * dof];
+    for round in 0..rounds {
+        // Timed miss tick, scalar path: one virtual dispatch per engine.
+        let t0 = Instant::now();
+        for (i, e) in scalar.iter_mut().enumerate() {
+            e.tick_into(None, &mut out_a);
+            for (slot, v) in mismatch_scratch[i * dof..(i + 1) * dof]
+                .iter_mut()
+                .zip(&out_a)
+            {
+                *slot = v.to_bits();
+            }
+        }
+        scalar_wall += t0.elapsed();
+
+        // Timed miss tick, batched path: gather → one lane sweep →
+        // prepared rows.
+        let t0 = Instant::now();
+        lane.clear();
+        for e in &batched {
+            lane.push_window(&e.history_view());
+        }
+        lane.run(&mut scratch);
+        for (i, e) in batched.iter_mut().enumerate() {
+            e.tick_miss_prepared(lane.result(i), &mut out_b);
+            bit_identical &= mismatch_scratch[i * dof..(i + 1) * dof]
+                .iter()
+                .zip(&out_b)
+                .all(|(&bits, v)| bits == v.to_bits());
+        }
+        batched_wall += t0.elapsed();
+
+        // Untimed delivery keeps both fleets under the forecast horizon.
+        let cmd = fx.model.clamp(&replay[round % replay.len()]);
+        for e in scalar.iter_mut().chain(batched.iter_mut()) {
+            e.tick_into(Some(&cmd), &mut out_a);
+        }
+    }
+    let ticks = (rounds * lane_sessions) as u64;
+    let scalar_ns = scalar_wall.as_secs_f64() * 1e9 / ticks as f64;
+    let batched_ns = batched_wall.as_secs_f64() * 1e9 / ticks as f64;
+    BatchedRow {
+        forecaster: name.to_string(),
+        lane_sessions,
+        ticks,
+        scalar_ns_per_tick: scalar_ns,
+        batched_ns_per_tick: batched_ns,
+        batched_speedup_vs_scalar: scalar_ns / batched_ns,
+        bit_identical,
+    }
 }
 
 /// Profiles one hosted session's steady-state tick: ns/tick and
@@ -655,8 +838,8 @@ fn bytes_per_session_run(fx: &Fixture, sessions: u64, cycles: usize) -> BytesRow
 }
 
 fn main() {
-    // env_knob rejects zero, which would otherwise panic summary()
-    // on an empty registry.
+    // env_knob rejects zero, which would otherwise leave summary()
+    // with an empty registry (and this bench with nothing to report).
     let sessions = env_knob("FORECO_SERVE_SESSIONS", 1024) as u64;
     let cycles = env_knob("FORECO_SERVE_CYCLES", 1);
     let mut shard_counts: Vec<usize> = std::env::var("FORECO_SERVE_SHARDS")
@@ -718,7 +901,7 @@ fn main() {
         let started = Instant::now();
         let registry = service.run_to_completion(specs(sessions));
         let wall_s = started.elapsed().as_secs_f64();
-        let summary = registry.summary();
+        let summary = registry.summary().expect("sessions completed");
         let ticks_per_sec = summary.total_ticks as f64 / wall_s;
         if rows.is_empty() {
             base_rate = ticks_per_sec;
@@ -747,15 +930,29 @@ fn main() {
         });
     }
 
-    // Optional CI gate: the single-shard throughput must not regress
-    // below the committed baseline (the bench job sets the budget to
-    // baseline × 0.9). Parsed up front so a typo fails fast, but the
+    // Optional CI gate: the single-shard throughput, normalised by the
+    // frozen calibration kernel measured in this same process on this
+    // same container, must not regress below the committed baseline
+    // ratio × 0.9. Parsed up front so a typo fails fast, but the
     // verdict is deferred to the end of main — a breach must not
     // discard the engine_hot_path diagnostics (ns/tick, allocs/tick)
     // or the BENCH_serve.json artifact needed to debug it.
-    let ticks_budget: Option<f64> = std::env::var("FORECO_ENGINE_TICKS_BUDGET")
+    let ratio_budget: Option<f64> = std::env::var("FORECO_ENGINE_TICKS_RATIO")
         .ok()
-        .map(|v| v.parse().expect("FORECO_ENGINE_TICKS_BUDGET: number"));
+        .map(|v| v.parse().expect("FORECO_ENGINE_TICKS_RATIO: number"));
+
+    // ---- calibration: the frozen container-speed denominator ----
+    let calibration = calibration_run(20_000_000);
+    let one_shard_rate = rows
+        .iter()
+        .find(|r| r.shards == 1)
+        .map(|r| r.ticks_per_sec)
+        .unwrap_or(0.0);
+    let engine_vs_calibration_ratio = one_shard_rate / calibration.iterations_per_sec;
+    println!(
+        "\ncalibration: {:.0} kernel iters/s in {:.3} s — engine/calibration ratio {:.4}",
+        calibration.iterations_per_sec, calibration.wall_s, engine_vs_calibration_ratio
+    );
 
     // ---- engine hot path: one session's steady-state tick profile ----
     let hotpath_ticks = env_knob("FORECO_SERVE_HOTPATH_TICKS", 200_000) as u64;
@@ -784,6 +981,45 @@ fn main() {
             row.allocs_per_tick
         );
         engine_hot_path.push(row);
+    }
+
+    // ---- batched scenario: SoA lanes vs per-session dispatch ----
+    let batch_sessions = env_knob("FORECO_SERVE_BATCH_SESSIONS", 256);
+    let batch_rounds = env_knob("FORECO_SERVE_BATCH_ROUNDS", 400);
+    println!(
+        "\nbatched: {batch_sessions}-engine lanes × {batch_rounds} miss rounds, \
+         scalar dispatch vs one SoA sweep"
+    );
+    println!(
+        "{:>10} {:>10} {:>14} {:>14} {:>9} {:>14}",
+        "forecaster", "ticks", "scalar ns/t", "batched ns/t", "speedup", "bit-identical"
+    );
+    let mut batched = Vec::new();
+    for (name, shared) in [
+        ("VAR", forecaster.clone()),
+        (
+            "MA",
+            SharedForecaster::new(MovingAverage::new(5, fx.model.dof())),
+        ),
+    ] {
+        let row = batched_run(name, shared, &fx, &hot_replay, batch_sessions, batch_rounds);
+        println!(
+            "{:>10} {:>10} {:>14.1} {:>14.1} {:>8.2}x {:>14}",
+            row.forecaster,
+            row.ticks,
+            row.scalar_ns_per_tick,
+            row.batched_ns_per_tick,
+            row.batched_speedup_vs_scalar,
+            row.bit_identical
+        );
+        if !row.bit_identical {
+            eprintln!(
+                "FAIL: batched {} lane diverged from the scalar path",
+                row.forecaster
+            );
+            std::process::exit(1);
+        }
+        batched.push(row);
     }
 
     // ---- idle-heavy scenario: mostly-parked fleet, few hot sessions ----
@@ -913,8 +1149,11 @@ fn main() {
         sessions,
         ticks_per_session: replay.len(),
         forecaster: forecaster.name().to_string(),
+        calibration,
+        engine_vs_calibration_ratio,
         rows,
         engine_hot_path,
+        batched,
         idle_heavy,
         ingress,
         bytes_per_session: bytes_row,
@@ -923,27 +1162,30 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write bench output");
     println!("\nwrote {out_path}");
 
-    // Deferred ticks-budget verdict (see above): every scenario has run
+    // Deferred ratio-gate verdict (see above): every scenario has run
     // and the artifact is on disk, so a breach still leaves the full
-    // diagnostic trail behind.
-    if let Some(budget) = ticks_budget {
-        let one = output
-            .rows
-            .iter()
-            .find(|r| r.shards == 1)
-            .expect("FORECO_ENGINE_TICKS_BUDGET needs a 1-shard row");
-        if one.ticks_per_sec < budget {
+    // diagnostic trail behind. The gate is dimensionless — engine
+    // throughput over the frozen calibration kernel's speed, both
+    // measured in this process on this container — so it transfers
+    // across machines where an absolute ticks/s floor did not.
+    if let Some(budget) = ratio_budget {
+        assert!(
+            output.rows.iter().any(|r| r.shards == 1),
+            "FORECO_ENGINE_TICKS_RATIO needs a 1-shard row"
+        );
+        if output.engine_vs_calibration_ratio < budget {
             eprintln!(
-                "FAIL: 1-shard throughput {:.0} ticks/s below budget {budget} — \
-                 the engine hot path regressed (see the engine_hot_path rows \
-                 in {out_path} for ns/tick and allocs/tick)",
-                one.ticks_per_sec
+                "FAIL: engine/calibration ratio {:.4} below budget {budget} — \
+                 the engine hot path regressed relative to this container's \
+                 f64 speed (see the engine_hot_path rows in {out_path} for \
+                 ns/tick and allocs/tick)",
+                output.engine_vs_calibration_ratio
             );
             std::process::exit(1);
         }
         println!(
-            "engine ticks budget: {:.0} ≥ {budget} (OK)",
-            one.ticks_per_sec
+            "engine ratio gate: {:.4} ≥ {budget} (OK)",
+            output.engine_vs_calibration_ratio
         );
     }
 }

@@ -1,0 +1,248 @@
+//! Structure-of-arrays batching across forecaster *instances of the
+//! same model* — vectorize across sessions, not within one.
+//!
+//! A fleet's real shape is thousands of recovery loops running the same
+//! trained forecaster at the same dimensionality. [`BatchLane`] gathers
+//! those sessions' history windows into one contiguous member-major
+//! `f64` block and runs a single [`Forecaster::forecast_batch`] sweep
+//! over it: one virtual dispatch per lane per pass instead of one per
+//! session, with every window walk a linear scan the compiler can keep
+//! in cache.
+//!
+//! **Determinism contract.** Each member's prediction is computed by
+//! the exact floating-point operations of the scalar
+//! [`Forecaster::forecast_into`] path on that member's rows, in the
+//! same order — members never mix. When the forecaster reports no
+//! native batched kernel (`forecast_batch` → `false`), [`BatchLane::run`]
+//! falls back to per-member `forecast_into` over a contiguous
+//! [`HistoryView`] of the gathered window, which is bit-identical to
+//! the caller's own scalar call by the split-≡-contiguous view
+//! equivalence pinned in [`crate::history`]'s tests.
+
+use crate::{ForecastScratch, Forecaster, HistoryView};
+use std::sync::Arc;
+
+/// One structure-of-arrays forecasting lane: a shared forecaster plus
+/// the gathered history windows of every member session this pass.
+///
+/// Buffers are retained across [`BatchLane::clear`] calls, so a lane
+/// reused pass after pass performs zero heap allocations once it has
+/// seen its high-water membership.
+pub struct BatchLane {
+    forecaster: Arc<dyn Forecaster>,
+    window_rows: usize,
+    dims: usize,
+    members: usize,
+    /// Member-major gathered windows:
+    /// `members × window_rows × dims`, rows oldest-first.
+    windows: Vec<f64>,
+    /// Member-major predictions: `members × dims`.
+    out: Vec<f64>,
+}
+
+impl BatchLane {
+    /// Creates an empty lane for the given shared forecaster.
+    pub fn new(forecaster: Arc<dyn Forecaster>) -> Self {
+        let window_rows = forecaster.history_len();
+        let dims = forecaster.dims();
+        Self {
+            forecaster,
+            window_rows,
+            dims,
+            members: 0,
+            windows: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// The shared forecaster this lane batches over.
+    pub fn forecaster(&self) -> &Arc<dyn Forecaster> {
+        &self.forecaster
+    }
+
+    /// Rows gathered per member window (the forecaster's
+    /// [`Forecaster::history_len`]).
+    pub fn window_rows(&self) -> usize {
+        self.window_rows
+    }
+
+    /// Command dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Members gathered since the last [`BatchLane::clear`].
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// True when no members are gathered.
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
+    /// Drops this pass's members, retaining buffer capacity.
+    pub fn clear(&mut self) {
+        self.members = 0;
+        self.windows.truncate(0);
+    }
+
+    /// Gathers the last `window_rows` rows of `history` as the next
+    /// member's window; returns the member index for
+    /// [`BatchLane::result`].
+    ///
+    /// # Panics
+    /// Panics when `history` is shorter than `window_rows` or its
+    /// dimensionality mismatches the lane.
+    pub fn push_window(&mut self, history: &HistoryView<'_>) -> usize {
+        assert_eq!(history.dims(), self.dims, "batch lane: dimension mismatch");
+        // The ring window is at most two contiguous runs: gather it as
+        // (at most) two memcpys, never a per-row loop.
+        let (head, tail) = history.suffix(self.window_rows).runs();
+        self.windows.extend_from_slice(head);
+        self.windows.extend_from_slice(tail);
+        let member = self.members;
+        self.members += 1;
+        member
+    }
+
+    /// Runs the batched forecast over every gathered member, natively
+    /// when the forecaster supports it, else by bit-identical per-member
+    /// scalar fallback. Results are read back via [`BatchLane::result`].
+    pub fn run(&mut self, scratch: &mut ForecastScratch) {
+        self.out.resize(self.members * self.dims, 0.0);
+        if self.members == 0 {
+            return;
+        }
+        if self
+            .forecaster
+            .forecast_batch(self.members, &self.windows, scratch, &mut self.out)
+        {
+            return;
+        }
+        // Scalar fallback: the member's gathered window is a contiguous
+        // HistoryView, which presents the exact rows the forecaster
+        // would see on the caller's ring (split ≡ contiguous).
+        let stride = self.window_rows * self.dims;
+        for (w, o) in self
+            .windows
+            .chunks_exact(stride)
+            .zip(self.out.chunks_exact_mut(self.dims))
+        {
+            let view = HistoryView::contiguous(w, self.dims);
+            self.forecaster.forecast_into(&view, scratch, o);
+        }
+    }
+
+    /// The prediction computed for member `i` by the last
+    /// [`BatchLane::run`].
+    pub fn result(&self, i: usize) -> &[f64] {
+        &self.out[i * self.dims..(i + 1) * self.dims]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Holt, KalmanCv, MovingAverage, Var};
+    use foreco_teleop::{Dataset, Skill};
+
+    fn ramp_rows(rows: usize, dims: usize, phase: f64) -> Vec<Vec<f64>> {
+        (0..rows)
+            .map(|i| {
+                (0..dims)
+                    .map(|k| phase + 0.01 * (i * dims + k) as f64)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn flat(rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().flatten().copied().collect()
+    }
+
+    #[test]
+    fn native_batch_matches_scalar_bit_for_bit() {
+        let train = Dataset::record(Skill::Experienced, 1, 0.02, 3);
+        let forecasters: Vec<Arc<dyn Forecaster>> = vec![
+            Arc::new(MovingAverage::new(5, 6)),
+            Arc::new(Holt::default_teleop(5, 6)),
+            Arc::new(KalmanCv::default_teleop(5, 6)),
+            Arc::new(Var::fit_differenced(&train, 5, 1e-6).unwrap()),
+        ];
+        for f in forecasters {
+            let rows = f.history_len();
+            let dims = f.dims();
+            let mut lane = BatchLane::new(Arc::clone(&f));
+            let windows: Vec<Vec<Vec<f64>>> = (0..7)
+                .map(|m| ramp_rows(rows, dims, 0.3 * m as f64))
+                .collect();
+            let flats: Vec<Vec<f64>> = windows.iter().map(|w| flat(w)).collect();
+            for w in &flats {
+                lane.push_window(&HistoryView::contiguous(w, dims));
+            }
+            let mut scratch = ForecastScratch::new();
+            lane.run(&mut scratch);
+            for (m, w) in flats.iter().enumerate() {
+                let mut scalar = vec![0.0; dims];
+                let mut s = ForecastScratch::new();
+                f.forecast_into(&HistoryView::contiguous(w, dims), &mut s, &mut scalar);
+                let got: Vec<u64> = lane.result(m).iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u64> = scalar.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "{} member {m}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_engages_for_unbatched_forecasters() {
+        struct Shim(MovingAverage);
+        impl Forecaster for Shim {
+            fn forecast(&self, history: &[Vec<f64>]) -> Vec<f64> {
+                self.0.forecast(history)
+            }
+            fn history_len(&self) -> usize {
+                self.0.history_len()
+            }
+            fn dims(&self) -> usize {
+                self.0.dims()
+            }
+            fn name(&self) -> &'static str {
+                "shim"
+            }
+        }
+        let inner = MovingAverage::new(3, 2);
+        assert!(!Shim(inner.clone()).forecast_batch(0, &[], &mut ForecastScratch::new(), &mut []));
+        let mut lane = BatchLane::new(Arc::new(Shim(inner.clone())));
+        let w = flat(&ramp_rows(3, 2, 0.0));
+        lane.push_window(&HistoryView::contiguous(&w, 2));
+        let mut scratch = ForecastScratch::new();
+        lane.run(&mut scratch);
+        let mut scalar = vec![0.0; 2];
+        inner.forecast_into(
+            &HistoryView::contiguous(&w, 2),
+            &mut ForecastScratch::new(),
+            &mut scalar,
+        );
+        assert_eq!(lane.result(0), scalar.as_slice());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut lane = BatchLane::new(Arc::new(MovingAverage::new(4, 3)));
+        let w = flat(&ramp_rows(4, 3, 0.0));
+        for _ in 0..16 {
+            lane.push_window(&HistoryView::contiguous(&w, 3));
+        }
+        let mut scratch = ForecastScratch::new();
+        lane.run(&mut scratch);
+        let cap = (lane.windows.capacity(), lane.out.capacity());
+        lane.clear();
+        assert!(lane.is_empty());
+        for _ in 0..16 {
+            lane.push_window(&HistoryView::contiguous(&w, 3));
+        }
+        lane.run(&mut scratch);
+        assert_eq!((lane.windows.capacity(), lane.out.capacity()), cap);
+    }
+}

@@ -90,6 +90,16 @@ impl<'a> HistoryView<'a> {
         self.row(self.len() - 1)
     }
 
+    /// The view's two underlying contiguous runs, older rows first.
+    /// Either slice may be empty; together they hold exactly
+    /// `len() × dims()` values. Lets bulk consumers (the batching
+    /// gather) copy a window as at most two `memcpy`s instead of a
+    /// per-row loop.
+    #[inline]
+    pub fn runs(&self) -> (&'a [f64], &'a [f64]) {
+        (self.head, self.tail)
+    }
+
     /// Iterates rows oldest → newest without allocating.
     pub fn iter(&self) -> impl Iterator<Item = &'a [f64]> {
         self.head

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod history;
 mod holt;
 mod kalman;
@@ -33,6 +34,7 @@ pub mod state;
 mod var;
 mod varma;
 
+pub use batch::BatchLane;
 pub use history::{ForecastScratch, HistoryView};
 pub use holt::Holt;
 pub use kalman::KalmanCv;
@@ -92,6 +94,39 @@ pub trait Forecaster: Send + Sync {
         let _ = scratch;
         let pred = self.forecast(&history.to_rows());
         out.copy_from_slice(&pred);
+    }
+
+    /// Batched forecast over a structure-of-arrays lane: `members`
+    /// gathered history windows, member-major (`windows[m]` occupies
+    /// `windows[m * history_len() * dims() ..][.. history_len() * dims()]`,
+    /// rows oldest-first), each producing one `dims()`-wide prediction in
+    /// the matching slice of `out`.
+    ///
+    /// Returns `true` when the forecaster ran the batch natively, `false`
+    /// when it has no batched kernel — the caller must then fall back to
+    /// per-member [`Forecaster::forecast_into`] over the same windows
+    /// (see [`BatchLane::run`]), which is bit-identical by construction.
+    ///
+    /// **Contract: bit-identical to the scalar path.** A native
+    /// implementation must perform, for each member independently, the
+    /// exact floating-point operations of `forecast_into` on that
+    /// member's window, in the same order. Members never mix — batching
+    /// wins by amortising dispatch and walking contiguous memory, not by
+    /// reassociating arithmetic. The `batch_identity` proptest suite
+    /// pins this for every batchable family.
+    ///
+    /// # Panics
+    /// Native implementations panic when `windows.len() != members *
+    /// history_len() * dims()` or `out.len() != members * dims()`.
+    fn forecast_batch(
+        &self,
+        members: usize,
+        windows: &[f64],
+        scratch: &mut ForecastScratch,
+        out: &mut [f64],
+    ) -> bool {
+        let _ = (members, windows, scratch, out);
+        false
     }
 
     /// Serialisable description of this forecaster for session

@@ -157,7 +157,10 @@ fn udp_replay_is_bit_identical_to_loopback_and_losses_reach_the_engine() {
     );
     assert!(engine.late_patches > 0, "§VII-C patches landed");
     assert_eq!(registry.ingress()[0].lost, udp_ingress.lost);
-    assert_eq!(registry.summary().total_misses, udp_report.misses as u64);
+    assert_eq!(
+        registry.summary().expect("session completed").total_misses,
+        udp_report.misses as u64
+    );
 }
 
 #[test]

@@ -1,0 +1,161 @@
+//! Per-shard batched forecasting sweep: SoA lanes across co-shard
+//! sessions.
+//!
+//! Before each scheduling pass's mutable session sweep, the shard runs
+//! an immutable *gather* pass over the same sessions in the same order:
+//! every session whose next tick is provably a forecast-covered miss
+//! ([`crate::Session::batch_window`]) contributes its history window to
+//! the [`BatchLane`] keyed by its shared forecaster. One
+//! [`BatchLane::run`] per lane then computes every member's raw
+//! forecast row — a single virtual dispatch and one contiguous memory
+//! walk where the scalar path would pay ~one dispatch per session —
+//! and the sweep hands each session its row through
+//! [`crate::Session::advance_batched`].
+//!
+//! **Lane membership is re-derived from scratch every pass.** There is
+//! no persistent registration to maintain across park/wake, migrate,
+//! or adopt: a session is in a lane on a given pass iff its peek
+//! qualifies on that pass, so membership is automatically correct
+//! under any churn, and any ambiguity (pending late patch, warmup,
+//! horizon hold, gated source) simply degrades that session to the
+//! bit-identical scalar path for the pass.
+
+use crate::spec::SessionId;
+use foreco_forecast::{BatchLane, ForecastScratch, Forecaster, HistoryView};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Lane key: the shared forecaster's pointer identity. Dims and window
+/// length are functions of the instance, so identity alone groups
+/// correctly — and two independently trained models never share a lane
+/// even when their parameters coincide.
+type LaneKey = usize;
+
+fn lane_key(model: &Arc<dyn Forecaster>) -> LaneKey {
+    Arc::as_ptr(model) as *const () as usize
+}
+
+/// The per-shard batching planner: lanes plus this pass's membership
+/// plan. All buffers are retained across passes — steady-state gathers
+/// and sweeps allocate nothing once the fleet's high-water lane shapes
+/// have been seen.
+pub(crate) struct BatchPlanner {
+    lanes: Vec<BatchLane>,
+    by_key: HashMap<LaneKey, usize>,
+    /// `(session, lane, member)` in gather order — the same ascending
+    /// session order the sweep visits, so consumption is a cursor walk.
+    plan: Vec<(SessionId, usize, usize)>,
+    cursor: usize,
+    scratch: ForecastScratch,
+}
+
+impl BatchPlanner {
+    pub(crate) fn new() -> Self {
+        Self {
+            lanes: Vec::new(),
+            by_key: HashMap::new(),
+            plan: Vec::new(),
+            cursor: 0,
+            scratch: ForecastScratch::new(),
+        }
+    }
+
+    /// Starts a new pass: clears membership, keeps lane buffers.
+    pub(crate) fn begin_pass(&mut self) {
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+        self.plan.truncate(0);
+        self.cursor = 0;
+    }
+
+    /// Gathers one qualifying session's window into its lane.
+    pub(crate) fn gather(
+        &mut self,
+        id: SessionId,
+        model: &Arc<dyn Forecaster>,
+        history: &HistoryView<'_>,
+    ) {
+        let key = lane_key(model);
+        let lane = match self.by_key.get(&key) {
+            Some(&i) => i,
+            None => {
+                self.lanes.push(BatchLane::new(Arc::clone(model)));
+                self.by_key.insert(key, self.lanes.len() - 1);
+                self.lanes.len() - 1
+            }
+        };
+        let member = self.lanes[lane].push_window(history);
+        self.plan.push((id, lane, member));
+    }
+
+    /// Runs every non-empty lane's batched forecast.
+    pub(crate) fn run(&mut self) {
+        for lane in &mut self.lanes {
+            lane.run(&mut self.scratch);
+        }
+    }
+
+    /// The prepared forecast row for `id`, when this pass's plan has
+    /// one. The sweep visits sessions in gather order, so this is an
+    /// O(1) cursor step; out-of-order lookups (a session completed and
+    /// removed mid-pass shifts nothing — the plan is immutable) still
+    /// resolve by skipping past stale entries.
+    pub(crate) fn take(&mut self, id: SessionId) -> Option<&[f64]> {
+        while let Some(&(planned, lane, member)) = self.plan.get(self.cursor) {
+            match planned == id {
+                true => {
+                    self.cursor += 1;
+                    return Some(self.lanes[lane].result(member));
+                }
+                false if planned < id => self.cursor += 1,
+                false => return None,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foreco_forecast::MovingAverage;
+
+    #[test]
+    fn plan_is_cursor_consumable_across_lanes() {
+        let ma2: Arc<dyn Forecaster> = Arc::new(MovingAverage::new(2, 1));
+        let ma3: Arc<dyn Forecaster> = Arc::new(MovingAverage::new(3, 1));
+        let mut planner = BatchPlanner::new();
+        planner.begin_pass();
+        let w2 = [1.0, 3.0];
+        let w3 = [0.0, 3.0, 6.0];
+        planner.gather(1, &ma2, &HistoryView::contiguous(&w2, 1));
+        planner.gather(4, &ma3, &HistoryView::contiguous(&w3, 1));
+        planner.gather(9, &ma2, &HistoryView::contiguous(&w2, 1));
+        planner.run();
+        assert_eq!(planner.take(0), None);
+        assert_eq!(planner.take(1), Some(&[2.0][..]));
+        assert_eq!(planner.take(2), None);
+        assert_eq!(planner.take(4), Some(&[3.0][..]));
+        assert_eq!(planner.take(9), Some(&[2.0][..]));
+        assert_eq!(planner.take(10), None);
+
+        // Next pass reuses lanes with fresh membership.
+        planner.begin_pass();
+        planner.gather(7, &ma2, &HistoryView::contiguous(&w2, 1));
+        planner.run();
+        assert_eq!(planner.take(7), Some(&[2.0][..]));
+    }
+
+    #[test]
+    fn same_parameters_different_registrations_stay_separate() {
+        let a: Arc<dyn Forecaster> = Arc::new(MovingAverage::new(2, 1));
+        let b: Arc<dyn Forecaster> = Arc::new(MovingAverage::new(2, 1));
+        let mut planner = BatchPlanner::new();
+        planner.begin_pass();
+        let w = [1.0, 3.0];
+        planner.gather(1, &a, &HistoryView::contiguous(&w, 1));
+        planner.gather(2, &b, &HistoryView::contiguous(&w, 1));
+        assert_eq!(planner.lanes.len(), 2, "identity keys, not parameters");
+    }
+}

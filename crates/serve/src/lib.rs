@@ -86,7 +86,7 @@
 //!     .collect();
 //!
 //! let registry = Service::spawn(ServiceConfig::with_shards(4)).run_to_completion(specs);
-//! let summary = registry.summary();
+//! let summary = registry.summary().expect("sessions completed");
 //! assert_eq!(summary.sessions, 32);
 //! assert!(summary.rmse_mm.p99.is_finite());
 //! ```
@@ -95,6 +95,7 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+mod batch;
 pub mod clock;
 pub mod inbox;
 pub mod metrics;

@@ -34,22 +34,23 @@ pub struct PercentileSummary {
 }
 
 impl PercentileSummary {
-    /// Summarises a non-empty set of values.
-    ///
-    /// # Panics
-    /// Panics on empty input.
-    pub fn of(values: &[f64]) -> Self {
-        assert!(!values.is_empty(), "percentiles: no values");
+    /// Summarises a set of values; `None` when the set is empty (an
+    /// empty distribution has no percentiles — callers decide whether
+    /// that means "no traffic yet" or "report generation bug").
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-        Self {
+        Some(Self {
             mean,
             p50: nearest_rank(&sorted, 0.50),
             p90: nearest_rank(&sorted, 0.90),
             p99: nearest_rank(&sorted, 0.99),
             max: sorted[sorted.len() - 1],
-        }
+        })
     }
 }
 
@@ -237,13 +238,14 @@ impl MetricsRegistry {
         &self.ingress
     }
 
-    /// Reduces to the service-wide summary.
-    ///
-    /// # Panics
-    /// Panics when no session has completed (there is nothing to
-    /// summarise).
-    pub fn summary(&self) -> ServiceSummary {
-        assert!(!self.reports.is_empty(), "metrics: no completed sessions");
+    /// Reduces to the service-wide summary; `None` when no session has
+    /// completed yet (there is nothing to summarise — previously this
+    /// panicked, which turned an idle service's stats query into a
+    /// crash).
+    pub fn summary(&self) -> Option<ServiceSummary> {
+        if self.reports.is_empty() {
+            return None;
+        }
         let mut recovery = RecoveryStats::default();
         for stats in self.reports.iter().filter_map(|r| r.stats.as_ref()) {
             recovery.ticks += stats.ticks;
@@ -255,15 +257,15 @@ impl MetricsRegistry {
         }
         let rmse: Vec<f64> = self.reports.iter().map(|r| r.rmse_mm).collect();
         let worst: Vec<f64> = self.reports.iter().map(|r| r.max_deviation_mm).collect();
-        ServiceSummary {
+        Some(ServiceSummary {
             sessions: self.reports.len(),
             total_ticks: self.reports.iter().map(|r| r.ticks).sum(),
             total_misses: self.reports.iter().map(|r| r.misses as u64).sum(),
             total_overflow_drops: self.reports.iter().map(|r| r.overflow_drops).sum(),
             recovery,
-            rmse_mm: PercentileSummary::of(&rmse),
-            max_deviation_mm: PercentileSummary::of(&worst),
-        }
+            rmse_mm: PercentileSummary::of(&rmse).expect("reports is non-empty"),
+            max_deviation_mm: PercentileSummary::of(&worst).expect("reports is non-empty"),
+        })
     }
 }
 
@@ -291,7 +293,7 @@ mod tests {
     #[test]
     fn percentiles_of_known_distribution() {
         let values: Vec<f64> = (1..=100).map(|v| v as f64).collect();
-        let p = PercentileSummary::of(&values);
+        let p = PercentileSummary::of(&values).expect("non-empty");
         assert_eq!(p.p50, 50.0);
         assert_eq!(p.p90, 90.0);
         assert_eq!(p.p99, 99.0);
@@ -301,10 +303,16 @@ mod tests {
 
     #[test]
     fn percentiles_of_singleton() {
-        let p = PercentileSummary::of(&[3.5]);
+        let p = PercentileSummary::of(&[3.5]).expect("non-empty");
         assert_eq!(p.p50, 3.5);
         assert_eq!(p.p99, 3.5);
         assert_eq!(p.max, 3.5);
+    }
+
+    #[test]
+    fn empty_sets_summarise_to_none() {
+        assert_eq!(PercentileSummary::of(&[]), None);
+        assert!(MetricsRegistry::new().summary().is_none());
     }
 
     #[test]
@@ -313,7 +321,7 @@ mod tests {
         for i in 0..10 {
             reg.record(report(i, i as f64));
         }
-        let s = reg.summary();
+        let s = reg.summary().expect("ten reports recorded");
         assert_eq!(s.sessions, 10);
         assert_eq!(s.total_ticks, 1000);
         assert_eq!(s.total_misses, 50);

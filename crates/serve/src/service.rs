@@ -82,6 +82,11 @@ pub struct ServiceConfig {
     /// thread (sessions stay wherever placement or explicit migration
     /// put them).
     pub balancer: Option<BalancerConfig>,
+    /// Batched SoA forecasting across co-shard sessions sharing a
+    /// forecaster. On by default; per-session results are bit-identical
+    /// either way (the batched kernels preserve the scalar f64 op
+    /// order), so this is purely a throughput knob.
+    pub batching: bool,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +100,7 @@ impl Default for ServiceConfig {
             period: TICK_PERIOD,
             scheduler: Scheduler::default(),
             balancer: None,
+            batching: true,
         }
     }
 }
@@ -451,6 +457,11 @@ impl Service {
             .collect();
         let controls: Vec<SyncSender<SessionCommand>> =
             channels.iter().map(|(tx, _)| tx.clone()).collect();
+        // One content-addressed store shared by every shard: restored
+        // sessions claim their model weights here instead of holding
+        // deep clones, so N same-model restores keep one resident copy
+        // (and share one batching lane key).
+        let models = Storage::new();
         let mut workers = Vec::with_capacity(config.shards);
         for (index, (_, control_rx)) in channels.into_iter().enumerate() {
             let worker = ShardWorker {
@@ -464,6 +475,8 @@ impl Service {
                 period: config.period,
                 scheduler: config.scheduler,
                 loads: Arc::clone(&loads),
+                models: models.clone(),
+                batching: config.batching,
             };
             workers.push(
                 std::thread::Builder::new()

@@ -29,11 +29,13 @@ use crate::snapshot::{
     compress_fates, expand_fates, RestoreError, SessionSnapshot, SnapshotError, SourceState,
     SNAPSHOT_VERSION,
 };
+use crate::spec::SharedForecaster;
 use crate::spec::{ChannelSpec, SessionId, SessionSpec, SourceSpec};
 use foreco_core::channel::{Arrival, Channel};
 use foreco_core::{EngineSnapshot, EngineStateError, RecoveryEngine, RecoveryStats};
+use foreco_forecast::{Forecaster, HistoryView};
 use foreco_robot::{ArmModel, DriverState, RobotDriver};
-use foreco_store::{trace_object_id, TraceHandle};
+use foreco_store::{trace_object_id, Storage, TraceHandle};
 use foreco_teleop::Dataset;
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
@@ -141,6 +143,12 @@ pub struct Session {
     id: SessionId,
     source: Source,
     engine: Option<RecoveryEngine>,
+    /// The trained forecaster this session shares with its siblings —
+    /// the `Arc` whose pointer identity keys batched forecasting lanes.
+    /// `None` for baseline sessions and for engines restored without
+    /// shared storage (deep-built weights batch with nobody, so they
+    /// stay on the scalar path).
+    shared_model: Option<Arc<dyn Forecaster>>,
     reference: RobotDriver,
     executed: RobotDriver,
     /// Late commands waiting to (maybe) patch FoReCo's history:
@@ -226,6 +234,7 @@ impl Session {
             source,
             injected: vec![0.0; model.dof()],
             engine: spec.recovery.build(start),
+            shared_model: spec.recovery.shared_model(),
             reference,
             executed,
             pending_late: Vec::new(),
@@ -325,6 +334,60 @@ impl Session {
     /// [`FATE_CHUNK`] streamed deliveries, and §VII-C pending-late
     /// bookkeeping.
     pub fn advance(&mut self) -> Advance {
+        self.advance_batched(None)
+    }
+
+    /// The batched-sweep gather peek: `Some((model, history))` exactly
+    /// when this session's *next* [`Session::advance`] is certain to be
+    /// a tick-consuming deadline miss that the engine will cover with a
+    /// fresh forecast over the returned history window — i.e. when a
+    /// pre-computed lane row handed to [`Session::advance_batched`]
+    /// will be consumed verbatim.
+    ///
+    /// Conservative by construction: any ambiguity (no shared model, no
+    /// engine, a §VII-C late patch pending, engine in warmup or
+    /// horizon-hold, a delivery due, a gated source whose misses are
+    /// explicit wire verdicts) returns `None` and the session takes the
+    /// scalar path, which is always bit-identical. The peek is only
+    /// valid until the session is next mutated, so shards gather and
+    /// advance within one pass, after timer wakes.
+    pub(crate) fn batch_window(&self) -> Option<(&Arc<dyn Forecaster>, HistoryView<'_>)> {
+        let model = self.shared_model.as_ref()?;
+        let engine = self.engine.as_ref()?;
+        // A pending late patch may splice the history between the gather
+        // and the tick (`pending_late_drain` runs first in the miss arm).
+        if !self.pending_late.is_empty() || !engine.miss_would_forecast() {
+            return None;
+        }
+        let miss_next = match &self.source {
+            Source::Scripted {
+                commands, fates, ..
+            } => {
+                // Late deliveries are misses *now* (the payload is
+                // queued for a future patch after the forecast), so both
+                // Lost and Late qualify.
+                let i = self.clock.tick() as usize;
+                i < commands.len() && !fates[i].on_time()
+            }
+            Source::Streamed { inbox, closing, .. } => inbox.is_empty() && !*closing,
+            // Gated misses are explicit wire verdicts; peeking would
+            // race the gateway, so gated sessions never batch.
+            Source::Gated { .. } => false,
+        };
+        if !miss_next {
+            return None;
+        }
+        Some((model, engine.history_view()))
+    }
+
+    /// [`Session::advance`] with an optionally pre-computed forecast
+    /// row from the shard's batched lane sweep. `prepared` must be the
+    /// row a [`Session::batch_window`] peek on the current state was
+    /// promised — the raw (pre-damping) forecast over that window —
+    /// and the tick then routes through
+    /// [`RecoveryEngine::tick_miss_prepared`], bit-identical to the
+    /// scalar miss path.
+    pub(crate) fn advance_batched(&mut self, prepared: Option<&[f64]>) -> Advance {
         // What does this tick deliver? `None` = deadline miss. Scripted
         // sessions borrow the command; live sources hand over the owned
         // buffer their offer already allocated.
@@ -443,7 +506,14 @@ impl Session {
                                 cmd.into_owned(),
                             ));
                         }
-                        engine.tick_into(None, &mut self.injected);
+                        match prepared {
+                            Some(raw) => {
+                                engine.tick_miss_prepared(raw, &mut self.injected);
+                            }
+                            None => {
+                                engine.tick_into(None, &mut self.injected);
+                            }
+                        }
                     }
                 }
                 self.executed.tick(Some(&self.injected)).position_mm
@@ -749,7 +819,25 @@ impl Session {
     /// invariants (dimension mismatches against `model`, inconsistent
     /// script/fate lengths, out-of-range restore points, …).
     pub fn restore(snap: &SessionSnapshot, model: &ArmModel) -> Result<Self, RestoreError> {
-        Self::restore_with(snap, model, None)
+        Self::restore_with(snap, model, None, None)
+    }
+
+    /// [`Session::restore`] with engine model weights resolved through
+    /// shared storage: the snapshot's forecaster is content-addressed
+    /// into `models`, so N same-model sessions restored on one store
+    /// hold N claims on *one* resident copy instead of N deep clones —
+    /// and land in the same batched forecasting lane. Forecasters the
+    /// store cannot address (none of the snapshotable families today)
+    /// fall back to the deep-built scalar path.
+    ///
+    /// # Errors
+    /// As [`Session::restore`].
+    pub fn restore_shared(
+        snap: &SessionSnapshot,
+        model: &ArmModel,
+        models: &Storage,
+    ) -> Result<Self, RestoreError> {
+        Self::restore_with(snap, model, None, Some(models))
     }
 
     /// Rehydrates a [`SourceState::ScriptedRef`] snapshot, resolving the
@@ -765,14 +853,17 @@ impl Session {
         model: &ArmModel,
         trace: TraceHandle,
     ) -> Result<Self, RestoreError> {
-        Self::restore_with(snap, model, Some(trace))
+        Self::restore_with(snap, model, Some(trace), None)
     }
 
-    /// Shared body of [`Session::restore`] / [`Session::restore_stored`].
+    /// Shared body of the restore entries. `models` is the optional
+    /// shared-storage route for engine weights (see
+    /// [`Session::restore_shared`]).
     pub(crate) fn restore_with(
         snap: &SessionSnapshot,
         model: &ArmModel,
         trace: Option<TraceHandle>,
+        models: Option<&Storage>,
     ) -> Result<Self, RestoreError> {
         match snap.version {
             // v1 layouts are a subset of v2 (no `ScriptedRef`), so the
@@ -930,21 +1021,44 @@ impl Session {
                 }
             }
         };
-        let engine = match &snap.engine {
-            None => None,
+        let (engine, shared_model) = match &snap.engine {
+            None => (None, None),
             Some(engine_snap) => {
                 if engine_snap.history.first().map(Vec::len) != Some(model.dof()) {
                     return Err(RestoreError::Invalid(
                         "engine dimensionality mismatches the arm".into(),
                     ));
                 }
-                Some(RecoveryEngine::from_snapshot(engine_snap.clone())?)
+                match models.and_then(|store| {
+                    // Content-address the snapshotted weights: same
+                    // model ⇒ same resident copy, claimed not cloned.
+                    // One transient build pays for the address; the
+                    // resident Arc is what the engine keeps.
+                    store
+                        .insert_model(Arc::from(engine_snap.forecaster.build()))
+                        .ok()
+                }) {
+                    Some(claim) => {
+                        let shared = SharedForecaster::from_handle(claim);
+                        let arc = shared.shared();
+                        let engine = RecoveryEngine::from_snapshot_with(
+                            engine_snap.clone(),
+                            Box::new(shared),
+                        )?;
+                        (Some(engine), Some(arc))
+                    }
+                    None => (
+                        Some(RecoveryEngine::from_snapshot(engine_snap.clone())?),
+                        None,
+                    ),
+                }
             }
         };
         Ok(Self {
             id: snap.id,
             source,
             engine,
+            shared_model,
             injected: vec![0.0; model.dof()],
             reference: RobotDriver::from_state(model.clone(), snap.driver, &snap.reference),
             executed: RobotDriver::from_state(model.clone(), snap.driver, &snap.executed),

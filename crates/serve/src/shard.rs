@@ -56,12 +56,14 @@
 //! drain the control inbox (blocking when quiescent), fire due timers,
 //! advance the run queue, publish load gauges, pace.
 
+use crate::batch::BatchPlanner;
 use crate::clock::{Pacer, Pacing};
 use crate::inbox::Offer;
 use crate::protocol::{SessionCommand, SessionEvent};
 use crate::sched::{Scheduler, ShardLoad, TimerWheel};
 use crate::session::{Advance, Session, Wake};
 use foreco_robot::ArmModel;
+use foreco_store::Storage;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
@@ -126,6 +128,11 @@ pub(crate) struct ShardWorker {
     pub(crate) period: f64,
     pub(crate) scheduler: Scheduler,
     pub(crate) loads: Arc<Vec<ShardLoad>>,
+    /// Service-wide shared storage: adopted sessions resolve engine
+    /// weights through it so same-model fleets hold claims, not copies.
+    pub(crate) models: Storage,
+    /// Batched SoA forecasting sweep on/off (`ServiceConfig::batching`).
+    pub(crate) batching: bool,
 }
 
 /// The shard's mutable scheduling state, factored out of the run loop so
@@ -158,6 +165,12 @@ struct Runtime {
     /// blocked in the other's). State parks here and is retried each
     /// pass instead.
     pending_transfers: Vec<(usize, Box<crate::snapshot::SessionSnapshot>)>,
+    /// Shared storage for adopted sessions' engine weights.
+    models: Storage,
+    /// Whether the pass runs the batched SoA forecasting sweep.
+    batching: bool,
+    /// Lane state for the batched sweep (buffers retained across passes).
+    planner: BatchPlanner,
 }
 
 impl Runtime {
@@ -459,7 +472,7 @@ impl Runtime {
             SessionCommand::Adopt { snapshot, trace } => {
                 let id = snapshot.id;
                 if let std::collections::btree_map::Entry::Vacant(slot) = self.sessions.entry(id) {
-                    match Session::restore_with(&snapshot, &self.model, trace) {
+                    match Session::restore_with(&snapshot, &self.model, trace, Some(&self.models)) {
                         Ok(session) => {
                             let tick = session.tick();
                             slot.insert(session);
@@ -528,6 +541,32 @@ impl Runtime {
     fn run_pass(&mut self) {
         let target = self.pass + 1;
         self.fire_timers();
+        // Batched SoA sweep, phase 1 (gather): after timer wakes (which
+        // mutate engine history via catch_up) and before any session
+        // advances, collect every provably-forecasting session's window
+        // into its lane and run one batched forecast per lane. Lane
+        // membership is re-derived here every pass — that, not a
+        // registry, is what keeps it correct across park/wake, migrate,
+        // and adopt. Phase 2 (the sweep below) hands each session its
+        // row; sessions the peek skipped take the scalar path,
+        // bit-identically.
+        if self.batching {
+            self.planner.begin_pass();
+            if self.runnable.len() == self.sessions.len() {
+                for (&id, session) in self.sessions.iter() {
+                    if let Some((model, history)) = session.batch_window() {
+                        self.planner.gather(id, model, &history);
+                    }
+                }
+            } else {
+                for &id in &self.runnable {
+                    if let Some((model, history)) = self.sessions[&id].batch_window() {
+                        self.planner.gather(id, model, &history);
+                    }
+                }
+            }
+            self.planner.run();
+        }
         let mut advanced = 0u64;
         let mut parked: Vec<(u64, Wake)> = Vec::new();
         let mut completed: Vec<(u64, Box<crate::session::SessionReport>)> = Vec::new();
@@ -537,7 +576,7 @@ impl Runtime {
             // event mode's settle phase): sweep the map directly rather
             // than paying a per-session id lookup.
             for (&id, session) in self.sessions.iter_mut() {
-                match session.advance() {
+                match session.advance_batched(self.planner.take(id)) {
                     Advance::Ticked(wake) => {
                         advanced += 1;
                         if event_driven && wake != Wake::Runnable {
@@ -560,7 +599,7 @@ impl Runtime {
             let ids: Vec<u64> = self.runnable.iter().copied().collect();
             for id in ids {
                 let session = self.sessions.get_mut(&id).expect("runnable session exists");
-                match session.advance() {
+                match session.advance_batched(self.planner.take(id)) {
                     Advance::Ticked(wake) => {
                         advanced += 1;
                         if event_driven && wake != Wake::Runnable {
@@ -626,6 +665,8 @@ impl ShardWorker {
             period,
             scheduler,
             loads,
+            models,
+            batching,
         } = self;
         let mut rt = Runtime {
             index,
@@ -642,6 +683,9 @@ impl ShardWorker {
             pass: 0,
             ticks_advanced: 0,
             pending_transfers: Vec::new(),
+            models,
+            batching,
+            planner: BatchPlanner::new(),
         };
         let mut pacer = Pacer::new(pacing, period);
         let mut shutdown = false;

@@ -68,6 +68,34 @@ impl SharedForecaster {
         })
     }
 
+    /// Wraps an already-shared trained forecaster without a storage
+    /// claim. Wrappers built around clones of one `Arc` share the
+    /// resident model — and hence a batched forecasting lane.
+    pub fn from_arc(forecaster: Arc<dyn Forecaster>) -> Self {
+        Self {
+            inner: forecaster,
+            claim: None,
+        }
+    }
+
+    /// Wraps a resident store model, holding its claim: the restore
+    /// path's entry point. N sessions restored around the same content
+    /// address share one resident forecaster instead of N deep-built
+    /// copies, and the claim keeps it alive until the last drops.
+    pub fn from_handle(claim: ModelHandle) -> Self {
+        Self {
+            inner: Arc::clone(claim.forecaster()),
+            claim: Some(claim),
+        }
+    }
+
+    /// The shared trained forecaster itself. The `Arc`'s pointer
+    /// identity is what keys batched forecasting lanes: sessions whose
+    /// wrappers clone the same registration land in the same lane.
+    pub fn shared(&self) -> Arc<dyn Forecaster> {
+        Arc::clone(&self.inner)
+    }
+
     /// The underlying forecaster's display name.
     pub fn name(&self) -> &'static str {
         self.inner.name()
@@ -104,6 +132,20 @@ impl Forecaster for SharedForecaster {
         // silently undoing the zero-allocation hot path for every
         // session sharing this forecaster.
         self.inner.forecast_into(history, scratch, out)
+    }
+
+    fn forecast_batch(
+        &self,
+        members: usize,
+        windows: &[f64],
+        scratch: &mut foreco_forecast::ForecastScratch,
+        out: &mut [f64],
+    ) -> bool {
+        // Delegation matters: the trait default reports "no native
+        // kernel", which would push every lane sharing this wrapper
+        // through the per-member fallback even when the inner
+        // forecaster batches natively.
+        self.inner.forecast_batch(members, windows, scratch, out)
     }
 
     fn history_len(&self) -> usize {
@@ -285,6 +327,15 @@ impl RecoverySpec {
                 config.clone(),
                 initial,
             )),
+        }
+    }
+
+    /// The shared forecaster `Arc` for batched-lane grouping (`None`
+    /// for baseline sessions).
+    pub(crate) fn shared_model(&self) -> Option<Arc<dyn Forecaster>> {
+        match self {
+            RecoverySpec::Baseline => None,
+            RecoverySpec::FoReCo { forecaster, .. } => Some(forecaster.shared()),
         }
     }
 }

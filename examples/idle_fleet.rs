@@ -177,7 +177,7 @@ fn main() {
     }
     registry.record_shard_loads(handle.shard_loads());
     service.join();
-    let summary = registry.summary();
+    let summary = registry.summary().expect("sessions completed");
     println!(
         "\n{} sessions reported: {} total ticks, {} misses covered, rmse p50 {:.2} mm / p99 {:.2} mm",
         summary.sessions,

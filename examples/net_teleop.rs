@@ -96,7 +96,7 @@ fn main() {
         ingress_rows.push(ingress);
     }
     registry.record_ingress(ingress_rows);
-    let summary = registry.summary();
+    let summary = registry.summary().expect("sessions completed");
     println!(
         "fleet: {} sessions · {} ticks · {} misses covered · rmse p50 {:.3} mm",
         summary.sessions, summary.total_ticks, summary.total_misses, summary.rmse_mm.p50

@@ -77,7 +77,7 @@ fn main() {
     let registry = service.run_to_completion(specs);
     let elapsed = started.elapsed();
 
-    let s = registry.summary();
+    let s = registry.summary().expect("sessions completed");
     let tick_rate = s.total_ticks as f64 / elapsed.as_secs_f64();
     println!(
         "\ncompleted {} sessions in {:.2?} ({:.0} session-ticks/s)",

@@ -87,10 +87,54 @@
 //!     .collect();
 //! // Event-driven scheduling is the default; the balancer is opt-in.
 //! let registry = Service::spawn(ServiceConfig::with_balanced_shards(2)).run_to_completion(specs);
-//! assert_eq!(registry.summary().sessions, 16);
+//! assert_eq!(registry.summary().expect("sessions completed").sessions, 16);
 //! // The per-shard load picture (runnable vs parked, wakeups/pass,
 //! // migrations) rides along with the reports.
 //! assert_eq!(registry.shard_loads().len(), 2);
+//! ```
+//!
+//! # Batched forecasting — a throughput knob that moves zero bits
+//!
+//! With [`serve::ServiceConfig::batching`] on (the default), each shard
+//! pass groups co-shard sessions that share one resident forecaster and
+//! are provably about to forecast into structure-of-arrays lanes, and
+//! replaces their per-session virtual dispatch with one
+//! [`forecast::Forecaster::forecast_batch`] sweep per lane. Membership
+//! is re-derived from scratch every pass, so park/wake, migration, and
+//! adoption need no bookkeeping; any session the planner cannot prove
+//! will miss simply takes the scalar path. Batched kernels preserve the
+//! scalar per-member f64 operation order exactly, so the knob changes
+//! throughput only — every report is bit-identical either way:
+//!
+//! ```
+//! use foreco::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+//! let shared = SharedForecaster::new(Var::fit_differenced(&train, 5, 1e-6).unwrap());
+//! let replay = Arc::new(Dataset::record(Skill::Inexperienced, 1, 0.02, 8).head(160).commands);
+//! let specs = || -> Vec<SessionSpec> {
+//!     (0..8)
+//!         .map(|id| SessionSpec::new(
+//!             id,
+//!             SourceSpec::Replayed(Arc::clone(&replay)),
+//!             ChannelSpec::ControlledLoss { burst_len: 8, burst_prob: 0.01, seed: id },
+//!             RecoverySpec::FoReCo {
+//!                 forecaster: shared.clone(),
+//!                 config: RecoveryConfig::for_model(&niryo_one()),
+//!             },
+//!         ))
+//!         .collect()
+//! };
+//! let run = |batching: bool| {
+//!     Service::spawn(ServiceConfig { batching, ..ServiceConfig::with_shards(2) })
+//!         .run_to_completion(specs())
+//! };
+//! let (batched, scalar) = (run(true), run(false));
+//! for id in 0..8 {
+//!     let (a, b) = (batched.get(id).unwrap(), scalar.get(id).unwrap());
+//!     assert_eq!(a.rmse_mm.to_bits(), b.rmse_mm.to_bits()); // same bits
+//! }
 //! ```
 //!
 //! # Real operators over the network

@@ -255,6 +255,137 @@ fn starved_streamed_session_is_allocation_free() {
     }
 }
 
+/// The batched SoA sweep obeys the same discipline: once the lane's
+/// buffers have hit their high-water mark, a full batched miss round —
+/// gather every engine's window, one `forecast_batch`, hand each engine
+/// its row through `tick_miss_prepared` — performs zero allocations,
+/// and so do the interleaved deliveries. Pins the "batching enabled"
+/// half of the zero-alloc contract at the machinery level.
+#[test]
+fn batched_lane_sweep_is_allocation_free() {
+    use foreco::forecast::{BatchLane, ForecastScratch};
+    use std::sync::Arc;
+
+    let model = niryo_one();
+    let commands = Dataset::record(Skill::Inexperienced, 1, 0.02, 42).commands;
+    for (name, forecaster) in families() {
+        let shared: Arc<dyn Forecaster> = Arc::from(forecaster);
+        let mut engines: Vec<RecoveryEngine> = (0..16)
+            .map(|_| {
+                RecoveryEngine::new(
+                    Box::new(SharedForecaster::from_arc(Arc::clone(&shared))),
+                    RecoveryConfig::for_model(&model),
+                    model.clamp(&commands[0]),
+                )
+            })
+            .collect();
+        let mut out = vec![0.0; model.dof()];
+        for cmd in &commands[..12] {
+            for e in &mut engines {
+                e.tick_into(Some(cmd), &mut out);
+            }
+        }
+        let mut lane = BatchLane::new(Arc::clone(&shared));
+        let mut scratch = ForecastScratch::new();
+        // Warmup round: lane buffers and scratch grow to high water,
+        // and the post-outage delivery exercises each engine's rebase
+        // buffers once.
+        lane.clear();
+        for e in &engines {
+            lane.push_window(&e.history_view());
+        }
+        lane.run(&mut scratch);
+        for (i, e) in engines.iter_mut().enumerate() {
+            e.tick_miss_prepared(lane.result(i), &mut out);
+        }
+        for e in &mut engines {
+            e.tick_into(Some(&commands[12]), &mut out);
+        }
+        // Steady state: every batched miss round and every delivery
+        // round is allocation-free.
+        for (round, cmd) in commands[12..112].iter().enumerate() {
+            let n = allocs_during(|| {
+                lane.clear();
+                for e in &engines {
+                    lane.push_window(&e.history_view());
+                }
+                lane.run(&mut scratch);
+                for (i, e) in engines.iter_mut().enumerate() {
+                    e.tick_miss_prepared(lane.result(i), &mut out);
+                }
+                for e in &mut engines {
+                    e.tick_into(Some(cmd), &mut out);
+                }
+            });
+            assert_eq!(n, 0, "{name}: batched round {round} allocated {n} times");
+        }
+    }
+}
+
+/// The restore path shares model weights through the content-addressed
+/// store: N sessions rehydrated from same-model snapshots hold N claims
+/// on **one** resident forecaster (ROADMAP #2's last headroom), and
+/// their steady-state ticks stay allocation-free.
+#[test]
+fn restored_sessions_share_one_resident_model() {
+    use foreco::store::Storage;
+
+    let model = niryo_one();
+    let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+    let var = Var::fit_differenced(&train, 5, 1e-6).expect("fit VAR");
+    let replay = std::sync::Arc::new(Dataset::record(Skill::Inexperienced, 2, 0.02, 8).commands);
+    let total = replay.len();
+    let spec_for = |id: u64| {
+        SessionSpec::new(
+            id,
+            SourceSpec::Replayed(std::sync::Arc::clone(&replay)),
+            ChannelSpec::ControlledLoss {
+                burst_len: 6,
+                burst_prob: 0.02,
+                seed: 9 + id,
+            },
+            RecoverySpec::FoReCo {
+                forecaster: SharedForecaster::new(var.clone()),
+                config: RecoveryConfig::for_model(&model),
+            },
+        )
+    };
+    let store = Storage::new();
+    let mut restored = Vec::new();
+    for id in 0..8 {
+        let mut donor = Session::open(&spec_for(id), &model);
+        for _ in 0..total / 4 {
+            donor.advance();
+        }
+        let snap = donor.snapshot().expect("snapshot");
+        restored.push(Session::restore_shared(&snap, &model, &store).expect("restore"));
+    }
+    let stats = store.stats().models;
+    assert_eq!(stats.objects, 1, "eight restores, one resident model");
+    assert_eq!(stats.claims, 8, "every session holds a claim");
+    // The shared-model engines tick allocation-free like any other.
+    // Warm the restored session through its first misses first: the
+    // forecast scratch is transient state, rebuilt (and grown once) on
+    // the first post-restore forecast.
+    let mut session = restored.pop().expect("one restored session");
+    for _ in 0..total / 4 {
+        session.advance();
+    }
+    for i in 0..total / 3 {
+        let n = allocs_during(|| {
+            assert!(matches!(session.advance(), Advance::Ticked(_)));
+        });
+        assert_eq!(n, 0, "tick {i} of the restored session allocated {n} times");
+    }
+    drop(session);
+    drop(restored);
+    assert_eq!(
+        store.stats().models.objects,
+        0,
+        "dropping the last claim evicts the model"
+    );
+}
+
 /// The off-steady paths are *bounded*, not zero: a gated (socket-fed)
 /// session pays one fate-chunk refill per 256 delivered commands and a
 /// small constant for §VII-C late bookkeeping — never O(R·dims) per

@@ -133,13 +133,70 @@ fn per_session_results_invariant_across_shard_counts() {
     }
 
     // And the aggregate summaries are identical too.
-    let s1 = by_shard_count[0].1.summary();
+    let s1 = by_shard_count[0].1.summary().expect("sessions completed");
     for (_, registry) in &by_shard_count[1..] {
         assert_eq!(
-            registry.summary(),
+            registry.summary().expect("sessions completed"),
             s1,
             "aggregate summary must be shard-count invariant"
         );
+    }
+}
+
+/// The batched SoA forecasting sweep is a pure throughput concern: with
+/// batching on (the default) or off, at 1, 2, and 8 shards, under the
+/// eager sweep or the event-driven scheduler, every per-session report
+/// must carry identical RMSE bits. The ground truth row is the scalar
+/// path (batching off) under the eager sweep.
+#[test]
+fn batched_and_scalar_paths_agree() {
+    let model = niryo_one();
+    let var = forecaster();
+    let shared = SharedForecaster::new(var);
+    let specs = || -> Vec<SessionSpec> {
+        (0..SESSIONS)
+            .map(|id| spec_for(id, &shared, &model))
+            .collect()
+    };
+    for shards in [1usize, 2, 8] {
+        let ground = Service::spawn(ServiceConfig {
+            scheduler: Scheduler::Eager,
+            batching: false,
+            ..ServiceConfig::with_shards(shards)
+        })
+        .run_to_completion(specs());
+        let rows = [
+            ("eager+batched", Scheduler::Eager, true),
+            ("event+scalar", Scheduler::default(), false),
+            ("event+batched", Scheduler::default(), true),
+        ];
+        for (label, scheduler, batching) in rows {
+            let run = Service::spawn(ServiceConfig {
+                scheduler,
+                batching,
+                ..ServiceConfig::with_shards(shards)
+            })
+            .run_to_completion(specs());
+            for id in 0..SESSIONS {
+                let want = ground.get(id).expect("scalar report");
+                let got = run.get(id).expect("report");
+                assert_eq!(
+                    got.rmse_mm.to_bits(),
+                    want.rmse_mm.to_bits(),
+                    "session {id} rmse not bit-identical ({label} @ {shards} shards)"
+                );
+                assert_eq!(
+                    got.max_deviation_mm.to_bits(),
+                    want.max_deviation_mm.to_bits(),
+                    "session {id} max deviation ({label} @ {shards} shards)"
+                );
+                assert_eq!(
+                    got.stats, want.stats,
+                    "session {id} stats ({label} @ {shards} shards)"
+                );
+            }
+            assert_eq!(run.summary(), ground.summary(), "{label} @ {shards} shards");
+        }
     }
 }
 
@@ -197,8 +254,12 @@ fn eager_and_event_driven_schedulers_agree() {
                 );
             }
         }
-        assert_eq!(eager.summary(), event.summary());
-        assert_eq!(eager.summary(), balanced.summary());
+        let ground_summary = eager.summary().expect("sessions completed");
+        assert_eq!(event.summary().expect("sessions completed"), ground_summary);
+        assert_eq!(
+            balanced.summary().expect("sessions completed"),
+            ground_summary
+        );
         // The scheduler really scheduled: every pool advanced every tick.
         let loads = event.shard_loads();
         assert_eq!(loads.len(), shards);
@@ -218,7 +279,7 @@ fn loss_patterns_actually_exercised() {
         .map(|id| spec_for(id, &shared, &model))
         .collect();
     let registry = Service::spawn(ServiceConfig::with_shards(2)).run_to_completion(specs);
-    let s = registry.summary();
+    let s = registry.summary().expect("sessions completed");
     assert!(s.total_misses > 0, "channels produced no losses");
     assert!(s.recovery.forecasts > 0, "engines never forecast");
     assert!(s.rmse_mm.max > 0.0, "no task-space error recorded");

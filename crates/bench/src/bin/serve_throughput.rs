@@ -41,10 +41,23 @@
 //!
 //! The **batched** scenario pits the per-session scalar miss path
 //! (`tick_into(None)`, one virtual dispatch per engine) against the
-//! batched SoA lane (gather windows → one `forecast_batch` → hand each
-//! engine its row via `tick_miss_prepared`) across a fleet of engines
-//! sharing one forecaster, asserts the outputs are bit-identical, and
-//! records `batched_speedup_vs_scalar`.
+//! batched lane in the layout the adaptive plan
+//! ([`foreco_forecast::plan_layout`]) picks for each family at the
+//! fleet width (gather windows → one lane sweep → hand each engine its
+//! row via `tick_miss_prepared`) across a fleet of engines sharing one
+//! forecaster, asserts the outputs are bit-identical, and records
+//! `batched_speedup_vs_scalar` per family. Families whose plan is
+//! Scalar (cheap kernels — MA, Holt) are never gathered in the serve
+//! planner, so their "batched" column re-times the scalar path: the
+//! recorded speedup is the noise floor the "throughput unchanged"
+//! claim is judged against.
+//!
+//! The **lane_sweep** scenario validates the layout thresholds behind
+//! that plan: for each family it forces member-major and slot-major
+//! lanes across widths 1–1024 (straddling `SLOT_MAJOR_MIN_WIDTH`
+//! with width−1/width/width+1 cells) against a scalar reference fleet,
+//! records per-width speedups plus the layout the plan would choose,
+//! and exits non-zero if any layout moves a single bit.
 //!
 //! Knobs: `FORECO_SERVE_SESSIONS` (default 1024),
 //! `FORECO_SERVE_CYCLES` (replay length, default 1),
@@ -60,6 +73,10 @@
 //! × 0.9; recalibration rule in ROADMAP),
 //! `FORECO_SERVE_BATCH_SESSIONS` (batched-lane fleet size, default 256),
 //! `FORECO_SERVE_BATCH_ROUNDS` (measured miss rounds, default 400),
+//! `FORECO_SERVE_SWEEP_WIDTHS` (lane_sweep width list, default
+//! `1,2,4,8,16,31,32,33,64,128,256,512,1024`),
+//! `FORECO_SERVE_SWEEP_TICKS` (target miss ticks per lane_sweep cell,
+//! default 16384 — rounds scale inversely with width),
 //! `FORECO_SERVE_HOTPATH_TICKS` (measured hot-path ticks, default 200000),
 //! `FORECO_SERVE_INGRESS_SESSIONS` (default 16),
 //! `FORECO_SERVE_INGRESS_FRAMES` (per-session datagrams, default 1000),
@@ -77,7 +94,7 @@
 
 use foreco_bench::{banner, env_knob, Fixture};
 use foreco_core::RecoveryConfig;
-use foreco_forecast::MovingAverage;
+use foreco_forecast::{CostClass, Holt, KalmanCv, LaneLayout, MovingAverage};
 use foreco_serve::{
     Advance, BalancerConfig, ChannelSpec, EventWait, RecoverySpec, Scheduler, Service,
     ServiceConfig, Session, SessionSpec, SharedForecaster, SourceSpec,
@@ -238,12 +255,35 @@ struct BatchedRow {
     forecaster: String,
     /// Engines sharing the lane's forecaster.
     lane_sessions: usize,
+    /// The layout the adaptive plan picked for this family at this
+    /// width ("Scalar" = the serve planner never gathers the family).
+    layout: String,
     /// Measured miss ticks per path (rounds × lane_sessions).
     ticks: u64,
     scalar_ns_per_tick: f64,
     batched_ns_per_tick: f64,
     /// Scalar ns/tick ÷ batched ns/tick over the same miss ticks.
     batched_speedup_vs_scalar: f64,
+    /// Every miss tick's forecast matched the scalar path bit for bit.
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct LaneSweepRow {
+    forecaster: String,
+    /// Lane width (engines sharing the forecaster).
+    width: usize,
+    /// The layout this row forced and measured.
+    layout: String,
+    /// The layout [`foreco_forecast::plan_layout`] would choose at
+    /// this width — the threshold this sweep exists to validate.
+    chosen: String,
+    /// Measured miss ticks per path (rounds × width).
+    ticks: u64,
+    scalar_ns_per_tick: f64,
+    layout_ns_per_tick: f64,
+    /// Scalar ns/tick ÷ forced-layout ns/tick.
+    speedup_vs_scalar: f64,
     /// Every miss tick's forecast matched the scalar path bit for bit.
     bit_identical: bool,
 }
@@ -261,6 +301,7 @@ struct Output {
     rows: Vec<Row>,
     engine_hot_path: Vec<HotPathRow>,
     batched: Vec<BatchedRow>,
+    lane_sweep: Vec<LaneSweepRow>,
     idle_heavy: Vec<IdleRow>,
     ingress: Vec<IngressRow>,
     bytes_per_session: BytesRow,
@@ -302,21 +343,24 @@ fn calibration_run(iterations: u64) -> CalibrationRow {
     }
 }
 
-/// The batched-vs-scalar lane scenario: two identically-warmed fleets
-/// of recovery engines sharing one forecaster march through the same
+/// One lane-vs-scalar measurement: two identically-warmed fleets of
+/// recovery engines sharing one forecaster march through the same
 /// deliver/miss cadence; the miss ticks are timed per path (scalar
-/// `tick_into(None)` vs lane gather → `forecast_batch` →
+/// `tick_into(None)` vs lane gather → one `run_layout` sweep →
 /// `tick_miss_prepared`) and every forecast is compared bit for bit.
-fn batched_run(
-    name: &str,
-    forecaster: SharedForecaster,
+/// With `LaneLayout::Scalar` the second fleet re-times the scalar path
+/// with no gather at all — exactly what the serve planner does with
+/// cheap families, so the recorded "speedup" is the noise floor.
+fn lane_measure(
+    forecaster: &SharedForecaster,
     fx: &Fixture,
     replay: &[Vec<f64>],
     lane_sessions: usize,
     rounds: usize,
-) -> BatchedRow {
+    layout: foreco_forecast::LaneLayout,
+) -> (u64, f64, f64, bool) {
     use foreco_core::RecoveryEngine;
-    use foreco_forecast::{BatchLane, ForecastScratch, Forecaster};
+    use foreco_forecast::{BatchLane, ForecastScratch, Forecaster, LaneLayout};
 
     let dof = fx.model.dof();
     let build_fleet = || -> Vec<RecoveryEngine> {
@@ -363,20 +407,33 @@ fn batched_run(
         }
         scalar_wall += t0.elapsed();
 
-        // Timed miss tick, batched path: gather → one lane sweep →
-        // prepared rows.
+        // Timed miss tick, lane path. Scalar layout = no gather: the
+        // fleet keeps its per-engine dispatch, as in the serve planner.
         let t0 = Instant::now();
-        lane.clear();
-        for e in &batched {
-            lane.push_window(&e.history_view());
-        }
-        lane.run(&mut scratch);
-        for (i, e) in batched.iter_mut().enumerate() {
-            e.tick_miss_prepared(lane.result(i), &mut out_b);
-            bit_identical &= mismatch_scratch[i * dof..(i + 1) * dof]
-                .iter()
-                .zip(&out_b)
-                .all(|(&bits, v)| bits == v.to_bits());
+        match layout {
+            LaneLayout::Scalar => {
+                for (i, e) in batched.iter_mut().enumerate() {
+                    e.tick_into(None, &mut out_b);
+                    bit_identical &= mismatch_scratch[i * dof..(i + 1) * dof]
+                        .iter()
+                        .zip(&out_b)
+                        .all(|(&bits, v)| bits == v.to_bits());
+                }
+            }
+            _ => {
+                lane.clear();
+                for e in &batched {
+                    lane.push_window(&e.history_view());
+                }
+                lane.run_layout(layout, &mut scratch);
+                for (i, e) in batched.iter_mut().enumerate() {
+                    e.tick_miss_prepared(lane.result(i), &mut out_b);
+                    bit_identical &= mismatch_scratch[i * dof..(i + 1) * dof]
+                        .iter()
+                        .zip(&out_b)
+                        .all(|(&bits, v)| bits == v.to_bits());
+                }
+            }
         }
         batched_wall += t0.elapsed();
 
@@ -389,13 +446,59 @@ fn batched_run(
     let ticks = (rounds * lane_sessions) as u64;
     let scalar_ns = scalar_wall.as_secs_f64() * 1e9 / ticks as f64;
     let batched_ns = batched_wall.as_secs_f64() * 1e9 / ticks as f64;
+    (ticks, scalar_ns, batched_ns, bit_identical)
+}
+
+/// The batched scenario row for one family: measures the layout the
+/// adaptive plan would actually run at this fleet width.
+fn batched_run(
+    name: &str,
+    forecaster: SharedForecaster,
+    fx: &Fixture,
+    replay: &[Vec<f64>],
+    lane_sessions: usize,
+    rounds: usize,
+) -> BatchedRow {
+    use foreco_forecast::{plan_layout, Forecaster};
+    let layout = plan_layout(forecaster.cost_class(), lane_sessions);
+    let (ticks, scalar_ns, batched_ns, bit_identical) =
+        lane_measure(&forecaster, fx, replay, lane_sessions, rounds, layout);
     BatchedRow {
         forecaster: name.to_string(),
         lane_sessions,
+        layout: format!("{layout:?}"),
         ticks,
         scalar_ns_per_tick: scalar_ns,
         batched_ns_per_tick: batched_ns,
         batched_speedup_vs_scalar: scalar_ns / batched_ns,
+        bit_identical,
+    }
+}
+
+/// One lane_sweep cell: a forced layout at a fixed width, plus the
+/// layout the plan would have chosen there.
+fn lane_sweep_run(
+    name: &str,
+    forecaster: &SharedForecaster,
+    fx: &Fixture,
+    replay: &[Vec<f64>],
+    width: usize,
+    rounds: usize,
+    layout: foreco_forecast::LaneLayout,
+) -> LaneSweepRow {
+    use foreco_forecast::{plan_layout, Forecaster};
+    let chosen = plan_layout(forecaster.cost_class(), width);
+    let (ticks, scalar_ns, layout_ns, bit_identical) =
+        lane_measure(forecaster, fx, replay, width, rounds, layout);
+    LaneSweepRow {
+        forecaster: name.to_string(),
+        width,
+        layout: format!("{layout:?}"),
+        chosen: format!("{chosen:?}"),
+        ticks,
+        scalar_ns_per_tick: scalar_ns,
+        layout_ns_per_tick: layout_ns,
+        speedup_vs_scalar: scalar_ns / layout_ns,
         bit_identical,
     }
 }
@@ -983,29 +1086,41 @@ fn main() {
         engine_hot_path.push(row);
     }
 
-    // ---- batched scenario: SoA lanes vs per-session dispatch ----
+    // ---- batched scenario: adaptive-plan lanes vs per-session dispatch ----
     let batch_sessions = env_knob("FORECO_SERVE_BATCH_SESSIONS", 256);
     let batch_rounds = env_knob("FORECO_SERVE_BATCH_ROUNDS", 400);
-    println!(
-        "\nbatched: {batch_sessions}-engine lanes × {batch_rounds} miss rounds, \
-         scalar dispatch vs one SoA sweep"
-    );
-    println!(
-        "{:>10} {:>10} {:>14} {:>14} {:>9} {:>14}",
-        "forecaster", "ticks", "scalar ns/t", "batched ns/t", "speedup", "bit-identical"
-    );
-    let mut batched = Vec::new();
-    for (name, shared) in [
+    let dof = fx.model.dof();
+    let families: Vec<(&str, SharedForecaster)> = vec![
         ("VAR", forecaster.clone()),
         (
-            "MA",
-            SharedForecaster::new(MovingAverage::new(5, fx.model.dof())),
+            "Kalman-CV",
+            SharedForecaster::new(KalmanCv::default_teleop(7, dof)),
         ),
-    ] {
-        let row = batched_run(name, shared, &fx, &hot_replay, batch_sessions, batch_rounds);
+        ("MA", SharedForecaster::new(MovingAverage::new(5, dof))),
+        ("Holt", SharedForecaster::new(Holt::default_teleop(7, dof))),
+    ];
+    println!(
+        "\nbatched: {batch_sessions}-engine lanes × {batch_rounds} miss rounds, \
+         scalar dispatch vs the adaptive plan's layout"
+    );
+    println!(
+        "{:>10} {:>12} {:>10} {:>14} {:>14} {:>9} {:>14}",
+        "forecaster", "layout", "ticks", "scalar ns/t", "batched ns/t", "speedup", "bit-identical"
+    );
+    let mut batched = Vec::new();
+    for (name, shared) in &families {
+        let row = batched_run(
+            name,
+            shared.clone(),
+            &fx,
+            &hot_replay,
+            batch_sessions,
+            batch_rounds,
+        );
         println!(
-            "{:>10} {:>10} {:>14.1} {:>14.1} {:>8.2}x {:>14}",
+            "{:>10} {:>12} {:>10} {:>14.1} {:>14.1} {:>8.2}x {:>14}",
             row.forecaster,
+            row.layout,
             row.ticks,
             row.scalar_ns_per_tick,
             row.batched_ns_per_tick,
@@ -1020,6 +1135,64 @@ fn main() {
             std::process::exit(1);
         }
         batched.push(row);
+    }
+
+    // ---- lane_sweep: layout speedup vs width, the threshold evidence ----
+    let sweep_widths: Vec<usize> = std::env::var("FORECO_SERVE_SWEEP_WIDTHS")
+        .unwrap_or_else(|_| "1,2,4,8,16,31,32,33,64,128,256,512,1024".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .collect();
+    let sweep_ticks = env_knob("FORECO_SERVE_SWEEP_TICKS", 16_384);
+    println!(
+        "\nlane_sweep: forced member-major and slot-major vs scalar across widths \
+         {sweep_widths:?} (~{sweep_ticks} miss ticks per cell)"
+    );
+    println!(
+        "{:>10} {:>7} {:>12} {:>12} {:>14} {:>14} {:>9} {:>14}",
+        "forecaster",
+        "width",
+        "layout",
+        "chosen",
+        "scalar ns/t",
+        "layout ns/t",
+        "speedup",
+        "bit-identical"
+    );
+    let mut lane_sweep = Vec::new();
+    // Only the expensive families have a slot-major kernel to sweep;
+    // the cheap ones are covered by the batched rows above (their plan
+    // is Scalar at every width, so a sweep would re-measure noise).
+    for (name, shared) in families
+        .iter()
+        .filter(|(_, s)| foreco_forecast::Forecaster::cost_class(s) == CostClass::Expensive)
+    {
+        for &width in &sweep_widths {
+            let rounds = (sweep_ticks / width).clamp(8, 128);
+            for layout in [LaneLayout::MemberMajor, LaneLayout::SlotMajor] {
+                let row = lane_sweep_run(name, shared, &fx, &hot_replay, width, rounds, layout);
+                println!(
+                    "{:>10} {:>7} {:>12} {:>12} {:>14.1} {:>14.1} {:>8.2}x {:>14}",
+                    row.forecaster,
+                    row.width,
+                    row.layout,
+                    row.chosen,
+                    row.scalar_ns_per_tick,
+                    row.layout_ns_per_tick,
+                    row.speedup_vs_scalar,
+                    row.bit_identical
+                );
+                if !row.bit_identical {
+                    eprintln!(
+                        "FAIL: lane_sweep {} width {} layout {} diverged from the scalar path",
+                        row.forecaster, row.width, row.layout
+                    );
+                    std::process::exit(1);
+                }
+                lane_sweep.push(row);
+            }
+        }
     }
 
     // ---- idle-heavy scenario: mostly-parked fleet, few hot sessions ----
@@ -1154,6 +1327,7 @@ fn main() {
         rows,
         engine_hot_path,
         batched,
+        lane_sweep,
         idle_heavy,
         ingress,
         bytes_per_session: bytes_row,

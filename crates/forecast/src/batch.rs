@@ -18,9 +18,80 @@
 //! [`HistoryView`] of the gathered window, which is bit-identical to
 //! the caller's own scalar call by the split-≡-contiguous view
 //! equivalence pinned in [`crate::history`]'s tests.
+//!
+//! **Layouts.** The member-major gather amortises dispatch but leaves
+//! each kernel walking one member's window at a time — the same scalar
+//! recursion, minus a virtual call. [`LaneLayout::SlotMajor`] instead
+//! transposes the lane so the *members* are contiguous per history
+//! slot: an expensive kernel (Kalman-CV's filter recursion, VAR's
+//! regression inner products) then runs its arithmetic as a tight
+//! cross-member loop the compiler auto-vectorizes. Which layout pays
+//! is a function of kernel cost and lane width — [`plan_layout`]
+//! encodes the committed decision rule, validated by the bench's
+//! `lane_sweep` scenario across widths 1–1024.
 
 use crate::{ForecastScratch, Forecaster, HistoryView};
 use std::sync::Arc;
+
+/// How [`BatchLane::run_layout`] presents the gathered windows to the
+/// forecaster. Every layout is bit-identical to every other — the
+/// choice moves wall-clock time, never output bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneLayout {
+    /// Per-member scalar [`Forecaster::forecast_into`] over each
+    /// gathered window — no batched kernel at all. At the serve planner
+    /// this decision is realised *before* the gather: a session whose
+    /// lane would be scalar keeps its own scalar path and never pays
+    /// the window memcpy.
+    Scalar,
+    /// Member-major SoA [`Forecaster::forecast_batch`]: one dispatch
+    /// per lane, each member's window contiguous.
+    MemberMajor,
+    /// Slot-major (transposed) [`Forecaster::forecast_batch_slots`]:
+    /// one dispatch per lane, the lane's members contiguous per history
+    /// slot so cross-member inner loops auto-vectorize.
+    SlotMajor,
+}
+
+/// Forecast kernel cost class — see [`Forecaster::cost_class`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Kernel arithmetic is comparable to the gather cost (MA, Holt,
+    /// repeat-last): batching moves no wall-clock, stay scalar.
+    Cheap,
+    /// Kernel arithmetic dominates gather + transpose (Kalman-CV, VAR):
+    /// batching pays, and wide lanes pay more slot-major.
+    Expensive,
+}
+
+/// Lane width at which an expensive family's lane switches from
+/// member-major to slot-major. Below it the transpose overhead eats the
+/// vectorization win; at/above it the cross-member inner loops win.
+/// Committed from the bench's `lane_sweep` sweep (widths 1–1024); the
+/// `batch_identity` suite pins bit-identity at `threshold − 1`,
+/// `threshold`, and `threshold + 1` so the flip can never move bits.
+pub const SLOT_MAJOR_MIN_WIDTH: usize = 32;
+
+/// The committed per-lane layout decision: cost class and lane width in,
+/// [`LaneLayout`] out.
+///
+/// - [`CostClass::Cheap`] families stay **scalar** at every width — the
+///   member-major experiment measured 0.83–0.91× for them (gather costs
+///   more than the dispatch it saves), so their sessions are never
+///   gathered at all.
+/// - [`CostClass::Expensive`] families batch **member-major** on narrow
+///   lanes and **slot-major** from [`SLOT_MAJOR_MIN_WIDTH`] up, where
+///   the measured speedup clears 1.0×.
+///
+/// Any ambiguity elsewhere in the stack (no native kernel, unknown
+/// wrapper) degrades member-major → scalar, both bit-identical.
+pub fn plan_layout(cost: CostClass, width: usize) -> LaneLayout {
+    match cost {
+        CostClass::Cheap => LaneLayout::Scalar,
+        CostClass::Expensive if width >= SLOT_MAJOR_MIN_WIDTH => LaneLayout::SlotMajor,
+        CostClass::Expensive => LaneLayout::MemberMajor,
+    }
+}
 
 /// One structure-of-arrays forecasting lane: a shared forecaster plus
 /// the gathered history windows of every member session this pass.
@@ -36,6 +107,12 @@ pub struct BatchLane {
     /// Member-major gathered windows:
     /// `members × window_rows × dims`, rows oldest-first.
     windows: Vec<f64>,
+    /// Slot-major transpose of `windows`, built lazily by
+    /// [`BatchLane::run_layout`] for [`LaneLayout::SlotMajor`] passes:
+    /// `window_rows × dims × members`, members contiguous per slot.
+    /// Lane-owned (not scratch) so the transpose shares the lane's
+    /// high-water zero-allocation discipline.
+    slots: Vec<f64>,
     /// Member-major predictions: `members × dims`.
     out: Vec<f64>,
 }
@@ -51,6 +128,7 @@ impl BatchLane {
             dims,
             members: 0,
             windows: Vec::new(),
+            slots: Vec::new(),
             out: Vec::new(),
         }
     }
@@ -109,14 +187,38 @@ impl BatchLane {
     /// Runs the batched forecast over every gathered member, natively
     /// when the forecaster supports it, else by bit-identical per-member
     /// scalar fallback. Results are read back via [`BatchLane::result`].
+    ///
+    /// Equivalent to [`BatchLane::run_layout`] with
+    /// [`LaneLayout::MemberMajor`].
     pub fn run(&mut self, scratch: &mut ForecastScratch) {
+        self.run_layout(LaneLayout::MemberMajor, scratch);
+    }
+
+    /// Runs the batched forecast in the requested [`LaneLayout`],
+    /// degrading gracefully — slot-major falls back to member-major
+    /// falls back to the per-member scalar path — so every layout is
+    /// safe to request for every forecaster, and every one produces
+    /// bit-identical results.
+    pub fn run_layout(&mut self, layout: LaneLayout, scratch: &mut ForecastScratch) {
         self.out.resize(self.members * self.dims, 0.0);
         if self.members == 0 {
             return;
         }
-        if self
-            .forecaster
-            .forecast_batch(self.members, &self.windows, scratch, &mut self.out)
+        if layout == LaneLayout::SlotMajor {
+            self.transpose_slots();
+            if self.forecaster.forecast_batch_slots(
+                self.members,
+                &self.slots,
+                scratch,
+                &mut self.out,
+            ) {
+                return;
+            }
+        }
+        if layout != LaneLayout::Scalar
+            && self
+                .forecaster
+                .forecast_batch(self.members, &self.windows, scratch, &mut self.out)
         {
             return;
         }
@@ -131,6 +233,23 @@ impl BatchLane {
         {
             let view = HistoryView::contiguous(w, self.dims);
             self.forecaster.forecast_into(&view, scratch, o);
+        }
+    }
+
+    /// Transposes the member-major gather into the lane-owned slot-major
+    /// buffer: `slots[slot * members + m] = windows[m * stride + slot]`.
+    /// Pure data movement — each member's values are copied, never
+    /// combined, so the transpose cannot move a bit. Runs at `run` time
+    /// because the member count is unknown while gathering.
+    fn transpose_slots(&mut self) {
+        let stride = self.window_rows * self.dims;
+        // `resize` only allocates past the high-water mark, like every
+        // other lane buffer.
+        self.slots.resize(self.members * stride, 0.0);
+        for (slot, dst) in self.slots.chunks_exact_mut(self.members).enumerate() {
+            for (m, lane) in dst.iter_mut().enumerate() {
+                *lane = self.windows[m * stride + slot];
+            }
         }
     }
 
@@ -244,5 +363,78 @@ mod tests {
         }
         lane.run(&mut scratch);
         assert_eq!((lane.windows.capacity(), lane.out.capacity()), cap);
+    }
+
+    #[test]
+    fn every_layout_is_bit_identical_for_every_family() {
+        let train = Dataset::record(Skill::Experienced, 1, 0.02, 3);
+        let forecasters: Vec<Arc<dyn Forecaster>> = vec![
+            Arc::new(MovingAverage::new(5, 6)),
+            Arc::new(Holt::default_teleop(5, 6)),
+            Arc::new(KalmanCv::default_teleop(5, 6)),
+            Arc::new(Var::fit(&train, 4, 1e-6).unwrap()),
+            Arc::new(Var::fit_differenced(&train, 5, 1e-6).unwrap()),
+        ];
+        for f in forecasters {
+            let rows = f.history_len();
+            let dims = f.dims();
+            let flats: Vec<Vec<f64>> = (0..40)
+                .map(|m| flat(&ramp_rows(rows, dims, 0.17 * m as f64 - 3.0)))
+                .collect();
+            let mut scratch = ForecastScratch::new();
+            let mut per_layout: Vec<Vec<u64>> = Vec::new();
+            for layout in [
+                LaneLayout::Scalar,
+                LaneLayout::MemberMajor,
+                LaneLayout::SlotMajor,
+            ] {
+                let mut lane = BatchLane::new(Arc::clone(&f));
+                for w in &flats {
+                    lane.push_window(&HistoryView::contiguous(w, dims));
+                }
+                lane.run_layout(layout, &mut scratch);
+                per_layout.push(
+                    (0..flats.len())
+                        .flat_map(|m| lane.result(m).iter().map(|v| v.to_bits()))
+                        .collect(),
+                );
+            }
+            assert_eq!(per_layout[0], per_layout[1], "{}: member-major", f.name());
+            assert_eq!(per_layout[0], per_layout[2], "{}: slot-major", f.name());
+        }
+    }
+
+    #[test]
+    fn layout_plan_follows_cost_class_and_width() {
+        assert_eq!(plan_layout(CostClass::Cheap, 1), LaneLayout::Scalar);
+        assert_eq!(plan_layout(CostClass::Cheap, 4096), LaneLayout::Scalar);
+        assert_eq!(
+            plan_layout(CostClass::Expensive, 1),
+            LaneLayout::MemberMajor
+        );
+        assert_eq!(
+            plan_layout(CostClass::Expensive, SLOT_MAJOR_MIN_WIDTH - 1),
+            LaneLayout::MemberMajor
+        );
+        assert_eq!(
+            plan_layout(CostClass::Expensive, SLOT_MAJOR_MIN_WIDTH),
+            LaneLayout::SlotMajor
+        );
+        let cheap: Arc<dyn Forecaster> = Arc::new(MovingAverage::new(4, 3));
+        assert_eq!(cheap.cost_class(), CostClass::Cheap);
+        let dear: Arc<dyn Forecaster> = Arc::new(KalmanCv::default_teleop(5, 6));
+        assert_eq!(dear.cost_class(), CostClass::Expensive);
+    }
+
+    #[test]
+    fn slot_major_transpose_is_exact() {
+        let mut lane = BatchLane::new(Arc::new(MovingAverage::new(2, 2)));
+        let windows = [[1.0, 2.0, 3.0, 4.0], [5.0, 6.0, 7.0, 8.0]];
+        for w in &windows {
+            lane.push_window(&HistoryView::contiguous(w, 2));
+        }
+        lane.transpose_slots();
+        // Slot-major: for each of the 4 slots, both members' values.
+        assert_eq!(lane.slots, [1.0, 5.0, 2.0, 6.0, 3.0, 7.0, 4.0, 8.0]);
     }
 }

@@ -160,7 +160,12 @@ impl<'a> HistoryView<'a> {
 /// keep their high-water capacity across calls, so after the first
 /// forecast of a given shape no further allocation ever happens.
 /// Contents are unspecified between calls — implementations must fully
-/// overwrite what they use.
+/// overwrite what they use. Slot-major batch kernels size these
+/// buffers to the lane's *width* (per-member state lanes: Kalman-CV
+/// carves six filter-state lanes from [`ForecastScratch::buf`], VAR
+/// takes its accumulator and diff rows from [`ForecastScratch::pair`]),
+/// so the high-water mark tracks the widest lane ever run — still
+/// zero allocations per steady pass.
 #[derive(Debug, Default, Clone)]
 pub struct ForecastScratch {
     a: Vec<f64>,

@@ -182,6 +182,82 @@ impl Forecaster for KalmanCv {
         true
     }
 
+    fn forecast_batch_slots(
+        &self,
+        members: usize,
+        slots: &[f64],
+        scratch: &mut crate::ForecastScratch,
+        out: &mut [f64],
+    ) -> bool {
+        let d = self.dims;
+        assert_eq!(
+            slots.len(),
+            members * self.r * d,
+            "Kalman: slot batch shape"
+        );
+        assert_eq!(out.len(), members * d, "Kalman: batch output shape");
+        let dt = self.period;
+        let q11 = self.process_noise * dt * dt * dt / 3.0;
+        let q12 = self.process_noise * dt * dt / 2.0;
+        let q22 = self.process_noise * dt;
+        let rm = self.measurement_noise;
+        // Six per-member state lanes ([pos, vel] + covariance), carved
+        // from one scratch buffer: each member's filter recursion runs
+        // in its own lane, so the cross-member inner loop below is the
+        // exact scalar arithmetic of `filter_joint_from`, vectorized
+        // across independent sequences.
+        let state = scratch.buf(6 * members);
+        let (x0, rest) = state.split_at_mut(members);
+        let (x1, rest) = rest.split_at_mut(members);
+        let (p00, rest) = rest.split_at_mut(members);
+        let (p01, rest) = rest.split_at_mut(members);
+        let (p10, p11) = rest.split_at_mut(members);
+        for k in 0..d {
+            // Init from the oldest row: x = [z₀, 0], P = I.
+            x0.copy_from_slice(&slots[k * members..(k + 1) * members]);
+            x1.fill(0.0);
+            p00.fill(1.0);
+            p01.fill(0.0);
+            p10.fill(0.0);
+            p11.fill(1.0);
+            for i in 1..self.r {
+                let z = &slots[(i * d + k) * members..(i * d + k + 1) * members];
+                for m in 0..members {
+                    // Predict: x ← F x, P ← F P Fᵀ + Q.
+                    let xp0 = x0[m] + dt * x1[m];
+                    let xp1 = x1[m];
+                    let a00 = p00[m] + dt * (p10[m] + p01[m]) + dt * dt * p11[m] + q11;
+                    let a01 = p01[m] + dt * p11[m] + q12;
+                    let a10 = p10[m] + dt * p11[m] + q12;
+                    let a11 = p11[m] + q22;
+                    // Update with measurement z of position.
+                    let s = a00 + rm;
+                    let k0 = a00 / s;
+                    let k1 = a10 / s;
+                    let innov = z[m] - xp0;
+                    x0[m] = xp0 + k0 * innov;
+                    x1[m] = xp1 + k1 * innov;
+                    p00[m] = (1.0 - k0) * a00;
+                    p01[m] = (1.0 - k0) * a01;
+                    p10[m] = a10 - k1 * a00;
+                    p11[m] = a11 - k1 * a01;
+                }
+            }
+            // One-step-ahead prediction, scattered back member-major.
+            for m in 0..members {
+                out[m * d + k] = x0[m] + dt * x1[m];
+            }
+        }
+        true
+    }
+
+    fn cost_class(&self) -> crate::CostClass {
+        // Six covariance updates and a division per (member, row, joint):
+        // the recursion dwarfs the gather + transpose, so wide lanes pay
+        // for the slot-major layout.
+        crate::CostClass::Expensive
+    }
+
     fn history_len(&self) -> usize {
         self.r
     }

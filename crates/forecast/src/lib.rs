@@ -34,7 +34,7 @@ pub mod state;
 mod var;
 mod varma;
 
-pub use batch::BatchLane;
+pub use batch::{plan_layout, BatchLane, CostClass, LaneLayout, SLOT_MAJOR_MIN_WIDTH};
 pub use history::{ForecastScratch, HistoryView};
 pub use holt::Holt;
 pub use kalman::KalmanCv;
@@ -127,6 +127,55 @@ pub trait Forecaster: Send + Sync {
     ) -> bool {
         let _ = (members, windows, scratch, out);
         false
+    }
+
+    /// Batched forecast over a **slot-major** (transposed) lane:
+    /// `slots[(row * dims() + dim) * members + m]` holds member `m`'s
+    /// value for coordinate `dim` of history row `row` (rows
+    /// oldest-first), so the `members` values of any one slot are
+    /// contiguous and a kernel's cross-member inner loop is a unit-
+    /// stride walk the compiler auto-vectorizes. Predictions still land
+    /// member-major in `out`, exactly like [`Forecaster::forecast_batch`].
+    ///
+    /// Returns `true` when the forecaster ran the slot-major batch
+    /// natively, `false` when it has no such kernel — the caller then
+    /// degrades to the member-major kernel and from there to the
+    /// per-member scalar fallback (see [`BatchLane::run_layout`]).
+    ///
+    /// **Contract: bit-identical to the scalar path.** Cross-member
+    /// lanes are independent sequences: for each member the kernel must
+    /// perform the exact floating-point operations of `forecast_into`
+    /// on that member's rows, in the same dataflow order. The layout
+    /// only changes *which member* each innermost iteration touches,
+    /// never the order of any one member's arithmetic — which is why
+    /// bit-identity is preserved by construction and pinned by the
+    /// `batch_identity` suite across all three [`LaneLayout`]s.
+    ///
+    /// # Panics
+    /// Native implementations panic when `slots.len() != members *
+    /// history_len() * dims()` or `out.len() != members * dims()`.
+    fn forecast_batch_slots(
+        &self,
+        members: usize,
+        slots: &[f64],
+        scratch: &mut ForecastScratch,
+        out: &mut [f64],
+    ) -> bool {
+        let _ = (members, slots, scratch, out);
+        false
+    }
+
+    /// The forecast kernel's cost class — the input (together with lane
+    /// width) to the batched layout decision [`plan_layout`]. Default
+    /// [`CostClass::Cheap`]: the kernel is so light that gathering
+    /// windows into a lane costs more than the dispatch it saves, so
+    /// cheap families stay on the scalar path. Only families whose
+    /// per-member arithmetic dominates the gather + transpose cost
+    /// *and* that ship native batched kernels (Kalman-CV, VAR) report
+    /// [`CostClass::Expensive`]. Wrappers must delegate, or the models
+    /// they wrap silently drop out of slot-major batching.
+    fn cost_class(&self) -> CostClass {
+        CostClass::Cheap
     }
 
     /// Serialisable description of this forecaster for session

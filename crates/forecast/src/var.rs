@@ -413,6 +413,94 @@ impl Forecaster for Var {
         true
     }
 
+    #[allow(clippy::needless_range_loop)] // lag/l/k walk beta rows against slot lanes
+    fn forecast_batch_slots(
+        &self,
+        members: usize,
+        slots: &[f64],
+        scratch: &mut crate::ForecastScratch,
+        out: &mut [f64],
+    ) -> bool {
+        let d = self.dims;
+        let rows = self.history_len();
+        assert_eq!(slots.len(), members * rows * d, "VAR: slot batch shape");
+        assert_eq!(out.len(), members * d, "VAR: batch output shape");
+        // Slot-major accumulator (`acc[k * members + m]`) plus, in
+        // Differences mode, one slot-major diff row per lag — both in
+        // scratch, sized to the lane's width high-water mark.
+        let (acc, diff) = scratch.pair(d * members, d * members);
+        for k in 0..d {
+            acc[k * members..(k + 1) * members].fill(self.beta[(0, k)]);
+        }
+        let clamp = self.diff_clamp.unwrap_or(f64::INFINITY);
+        for lag in 0..self.r {
+            for l in 0..d {
+                // The lag's regressor values, one per member: the raw
+                // slot in Levels mode, the clamped first difference of
+                // two adjacent slots in Differences mode. Per member
+                // this is the exact scalar diff arithmetic.
+                let reg: &[f64] = match self.mode {
+                    VarMode::Levels => &slots[(lag * d + l) * members..(lag * d + l + 1) * members],
+                    VarMode::Differences => {
+                        let prev = &slots[(lag * d + l) * members..(lag * d + l + 1) * members];
+                        let next = &slots
+                            [((lag + 1) * d + l) * members..((lag + 1) * d + l + 1) * members];
+                        let dst = &mut diff[l * members..(l + 1) * members];
+                        for m in 0..members {
+                            dst[m] = (next[m] - prev[m]).clamp(-clamp, clamp);
+                        }
+                        dst
+                    }
+                };
+                let row = 1 + lag * d + l;
+                for k in 0..d {
+                    let b = self.beta[(row, k)];
+                    let acc_k = &mut acc[k * members..(k + 1) * members];
+                    for m in 0..members {
+                        let v = reg[m];
+                        // Select form of the scalar kernel's `v == 0.0`
+                        // skip: the accumulator only moves when the
+                        // regressor is non-zero, bit-identically, and
+                        // the branchless shape keeps the cross-member
+                        // loop vectorizable.
+                        let fused = acc_k[m] + v * b;
+                        acc_k[m] = if v != 0.0 { fused } else { acc_k[m] };
+                    }
+                }
+            }
+        }
+        match self.mode {
+            VarMode::Levels => {
+                for k in 0..d {
+                    let acc_k = &acc[k * members..(k + 1) * members];
+                    for m in 0..members {
+                        out[m * d + k] = acc_k[m];
+                    }
+                }
+            }
+            VarMode::Differences => {
+                // Integrate onto the newest slot row, keeping the legacy
+                // `c + dv` operand order (NaN payload selection), as in
+                // `forecast_into`.
+                for k in 0..d {
+                    let last = &slots[(self.r * d + k) * members..(self.r * d + k + 1) * members];
+                    let acc_k = &acc[k * members..(k + 1) * members];
+                    for m in 0..members {
+                        out[m * d + k] = last[m] + acc_k[m];
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn cost_class(&self) -> crate::CostClass {
+        // `(R · d²)` multiply-adds per member against an `R · d` window:
+        // the regression dwarfs the gather + transpose, so wide lanes
+        // pay for the slot-major layout.
+        crate::CostClass::Expensive
+    }
+
     fn history_len(&self) -> usize {
         match self.mode {
             VarMode::Levels => self.r,

@@ -1,10 +1,11 @@
-//! The batched SoA lane must be **bit-identical** to the scalar path —
-//! `BatchLane::run` per member ≡ `forecast_into` on that member's own
-//! history — for every batchable family and for the scalar fallback.
-//! This is the contract that lets the serve runtime switch batching on
-//! by default without moving a single output bit (the same pattern that
-//! guarded `forecast_into ≡ forecast` when the zero-allocation path
-//! landed).
+//! The batched lane must be **bit-identical** to the scalar path in
+//! *every layout* — `BatchLane::run_layout` per member ≡
+//! `forecast_into` on that member's own history, for member-major,
+//! slot-major (transposed), and the per-member scalar fallback, for
+//! every batchable family. This is the contract that lets the serve
+//! runtime pick layouts per pass for throughput without moving a
+//! single output bit (the same pattern that guarded
+//! `forecast_into ≡ forecast` when the zero-allocation path landed).
 //!
 //! Random windows include NaN and `-0.0` payloads: NaN propagation
 //! exercises operation *order* inside the batched kernels (any
@@ -21,11 +22,21 @@
 //! `PROPTEST_CASES=32 cargo test -p foreco-forecast --test batch_identity`
 
 use foreco_forecast::{
-    BatchLane, ForecastScratch, Forecaster, HistoryView, Holt, KalmanCv, MovingAverage, Var, Varma,
+    BatchLane, ForecastScratch, Forecaster, HistoryView, Holt, KalmanCv, LaneLayout, MovingAverage,
+    Var, Varma, SLOT_MAJOR_MIN_WIDTH,
 };
 use foreco_teleop::{Dataset, Skill};
 use proptest::prelude::*;
 use std::sync::Arc;
+
+/// Every lane layout: the member-major SoA sweep, the slot-major
+/// (transposed) sweep, and the per-member scalar fallback. All three
+/// must move zero bits relative to the scalar path.
+const LAYOUTS: [LaneLayout; 3] = [
+    LaneLayout::MemberMajor,
+    LaneLayout::SlotMajor,
+    LaneLayout::Scalar,
+];
 
 /// One random coordinate: mostly tame magnitudes, with NaN, signed
 /// zeros, and subnormal extremes mixed in at a fixed rate.
@@ -45,11 +56,15 @@ fn lane_windows(members: usize, rows: usize, dims: usize) -> impl Strategy<Value
     proptest::collection::vec(proptest::collection::vec(coord(), rows * dims), members)
 }
 
-/// Runs one lane pass over `windows` and asserts every member's row
-/// equals the scalar `forecast_into` on the same history — with the
-/// scalar side viewing the history at a rotating ring split, so the
-/// gathered contiguous copy is also checked against seam views.
-fn assert_lane_matches_scalar(forecaster: &Arc<dyn Forecaster>, windows: &[Vec<f64>]) {
+/// Runs one lane pass over `windows` in `layout` and asserts every
+/// member's row equals the scalar `forecast_into` on the same history —
+/// with the scalar side viewing the history at a rotating ring split,
+/// so the gathered contiguous copy is also checked against seam views.
+fn assert_lane_layout_matches_scalar(
+    forecaster: &Arc<dyn Forecaster>,
+    windows: &[Vec<f64>],
+    layout: LaneLayout,
+) {
     let dims = forecaster.dims();
     let mut lane = BatchLane::new(Arc::clone(forecaster));
     let mut lane_scratch = ForecastScratch::new();
@@ -57,8 +72,17 @@ fn assert_lane_matches_scalar(forecaster: &Arc<dyn Forecaster>, windows: &[Vec<f
     for flat in windows {
         lane.push_window(&HistoryView::contiguous(flat, dims));
     }
-    lane.run(&mut lane_scratch);
+    lane.run_layout(layout, &mut lane_scratch);
+    assert_lane_results_match_scalar(forecaster, windows, &lane, layout);
+}
 
+fn assert_lane_results_match_scalar(
+    forecaster: &Arc<dyn Forecaster>,
+    windows: &[Vec<f64>],
+    lane: &BatchLane,
+    layout: LaneLayout,
+) {
+    let dims = forecaster.dims();
     let mut scratch = ForecastScratch::new();
     let mut out = vec![0.0; dims];
     for (i, flat) in windows.iter().enumerate() {
@@ -72,10 +96,17 @@ fn assert_lane_matches_scalar(forecaster: &Arc<dyn Forecaster>, windows: &[Vec<f
             assert_eq!(
                 a.to_bits(),
                 b.to_bits(),
-                "{}: member {i} joint {k} differs from scalar ({a} vs {b})",
+                "{} [{layout:?}]: member {i} joint {k} differs from scalar ({a} vs {b})",
                 forecaster.name(),
             );
         }
+    }
+}
+
+/// All three layouts of one window set against the scalar path.
+fn assert_lane_matches_scalar(forecaster: &Arc<dyn Forecaster>, windows: &[Vec<f64>]) {
+    for layout in LAYOUTS {
+        assert_lane_layout_matches_scalar(forecaster, windows, layout);
     }
 }
 
@@ -175,5 +206,77 @@ fn thousand_member_lane_matches_scalar() {
         .collect();
     for f in &families {
         assert_lane_matches_scalar(f, &windows);
+    }
+}
+
+/// Deterministic NaN/`-0.0`-laced windows: ramp values with a NaN, a
+/// `-0.0`, and a subnormal planted per member at member-dependent
+/// slots, so payload selection and the zero-skip both fire at every
+/// width.
+fn laced_windows(members: usize, rows: usize, dims: usize) -> Vec<Vec<f64>> {
+    (0..members)
+        .map(|m| {
+            let mut w: Vec<f64> = (0..rows * dims)
+                .map(|j| 0.003 * m as f64 + 0.05 * (j % dims) as f64 - 0.01 * (j / dims) as f64)
+                .collect();
+            let len = w.len();
+            w[m % len] = f64::NAN;
+            w[(m * 7 + 3) % len] = -0.0;
+            w[(m * 11 + 5) % len] = 1e-308;
+            w
+        })
+        .collect()
+}
+
+/// Widths straddling the slot-major threshold (threshold−1, threshold,
+/// threshold+1) for the families that own a slot kernel: the planner
+/// switches layout exactly here, so this is where a width-dependent
+/// kernel bug would surface.
+#[test]
+fn threshold_straddling_widths_match_scalar() {
+    let train = Dataset::record(Skill::Experienced, 2, 0.02, 7);
+    let families: Vec<Arc<dyn Forecaster>> = vec![
+        Arc::new(KalmanCv::default_teleop(7, 6)),
+        Arc::new(Var::fit(&train, 4, 1e-6).expect("levels VAR")),
+        Arc::new(Var::fit_differenced(&train, 4, 1e-6).expect("differenced VAR")),
+    ];
+    for width in [
+        SLOT_MAJOR_MIN_WIDTH - 1,
+        SLOT_MAJOR_MIN_WIDTH,
+        SLOT_MAJOR_MIN_WIDTH + 1,
+    ] {
+        for f in &families {
+            let rows = f.history_len() + 2;
+            assert_lane_matches_scalar(f, &laced_windows(width, rows, 6));
+        }
+    }
+}
+
+/// One lane object swept in a *different layout each pass* while its
+/// buffers (windows, slot transpose, results) are retained — the shard
+/// planner's shape when a lane's width crosses the threshold between
+/// passes. Stale slot-major scratch from a previous wider pass must
+/// never leak into a later pass's results.
+#[test]
+fn mixed_layout_passes_reuse_one_lane() {
+    let f: Arc<dyn Forecaster> = Arc::new(KalmanCv::default_teleop(7, 6));
+    let mut lane = BatchLane::new(Arc::clone(&f));
+    let mut scratch = ForecastScratch::new();
+    let passes = [
+        (SLOT_MAJOR_MIN_WIDTH + 3, LaneLayout::SlotMajor),
+        (5usize, LaneLayout::MemberMajor),
+        (SLOT_MAJOR_MIN_WIDTH, LaneLayout::SlotMajor),
+        (3, LaneLayout::Scalar),
+        (SLOT_MAJOR_MIN_WIDTH - 1, LaneLayout::MemberMajor),
+        (2 * SLOT_MAJOR_MIN_WIDTH, LaneLayout::SlotMajor),
+    ];
+    for &(members, layout) in &passes {
+        let windows = laced_windows(members, f.history_len() + 2, 6);
+        lane.clear();
+        for flat in &windows {
+            lane.push_window(&HistoryView::contiguous(flat, 6));
+        }
+        lane.run_layout(layout, &mut scratch);
+        assert_lane_results_match_scalar(&f, &windows, &lane, layout);
     }
 }

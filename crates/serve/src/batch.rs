@@ -19,20 +19,45 @@
 //! under any churn, and any ambiguity (pending late patch, warmup,
 //! horizon hold, gated source) simply degrades that session to the
 //! bit-identical scalar path for the pass.
+//!
+//! **Layout selection** follows [`plan_layout`]: per pass, each lane's
+//! forecaster cost class and gathered width pick Scalar, member-major,
+//! or slot-major. The Scalar verdict is enforced *at gather time* —
+//! cheap families are never gathered, so their sessions keep the plain
+//! scalar path and pay no window memcpy (the member-major experiment
+//! measured batching as a net loss for them). A `ServiceConfig`
+//! override can force one layout fleet-wide; the determinism suites
+//! use it to pin that all three layouts move zero bits.
 
-use crate::spec::SessionId;
-use foreco_forecast::{BatchLane, ForecastScratch, Forecaster, HistoryView};
+use crate::spec::{SessionId, SharedForecaster};
+use foreco_forecast::{
+    plan_layout, BatchLane, CostClass, ForecastScratch, Forecaster, HistoryView, LaneLayout,
+};
+use foreco_store::ObjectId;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Lane key: the shared forecaster's pointer identity. Dims and window
-/// length are functions of the instance, so identity alone groups
-/// correctly — and two independently trained models never share a lane
-/// even when their parameters coincide.
-type LaneKey = usize;
+/// Lane key. Registered models key by their store **content address**:
+/// stable across drops and re-registrations (no pointer-reuse ABA
+/// between passes) and shared by wrappers that hold the same trained
+/// weights in different allocations, which merges their lanes. Dims
+/// and window length are functions of the model, so the key alone
+/// groups correctly — and two independently trained models never share
+/// a lane even when their parameters coincide (different content ⇒
+/// different address; unregistered ⇒ distinct pointers).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum LaneKey {
+    /// Content address of a store-registered model.
+    Store(ObjectId),
+    /// Pointer identity, the fallback for unregistered models.
+    Ptr(usize),
+}
 
-fn lane_key(model: &Arc<dyn Forecaster>) -> LaneKey {
-    Arc::as_ptr(model) as *const () as usize
+fn lane_key(model: &SharedForecaster) -> LaneKey {
+    match model.store_id() {
+        Some(id) => LaneKey::Store(id),
+        None => LaneKey::Ptr(Arc::as_ptr(&model.shared()) as *const () as usize),
+    }
 }
 
 /// The per-shard batching planner: lanes plus this pass's membership
@@ -47,16 +72,21 @@ pub(crate) struct BatchPlanner {
     plan: Vec<(SessionId, usize, usize)>,
     cursor: usize,
     scratch: ForecastScratch,
+    /// `None`: adaptive per-lane [`plan_layout`] (the default).
+    /// `Some(layout)`: every lane runs that layout, and cheap families
+    /// are gathered too — the determinism suites' bit-identity pin.
+    force_layout: Option<LaneLayout>,
 }
 
 impl BatchPlanner {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(force_layout: Option<LaneLayout>) -> Self {
         Self {
             lanes: Vec::new(),
             by_key: HashMap::new(),
             plan: Vec::new(),
             cursor: 0,
             scratch: ForecastScratch::new(),
+            force_layout,
         }
     }
 
@@ -69,18 +99,24 @@ impl BatchPlanner {
         self.cursor = 0;
     }
 
-    /// Gathers one qualifying session's window into its lane.
+    /// Gathers one qualifying session's window into its lane — unless
+    /// the family's committed layout is Scalar (cheap kernels), in
+    /// which case the session is left to its own scalar path and pays
+    /// no gather at all.
     pub(crate) fn gather(
         &mut self,
         id: SessionId,
-        model: &Arc<dyn Forecaster>,
+        model: &SharedForecaster,
         history: &HistoryView<'_>,
     ) {
+        if self.force_layout.is_none() && model.cost_class() == CostClass::Cheap {
+            return;
+        }
         let key = lane_key(model);
         let lane = match self.by_key.get(&key) {
             Some(&i) => i,
             None => {
-                self.lanes.push(BatchLane::new(Arc::clone(model)));
+                self.lanes.push(BatchLane::new(model.shared()));
                 self.by_key.insert(key, self.lanes.len() - 1);
                 self.lanes.len() - 1
             }
@@ -89,10 +125,15 @@ impl BatchPlanner {
         self.plan.push((id, lane, member));
     }
 
-    /// Runs every non-empty lane's batched forecast.
+    /// Runs every non-empty lane's batched forecast in the layout
+    /// [`plan_layout`] picks for its cost class and gathered width (or
+    /// the forced override).
     pub(crate) fn run(&mut self) {
+        let force = self.force_layout;
         for lane in &mut self.lanes {
-            lane.run(&mut self.scratch);
+            let layout = force
+                .unwrap_or_else(|| plan_layout(lane.forecaster().cost_class(), lane.members()));
+            lane.run_layout(layout, &mut self.scratch);
         }
     }
 
@@ -120,12 +161,15 @@ impl BatchPlanner {
 mod tests {
     use super::*;
     use foreco_forecast::MovingAverage;
+    use foreco_store::Storage;
 
     #[test]
     fn plan_is_cursor_consumable_across_lanes() {
-        let ma2: Arc<dyn Forecaster> = Arc::new(MovingAverage::new(2, 1));
-        let ma3: Arc<dyn Forecaster> = Arc::new(MovingAverage::new(3, 1));
-        let mut planner = BatchPlanner::new();
+        let ma2 = SharedForecaster::new(MovingAverage::new(2, 1));
+        let ma3 = SharedForecaster::new(MovingAverage::new(3, 1));
+        // MA is a cheap family; force member-major so the planner
+        // gathers it (the cursor plumbing under test is layout-blind).
+        let mut planner = BatchPlanner::new(Some(LaneLayout::MemberMajor));
         planner.begin_pass();
         let w2 = [1.0, 3.0];
         let w3 = [0.0, 3.0, 6.0];
@@ -149,13 +193,54 @@ mod tests {
 
     #[test]
     fn same_parameters_different_registrations_stay_separate() {
-        let a: Arc<dyn Forecaster> = Arc::new(MovingAverage::new(2, 1));
-        let b: Arc<dyn Forecaster> = Arc::new(MovingAverage::new(2, 1));
-        let mut planner = BatchPlanner::new();
+        let a = SharedForecaster::new(MovingAverage::new(2, 1));
+        let b = SharedForecaster::new(MovingAverage::new(2, 1));
+        let mut planner = BatchPlanner::new(Some(LaneLayout::MemberMajor));
         planner.begin_pass();
         let w = [1.0, 3.0];
         planner.gather(1, &a, &HistoryView::contiguous(&w, 1));
         planner.gather(2, &b, &HistoryView::contiguous(&w, 1));
         assert_eq!(planner.lanes.len(), 2, "identity keys, not parameters");
+    }
+
+    #[test]
+    fn cheap_families_are_never_gathered_under_the_adaptive_plan() {
+        let ma = SharedForecaster::new(MovingAverage::new(2, 1));
+        let mut planner = BatchPlanner::new(None);
+        planner.begin_pass();
+        let w = [1.0, 3.0];
+        planner.gather(1, &ma, &HistoryView::contiguous(&w, 1));
+        planner.run();
+        assert!(planner.lanes.is_empty(), "cheap family must not gather");
+        assert_eq!(planner.take(1), None, "session stays on its scalar path");
+    }
+
+    #[test]
+    fn store_registered_models_merge_lanes_by_content() {
+        let store = Storage::new();
+        // Two independent registrations of bit-identical weights: the
+        // store dedups them to one content address, so their sessions
+        // share one lane even though the wrappers were built apart.
+        let a = SharedForecaster::register(MovingAverage::new(2, 1), &store).unwrap();
+        let b = SharedForecaster::register(MovingAverage::new(2, 1), &store).unwrap();
+        assert_eq!(a.store_id(), b.store_id(), "content-addressed dedup");
+        let mut planner = BatchPlanner::new(Some(LaneLayout::MemberMajor));
+        planner.begin_pass();
+        let w = [1.0, 3.0];
+        planner.gather(1, &a, &HistoryView::contiguous(&w, 1));
+        planner.gather(2, &b, &HistoryView::contiguous(&w, 1));
+        assert_eq!(planner.lanes.len(), 1, "same content, same lane");
+        planner.run();
+        assert_eq!(planner.take(1), Some(&[2.0][..]));
+        assert_eq!(planner.take(2), Some(&[2.0][..]));
+
+        // An unregistered wrapper around different-parameter weights
+        // still gets its own pointer-keyed lane next to the store lane.
+        let c = SharedForecaster::new(MovingAverage::new(3, 1));
+        planner.begin_pass();
+        let w3 = [0.0, 3.0, 6.0];
+        planner.gather(3, &a, &HistoryView::contiguous(&w, 1));
+        planner.gather(4, &c, &HistoryView::contiguous(&w3, 1));
+        assert_eq!(planner.lanes.len(), 2);
     }
 }

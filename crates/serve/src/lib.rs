@@ -122,3 +122,7 @@ pub use snapshot::{
     FateRun, RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_VERSION,
 };
 pub use spec::{ChannelSpec, RecoverySpec, SessionId, SessionSpec, SharedForecaster, SourceSpec};
+
+/// Re-exported so `ServiceConfig::lane_layout` is nameable without a
+/// direct `foreco_forecast` dependency.
+pub use foreco_forecast::LaneLayout;

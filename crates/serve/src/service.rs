@@ -87,6 +87,14 @@ pub struct ServiceConfig {
     /// either way (the batched kernels preserve the scalar f64 op
     /// order), so this is purely a throughput knob.
     pub batching: bool,
+    /// Batched lane layout override. `None` (the default) lets each
+    /// shard's planner pick per lane via
+    /// [`foreco_forecast::plan_layout`] — cheap families stay scalar,
+    /// expensive families go member-major or slot-major by width.
+    /// `Some(layout)` forces every lane onto that layout (and gathers
+    /// cheap families too); the determinism suites use it to pin that
+    /// all layouts move zero bits.
+    pub lane_layout: Option<foreco_forecast::LaneLayout>,
 }
 
 impl Default for ServiceConfig {
@@ -101,6 +109,7 @@ impl Default for ServiceConfig {
             scheduler: Scheduler::default(),
             balancer: None,
             batching: true,
+            lane_layout: None,
         }
     }
 }
@@ -477,6 +486,7 @@ impl Service {
                 loads: Arc::clone(&loads),
                 models: models.clone(),
                 batching: config.batching,
+                lane_layout: config.lane_layout,
             };
             workers.push(
                 std::thread::Builder::new()

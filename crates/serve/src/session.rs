@@ -33,7 +33,7 @@ use crate::spec::SharedForecaster;
 use crate::spec::{ChannelSpec, SessionId, SessionSpec, SourceSpec};
 use foreco_core::channel::{Arrival, Channel};
 use foreco_core::{EngineSnapshot, EngineStateError, RecoveryEngine, RecoveryStats};
-use foreco_forecast::{Forecaster, HistoryView};
+use foreco_forecast::HistoryView;
 use foreco_robot::{ArmModel, DriverState, RobotDriver};
 use foreco_store::{trace_object_id, Storage, TraceHandle};
 use foreco_teleop::Dataset;
@@ -144,11 +144,12 @@ pub struct Session {
     source: Source,
     engine: Option<RecoveryEngine>,
     /// The trained forecaster this session shares with its siblings —
-    /// the `Arc` whose pointer identity keys batched forecasting lanes.
-    /// `None` for baseline sessions and for engines restored without
-    /// shared storage (deep-built weights batch with nobody, so they
-    /// stay on the scalar path).
-    shared_model: Option<Arc<dyn Forecaster>>,
+    /// the wrapper whose store `ObjectId` (content address) keys
+    /// batched forecasting lanes, falling back to `Arc` pointer
+    /// identity for unregistered models. `None` for baseline sessions
+    /// and for engines restored without shared storage (deep-built
+    /// weights batch with nobody, so they stay on the scalar path).
+    shared_model: Option<SharedForecaster>,
     reference: RobotDriver,
     executed: RobotDriver,
     /// Late commands waiting to (maybe) patch FoReCo's history:
@@ -351,7 +352,7 @@ impl Session {
     /// scalar path, which is always bit-identical. The peek is only
     /// valid until the session is next mutated, so shards gather and
     /// advance within one pass, after timer wakes.
-    pub(crate) fn batch_window(&self) -> Option<(&Arc<dyn Forecaster>, HistoryView<'_>)> {
+    pub(crate) fn batch_window(&self) -> Option<(&SharedForecaster, HistoryView<'_>)> {
         let model = self.shared_model.as_ref()?;
         let engine = self.engine.as_ref()?;
         // A pending late patch may splice the history between the gather
@@ -1040,12 +1041,14 @@ impl Session {
                 }) {
                     Some(claim) => {
                         let shared = SharedForecaster::from_handle(claim);
-                        let arc = shared.shared();
                         let engine = RecoveryEngine::from_snapshot_with(
                             engine_snap.clone(),
-                            Box::new(shared),
+                            Box::new(shared.clone()),
                         )?;
-                        (Some(engine), Some(arc))
+                        // The session keeps the wrapper (claim included)
+                        // so its lane keys by the model's content
+                        // address, not a reallocatable pointer.
+                        (Some(engine), Some(shared))
                     }
                     None => (
                         Some(RecoveryEngine::from_snapshot(engine_snap.clone())?),

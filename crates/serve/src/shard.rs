@@ -133,6 +133,9 @@ pub(crate) struct ShardWorker {
     pub(crate) models: Storage,
     /// Batched SoA forecasting sweep on/off (`ServiceConfig::batching`).
     pub(crate) batching: bool,
+    /// Batched lane layout override (`ServiceConfig::lane_layout`):
+    /// `None` = adaptive per-lane `plan_layout`.
+    pub(crate) lane_layout: Option<foreco_forecast::LaneLayout>,
 }
 
 /// The shard's mutable scheduling state, factored out of the run loop so
@@ -667,6 +670,7 @@ impl ShardWorker {
             loads,
             models,
             batching,
+            lane_layout,
         } = self;
         let mut rt = Runtime {
             index,
@@ -685,7 +689,7 @@ impl ShardWorker {
             pending_transfers: Vec::new(),
             models,
             batching,
-            planner: BatchPlanner::new(),
+            planner: BatchPlanner::new(lane_layout),
         };
         let mut pacer = Pacer::new(pacing, period);
         let mut shutdown = false;

@@ -36,8 +36,11 @@ pub type SessionId = u64;
 pub struct SharedForecaster {
     inner: Arc<dyn Forecaster>,
     /// Store claim pinning the registered model (`None` for ad-hoc
-    /// `new`-wrapped forecasters that bypass the store).
-    claim: Option<ModelHandle>,
+    /// `new`-wrapped forecasters that bypass the store). Shared by
+    /// every clone of the wrapper, so a session counts as one claim no
+    /// matter how many copies of its wrapper it holds (engine box,
+    /// lane key, spec).
+    claim: Option<Arc<ModelHandle>>,
 }
 
 impl SharedForecaster {
@@ -64,7 +67,7 @@ impl SharedForecaster {
         let claim = store.insert_model(Arc::new(forecaster))?;
         Ok(Self {
             inner: Arc::clone(claim.forecaster()),
-            claim: Some(claim),
+            claim: Some(Arc::new(claim)),
         })
     }
 
@@ -85,13 +88,16 @@ impl SharedForecaster {
     pub fn from_handle(claim: ModelHandle) -> Self {
         Self {
             inner: Arc::clone(claim.forecaster()),
-            claim: Some(claim),
+            claim: Some(Arc::new(claim)),
         }
     }
 
-    /// The shared trained forecaster itself. The `Arc`'s pointer
-    /// identity is what keys batched forecasting lanes: sessions whose
-    /// wrappers clone the same registration land in the same lane.
+    /// The shared trained forecaster itself. Batched forecasting lanes
+    /// key on the store claim's content address when registered
+    /// ([`SharedForecaster::store_id`]), and fall back to this `Arc`'s
+    /// pointer identity for unregistered wrappers — so sessions whose
+    /// wrappers clone one registration, or independently register
+    /// bit-identical weights, land in the same lane.
     pub fn shared(&self) -> Arc<dyn Forecaster> {
         Arc::clone(&self.inner)
     }
@@ -103,7 +109,7 @@ impl SharedForecaster {
 
     /// The model's content address in shared storage, when registered.
     pub fn store_id(&self) -> Option<ObjectId> {
-        self.claim.as_ref().map(ModelHandle::id)
+        self.claim.as_ref().map(|claim| claim.id())
     }
 }
 
@@ -146,6 +152,26 @@ impl Forecaster for SharedForecaster {
         // through the per-member fallback even when the inner
         // forecaster batches natively.
         self.inner.forecast_batch(members, windows, scratch, out)
+    }
+
+    fn forecast_batch_slots(
+        &self,
+        members: usize,
+        slots: &[f64],
+        scratch: &mut foreco_forecast::ForecastScratch,
+        out: &mut [f64],
+    ) -> bool {
+        // Same delegation rule as `forecast_batch`, for the slot-major
+        // layout.
+        self.inner
+            .forecast_batch_slots(members, slots, scratch, out)
+    }
+
+    fn cost_class(&self) -> foreco_forecast::CostClass {
+        // Delegation matters: the trait default is Cheap, which would
+        // silently drop every wrapped Kalman/VAR out of batching (the
+        // planner never gathers cheap families).
+        self.inner.cost_class()
     }
 
     fn history_len(&self) -> usize {
@@ -330,12 +356,14 @@ impl RecoverySpec {
         }
     }
 
-    /// The shared forecaster `Arc` for batched-lane grouping (`None`
-    /// for baseline sessions).
-    pub(crate) fn shared_model(&self) -> Option<Arc<dyn Forecaster>> {
+    /// The shared forecaster wrapper for batched-lane grouping (`None`
+    /// for baseline sessions). The wrapper, not the bare `Arc`: it
+    /// carries the store claim whose [`ObjectId`] keys lanes by content
+    /// for registered models.
+    pub(crate) fn shared_model(&self) -> Option<SharedForecaster> {
         match self {
             RecoverySpec::Baseline => None,
-            RecoverySpec::FoReCo { forecaster, .. } => Some(forecaster.shared()),
+            RecoverySpec::FoReCo { forecaster, .. } => Some(forecaster.clone()),
         }
     }
 }

@@ -98,13 +98,24 @@
 //! With [`serve::ServiceConfig::batching`] on (the default), each shard
 //! pass groups co-shard sessions that share one resident forecaster and
 //! are provably about to forecast into structure-of-arrays lanes, and
-//! replaces their per-session virtual dispatch with one
-//! [`forecast::Forecaster::forecast_batch`] sweep per lane. Membership
-//! is re-derived from scratch every pass, so park/wake, migration, and
-//! adoption need no bookkeeping; any session the planner cannot prove
-//! will miss simply takes the scalar path. Batched kernels preserve the
-//! scalar per-member f64 operation order exactly, so the knob changes
-//! throughput only — every report is bit-identical either way:
+//! replaces their per-session virtual dispatch with one batched sweep
+//! per lane. The sweep's *layout* is chosen per lane by
+//! [`forecast::plan_layout`] from the family's cost class and the
+//! lane's width: expensive kernels (Kalman-CV, VAR) run the slot-major
+//! transposed kernels ([`forecast::Forecaster::forecast_batch_slots`],
+//! cross-member auto-vectorized) once the lane is
+//! [`forecast::SLOT_MAJOR_MIN_WIDTH`] wide and member-major
+//! ([`forecast::Forecaster::forecast_batch`]) below that, while cheap
+//! kernels (MA, Holt) are never gathered at all — batching was a
+//! measured loss for them, so their sessions keep the plain scalar
+//! path. [`serve::ServiceConfig::lane_layout`] forces one layout
+//! fleet-wide (the determinism suites pin all three this way).
+//! Membership is re-derived from scratch every pass, so park/wake,
+//! migration, and adoption need no bookkeeping; any session the
+//! planner cannot prove will miss simply takes the scalar path.
+//! Batched kernels preserve the scalar per-member f64 operation order
+//! exactly in every layout, so the knobs change throughput only —
+//! every report is bit-identical any way you set them:
 //!
 //! ```
 //! use foreco::prelude::*;
@@ -126,14 +137,17 @@
 //!         ))
 //!         .collect()
 //! };
-//! let run = |batching: bool| {
-//!     Service::spawn(ServiceConfig { batching, ..ServiceConfig::with_shards(2) })
+//! let run = |batching: bool, lane_layout: Option<LaneLayout>| {
+//!     Service::spawn(ServiceConfig { batching, lane_layout, ..ServiceConfig::with_shards(2) })
 //!         .run_to_completion(specs())
 //! };
-//! let (batched, scalar) = (run(true), run(false));
+//! let scalar = run(false, None);                              // no batching at all
+//! let adaptive = run(true, None);                             // per-lane plan_layout (default)
+//! let slot_major = run(true, Some(LaneLayout::SlotMajor));    // forced transposed lanes
 //! for id in 0..8 {
-//!     let (a, b) = (batched.get(id).unwrap(), scalar.get(id).unwrap());
-//!     assert_eq!(a.rmse_mm.to_bits(), b.rmse_mm.to_bits()); // same bits
+//!     let want = scalar.get(id).unwrap().rmse_mm.to_bits();
+//!     assert_eq!(adaptive.get(id).unwrap().rmse_mm.to_bits(), want); // same bits
+//!     assert_eq!(slot_major.get(id).unwrap().rmse_mm.to_bits(), want); // still same bits
 //! }
 //! ```
 //!
@@ -289,8 +303,9 @@ pub mod prelude {
         RecoveryStats,
     };
     pub use foreco_forecast::{
-        forecast_horizon, ForecastScratch, Forecaster, HistoryView, Holt, KalmanCv, MovingAverage,
-        Seq2SeqForecaster, Var, VarMode, Varma,
+        forecast_horizon, plan_layout, CostClass, ForecastScratch, Forecaster, HistoryView, Holt,
+        KalmanCv, LaneLayout, MovingAverage, Seq2SeqForecaster, Var, VarMode, Varma,
+        SLOT_MAJOR_MIN_WIDTH,
     };
     pub use foreco_net::{
         ClientConfig, Gateway, GatewayConfig, IngressConfig, NetClient, NetError, TcpControl,

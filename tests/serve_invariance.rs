@@ -200,6 +200,67 @@ fn batched_and_scalar_paths_agree() {
     }
 }
 
+/// The lane layout is a pure throughput concern: the adaptive plan
+/// (the default), forced scalar-fallback lanes, forced member-major,
+/// and forced slot-major must all carry RMSE bits identical to the
+/// batching-off scalar ground truth, at 1, 2, and 8 shards. This is
+/// the service-level half of the `batch_identity` contract — layout
+/// selection may change per pass with lane width and must never be
+/// observable in any session's results.
+#[test]
+fn every_lane_layout_agrees_at_every_shard_count() {
+    use foreco::forecast::LaneLayout;
+
+    let model = niryo_one();
+    let var = forecaster();
+    let shared = SharedForecaster::new(var);
+    let specs = || -> Vec<SessionSpec> {
+        (0..SESSIONS)
+            .map(|id| spec_for(id, &shared, &model))
+            .collect()
+    };
+    for shards in [1usize, 2, 8] {
+        let ground = Service::spawn(ServiceConfig {
+            batching: false,
+            ..ServiceConfig::with_shards(shards)
+        })
+        .run_to_completion(specs());
+        let rows: [(&str, Option<LaneLayout>); 4] = [
+            ("adaptive", None),
+            ("forced-scalar", Some(LaneLayout::Scalar)),
+            ("forced-member-major", Some(LaneLayout::MemberMajor)),
+            ("forced-slot-major", Some(LaneLayout::SlotMajor)),
+        ];
+        for (label, lane_layout) in rows {
+            let run = Service::spawn(ServiceConfig {
+                batching: true,
+                lane_layout,
+                ..ServiceConfig::with_shards(shards)
+            })
+            .run_to_completion(specs());
+            for id in 0..SESSIONS {
+                let want = ground.get(id).expect("scalar report");
+                let got = run.get(id).expect("report");
+                assert_eq!(
+                    got.rmse_mm.to_bits(),
+                    want.rmse_mm.to_bits(),
+                    "session {id} rmse not bit-identical ({label} @ {shards} shards)"
+                );
+                assert_eq!(
+                    got.max_deviation_mm.to_bits(),
+                    want.max_deviation_mm.to_bits(),
+                    "session {id} max deviation ({label} @ {shards} shards)"
+                );
+                assert_eq!(
+                    got.stats, want.stats,
+                    "session {id} stats ({label} @ {shards} shards)"
+                );
+            }
+            assert_eq!(run.summary(), ground.summary(), "{label} @ {shards} shards");
+        }
+    }
+}
+
 /// The event-driven scheduler (run queue + timer wheel + parking) and
 /// the balancer (live migration policy) are pure scheduling concerns:
 /// at 1, 2, and 8 shards, their per-session reports must equal the

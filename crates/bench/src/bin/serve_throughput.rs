@@ -22,6 +22,13 @@
 //! → gated injection) over the in-process loopback transport vs real
 //! localhost UDP, reported as datagrams/sec.
 //!
+//! The **fleet_soak** scenario churns thousands of short-lived sessions
+//! through open → replay → (periodic) snapshot → close on worker
+//! threads while a scraper hits the Prometheus metrics endpoint and a
+//! poll-mode subscriber drains the fleet event feed — the
+//! observability plane exercised *during* churn, with scrape latency
+//! percentiles and event delivery/drop counts recorded.
+//!
 //! The **engine_hot_path** scenario profiles one hosted session's
 //! steady-state tick (source → engine → both PID drivers → metrics) in
 //! isolation: per-tick wall nanoseconds and — through a counting global
@@ -80,6 +87,8 @@
 //! `FORECO_SERVE_HOTPATH_TICKS` (measured hot-path ticks, default 200000),
 //! `FORECO_SERVE_INGRESS_SESSIONS` (default 16),
 //! `FORECO_SERVE_INGRESS_FRAMES` (per-session datagrams, default 1000),
+//! `FORECO_SERVE_SOAK_SESSIONS` (fleet-soak churn size, default 10000),
+//! `FORECO_SERVE_SOAK_TICKS` (fleet-soak ticks/session, default 32),
 //! `FORECO_SERVE_DEDUP_SESSIONS` (shared-storage fleet size, default 1024),
 //! `FORECO_SERVE_DEDUP_CYCLES` (shared trace length, default 4),
 //! `FORECO_SERVE_OUT` (output path, default `BENCH_serve.json`).
@@ -199,6 +208,33 @@ struct IngressRow {
     lost: u64,
 }
 
+/// The fleet-soak scenario: thousands of sessions churned through
+/// open → replay → (periodic) snapshot → close while the metrics
+/// endpoint is scraped live and an event subscriber drinks the fleet's
+/// lifecycle — the observability plane measured *under* load, not
+/// after it.
+#[derive(Serialize)]
+struct FleetSoakRow {
+    sessions: u64,
+    shards: usize,
+    ticks_per_session: usize,
+    wall_s: f64,
+    /// Session-ticks confirmed by close reports.
+    session_ticks: u64,
+    ticks_per_sec: f64,
+    /// Mid-churn checkpoints taken (every 16th session).
+    snapshots: u64,
+    /// Prometheus scrapes completed during the churn.
+    scrapes: u64,
+    scrape_p50_us: f64,
+    scrape_p99_us: f64,
+    scrape_max_us: f64,
+    /// Fleet events the live subscriber received.
+    events_delivered: u64,
+    /// Events shed by the subscriber's bounded queue (drop-oldest).
+    events_dropped: u64,
+}
+
 #[derive(Serialize)]
 struct HotPathRow {
     forecaster: String,
@@ -304,6 +340,7 @@ struct Output {
     lane_sweep: Vec<LaneSweepRow>,
     idle_heavy: Vec<IdleRow>,
     ingress: Vec<IngressRow>,
+    fleet_soak: FleetSoakRow,
     bytes_per_session: BytesRow,
 }
 
@@ -766,6 +803,135 @@ fn ingress_run(transport: &str, shards: usize, sessions: u64, trace: &[Vec<f64>]
         datagrams_per_sec: datagrams as f64 / wall_s,
         delivered,
         lost,
+    }
+}
+
+/// Churns `sessions` short-lived sessions through the gateway on
+/// worker threads while a scraper hammers the Prometheus endpoint and
+/// a poll-mode subscriber drains the fleet event feed — the
+/// observability soak. Loopback transport: the point is control-plane
+/// behaviour under churn, not socket throughput (the ingress scenario
+/// owns that).
+fn fleet_soak_run(shards: usize, sessions: u64, ticks: usize) -> FleetSoakRow {
+    use foreco_net::{ClientConfig, ForecoClient, Gateway, GatewayConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let gateway = Gateway::spawn(ServiceConfig::with_shards(shards), GatewayConfig::default())
+        .expect("spawn soak gateway");
+    let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 404)
+        .head(ticks)
+        .commands;
+    let cfg = ClientConfig {
+        window: 64,
+        ..ClientConfig::default()
+    };
+    let workers = 8u64.min(sessions.max(1));
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+
+    let (wall_s, session_ticks, snapshots, mut scrape_us, events_delivered, events_dropped) =
+        std::thread::scope(|s| {
+            let worker_handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let (gateway, trace, cfg) = (&gateway, &trace, &cfg);
+                    s.spawn(move || {
+                        let (mut ticks_done, mut snaps) = (0u64, 0u64);
+                        let mut id = worker;
+                        while id < sessions {
+                            let mut client = ForecoClient::loopback(gateway, id);
+                            client
+                                .open(trace[0].clone(), trace.len().max(16))
+                                .expect("soak open");
+                            client.replay(trace, 0, cfg).expect("soak replay");
+                            if id % 16 == 0 {
+                                let snapshot = client.snapshot().expect("soak snapshot");
+                                assert!(!snapshot.is_empty());
+                                snaps += 1;
+                            }
+                            let (report, _) = client.close().expect("soak close");
+                            ticks_done += report.ticks;
+                            id += workers;
+                        }
+                        (ticks_done, snaps)
+                    })
+                })
+                .collect();
+
+            // Live scrapes against the churn, latency recorded per scrape.
+            let scraper = s.spawn(|| {
+                let mut client = ForecoClient::loopback(&gateway, u64::MAX);
+                let mut latencies_us = Vec::new();
+                loop {
+                    let done = stop.load(Ordering::Relaxed);
+                    let begun = Instant::now();
+                    let body = client.metrics().expect("soak scrape");
+                    latencies_us.push(begun.elapsed().as_secs_f64() * 1e6);
+                    assert!(body.contains("foreco_ticks_total"), "scrape body sane");
+                    if done {
+                        return latencies_us;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+
+            // A poll-mode subscriber drinking the fleet's lifecycle.
+            let subscriber = s.spawn(|| {
+                let mut client = ForecoClient::loopback(&gateway, u64::MAX - 1);
+                let subscription = client.subscribe().expect("soak subscribe");
+                let (mut delivered, mut dropped) = (0u64, 0u64);
+                loop {
+                    let done = stop.load(Ordering::Relaxed);
+                    let batch = client.poll_events(subscription, 4096).expect("soak poll");
+                    delivered += batch.events.len() as u64;
+                    dropped += batch.dropped;
+                    if batch.events.is_empty() {
+                        if done {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+                client.unsubscribe(subscription).expect("soak unsubscribe");
+                (delivered, dropped)
+            });
+
+            let (mut session_ticks, mut snapshots) = (0u64, 0u64);
+            for handle in worker_handles {
+                let (ticks_done, snaps) = handle.join().expect("soak worker");
+                session_ticks += ticks_done;
+                snapshots += snaps;
+            }
+            let wall_s = started.elapsed().as_secs_f64();
+            stop.store(true, Ordering::Relaxed);
+            let scrape_us = scraper.join().expect("soak scraper");
+            let (delivered, dropped) = subscriber.join().expect("soak subscriber");
+            (
+                wall_s,
+                session_ticks,
+                snapshots,
+                scrape_us,
+                delivered,
+                dropped,
+            )
+        });
+    gateway.shutdown();
+
+    scrape_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let percentile = |p: f64| scrape_us[((scrape_us.len() - 1) as f64 * p) as usize];
+    FleetSoakRow {
+        sessions,
+        shards,
+        ticks_per_session: ticks,
+        wall_s,
+        session_ticks,
+        ticks_per_sec: session_ticks as f64 / wall_s,
+        snapshots,
+        scrapes: scrape_us.len() as u64,
+        scrape_p50_us: percentile(0.50),
+        scrape_p99_us: percentile(0.99),
+        scrape_max_us: *scrape_us.last().expect("at least one scrape"),
+        events_delivered,
+        events_dropped,
     }
 }
 
@@ -1282,6 +1448,34 @@ fn main() {
         ingress.push(row);
     }
 
+    // ---- fleet soak: observability plane under open/close churn ----
+    let soak_sessions = env_knob("FORECO_SERVE_SOAK_SESSIONS", 10_000) as u64;
+    let soak_ticks = env_knob("FORECO_SERVE_SOAK_TICKS", 32);
+    println!(
+        "\nfleet-soak: {soak_sessions} sessions × {soak_ticks} ticks churned over \
+         {idle_shards} shards with live scrapes and a fleet-event subscriber"
+    );
+    let fleet_soak = fleet_soak_run(idle_shards, soak_sessions, soak_ticks);
+    println!(
+        "{:>10} {:>14} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "wall [s]", "ticks/s", "snapshots", "scrapes", "scrape p99", "events", "dropped"
+    );
+    println!(
+        "{:>10.3} {:>14.0} {:>10} {:>10} {:>9.0} µs {:>12} {:>10}",
+        fleet_soak.wall_s,
+        fleet_soak.ticks_per_sec,
+        fleet_soak.snapshots,
+        fleet_soak.scrapes,
+        fleet_soak.scrape_p99_us,
+        fleet_soak.events_delivered,
+        fleet_soak.events_dropped
+    );
+    assert_eq!(
+        fleet_soak.session_ticks,
+        soak_sessions * soak_ticks as u64,
+        "every soak session must run its full trace"
+    );
+
     // ---- shared-storage dedup: resident + checkpoint bytes/session ----
     let dedup_sessions = env_knob("FORECO_SERVE_DEDUP_SESSIONS", 1024) as u64;
     let dedup_cycles = env_knob("FORECO_SERVE_DEDUP_CYCLES", 4);
@@ -1330,6 +1524,7 @@ fn main() {
         lane_sweep,
         idle_heavy,
         ingress,
+        fleet_soak,
         bytes_per_session: bytes_row,
     };
     let json = serde_json::to_string_pretty(&output).expect("serialise bench output");

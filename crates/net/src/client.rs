@@ -256,6 +256,17 @@ impl<D: DataWire, C: ControlWire> NetClient<D, C> {
         }
     }
 
+    /// The session this client drives.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Direct access to the control wire (for the typed SDK layered on
+    /// top of this client).
+    pub(crate) fn control_mut(&mut self) -> &mut C {
+        &mut self.control
+    }
+
     /// Attaches: opens the gated session on the gateway.
     ///
     /// # Errors
@@ -547,9 +558,9 @@ impl<D: DataWire, C: ControlWire> ReplayRun<'_, D, C> {
     }
 }
 
-fn unexpected(response: ControlResponse) -> NetError {
+pub(crate) fn unexpected(response: ControlResponse) -> NetError {
     match response {
-        ControlResponse::Rejected { reason } => NetError::Rejected(reason),
+        ControlResponse::Rejected { code, reason } => NetError::Rejected { code, reason },
         other => NetError::Protocol(format!("unexpected control response: {other:?}")),
     }
 }

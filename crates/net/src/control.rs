@@ -1,17 +1,30 @@
 //! The TCP control plane: length-prefixed request/response messages for
 //! everything that is not per-tick traffic — attach (open), detach
-//! (close + final report), checkpoint (snapshot), revive (adopt), and
-//! ingress stats.
+//! (close + final report), checkpoint (snapshot), revive (adopt),
+//! ingress stats, durable event subscriptions, and the Prometheus
+//! metrics endpoint.
 //!
 //! # Framing
 //!
 //! A connection opens with a 5-byte handshake (`WIRE_MAGIC` +
-//! `WIRE_VERSION`, echoed by the server — the same versioning gate as
-//! the data plane). Every message after that is `u32` little-endian
+//! [`CONTROL_VERSION`], echoed by the server — the same versioning gate
+//! as the data plane). Every message after that is `u32` little-endian
 //! length + a JSON-encoded [`ControlRequest`] / [`ControlResponse`]
 //! (JSON because the heaviest payload — a session snapshot — already
 //! *is* the snapshot JSON; wrapping it in a second binary codec would
 //! buy nothing).
+//!
+//! # Versioning
+//!
+//! Control protocol **v2** added [`ControlRequest::Subscribe`] /
+//! [`ControlRequest::PollEvents`] / [`ControlRequest::Unsubscribe`] /
+//! [`ControlRequest::Metrics`], their responses, and the typed
+//! [`RejectCode`] on [`ControlResponse::Rejected`]. Per the versioning
+//! invariant, legacy decode is kept explicitly: the server accepts a v1
+//! hello and echoes the *client's* version back (v1 operators keep
+//! speaking v1 — every v1 message is a valid v2 message, and a
+//! `Rejected` without a `code` field decodes as [`RejectCode::Unknown`]
+//! on modern clients).
 //!
 //! The server side ([`ControlCore`]) is transport-agnostic: the TCP
 //! connection handler and the in-process loopback control both call
@@ -20,11 +33,11 @@
 
 use crate::gateway::{EventHub, GatewayConfig};
 use crate::ingress::IngressState;
-use crate::wire::{WIRE_MAGIC, WIRE_VERSION};
+use crate::wire::WIRE_MAGIC;
 use crate::NetError;
 use foreco_serve::{
-    IngressSummary, ServiceHandle, SessionId, SessionReport, SessionSnapshot, SessionSpec,
-    SourceSpec, SourceState,
+    render_prometheus, IngressSummary, ServiceError, ServiceHandle, SessionId, SessionReport,
+    SessionSnapshot, SessionSpec, SourceSpec, SourceState,
 };
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -33,6 +46,12 @@ use std::sync::{Arc, Mutex};
 /// Hard cap on one control message (a snapshot of a long scripted
 /// session is the largest legitimate payload).
 pub const MAX_CONTROL_MSG: usize = 64 << 20;
+
+/// Control-plane protocol version spoken by this build. Distinct from
+/// the data plane's `WIRE_VERSION`: v2 added event subscriptions, the
+/// metrics endpoint, and typed reject codes (see the module docs for
+/// the compatibility rules).
+pub const CONTROL_VERSION: u8 = 2;
 
 /// Operator→gateway control messages.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,6 +90,34 @@ pub enum ControlRequest {
         /// Session id.
         id: SessionId,
     },
+    /// Register a durable fleet-event subscription (v2). The server
+    /// starts queueing lifecycle events ([`FleetEvent`]) and enables
+    /// park-level narration fleet-wide while any subscription is live.
+    Subscribe {
+        /// `true`: after the [`ControlResponse::Subscribed`] reply the
+        /// server dedicates this TCP connection to pushing
+        /// [`ControlResponse::Event`] frames until it closes. `false`
+        /// (and every loopback transport): drain with
+        /// [`ControlRequest::PollEvents`] instead.
+        stream: bool,
+    },
+    /// Drain queued events from a poll-mode subscription (v2).
+    PollEvents {
+        /// Subscription id from [`ControlResponse::Subscribed`].
+        subscription: u64,
+        /// Upper bound on events returned in one reply.
+        max: usize,
+    },
+    /// Tear a subscription down (v2). Stream-mode subscriptions end
+    /// with their connection instead.
+    Unsubscribe {
+        /// Subscription id from [`ControlResponse::Subscribed`].
+        subscription: u64,
+    },
+    /// The fleet's live telemetry in the Prometheus text exposition
+    /// format (v2): per-shard counters, scheduler load, cumulative
+    /// ingress totals, completed-session RMSE quantiles.
+    Metrics,
 }
 
 /// Gateway→operator control replies.
@@ -111,35 +158,235 @@ pub enum ControlResponse {
         /// The counters.
         ingress: IngressSummary,
     },
+    /// The subscription is live (v2).
+    Subscribed {
+        /// Id to poll/unsubscribe with.
+        subscription: u64,
+    },
+    /// The subscription was torn down (v2).
+    Unsubscribed {
+        /// The removed id.
+        subscription: u64,
+    },
+    /// One batch of queued events (v2, poll mode).
+    Events {
+        /// Oldest-first drained events.
+        events: Vec<FleetEvent>,
+        /// Events evicted from the subscription's bounded queue since
+        /// the previous poll (cumulative loss signal, reset per reply).
+        dropped: u64,
+    },
+    /// One pushed event (v2, stream mode). Never a reply to a request —
+    /// only sent on a connection dedicated by
+    /// `Subscribe { stream: true }`.
+    Event {
+        /// The event.
+        event: FleetEvent,
+    },
+    /// The metrics scrape body (v2).
+    Metrics {
+        /// Prometheus text exposition format, UTF-8.
+        body: String,
+    },
     /// The request could not be honoured; nothing changed.
     Rejected {
+        /// Machine-readable cause (v2; decodes as
+        /// [`RejectCode::Unknown`] from v1 peers that omit it).
+        code: RejectCode,
         /// Human-readable cause.
         reason: String,
     },
 }
 
-/// Writes the 5-byte protocol handshake.
+/// A lifecycle event published to control-plane subscribers. Mapped
+/// from the service's `SessionEvent` stream by the gateway's event
+/// pump; snapshot payloads are deliberately elided (checkpoints travel
+/// on the request path, not the firehose).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FleetEvent {
+    /// A session was materialised.
+    Opened {
+        /// Session id.
+        id: SessionId,
+        /// Owning shard.
+        shard: usize,
+    },
+    /// A session ran to completion.
+    Completed {
+        /// Session id.
+        id: SessionId,
+        /// Final per-session accounting.
+        report: SessionReport,
+    },
+    /// A session was checkpointed (payload elided).
+    Snapshotted {
+        /// Session id.
+        id: SessionId,
+        /// Owning shard.
+        shard: usize,
+    },
+    /// A session left its shard mid-migration.
+    Migrated {
+        /// Session id.
+        id: SessionId,
+        /// Shard it left.
+        from: usize,
+        /// Shard it is moving to.
+        to: usize,
+    },
+    /// A session parked at a verified idle fixed point. Emitted only
+    /// while a subscription is live (park-level narration is gated by
+    /// the fleet's observer count — see `foreco_serve::telemetry`).
+    Parked {
+        /// Session id.
+        id: SessionId,
+        /// Shard it parked on.
+        shard: usize,
+    },
+    /// A session was rehydrated from a snapshot (adopt, or the resume
+    /// half of a migration).
+    Adopted {
+        /// Session id.
+        id: SessionId,
+        /// Shard now owning it.
+        shard: usize,
+        /// Virtual tick it resumed at.
+        tick: u64,
+    },
+    /// A command was dropped on a full inbox (a loss event the
+    /// session's recovery engine covers).
+    Dropped {
+        /// Session id.
+        id: SessionId,
+        /// The session's virtual tick at drop time.
+        tick: u64,
+    },
+}
+
+/// Machine-readable rejection causes (v2). Serialised as the variant
+/// name; anything unrecognised — including the absent field in a v1
+/// `Rejected` payload — decodes as [`RejectCode::Unknown`], so old and
+/// new peers interoperate without negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RejectCode {
+    /// Malformed or invalid request parameters (wrong pose dims, zero
+    /// inbox, undecodable payload, bad snapshot JSON, …).
+    BadRequest,
+    /// An open/adopt reused a live session's id.
+    DuplicateSession,
+    /// The target session is unknown to (or not attached to) the
+    /// gateway.
+    UnknownSession,
+    /// The service did not answer within the control timeout.
+    Timeout,
+    /// The session exists but its state cannot be exported.
+    SnapshotFailed,
+    /// The snapshot could not be rehydrated.
+    RestoreFailed,
+    /// The service's control channel is full; retry.
+    Backpressure,
+    /// The fronted service is terminating.
+    Unavailable,
+    /// A v1 peer's rejection (no code on the wire), or a code minted by
+    /// a newer protocol than this build speaks.
+    Unknown,
+}
+
+// Hand-written so a missing field (`Value::Null` under the vendored
+// serde's missing-field convention) and unrecognised names both decode
+// as `Unknown` — the `#[serde(default)]`-style behaviour the
+// versioning invariant requires, without attribute support in the
+// offline derive shim.
+impl Deserialize for RejectCode {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(match v {
+            serde::Value::String(s) => match s.as_str() {
+                "BadRequest" => RejectCode::BadRequest,
+                "DuplicateSession" => RejectCode::DuplicateSession,
+                "UnknownSession" => RejectCode::UnknownSession,
+                "Timeout" => RejectCode::Timeout,
+                "SnapshotFailed" => RejectCode::SnapshotFailed,
+                "RestoreFailed" => RejectCode::RestoreFailed,
+                "Backpressure" => RejectCode::Backpressure,
+                "Unavailable" => RejectCode::Unavailable,
+                _ => RejectCode::Unknown,
+            },
+            _ => RejectCode::Unknown,
+        })
+    }
+}
+
+impl std::fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A typed rejection in flight inside the gateway (hub waits, control
+/// handlers) before it becomes a [`ControlResponse::Rejected`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Reject {
+    pub(crate) code: RejectCode,
+    pub(crate) reason: String,
+}
+
+impl Reject {
+    pub(crate) fn new(code: RejectCode, reason: impl Into<String>) -> Self {
+        Self {
+            code,
+            reason: reason.into(),
+        }
+    }
+
+    /// Maps a `ServiceHandle` send failure onto a wire code.
+    pub(crate) fn service(context: &str, e: ServiceError) -> Self {
+        let code = match e {
+            ServiceError::Backpressure => RejectCode::Backpressure,
+            ServiceError::Disconnected => RejectCode::Unavailable,
+            ServiceError::NoSuchShard { .. } => RejectCode::BadRequest,
+        };
+        Self::new(code, format!("service rejected {context}: {e}"))
+    }
+}
+
+impl From<Reject> for ControlResponse {
+    fn from(r: Reject) -> Self {
+        ControlResponse::Rejected {
+            code: r.code,
+            reason: r.reason,
+        }
+    }
+}
+
+/// Writes the 5-byte protocol handshake at this build's version.
 pub fn write_hello<W: Write>(w: &mut W) -> std::io::Result<()> {
+    write_hello_version(w, CONTROL_VERSION)
+}
+
+/// Writes the 5-byte handshake at an explicit version (the server
+/// echoes the *client's* version so v1 operators keep speaking v1).
+pub fn write_hello_version<W: Write>(w: &mut W, version: u8) -> std::io::Result<()> {
     let mut hello = [0u8; 5];
     hello[..4].copy_from_slice(&WIRE_MAGIC);
-    hello[4] = WIRE_VERSION;
+    hello[4] = version;
     w.write_all(&hello)
 }
 
-/// Reads and validates the 5-byte protocol handshake.
-pub fn read_hello<R: Read>(r: &mut R) -> Result<(), NetError> {
+/// Reads and validates the 5-byte protocol handshake, returning the
+/// negotiated version (1 ..= [`CONTROL_VERSION`]).
+pub fn read_hello<R: Read>(r: &mut R) -> Result<u8, NetError> {
     let mut hello = [0u8; 5];
     r.read_exact(&mut hello).map_err(NetError::Io)?;
     if hello[..4] != WIRE_MAGIC {
         return Err(NetError::Protocol("control handshake: bad magic".into()));
     }
-    if hello[4] != WIRE_VERSION {
+    if hello[4] == 0 || hello[4] > CONTROL_VERSION {
         return Err(NetError::Protocol(format!(
-            "control handshake: version {} (this build speaks {WIRE_VERSION})",
+            "control handshake: version {} (this build speaks 1..={CONTROL_VERSION})",
             hello[4]
         )));
     }
-    Ok(())
+    Ok(hello[4])
 }
 
 /// Writes one length-prefixed message.
@@ -190,21 +437,80 @@ impl ControlCore {
             ControlRequest::Stats { id } => match self.ingress.lock().expect("ingress").summary(id)
             {
                 Some(ingress) => ControlResponse::Stats { ingress },
-                None => reject(format!("session {id} is not attached")),
+                None => Reject::new(
+                    RejectCode::UnknownSession,
+                    format!("session {id} is not attached"),
+                )
+                .into(),
             },
+            ControlRequest::Subscribe { .. } => {
+                // The `stream` flag is a transport concern: the TCP
+                // handler dedicates its connection after this reply;
+                // loopback (and poll-mode TCP) subscriptions drain via
+                // PollEvents. Either way the registration — and the
+                // fleet-wide observer it enables — is identical.
+                let subscription = self.hub.subscribe();
+                self.handle.attach_observer();
+                ControlResponse::Subscribed { subscription }
+            }
+            ControlRequest::PollEvents { subscription, max } => {
+                match self.hub.poll_events(subscription, max) {
+                    Ok((events, dropped)) => ControlResponse::Events { events, dropped },
+                    Err(r) => r.into(),
+                }
+            }
+            ControlRequest::Unsubscribe { subscription } => {
+                if self.release_subscription(subscription) {
+                    ControlResponse::Unsubscribed { subscription }
+                } else {
+                    Reject::new(
+                        RejectCode::UnknownSession,
+                        format!("no subscription {subscription}"),
+                    )
+                    .into()
+                }
+            }
+            ControlRequest::Metrics => self.metrics(),
+        }
+    }
+
+    /// Removes a subscription and, if it existed, its fleet-wide
+    /// lifecycle observer. Also called by the TCP handler when a
+    /// connection owning subscriptions disconnects.
+    pub(crate) fn release_subscription(&self, subscription: u64) -> bool {
+        let removed = self.hub.unsubscribe(subscription);
+        if removed {
+            self.handle.detach_observer();
+        }
+        removed
+    }
+
+    /// Renders the fleet's live telemetry as Prometheus text. All the
+    /// allocation happens here, in the control plane — the shards only
+    /// ever touched relaxed atomics (the observability discipline).
+    fn metrics(&self) -> ControlResponse {
+        let mut fleet = self.handle.telemetry();
+        fleet.ingress = self.ingress.lock().expect("ingress").totals();
+        let rmse = self.hub.rmse_summary();
+        ControlResponse::Metrics {
+            body: render_prometheus(&fleet, rmse.as_ref()),
         }
     }
 
     fn open(&self, id: SessionId, initial: Vec<f64>, inbox_capacity: usize) -> ControlResponse {
         if initial.len() != self.dof {
-            return reject(format!(
-                "initial pose has {} joints, the arm has {}",
-                initial.len(),
-                self.dof
-            ));
+            return Reject::new(
+                RejectCode::BadRequest,
+                format!(
+                    "initial pose has {} joints, the arm has {}",
+                    initial.len(),
+                    self.dof
+                ),
+            )
+            .into();
         }
         if inbox_capacity == 0 {
-            return reject("inbox capacity must be ≥ 1".into());
+            return Reject::new(RejectCode::BadRequest, "inbox capacity must be ≥ 1").into();
         }
         let spec = SessionSpec::new(
             id,
@@ -216,14 +522,14 @@ impl ControlCore {
             self.cfg.recovery.clone(),
         );
         if let Err(e) = self.handle.open(spec) {
-            return reject(format!("service rejected open: {e}"));
+            return Reject::service("open", e).into();
         }
         match self.hub.wait_opened(id, self.cfg.control_timeout) {
             Ok(()) => {
                 self.ingress.lock().expect("ingress").attach(id, 0);
                 ControlResponse::Opened { id }
             }
-            Err(reason) => reject(reason),
+            Err(reject) => reject.into(),
         }
     }
 
@@ -237,7 +543,11 @@ impl ControlCore {
             let flushed = {
                 let mut state = self.ingress.lock().expect("ingress");
                 if state.summary(id).is_none() {
-                    return reject(format!("session {id} is not attached"));
+                    return Reject::new(
+                        RejectCode::UnknownSession,
+                        format!("session {id} is not attached"),
+                    )
+                    .into();
                 }
                 state.try_flush(id)
             };
@@ -251,7 +561,7 @@ impl ControlCore {
         // issued — its genuine answer must not be confused with it.
         self.hub.forget_unknown(id);
         if let Err(e) = self.handle.close(id) {
-            return reject(format!("service rejected close: {e}"));
+            return Reject::service("close", e).into();
         }
         match self.hub.wait_report(id, self.cfg.control_timeout) {
             Ok(report) => {
@@ -272,7 +582,7 @@ impl ControlCore {
             }
             // The report may still arrive; the hub keeps it for a
             // retried Close, and the session stays attached meanwhile.
-            Err(reason) => reject(reason),
+            Err(reject) => reject.into(),
         }
     }
 
@@ -286,21 +596,24 @@ impl ControlCore {
         }
         self.hub.forget_unknown(id);
         if let Err(e) = self.handle.snapshot(id) {
-            return reject(format!("service rejected snapshot: {e}"));
+            return Reject::service("snapshot", e).into();
         }
         match self.hub.wait_snapshot(id, self.cfg.control_timeout) {
             Ok(snapshot) => ControlResponse::Snapshot {
                 id,
                 snapshot: String::from_utf8(snapshot.to_bytes()).expect("snapshot JSON is UTF-8"),
             },
-            Err(reason) => reject(reason),
+            Err(reject) => reject.into(),
         }
     }
 
     fn adopt(&self, snapshot_json: &str) -> ControlResponse {
         let snapshot = match SessionSnapshot::from_bytes(snapshot_json.as_bytes()) {
             Ok(snapshot) => snapshot,
-            Err(e) => return reject(format!("snapshot rejected: {e}")),
+            Err(e) => {
+                return Reject::new(RejectCode::BadRequest, format!("snapshot rejected: {e}"))
+                    .into()
+            }
         };
         let id = snapshot.id;
         // The data-plane watermark resumes at the snapshot's settled
@@ -317,15 +630,25 @@ impl ControlCore {
                 });
                 match queued.and_then(|q| snapshot.tick.checked_add(q)) {
                     Some(next_slot) => next_slot,
-                    None => return reject("snapshot slot arithmetic overflows".into()),
+                    None => {
+                        return Reject::new(
+                            RejectCode::BadRequest,
+                            "snapshot slot arithmetic overflows",
+                        )
+                        .into()
+                    }
                 }
             }
             _ => {
-                return reject("only gated (socket-ingress) sessions attach to the gateway".into())
+                return Reject::new(
+                    RejectCode::BadRequest,
+                    "only gated (socket-ingress) sessions attach to the gateway",
+                )
+                .into()
             }
         };
         if let Err(e) = self.handle.adopt(snapshot) {
-            return reject(format!("service rejected adopt: {e}"));
+            return Reject::service("adopt", e).into();
         }
         match self.hub.wait_restored(id, self.cfg.control_timeout) {
             Ok(tick) => {
@@ -336,13 +659,9 @@ impl ControlCore {
                     next_slot,
                 }
             }
-            Err(reason) => reject(reason),
+            Err(reject) => reject.into(),
         }
     }
-}
-
-fn reject(reason: String) -> ControlResponse {
-    ControlResponse::Rejected { reason }
 }
 
 /// Serialises a control message to its JSON wire payload.
@@ -357,4 +676,81 @@ pub(crate) fn from_payload<T: Deserialize>(payload: &[u8]) -> Result<T, NetError
     let text = std::str::from_utf8(payload)
         .map_err(|_| NetError::Protocol("control payload is not UTF-8".into()))?;
     serde_json::from_str(text).map_err(|e| NetError::Protocol(format!("control payload: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_rejected_payload_decodes_with_unknown_code() {
+        // A v1 peer sends Rejected with only `reason`; the absent code
+        // field must decode as Unknown, not fail.
+        let legacy = br#"{"Rejected":{"reason":"no such session"}}"#;
+        let response: ControlResponse = from_payload(legacy).expect("legacy decode");
+        assert_eq!(
+            response,
+            ControlResponse::Rejected {
+                code: RejectCode::Unknown,
+                reason: "no such session".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_reject_code_names_decode_as_unknown() {
+        let future = br#"{"Rejected":{"code":"QuotaExceeded","reason":"x"}}"#;
+        let response: ControlResponse = from_payload(future).expect("forward decode");
+        let ControlResponse::Rejected { code, .. } = response else {
+            panic!("expected Rejected");
+        };
+        assert_eq!(code, RejectCode::Unknown);
+    }
+
+    #[test]
+    fn typed_rejects_round_trip() {
+        let response = ControlResponse::Rejected {
+            code: RejectCode::DuplicateSession,
+            reason: "session 7 already exists".into(),
+        };
+        let decoded: ControlResponse =
+            from_payload(&to_payload(&response)).expect("round trip decode");
+        assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn hello_negotiates_both_versions() {
+        for version in [1u8, CONTROL_VERSION] {
+            let mut wire = Vec::new();
+            write_hello_version(&mut wire, version).unwrap();
+            let got = read_hello(&mut wire.as_slice()).expect("accept version");
+            assert_eq!(got, version);
+        }
+        let mut wire = Vec::new();
+        write_hello_version(&mut wire, CONTROL_VERSION + 1).unwrap();
+        assert!(read_hello(&mut wire.as_slice()).is_err(), "future version");
+        let mut wire = Vec::new();
+        write_hello_version(&mut wire, 0).unwrap();
+        assert!(read_hello(&mut wire.as_slice()).is_err(), "version zero");
+    }
+
+    #[test]
+    fn fleet_events_round_trip_the_wire_codec() {
+        let events = vec![
+            FleetEvent::Opened { id: 1, shard: 0 },
+            FleetEvent::Parked { id: 1, shard: 0 },
+            FleetEvent::Migrated {
+                id: 1,
+                from: 0,
+                to: 3,
+            },
+            FleetEvent::Dropped { id: 2, tick: 40 },
+        ];
+        let response = ControlResponse::Events {
+            events: events.clone(),
+            dropped: 5,
+        };
+        let decoded: ControlResponse = from_payload(&to_payload(&response)).expect("decode");
+        assert_eq!(decoded, response);
+    }
 }

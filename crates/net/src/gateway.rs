@@ -21,14 +21,14 @@
 //! twin the determinism suite compares real-socket runs against.
 
 use crate::client::{LoopbackControl, LoopbackWire};
-use crate::control::{self, ControlCore, ControlRequest};
+use crate::control::{self, ControlCore, ControlRequest, FleetEvent, Reject, RejectCode};
 use crate::ingress::{IngressConfig, IngressState};
 use crate::wire::MAX_FRAME;
 use foreco_serve::{
-    ChannelSpec, IngressSummary, MetricsRegistry, RecoverySpec, Service, ServiceConfig,
-    ServiceHandle, SessionEvent, SessionId, SessionReport, SessionSnapshot,
+    ChannelSpec, IngressSummary, MetricsRegistry, PercentileSummary, RecoverySpec, Service,
+    ServiceConfig, ServiceHandle, SessionEvent, SessionId, SessionReport, SessionSnapshot,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,19 +64,59 @@ impl Default for GatewayConfig {
     }
 }
 
+/// Bound on one subscriber's unread event queue; beyond it the oldest
+/// events are evicted and counted as dropped (a slow consumer never
+/// backpressures the event pump).
+const SUBSCRIBER_QUEUE_CAP: usize = 4096;
+
+/// Bound on the completed-session RMSE window the metrics endpoint's
+/// quantiles are computed over (a rolling sample, like the registry's
+/// report retention).
+const RMSE_WINDOW: usize = 4096;
+
+/// One durable subscriber's queue of unread fleet events.
+#[derive(Default)]
+struct SubscriberQueue {
+    queue: VecDeque<FleetEvent>,
+    /// Events evicted since the last poll.
+    dropped: u64,
+}
+
 /// What the event pump knows, keyed by session: control-plane waiters
-/// block on this (condvar) until their event lands.
+/// block on this (condvar) until their event lands. Since control v2
+/// it also fans lifecycle events out to durable subscriber queues and
+/// keeps the rolling RMSE window behind the metrics endpoint.
 #[derive(Default)]
 struct HubState {
-    opened: HashMap<SessionId, Result<(), String>>,
+    opened: HashMap<SessionId, Result<(), Reject>>,
     reports: HashMap<SessionId, SessionReport>,
-    snapshots: HashMap<SessionId, Result<Box<SessionSnapshot>, String>>,
-    restored: HashMap<SessionId, Result<u64, String>>,
+    snapshots: HashMap<SessionId, Result<Box<SessionSnapshot>, Reject>>,
+    restored: HashMap<SessionId, Result<u64, Reject>>,
     /// `UnknownSession` answers, claimable by whichever request raced it.
     unknown: HashMap<SessionId, u64>,
     /// Engine-side overflow drops observed per session.
     engine_drops: HashMap<SessionId, u64>,
+    /// Live event subscriptions, keyed by subscription id.
+    subscribers: HashMap<u64, SubscriberQueue>,
+    next_subscriber: u64,
+    /// Rolling window of completed sessions' task-space RMSE (mm).
+    rmse: VecDeque<f64>,
     pump_alive: bool,
+}
+
+impl HubState {
+    /// Pushes one event to every subscriber queue (drop-oldest under
+    /// the cap) — a no-op without subscribers, so an unobserved fleet
+    /// pays nothing here beyond the map-emptiness check.
+    fn publish(&mut self, event: FleetEvent) {
+        for sub in self.subscribers.values_mut() {
+            if sub.queue.len() >= SUBSCRIBER_QUEUE_CAP {
+                sub.queue.pop_front();
+                sub.dropped += 1;
+            }
+            sub.queue.push_back(event.clone());
+        }
+    }
 }
 
 /// Routes service events to waiting control requests.
@@ -99,44 +139,160 @@ impl EventHub {
     fn absorb(&self, event: SessionEvent) {
         let mut state = self.state.lock().expect("hub");
         match event {
-            SessionEvent::Opened { id, .. } => {
+            SessionEvent::Opened { id, shard } => {
                 state.opened.insert(id, Ok(()));
+                state.publish(FleetEvent::Opened { id, shard });
             }
             SessionEvent::DuplicateSession { id } => {
                 // A duplicate answers either an Open or an Adopt; feed
                 // both waiters so neither waits out its full timeout.
-                state
-                    .opened
-                    .insert(id, Err(format!("session {id} already exists")));
-                state
-                    .restored
-                    .insert(id, Err(format!("session {id} already exists")));
+                let duplicate = || {
+                    Reject::new(
+                        RejectCode::DuplicateSession,
+                        format!("session {id} already exists"),
+                    )
+                };
+                state.opened.insert(id, Err(duplicate()));
+                state.restored.insert(id, Err(duplicate()));
             }
             SessionEvent::Completed { id, report } => {
+                if state.rmse.len() >= RMSE_WINDOW {
+                    state.rmse.pop_front();
+                }
+                state.rmse.push_back(report.rmse_mm);
+                state.publish(FleetEvent::Completed {
+                    id,
+                    report: report.clone(),
+                });
                 state.reports.insert(id, report);
             }
-            SessionEvent::Snapshotted { id, snapshot, .. } => {
+            SessionEvent::Snapshotted {
+                id,
+                shard,
+                snapshot,
+            } => {
+                state.publish(FleetEvent::Snapshotted { id, shard });
                 state.snapshots.insert(id, Ok(snapshot));
             }
             SessionEvent::SnapshotFailed { id, reason } => {
-                state.snapshots.insert(id, Err(reason));
+                state
+                    .snapshots
+                    .insert(id, Err(Reject::new(RejectCode::SnapshotFailed, reason)));
             }
-            SessionEvent::Restored { id, tick, .. } => {
+            SessionEvent::Restored { id, shard, tick } => {
+                state.publish(FleetEvent::Adopted { id, shard, tick });
                 state.restored.insert(id, Ok(tick));
             }
             SessionEvent::RestoreFailed { id, reason } => {
-                state.restored.insert(id, Err(reason));
+                state
+                    .restored
+                    .insert(id, Err(Reject::new(RejectCode::RestoreFailed, reason)));
             }
             SessionEvent::UnknownSession { id } => {
                 *state.unknown.entry(id).or_insert(0) += 1;
             }
-            SessionEvent::CommandDropped { id, .. } => {
+            SessionEvent::CommandDropped { id, tick } => {
+                state.publish(FleetEvent::Dropped { id, tick });
                 *state.engine_drops.entry(id).or_insert(0) += 1;
             }
-            SessionEvent::Migrated { .. } | SessionEvent::ShardTerminated { .. } => {}
+            SessionEvent::Migrated { id, from, to } => {
+                state.publish(FleetEvent::Migrated { id, from, to });
+            }
+            SessionEvent::Parked { id, shard } => {
+                // Only emitted while an observer is attached (the
+                // subscription registered one), so this cannot flood an
+                // unobserved fleet's pump.
+                state.publish(FleetEvent::Parked { id, shard });
+            }
+            SessionEvent::ShardTerminated { .. } => {}
         }
         drop(state);
         self.cv.notify_all();
+    }
+
+    /// Registers a durable subscriber queue, returning its id. The
+    /// caller is responsible for pairing this with a fleet observer
+    /// registration (see `ControlCore::release_subscription`).
+    pub(crate) fn subscribe(&self) -> u64 {
+        let mut state = self.state.lock().expect("hub");
+        let id = state.next_subscriber;
+        state.next_subscriber += 1;
+        state.subscribers.insert(id, SubscriberQueue::default());
+        id
+    }
+
+    /// Removes a subscriber queue; false when the id was unknown.
+    pub(crate) fn unsubscribe(&self, subscription: u64) -> bool {
+        self.state
+            .lock()
+            .expect("hub")
+            .subscribers
+            .remove(&subscription)
+            .is_some()
+    }
+
+    /// Drains up to `max` queued events (oldest first) plus the number
+    /// evicted from the queue since the previous poll.
+    pub(crate) fn poll_events(
+        &self,
+        subscription: u64,
+        max: usize,
+    ) -> Result<(Vec<FleetEvent>, u64), Reject> {
+        let mut state = self.state.lock().expect("hub");
+        let Some(sub) = state.subscribers.get_mut(&subscription) else {
+            return Err(Reject::new(
+                RejectCode::UnknownSession,
+                format!("no subscription {subscription}"),
+            ));
+        };
+        let take = sub.queue.len().min(max);
+        let events: Vec<FleetEvent> = sub.queue.drain(..take).collect();
+        let dropped = std::mem::take(&mut sub.dropped);
+        Ok((events, dropped))
+    }
+
+    /// Blocks until the subscription has an event, the pump dies, or
+    /// `timeout` passes (`Ok(None)`). The stream-mode TCP handler's
+    /// wait primitive.
+    pub(crate) fn next_event(
+        &self,
+        subscription: u64,
+        timeout: Duration,
+    ) -> Result<Option<FleetEvent>, Reject> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("hub");
+        loop {
+            let Some(sub) = state.subscribers.get_mut(&subscription) else {
+                return Err(Reject::new(
+                    RejectCode::UnknownSession,
+                    format!("no subscription {subscription}"),
+                ));
+            };
+            if let Some(event) = sub.queue.pop_front() {
+                return Ok(Some(event));
+            }
+            if !state.pump_alive {
+                return Err(Reject::new(RejectCode::Unavailable, "service terminated"));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("hub poisoned");
+            state = next;
+        }
+    }
+
+    /// Percentile summary of the rolling completed-session RMSE window
+    /// (`None` before the first completion).
+    pub(crate) fn rmse_summary(&self) -> Option<PercentileSummary> {
+        let state = self.state.lock().expect("hub");
+        let window: Vec<f64> = state.rmse.iter().copied().collect();
+        drop(state);
+        PercentileSummary::of(&window)
     }
 
     fn dead(&self) {
@@ -165,7 +321,7 @@ impl EventHub {
         timeout: Duration,
         unknown_fails: bool,
         mut claim: impl FnMut(&mut HubState) -> Option<T>,
-    ) -> Result<T, String> {
+    ) -> Result<T, Reject> {
         let deadline = Instant::now() + timeout;
         let mut state = self.state.lock().expect("hub");
         loop {
@@ -173,14 +329,20 @@ impl EventHub {
                 return Ok(value);
             }
             if unknown_fails && state.unknown.remove(&id).is_some() {
-                return Err(format!("session {id} is unknown to the service"));
+                return Err(Reject::new(
+                    RejectCode::UnknownSession,
+                    format!("session {id} is unknown to the service"),
+                ));
             }
             if !state.pump_alive {
-                return Err("service terminated".into());
+                return Err(Reject::new(RejectCode::Unavailable, "service terminated"));
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(format!("timed out waiting on session {id}"));
+                return Err(Reject::new(
+                    RejectCode::Timeout,
+                    format!("timed out waiting on session {id}"),
+                ));
             }
             let (next, _) = self
                 .cv
@@ -190,7 +352,7 @@ impl EventHub {
         }
     }
 
-    pub(crate) fn wait_opened(&self, id: SessionId, timeout: Duration) -> Result<(), String> {
+    pub(crate) fn wait_opened(&self, id: SessionId, timeout: Duration) -> Result<(), Reject> {
         self.wait(id, timeout, false, |s| s.opened.remove(&id))?
     }
 
@@ -198,7 +360,7 @@ impl EventHub {
         &self,
         id: SessionId,
         timeout: Duration,
-    ) -> Result<SessionReport, String> {
+    ) -> Result<SessionReport, Reject> {
         self.wait(id, timeout, true, |s| s.reports.remove(&id))
     }
 
@@ -206,11 +368,11 @@ impl EventHub {
         &self,
         id: SessionId,
         timeout: Duration,
-    ) -> Result<Box<SessionSnapshot>, String> {
+    ) -> Result<Box<SessionSnapshot>, Reject> {
         self.wait(id, timeout, true, |s| s.snapshots.remove(&id))?
     }
 
-    pub(crate) fn wait_restored(&self, id: SessionId, timeout: Duration) -> Result<u64, String> {
+    pub(crate) fn wait_restored(&self, id: SessionId, timeout: Duration) -> Result<u64, Reject> {
         self.wait(id, timeout, false, |s| s.restored.remove(&id))?
     }
 
@@ -470,40 +632,101 @@ fn accept_loop(
 }
 
 fn connection(mut stream: TcpStream, core: ControlCore, stop: Arc<AtomicBool>) {
+    // Subscriptions registered over this connection: released (queue
+    // dropped, fleet observer detached) however the connection ends, so
+    // a vanished operator cannot leak a queue or pin park narration on.
+    let mut owned_subscriptions: Vec<u64> = Vec::new();
+    connection_loop(&mut stream, &core, &stop, &mut owned_subscriptions);
+    for subscription in owned_subscriptions {
+        core.release_subscription(subscription);
+    }
+}
+
+fn connection_loop(
+    stream: &mut TcpStream,
+    core: &ControlCore,
+    stop: &Arc<AtomicBool>,
+    owned_subscriptions: &mut Vec<u64>,
+) {
     if stream
         .set_read_timeout(Some(Duration::from_millis(100)))
         .is_err()
     {
         return;
     }
-    let Some(hello) = read_exact_with_stop(&mut stream, 5, &stop) else {
+    let Some(hello) = read_exact_with_stop(stream, 5, stop) else {
         return;
     };
-    if hello[..4] != crate::wire::WIRE_MAGIC || hello[4] != crate::wire::WIRE_VERSION {
-        return; // wrong protocol or version: hang up, send nothing
+    // Accept every control version this build knows (1 = the original
+    // request/response set, 2 = subscriptions/metrics/typed rejects)
+    // and echo the *client's* version: a v1 operator keeps speaking v1.
+    let version = hello[4];
+    if hello[..4] != crate::wire::WIRE_MAGIC || version == 0 || version > control::CONTROL_VERSION {
+        return; // wrong protocol or future version: hang up, send nothing
     }
-    if control::write_hello(&mut stream).is_err() {
+    if control::write_hello_version(stream, version).is_err() {
         return;
     }
     loop {
-        let Some(len_bytes) = read_exact_with_stop(&mut stream, 4, &stop) else {
+        let Some(len_bytes) = read_exact_with_stop(stream, 4, stop) else {
             return;
         };
         let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
         if len > control::MAX_CONTROL_MSG {
             return;
         }
-        let Some(payload) = read_exact_with_stop(&mut stream, len, &stop) else {
+        let Some(payload) = read_exact_with_stop(stream, len, stop) else {
             return;
         };
-        let response = match control::from_payload::<ControlRequest>(&payload) {
+        let request = control::from_payload::<ControlRequest>(&payload);
+        let wants_stream = matches!(request, Ok(ControlRequest::Subscribe { stream: true }));
+        let response = match request {
             Ok(request) => core.execute(request),
             Err(e) => crate::control::ControlResponse::Rejected {
+                code: crate::control::RejectCode::BadRequest,
                 reason: e.to_string(),
             },
         };
-        if control::write_msg(&mut stream, &control::to_payload(&response)).is_err() {
+        match &response {
+            crate::control::ControlResponse::Subscribed { subscription } => {
+                owned_subscriptions.push(*subscription);
+            }
+            crate::control::ControlResponse::Unsubscribed { subscription } => {
+                owned_subscriptions.retain(|s| s != subscription);
+            }
+            _ => {}
+        }
+        if control::write_msg(stream, &control::to_payload(&response)).is_err() {
             return;
+        }
+        if wants_stream {
+            if let crate::control::ControlResponse::Subscribed { subscription } = response {
+                // The connection is now a one-way event stream: push
+                // every queued event as its own frame until the peer
+                // hangs up, the pump dies, or the gateway stops.
+                push_events(stream, core, subscription, stop);
+                return;
+            }
+        }
+    }
+}
+
+/// Stream-mode subscription pump: blocks on the hub and writes each
+/// event as a [`control::ControlResponse::Event`] frame.
+fn push_events(stream: &mut TcpStream, core: &ControlCore, subscription: u64, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match core
+            .hub
+            .next_event(subscription, Duration::from_millis(100))
+        {
+            Ok(Some(event)) => {
+                let frame = crate::control::ControlResponse::Event { event };
+                if control::write_msg(stream, &control::to_payload(&frame)).is_err() {
+                    return; // peer hung up
+                }
+            }
+            Ok(None) => {}    // timeout tick: re-check the stop flag
+            Err(_) => return, // pump dead or subscription force-removed
         }
     }
 }

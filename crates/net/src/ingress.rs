@@ -33,7 +33,7 @@
 //! behind a mutex: both run literally this code on every frame.
 
 use crate::wire::{self, FrameKind, HEADER_LEN};
-use foreco_serve::{IngressSummary, ServiceError, ServiceHandle, SessionId};
+use foreco_serve::{IngressSummary, IngressTotals, ServiceError, ServiceHandle, SessionId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Data-plane knobs.
@@ -118,6 +118,10 @@ pub(crate) struct IngressState {
     /// Joint count every command payload must match.
     dof: usize,
     sessions: HashMap<SessionId, SessionIngress>,
+    /// Counters folded in from detached sessions, so fleet-level totals
+    /// stay cumulative (and Prometheus counters monotonic) across
+    /// session churn.
+    retired: IngressTotals,
     /// Datagrams that failed to decode at all (no session attributable).
     pub(crate) undecodable: u64,
     /// Well-formed frames addressed to unattached sessions.
@@ -131,6 +135,7 @@ impl IngressState {
             cfg,
             dof,
             sessions: HashMap::new(),
+            retired: IngressTotals::default(),
             undecodable: 0,
             unknown: 0,
         }
@@ -144,11 +149,35 @@ impl IngressState {
     }
 
     /// Removes a session from the data plane, returning its final
-    /// counter summary.
+    /// counter summary (also folded into the cumulative totals).
     pub(crate) fn detach(&mut self, id: SessionId) -> Option<IngressSummary> {
         let summary = self.summary(id);
+        if let Some(summary) = &summary {
+            self.retired.absorb(summary);
+        }
         self.sessions.remove(&id);
         summary
+    }
+
+    /// Fleet-cumulative ingress totals: every retired session plus
+    /// every live one. Monotonic across churn — the metrics endpoint's
+    /// view of the wire.
+    pub(crate) fn totals(&self) -> IngressTotals {
+        let mut totals = self.retired;
+        for session in self.sessions.values() {
+            totals.absorb(&IngressSummary {
+                session: 0,
+                received: session.counters.received,
+                delivered: session.counters.delivered,
+                lost: session.counters.lost,
+                late: session.counters.late,
+                reordered: session.counters.reordered,
+                duplicates: session.counters.duplicates,
+                malformed: session.counters.malformed,
+                bounced: session.counters.bounced,
+            });
+        }
+        totals
     }
 
     /// The per-session counter snapshot.

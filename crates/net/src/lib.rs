@@ -64,15 +64,19 @@ pub mod client;
 pub mod control;
 mod gateway;
 mod ingress;
+pub mod sdk;
 pub mod wire;
 
 pub use client::{
     ClientConfig, ControlWire, DataWire, LoopbackControl, LoopbackWire, NetClient, ReplayStats,
     TcpControl, UdpWire,
 };
-pub use control::{ControlCore, ControlRequest, ControlResponse};
+pub use control::{
+    ControlCore, ControlRequest, ControlResponse, FleetEvent, RejectCode, CONTROL_VERSION,
+};
 pub use gateway::{Gateway, GatewayConfig};
 pub use ingress::IngressConfig;
+pub use sdk::{EventBatch, EventStream, ForecoClient};
 pub use wire::{
     Frame, FrameKind, WireError, HEADER_LEN, MAX_FRAME, MAX_JOINTS, WIRE_MAGIC, WIRE_VERSION,
 };
@@ -84,8 +88,13 @@ pub enum NetError {
     Io(std::io::Error),
     /// The wire codec rejected a frame.
     Wire(WireError),
-    /// The gateway rejected the request (its reason verbatim).
-    Rejected(String),
+    /// The gateway rejected the request (typed code + its reason verbatim).
+    Rejected {
+        /// Machine-readable category ([`RejectCode`]).
+        code: RejectCode,
+        /// Human-readable explanation, verbatim from the gateway.
+        reason: String,
+    },
     /// Acks stopped flowing for longer than the configured patience.
     Timeout(String),
     /// The peer violated the control protocol.
@@ -97,7 +106,9 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Io(e) => write!(f, "transport: {e}"),
             NetError::Wire(e) => write!(f, "wire codec: {e}"),
-            NetError::Rejected(reason) => write!(f, "gateway rejected: {reason}"),
+            NetError::Rejected { code, reason } => {
+                write!(f, "gateway rejected [{code}]: {reason}")
+            }
             NetError::Timeout(reason) => write!(f, "timed out: {reason}"),
             NetError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
         }

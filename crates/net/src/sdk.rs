@@ -1,0 +1,348 @@
+//! The typed operator SDK: [`ForecoClient`] wraps the raw
+//! request/response plumbing of [`NetClient`] into one object with a
+//! method per fleet operation, and [`EventStream`] turns a control
+//! connection into a push-mode feed of [`FleetEvent`]s.
+//!
+//! [`NetClient`] stays the low-level replay engine (send windows,
+//! retransmission, impairments); this module is the surface operators
+//! program against:
+//!
+//! - lifecycle — [`ForecoClient::open`], [`ForecoClient::close`],
+//!   [`ForecoClient::snapshot`], [`ForecoClient::adopt`],
+//!   [`ForecoClient::replay`];
+//! - observation — [`ForecoClient::stats`] (one session's wire
+//!   counters), [`ForecoClient::metrics`] (the whole fleet in
+//!   Prometheus text exposition format), and poll-mode subscriptions
+//!   ([`ForecoClient::subscribe`] → [`ForecoClient::poll_events`] →
+//!   [`ForecoClient::unsubscribe`]);
+//! - streaming — [`EventStream::connect`] opens a dedicated TCP
+//!   control connection in stream mode, where the gateway *pushes*
+//!   every fleet event as it happens.
+//!
+//! Every failure is a typed [`NetError`]; gateway-side rejections
+//! carry a machine-readable [`RejectCode`](crate::RejectCode) so
+//! callers can branch on *why* (`Backpressure` vs `UnknownSession` vs
+//! `BadRequest`) instead of parsing reason strings.
+//!
+//! # Example: drive a session while watching the fleet
+//!
+//! ```
+//! use foreco_net::{ForecoClient, Gateway, GatewayConfig, ClientConfig};
+//! use foreco_serve::ServiceConfig;
+//! use foreco_teleop::{Dataset, Skill};
+//!
+//! let gateway = Gateway::spawn(ServiceConfig::with_shards(2), GatewayConfig::default()).unwrap();
+//! let mut operator = ForecoClient::loopback(&gateway, 7);
+//! let mut watcher = ForecoClient::loopback(&gateway, 0);
+//! let subscription = watcher.subscribe().unwrap();
+//!
+//! let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 5).head(120);
+//! operator.open(trace.commands[0].clone(), 256).unwrap();
+//! operator.replay(&trace.commands, 0, &ClientConfig::default()).unwrap();
+//! let (report, _) = operator.close().unwrap();
+//! assert_eq!(report.ticks, 120);
+//!
+//! let batch = watcher.poll_events(subscription, 64).unwrap();
+//! assert!(!batch.events.is_empty());
+//! let metrics = watcher.metrics().unwrap();
+//! assert!(metrics.contains("foreco_ticks_total"));
+//! watcher.unsubscribe(subscription).unwrap();
+//! gateway.shutdown();
+//! ```
+
+use crate::client::{
+    unexpected, ClientConfig, ControlWire, DataWire, LoopbackControl, LoopbackWire, NetClient,
+    ReplayStats, TcpControl, UdpWire,
+};
+use crate::control::{self, ControlRequest, ControlResponse, FleetEvent};
+use crate::gateway::Gateway;
+use crate::NetError;
+use foreco_serve::{IngressSummary, SessionId, SessionReport};
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One drain of a poll-mode subscription queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventBatch {
+    /// Events in fleet order, oldest first.
+    pub events: Vec<FleetEvent>,
+    /// Events the bounded queue had to shed (oldest-first) since the
+    /// previous drain because the subscriber fell behind.
+    pub dropped: u64,
+}
+
+/// The typed operator SDK: one fleet session plus fleet-wide
+/// observation, over any data/control transport pair.
+pub struct ForecoClient<D: DataWire, C: ControlWire> {
+    inner: NetClient<D, C>,
+}
+
+impl ForecoClient<UdpWire, TcpControl> {
+    /// Connects a remote operator: UDP data plane + TCP control plane
+    /// (version handshake included).
+    ///
+    /// # Errors
+    /// Socket failures ([`NetError::Io`]) or a handshake the gateway
+    /// refused ([`NetError::Protocol`]).
+    pub fn connect(session: SessionId, udp: SocketAddr, tcp: SocketAddr) -> Result<Self, NetError> {
+        let data = UdpWire::connect(udp).map_err(NetError::Io)?;
+        let control = TcpControl::connect(tcp)?;
+        Ok(Self::new(session, data, control))
+    }
+}
+
+impl ForecoClient<LoopbackWire, LoopbackControl> {
+    /// An in-process operator running the gateway's identical codec,
+    /// ingress, and control code without sockets.
+    pub fn loopback(gateway: &Gateway, session: SessionId) -> Self {
+        let (data, control) = gateway.loopback();
+        Self::new(session, data, control)
+    }
+}
+
+impl<D: DataWire, C: ControlWire> ForecoClient<D, C> {
+    /// An SDK client for `session` over the given transports.
+    pub fn new(session: SessionId, data: D, control: C) -> Self {
+        Self {
+            inner: NetClient::new(session, data, control),
+        }
+    }
+
+    /// The session this client drives.
+    pub fn session(&self) -> SessionId {
+        self.inner.session()
+    }
+
+    /// The underlying replay client, for wire-level knobs the SDK does
+    /// not re-export.
+    pub fn into_inner(self) -> NetClient<D, C> {
+        self.inner
+    }
+
+    /// Attaches: opens the gated session on the gateway.
+    ///
+    /// # Errors
+    /// [`NetError::Rejected`] (typed code + gateway reason) or
+    /// transport failures.
+    pub fn open(&mut self, initial: Vec<f64>, inbox_capacity: usize) -> Result<(), NetError> {
+        self.inner.open(initial, inbox_capacity)
+    }
+
+    /// Detaches: drains the session and returns its final report plus
+    /// the wire-side counters.
+    ///
+    /// # Errors
+    /// [`NetError::Rejected`] / transport failures.
+    pub fn close(&mut self) -> Result<(SessionReport, IngressSummary), NetError> {
+        self.inner.close()
+    }
+
+    /// Checkpoints the live session into portable snapshot bytes.
+    ///
+    /// # Errors
+    /// [`NetError::Rejected`] / transport failures.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, NetError> {
+        self.inner.snapshot()
+    }
+
+    /// Revives a checkpoint on the gateway; returns the next sequence
+    /// number to stream from.
+    ///
+    /// # Errors
+    /// [`NetError::Rejected`] / transport failures.
+    pub fn adopt(&mut self, snapshot: &[u8]) -> Result<u64, NetError> {
+        self.inner.adopt(snapshot)
+    }
+
+    /// The session's current wire-side counters.
+    ///
+    /// # Errors
+    /// [`NetError::Rejected`] / transport failures.
+    pub fn stats(&mut self) -> Result<IngressSummary, NetError> {
+        self.inner.stats()
+    }
+
+    /// Replays `trace` from `start_slot` with the configured window,
+    /// pacing, and impairments (see [`NetClient::replay`]).
+    ///
+    /// # Errors
+    /// Transport failures or [`NetError::Timeout`] on ack stalls.
+    pub fn replay(
+        &mut self,
+        trace: &[Vec<f64>],
+        start_slot: u64,
+        cfg: &ClientConfig,
+    ) -> Result<ReplayStats, NetError> {
+        self.inner.replay(trace, start_slot, cfg)
+    }
+
+    /// Scrapes the fleet-wide metrics snapshot in Prometheus text
+    /// exposition format.
+    ///
+    /// # Errors
+    /// [`NetError::Rejected`] / transport failures.
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        match self.inner.control_mut().request(&ControlRequest::Metrics)? {
+            ControlResponse::Metrics { body } => Ok(body),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Opens a poll-mode fleet event subscription; drain it with
+    /// [`ForecoClient::poll_events`] and release it with
+    /// [`ForecoClient::unsubscribe`].
+    ///
+    /// # Errors
+    /// [`NetError::Rejected`] / transport failures.
+    pub fn subscribe(&mut self) -> Result<u64, NetError> {
+        match self
+            .inner
+            .control_mut()
+            .request(&ControlRequest::Subscribe { stream: false })?
+        {
+            ControlResponse::Subscribed { subscription } => Ok(subscription),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Drains up to `max` queued events from a subscription.
+    ///
+    /// # Errors
+    /// [`NetError::Rejected`] with
+    /// [`RejectCode::UnknownSession`](crate::RejectCode) when the
+    /// subscription does not exist; transport failures.
+    pub fn poll_events(&mut self, subscription: u64, max: usize) -> Result<EventBatch, NetError> {
+        match self
+            .inner
+            .control_mut()
+            .request(&ControlRequest::PollEvents { subscription, max })?
+        {
+            ControlResponse::Events { events, dropped } => Ok(EventBatch { events, dropped }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Releases a poll-mode subscription (detaching its observer).
+    ///
+    /// # Errors
+    /// [`NetError::Rejected`] when the subscription does not exist;
+    /// transport failures.
+    pub fn unsubscribe(&mut self, subscription: u64) -> Result<(), NetError> {
+        match self
+            .inner
+            .control_mut()
+            .request(&ControlRequest::Unsubscribe { subscription })?
+        {
+            ControlResponse::Unsubscribed { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// A push-mode fleet event feed over a dedicated TCP control
+/// connection.
+///
+/// [`EventStream::connect`] performs the handshake, subscribes in
+/// stream mode, and hands back the subscription id; after that the
+/// gateway pushes one [`ControlResponse::Event`] frame per fleet event
+/// and [`EventStream::next`] yields them. Dropping the stream closes
+/// the connection, which releases the subscription (and its observer)
+/// gateway-side.
+pub struct EventStream {
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into a complete frame.
+    buf: Vec<u8>,
+}
+
+impl EventStream {
+    /// Connects, subscribes in stream mode, and returns the stream plus
+    /// its subscription id.
+    ///
+    /// # Errors
+    /// Socket failures, a refused handshake, or a gateway rejection.
+    pub fn connect(tcp: SocketAddr) -> Result<(Self, u64), NetError> {
+        let mut stream = TcpStream::connect(tcp).map_err(NetError::Io)?;
+        stream.set_nodelay(true).map_err(NetError::Io)?;
+        control::write_hello(&mut stream).map_err(NetError::Io)?;
+        control::read_hello(&mut stream)?;
+        control::write_msg(
+            &mut stream,
+            &control::to_payload(&ControlRequest::Subscribe { stream: true }),
+        )
+        .map_err(NetError::Io)?;
+        let response: ControlResponse = control::from_payload(&control::read_msg(&mut stream)?)?;
+        let subscription = match response {
+            ControlResponse::Subscribed { subscription } => subscription,
+            other => return Err(unexpected(other)),
+        };
+        Ok((
+            Self {
+                stream,
+                buf: Vec::new(),
+            },
+            subscription,
+        ))
+    }
+
+    /// Waits up to `timeout` for the next pushed event; `Ok(None)` when
+    /// none arrived in time (partial frames carry over to the next
+    /// call).
+    ///
+    /// # Errors
+    /// Transport failures, a closed connection, or a frame that is not
+    /// an event push.
+    pub fn next(&mut self, timeout: Duration) -> Result<Option<FleetEvent>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(event) = self.parse_frame()? {
+                return Ok(Some(event));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            // Short read timeouts keep the deadline honest without
+            // busy-polling; WouldBlock/TimedOut just re-check it.
+            let wait = (deadline - now)
+                .min(Duration::from_millis(50))
+                .max(Duration::from_millis(1));
+            self.stream
+                .set_read_timeout(Some(wait))
+                .map_err(NetError::Io)?;
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(NetError::Protocol(
+                        "event stream closed by the gateway".into(),
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Parses one complete length-prefixed frame out of the buffer, if
+    /// one has fully arrived.
+    fn parse_frame(&mut self) -> Result<Option<FleetEvent>, NetError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > control::MAX_CONTROL_MSG {
+            return Err(NetError::Protocol(format!(
+                "event frame of {len} bytes exceeds the control message cap"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+        match control::from_payload::<ControlResponse>(&payload)? {
+            ControlResponse::Event { event } => Ok(Some(event)),
+            other => Err(unexpected(other)),
+        }
+    }
+}

@@ -1,11 +1,11 @@
 //! Gateway integration suite: the issue's acceptance criterion.
 //!
-//! A teleop trace replayed by [`NetClient`] over **localhost UDP/TCP**
-//! must produce session statistics **bit-identical** to the same trace
-//! driven through the in-process **loopback transport** — and the
-//! client's injected drops/lateness must surface as engine loss events
-//! (misses the forecaster covers) and §VII-C late patches in the
-//! [`MetricsRegistry`].
+//! A teleop trace replayed by [`ForecoClient`] over **localhost
+//! UDP/TCP** must produce session statistics **bit-identical** to the
+//! same trace driven through the in-process **loopback transport** —
+//! and the client's injected drops/lateness must surface as engine
+//! loss events (misses the forecaster covers) and §VII-C late patches
+//! in the [`MetricsRegistry`].
 //!
 //! Determinism over a real socket holds because (a) a gated session's
 //! clock advances only as ingress slots are consumed, and (b) every
@@ -13,17 +13,24 @@
 //! replay keeps its tail impairment-free so every settleable slot is
 //! acked before close — the one wall-clock race (a datagram still in
 //! flight at close) is thereby excluded by construction.
+//!
+//! The observability plane rides the same bar: an attached event
+//! subscriber must not change a single output bit, the metrics
+//! endpoint must emit conformant Prometheus text with monotonic
+//! counters, and every rejection must carry a typed [`RejectCode`].
 
 use foreco_core::RecoveryConfig;
 use foreco_net::{
-    ClientConfig, ControlWire, DataWire, Gateway, GatewayConfig, IngressConfig, NetClient,
-    ReplayStats, TcpControl, UdpWire,
+    ClientConfig, ControlWire, DataWire, EventStream, FleetEvent, ForecoClient, Gateway,
+    GatewayConfig, IngressConfig, NetError, RejectCode, ReplayStats,
 };
 use foreco_serve::{
     ChannelSpec, IngressSummary, MetricsRegistry, RecoverySpec, ServiceConfig, SessionReport,
     SharedForecaster,
 };
 use foreco_teleop::{Dataset, Skill};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 const SESSION: u64 = 7;
 const CLEAN_TAIL: usize = 80;
@@ -69,7 +76,7 @@ fn impaired_config() -> ClientConfig {
 
 /// Attach, replay (impaired body + clean tail), detach.
 fn drive<D: DataWire, C: ControlWire>(
-    mut client: NetClient<D, C>,
+    mut client: ForecoClient<D, C>,
     trace: &[Vec<f64>],
 ) -> (SessionReport, IngressSummary, ReplayStats) {
     client
@@ -96,18 +103,16 @@ fn udp_replay_is_bit_identical_to_loopback_and_losses_reach_the_engine() {
     // Loopback: the hermetic ground truth.
     let loop_gw = Gateway::spawn(ServiceConfig::with_shards(2), foreco_gateway_config())
         .expect("spawn loopback gateway");
-    let (data, control) = loop_gw.loopback();
     let (loop_report, loop_ingress, loop_stats) =
-        drive(NetClient::new(SESSION, data, control), &trace);
+        drive(ForecoClient::loopback(&loop_gw, SESSION), &trace);
     loop_gw.shutdown();
 
     // Real sockets: localhost UDP data plane + TCP control plane.
     let udp_gw = Gateway::spawn(ServiceConfig::with_shards(2), foreco_gateway_config())
         .expect("spawn socket gateway");
-    let data = UdpWire::connect(udp_gw.udp_addr()).expect("udp connect");
-    let control = TcpControl::connect(udp_gw.tcp_addr()).expect("tcp connect");
-    let (udp_report, udp_ingress, udp_stats) =
-        drive(NetClient::new(SESSION, data, control), &trace);
+    let client = ForecoClient::connect(SESSION, udp_gw.udp_addr(), udp_gw.tcp_addr())
+        .expect("connect over sockets");
+    let (udp_report, udp_ingress, udp_stats) = drive(client, &trace);
     udp_gw.shutdown();
 
     // The client made identical impairment decisions on both transports…
@@ -172,8 +177,7 @@ fn snapshot_adopt_survives_a_gateway_restart_bit_identically() {
     // Twin: the same trace, uninterrupted, on its own gateway.
     let twin_gw = Gateway::spawn(ServiceConfig::with_shards(1), foreco_gateway_config())
         .expect("spawn twin gateway");
-    let (data, control) = twin_gw.loopback();
-    let mut twin = NetClient::new(SESSION, data, control);
+    let mut twin = ForecoClient::loopback(&twin_gw, SESSION);
     twin.open(trace[0].clone(), trace.len()).expect("open twin");
     twin.replay(&trace, 0, &clean).expect("twin replay");
     let (twin_report, _) = twin.close().expect("twin close");
@@ -182,8 +186,7 @@ fn snapshot_adopt_survives_a_gateway_restart_bit_identically() {
     // First gateway "process": half the trace, checkpoint, die.
     let gw_a = Gateway::spawn(ServiceConfig::with_shards(1), foreco_gateway_config())
         .expect("spawn gateway A");
-    let (data, control) = gw_a.loopback();
-    let mut operator = NetClient::new(SESSION, data, control);
+    let mut operator = ForecoClient::loopback(&gw_a, SESSION);
     operator.open(trace[0].clone(), trace.len()).expect("open");
     operator
         .replay(&trace[..cut], 0, &clean)
@@ -194,8 +197,7 @@ fn snapshot_adopt_survives_a_gateway_restart_bit_identically() {
     // …and the operator re-attaches to the revived session.
     let gw_b = Gateway::spawn(ServiceConfig::with_shards(1), foreco_gateway_config())
         .expect("spawn gateway B");
-    let (data, control) = gw_b.loopback();
-    let mut operator = NetClient::new(SESSION, data, control);
+    let mut operator = ForecoClient::loopback(&gw_b, SESSION);
     let next_slot = operator.adopt(&snapshot).expect("adopt");
     assert_eq!(next_slot as usize, cut, "resume where the wire left off");
     operator
@@ -222,8 +224,7 @@ fn impairment_through_the_final_slot_terminates_and_closes_cleanly() {
     let trace = test_trace();
     let gateway = Gateway::spawn(ServiceConfig::with_shards(1), foreco_gateway_config())
         .expect("spawn gateway");
-    let (data, control) = gateway.loopback();
-    let mut client = NetClient::new(SESSION, data, control);
+    let mut client = ForecoClient::loopback(&gateway, SESSION);
     client.open(trace[0].clone(), trace.len()).expect("open");
     let stats = client
         .replay(&trace, 0, &impaired_config())
@@ -274,9 +275,8 @@ fn malformed_and_unknown_traffic_is_counted_and_contained() {
     let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 9)
         .head(40)
         .commands;
-    let data = UdpWire::connect(gateway.udp_addr()).expect("udp connect");
-    let control = TcpControl::connect(gateway.tcp_addr()).expect("tcp connect");
-    let mut client = NetClient::new(3, data, control);
+    let mut client = ForecoClient::connect(3, gateway.udp_addr(), gateway.tcp_addr())
+        .expect("connect over sockets");
     client.open(trace[0].clone(), 64).expect("open");
     let len = foreco_net::wire::encode_command(&mut buf, 3, 0, 0, &[1.0, 2.0, 3.0]).unwrap();
     raw.connect(gateway.udp_addr()).unwrap();
@@ -308,4 +308,277 @@ fn malformed_and_unknown_traffic_is_counted_and_contained() {
     assert!(undecodable >= 3, "garbage datagrams counted: {undecodable}");
     assert!(unknown >= 1, "unattached-session frames counted: {unknown}");
     gateway.shutdown();
+}
+
+#[test]
+fn attached_subscriber_leaves_results_bit_identical() {
+    let trace = test_trace();
+
+    // Ground truth: nobody watching.
+    let quiet_gw = Gateway::spawn(ServiceConfig::with_shards(2), foreco_gateway_config())
+        .expect("spawn quiet gateway");
+    let (quiet_report, quiet_ingress, _) =
+        drive(ForecoClient::loopback(&quiet_gw, SESSION), &trace);
+    quiet_gw.shutdown();
+
+    // Same trace with a poll-mode subscriber attached for the whole
+    // run — lifecycle narration (including the observer-gated Parked
+    // events) must not change a single output bit.
+    let watched_gw = Gateway::spawn(ServiceConfig::with_shards(2), foreco_gateway_config())
+        .expect("spawn watched gateway");
+    let mut watcher = ForecoClient::loopback(&watched_gw, 0);
+    let subscription = watcher.subscribe().expect("subscribe");
+    let (report, ingress, _) = drive(ForecoClient::loopback(&watched_gw, SESSION), &trace);
+
+    let mut events = Vec::new();
+    loop {
+        let batch = watcher.poll_events(subscription, 1024).expect("poll");
+        assert_eq!(batch.dropped, 0, "one session cannot overflow the queue");
+        if batch.events.is_empty() {
+            break;
+        }
+        events.extend(batch.events);
+    }
+    watcher.unsubscribe(subscription).expect("unsubscribe");
+    watched_gw.shutdown();
+
+    assert_eq!(report.ticks, quiet_report.ticks);
+    assert_eq!(report.misses, quiet_report.misses);
+    assert_eq!(report.stats, quiet_report.stats);
+    assert_eq!(report.rmse_mm.to_bits(), quiet_report.rmse_mm.to_bits());
+    assert_eq!(
+        report.max_deviation_mm.to_bits(),
+        quiet_report.max_deviation_mm.to_bits()
+    );
+    assert_eq!(ingress.delivered, quiet_ingress.delivered);
+    assert_eq!(ingress.lost, quiet_ingress.lost);
+
+    // The subscription saw the session's lifecycle, and the Completed
+    // event carried the same bits the close handshake returned.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, FleetEvent::Opened { id, .. } if *id == SESSION)),
+        "subscriber saw the open"
+    );
+    let completed = events
+        .iter()
+        .find_map(|e| match e {
+            FleetEvent::Completed { id, report } if *id == SESSION => Some(report),
+            _ => None,
+        })
+        .expect("subscriber saw the completion");
+    assert_eq!(completed.rmse_mm.to_bits(), report.rmse_mm.to_bits());
+    assert_eq!(completed.ticks, report.ticks);
+}
+
+#[test]
+fn stream_mode_pushes_events_over_tcp() {
+    let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 11)
+        .head(80)
+        .commands;
+    let gateway = Gateway::spawn(ServiceConfig::with_shards(1), foreco_gateway_config())
+        .expect("spawn gateway");
+
+    // A dedicated push-mode connection, attached before any traffic.
+    let (mut stream, _subscription) =
+        EventStream::connect(gateway.tcp_addr()).expect("event stream");
+
+    let mut client = ForecoClient::connect(3, gateway.udp_addr(), gateway.tcp_addr())
+        .expect("connect over sockets");
+    client.open(trace[0].clone(), trace.len()).expect("open");
+    client
+        .replay(&trace, 0, &ClientConfig::default())
+        .expect("replay");
+    let (report, _) = client.close().expect("close");
+
+    // The gateway pushes the lifecycle without being polled.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut saw_opened = false;
+    let mut completed = None;
+    while completed.is_none() && Instant::now() < deadline {
+        match stream.next(Duration::from_millis(200)).expect("next event") {
+            Some(FleetEvent::Opened { id: 3, .. }) => saw_opened = true,
+            Some(FleetEvent::Completed { id: 3, report }) => completed = Some(report),
+            _ => {}
+        }
+    }
+    gateway.shutdown();
+
+    assert!(saw_opened, "push stream delivered the open");
+    let completed = completed.expect("push stream delivered the completion");
+    assert_eq!(completed.rmse_mm.to_bits(), report.rmse_mm.to_bits());
+    assert_eq!(completed.ticks, report.ticks);
+}
+
+#[test]
+fn rejections_carry_typed_codes() {
+    let gateway = Gateway::spawn(ServiceConfig::with_shards(1), GatewayConfig::default())
+        .expect("spawn gateway");
+    let mut client = ForecoClient::loopback(&gateway, 11);
+
+    // A zero-capacity inbox is a malformed request.
+    match client.open(vec![0.0; 6], 0) {
+        Err(NetError::Rejected { code, reason }) => {
+            assert_eq!(code, RejectCode::BadRequest, "reason: {reason}");
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+    // Stats for a session nobody attached.
+    match client.stats() {
+        Err(NetError::Rejected { code, .. }) => assert_eq!(code, RejectCode::UnknownSession),
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+    // Releasing a subscription that does not exist.
+    match client.unsubscribe(999) {
+        Err(NetError::Rejected { code, .. }) => assert_eq!(code, RejectCode::UnknownSession),
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+    gateway.shutdown();
+}
+
+/// Splits one exposition body into `(samples, family → type)` while
+/// asserting line-level conformance: every line is a well-formed
+/// HELP/TYPE comment or a `name[{labels}] value` sample, every sample
+/// belongs to a declared family, metric names use the legal charset,
+/// no series (name + label set) appears twice, and counter families
+/// carry the `_total` suffix.
+fn parse_exposition(body: &str) -> (BTreeMap<String, f64>, BTreeMap<String, String>) {
+    let mut samples: BTreeMap<String, f64> = BTreeMap::new();
+    let mut families: BTreeMap<String, String> = BTreeMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            assert!(!name.is_empty(), "comment without a metric name: {line}");
+            match keyword {
+                "HELP" => assert!(
+                    parts.next().is_some_and(|help| !help.is_empty()),
+                    "HELP without text: {line}"
+                ),
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or("");
+                    assert!(
+                        matches!(kind, "counter" | "gauge" | "summary"),
+                        "unknown metric type: {line}"
+                    );
+                    if kind == "counter" {
+                        assert!(
+                            name.ends_with("_total"),
+                            "counter family without _total suffix: {name}"
+                        );
+                    }
+                    assert!(
+                        families
+                            .insert(name.to_string(), kind.to_string())
+                            .is_none(),
+                        "family declared twice: {name}"
+                    );
+                }
+                other => panic!("unknown comment keyword {other:?}: {line}"),
+            }
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable sample value: {line}"));
+        let name = &series[..series.find('{').unwrap_or(series.len())];
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "illegal metric name: {line}"
+        );
+        assert!(
+            series.len() == name.len() || series.ends_with('}'),
+            "unterminated label set: {line}"
+        );
+        assert!(
+            families.contains_key(name),
+            "sample without a TYPE declaration: {line}"
+        );
+        assert!(
+            samples.insert(series.to_string(), value).is_none(),
+            "duplicate series: {series}"
+        );
+    }
+    (samples, families)
+}
+
+#[test]
+fn metrics_exposition_is_conformant_and_counters_are_monotonic() {
+    let trace = test_trace();
+    let gateway = Gateway::spawn(ServiceConfig::with_shards(2), foreco_gateway_config())
+        .expect("spawn gateway");
+    let mut client = ForecoClient::loopback(&gateway, SESSION);
+    let mut scraper = ForecoClient::loopback(&gateway, 0);
+
+    // First scrape mid-churn, second after more traffic completed.
+    client.open(trace[0].clone(), trace.len()).expect("open");
+    let cut = trace.len() / 2;
+    client
+        .replay(&trace[..cut], 0, &ClientConfig::default())
+        .expect("first half");
+    let first = scraper.metrics().expect("first scrape");
+    client
+        .replay(&trace[cut..], cut as u64, &ClientConfig::default())
+        .expect("second half");
+    let (report, _) = client.close().expect("close");
+    let second = scraper.metrics().expect("second scrape");
+    gateway.shutdown();
+
+    let (first_samples, first_families) = parse_exposition(&first);
+    let (second_samples, second_families) = parse_exposition(&second);
+    assert!(!first_samples.is_empty(), "scrape produced samples");
+    for expected in [
+        "foreco_ticks_total",
+        "foreco_sessions_opened_total",
+        "foreco_shard_sessions",
+        "foreco_ingress_delivered_total",
+    ] {
+        assert!(
+            first_families.contains_key(expected),
+            "missing family {expected}"
+        );
+    }
+    // A completed FoReCo session puts the RMSE summary on the board.
+    assert_eq!(
+        second_families
+            .get("foreco_session_rmse_mm")
+            .map(String::as_str),
+        Some("summary")
+    );
+    assert!(
+        second_samples
+            .get("foreco_session_rmse_mm{quantile=\"0.5\"}")
+            .is_some_and(|v| v.is_finite()),
+        "rmse quantiles rendered"
+    );
+    assert!(report.rmse_mm.is_finite());
+
+    // Every counter series is monotonic across the two scrapes, and the
+    // second scrape reflects the finished replay.
+    for (series, value) in &first_samples {
+        let name = &series[..series.find('{').unwrap_or(series.len())];
+        if first_families.get(name).map(String::as_str) == Some("counter") {
+            let later = second_samples
+                .get(series)
+                .unwrap_or_else(|| panic!("series vanished between scrapes: {series}"));
+            assert!(
+                later >= value,
+                "counter went backwards: {series} {value} -> {later}"
+            );
+        }
+    }
+    let delivered_after = second_samples["foreco_ingress_delivered_total"];
+    assert!(
+        delivered_after >= trace.len() as f64,
+        "second scrape saw the whole replay: {delivered_after}"
+    );
 }

@@ -106,6 +106,7 @@ pub mod session;
 pub mod shard;
 pub mod snapshot;
 pub mod spec;
+pub mod telemetry;
 
 pub use archive::{FleetArchive, FleetSnapshotPart, TraceEntry, FLEET_ARCHIVE_VERSION};
 pub use clock::{Pacing, VirtualClock, TICK_HZ, TICK_PERIOD};
@@ -122,6 +123,9 @@ pub use snapshot::{
     FateRun, RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_VERSION,
 };
 pub use spec::{ChannelSpec, RecoverySpec, SessionId, SessionSpec, SharedForecaster, SourceSpec};
+pub use telemetry::{
+    render_prometheus, FleetTelemetry, IngressTotals, ShardTelemetrySummary, Telemetry,
+};
 
 /// Re-exported so `ServiceConfig::lane_layout` is nameable without a
 /// direct `foreco_forecast` dependency.

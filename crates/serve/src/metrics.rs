@@ -172,27 +172,75 @@ pub struct ServiceSummary {
 
 /// Collects per-session reports as sessions complete, plus (optionally)
 /// the final per-shard load picture of the run.
+///
+/// By default every report is retained — right for batch runs that
+/// summarise at the end. A long-running service records forever, so
+/// [`MetricsRegistry::with_retention`] bounds the registry to a rolling
+/// window of the most recent reports: older ones are evicted as new
+/// ones land ([`MetricsRegistry::recorded_total`] keeps the lifetime
+/// count, and [`MetricsRegistry::summary`] reduces over the window).
 #[derive(Debug, Default, Clone, Serialize)]
 pub struct MetricsRegistry {
-    reports: Vec<SessionReport>,
+    reports: std::collections::VecDeque<SessionReport>,
+    /// Rolling-window bound; `None` retains everything.
+    retention: Option<usize>,
+    /// Reports ever recorded, evicted ones included.
+    recorded: u64,
     shard_loads: Vec<ShardLoadSummary>,
     ingress: Vec<IngressSummary>,
 }
 
 impl MetricsRegistry {
-    /// An empty registry.
+    /// An empty registry retaining every report.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records one completed session.
-    pub fn record(&mut self, report: SessionReport) {
-        self.reports.push(report);
+    /// An empty registry retaining only the `retention` most recent
+    /// reports (a rolling window; `0` is clamped to `1`).
+    pub fn with_retention(retention: usize) -> Self {
+        Self {
+            retention: Some(retention.max(1)),
+            ..Self::default()
+        }
     }
 
-    /// Completed sessions so far.
+    /// Changes the retention bound in place. Shrinking evicts the
+    /// oldest reports immediately; `None` removes the bound.
+    pub fn set_retention(&mut self, retention: Option<usize>) {
+        self.retention = retention.map(|r| r.max(1));
+        self.evict();
+    }
+
+    /// The current retention bound (`None` = unbounded).
+    pub fn retention(&self) -> Option<usize> {
+        self.retention
+    }
+
+    /// Records one completed session, evicting the oldest retained
+    /// report when a retention bound is set and full.
+    pub fn record(&mut self, report: SessionReport) {
+        self.reports.push_back(report);
+        self.recorded += 1;
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        if let Some(cap) = self.retention {
+            while self.reports.len() > cap {
+                self.reports.pop_front();
+            }
+        }
+    }
+
+    /// Reports currently retained.
     pub fn len(&self) -> usize {
         self.reports.len()
+    }
+
+    /// Reports ever recorded, including any the rolling window evicted.
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded
     }
 
     /// True when nothing completed yet.
@@ -200,9 +248,9 @@ impl MetricsRegistry {
         self.reports.is_empty()
     }
 
-    /// All reports, in completion order.
-    pub fn reports(&self) -> &[SessionReport] {
-        &self.reports
+    /// The retained reports, oldest first.
+    pub fn reports(&self) -> impl ExactSizeIterator<Item = &SessionReport> {
+        self.reports.iter()
     }
 
     /// The report for one session, if it completed.
@@ -342,6 +390,28 @@ mod tests {
             b.record(report(i, i as f64));
         }
         assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn retention_keeps_a_rolling_window() {
+        let mut reg = MetricsRegistry::with_retention(4);
+        for i in 0..10 {
+            reg.record(report(i, i as f64));
+        }
+        assert_eq!(reg.len(), 4);
+        assert_eq!(reg.recorded_total(), 10);
+        let ids: Vec<u64> = reg.reports().map(|r| r.id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9], "oldest reports must be evicted");
+        assert!(reg.get(0).is_none());
+        assert!(reg.get(9).is_some());
+        // Shrinking the bound evicts immediately; lifting it stops
+        // eviction without resurrecting anything.
+        reg.set_retention(Some(2));
+        assert_eq!(reg.len(), 2);
+        reg.set_retention(None);
+        reg.record(report(10, 1.0));
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.recorded_total(), 11);
     }
 
     #[test]

@@ -207,6 +207,18 @@ pub enum SessionEvent {
         /// Shard the session is moving to.
         to: usize,
     },
+    /// A session parked at a verified idle fixed point (left the run
+    /// queue). Emitted **only while a lifecycle observer is attached**
+    /// (see `telemetry::Telemetry::attach_observer`): parks are too
+    /// frequent on gated fleets to narrate unconditionally. The park
+    /// itself happens regardless — only the narration is gated — so
+    /// session results are bit-identical with or without observers.
+    Parked {
+        /// Session id.
+        id: SessionId,
+        /// Shard the session parked on.
+        shard: usize,
+    },
     /// A session was rehydrated from a snapshot and resumed.
     Restored {
         /// Session id.

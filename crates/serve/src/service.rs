@@ -26,6 +26,7 @@ use crate::sched::{Scheduler, ShardLoad};
 use crate::shard::{RoutingTable, ShardWorker};
 use crate::snapshot::{SessionSnapshot, SourceState};
 use crate::spec::{SessionId, SessionSpec};
+use crate::telemetry::{FleetTelemetry, Telemetry};
 use foreco_robot::{niryo_one, ArmModel};
 use foreco_store::{trace_object_id, ObjectId, Storage, TraceHandle};
 use std::collections::HashMap;
@@ -141,6 +142,7 @@ pub struct ServiceHandle {
     controls: Vec<SyncSender<SessionCommand>>,
     routes: Arc<RoutingTable>,
     loads: Arc<Vec<ShardLoad>>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl ServiceHandle {
@@ -164,6 +166,32 @@ impl ServiceHandle {
             .enumerate()
             .map(|(index, load)| load.summary(index))
             .collect()
+    }
+
+    /// Point-in-time snapshot of the fleet telemetry plane: per-shard
+    /// counters (ticks, recovered misses, parks/wakes, inbox drops)
+    /// plus the scheduler load picture. Lock-free relaxed reads;
+    /// counters reflect each shard's last completed pass. The ingress
+    /// totals are zero here — a gateway merges its wire-side counters
+    /// in before rendering metrics.
+    pub fn telemetry(&self) -> FleetTelemetry {
+        FleetTelemetry {
+            shards: self.telemetry.summaries(),
+            loads: self.shard_loads(),
+            ingress: Default::default(),
+        }
+    }
+
+    /// Registers a lifecycle observer: while at least one is attached,
+    /// shards narrate park transitions as [`SessionEvent::Parked`].
+    /// Pair with [`ServiceHandle::detach_observer`].
+    pub fn attach_observer(&self) {
+        self.telemetry.attach_observer();
+    }
+
+    /// Unregisters a lifecycle observer.
+    pub fn detach_observer(&self) {
+        self.telemetry.detach_observer();
     }
 
     /// Opens a session on its home shard (blocks if the shard's control
@@ -459,6 +487,7 @@ impl Service {
         let routes = Arc::new(RoutingTable::default());
         let loads: Arc<Vec<ShardLoad>> =
             Arc::new((0..config.shards).map(|_| ShardLoad::default()).collect());
+        let telemetry = Arc::new(Telemetry::new(config.shards));
         // All control channels exist before any worker starts: each
         // worker holds every peer's sender for migration hand-offs.
         let channels: Vec<_> = (0..config.shards)
@@ -484,6 +513,7 @@ impl Service {
                 period: config.period,
                 scheduler: config.scheduler,
                 loads: Arc::clone(&loads),
+                telemetry: Arc::clone(&telemetry),
                 models: models.clone(),
                 batching: config.batching,
                 lane_layout: config.lane_layout,
@@ -499,6 +529,7 @@ impl Service {
             controls,
             routes,
             loads,
+            telemetry,
         };
         let balancer = config.balancer.map(|cfg| {
             let (stop_tx, stop_rx) = sync_channel(1);
@@ -923,7 +954,7 @@ mod tests {
         let twin = Service::spawn(ServiceConfig::with_shards(1))
             .run_to_completion(specs(1))
             .reports()
-            .first()
+            .next()
             .cloned()
             .expect("twin report");
 
@@ -1401,7 +1432,7 @@ mod tests {
         };
         let ticks = service.join();
         assert_eq!(ticks.len(), 2);
-        let expected: u64 = registry.reports().iter().map(|r| r.ticks).sum();
+        let expected: u64 = registry.reports().map(|r| r.ticks).sum();
         assert_eq!(ticks.iter().sum::<u64>(), expected);
     }
 }

@@ -62,6 +62,7 @@ use crate::inbox::Offer;
 use crate::protocol::{SessionCommand, SessionEvent};
 use crate::sched::{Scheduler, ShardLoad, TimerWheel};
 use crate::session::{Advance, Session, Wake};
+use crate::telemetry::{Telemetry, TelemetryScratch};
 use foreco_robot::ArmModel;
 use foreco_store::Storage;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -128,6 +129,8 @@ pub(crate) struct ShardWorker {
     pub(crate) period: f64,
     pub(crate) scheduler: Scheduler,
     pub(crate) loads: Arc<Vec<ShardLoad>>,
+    /// Shared telemetry plane (fleet counters + observer flag).
+    pub(crate) telemetry: Arc<Telemetry>,
     /// Service-wide shared storage: adopted sessions resolve engine
     /// weights through it so same-model fleets hold claims, not copies.
     pub(crate) models: Storage,
@@ -148,6 +151,10 @@ struct Runtime {
     model: ArmModel,
     scheduler: Scheduler,
     loads: Arc<Vec<ShardLoad>>,
+    /// Shared telemetry plane; this shard writes only its own slice.
+    telemetry: Arc<Telemetry>,
+    /// Per-pass telemetry deltas (plain `u64`s, flushed once per pass).
+    scratch: TelemetryScratch,
     sessions: BTreeMap<u64, Session>,
     /// Runnable session ids, advanced in ascending order each pass.
     runnable: BTreeSet<u64>,
@@ -195,7 +202,10 @@ impl Runtime {
             self.wheel.cancel(id);
             let session = self.sessions.get_mut(&id).expect("parked session exists");
             // Gated sessions replay nothing: their clock was suspended.
-            self.ticks_advanced += session.catch_up(backlog);
+            let replayed = session.catch_up(backlog);
+            self.ticks_advanced += replayed;
+            self.scratch.ticks += replayed;
+            self.scratch.wakes += 1;
             if traffic {
                 self.load().traffic_wakeups.fetch_add(1, Ordering::Relaxed);
             }
@@ -223,6 +233,15 @@ impl Runtime {
     fn park(&mut self, id: u64, wake: Wake, at_pass: u64) {
         self.runnable.remove(&id);
         self.parked.insert(id, at_pass);
+        self.scratch.parks += 1;
+        // Park-level lifecycle narration is opt-in (see the telemetry
+        // module docs): without observers the only cost is this load.
+        if self.telemetry.observed() {
+            let _ = self.events.send(SessionEvent::Parked {
+                id,
+                shard: self.index,
+            });
+        }
         if let Wake::ParkedUntil(due_tick) = wake {
             // The wheel idles (un-advanced) while empty; re-anchor it to
             // the present so firing this timer is O(gap), not O(passes
@@ -255,6 +274,12 @@ impl Runtime {
 
     /// Removes a completed session everywhere and reports it.
     fn complete(&mut self, id: u64, report: crate::session::SessionReport) {
+        self.scratch.completed += 1;
+        // Misses on an engine session were each covered by a forecast;
+        // baseline sessions have no recovery to credit.
+        if report.stats.is_some() {
+            self.scratch.recovered_misses += report.misses as u64;
+        }
         self.sessions.remove(&id);
         self.runnable.remove(&id);
         if self.parked.remove(&id).is_some() {
@@ -332,6 +357,7 @@ impl Runtime {
                 let id = spec.id;
                 if let std::collections::btree_map::Entry::Vacant(slot) = self.sessions.entry(id) {
                     slot.insert(Session::open(&spec, &self.model));
+                    self.scratch.opened += 1;
                     self.enqueue_new(id);
                     let _ = self.events.send(SessionEvent::Opened {
                         id,
@@ -350,6 +376,7 @@ impl Runtime {
                     self.poke(id, true);
                     let session = self.sessions.get_mut(&id).expect("checked above");
                     if session.offer(command) == Offer::Dropped {
+                        self.scratch.inbox_drops += 1;
                         let _ = self.events.send(SessionEvent::CommandDropped {
                             id,
                             tick: session.tick(),
@@ -365,6 +392,7 @@ impl Runtime {
                     self.poke(id, true);
                     let session = self.sessions.get_mut(&id).expect("checked above");
                     session.offer_miss();
+                    self.scratch.miss_marks += 1;
                     self.settle(id);
                 } else {
                     let _ = self.events.send(SessionEvent::UnknownSession { id });
@@ -375,10 +403,13 @@ impl Runtime {
                     self.poke(id, true);
                     let session = self.sessions.get_mut(&id).expect("checked above");
                     if session.offer_late(command, age) == Offer::Dropped {
+                        self.scratch.inbox_drops += 1;
                         let _ = self.events.send(SessionEvent::CommandDropped {
                             id,
                             tick: session.tick(),
                         });
+                    } else {
+                        self.scratch.late_replacements += 1;
                     }
                     self.settle(id);
                 } else {
@@ -532,7 +563,10 @@ impl Runtime {
             if let Some(parked_at) = self.parked.remove(&id) {
                 let backlog = self.pass - parked_at;
                 let session = self.sessions.get_mut(&id).expect("timer for live session");
-                self.ticks_advanced += session.catch_up(backlog);
+                let replayed = session.catch_up(backlog);
+                self.ticks_advanced += replayed;
+                self.scratch.ticks += replayed;
+                self.scratch.wakes += 1;
                 self.load().timer_wakeups.fetch_add(1, Ordering::Relaxed);
                 self.runnable.insert(id);
             }
@@ -628,6 +662,14 @@ impl Runtime {
         self.pass = target;
         self.load().wakeups.fetch_add(advanced, Ordering::Relaxed);
         self.load().passes.fetch_add(1, Ordering::Relaxed);
+        self.scratch.ticks += advanced;
+        self.flush_telemetry();
+    }
+
+    /// Flushes accumulated telemetry deltas to this shard's slice of
+    /// the shared plane (a no-op when nothing changed).
+    fn flush_telemetry(&mut self) {
+        self.scratch.flush(self.telemetry.shard(self.index));
     }
 
     /// Publishes the point-in-time gauges.
@@ -668,6 +710,7 @@ impl ShardWorker {
             period,
             scheduler,
             loads,
+            telemetry,
             models,
             batching,
             lane_layout,
@@ -680,6 +723,8 @@ impl ShardWorker {
             model,
             scheduler,
             loads,
+            telemetry,
+            scratch: TelemetryScratch::default(),
             sessions: BTreeMap::new(),
             runnable: BTreeSet::new(),
             parked: HashMap::new(),
@@ -788,6 +833,10 @@ impl ShardWorker {
                         // yield briefly instead of spinning on try_send.
                         std::thread::sleep(std::time::Duration::from_micros(200));
                     }
+                    // Command-only iterations (e.g. a miss marker that
+                    // left everything parked) still surface their
+                    // counters before the shard blocks again.
+                    rt.flush_telemetry();
                     rt.publish_gauges();
                     continue;
                 }

@@ -1,0 +1,604 @@
+//! The live telemetry plane: lock-free fleet counters and their
+//! Prometheus rendering.
+//!
+//! # Observability discipline
+//!
+//! The counters follow the same rules as the scheduler's
+//! [`ShardLoad`](crate::sched::ShardLoad) accounting, and those rules
+//! are the invariant that keeps observability free:
+//!
+//! - **Relaxed atomics, single writer.** Each shard owns one
+//!   [`ShardTelemetry`] slice of the shared [`Telemetry`] plane and is
+//!   its only writer; readers snapshot with `Ordering::Relaxed` loads.
+//!   No locks, no contention, no ordering games.
+//! - **Never on the tick path.** Nothing here is touched inside
+//!   `Session::advance`. Shards accumulate plain `u64` deltas while
+//!   handling commands and sweeping the run queue, then flush them with
+//!   a handful of `fetch_add`s once per scheduling pass — so the
+//!   steady-tick path stays allocation-free and branch-identical
+//!   whether anyone is watching or not.
+//! - **Rendering allocates only in the control plane.** Turning a
+//!   [`FleetTelemetry`] snapshot into Prometheus text builds a `String`;
+//!   that happens in whatever thread asked (a TCP control connection, a
+//!   test), never in a shard.
+//!
+//! Counters reflect each shard's last completed pass, exactly like the
+//! load gauges — a scrape between passes reads the previous flush.
+//!
+//! # Lifecycle observers
+//!
+//! Park-level lifecycle events (`SessionEvent::Parked`) are emitted by
+//! shards only while at least one observer is registered
+//! ([`Telemetry::attach_observer`]): parks are too frequent on gated
+//! fleets to narrate unconditionally, and with no subscribers the only
+//! cost is one relaxed load per park. Event emission never changes
+//! session math, so results stay bit-identical either way.
+
+use crate::metrics::{IngressSummary, PercentileSummary, ShardLoadSummary};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The shared telemetry plane: one [`ShardTelemetry`] slice per shard
+/// plus the lifecycle-observer count. Created by `Service::spawn`,
+/// shared (via `Arc`) between every shard and every `ServiceHandle`.
+#[derive(Debug)]
+pub struct Telemetry {
+    shards: Vec<ShardTelemetry>,
+    /// Live lifecycle observers (event subscribers that want
+    /// park-level session events). Shards emit `SessionEvent::Parked`
+    /// only while this is non-zero.
+    observers: AtomicU64,
+}
+
+impl Telemetry {
+    /// A zeroed plane for `shards` workers.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards).map(|_| ShardTelemetry::default()).collect(),
+            observers: AtomicU64::new(0),
+        }
+    }
+
+    /// One shard's counter slice.
+    pub fn shard(&self, index: usize) -> &ShardTelemetry {
+        &self.shards[index]
+    }
+
+    /// Registers a lifecycle observer (see module docs). Paired with
+    /// [`Telemetry::detach_observer`].
+    pub fn attach_observer(&self) {
+        self.observers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Unregisters a lifecycle observer.
+    pub fn detach_observer(&self) {
+        self.observers.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// True while any lifecycle observer is attached.
+    pub fn observed(&self) -> bool {
+        self.observers.load(Ordering::Relaxed) > 0
+    }
+
+    /// Point-in-time copy of every shard's counters.
+    pub fn summaries(&self) -> Vec<ShardTelemetrySummary> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| shard.summary(index))
+            .collect()
+    }
+}
+
+/// One shard's live telemetry counters. Cumulative; single-writer
+/// (the owning shard), flushed once per scheduling pass.
+#[derive(Debug, Default)]
+pub struct ShardTelemetry {
+    /// Session-ticks advanced (eager ticks + replayed park backlog).
+    pub ticks: AtomicU64,
+    /// Sessions opened on this shard.
+    pub opened: AtomicU64,
+    /// Sessions that ran to completion on this shard.
+    pub completed: AtomicU64,
+    /// Deadline misses covered by a recovery engine's forecast,
+    /// accumulated from completed sessions' reports.
+    pub recovered_misses: AtomicU64,
+    /// Miss markers accepted by gated sessions (`InjectMiss`) — the live
+    /// wire-loss count, visible while sessions still run.
+    pub miss_marks: AtomicU64,
+    /// §VII-C late replacements accepted (`InjectLate` offers that the
+    /// session's gated inbox took).
+    pub late_replacements: AtomicU64,
+    /// Sessions parked (idle fixed point or scheduled wake).
+    pub parks: AtomicU64,
+    /// Sessions unparked (traffic, timer, or administrative sync).
+    pub wakes: AtomicU64,
+    /// Commands dropped on a full session inbox.
+    pub inbox_drops: AtomicU64,
+}
+
+impl ShardTelemetry {
+    /// A point-in-time copy for shard `index`.
+    pub fn summary(&self, index: usize) -> ShardTelemetrySummary {
+        ShardTelemetrySummary {
+            shard: index,
+            ticks: self.ticks.load(Ordering::Relaxed),
+            opened: self.opened.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            recovered_misses: self.recovered_misses.load(Ordering::Relaxed),
+            miss_marks: self.miss_marks.load(Ordering::Relaxed),
+            late_replacements: self.late_replacements.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
+            inbox_drops: self.inbox_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-`u64` copy of one shard's [`ShardTelemetry`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ShardTelemetrySummary {
+    /// Shard index.
+    pub shard: usize,
+    /// Session-ticks advanced.
+    pub ticks: u64,
+    /// Sessions opened.
+    pub opened: u64,
+    /// Sessions completed.
+    pub completed: u64,
+    /// Forecast-recovered misses (from completed engine sessions).
+    pub recovered_misses: u64,
+    /// Live miss markers accepted by gated sessions.
+    pub miss_marks: u64,
+    /// Late replacements accepted.
+    pub late_replacements: u64,
+    /// Park transitions.
+    pub parks: u64,
+    /// Unpark transitions.
+    pub wakes: u64,
+    /// Commands dropped on full inboxes.
+    pub inbox_drops: u64,
+}
+
+/// Wire-side ingress totals, summed across sessions (live and retired).
+/// Zero unless a gateway merges its counters in — the serve crate has
+/// no socket knowledge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IngressTotals {
+    /// Well-formed data frames received.
+    pub received: u64,
+    /// Command slots delivered in order.
+    pub delivered: u64,
+    /// Slots flushed as losses.
+    pub lost: u64,
+    /// Stale frames fed through the late-command path.
+    pub late: u64,
+    /// Out-of-order arrivals healed by the reorder buffer.
+    pub reordered: u64,
+    /// Duplicate frames discarded.
+    pub duplicates: u64,
+    /// Frames rejected for invalid payloads.
+    pub malformed: u64,
+    /// Backpressure bounces converted to losses.
+    pub bounced: u64,
+}
+
+impl IngressTotals {
+    /// Folds one session's ingress counters into the totals.
+    pub fn absorb(&mut self, summary: &IngressSummary) {
+        self.received += summary.received;
+        self.delivered += summary.delivered;
+        self.lost += summary.lost;
+        self.late += summary.late;
+        self.reordered += summary.reordered;
+        self.duplicates += summary.duplicates;
+        self.malformed += summary.malformed;
+        self.bounced += summary.bounced;
+    }
+}
+
+/// A point-in-time view of the whole fleet: per-shard telemetry
+/// counters, per-shard scheduler load, and (when a gateway fills them
+/// in) wire-side ingress totals. Snapshot via `ServiceHandle::telemetry`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FleetTelemetry {
+    /// Per-shard telemetry counters.
+    pub shards: Vec<ShardTelemetrySummary>,
+    /// Per-shard scheduler load (runnable/parked depth, passes,
+    /// wakeups, migrations).
+    pub loads: Vec<ShardLoadSummary>,
+    /// Wire-side ingress totals (zero without a gateway).
+    pub ingress: IngressTotals,
+}
+
+impl FleetTelemetry {
+    /// Total session-ticks advanced across shards.
+    pub fn total_ticks(&self) -> u64 {
+        self.shards.iter().map(|s| s.ticks).sum()
+    }
+
+    /// Total sessions completed across shards.
+    pub fn total_completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Live sessions across shards (sum of the per-shard gauges).
+    pub fn live_sessions(&self) -> u64 {
+        self.loads.iter().map(|l| l.sessions).sum()
+    }
+}
+
+/// Appends one metric family: `# HELP` / `# TYPE` header plus one
+/// `name{shard="i"} value` sample per shard.
+fn family_per_shard<F: Fn(&ShardTelemetrySummary) -> u64>(
+    out: &mut String,
+    name: &str,
+    kind: &str,
+    help: &str,
+    shards: &[ShardTelemetrySummary],
+    get: F,
+) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for shard in shards {
+        let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", shard.shard, get(shard));
+    }
+}
+
+/// Same, over the scheduler-load summaries.
+fn load_family_per_shard<F: Fn(&ShardLoadSummary) -> u64>(
+    out: &mut String,
+    name: &str,
+    kind: &str,
+    help: &str,
+    loads: &[ShardLoadSummary],
+    get: F,
+) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for load in loads {
+        let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", load.shard, get(load));
+    }
+}
+
+/// A single unlabelled sample with its header.
+fn scalar(out: &mut String, name: &str, kind: &str, help: &str, value: f64) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders a [`FleetTelemetry`] snapshot (plus, when available, the
+/// distribution of completed sessions' task-space RMSE) in the
+/// Prometheus text exposition format: `# HELP`/`# TYPE` headers, one
+/// series per shard via a `shard` label, `_total`-suffixed counters.
+/// Allocates freely — this is control-plane code by the observability
+/// discipline (module docs).
+pub fn render_prometheus(fleet: &FleetTelemetry, rmse_mm: Option<&PercentileSummary>) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(4096);
+    let shards = &fleet.shards;
+    family_per_shard(
+        &mut out,
+        "foreco_ticks_total",
+        "counter",
+        "Session-ticks advanced (catch-up replays included).",
+        shards,
+        |s| s.ticks,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_sessions_opened_total",
+        "counter",
+        "Sessions opened.",
+        shards,
+        |s| s.opened,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_sessions_completed_total",
+        "counter",
+        "Sessions run to completion.",
+        shards,
+        |s| s.completed,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_recovered_misses_total",
+        "counter",
+        "Deadline misses covered by forecast (completed engine sessions).",
+        shards,
+        |s| s.recovered_misses,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_miss_marks_total",
+        "counter",
+        "Miss markers accepted by gated sessions (live wire losses).",
+        shards,
+        |s| s.miss_marks,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_late_replacements_total",
+        "counter",
+        "Late command replacements accepted (section VII-C path).",
+        shards,
+        |s| s.late_replacements,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_parks_total",
+        "counter",
+        "Sessions parked at an idle fixed point.",
+        shards,
+        |s| s.parks,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_wakes_total",
+        "counter",
+        "Sessions unparked (traffic, timer, or administrative sync).",
+        shards,
+        |s| s.wakes,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_inbox_drops_total",
+        "counter",
+        "Commands dropped on full session inboxes.",
+        shards,
+        |s| s.inbox_drops,
+    );
+    let loads = &fleet.loads;
+    load_family_per_shard(
+        &mut out,
+        "foreco_shard_sessions",
+        "gauge",
+        "Live sessions owned by the shard.",
+        loads,
+        |l| l.sessions,
+    );
+    load_family_per_shard(
+        &mut out,
+        "foreco_shard_runnable",
+        "gauge",
+        "Sessions in the run queue after the last pass.",
+        loads,
+        |l| l.runnable,
+    );
+    load_family_per_shard(
+        &mut out,
+        "foreco_shard_parked",
+        "gauge",
+        "Sessions parked after the last pass.",
+        loads,
+        |l| l.parked,
+    );
+    load_family_per_shard(
+        &mut out,
+        "foreco_passes_total",
+        "counter",
+        "Scheduling passes executed.",
+        loads,
+        |l| l.passes,
+    );
+    load_family_per_shard(
+        &mut out,
+        "foreco_wakeups_total",
+        "counter",
+        "Session advances performed.",
+        loads,
+        |l| l.wakeups,
+    );
+    load_family_per_shard(
+        &mut out,
+        "foreco_migrations_out_total",
+        "counter",
+        "Sessions migrated away from the shard.",
+        loads,
+        |l| l.migrated_out,
+    );
+    load_family_per_shard(
+        &mut out,
+        "foreco_migrations_in_total",
+        "counter",
+        "Sessions adopted by the shard.",
+        loads,
+        |l| l.migrated_in,
+    );
+    let ingress = &fleet.ingress;
+    scalar(
+        &mut out,
+        "foreco_ingress_received_total",
+        "counter",
+        "Well-formed data frames received by the gateway.",
+        ingress.received as f64,
+    );
+    scalar(
+        &mut out,
+        "foreco_ingress_delivered_total",
+        "counter",
+        "Command slots delivered in order.",
+        ingress.delivered as f64,
+    );
+    scalar(
+        &mut out,
+        "foreco_ingress_lost_total",
+        "counter",
+        "Slots flushed as losses.",
+        ingress.lost as f64,
+    );
+    scalar(
+        &mut out,
+        "foreco_ingress_late_total",
+        "counter",
+        "Stale frames fed through the late-command path.",
+        ingress.late as f64,
+    );
+    scalar(
+        &mut out,
+        "foreco_ingress_duplicates_total",
+        "counter",
+        "Duplicate frames discarded.",
+        ingress.duplicates as f64,
+    );
+    scalar(
+        &mut out,
+        "foreco_ingress_malformed_total",
+        "counter",
+        "Frames rejected for invalid payloads.",
+        ingress.malformed as f64,
+    );
+    scalar(
+        &mut out,
+        "foreco_ingress_bounced_total",
+        "counter",
+        "Backpressure bounces converted to losses.",
+        ingress.bounced as f64,
+    );
+    if let Some(rmse) = rmse_mm {
+        let name = "foreco_session_rmse_mm";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Task-space RMSE of completed sessions (mm)."
+        );
+        let _ = writeln!(out, "# TYPE {name} summary");
+        let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", rmse.p50);
+        let _ = writeln!(out, "{name}{{quantile=\"0.9\"}} {}", rmse.p90);
+        let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", rmse.p99);
+        let _ = writeln!(out, "{name}{{quantile=\"1\"}} {}", rmse.max);
+        scalar(
+            &mut out,
+            "foreco_session_rmse_mm_mean",
+            "gauge",
+            "Mean task-space RMSE of completed sessions (mm).",
+            rmse.mean,
+        );
+    }
+    out
+}
+
+/// The per-pass scratch a shard accumulates telemetry deltas in: plain
+/// `u64`s touched while handling commands and sweeping the run queue,
+/// flushed to the shared atomics once per pass (only non-zero deltas
+/// pay a `fetch_add`).
+#[derive(Debug, Default)]
+pub(crate) struct TelemetryScratch {
+    pub(crate) ticks: u64,
+    pub(crate) opened: u64,
+    pub(crate) completed: u64,
+    pub(crate) recovered_misses: u64,
+    pub(crate) miss_marks: u64,
+    pub(crate) late_replacements: u64,
+    pub(crate) parks: u64,
+    pub(crate) wakes: u64,
+    pub(crate) inbox_drops: u64,
+}
+
+impl TelemetryScratch {
+    /// Flushes every non-zero delta into `shard` and resets the scratch.
+    pub(crate) fn flush(&mut self, shard: &ShardTelemetry) {
+        fn add(counter: &AtomicU64, delta: &mut u64) {
+            if *delta != 0 {
+                counter.fetch_add(*delta, Ordering::Relaxed);
+                *delta = 0;
+            }
+        }
+        add(&shard.ticks, &mut self.ticks);
+        add(&shard.opened, &mut self.opened);
+        add(&shard.completed, &mut self.completed);
+        add(&shard.recovered_misses, &mut self.recovered_misses);
+        add(&shard.miss_marks, &mut self.miss_marks);
+        add(&shard.late_replacements, &mut self.late_replacements);
+        add(&shard.parks, &mut self.parks);
+        add(&shard.wakes, &mut self.wakes);
+        add(&shard.inbox_drops, &mut self.inbox_drops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_flushes_and_resets() {
+        let telemetry = Telemetry::new(2);
+        let mut scratch = TelemetryScratch {
+            ticks: 5,
+            parks: 2,
+            ..Default::default()
+        };
+        scratch.flush(telemetry.shard(1));
+        assert_eq!(scratch.ticks, 0);
+        let s = telemetry.shard(1).summary(1);
+        assert_eq!(s.ticks, 5);
+        assert_eq!(s.parks, 2);
+        assert_eq!(telemetry.shard(0).summary(0).ticks, 0);
+    }
+
+    #[test]
+    fn observer_count_gates_lifecycle_events() {
+        let telemetry = Telemetry::new(1);
+        assert!(!telemetry.observed());
+        telemetry.attach_observer();
+        telemetry.attach_observer();
+        assert!(telemetry.observed());
+        telemetry.detach_observer();
+        assert!(telemetry.observed());
+        telemetry.detach_observer();
+        assert!(!telemetry.observed());
+    }
+
+    #[test]
+    fn ingress_totals_absorb_sums() {
+        let mut totals = IngressTotals::default();
+        totals.absorb(&IngressSummary {
+            session: 1,
+            received: 10,
+            delivered: 8,
+            lost: 2,
+            late: 1,
+            reordered: 3,
+            duplicates: 1,
+            malformed: 0,
+            bounced: 1,
+        });
+        totals.absorb(&IngressSummary {
+            session: 2,
+            received: 5,
+            delivered: 5,
+            ..Default::default()
+        });
+        assert_eq!(totals.received, 15);
+        assert_eq!(totals.delivered, 13);
+        assert_eq!(totals.lost, 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_parseable() {
+        let fleet = FleetTelemetry {
+            shards: vec![ShardTelemetrySummary {
+                shard: 0,
+                ticks: 100,
+                ..Default::default()
+            }],
+            loads: vec![],
+            ingress: IngressTotals::default(),
+        };
+        let rmse = PercentileSummary::of(&[1.0, 2.0, 3.0]);
+        let body = render_prometheus(&fleet, rmse.as_ref());
+        assert!(body.contains("# TYPE foreco_ticks_total counter"));
+        assert!(body.contains("foreco_ticks_total{shard=\"0\"} 100"));
+        assert!(body.contains("foreco_session_rmse_mm{quantile=\"0.99\"}"));
+        for line in body.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "unparseable line: {line}"
+            );
+        }
+    }
+}

@@ -3,15 +3,19 @@
 //!
 //! A `foreco-net` gateway (UDP data plane + TCP control plane) fronts a
 //! sharded service whose sessions run FoReCo around one shared trained
-//! VAR. Two operators connect over localhost sockets and replay teleop
-//! traces at the paper's 50 Hz — one over a clean wire, one through
-//! artificial loss and reordering — and the run ends with both views of
-//! the damage: what the wire did (ingress counters) and what the engine
-//! did about it (forecasts, §VII-C late patches, task-space error).
+//! VAR. Two operators connect through the typed [`ForecoClient`] SDK
+//! and replay teleop traces at the paper's 50 Hz — one over a clean
+//! wire, one through artificial loss and reordering — while a third
+//! connection watches the whole fleet: a push-mode [`EventStream`]
+//! narrates every open/park/complete as it happens, and a final
+//! Prometheus scrape shows the same run as counters. The run ends with
+//! both views of the damage: what the wire did (ingress counters) and
+//! what the engine did about it (forecasts, §VII-C late patches,
+//! task-space error).
 //!
 //! Run with `cargo run --release --example net_teleop`.
 
-use foreco::net::{ClientConfig, Gateway, GatewayConfig, IngressConfig, NetClient};
+use foreco::net::{ClientConfig, EventStream, ForecoClient, Gateway, GatewayConfig, IngressConfig};
 use foreco::prelude::*;
 use foreco::serve::IngressSummary;
 use std::time::Duration;
@@ -46,6 +50,11 @@ fn main() {
         gateway.tcp_addr()
     );
 
+    // A fleet watcher on its own TCP connection: the gateway pushes
+    // every lifecycle event; nothing here can change an output bit.
+    let (mut events, _subscription) =
+        EventStream::connect(gateway.tcp_addr()).expect("event stream");
+
     let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 42)
         .head(250)
         .commands;
@@ -69,9 +78,8 @@ fn main() {
     for (id, (label, mut cfg)) in operators.into_iter().enumerate() {
         // The paper's 50 Hz command period, held by the operator.
         cfg.pace = Some(Duration::from_millis(20));
-        let data = foreco::net::UdpWire::connect(gateway.udp_addr()).expect("udp connect");
-        let control = foreco::net::TcpControl::connect(gateway.tcp_addr()).expect("tcp connect");
-        let mut operator = NetClient::new(id as u64, data, control);
+        let mut operator = ForecoClient::connect(id as u64, gateway.udp_addr(), gateway.tcp_addr())
+            .expect("connect operator");
         operator.open(trace[0].clone(), 64).expect("attach");
         let stats = operator.replay(&trace, 0, &cfg).expect("replay");
         let (report, ingress) = operator.close().expect("detach");
@@ -101,5 +109,35 @@ fn main() {
         "fleet: {} sessions · {} ticks · {} misses covered · rmse p50 {:.3} mm",
         summary.sessions, summary.total_ticks, summary.total_misses, summary.rmse_mm.p50
     );
+
+    // What the watcher saw, pushed over TCP while the operators ran.
+    let (mut opened, mut parked, mut completed) = (0u64, 0u64, 0u64);
+    while completed < 2 {
+        match events.next(Duration::from_millis(500)).expect("event") {
+            Some(FleetEvent::Opened { .. }) => opened += 1,
+            Some(FleetEvent::Parked { .. }) => parked += 1,
+            Some(FleetEvent::Completed { .. }) => completed += 1,
+            Some(_) => {}
+            None => break,
+        }
+    }
+    println!("\nwatcher: {opened} opens · {parked} parks · {completed} completions pushed live");
+
+    // The same fleet as Prometheus counters, scraped off the control
+    // plane (any connection can ask; this one rides the loopback).
+    let metrics = ForecoClient::loopback(&gateway, 99)
+        .metrics()
+        .expect("scrape metrics");
+    let highlights = [
+        "foreco_ticks_total",
+        "foreco_ingress_",
+        "foreco_session_rmse_mm",
+    ];
+    println!("scrape highlights:");
+    for line in metrics.lines() {
+        if !line.starts_with('#') && highlights.iter().any(|p| line.starts_with(p)) {
+            println!("  {line}");
+        }
+    }
     gateway.shutdown();
 }

@@ -13,7 +13,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`net`] | `foreco-net` | socket ingress gateway, binary wire codec, operator client |
+//! | [`net`] | `foreco-net` | socket ingress gateway, binary wire codec, typed operator SDK, fleet events + Prometheus metrics |
 //! | [`serve`] | `foreco-serve` | sharded multi-session service runtime, metrics registry |
 //! | [`store`] | `foreco-store` | refcounted content-addressed storage for traces, models, blobs |
 //! | [`recovery`] | `foreco-core` | recovery engine, channels, closed loop, Fig-8 grid |
@@ -167,9 +167,7 @@
 //! use foreco::prelude::*;
 //!
 //! let gateway = Gateway::spawn(ServiceConfig::with_shards(2), GatewayConfig::default()).unwrap();
-//! let data = UdpWire::connect(gateway.udp_addr()).unwrap();
-//! let control = TcpControl::connect(gateway.tcp_addr()).unwrap();
-//! let mut operator = NetClient::new(1, data, control);
+//! let mut operator = ForecoClient::connect(1, gateway.udp_addr(), gateway.tcp_addr()).unwrap();
 //!
 //! let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 5).head(100);
 //! operator.open(trace.commands[0].clone(), 128).unwrap();
@@ -177,6 +175,49 @@
 //! let (report, ingress) = operator.close().unwrap();
 //! assert_eq!(report.ticks, 100);
 //! assert_eq!(ingress.delivered, 100);
+//! gateway.shutdown();
+//! ```
+//!
+//! # Observing a live fleet
+//!
+//! The observability plane rides the control plane, never the tick
+//! path: shards accumulate plain-integer telemetry deltas while they
+//! work and flush them to relaxed atomics once per scheduling pass, so
+//! watching a fleet costs zero hot-path allocations and moves zero
+//! bits — every session result stays bit-identical with subscribers
+//! attached (pinned by `tests/serve_invariance.rs` and the gateway
+//! suite). Three surfaces, all through the typed
+//! [`net::ForecoClient`] SDK (rejections carry a machine-readable
+//! [`net::RejectCode`]):
+//!
+//! - [`net::ForecoClient::metrics`] scrapes the fleet in Prometheus
+//!   text exposition format — per-shard tick/open/complete/park
+//!   counters, scheduler load gauges, wire ingress totals, and the
+//!   completed-session RMSE quantile summary;
+//! - [`net::ForecoClient::subscribe`] opens a poll-mode
+//!   [`net::FleetEvent`] subscription (bounded per-subscriber queue,
+//!   drop-oldest, shed counts reported with every drain);
+//! - [`net::EventStream`] dedicates a TCP control connection to
+//!   push-mode delivery of the same events as they happen.
+//!
+//! ```
+//! use foreco::prelude::*;
+//!
+//! let gateway = Gateway::spawn(ServiceConfig::with_shards(2), GatewayConfig::default()).unwrap();
+//! let mut operator = ForecoClient::loopback(&gateway, 1);
+//! let mut watcher = ForecoClient::loopback(&gateway, 2);
+//! let subscription = watcher.subscribe().unwrap();
+//!
+//! let trace = Dataset::record(Skill::Inexperienced, 1, 0.02, 5).head(100);
+//! operator.open(trace.commands[0].clone(), 128).unwrap();
+//! operator.replay(&trace.commands, 0, &ClientConfig::default()).unwrap();
+//! operator.close().unwrap();
+//!
+//! let batch = watcher.poll_events(subscription, 64).unwrap();
+//! assert!(batch.events.iter().any(|e| matches!(e, FleetEvent::Completed { id: 1, .. })));
+//! let metrics = watcher.metrics().unwrap();
+//! assert!(metrics.contains("# TYPE foreco_ticks_total counter"));
+//! watcher.unsubscribe(subscription).unwrap();
 //! gateway.shutdown();
 //! ```
 //!
@@ -308,8 +349,8 @@ pub mod prelude {
         SLOT_MAJOR_MIN_WIDTH,
     };
     pub use foreco_net::{
-        ClientConfig, Gateway, GatewayConfig, IngressConfig, NetClient, NetError, TcpControl,
-        UdpWire,
+        ClientConfig, EventStream, FleetEvent, ForecoClient, Gateway, GatewayConfig, IngressConfig,
+        NetClient, NetError, RejectCode, TcpControl, UdpWire,
     };
     pub use foreco_robot::{niryo_one, ArmModel, DriverConfig, RobotDriver};
     pub use foreco_serve::{

@@ -291,9 +291,21 @@ fn eager_and_event_driven_schedulers_agree() {
             ..ServiceConfig::with_shards(shards)
         })
         .run_to_completion(specs());
+        // A live telemetry subscriber's serve-side footprint: an
+        // attached lifecycle observer turns on park narration, which
+        // must not change a single output bit.
+        let observed = {
+            let service = Service::spawn(ServiceConfig::with_shards(shards));
+            service.handle().attach_observer();
+            service.run_to_completion(specs())
+        };
         for id in 0..SESSIONS {
             let ground = eager.get(id).expect("eager report");
-            for (label, registry) in [("event-driven", &event), ("balanced", &balanced)] {
+            for (label, registry) in [
+                ("event-driven", &event),
+                ("balanced", &balanced),
+                ("observed", &observed),
+            ] {
                 let report = registry.get(id).expect("report");
                 assert_eq!(
                     report.misses, ground.misses,
@@ -320,6 +332,11 @@ fn eager_and_event_driven_schedulers_agree() {
         assert_eq!(
             balanced.summary().expect("sessions completed"),
             ground_summary
+        );
+        assert_eq!(
+            observed.summary().expect("sessions completed"),
+            ground_summary,
+            "an attached observer must be bit-invisible"
         );
         // The scheduler really scheduled: every pool advanced every tick.
         let loads = event.shard_loads();

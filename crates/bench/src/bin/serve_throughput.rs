@@ -106,7 +106,7 @@ use foreco_core::RecoveryConfig;
 use foreco_forecast::{CostClass, Holt, KalmanCv, LaneLayout, MovingAverage};
 use foreco_serve::{
     Advance, BalancerConfig, ChannelSpec, EventWait, RecoverySpec, Scheduler, Service,
-    ServiceConfig, Session, SessionSpec, SharedForecaster, SourceSpec,
+    ServiceConfig, Session, SessionSnapshot, SessionSpec, SharedForecaster, SourceSpec,
 };
 use foreco_teleop::{Dataset, Skill};
 use serde::Serialize;
@@ -276,6 +276,30 @@ struct BytesRow {
     restored_bit_identical: bool,
 }
 
+/// The snapshot-churn scenario row: encode+decode throughput and
+/// bytes/session for the same donor fleet through both live codecs —
+/// the legacy JSON v2 document and the v3 binary frame (shard-style
+/// reusable scratch). The ratio is the number the v3 rework claims.
+#[derive(Serialize)]
+struct SnapshotChurnRow {
+    sessions: u64,
+    /// Encode+decode passes over the whole donor fleet per codec.
+    rounds: usize,
+    json_wall_s: f64,
+    json_sessions_per_sec: f64,
+    json_bytes_per_session: f64,
+    binary_wall_s: f64,
+    binary_sessions_per_sec: f64,
+    binary_bytes_per_session: f64,
+    /// Binary sessions/s ÷ JSON sessions/s over the same donors.
+    codec_speedup: f64,
+    /// JSON bytes/session ÷ binary bytes/session.
+    bytes_reduction: f64,
+    /// Every binary round-trip reproduced its donor exactly (struct
+    /// equality — every f64 bit), checked outside the timed loops.
+    decode_exact: bool,
+}
+
 #[derive(Serialize)]
 struct CalibrationRow {
     /// Fixed iteration count of the frozen kernel.
@@ -330,6 +354,13 @@ struct Output {
     sessions: u64,
     ticks_per_session: usize,
     forecaster: String,
+    /// `std::thread::available_parallelism()` in the measuring process
+    /// — recorded so shard-scaling rows can be read against how many
+    /// hardware threads the container actually had.
+    available_parallelism: usize,
+    /// The shard counts the scaling sweep ran (`rows` has one entry
+    /// per count).
+    shard_counts: Vec<usize>,
     calibration: CalibrationRow,
     /// 1-shard `ticks_per_sec` ÷ calibration iterations/sec — the
     /// dimensionless number the CI gate bounds.
@@ -342,6 +373,7 @@ struct Output {
     ingress: Vec<IngressRow>,
     fleet_soak: FleetSoakRow,
     bytes_per_session: BytesRow,
+    snapshot_churn: SnapshotChurnRow,
 }
 
 /// The frozen calibration kernel: a fixed-length pure-f64 arithmetic
@@ -1018,19 +1050,20 @@ fn bytes_per_session_run(fx: &Fixture, sessions: u64, cycles: usize) -> BytesRow
     }
     let archive = foreco_serve::FleetArchive::build(parts);
     assert_eq!(
-        archive.sessions.len(),
+        archive.len(),
         sessions as usize,
         "every session must land in the archive"
     );
-    assert_eq!(archive.traces.len(), 1, "one shared trace, stored once");
+    assert_eq!(archive.traces().len(), 1, "one shared trace, stored once");
 
     // Checkpoint cost: the archive vs the same snapshots self-contained.
     let dedup_archive_bytes = archive.to_bytes().len() as u64;
     let inline_archive_bytes: u64 = archive
-        .sessions
+        .sessions()
+        .expect("archive frames decode")
         .iter()
         .map(|snap| {
-            snap.materialized(&archive.traces[0].commands)
+            snap.materialized(&archive.traces()[0].commands)
                 .expect("rehydrate inline")
                 .to_bytes()
                 .len() as u64
@@ -1106,6 +1139,93 @@ fn bytes_per_session_run(fx: &Fixture, sessions: u64, cycles: usize) -> BytesRow
     }
 }
 
+/// The snapshot-churn scenario: mid-run FoReCo donors (full forecaster
+/// history, PID state, pre-drawn fates) pushed through encode+decode
+/// round-trips on both live codecs. The JSON path is exactly what a v2
+/// control plane did per `Snapshot`/`Adopt` (`to_json_bytes` +
+/// `from_bytes`); the binary path is what a shard does per fleet part
+/// (`encode_into` a reused scratch + `from_bytes`). Same donors, same
+/// rounds — the ratios are honest whichever way they land.
+fn snapshot_churn_run(fx: &Fixture, sessions: u64, rounds: usize) -> SnapshotChurnRow {
+    let dataset = Dataset::record(Skill::Inexperienced, 1, 0.02, 8);
+    let forecaster = SharedForecaster::new(fx.var.clone());
+    let replay = Arc::new(dataset.commands.clone());
+    let snap_at = (dataset.commands.len() / 2).max(1) as u64;
+    let donors: Vec<SessionSnapshot> = (0..sessions)
+        .map(|id| {
+            let spec = SessionSpec::new(
+                id,
+                SourceSpec::Replayed(Arc::clone(&replay)),
+                ChannelSpec::ControlledLoss {
+                    burst_len: 6,
+                    burst_prob: 0.01,
+                    seed: 40_000 + id,
+                },
+                RecoverySpec::FoReCo {
+                    forecaster: forecaster.clone(),
+                    config: RecoveryConfig::for_model(&fx.model),
+                },
+            );
+            let mut session = Session::open(&spec, &fx.model);
+            while session.tick() < snap_at {
+                assert!(matches!(session.advance(), Advance::Ticked(_)));
+            }
+            session.snapshot().expect("churn donor snapshotable")
+        })
+        .collect();
+
+    // Correctness outside the timed loops: the binary round-trip must
+    // reproduce every donor exactly (struct equality pins every bit).
+    let decode_exact = donors
+        .iter()
+        .all(|donor| SessionSnapshot::from_bytes(&donor.to_bytes()).as_ref() == Ok(donor));
+
+    let mut json_bytes = 0u64;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for donor in &donors {
+            let bytes = donor.to_json_bytes();
+            json_bytes += bytes.len() as u64;
+            let back = SessionSnapshot::from_bytes(&bytes).expect("JSON v2 decodes");
+            std::hint::black_box(back);
+        }
+    }
+    let json_wall_s = started.elapsed().as_secs_f64();
+
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut binary_bytes = 0u64;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for donor in &donors {
+            scratch.clear();
+            donor.encode_into(&mut scratch);
+            binary_bytes += scratch.len() as u64;
+            let back = SessionSnapshot::from_bytes(&scratch).expect("binary v3 decodes");
+            std::hint::black_box(back);
+        }
+    }
+    let binary_wall_s = started.elapsed().as_secs_f64();
+
+    let total = sessions as f64 * rounds as f64;
+    let json_sessions_per_sec = total / json_wall_s.max(1e-12);
+    let binary_sessions_per_sec = total / binary_wall_s.max(1e-12);
+    let json_bytes_per_session = json_bytes as f64 / total;
+    let binary_bytes_per_session = binary_bytes as f64 / total;
+    SnapshotChurnRow {
+        sessions,
+        rounds,
+        json_wall_s,
+        json_sessions_per_sec,
+        json_bytes_per_session,
+        binary_wall_s,
+        binary_sessions_per_sec,
+        binary_bytes_per_session,
+        codec_speedup: binary_sessions_per_sec / json_sessions_per_sec.max(1e-12),
+        bytes_reduction: json_bytes_per_session / binary_bytes_per_session.max(1e-12),
+        decode_exact,
+    }
+}
+
 fn main() {
     // env_knob rejects zero, which would otherwise leave summary()
     // with an empty registry (and this bench with nothing to report).
@@ -1129,11 +1249,15 @@ fn main() {
         "service-scale extension of §V (one recovery loop → thousands)",
     );
 
+    let available_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let fx = Fixture::build();
     let forecaster = SharedForecaster::new(fx.var.clone());
     let replay = Arc::new(Dataset::record(Skill::Inexperienced, cycles, 0.02, 8).commands);
     println!(
-        "workload: {} commands/session, {} sessions, forecaster {}\n",
+        "workload: {} commands/session, {} sessions, forecaster {}, \
+         {available_parallelism} hardware threads\n",
         replay.len(),
         sessions,
         forecaster.name()
@@ -1511,11 +1635,45 @@ fn main() {
         std::process::exit(1);
     }
 
+    // ---- snapshot churn: JSON-v2 vs binary-v3 codec throughput ----
+    let churn_sessions = env_knob("FORECO_SERVE_CHURN_SESSIONS", 64) as u64;
+    let churn_rounds = env_knob("FORECO_SERVE_CHURN_ROUNDS", 8);
+    println!(
+        "\nsnapshot-churn: {churn_sessions} mid-run donors × {churn_rounds} \
+         encode+decode rounds per codec"
+    );
+    let churn = snapshot_churn_run(&fx, churn_sessions, churn_rounds);
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "codec", "sessions/s", "bytes/sess", "wall [s]"
+    );
+    println!(
+        "{:>10} {:>14.0} {:>14.0} {:>10.3}",
+        "json-v2", churn.json_sessions_per_sec, churn.json_bytes_per_session, churn.json_wall_s
+    );
+    println!(
+        "{:>10} {:>14.0} {:>14.0} {:>10.3}",
+        "binary-v3",
+        churn.binary_sessions_per_sec,
+        churn.binary_bytes_per_session,
+        churn.binary_wall_s
+    );
+    println!(
+        "codec speedup {:.1}x, bytes reduction {:.1}x, decode exact: {}",
+        churn.codec_speedup, churn.bytes_reduction, churn.decode_exact
+    );
+    if !churn.decode_exact {
+        eprintln!("FAIL: a binary snapshot round-trip did not reproduce its donor");
+        std::process::exit(1);
+    }
+
     let output = Output {
         bench: "serve_throughput".to_string(),
         sessions,
         ticks_per_session: replay.len(),
         forecaster: forecaster.name().to_string(),
+        available_parallelism,
+        shard_counts: shard_counts.clone(),
         calibration,
         engine_vs_calibration_ratio,
         rows,
@@ -1526,6 +1684,7 @@ fn main() {
         ingress,
         fleet_soak,
         bytes_per_session: bytes_row,
+        snapshot_churn: churn,
     };
     let json = serde_json::to_string_pretty(&output).expect("serialise bench output");
     std::fs::write(&out_path, &json).expect("write bench output");

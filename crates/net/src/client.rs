@@ -113,9 +113,9 @@ impl TcpControl {
 
 impl ControlWire for TcpControl {
     fn request(&mut self, request: &ControlRequest) -> Result<ControlResponse, NetError> {
-        control::write_msg(&mut self.stream, &control::to_payload(request))
+        control::write_msg(&mut self.stream, &control::encode_request(request))
             .map_err(NetError::Io)?;
-        control::from_payload(&control::read_msg(&mut self.stream)?)
+        control::decode_response(&control::read_msg(&mut self.stream)?)
     }
 }
 
@@ -176,9 +176,9 @@ impl ControlWire for LoopbackControl {
     fn request(&mut self, request: &ControlRequest) -> Result<ControlResponse, NetError> {
         // Round-trip through the JSON payload codec so the loopback path
         // exercises byte-identical (de)serialisation to the socket path.
-        let request: ControlRequest = control::from_payload(&control::to_payload(request))?;
+        let request: ControlRequest = control::decode_request(&control::encode_request(request))?;
         let response = self.core.execute(request);
-        control::from_payload(&control::to_payload(&response))
+        control::decode_response(&control::encode_response(&response))
     }
 }
 
@@ -301,30 +301,33 @@ impl<D: DataWire, C: ControlWire> NetClient<D, C> {
     }
 
     /// Checkpoints the live session, returning the snapshot's portable
-    /// JSON bytes.
+    /// byte form (the binary v3 frame, fetched through the v3
+    /// `SnapshotBin` verb — the bytes cross the wire verbatim, with no
+    /// JSON inflation).
     ///
     /// # Errors
     /// [`NetError::Rejected`] / transport failures.
     pub fn snapshot(&mut self) -> Result<Vec<u8>, NetError> {
         match self
             .control
-            .request(&ControlRequest::Snapshot { id: self.session })?
+            .request(&ControlRequest::SnapshotBin { id: self.session })?
         {
-            ControlResponse::Snapshot { snapshot, .. } => Ok(snapshot.into_bytes()),
+            ControlResponse::SnapshotBin { snapshot, .. } => Ok(snapshot),
             other => Err(unexpected(other)),
         }
     }
 
     /// Revives a checkpoint on the gateway, returning the next sequence
-    /// number to stream from.
+    /// number to stream from. Accepts any `SessionSnapshot` byte form —
+    /// binary v3 frames and legacy JSON checkpoints both adopt (the
+    /// server sniffs the payload).
     ///
     /// # Errors
     /// [`NetError::Rejected`] / transport failures.
     pub fn adopt(&mut self, snapshot: &[u8]) -> Result<u64, NetError> {
-        let snapshot = std::str::from_utf8(snapshot)
-            .map_err(|_| NetError::Protocol("snapshot bytes are not UTF-8".into()))?
-            .to_string();
-        match self.control.request(&ControlRequest::Adopt { snapshot })? {
+        match self.control.request(&ControlRequest::AdoptBin {
+            snapshot: snapshot.to_vec(),
+        })? {
             ControlResponse::Adopted { next_slot, .. } => Ok(next_slot),
             other => Err(unexpected(other)),
         }

@@ -9,22 +9,28 @@
 //! A connection opens with a 5-byte handshake (`WIRE_MAGIC` +
 //! [`CONTROL_VERSION`], echoed by the server — the same versioning gate
 //! as the data plane). Every message after that is `u32` little-endian
-//! length + a JSON-encoded [`ControlRequest`] / [`ControlResponse`]
-//! (JSON because the heaviest payload — a session snapshot — already
-//! *is* the snapshot JSON; wrapping it in a second binary codec would
-//! buy nothing).
+//! length + a [`ControlRequest`] / [`ControlResponse`] payload. Most
+//! verbs are JSON; the v3 checkpoint verbs
+//! ([`ControlRequest::SnapshotBin`] / [`ControlRequest::AdoptBin`] and
+//! the [`ControlResponse::SnapshotBin`] reply) are compact binary
+//! payloads — a 4-byte magic, a kind byte, and the snapshot's binary
+//! frame verbatim, so checkpoints cross the wire with zero base64/JSON
+//! inflation. One leading byte disambiguates (JSON opens with `{`).
 //!
 //! # Versioning
 //!
 //! Control protocol **v2** added [`ControlRequest::Subscribe`] /
 //! [`ControlRequest::PollEvents`] / [`ControlRequest::Unsubscribe`] /
 //! [`ControlRequest::Metrics`], their responses, and the typed
-//! [`RejectCode`] on [`ControlResponse::Rejected`]. Per the versioning
-//! invariant, legacy decode is kept explicitly: the server accepts a v1
-//! hello and echoes the *client's* version back (v1 operators keep
-//! speaking v1 — every v1 message is a valid v2 message, and a
-//! `Rejected` without a `code` field decodes as [`RejectCode::Unknown`]
-//! on modern clients).
+//! [`RejectCode`] on [`ControlResponse::Rejected`]. **v3** added the
+//! opaque-binary checkpoint verbs. Per the versioning invariant, legacy
+//! decode is kept explicitly: the server accepts a v1/v2 hello and
+//! echoes the *client's* version back (old operators keep speaking
+//! their dialect — every v1 message is a valid v3 message, a `Rejected`
+//! without a `code` field decodes as [`RejectCode::Unknown`] on modern
+//! clients, and the legacy JSON `Snapshot`/`Adopt` verbs still work;
+//! `Adopt`/`AdoptBin` both sniff the snapshot bytes, so v2-era JSON
+//! checkpoints revive on a v3 server).
 //!
 //! The server side ([`ControlCore`]) is transport-agnostic: the TCP
 //! connection handler and the in-process loopback control both call
@@ -49,9 +55,16 @@ pub const MAX_CONTROL_MSG: usize = 64 << 20;
 
 /// Control-plane protocol version spoken by this build. Distinct from
 /// the data plane's `WIRE_VERSION`: v2 added event subscriptions, the
-/// metrics endpoint, and typed reject codes (see the module docs for
-/// the compatibility rules).
-pub const CONTROL_VERSION: u8 = 2;
+/// metrics endpoint, and typed reject codes; v3 added the opaque-binary
+/// checkpoint verbs ([`ControlRequest::SnapshotBin`] /
+/// [`ControlRequest::AdoptBin`]) so snapshot payloads travel as raw
+/// bytes instead of JSON-inflated text (see the module docs for the
+/// compatibility rules).
+pub const CONTROL_VERSION: u8 = 3;
+
+/// Leading magic of a binary control payload (the v3 checkpoint verbs).
+/// JSON payloads open with `{`, so one byte disambiguates.
+pub(crate) const CONTROL_BIN_MAGIC: [u8; 4] = *b"FCTL";
 
 /// Operator→gateway control messages.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,6 +97,22 @@ pub enum ControlRequest {
     Adopt {
         /// Snapshot JSON as produced by [`ControlResponse::Snapshot`].
         snapshot: String,
+    },
+    /// Checkpoint the live session with the response as an opaque
+    /// binary snapshot frame (v3) — no JSON inflation; the payload is
+    /// `SessionSnapshot::to_bytes` verbatim. Travels as a binary
+    /// control payload, never JSON.
+    SnapshotBin {
+        /// Session id.
+        id: SessionId,
+    },
+    /// Revive a checkpointed session from its opaque byte form (v3).
+    /// The server sniffs the payload, so legacy JSON snapshots adopt
+    /// through this verb too.
+    AdoptBin {
+        /// Snapshot bytes as produced by [`ControlResponse::SnapshotBin`]
+        /// (or any `SessionSnapshot::to_bytes` / `to_json_bytes` form).
+        snapshot: Vec<u8>,
     },
     /// The session's current ingress counters.
     Stats {
@@ -143,6 +172,14 @@ pub enum ControlResponse {
         id: SessionId,
         /// `SessionSnapshot::to_bytes` content (UTF-8 JSON).
         snapshot: String,
+    },
+    /// The checkpoint as an opaque binary frame (v3; travels as a
+    /// binary control payload, never JSON).
+    SnapshotBin {
+        /// Session id.
+        id: SessionId,
+        /// `SessionSnapshot::to_bytes` content, verbatim.
+        snapshot: Vec<u8>,
     },
     /// The snapshot was revived; stream datagrams from `next_slot`.
     Adopted {
@@ -343,7 +380,9 @@ impl Reject {
         let code = match e {
             ServiceError::Backpressure => RejectCode::Backpressure,
             ServiceError::Disconnected => RejectCode::Unavailable,
-            ServiceError::NoSuchShard { .. } => RejectCode::BadRequest,
+            ServiceError::NoSuchShard { .. } | ServiceError::CorruptArchive { .. } => {
+                RejectCode::BadRequest
+            }
         };
         Self::new(code, format!("service rejected {context}: {e}"))
     }
@@ -432,8 +471,10 @@ impl ControlCore {
                 inbox_capacity,
             } => self.open(id, initial, inbox_capacity),
             ControlRequest::Close { id } => self.close(id),
-            ControlRequest::Snapshot { id } => self.snapshot(id),
-            ControlRequest::Adopt { snapshot } => self.adopt(&snapshot),
+            ControlRequest::Snapshot { id } => self.snapshot(id, false),
+            ControlRequest::SnapshotBin { id } => self.snapshot(id, true),
+            ControlRequest::Adopt { snapshot } => self.adopt(snapshot.as_bytes()),
+            ControlRequest::AdoptBin { snapshot } => self.adopt(&snapshot),
             ControlRequest::Stats { id } => match self.ingress.lock().expect("ingress").summary(id)
             {
                 Some(ingress) => ControlResponse::Stats { ingress },
@@ -586,7 +627,7 @@ impl ControlCore {
         }
     }
 
-    fn snapshot(&self, id: SessionId) -> ControlResponse {
+    fn snapshot(&self, id: SessionId, binary: bool) -> ControlResponse {
         // Land any loss verdicts parked on shard backpressure first:
         // the checkpoint's queue must reflect every verdict the ingress
         // watermark has issued, or the adopt-side slot arithmetic would
@@ -599,16 +640,23 @@ impl ControlCore {
             return Reject::service("snapshot", e).into();
         }
         match self.hub.wait_snapshot(id, self.cfg.control_timeout) {
+            // The v3 verb ships the binary frame verbatim; the legacy
+            // verb keeps its JSON contract for pre-v3 operators.
+            Ok(snapshot) if binary => ControlResponse::SnapshotBin {
+                id,
+                snapshot: snapshot.to_bytes(),
+            },
             Ok(snapshot) => ControlResponse::Snapshot {
                 id,
-                snapshot: String::from_utf8(snapshot.to_bytes()).expect("snapshot JSON is UTF-8"),
+                snapshot: String::from_utf8(snapshot.to_json_bytes())
+                    .expect("snapshot JSON is UTF-8"),
             },
             Err(reject) => reject.into(),
         }
     }
 
-    fn adopt(&self, snapshot_json: &str) -> ControlResponse {
-        let snapshot = match SessionSnapshot::from_bytes(snapshot_json.as_bytes()) {
+    fn adopt(&self, snapshot_bytes: &[u8]) -> ControlResponse {
+        let snapshot = match SessionSnapshot::from_bytes(snapshot_bytes) {
             Ok(snapshot) => snapshot,
             Err(e) => {
                 return Reject::new(RejectCode::BadRequest, format!("snapshot rejected: {e}"))
@@ -676,6 +724,98 @@ pub(crate) fn from_payload<T: Deserialize>(payload: &[u8]) -> Result<T, NetError
     let text = std::str::from_utf8(payload)
         .map_err(|_| NetError::Protocol("control payload is not UTF-8".into()))?;
     serde_json::from_str(text).map_err(|e| NetError::Protocol(format!("control payload: {e}")))
+}
+
+// Binary payload kinds (v3). One byte after `CONTROL_BIN_MAGIC`; the
+// snapshot bytes inside are opaque to this layer.
+const BIN_SNAPSHOT_REQ: u8 = 1;
+const BIN_ADOPT_REQ: u8 = 2;
+const BIN_SNAPSHOT_RESP: u8 = 3;
+
+fn bin_frame(kind: u8, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5 + body.len());
+    payload.extend_from_slice(&CONTROL_BIN_MAGIC);
+    payload.push(kind);
+    payload.extend_from_slice(body);
+    payload
+}
+
+fn bin_body(payload: &[u8]) -> Option<(u8, &[u8])> {
+    if payload.len() < 5 || payload[..4] != CONTROL_BIN_MAGIC {
+        return None;
+    }
+    Some((payload[4], &payload[5..]))
+}
+
+fn bin_u64(body: &[u8], what: &str) -> Result<u64, NetError> {
+    let bytes: [u8; 8] = body
+        .try_into()
+        .map_err(|_| NetError::Protocol(format!("{what}: expected 8 bytes, got {}", body.len())))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Serialises a control request: the v3 checkpoint verbs become compact
+/// binary payloads (magic + kind + raw bytes — no base64/JSON
+/// inflation), everything else stays JSON.
+pub(crate) fn encode_request(request: &ControlRequest) -> Vec<u8> {
+    match request {
+        ControlRequest::SnapshotBin { id } => bin_frame(BIN_SNAPSHOT_REQ, &id.to_le_bytes()),
+        ControlRequest::AdoptBin { snapshot } => bin_frame(BIN_ADOPT_REQ, snapshot),
+        _ => to_payload(request),
+    }
+}
+
+/// Parses a control request — binary v3 payloads by magic, JSON
+/// otherwise.
+pub(crate) fn decode_request(payload: &[u8]) -> Result<ControlRequest, NetError> {
+    match bin_body(payload) {
+        Some((BIN_SNAPSHOT_REQ, body)) => Ok(ControlRequest::SnapshotBin {
+            id: bin_u64(body, "SnapshotBin request")?,
+        }),
+        Some((BIN_ADOPT_REQ, body)) => Ok(ControlRequest::AdoptBin {
+            snapshot: body.to_vec(),
+        }),
+        Some((kind, _)) => Err(NetError::Protocol(format!(
+            "binary control request: unknown kind {kind}"
+        ))),
+        None => from_payload(payload),
+    }
+}
+
+/// Serialises a control response (binary for [`ControlResponse::SnapshotBin`],
+/// JSON otherwise).
+pub(crate) fn encode_response(response: &ControlResponse) -> Vec<u8> {
+    match response {
+        ControlResponse::SnapshotBin { id, snapshot } => {
+            let mut body = Vec::with_capacity(8 + snapshot.len());
+            body.extend_from_slice(&id.to_le_bytes());
+            body.extend_from_slice(snapshot);
+            bin_frame(BIN_SNAPSHOT_RESP, &body)
+        }
+        _ => to_payload(response),
+    }
+}
+
+/// Parses a control response — binary v3 payloads by magic, JSON
+/// otherwise.
+pub(crate) fn decode_response(payload: &[u8]) -> Result<ControlResponse, NetError> {
+    match bin_body(payload) {
+        Some((BIN_SNAPSHOT_RESP, body)) => {
+            if body.len() < 8 {
+                return Err(NetError::Protocol(
+                    "SnapshotBin response: truncated id".into(),
+                ));
+            }
+            Ok(ControlResponse::SnapshotBin {
+                id: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+                snapshot: body[8..].to_vec(),
+            })
+        }
+        Some((kind, _)) => Err(NetError::Protocol(format!(
+            "binary control response: unknown kind {kind}"
+        ))),
+        None => from_payload(payload),
+    }
 }
 
 #[cfg(test)]

@@ -678,7 +678,7 @@ fn connection_loop(
         let Some(payload) = read_exact_with_stop(stream, len, stop) else {
             return;
         };
-        let request = control::from_payload::<ControlRequest>(&payload);
+        let request = control::decode_request(&payload);
         let wants_stream = matches!(request, Ok(ControlRequest::Subscribe { stream: true }));
         let response = match request {
             Ok(request) => core.execute(request),
@@ -696,7 +696,7 @@ fn connection_loop(
             }
             _ => {}
         }
-        if control::write_msg(stream, &control::to_payload(&response)).is_err() {
+        if control::write_msg(stream, &control::encode_response(&response)).is_err() {
             return;
         }
         if wants_stream {
@@ -721,7 +721,7 @@ fn push_events(stream: &mut TcpStream, core: &ControlCore, subscription: u64, st
         {
             Ok(Some(event)) => {
                 let frame = crate::control::ControlResponse::Event { event };
-                if control::write_msg(stream, &control::to_payload(&frame)).is_err() {
+                if control::write_msg(stream, &control::encode_response(&frame)).is_err() {
                     return; // peer hung up
                 }
             }

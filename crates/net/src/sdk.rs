@@ -340,7 +340,7 @@ impl EventStream {
             return Ok(None);
         }
         let payload: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
-        match control::from_payload::<ControlResponse>(&payload)? {
+        match control::decode_response(&payload)? {
             ControlResponse::Event { event } => Ok(Some(event)),
             other => Err(unexpected(other)),
         }

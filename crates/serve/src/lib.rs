@@ -108,7 +108,9 @@ pub mod snapshot;
 pub mod spec;
 pub mod telemetry;
 
-pub use archive::{FleetArchive, FleetSnapshotPart, TraceEntry, FLEET_ARCHIVE_VERSION};
+pub use archive::{
+    FleetArchive, FleetSnapshotPart, PartFrames, TraceEntry, ARCHIVE_MAGIC, FLEET_ARCHIVE_VERSION,
+};
 pub use clock::{Pacing, VirtualClock, TICK_HZ, TICK_PERIOD};
 pub use inbox::{BoundedInbox, GatedInbox, GatedInboxState, GatedSlot, InboxState, Offer};
 pub use metrics::{
@@ -116,11 +118,14 @@ pub use metrics::{
 };
 pub use protocol::{FleetPart, ServiceError, SessionCommand, SessionEvent};
 pub use sched::{Scheduler, TimerWheel};
-pub use service::{BalancerConfig, EventWait, Service, ServiceConfig, ServiceHandle};
+pub use service::{
+    BalancerConfig, EventWait, FleetSnapshotReport, Service, ServiceConfig, ServiceHandle,
+};
 pub use session::{Advance, Session, SessionReport, Wake};
 pub use shard::shard_of;
 pub use snapshot::{
-    FateRun, RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_VERSION,
+    FateRun, RestoreError, SessionSnapshot, SnapshotError, SourceState, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
 };
 pub use spec::{ChannelSpec, RecoverySpec, SessionId, SessionSpec, SharedForecaster, SourceSpec};
 pub use telemetry::{

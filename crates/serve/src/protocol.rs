@@ -116,10 +116,16 @@ pub enum SessionCommand {
 /// One shard's reply to [`SessionCommand::SnapshotInto`].
 #[derive(Debug, Clone)]
 pub enum FleetPart {
-    /// The session's archive-form snapshot.
+    /// The session's archive-form snapshot, already encoded as a binary
+    /// v3 frame in the shard's reusable scratch — the collector splices
+    /// it into the [`FleetArchive`](crate::FleetArchive) without
+    /// decoding (see
+    /// [`FleetArchive::push_part_bytes`](crate::FleetArchive::push_part_bytes)).
     Snapshot {
-        /// The exported state (scripted sources by reference).
-        snapshot: Box<SessionSnapshot>,
+        /// Session id (also carried inside the frame).
+        id: SessionId,
+        /// The encoded snapshot (scripted sources by reference).
+        frame: Vec<u8>,
         /// The referenced trace payload — an `Arc` clone, shared with
         /// the live session, never a copy. `None` for live sources.
         trace: Option<(ObjectId, Arc<Vec<Vec<f64>>>)>,
@@ -259,6 +265,13 @@ pub enum ServiceError {
         /// How many shards the pool has.
         shards: usize,
     },
+    /// `adopt_fleet` was handed an archive whose session frames do not
+    /// decode (possible only for archives spliced from untrusted bytes;
+    /// nothing was adopted).
+    CorruptArchive {
+        /// The decoder's verdict.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -268,6 +281,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Disconnected => write!(f, "shard terminated"),
             ServiceError::NoSuchShard { shard, shards } => {
                 write!(f, "no shard {shard} in a {shards}-shard pool")
+            }
+            ServiceError::CorruptArchive { reason } => {
+                write!(f, "fleet archive does not decode: {reason}")
             }
         }
     }

@@ -35,6 +35,23 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// What [`ServiceHandle::snapshot_fleet`] produced: the streaming-built
+/// archive plus an honest account of every requested id that is *not*
+/// in it — unknown ids (completed or never opened) and sessions whose
+/// state cannot be exported. `archive.len() + missing.len() +
+/// failed.len()` always equals the request count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshotReport {
+    /// The assembled archive (traces deduped, parts in reply order).
+    pub archive: FleetArchive,
+    /// Requested ids no shard knew (completed, never opened, or routed
+    /// to a shard that lost them).
+    pub missing: Vec<SessionId>,
+    /// Sessions that exist but could not be exported, with the cause
+    /// (currently only unsnapshotable forecasters). They keep running.
+    pub failed: Vec<(SessionId, String)>,
+}
+
 /// Load-aware rebalancing policy knobs (see the module docs; the
 /// mechanism it drives is `SessionCommand::Migrate`).
 #[derive(Debug, Clone)]
@@ -356,16 +373,20 @@ impl ServiceHandle {
     /// thousand-session archive costs O(traces + sessions) bytes instead
     /// of O(sessions × trace). Sessions keep running, untouched.
     ///
-    /// Sessions that are unknown (completed, never opened) or
-    /// unsnapshotable are simply absent from the archive — compare
-    /// `archive.sessions.len()` against `ids.len()` to detect either.
+    /// The assembly is *streaming*: shards encode each part into their
+    /// reusable scratch as a binary v3 frame, and this collector splices
+    /// the bytes straight into the archive while later shards are still
+    /// draining — no snapshot is decoded in between. Sessions that are
+    /// unknown (completed, never opened) or unsnapshotable are reported
+    /// in [`FleetSnapshotReport::missing`] / `failed` instead of being
+    /// silently dropped.
     ///
     /// Blocks until every routed shard has replied. Call it from a
     /// thread that is not needed to drain events, or leave event-channel
     /// headroom: a shard blocked emitting events cannot reach the
     /// snapshot command. (The reply channel is sized to `ids.len()`, so
     /// shard-side sends never block.)
-    pub fn snapshot_fleet(&self, ids: &[SessionId]) -> Result<FleetArchive, ServiceError> {
+    pub fn snapshot_fleet(&self, ids: &[SessionId]) -> Result<FleetSnapshotReport, ServiceError> {
         let (tx, rx) = sync_channel::<FleetPart>(ids.len().max(1));
         for &id in ids {
             self.route(id)
@@ -376,15 +397,25 @@ impl ServiceHandle {
                 .map_err(|_| ServiceError::Disconnected)?;
         }
         drop(tx); // shards hold the only remaining senders
-        let mut parts = Vec::with_capacity(ids.len());
+        let mut report = FleetSnapshotReport {
+            archive: FleetArchive::new(),
+            missing: Vec::new(),
+            failed: Vec::new(),
+        };
         for _ in 0..ids.len() {
             match rx.recv() {
-                Ok(FleetPart::Snapshot { snapshot, trace }) => parts.push((*snapshot, trace)),
-                Ok(FleetPart::Missing { .. }) | Ok(FleetPart::Failed { .. }) => {}
+                Ok(FleetPart::Snapshot { frame, trace, .. }) => {
+                    if let Some((id, commands)) = trace {
+                        report.archive.push_trace(id, &commands);
+                    }
+                    report.archive.push_part_bytes(&frame);
+                }
+                Ok(FleetPart::Missing { id }) => report.missing.push(id),
+                Ok(FleetPart::Failed { id, reason }) => report.failed.push((id, reason)),
                 Err(_) => return Err(ServiceError::Disconnected),
             }
         }
-        Ok(FleetArchive::build(parts))
+        Ok(report)
     }
 
     /// Revives an archived fleet: files each trace-table entry into
@@ -403,15 +434,20 @@ impl ServiceHandle {
         archive: FleetArchive,
         storage: &Storage,
     ) -> Result<usize, ServiceError> {
+        let (traces, sessions) = archive
+            .dismantle()
+            .map_err(|e| ServiceError::CorruptArchive {
+                reason: e.to_string(),
+            })?;
         let mut claims: HashMap<ObjectId, TraceHandle> = HashMap::new();
-        for entry in archive.traces {
+        for entry in traces {
             if trace_object_id(&entry.commands) != entry.id {
                 continue; // corrupt table entry; its sessions fail at restore
             }
             claims.insert(entry.id, storage.insert_trace_owned(entry.commands));
         }
         let mut sent = 0;
-        for snapshot in archive.sessions {
+        for snapshot in sessions {
             let trace = match &snapshot.source {
                 SourceState::ScriptedRef { trace, .. } => claims.get(trace).cloned(),
                 _ => None,
@@ -1312,21 +1348,23 @@ mod tests {
                 ))
                 .unwrap();
         }
-        let archive = handle.snapshot_fleet(&[0, 1, 2, 3, 99]).unwrap();
+        let report = handle.snapshot_fleet(&[0, 1, 2, 3, 99]).unwrap();
+        assert_eq!(report.archive.len(), 4);
         assert_eq!(
-            archive.sessions.len(),
-            4,
-            "unknown id 99 must be absent, not an error"
+            report.missing,
+            vec![99],
+            "unknown id 99 must be reported, not silently dropped"
         );
+        assert!(report.failed.is_empty());
         assert!(
-            archive.traces.is_empty(),
+            report.archive.traces().is_empty(),
             "streamed sessions contribute no trace table"
         );
         // Archived parts are plain self-contained snapshots: each one
         // restores directly.
         let model = niryo_one();
-        for snapshot in &archive.sessions {
-            Session::restore(snapshot, &model).expect("streamed part restores");
+        for snapshot in report.archive.sessions().expect("frames decode") {
+            Session::restore(&snapshot, &model).expect("streamed part restores");
         }
         for id in 0..4 {
             handle.close(id).unwrap();
@@ -1368,8 +1406,8 @@ mod tests {
             donors.insert(spec.id, report);
         }
         let archive = FleetArchive::build(parts);
-        assert_eq!(archive.sessions.len(), 6);
-        assert_eq!(archive.traces.len(), 1, "one shared trace, stored once");
+        assert_eq!(archive.len(), 6);
+        assert_eq!(archive.traces().len(), 1, "one shared trace, stored once");
 
         let service = Service::spawn(ServiceConfig::with_shards(3));
         let storage = Storage::new();

@@ -867,9 +867,10 @@ impl Session {
         models: Option<&Storage>,
     ) -> Result<Self, RestoreError> {
         match snap.version {
-            // v1 layouts are a subset of v2 (no `ScriptedRef`), so the
-            // same restore path serves both.
-            1 | SNAPSHOT_VERSION => {}
+            // v1 layouts are a subset of v2 (no `ScriptedRef`), and v3
+            // changed only the byte encoding, so one restore path
+            // serves every legal version.
+            1 | 2 | SNAPSHOT_VERSION => {}
             found => {
                 return Err(RestoreError::Version {
                     found,

@@ -181,6 +181,11 @@ struct Runtime {
     batching: bool,
     /// Lane state for the batched sweep (buffers retained across passes).
     planner: BatchPlanner,
+    /// Reusable encode buffer for fleet-archive parts (`SnapshotInto`):
+    /// cleared and refilled per part, so a fleet checkpoint amortises to
+    /// zero steady-state encoder allocations on the shard — only buffer
+    /// growth and the reply hand-off copy allocate.
+    snapshot_scratch: Vec<u8>,
 }
 
 impl Runtime {
@@ -435,6 +440,7 @@ impl Runtime {
                     let session = &self.sessions[&id];
                     match session.snapshot() {
                         Ok(snapshot) => {
+                            self.scratch.snapshots += 1;
                             let _ = self.events.send(SessionEvent::Snapshotted {
                                 id,
                                 shard: self.index,
@@ -458,12 +464,23 @@ impl Runtime {
                     // Same sync rule as `Snapshot`: the archived state
                     // must match what an eager shard would hold.
                     self.poke(id, false);
-                    let session = &self.sessions[&id];
-                    let part = match session.snapshot_for_fleet() {
-                        Ok((snapshot, trace)) => crate::protocol::FleetPart::Snapshot {
-                            snapshot: Box::new(snapshot),
-                            trace,
-                        },
+                    let result = self.sessions[&id].snapshot_for_fleet();
+                    let part = match result {
+                        Ok((snapshot, trace)) => {
+                            // Encode into the shard's reusable scratch;
+                            // the clone is the one hand-off allocation
+                            // the reply channel requires.
+                            self.snapshot_scratch.clear();
+                            snapshot.encode_into(&mut self.snapshot_scratch);
+                            self.scratch.snapshots += 1;
+                            self.scratch.archive_parts += 1;
+                            self.scratch.archive_bytes += self.snapshot_scratch.len() as u64;
+                            crate::protocol::FleetPart::Snapshot {
+                                id,
+                                frame: self.snapshot_scratch.clone(),
+                                trace,
+                            }
+                        }
                         Err(e) => crate::protocol::FleetPart::Failed {
                             id,
                             reason: e.to_string(),
@@ -516,6 +533,7 @@ impl Runtime {
                                 self.routes.clear(id);
                             }
                             self.load().migrated_in.fetch_add(1, Ordering::Relaxed);
+                            self.scratch.adoptions += 1;
                             self.enqueue_new(id);
                             let _ = self.events.send(SessionEvent::Restored {
                                 id,
@@ -735,6 +753,7 @@ impl ShardWorker {
             models,
             batching,
             planner: BatchPlanner::new(lane_layout),
+            snapshot_scratch: Vec::new(),
         };
         let mut pacer = Pacer::new(pacing, period);
         let mut shutdown = false;

@@ -18,30 +18,43 @@
 //!
 //! # Format and versioning
 //!
-//! [`SessionSnapshot::to_bytes`] renders JSON through the in-tree serde
-//! shim; floats use shortest-round-trip formatting (bit-exact),
-//! 64-bit integers beyond ±2⁵³ (raw RNG words) are decimal strings.
-//! Every snapshot starts with a `version` field holding
-//! [`SNAPSHOT_VERSION`]; [`SessionSnapshot::from_bytes`] rejects other
-//! versions with [`RestoreError::Version`] instead of misreading a
-//! future layout. Bump the constant whenever a field changes meaning,
-//! and keep decoding old versions explicit (a `match` on the version),
-//! never implicit.
+//! [`SessionSnapshot::to_bytes`] writes the **v3 binary frame**: a
+//! length-prefixed little-endian layout in the style of the wire codec
+//! (`foreco-net`'s `wire.rs`) — 4-byte magic [`SNAPSHOT_MAGIC`], a
+//! `u32` format version, then every field in a fixed order with `f64`s
+//! carried as raw [`f64::to_bits`] words (bit-lossless by construction,
+//! `-0.0` and NaN payloads included) and fate streams kept in their
+//! run-length-encoded form. Decoding never panics: every malformed
+//! shape maps to a typed [`RestoreError`], pinned by the
+//! `tests/snapshot_codec.rs` property suite.
 //!
-//! **v1 → v2.** Version 2 adds the dedup-aware
-//! [`SourceState::ScriptedRef`] variant: instead of materialising the
-//! full script per session, a scripted source may serialise its trace's
-//! content address ([`foreco_store::ObjectId`]) plus run-length-encoded
-//! fates, with the trace payload carried once per
-//! [`FleetArchive`](crate::FleetArchive) rather than once per session.
-//! Every v1 layout is also a legal v2 layout (single-session
-//! [`Session::snapshot`](crate::Session::snapshot) still writes the
-//! self-contained [`SourceState::Scripted`] form, byte-stable with v1
-//! apart from the version field), so v1 decoding is the same parse
-//! behind an explicit version `match`. A `ScriptedRef` snapshot is only
-//! restorable with the referenced trace at hand —
-//! [`Session::restore_stored`](crate::Session::restore_stored) takes
-//! the store claim, and plain `restore` rejects the variant.
+//! Every frame carries its format version; [`SessionSnapshot::from_bytes`]
+//! rejects versions this build does not write with
+//! [`RestoreError::Version`] instead of misreading a future layout.
+//! Bump [`SNAPSHOT_VERSION`] whenever a field changes meaning, and keep
+//! decoding old versions explicit (a `match` on the version), never
+//! implicit.
+//!
+//! **v1/v2 → v3.** Versions 1 and 2 were JSON documents rendered
+//! through the in-tree serde shim (shortest-round-trip floats, 64-bit
+//! integers beyond ±2⁵³ as decimal strings). v2 added the dedup-aware
+//! [`SourceState::ScriptedRef`] variant (content address + RLE fates in
+//! place of the materialised script). Both remain first-class decode
+//! arms: [`SessionSnapshot::from_bytes`] sniffs the leading byte — a
+//! `{` is a legacy JSON document parsed behind an explicit version
+//! `match` (`1 | 2`), anything else must open with the binary magic.
+//! [`SessionSnapshot::to_json_bytes`] still *writes* the legacy JSON
+//! form (stamped v2, or v1 when the snapshot already carries version 1)
+//! for pre-v3 control-plane peers and the committed golden fixtures.
+//!
+//! The encoder is allocation-disciplined for fleet use:
+//! [`SessionSnapshot::encode_into`] appends to a caller-owned scratch
+//! buffer, so a shard checkpointing thousands of sessions reuses one
+//! growing `Vec<u8>` — steady state allocates only when the scratch
+//! grows or a forecaster/jammed-channel sub-blob renders (those two
+//! cold config payloads ride as length-prefixed canonical JSON inside
+//! the frame; their codec is the store's content-address codec, so the
+//! bytes are bit-exact too).
 //!
 //! # Determinism contract
 //!
@@ -63,18 +76,24 @@
 //! session resumes bit-identically — the parked-snapshot property in
 //! `tests/snapshot_roundtrip.rs` pins that round trip too.
 
-use crate::inbox::InboxState;
+use crate::inbox::{GatedInboxState, GatedSlot, InboxState};
 use crate::spec::{ChannelSpec, SessionId};
 use foreco_core::channel::Arrival;
-use foreco_core::EngineSnapshot;
-use foreco_robot::{DriverConfig, DriverState};
+use foreco_core::{EngineSnapshot, RecoveryConfig, RecoveryStats};
+use foreco_forecast::ForecasterState;
+use foreco_robot::{DriverConfig, DriverState, PidGains, PidState};
 use foreco_store::ObjectId;
 use serde::{Deserialize, Serialize};
 
 /// Current snapshot format version (see the module docs for the
-/// versioning policy). v2 added [`SourceState::ScriptedRef`]; v1
-/// decoding is retained.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// versioning policy). v2 added [`SourceState::ScriptedRef`]; v3 moved
+/// the frame from JSON to the length-prefixed binary layout. v1/v2 JSON
+/// decoding is retained behind explicit `match` arms.
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// Leading magic of every binary (v3+) snapshot frame. Deliberately not
+/// `{`: the decoder dispatches legacy JSON documents on that byte.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FSNP";
 
 /// One run of identical channel fates in a [`SourceState::ScriptedRef`]
 /// source — the run-length encoding that keeps per-session archive
@@ -219,38 +238,764 @@ pub struct SessionSnapshot {
     pub executed: DriverState,
 }
 
+// ---------------------------------------------------------------------
+// Binary primitives (v3 frame)
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+pub(crate) fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+pub(crate) fn put_row(buf: &mut Vec<u8>, row: &[f64]) {
+    put_u64(buf, row.len() as u64);
+    for &v in row {
+        put_f64(buf, v);
+    }
+}
+
+pub(crate) fn put_rows(buf: &mut Vec<u8>, rows: &[Vec<f64>]) {
+    put_u64(buf, rows.len() as u64);
+    for row in rows {
+        put_row(buf, row);
+    }
+}
+
+pub(crate) fn put_arrival(buf: &mut Vec<u8>, fate: Arrival) {
+    match fate {
+        Arrival::OnTime => put_u8(buf, 0),
+        Arrival::Late(delay) => {
+            put_u8(buf, 1);
+            put_f64(buf, delay);
+        }
+        Arrival::Lost => put_u8(buf, 2),
+    }
+}
+
+pub(crate) fn put_fates(buf: &mut Vec<u8>, fates: &[Arrival]) {
+    put_u64(buf, fates.len() as u64);
+    for &fate in fates {
+        put_arrival(buf, fate);
+    }
+}
+
+pub(crate) fn put_opt_f64(buf: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => put_u8(buf, 0),
+        Some(v) => {
+            put_u8(buf, 1);
+            put_f64(buf, v);
+        }
+    }
+}
+
+/// A length-prefixed canonical-JSON sub-blob: the carrier for the two
+/// cold config payloads ([`ForecasterState`], a jammed [`ChannelSpec`])
+/// whose concrete types live in other crates. The in-tree JSON codec is
+/// bit-exact for every `f64` pattern, so the sub-blob inherits the
+/// frame's losslessness.
+pub(crate) fn put_json_blob<T: Serialize>(buf: &mut Vec<u8>, value: &T) {
+    let json = serde_json::to_string(value).expect("sub-blob serialisation is infallible");
+    put_u64(buf, json.len() as u64);
+    buf.extend_from_slice(json.as_bytes());
+}
+
+/// Cursor over a binary frame. Every read is bounds-checked into a
+/// typed [`RestoreError`]; malformed input never panics.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], RestoreError> {
+        if self.remaining() < n {
+            return Err(RestoreError::Truncated {
+                need: self.pos + n,
+                got: self.buf.len(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, RestoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, RestoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, RestoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, RestoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn bool(&mut self, what: &'static str) -> Result<bool, RestoreError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            found => Err(RestoreError::BadTag { what, found }),
+        }
+    }
+
+    /// A `u64` count whose elements each occupy at least `elem_min`
+    /// bytes of the remaining frame — the sanity cap that turns a
+    /// corrupted length word into [`RestoreError::Oversized`] instead of
+    /// a multi-gigabyte allocation.
+    pub(crate) fn len(
+        &mut self,
+        what: &'static str,
+        elem_min: usize,
+    ) -> Result<usize, RestoreError> {
+        let declared = self.u64()?;
+        let limit = (self.remaining() / elem_min.max(1)) as u64;
+        if declared > limit {
+            return Err(RestoreError::Oversized {
+                what,
+                declared,
+                limit,
+            });
+        }
+        Ok(declared as usize)
+    }
+
+    pub(crate) fn usize(&mut self, what: &'static str) -> Result<usize, RestoreError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| RestoreError::Oversized {
+            what,
+            declared: v,
+            limit: usize::MAX as u64,
+        })
+    }
+
+    pub(crate) fn row(&mut self) -> Result<Vec<f64>, RestoreError> {
+        let n = self.len("joint row", 8)?;
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            row.push(self.f64()?);
+        }
+        Ok(row)
+    }
+
+    pub(crate) fn rows(&mut self) -> Result<Vec<Vec<f64>>, RestoreError> {
+        let n = self.len("command rows", 8)?;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            rows.push(self.row()?);
+        }
+        Ok(rows)
+    }
+
+    pub(crate) fn arrival(&mut self) -> Result<Arrival, RestoreError> {
+        match self.u8()? {
+            0 => Ok(Arrival::OnTime),
+            1 => Ok(Arrival::Late(self.f64()?)),
+            2 => Ok(Arrival::Lost),
+            found => Err(RestoreError::BadTag {
+                what: "arrival fate",
+                found,
+            }),
+        }
+    }
+
+    pub(crate) fn fates(&mut self) -> Result<Vec<Arrival>, RestoreError> {
+        let n = self.len("fate stream", 1)?;
+        let mut fates = Vec::with_capacity(n);
+        for _ in 0..n {
+            fates.push(self.arrival()?);
+        }
+        Ok(fates)
+    }
+
+    pub(crate) fn opt_f64(&mut self) -> Result<Option<f64>, RestoreError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            found => Err(RestoreError::BadTag {
+                what: "optional f64",
+                found,
+            }),
+        }
+    }
+
+    pub(crate) fn json_blob<T: Deserialize>(
+        &mut self,
+        what: &'static str,
+    ) -> Result<T, RestoreError> {
+        let n = self.len(what, 1)?;
+        let bytes = self.take(n)?;
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| RestoreError::Decode(format!("{what}: sub-blob is not UTF-8")))?;
+        serde_json::from_str(text).map_err(|e| RestoreError::Decode(format!("{what}: {e}")))
+    }
+}
+
+fn put_driver_state(buf: &mut Vec<u8>, state: &DriverState) {
+    put_row(buf, &state.joints);
+    put_row(buf, &state.last_command);
+    put_f64(buf, state.t);
+    put_u64(buf, state.pids.len() as u64);
+    for pid in &state.pids {
+        put_f64(buf, pid.integral);
+        put_opt_f64(buf, pid.prev_error);
+    }
+}
+
+fn read_driver_state(r: &mut Reader<'_>) -> Result<DriverState, RestoreError> {
+    let joints = r.row()?;
+    let last_command = r.row()?;
+    let t = r.f64()?;
+    let n = r.len("pid states", 9)?;
+    let mut pids = Vec::with_capacity(n);
+    for _ in 0..n {
+        pids.push(PidState {
+            integral: r.f64()?,
+            prev_error: r.opt_f64()?,
+        });
+    }
+    Ok(DriverState {
+        joints,
+        last_command,
+        t,
+        pids,
+    })
+}
+
+fn put_channel(buf: &mut Vec<u8>, channel: &ChannelSpec) {
+    match channel {
+        ChannelSpec::Ideal => put_u8(buf, 0),
+        ChannelSpec::ControlledLoss {
+            burst_len,
+            burst_prob,
+            seed,
+        } => {
+            put_u8(buf, 1);
+            put_u64(buf, *burst_len as u64);
+            put_f64(buf, *burst_prob);
+            put_u64(buf, *seed);
+        }
+        // The jammed-link spec nests the full 802.11 configuration
+        // (foreco-wifi types): it rides as a canonical-JSON sub-blob
+        // rather than freezing that crate's layout into this frame.
+        spec @ ChannelSpec::Jammed { .. } => {
+            put_u8(buf, 2);
+            put_json_blob(buf, spec);
+        }
+    }
+}
+
+fn read_channel(r: &mut Reader<'_>) -> Result<ChannelSpec, RestoreError> {
+    match r.u8()? {
+        0 => Ok(ChannelSpec::Ideal),
+        1 => Ok(ChannelSpec::ControlledLoss {
+            burst_len: r.usize("burst_len")?,
+            burst_prob: r.f64()?,
+            seed: r.u64()?,
+        }),
+        2 => r.json_blob::<ChannelSpec>("channel spec"),
+        found => Err(RestoreError::BadTag {
+            what: "channel spec",
+            found,
+        }),
+    }
+}
+
+fn put_rng(buf: &mut Vec<u8>, rng: &Option<[u64; 4]>) {
+    match rng {
+        None => put_u8(buf, 0),
+        Some(words) => {
+            put_u8(buf, 1);
+            for &w in words {
+                put_u64(buf, w);
+            }
+        }
+    }
+}
+
+fn read_rng(r: &mut Reader<'_>) -> Result<Option<[u64; 4]>, RestoreError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some([r.u64()?, r.u64()?, r.u64()?, r.u64()?])),
+        found => Err(RestoreError::BadTag {
+            what: "channel rng",
+            found,
+        }),
+    }
+}
+
+fn put_gated_slot(buf: &mut Vec<u8>, slot: &GatedSlot) {
+    match slot {
+        GatedSlot::Command(row) => {
+            put_u8(buf, 0);
+            put_row(buf, row);
+        }
+        GatedSlot::Miss { count } => {
+            put_u8(buf, 1);
+            put_u64(buf, *count);
+        }
+        GatedSlot::Late { command, age } => {
+            put_u8(buf, 2);
+            put_row(buf, command);
+            put_u64(buf, *age as u64);
+        }
+    }
+}
+
+fn read_gated_slot(r: &mut Reader<'_>) -> Result<GatedSlot, RestoreError> {
+    match r.u8()? {
+        0 => Ok(GatedSlot::Command(r.row()?)),
+        1 => Ok(GatedSlot::Miss { count: r.u64()? }),
+        2 => Ok(GatedSlot::Late {
+            command: r.row()?,
+            age: r.usize("late age")?,
+        }),
+        found => Err(RestoreError::BadTag {
+            what: "gated slot",
+            found,
+        }),
+    }
+}
+
+fn put_source(buf: &mut Vec<u8>, source: &SourceState) {
+    match source {
+        SourceState::Scripted { commands, fates } => {
+            put_u8(buf, 0);
+            put_rows(buf, commands);
+            put_fates(buf, fates);
+        }
+        SourceState::ScriptedRef { trace, fates } => {
+            put_u8(buf, 1);
+            put_u64(buf, (trace.as_u128() >> 64) as u64);
+            put_u64(buf, trace.as_u128() as u64);
+            put_u64(buf, fates.len() as u64);
+            for run in fates {
+                put_arrival(buf, run.fate);
+                put_u64(buf, run.count);
+            }
+        }
+        SourceState::Gated {
+            inbox,
+            channel,
+            channel_rng,
+            fate_buf,
+            closing,
+        } => {
+            put_u8(buf, 2);
+            put_u64(buf, inbox.capacity as u64);
+            put_u64(buf, inbox.queue.len() as u64);
+            for slot in &inbox.queue {
+                put_gated_slot(buf, slot);
+            }
+            put_u64(buf, inbox.accepted);
+            put_u64(buf, inbox.dropped);
+            put_channel(buf, channel);
+            put_rng(buf, channel_rng);
+            put_fates(buf, fate_buf);
+            put_bool(buf, *closing);
+        }
+        SourceState::Streamed {
+            inbox,
+            channel,
+            channel_rng,
+            fate_buf,
+            closing,
+        } => {
+            put_u8(buf, 3);
+            put_u64(buf, inbox.capacity as u64);
+            put_rows(buf, &inbox.queue);
+            put_u64(buf, inbox.accepted);
+            put_u64(buf, inbox.dropped);
+            put_channel(buf, channel);
+            put_rng(buf, channel_rng);
+            put_fates(buf, fate_buf);
+            put_bool(buf, *closing);
+        }
+    }
+}
+
+fn read_source(r: &mut Reader<'_>) -> Result<SourceState, RestoreError> {
+    match r.u8()? {
+        0 => Ok(SourceState::Scripted {
+            commands: r.rows()?,
+            fates: r.fates()?,
+        }),
+        1 => {
+            let hi = r.u64()?;
+            let lo = r.u64()?;
+            let trace = ObjectId::from_u128(((hi as u128) << 64) | lo as u128);
+            let n = r.len("fate runs", 9)?;
+            let mut fates = Vec::with_capacity(n);
+            for _ in 0..n {
+                fates.push(FateRun {
+                    fate: r.arrival()?,
+                    count: r.u64()?,
+                });
+            }
+            Ok(SourceState::ScriptedRef { trace, fates })
+        }
+        2 => {
+            let capacity = r.usize("gated inbox capacity")?;
+            let n = r.len("gated inbox queue", 1)?;
+            let mut queue = Vec::with_capacity(n);
+            for _ in 0..n {
+                queue.push(read_gated_slot(r)?);
+            }
+            let accepted = r.u64()?;
+            let dropped = r.u64()?;
+            Ok(SourceState::Gated {
+                inbox: GatedInboxState {
+                    capacity,
+                    queue,
+                    accepted,
+                    dropped,
+                },
+                channel: Box::new(read_channel(r)?),
+                channel_rng: read_rng(r)?,
+                fate_buf: r.fates()?,
+                closing: r.bool("gated closing flag")?,
+            })
+        }
+        3 => {
+            let capacity = r.usize("inbox capacity")?;
+            let queue = r.rows()?;
+            let accepted = r.u64()?;
+            let dropped = r.u64()?;
+            Ok(SourceState::Streamed {
+                inbox: InboxState {
+                    capacity,
+                    queue,
+                    accepted,
+                    dropped,
+                },
+                channel: Box::new(read_channel(r)?),
+                channel_rng: read_rng(r)?,
+                fate_buf: r.fates()?,
+                closing: r.bool("streamed closing flag")?,
+            })
+        }
+        found => Err(RestoreError::BadTag {
+            what: "source state",
+            found,
+        }),
+    }
+}
+
+fn put_engine(buf: &mut Vec<u8>, engine: &EngineSnapshot) {
+    put_json_blob(buf, &engine.forecaster);
+    let config = &engine.config;
+    put_f64(buf, config.period);
+    put_bool(buf, config.use_late_commands);
+    match &config.limits {
+        None => put_u8(buf, 0),
+        Some(limits) => {
+            put_u8(buf, 1);
+            put_u64(buf, limits.len() as u64);
+            for &(lo, hi) in limits {
+                put_f64(buf, lo);
+                put_f64(buf, hi);
+            }
+        }
+    }
+    match config.max_consecutive_forecasts {
+        None => put_u8(buf, 0),
+        Some(n) => {
+            put_u8(buf, 1);
+            put_u64(buf, n as u64);
+        }
+    }
+    put_opt_f64(buf, config.max_step);
+    put_bool(buf, config.history_rebase);
+    put_opt_f64(buf, config.trend_damping);
+    put_rows(buf, &engine.history);
+    put_u64(buf, engine.forecast_slots.len() as u64);
+    for &slot in &engine.forecast_slots {
+        put_bool(buf, slot);
+    }
+    put_u64(buf, engine.consecutive_forecasts as u64);
+    put_f64(buf, engine.burst_quality);
+    let stats = &engine.stats;
+    for v in [
+        stats.ticks,
+        stats.delivered,
+        stats.forecasts,
+        stats.warmup_repeats,
+        stats.horizon_holds,
+        stats.late_patches,
+    ] {
+        put_u64(buf, v);
+    }
+}
+
+fn read_engine(r: &mut Reader<'_>) -> Result<EngineSnapshot, RestoreError> {
+    let forecaster: ForecasterState = r.json_blob("forecaster state")?;
+    let period = r.f64()?;
+    let use_late_commands = r.bool("use_late_commands")?;
+    let limits = match r.u8()? {
+        0 => None,
+        1 => {
+            let n = r.len("joint limits", 16)?;
+            let mut limits = Vec::with_capacity(n);
+            for _ in 0..n {
+                limits.push((r.f64()?, r.f64()?));
+            }
+            Some(limits)
+        }
+        found => {
+            return Err(RestoreError::BadTag {
+                what: "joint limits",
+                found,
+            })
+        }
+    };
+    let max_consecutive_forecasts = match r.u8()? {
+        0 => None,
+        1 => Some(r.usize("max_consecutive_forecasts")?),
+        found => {
+            return Err(RestoreError::BadTag {
+                what: "forecast horizon",
+                found,
+            })
+        }
+    };
+    let max_step = r.opt_f64()?;
+    let history_rebase = r.bool("history_rebase")?;
+    let trend_damping = r.opt_f64()?;
+    let history = r.rows()?;
+    let n = r.len("forecast slots", 1)?;
+    let mut forecast_slots = Vec::with_capacity(n);
+    for _ in 0..n {
+        forecast_slots.push(r.bool("forecast slot")?);
+    }
+    let consecutive_forecasts = r.usize("consecutive_forecasts")?;
+    let burst_quality = r.f64()?;
+    let stats = RecoveryStats {
+        ticks: r.u64()?,
+        delivered: r.u64()?,
+        forecasts: r.u64()?,
+        warmup_repeats: r.u64()?,
+        horizon_holds: r.u64()?,
+        late_patches: r.u64()?,
+    };
+    Ok(EngineSnapshot {
+        forecaster,
+        config: RecoveryConfig {
+            period,
+            use_late_commands,
+            limits,
+            max_consecutive_forecasts,
+            max_step,
+            history_rebase,
+            trend_damping,
+        },
+        history,
+        forecast_slots,
+        consecutive_forecasts,
+        burst_quality,
+        stats,
+    })
+}
+
 impl SessionSnapshot {
-    /// Serialises the snapshot to its portable byte form (JSON, UTF-8).
+    /// Appends the v3 binary frame to `buf` (which is **not** cleared:
+    /// archive writers append frames back to back). Reusing one scratch
+    /// buffer across a fleet's worth of encodes amortises the encoder
+    /// to zero steady-state allocations per session — the only
+    /// allocating paths are scratch growth and the forecaster /
+    /// jammed-channel canonical-JSON sub-blobs (see the module docs).
+    ///
+    /// The frame carries `self.version` verbatim; the decoder is the
+    /// authority on which versions are legal.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        put_u32(buf, self.version);
+        put_u64(buf, self.id);
+        put_u64(buf, self.tick);
+        put_f64(buf, self.period);
+        put_f64(buf, self.driver.period);
+        put_f64(buf, self.driver.gains.kp);
+        put_f64(buf, self.driver.gains.ki);
+        put_f64(buf, self.driver.gains.kd);
+        put_u64(buf, self.misses as u64);
+        put_f64(buf, self.acc_sq_mm);
+        put_f64(buf, self.worst_mm);
+        put_source(buf, &self.source);
+        match &self.engine {
+            None => put_u8(buf, 0),
+            Some(engine) => {
+                put_u8(buf, 1);
+                put_engine(buf, engine);
+            }
+        }
+        put_u64(buf, self.pending_late.len() as u64);
+        for (t, idx, row) in &self.pending_late {
+            put_f64(buf, *t);
+            put_u64(buf, *idx as u64);
+            put_row(buf, row);
+        }
+        put_driver_state(buf, &self.reference);
+        put_driver_state(buf, &self.executed);
+    }
+
+    /// Serialises the snapshot to its portable byte form: the v3 binary
+    /// frame (see [`SessionSnapshot::encode_into`] for the reusable-
+    /// scratch variant fleet checkpointing uses).
     pub fn to_bytes(&self) -> Vec<u8> {
-        serde_json::to_string(self)
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serialises the snapshot in the **legacy JSON form** (v2, or v1
+    /// when `self.version` already says 1) — the wire form pre-v3
+    /// control-plane peers decode, and the format of the committed
+    /// golden fixtures. Self-contained snapshots are layout-identical
+    /// across v1/v2, so the stamp is the only difference.
+    pub fn to_json_bytes(&self) -> Vec<u8> {
+        let mut legacy = self.clone();
+        legacy.version = legacy.version.min(2);
+        serde_json::to_string(&legacy)
             .expect("snapshot serialisation is infallible")
             .into_bytes()
     }
 
     /// Parses a snapshot previously produced by
-    /// [`SessionSnapshot::to_bytes`].
+    /// [`SessionSnapshot::to_bytes`] (binary v3) or
+    /// [`SessionSnapshot::to_json_bytes`] (legacy JSON v1/v2). The
+    /// first byte dispatches: `{` selects the legacy JSON parser, the
+    /// binary magic selects the v3 frame decoder. Per the versioning
+    /// invariant, every legal version is an explicit `match` arm.
     ///
     /// # Errors
-    /// [`RestoreError::Decode`] on malformed bytes,
-    /// [`RestoreError::Version`] on a format version this build does not
-    /// understand.
+    /// A typed [`RestoreError`] for every malformed shape — truncation,
+    /// bad magic, corrupt tags, oversized length words, trailing bytes,
+    /// version skew — never a panic (`tests/snapshot_codec.rs`).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, RestoreError> {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|_| RestoreError::Decode("snapshot is not UTF-8".into()))?;
-        let snap: SessionSnapshot =
-            serde_json::from_str(text).map_err(|e| RestoreError::Decode(e.to_string()))?;
-        match snap.version {
-            // v1: same field layout as v2 minus `ScriptedRef`, which a
-            // v1 writer cannot have produced — the parse above already
-            // is the v1 decoder. Restore validation enforces the
-            // variant restriction.
-            1 => Ok(snap),
-            SNAPSHOT_VERSION => Ok(snap),
-            found => Err(RestoreError::Version {
-                found,
-                expected: SNAPSHOT_VERSION,
-            }),
+        if bytes.first() == Some(&b'{') {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| RestoreError::Decode("snapshot is not UTF-8".into()))?;
+            let snap: SessionSnapshot =
+                serde_json::from_str(text).map_err(|e| RestoreError::Decode(e.to_string()))?;
+            return match snap.version {
+                // v1: same field layout as v2 minus `ScriptedRef`, which
+                // a v1 writer cannot have produced — this parse already
+                // is the v1 decoder. Restore validation enforces the
+                // variant restriction.
+                1 => Ok(snap),
+                // v2: the last JSON format.
+                2 => Ok(snap),
+                // v3 is a binary frame by definition; a JSON document
+                // claiming it is malformed, not merely foreign.
+                SNAPSHOT_VERSION => Err(RestoreError::Decode(
+                    "version 3 snapshots use the binary frame, not JSON".into(),
+                )),
+                found => Err(RestoreError::Version {
+                    found,
+                    expected: SNAPSHOT_VERSION,
+                }),
+            };
         }
+        let mut r = Reader::new(bytes);
+        let magic = r.take(4)?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(RestoreError::BadMagic {
+                found: magic.try_into().expect("4 bytes"),
+            });
+        }
+        let version = r.u32()?;
+        match version {
+            SNAPSHOT_VERSION => {}
+            found => {
+                return Err(RestoreError::Version {
+                    found,
+                    expected: SNAPSHOT_VERSION,
+                })
+            }
+        }
+        let id = r.u64()?;
+        let tick = r.u64()?;
+        let period = r.f64()?;
+        let driver = DriverConfig {
+            period: r.f64()?,
+            gains: PidGains {
+                kp: r.f64()?,
+                ki: r.f64()?,
+                kd: r.f64()?,
+            },
+        };
+        let misses = r.usize("miss count")?;
+        let acc_sq_mm = r.f64()?;
+        let worst_mm = r.f64()?;
+        let source = read_source(&mut r)?;
+        let engine = match r.u8()? {
+            0 => None,
+            1 => Some(read_engine(&mut r)?),
+            found => {
+                return Err(RestoreError::BadTag {
+                    what: "engine presence",
+                    found,
+                })
+            }
+        };
+        let n = r.len("pending late commands", 24)?;
+        let mut pending_late = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = r.f64()?;
+            let idx = r.usize("late tick index")?;
+            let row = r.row()?;
+            pending_late.push((t, idx, row));
+        }
+        let reference = read_driver_state(&mut r)?;
+        let executed = read_driver_state(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(RestoreError::TrailingBytes {
+                expect: r.pos,
+                got: bytes.len(),
+            });
+        }
+        Ok(SessionSnapshot {
+            version,
+            id,
+            tick,
+            period,
+            driver,
+            misses,
+            acc_sq_mm,
+            worst_mm,
+            source,
+            engine,
+            pending_late,
+            reference,
+            executed,
+        })
     }
 
     /// Converts a [`SourceState::ScriptedRef`] snapshot into the
@@ -306,11 +1051,53 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// Why rehydrating a session from a snapshot failed.
+/// Why rehydrating a session from a snapshot failed. Mirrors the wire
+/// codec's error taxonomy: every malformed input maps to exactly one
+/// typed variant, and decoding never panics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RestoreError {
-    /// The bytes are not a well-formed snapshot.
+    /// The bytes are not a well-formed snapshot (legacy JSON parse
+    /// failures, malformed sub-blobs).
     Decode(String),
+    /// Fewer bytes than the frame layout requires — truncated input.
+    Truncated {
+        /// Bytes required to read the next field.
+        need: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// The leading bytes are neither a JSON document nor
+    /// [`SNAPSHOT_MAGIC`]: not a snapshot at all.
+    BadMagic {
+        /// The four bytes found.
+        found: [u8; 4],
+    },
+    /// An unassigned tag byte where an enum discriminant or flag was
+    /// expected.
+    BadTag {
+        /// Which field carried the tag.
+        what: &'static str,
+        /// The byte found.
+        found: u8,
+    },
+    /// A length word larger than the remaining frame could possibly
+    /// hold — a corrupt count rejected before it becomes an allocation.
+    Oversized {
+        /// Which collection declared it.
+        what: &'static str,
+        /// The declared element count.
+        declared: u64,
+        /// The most the remaining bytes could hold.
+        limit: u64,
+    },
+    /// The buffer holds more bytes than the frame accounts for —
+    /// trailing garbage is rejected, not ignored.
+    TrailingBytes {
+        /// Expected total frame length.
+        expect: usize,
+        /// Bytes present.
+        got: usize,
+    },
     /// The snapshot's format version does not match this build's.
     Version {
         /// Version found in the snapshot.
@@ -327,6 +1114,33 @@ impl std::fmt::Display for RestoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RestoreError::Decode(reason) => write!(f, "session restore: {reason}"),
+            RestoreError::Truncated { need, got } => {
+                write!(
+                    f,
+                    "session restore: truncated frame: need {need} bytes, got {got}"
+                )
+            }
+            RestoreError::BadMagic { found } => {
+                write!(f, "session restore: bad magic {found:02x?}")
+            }
+            RestoreError::BadTag { what, found } => {
+                write!(f, "session restore: bad tag {found:#04x} for {what}")
+            }
+            RestoreError::Oversized {
+                what,
+                declared,
+                limit,
+            } => write!(
+                f,
+                "session restore: oversized {what}: {declared} elements declared, \
+                 at most {limit} possible"
+            ),
+            RestoreError::TrailingBytes { expect, got } => {
+                write!(
+                    f,
+                    "session restore: trailing bytes: frame is {expect}, buffer holds {got}"
+                )
+            }
             RestoreError::Version { found, expected } => write!(
                 f,
                 "session restore: snapshot version {found}, this build reads {expected}"

@@ -115,6 +115,16 @@ pub struct ShardTelemetry {
     pub wakes: AtomicU64,
     /// Commands dropped on a full session inbox.
     pub inbox_drops: AtomicU64,
+    /// Sessions checkpointed (`Snapshot` events plus fleet-archive
+    /// parts exported).
+    pub snapshots: AtomicU64,
+    /// Snapshots rehydrated into live sessions (`Adopt`, migrations
+    /// included).
+    pub adoptions: AtomicU64,
+    /// Fleet-archive parts encoded by this shard (`SnapshotInto`).
+    pub archive_parts: AtomicU64,
+    /// Bytes of binary snapshot frames encoded for fleet archives.
+    pub archive_bytes: AtomicU64,
 }
 
 impl ShardTelemetry {
@@ -131,6 +141,10 @@ impl ShardTelemetry {
             parks: self.parks.load(Ordering::Relaxed),
             wakes: self.wakes.load(Ordering::Relaxed),
             inbox_drops: self.inbox_drops.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            adoptions: self.adoptions.load(Ordering::Relaxed),
+            archive_parts: self.archive_parts.load(Ordering::Relaxed),
+            archive_bytes: self.archive_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -158,6 +172,14 @@ pub struct ShardTelemetrySummary {
     pub wakes: u64,
     /// Commands dropped on full inboxes.
     pub inbox_drops: u64,
+    /// Sessions checkpointed.
+    pub snapshots: u64,
+    /// Snapshots rehydrated.
+    pub adoptions: u64,
+    /// Fleet-archive parts encoded.
+    pub archive_parts: u64,
+    /// Bytes of archive frames encoded.
+    pub archive_bytes: u64,
 }
 
 /// Wire-side ingress totals, summed across sessions (live and retired).
@@ -353,6 +375,38 @@ pub fn render_prometheus(fleet: &FleetTelemetry, rmse_mm: Option<&PercentileSumm
         shards,
         |s| s.inbox_drops,
     );
+    family_per_shard(
+        &mut out,
+        "foreco_snapshots_total",
+        "counter",
+        "Sessions checkpointed (single snapshots and fleet-archive parts).",
+        shards,
+        |s| s.snapshots,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_adoptions_total",
+        "counter",
+        "Snapshots rehydrated into live sessions (migrations included).",
+        shards,
+        |s| s.adoptions,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_archive_parts_total",
+        "counter",
+        "Fleet-archive parts encoded (SnapshotInto replies).",
+        shards,
+        |s| s.archive_parts,
+    );
+    family_per_shard(
+        &mut out,
+        "foreco_archive_bytes_total",
+        "counter",
+        "Bytes of binary snapshot frames encoded for fleet archives.",
+        shards,
+        |s| s.archive_bytes,
+    );
     let loads = &fleet.loads;
     load_family_per_shard(
         &mut out,
@@ -497,6 +551,10 @@ pub(crate) struct TelemetryScratch {
     pub(crate) parks: u64,
     pub(crate) wakes: u64,
     pub(crate) inbox_drops: u64,
+    pub(crate) snapshots: u64,
+    pub(crate) adoptions: u64,
+    pub(crate) archive_parts: u64,
+    pub(crate) archive_bytes: u64,
 }
 
 impl TelemetryScratch {
@@ -517,6 +575,10 @@ impl TelemetryScratch {
         add(&shard.parks, &mut self.parks);
         add(&shard.wakes, &mut self.wakes);
         add(&shard.inbox_drops, &mut self.inbox_drops);
+        add(&shard.snapshots, &mut self.snapshots);
+        add(&shard.adoptions, &mut self.adoptions);
+        add(&shard.archive_parts, &mut self.archive_parts);
+        add(&shard.archive_bytes, &mut self.archive_bytes);
     }
 }
 

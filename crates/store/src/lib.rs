@@ -79,6 +79,16 @@ impl ObjectId {
     pub fn as_u128(&self) -> u128 {
         ((self.hi as u128) << 64) | self.lo as u128
     }
+
+    /// Reconstructs an id from its [`ObjectId::as_u128`] form — the
+    /// inverse needed by binary codecs that carry ids as two raw
+    /// little-endian words instead of JSON objects.
+    pub fn from_u128(v: u128) -> Self {
+        Self {
+            hi: (v >> 64) as u64,
+            lo: v as u64,
+        }
+    }
 }
 
 impl fmt::Debug for ObjectId {
@@ -757,5 +767,13 @@ mod tests {
         let json = serde_json::to_string(&id).expect("encode");
         let back: ObjectId = serde_json::from_str(&json).expect("decode");
         assert_eq!(back, id);
+    }
+
+    #[test]
+    fn object_id_u128_round_trips_exactly() {
+        let id = trace_object_id(&trace(5.0));
+        assert_eq!(ObjectId::from_u128(id.as_u128()), id);
+        assert_eq!(ObjectId::from_u128(0).as_u128(), 0);
+        assert_eq!(ObjectId::from_u128(u128::MAX).as_u128(), u128::MAX);
     }
 }

@@ -286,6 +286,53 @@
 //! assert_eq!(resumed.tick(), 100);
 //! ```
 //!
+//! # Binary fleet checkpoints
+//!
+//! Snapshot version 3 is a length-prefixed **binary frame** (magic
+//! `FSNP`, f64s as raw [`f64::to_bits`] words — bit-lossless by
+//! construction), with versions 1 and 2 kept decodable forever as
+//! explicit JSON match arms: `SessionSnapshot::from_bytes` accepts all
+//! three, and every malformed shape maps to a typed
+//! [`serve::RestoreError`], never a panic (fuzzed by
+//! `tests/snapshot_codec.rs`). At fleet scale, shards encode each part
+//! straight into a reusable scratch buffer and
+//! `ServiceHandle::snapshot_fleet` splices the frames into a streaming
+//! [`serve::FleetArchive`] *while the drain is in flight* — no
+//! intermediate decode, traces deduplicated by content address — and
+//! reports unknown ids instead of dropping them silently
+//! ([`serve::FleetSnapshotReport`]). Archives merge without re-decoding
+//! and file into shared storage under their content address:
+//!
+//! ```
+//! use foreco::prelude::*;
+//! use foreco::serve::Session;
+//!
+//! let model = niryo_one();
+//! let test = Dataset::record(Skill::Inexperienced, 1, 0.02, 8);
+//! let spec = SessionSpec::new(
+//!     1,
+//!     SourceSpec::replay(&test),
+//!     ChannelSpec::ControlledLoss { burst_len: 8, burst_prob: 0.01, seed: 3 },
+//!     RecoverySpec::Baseline,
+//! );
+//! let mut session = Session::open(&spec, &model);
+//! for _ in 0..100 {
+//!     session.advance();
+//! }
+//!
+//! // One binary v3 part spliced into an archive, round-tripped, and
+//! // filed under its content address.
+//! let mut archive = FleetArchive::new();
+//! archive.push_part(&session.snapshot().unwrap());
+//! let back = FleetArchive::from_bytes(&archive.to_bytes()).unwrap();
+//! assert_eq!(back, archive);
+//!
+//! let store = Storage::new();
+//! let blob = archive.file_blob(&store);
+//! let revived = FleetArchive::from_blob(&blob).unwrap();
+//! assert_eq!(revived.sessions().unwrap()[0].tick, 100);
+//! ```
+//!
 //! # Shared storage
 //!
 //! A fleet replaying the same teleop trace, or forecasting with the
@@ -354,10 +401,10 @@ pub mod prelude {
     };
     pub use foreco_robot::{niryo_one, ArmModel, DriverConfig, RobotDriver};
     pub use foreco_serve::{
-        BalancerConfig, ChannelSpec, EventWait, FleetArchive, MetricsRegistry, Pacing,
-        RecoverySpec, Scheduler, Service, ServiceConfig, ServiceError, ServiceHandle,
-        ServiceSummary, SessionCommand, SessionEvent, SessionReport, SessionSnapshot, SessionSpec,
-        ShardLoadSummary, SharedForecaster, SourceSpec, Wake,
+        BalancerConfig, ChannelSpec, EventWait, FleetArchive, FleetSnapshotReport, MetricsRegistry,
+        Pacing, RecoverySpec, RestoreError, Scheduler, Service, ServiceConfig, ServiceError,
+        ServiceHandle, ServiceSummary, SessionCommand, SessionEvent, SessionReport,
+        SessionSnapshot, SessionSpec, ShardLoadSummary, SharedForecaster, SourceSpec, Wake,
     };
     pub use foreco_store::{ModelHandle, ObjectId, Storage, StoreStats, TraceHandle};
     pub use foreco_teleop::{Dataset, Operator, Skill};
